@@ -1,0 +1,100 @@
+//! Run-time benchmarks of the analysis kernels: the `MultiClusterScheduling`
+//! fixed point at the paper's application sizes, the CAN queuing analysis,
+//! the FIFO-bound ablation, and the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mcs_core::{multi_cluster_scheduling, AnalysisParams, FifoBound};
+use mcs_gen::{cruise_controller, generate, GeneratorParams};
+use mcs_model::Time;
+use mcs_opt::straightforward_config;
+use mcs_sim::{simulate, SimParams};
+
+fn bench_multi_cluster_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_cluster_scheduling");
+    group.sample_size(10);
+    for nodes in [2usize, 4, 6] {
+        let system = generate(&GeneratorParams::paper_sized(nodes, 7));
+        let config = straightforward_config(&system);
+        let params = AnalysisParams::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nodes * 40),
+            &nodes,
+            |b, _| {
+                b.iter(|| {
+                    multi_cluster_scheduling(&system, &config, &params).expect("analyzable")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fifo_bound_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo_bound");
+    group.sample_size(10);
+    let system = generate(&GeneratorParams::paper_sized(4, 7));
+    let config = straightforward_config(&system);
+    for (label, bound) in [
+        ("paper_closed_form", FifoBound::PaperClosedForm),
+        ("slot_occurrence", FifoBound::SlotOccurrence),
+    ] {
+        let params = AnalysisParams {
+            fifo_bound: bound,
+            ..AnalysisParams::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| multi_cluster_scheduling(&system, &config, &params).expect("analyzable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_can_rta(c: &mut Criterion) {
+    // A synthetic 64-flow CAN bus at moderate utilization.
+    let flows: Vec<mcs_can::CanFlow> = (0..64)
+        .map(|i| mcs_can::CanFlow {
+            priority: mcs_model::Priority::new(i),
+            period: Time::from_millis(100 + u64::from(i) * 10),
+            jitter: Time::from_micros(u64::from(i) * 50),
+            offset: Time::ZERO,
+            transaction: None,
+            transmission: Time::from_micros(270),
+            size_bytes: 8,
+            response: Time::ZERO,
+        })
+        .collect();
+    c.bench_function("can_rta_64_flows", |b| {
+        b.iter(|| mcs_can::queuing_delays(&flows, Time::from_millis(10_000)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let cc = cruise_controller();
+    let analysis = AnalysisParams::default();
+    let os = mcs_opt::optimize_schedule(&cc.system, &analysis, &mcs_opt::OsParams::default());
+    let outcome =
+        multi_cluster_scheduling(&cc.system, &os.best.config, &analysis).expect("analyzable");
+    group.bench_function("cruise_4_activations", |b| {
+        b.iter(|| {
+            simulate(
+                &cc.system,
+                &os.best.config,
+                &outcome,
+                &SimParams::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multi_cluster_scheduling,
+    bench_fifo_bound_variants,
+    bench_can_rta,
+    bench_simulator
+);
+criterion_main!(benches);

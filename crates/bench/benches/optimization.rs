@@ -1,0 +1,60 @@
+//! Run-time benchmarks of the synthesis heuristics, backing the paper's §6
+//! claim that the greedy heuristics run "more than two orders of magnitude"
+//! faster than the simulated-annealing references ("a couple of minutes"
+//! versus "up to three hours" at paper scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcs_core::AnalysisParams;
+use mcs_gen::{generate, GeneratorParams};
+use mcs_opt::{
+    hopa_priorities, optimize_resources, optimize_schedule, sa_schedule, OrParams, OsParams,
+    SaParams,
+};
+
+fn bench_os_vs_sas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("os_vs_sas");
+    group.sample_size(10);
+    let system = generate(&GeneratorParams::paper_sized(2, 7));
+    let analysis = AnalysisParams::default();
+    group.bench_function("os_80_processes", |b| {
+        b.iter(|| optimize_schedule(&system, &analysis, &OsParams::default()))
+    });
+    // Even a *short* 100-iteration anneal costs an order of magnitude more
+    // than the greedy heuristic; the paper's reference runs used far more.
+    group.bench_function("sas_100_iterations", |b| {
+        b.iter(|| {
+            sa_schedule(
+                &system,
+                &analysis,
+                &SaParams {
+                    iterations: 100,
+                    ..SaParams::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_or(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_resources");
+    group.sample_size(10);
+    let system = generate(&GeneratorParams::paper_sized(2, 7));
+    let analysis = AnalysisParams::default();
+    group.bench_function("or_80_processes", |b| {
+        b.iter(|| optimize_resources(&system, &analysis, &OrParams::default()))
+    });
+    group.finish();
+}
+
+fn bench_hopa(c: &mut Criterion) {
+    let system = generate(&GeneratorParams::paper_sized(4, 7));
+    let tdma = mcs_opt::straightforward_config(&system).tdma;
+    c.bench_function("hopa_160_processes", |b| {
+        b.iter(|| hopa_priorities(&system, &tdma))
+    });
+}
+
+criterion_group!(benches, bench_os_vs_sas, bench_or, bench_hopa);
+criterion_main!(benches);

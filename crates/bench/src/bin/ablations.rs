@@ -1,0 +1,101 @@
+//! Quality ablations for the design choices called out in DESIGN.md §6:
+//!
+//! 1. HOPA vs. straightforward (index-order) priority assignment inside the
+//!    same TDMA configuration;
+//! 2. the occurrence-based `Out_TTP` bound vs. the paper's closed form;
+//! 3. OR seeded from the full OS seed pool vs. from the single best-δΓ
+//!    configuration.
+
+use mcs_bench::{cell, mean, ExperimentOptions};
+use mcs_core::{multi_cluster_scheduling, AnalysisParams, FifoBound};
+use mcs_gen::{generate, GeneratorParams};
+use mcs_opt::{
+    evaluate, hopa_priorities, optimize_resources, straightforward_config, OrParams,
+};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let analysis = AnalysisParams::default();
+
+    println!("Ablation 1 — priority assignment (δΓ cost; lower is better)");
+    println!("{:>6} {:>12} {:>12}", "seed", "index-order", "HOPA");
+    for seed in 0..options.seeds {
+        let system = generate(&GeneratorParams::paper_sized(4, seed));
+        let sf = straightforward_config(&system);
+        let mut hopa = sf.clone();
+        hopa.priorities = hopa_priorities(&system, &hopa.tdma);
+        let a = evaluate(&system, sf, &analysis).expect("analyzable");
+        let b = evaluate(&system, hopa, &analysis).expect("analyzable");
+        println!(
+            "{:>6} {:>12} {:>12}",
+            seed,
+            a.schedule_cost(),
+            b.schedule_cost()
+        );
+    }
+    println!();
+
+    println!("Ablation 2 — Out_TTP bound (graph-response sum in ms; lower = tighter)");
+    println!("{:>6} {:>12} {:>12}", "seed", "closed-form", "occurrence");
+    for seed in 0..options.seeds {
+        let system = generate(&GeneratorParams::paper_sized(4, seed));
+        let config = {
+            let mut c = straightforward_config(&system);
+            c.priorities = hopa_priorities(&system, &c.tdma);
+            c
+        };
+        let total = |bound| {
+            let params = AnalysisParams {
+                fifo_bound: bound,
+                ..analysis
+            };
+            let outcome =
+                multi_cluster_scheduling(&system, &config, &params).expect("analyzable");
+            system
+                .application
+                .graphs()
+                .iter()
+                .map(|g| outcome.graph_response(g.id()).ticks() / 1_000)
+                .sum::<u64>()
+        };
+        println!(
+            "{:>6} {:>12} {:>12}",
+            seed,
+            total(FifoBound::PaperClosedForm),
+            total(FifoBound::SlotOccurrence)
+        );
+    }
+    println!();
+
+    println!("Ablation 3 — OR seeding (s_total in bytes; lower is better)");
+    println!("{:>6} {:>12} {:>12}", "seed", "best-only", "seed-pool");
+    let mut pool_wins = Vec::new();
+    for seed in 0..options.seeds {
+        let system = generate(&GeneratorParams::paper_sized(2, seed));
+        let pool = optimize_resources(&system, &analysis, &OrParams::default());
+        let best_only = optimize_resources(
+            &system,
+            &analysis,
+            &OrParams {
+                os: mcs_opt::OsParams {
+                    seed_limit: 1,
+                    ..mcs_opt::OsParams::default()
+                },
+                ..OrParams::default()
+            },
+        );
+        println!(
+            "{:>6} {:>12} {:>12}",
+            seed,
+            best_only.best.total_buffers,
+            pool.best.total_buffers
+        );
+        pool_wins.push(
+            best_only.best.total_buffers as f64 - pool.best.total_buffers as f64,
+        );
+    }
+    println!(
+        "mean bytes saved by the seed pool: {}",
+        cell(mean(&pool_wins))
+    );
+}

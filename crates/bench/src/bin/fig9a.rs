@@ -1,0 +1,68 @@
+//! Figure 9a: average percentage deviation of the degree of schedulability
+//! δΓ produced by SF and OS from the near-optimal SAS reference, as the
+//! application grows from 80 to 400 processes.
+//!
+//! As in the paper, only instances where *all* algorithms obtained a
+//! schedulable system enter the averages; the count of SF failures is
+//! reported separately (the paper saw 26 of 150).
+
+use mcs_bench::{cell, mean, percent_deviation, ExperimentOptions};
+use mcs_core::AnalysisParams;
+use mcs_gen::{generate, GeneratorParams};
+use mcs_opt::{
+    evaluate, optimize_schedule, sa_schedule, straightforward_config, OsParams, SaParams,
+};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let analysis = AnalysisParams::default();
+    println!("Figure 9a — avg % deviation of δΓ from SAS (lower is better)");
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>8} {:>9}",
+        "nodes", "procs", "SF", "OS", "used", "SF-fail"
+    );
+    let mut sf_failures = 0;
+    let mut total = 0;
+    for nodes in [2usize, 4, 6, 8, 10] {
+        let mut sf_dev = Vec::new();
+        let mut os_dev = Vec::new();
+        let mut sf_failed_here = 0;
+        for seed in 0..options.seeds {
+            let system = generate(&GeneratorParams::paper_sized(nodes, seed));
+            let sf = evaluate(&system, straightforward_config(&system), &analysis)
+                .expect("SF configuration is analyzable");
+            let os = optimize_schedule(&system, &analysis, &OsParams::default());
+            let sas = sa_schedule(
+                &system,
+                &analysis,
+                &SaParams {
+                    iterations: options.sa_iters,
+                    seed,
+                    ..SaParams::default()
+                },
+            );
+            total += 1;
+            if !sf.is_schedulable() {
+                sf_failed_here += 1;
+                sf_failures += 1;
+            }
+            if sf.is_schedulable() && os.best.is_schedulable() && sas.is_schedulable() {
+                let reference = sas.schedule_cost() as f64;
+                sf_dev.push(percent_deviation(sf.schedule_cost() as f64, reference));
+                os_dev.push(percent_deviation(os.best.schedule_cost() as f64, reference));
+            }
+        }
+        println!(
+            "{:>6} {:>6} {} {} {:>8} {:>9}",
+            nodes,
+            nodes * 40,
+            cell(mean(&sf_dev)),
+            cell(mean(&os_dev)),
+            sf_dev.len(),
+            sf_failed_here
+        );
+    }
+    println!("SF failed to find a schedulable system in {sf_failures} of {total} applications");
+    println!("(paper: 26 of 150; δΓ here is the slack sum f2, so deviations are");
+    println!(" relative to the SAS slack — positive means less slack than SAS)");
+}

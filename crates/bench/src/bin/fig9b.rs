@@ -1,0 +1,52 @@
+//! Figure 9b: average total buffer need `s_total` of the solutions produced
+//! by OS (schedulability only), OR (buffer-optimizing) and the SAR
+//! near-optimal reference, as the application grows from 80 to 400
+//! processes. The paper's headline: OR halves the buffer need of OS and
+//! tracks SAR closely.
+
+use mcs_bench::{cell, mean, ExperimentOptions};
+use mcs_core::AnalysisParams;
+use mcs_gen::{generate, GeneratorParams};
+use mcs_opt::{optimize_resources, sa_resources, OrParams, SaParams};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let analysis = AnalysisParams::default();
+    println!("Figure 9b — avg total buffer need s_total [bytes] (lower is better)");
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>10} {:>8}",
+        "nodes", "procs", "OS", "OR", "SAR", "used"
+    );
+    for nodes in [2usize, 4, 6, 8, 10] {
+        let mut os_bytes = Vec::new();
+        let mut or_bytes = Vec::new();
+        let mut sar_bytes = Vec::new();
+        for seed in 0..options.seeds {
+            let system = generate(&GeneratorParams::paper_sized(nodes, seed));
+            let or = optimize_resources(&system, &analysis, &OrParams::default());
+            let sar = sa_resources(
+                &system,
+                &analysis,
+                &SaParams {
+                    iterations: options.sa_iters,
+                    seed,
+                    ..SaParams::default()
+                },
+            );
+            if or.os.best.is_schedulable() && or.best.is_schedulable() && sar.is_schedulable() {
+                os_bytes.push(or.os.best.total_buffers as f64);
+                or_bytes.push(or.best.total_buffers as f64);
+                sar_bytes.push(sar.total_buffers as f64);
+            }
+        }
+        println!(
+            "{:>6} {:>6} {} {} {} {:>8}",
+            nodes,
+            nodes * 40,
+            cell(mean(&os_bytes)),
+            cell(mean(&or_bytes)),
+            cell(mean(&sar_bytes)),
+            os_bytes.len()
+        );
+    }
+}

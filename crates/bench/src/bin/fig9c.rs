@@ -1,0 +1,53 @@
+//! Figure 9c: average percentage deviation of the total buffer need of OS
+//! and OR from the SAR reference, on 160-process applications with 10–50
+//! inter-cluster messages. The paper's headline: OS degrades quickly as the
+//! gateway traffic intensifies, while OR stays close to SAR.
+
+use mcs_bench::{cell, mean, percent_deviation, ExperimentOptions};
+use mcs_core::AnalysisParams;
+use mcs_gen::{generate, GeneratorParams};
+use mcs_opt::{optimize_resources, sa_resources, OrParams, SaParams};
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let analysis = AnalysisParams::default();
+    println!("Figure 9c — avg % deviation of s_total from SAR, 160 processes");
+    println!(
+        "{:>9} {:>10} {:>10} {:>8}",
+        "messages", "OS", "OR", "used"
+    );
+    for inter_cluster in [10usize, 20, 30, 40, 50] {
+        let mut os_dev = Vec::new();
+        let mut or_dev = Vec::new();
+        for seed in 0..options.seeds {
+            let mut params = GeneratorParams::paper_sized(4, 1_000 + seed);
+            params.inter_cluster_messages = Some(inter_cluster);
+            let system = generate(&params);
+            let or = optimize_resources(&system, &analysis, &OrParams::default());
+            let sar = sa_resources(
+                &system,
+                &analysis,
+                &SaParams {
+                    iterations: options.sa_iters,
+                    seed,
+                    ..SaParams::default()
+                },
+            );
+            if or.os.best.is_schedulable() && or.best.is_schedulable() && sar.is_schedulable() {
+                let reference = sar.total_buffers as f64;
+                os_dev.push(percent_deviation(
+                    or.os.best.total_buffers as f64,
+                    reference,
+                ));
+                or_dev.push(percent_deviation(or.best.total_buffers as f64, reference));
+            }
+        }
+        println!(
+            "{:>9} {} {} {:>8}",
+            inter_cluster,
+            cell(mean(&os_dev)),
+            cell(mean(&or_dev)),
+            os_dev.len()
+        );
+    }
+}

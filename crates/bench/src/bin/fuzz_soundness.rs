@@ -1,0 +1,110 @@
+//! Extended soundness campaign: fuzz the analysis/simulation contract far
+//! beyond the CI-sized property tests. For hundreds of random systems and
+//! configuration styles (straightforward, HOPA, OS-optimized, pinned by OR
+//! moves), simulate under randomized execution times and fail loudly on any
+//! observation exceeding its analytic bound.
+//!
+//! Usage: `cargo run --release -p mcs-bench --bin fuzz_soundness [-- --seeds N]`
+
+use mcs_bench::ExperimentOptions;
+use mcs_core::{AnalysisParams, FifoBound};
+use mcs_gen::{generate, Distribution, GeneratorParams};
+use mcs_model::{System, SystemConfig};
+use mcs_opt::{
+    evaluate, hopa_priorities, neighborhood, optimize_schedule, straightforward_config, OsParams,
+};
+use mcs_sim::{simulate, ExecutionModel, SimParams};
+
+fn check(system: &System, config: &SystemConfig, analysis: &AnalysisParams, label: &str) -> bool {
+    let Ok(eval) = evaluate(system, config.clone(), analysis) else {
+        return false;
+    };
+    if !eval.is_schedulable() {
+        return false;
+    }
+    for sim_seed in 0..3 {
+        let report = simulate(
+            system,
+            config,
+            &eval.outcome,
+            &SimParams {
+                activations: 3,
+                execution: if sim_seed == 0 {
+                    ExecutionModel::WorstCase
+                } else {
+                    ExecutionModel::RandomUniform
+                },
+                seed: sim_seed,
+            },
+        );
+        let violations = report.soundness_violations(system, &eval.outcome);
+        assert!(
+            violations.is_empty(),
+            "UNSOUND ({label}, sim seed {sim_seed}): {violations:?}"
+        );
+    }
+    true
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let campaigns = options.seeds.max(5) * 40;
+    let mut checked = 0u64;
+    for seed in 0..campaigns {
+        let mut params = GeneratorParams::paper_sized(2, seed);
+        params.processes_per_node = 6 + (seed % 10) as usize;
+        params.graphs = 2 + (seed % 5) as usize;
+        params.utilization_permille = 120 + (seed % 23) as u32 * 10;
+        params.inter_cluster_messages = Some(1 + (seed % 7) as usize);
+        if seed % 3 == 0 {
+            params.wcet_distribution = Distribution::Exponential;
+        }
+        let system = generate(&params);
+        let analysis = AnalysisParams {
+            fifo_bound: if seed % 2 == 0 {
+                FifoBound::SlotOccurrence
+            } else {
+                FifoBound::PaperClosedForm
+            },
+            ..AnalysisParams::default()
+        };
+
+        // Style 1: straightforward slots + HOPA.
+        let mut hopa = straightforward_config(&system);
+        hopa.priorities = hopa_priorities(&system, &hopa.tdma);
+        checked += u64::from(check(&system, &hopa, &analysis, &format!("hopa/{seed}")));
+
+        // Style 2: OS-optimized.
+        let os = optimize_schedule(&system, &analysis, &OsParams::default());
+        checked += u64::from(check(
+            &system,
+            &os.best.config,
+            &analysis,
+            &format!("os/{seed}"),
+        ));
+
+        // Style 3: one random OR-style move applied on top of OS.
+        if os.best.is_schedulable() {
+            let moves = neighborhood(&system, &os.best);
+            if !moves.is_empty() {
+                let mv = moves[(seed as usize * 31) % moves.len()];
+                let mut pinned = os.best.config.clone();
+                mv.apply(&mut pinned);
+                checked += u64::from(check(
+                    &system,
+                    &pinned,
+                    &analysis,
+                    &format!("move/{seed}"),
+                ));
+            }
+        }
+
+        if seed % 50 == 49 {
+            println!("...{}/{campaigns} systems, {checked} schedulable configs verified", seed + 1);
+        }
+    }
+    println!(
+        "soundness campaign passed: {checked} schedulable configurations, \
+         3 execution models each, zero violations"
+    );
+}

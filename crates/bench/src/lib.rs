@@ -1,0 +1,131 @@
+//! # mcs-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§6). Each figure has a binary:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig4_example` | the Figure 4 worked example (three configurations ψ) |
+//! | `fig9a` | Fig 9a — δΓ deviation of SF and OS from the SAS reference |
+//! | `fig9b` | Fig 9b — average total buffer need of OS, OR, SAR |
+//! | `fig9c` | Fig 9c — buffer deviation from SAR vs inter-cluster traffic |
+//! | `cruise` | the §6 cruise-controller table |
+//!
+//! Criterion benches (`cargo bench -p mcs-bench`) measure the §6 run-time
+//! claims (heuristics vs simulated annealing) and the ablations called out
+//! in DESIGN.md.
+//!
+//! All binaries accept `--seeds N` (instances per point, default 5; the
+//! paper used 30) and `--sa-iters N` (SA budget per instance, default 200;
+//! the paper ran hours-long anneals). `--paper-scale` selects 30 seeds and
+//! 2000 SA iterations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExperimentOptions {
+    /// Instances per data point.
+    pub seeds: u64,
+    /// Simulated-annealing iterations per instance.
+    pub sa_iters: u32,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            seeds: 5,
+            sa_iters: 200,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses the conventional flags from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn from_args() -> Self {
+        let mut options = ExperimentOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--paper-scale" => {
+                    options.seeds = 30;
+                    options.sa_iters = 2_000;
+                }
+                "--seeds" => {
+                    options.seeds = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seeds takes a positive integer");
+                }
+                "--sa-iters" => {
+                    options.sa_iters = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--sa-iters takes a positive integer");
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --seeds N, --sa-iters N, --paper-scale"
+                ),
+            }
+        }
+        options
+    }
+}
+
+/// Mean of a sample, `None` when empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Percentage deviation of `value` from a (non-zero) `reference`:
+/// `(value − reference) / |reference| × 100`.
+pub fn percent_deviation(value: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        0.0
+    } else {
+        (value - reference) / reference.abs() * 100.0
+    }
+}
+
+/// Formats an optional mean for a table cell.
+pub fn cell(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:>10.1}"),
+        None => format!("{:>10}", "-"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_handles_empty_and_nonempty() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+
+    #[test]
+    fn percent_deviation_is_signed_and_reference_relative() {
+        assert_eq!(percent_deviation(150.0, 100.0), 50.0);
+        assert_eq!(percent_deviation(50.0, 100.0), -50.0);
+        // Negative references (δΓ slack values): less negative = worse = positive.
+        assert_eq!(percent_deviation(-50.0, -100.0), 50.0);
+        assert_eq!(percent_deviation(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn cells_align() {
+        assert_eq!(cell(Some(1.25)).len(), 10);
+        assert_eq!(cell(None).trim(), "-");
+    }
+}

@@ -1,0 +1,152 @@
+//! Worst-case CAN frame timing.
+//!
+//! Classic worst-case transmission time of a CAN 2.0A data frame carrying
+//! `s ≤ 8` payload bytes, including worst-case bit stuffing (Tindell, Burns,
+//! Wellings — "Calculating CAN Message Response Times", 1995):
+//!
+//! ```text
+//! C = (47 + 8·s + ⌊(34 + 8·s − 1) / 4⌋) · τ_bit
+//! ```
+//!
+//! 47 bits of framing/overhead, 8·s payload bits, and one stuff bit per four
+//! bits of the 34 + 8·s stuffable bits. The paper's applications use message
+//! sizes of 8–32 bytes; messages larger than 8 bytes are segmented into
+//! ⌈s / 8⌉ back-to-back frames and the message transmission time is the sum
+//! of the frame times (the kernel's send re-enqueues the continuation frames
+//! immediately).
+
+use mcs_model::{CanBusParams, Time};
+
+/// Maximum payload of one CAN 2.0 data frame, in bytes.
+pub const MAX_FRAME_PAYLOAD: u32 = 8;
+
+/// Number of wire bits of a single data frame with `payload` bytes,
+/// including worst-case stuffing.
+///
+/// # Panics
+///
+/// Panics if `payload > 8` (segment the message first; see
+/// [`message_time`]).
+pub fn frame_bits(payload: u32) -> u64 {
+    assert!(
+        payload <= MAX_FRAME_PAYLOAD,
+        "CAN frames carry at most 8 bytes, got {payload}"
+    );
+    let data_bits = 8 * u64::from(payload);
+    let stuffable = 34 + data_bits;
+    47 + data_bits + (stuffable - 1) / 4
+}
+
+/// Worst-case wire time of a single data frame with `payload ≤ 8` bytes.
+///
+/// Honors [`CanBusParams::fixed_frame_time`], which pins every frame to a
+/// constant duration (used by the paper's Figure 4 example where
+/// `C_m = 10 ms`).
+///
+/// # Panics
+///
+/// Panics if `payload > 8`.
+pub fn frame_time(payload: u32, params: &CanBusParams) -> Time {
+    if let Some(fixed) = params.fixed_frame_time {
+        return fixed;
+    }
+    params.bit_time * frame_bits(payload)
+}
+
+/// Number of frames needed to carry a message of `size_bytes`.
+pub fn frames_needed(size_bytes: u32) -> u32 {
+    size_bytes.div_ceil(MAX_FRAME_PAYLOAD).max(1)
+}
+
+/// Worst-case wire time `C_m` of a whole message of `size_bytes`, segmented
+/// into as many frames as needed.
+///
+/// With a fixed frame time configured, the message takes
+/// `frames_needed × fixed` (one fixed slot per segment).
+pub fn message_time(size_bytes: u32, params: &CanBusParams) -> Time {
+    let frames = frames_needed(size_bytes);
+    if let Some(fixed) = params.fixed_frame_time {
+        return fixed * u64::from(frames);
+    }
+    let full_frames = size_bytes / MAX_FRAME_PAYLOAD;
+    let tail = size_bytes % MAX_FRAME_PAYLOAD;
+    let mut total = frame_time(MAX_FRAME_PAYLOAD, params) * u64::from(full_frames);
+    if tail > 0 || size_bytes == 0 {
+        total += frame_time(tail, params);
+    }
+    total
+}
+
+/// The largest single-frame time on the bus — the maximum time a frame
+/// already in transmission can block a higher-priority frame (the
+/// non-preemptive blocking quantum).
+pub fn max_frame_time(params: &CanBusParams) -> Time {
+    frame_time(MAX_FRAME_PAYLOAD, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::Time;
+
+    #[test]
+    fn frame_bits_match_tindell_formula() {
+        // 8-byte frame: 47 + 64 + floor(97/4) = 47 + 64 + 24 = 135 bits.
+        assert_eq!(frame_bits(8), 135);
+        // 0-byte frame: 47 + floor(33/4) = 47 + 8 = 55 bits.
+        assert_eq!(frame_bits(0), 55);
+        // 1-byte frame: 47 + 8 + floor(41/4) = 65 bits.
+        assert_eq!(frame_bits(1), 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 bytes")]
+    fn frame_bits_rejects_oversized_payload() {
+        frame_bits(9);
+    }
+
+    #[test]
+    fn frame_time_scales_with_bit_time() {
+        let params = CanBusParams::new(Time::from_micros(2)); // 500 kbit/s
+        assert_eq!(frame_time(8, &params), Time::from_micros(270));
+    }
+
+    #[test]
+    fn fixed_frame_time_overrides_formula() {
+        let params = CanBusParams::with_fixed_frame_time(Time::from_millis(10));
+        assert_eq!(frame_time(8, &params), Time::from_millis(10));
+        assert_eq!(frame_time(1, &params), Time::from_millis(10));
+        assert_eq!(message_time(16, &params), Time::from_millis(20));
+    }
+
+    #[test]
+    fn segmentation_counts() {
+        assert_eq!(frames_needed(0), 1);
+        assert_eq!(frames_needed(1), 1);
+        assert_eq!(frames_needed(8), 1);
+        assert_eq!(frames_needed(9), 2);
+        assert_eq!(frames_needed(32), 4);
+    }
+
+    #[test]
+    fn message_time_sums_segments() {
+        let params = CanBusParams::new(Time::from_micros(1));
+        let one = frame_time(8, &params);
+        assert_eq!(message_time(8, &params), one);
+        assert_eq!(message_time(16, &params), one * 2);
+        let tail = frame_time(4, &params);
+        assert_eq!(message_time(12, &params), one + tail);
+        assert_eq!(message_time(0, &params), frame_time(0, &params));
+    }
+
+    #[test]
+    fn message_time_is_monotone_in_size() {
+        let params = CanBusParams::default();
+        let mut last = Time::ZERO;
+        for s in 0..=64 {
+            let t = message_time(s, &params);
+            assert!(t >= last, "size {s} shrank the message time");
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The `MultiClusterScheduling` algorithm (paper §4, Figure 5): the outer
+//! fixed point between static scheduling of the TTC and response-time
+//! analysis of the ETC.
+//!
+//! The circular dependency — TTC offsets influence ETC response times, which
+//! bound the arrival of inter-cluster traffic, which constrains the TTC
+//! schedule tables — is resolved iteratively:
+//!
+//! 1. build a static schedule ignoring ETC influence;
+//! 2. run the holistic ETC analysis against it;
+//! 3. re-derive the release lower bounds of TT processes (worst-case arrival
+//!    of their inbound ETC messages) and re-schedule;
+//! 4. repeat until the offsets stop changing.
+
+use std::collections::HashMap;
+
+use mcs_model::{
+    ConfigError, MessageId, MessageRoute, ProcessId, System, SystemConfig, Time,
+};
+use mcs_ttp::{list_schedule, ScheduleError, SchedulerInput};
+
+use crate::holistic::Holistic;
+use crate::outcome::AnalysisOutcome;
+use crate::validate::validate_config;
+
+/// How the `Out_TTP` FIFO delay is bounded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FifoBound {
+    /// The paper's closed form:
+    /// `w = B + ⌈(S_m + I_m)/S_G⌉·T_TDMA` with
+    /// `B = T_TDMA − (O_m mod T_TDMA) + O_SG`. Simple but pessimistic when
+    /// the enqueue jitter spans several rounds.
+    PaperClosedForm,
+    /// Occurrence-based: the frame leaves in the `⌈(S_m + I_m)/S_G⌉`-th
+    /// gateway-slot occurrence starting after the worst-case enqueue instant
+    /// `O_m + J_m`. Tighter and still safe under the round-robin drain of
+    /// the FIFO. This is the default.
+    #[default]
+    SlotOccurrence,
+}
+
+/// Tuning knobs of the analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisParams {
+    /// The divergence horizon as a multiple of the hyper-period: a fixed
+    /// point exceeding `horizon_factor × hyperperiod` is declared diverged
+    /// and clamped.
+    pub horizon_factor: u64,
+    /// Cap on inner (holistic) iterations per schedule.
+    pub max_holistic_iterations: u32,
+    /// Cap on outer (schedule ↔ analysis) iterations.
+    pub max_outer_iterations: u32,
+    /// Bound used for the gateway `Out_TTP` FIFO.
+    pub fifo_bound: FifoBound,
+}
+
+impl Default for AnalysisParams {
+    fn default() -> Self {
+        AnalysisParams {
+            horizon_factor: 8,
+            max_holistic_iterations: 64,
+            max_outer_iterations: 16,
+            fifo_bound: FifoBound::default(),
+        }
+    }
+}
+
+/// Error running the multi-cluster analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The configuration ψ is structurally invalid for this system.
+    Config(ConfigError),
+    /// The static scheduler could not place the TTC traffic.
+    Schedule(ScheduleError),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Config(e) => write!(f, "invalid configuration: {e}"),
+            AnalysisError::Schedule(e) => write!(f, "static scheduling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Config(e) => Some(e),
+            AnalysisError::Schedule(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for AnalysisError {
+    fn from(e: ConfigError) -> Self {
+        AnalysisError::Config(e)
+    }
+}
+
+impl From<ScheduleError> for AnalysisError {
+    fn from(e: ScheduleError) -> Self {
+        AnalysisError::Schedule(e)
+    }
+}
+
+/// Runs `MultiClusterScheduling(Γ, β, π)` and returns the offsets φ,
+/// response times ρ, queue bounds and graph response times.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] if ψ is invalid or the TTC traffic cannot be
+/// scheduled at all. An *unschedulable but well-formed* system is **not** an
+/// error: it yields an outcome whose graph response times exceed their
+/// deadlines (see [`crate::degree_of_schedulability`]).
+///
+/// # Examples
+///
+/// See the crate-level documentation of [`mcs-core`](crate) for a complete
+/// worked example.
+pub fn multi_cluster_scheduling(
+    system: &System,
+    config: &SystemConfig,
+    params: &AnalysisParams,
+) -> Result<AnalysisOutcome, AnalysisError> {
+    validate_config(system, config)?;
+    let app = &system.application;
+    let horizon = app
+        .hyperperiod()
+        .saturating_mul(params.horizon_factor.max(1));
+
+    let mut process_releases: HashMap<ProcessId, Time> = HashMap::new();
+    let mut message_releases: HashMap<MessageId, Time> = HashMap::new();
+    seed_pins(system, config, &mut process_releases, &mut message_releases);
+
+    let mut iterations = 0;
+    let mut settled = false;
+    let mut last = None;
+    while iterations < params.max_outer_iterations {
+        iterations += 1;
+        let input = SchedulerInput {
+            system,
+            tdma: &config.tdma,
+            process_releases: &process_releases,
+            message_releases: &message_releases,
+        };
+        let schedule = list_schedule(&input)?;
+        let holistic = Holistic::new(
+            system,
+            config,
+            &schedule,
+            horizon,
+            params.max_holistic_iterations,
+            params.fifo_bound,
+        )
+        .run();
+
+        // Re-derive releases from the analysis.
+        let mut next_p = HashMap::new();
+        let mut next_m = HashMap::new();
+        seed_pins(system, config, &mut next_p, &mut next_m);
+        for message in app.messages() {
+            let mi = message.id().index();
+            match system.route(message.id()) {
+                MessageRoute::EtcToTtc => {
+                    // Destination TT process must not start before the
+                    // worst-case arrival through Out_TTP.
+                    let arrival = holistic.message[mi].arrival.min(horizon);
+                    let entry = next_p.entry(message.dest()).or_insert(Time::ZERO);
+                    *entry = (*entry).max(arrival);
+                }
+                route if route.uses_ttp() => {
+                    // TTP frames whose sender runs under priorities (gateway
+                    // CPU): the frame cannot leave before the sender's
+                    // worst-case completion.
+                    let sender = message.source();
+                    if system
+                        .architecture
+                        .is_et_cpu(app.process(sender).node())
+                    {
+                        let done = holistic.process[sender.index()]
+                            .worst_completion()
+                            .min(horizon);
+                        let entry = next_m.entry(message.id()).or_insert(Time::ZERO);
+                        *entry = (*entry).max(done);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let done = next_p == process_releases && next_m == message_releases;
+        process_releases = next_p;
+        message_releases = next_m;
+        last = Some((schedule, holistic));
+        if done {
+            settled = true;
+            break;
+        }
+    }
+
+    let (schedule, holistic) = last.expect("at least one outer iteration runs");
+    let mut graph_response = HashMap::new();
+    for graph in app.graphs() {
+        let r = app
+            .sinks(graph.id())
+            .into_iter()
+            .map(|p| holistic.process[p.index()].worst_completion())
+            .fold(Time::ZERO, Time::max);
+        graph_response.insert(graph.id(), r);
+    }
+
+    let process_timing = app
+        .processes()
+        .iter()
+        .map(|p| (p.id(), holistic.process[p.id().index()]))
+        .collect();
+    let message_timing = app
+        .messages()
+        .iter()
+        .map(|m| (m.id(), holistic.message[m.id().index()]))
+        .collect();
+
+    Ok(AnalysisOutcome {
+        schedule,
+        process_timing,
+        message_timing,
+        queues: holistic.queues,
+        graph_response,
+        converged: holistic.converged && settled,
+        iterations,
+    })
+}
+
+/// Applies the optimizer's offset pins as baseline releases.
+fn seed_pins(
+    system: &System,
+    config: &SystemConfig,
+    process_releases: &mut HashMap<ProcessId, Time>,
+    message_releases: &mut HashMap<MessageId, Time>,
+) {
+    for p in system.application.processes() {
+        if let Some(t) = config.offsets.process(p.id()) {
+            process_releases.insert(p.id(), t);
+        }
+    }
+    for m in system.application.messages() {
+        if let Some(t) = config.offsets.message(m.id()) {
+            message_releases.insert(m.id(), t);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Public result types of the multi-cluster analysis.
+
+use std::collections::HashMap;
+
+use mcs_model::{GraphId, MessageId, NodeId, ProcessId, Time};
+use mcs_ttp::TtcSchedule;
+
+/// Worst-case timing of one process or of one message leg: the offset `O`
+/// (earliest activation/enqueue relative to the graph start), the release
+/// jitter `J`, the queuing/interference delay `w`, and the response time
+/// `r = J + w + C`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EntityTiming {
+    /// Offset `O`: earliest activation, relative to graph activation.
+    pub offset: Time,
+    /// Release jitter `J`: worst-case delay of the activation past `O`.
+    pub jitter: Time,
+    /// Interference/queuing delay `w`.
+    pub delay: Time,
+    /// Worst-case response time `r = J + w + C`, measured from `O`.
+    pub response: Time,
+}
+
+impl EntityTiming {
+    /// Worst-case completion/arrival relative to the graph activation:
+    /// `O + r`.
+    pub fn worst_completion(&self) -> Time {
+        self.offset.saturating_add(self.response)
+    }
+}
+
+/// Timing of a gateway-crossing message, split per leg.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MessageTiming {
+    /// The CAN leg (or the only leg for intra-ETC messages; for TTC→ETC
+    /// traffic this is the `Out_CAN` → CAN bus leg).
+    pub can: Option<EntityTiming>,
+    /// The TTP leg through `Out_TTP` and the gateway slot (ETC→TTC traffic).
+    pub ttp: Option<EntityTiming>,
+    /// Worst-case end-to-end arrival at the destination node, relative to
+    /// the graph activation.
+    pub arrival: Time,
+}
+
+/// Worst-case queue (buffer) size bounds, in bytes (paper §4.1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueBounds {
+    /// `s_Out^CAN`: the gateway's TTP→CAN priority queue.
+    pub out_can: u64,
+    /// `s_Out^TTP`: the gateway's CAN→TTP FIFO.
+    pub out_ttp: u64,
+    /// `s_Out^Ni`: per-ETC-node CAN output queues.
+    pub out_node: HashMap<NodeId, u64>,
+}
+
+impl QueueBounds {
+    /// The total queue size `s_total = s_Out^CAN + s_Out^TTP + Σ s_Out^Ni`
+    /// minimized by the resource optimizer.
+    pub fn total(&self) -> u64 {
+        self.out_can + self.out_ttp + self.out_node.values().sum::<u64>()
+    }
+}
+
+/// The complete outcome of `MultiClusterScheduling`: the TTC schedule tables
+/// and MEDLs, per-entity worst-case timing, queue bounds and per-graph
+/// response times.
+#[derive(Clone, Debug)]
+pub struct AnalysisOutcome {
+    /// The static schedule of the TTC (schedule tables + MEDLs), realizing φ.
+    pub schedule: TtcSchedule,
+    /// Timing of every process (TT and ET).
+    pub process_timing: HashMap<ProcessId, EntityTiming>,
+    /// Timing of every message with a dynamic (CAN and/or FIFO) leg.
+    pub message_timing: HashMap<MessageId, MessageTiming>,
+    /// Queue size bounds.
+    pub queues: QueueBounds,
+    /// Worst-case response time `r_G = O_sink + r_sink` of every graph.
+    pub graph_response: HashMap<GraphId, Time>,
+    /// Whether every fixed point converged within the analysis horizon.
+    /// When `false`, diverged delays were clamped to the horizon and the
+    /// system is definitely unschedulable.
+    pub converged: bool,
+    /// Number of outer (schedule ↔ RTA) iterations performed.
+    pub iterations: u32,
+}
+
+impl AnalysisOutcome {
+    /// The worst-case response time of `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph was not part of the analyzed application.
+    pub fn graph_response(&self, graph: GraphId) -> Time {
+        self.graph_response[&graph]
+    }
+
+    /// The timing of `process`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process was not part of the analyzed application.
+    pub fn process_timing(&self, process: ProcessId) -> EntityTiming {
+        self.process_timing[&process]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_completion_adds_offset_and_response() {
+        let t = EntityTiming {
+            offset: Time::from_millis(80),
+            jitter: Time::from_millis(15),
+            delay: Time::from_millis(20),
+            response: Time::from_millis(55),
+        };
+        assert_eq!(t.worst_completion(), Time::from_millis(135));
+    }
+
+    #[test]
+    fn queue_total_sums_all_queues() {
+        let mut q = QueueBounds {
+            out_can: 24,
+            out_ttp: 16,
+            out_node: HashMap::new(),
+        };
+        q.out_node.insert(NodeId::new(1), 8);
+        q.out_node.insert(NodeId::new(3), 32);
+        assert_eq!(q.total(), 80);
+    }
+
+    #[test]
+    fn default_queue_bounds_are_empty() {
+        assert_eq!(QueueBounds::default().total(), 0);
+    }
+}

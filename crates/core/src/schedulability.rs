@@ -1,0 +1,137 @@
+//! The degree of schedulability δΓ (paper §5.1).
+//!
+//! ```text
+//! f1 = Σ_i max(0, r_Gi − D_Gi)        (plus local-deadline misses)
+//! f2 = Σ_i (r_Gi − D_Gi)
+//! δΓ = f1 if f1 > 0, else f2
+//! ```
+//!
+//! `f1` measures how badly deadlines are missed; when every deadline is met
+//! (`f1 = 0`), `f2` (a negative number) still differentiates schedulable
+//! alternatives: smaller `f2` means more slack. δΓ is *minimized* by the
+//! synthesis heuristics.
+
+use mcs_model::System;
+
+use crate::outcome::AnalysisOutcome;
+
+/// The degree of schedulability of an analyzed system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedulabilityDegree {
+    /// `f1`: total deadline overrun in ticks (zero iff schedulable).
+    pub overrun: u64,
+    /// `f2`: total signed slack `Σ (r_G − D_G)` in ticks (negative when
+    /// schedulable).
+    pub slack: i128,
+    /// Whether all analysis fixed points converged; a non-converged system
+    /// is never schedulable.
+    pub converged: bool,
+}
+
+impl SchedulabilityDegree {
+    /// `true` iff all deadlines hold and the analysis converged.
+    pub fn is_schedulable(&self) -> bool {
+        self.converged && self.overrun == 0
+    }
+
+    /// The scalar cost minimized by the optimizer: `f1` when positive
+    /// (unschedulable), `f2` otherwise.
+    pub fn cost(&self) -> i128 {
+        if !self.is_schedulable() {
+            // Diverged-but-zero-overrun configurations are ranked worse than
+            // any overrun-measured one.
+            if self.overrun == 0 {
+                i128::MAX / 2
+            } else {
+                i128::from(self.overrun)
+            }
+        } else {
+            self.slack
+        }
+    }
+}
+
+/// Computes δΓ from an analysis outcome, including local process deadlines
+/// (paper footnote 1).
+pub fn degree_of_schedulability(
+    system: &System,
+    outcome: &AnalysisOutcome,
+) -> SchedulabilityDegree {
+    let app = &system.application;
+    let mut overrun: u64 = 0;
+    let mut slack: i128 = 0;
+    for graph in app.graphs() {
+        let r = outcome.graph_response(graph.id());
+        let d = graph.deadline();
+        overrun += r.saturating_sub(d).ticks();
+        slack += i128::from(r.ticks()) - i128::from(d.ticks());
+    }
+    for process in app.processes() {
+        if let Some(d) = process.local_deadline() {
+            let completion = outcome.process_timing(process.id()).worst_completion();
+            overrun += completion.saturating_sub(d).ticks();
+        }
+    }
+    SchedulabilityDegree {
+        overrun,
+        slack,
+        converged: outcome.converged,
+    }
+}
+
+/// Convenience: `true` iff the analyzed system meets every deadline.
+pub fn is_schedulable(system: &System, outcome: &AnalysisOutcome) -> bool {
+    degree_of_schedulability(system, outcome).is_schedulable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_orders_unschedulable_by_overrun_and_schedulable_by_slack() {
+        let bad = SchedulabilityDegree {
+            overrun: 100,
+            slack: 100,
+            converged: true,
+        };
+        let worse = SchedulabilityDegree {
+            overrun: 500,
+            slack: 500,
+            converged: true,
+        };
+        let good = SchedulabilityDegree {
+            overrun: 0,
+            slack: -50,
+            converged: true,
+        };
+        let better = SchedulabilityDegree {
+            overrun: 0,
+            slack: -90,
+            converged: true,
+        };
+        let diverged = SchedulabilityDegree {
+            overrun: 0,
+            slack: -90,
+            converged: false,
+        };
+        assert!(bad.cost() < worse.cost());
+        assert!(good.cost() < bad.cost());
+        assert!(better.cost() < good.cost());
+        assert!(diverged.cost() > worse.cost());
+        assert!(good.is_schedulable());
+        assert!(!bad.is_schedulable());
+        assert!(!diverged.is_schedulable());
+    }
+
+    #[test]
+    fn zero_time_edge() {
+        let d = SchedulabilityDegree {
+            overrun: 0,
+            slack: 0,
+            converged: true,
+        };
+        assert!(d.is_schedulable());
+        assert_eq!(d.cost(), 0);
+    }
+}

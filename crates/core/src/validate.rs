@@ -1,0 +1,196 @@
+//! Validation of a system configuration ψ against a system.
+//!
+//! Checks everything the analysis assumes: a complete, per-resource-unique
+//! priority assignment π for the ETC, and a TDMA configuration β with one
+//! slot per TTP node, each large enough for the largest single frame its
+//! node must send.
+
+use std::collections::HashMap;
+
+use mcs_model::{
+    ConfigError, MessageRoute, NodeId, Priority, System, SystemConfig,
+};
+
+/// Validates ψ = ⟨β, π⟩ against the system.
+///
+/// # Errors
+///
+/// Returns the first [`ConfigError`] found: structural slot problems,
+/// under-provisioned slots, or missing/duplicate priorities.
+pub fn validate_config(system: &System, config: &SystemConfig) -> Result<(), ConfigError> {
+    config.tdma.validate(&system.architecture)?;
+    validate_slot_capacities(system, config)?;
+    validate_priorities(system, config)
+}
+
+fn validate_slot_capacities(system: &System, config: &SystemConfig) -> Result<(), ConfigError> {
+    let app = &system.application;
+    // Largest frame each TTP node must emit in its own slot: messages whose
+    // TTP leg leaves from that node.
+    let mut required: HashMap<NodeId, u32> = HashMap::new();
+    for message in app.messages() {
+        let route = system.route(message.id());
+        if !route.uses_ttp() {
+            continue;
+        }
+        let node = if route == MessageRoute::EtcToTtc {
+            // Carried by the gateway slot S_G out of Out_TTP.
+            system.architecture.gateway()
+        } else {
+            app.process(message.source()).node()
+        };
+        let entry = required.entry(node).or_insert(0);
+        *entry = (*entry).max(message.size_bytes());
+    }
+    for (node, required) in required {
+        let (_, slot) = config
+            .tdma
+            .slot_of_node(node)
+            .ok_or(ConfigError::MissingSlot(node))?;
+        if slot.capacity_bytes < required {
+            return Err(ConfigError::SlotTooSmall {
+                node,
+                capacity: slot.capacity_bytes,
+                required,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn validate_priorities(system: &System, config: &SystemConfig) -> Result<(), ConfigError> {
+    let app = &system.application;
+    // Every process on an ET-scheduled CPU needs a priority, unique per CPU.
+    let mut per_node: HashMap<(NodeId, Priority), mcs_model::ProcessId> = HashMap::new();
+    for process in app.processes() {
+        if !system.architecture.is_et_cpu(process.node()) {
+            continue;
+        }
+        let priority = config
+            .priorities
+            .process(process.id())
+            .ok_or(ConfigError::MissingProcessPriority(process.id()))?;
+        if let Some(&other) = per_node.get(&(process.node(), priority)) {
+            return Err(ConfigError::DuplicateProcessPriority(other, process.id()));
+        }
+        per_node.insert((process.node(), priority), process.id());
+    }
+    // Every message with a CAN leg needs a priority, unique on the bus.
+    let mut on_bus: HashMap<Priority, mcs_model::MessageId> = HashMap::new();
+    for message in app.messages() {
+        if !system.route(message.id()).uses_can() {
+            continue;
+        }
+        let priority = config
+            .priorities
+            .message(message.id())
+            .ok_or(ConfigError::MissingMessagePriority(message.id()))?;
+        if let Some(&other) = on_bus.get(&priority) {
+            return Err(ConfigError::DuplicateMessagePriority(other, message.id()));
+        }
+        on_bus.insert(priority, message.id());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{
+        Application, Architecture, NodeRole, PriorityAssignment, TdmaConfig, TdmaSlot, Time,
+    };
+
+    fn fixture() -> (System, SystemConfig) {
+        let mut b = Architecture::builder();
+        let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+        let n2 = b.add_node("N2", NodeRole::EventTriggered);
+        let ng = b.add_node("NG", NodeRole::Gateway);
+        let arch = b.build().expect("valid");
+
+        let mut ab = Application::builder();
+        let g = ab.add_graph("G", Time::from_millis(100), Time::from_millis(100));
+        let p1 = ab.add_process(g, "P1", n1, Time::from_millis(5));
+        let p2 = ab.add_process(g, "P2", n2, Time::from_millis(5));
+        let p3 = ab.add_process(g, "P3", n2, Time::from_millis(5));
+        let p4 = ab.add_process(g, "P4", n1, Time::from_millis(5));
+        ab.link(p1, p2, 8); // m0 TTC->ETC
+        ab.link(p2, p3, 0); // local
+        ab.link(p3, p4, 16); // m1 ETC->TTC
+        let app = ab.build(&arch).expect("valid");
+        let system = System::new(app, arch);
+
+        let tdma = TdmaConfig::new(vec![
+            TdmaSlot {
+                node: ng,
+                capacity_bytes: 16,
+            },
+            TdmaSlot {
+                node: n1,
+                capacity_bytes: 8,
+            },
+        ]);
+        let mut pri = PriorityAssignment::new();
+        pri.set_process(p2, Priority::new(1));
+        pri.set_process(p3, Priority::new(2));
+        pri.set_message(mcs_model::MessageId::new(0), Priority::new(1));
+        pri.set_message(mcs_model::MessageId::new(1), Priority::new(2));
+        (system, SystemConfig::new(tdma, pri))
+    }
+
+    #[test]
+    fn valid_configuration_passes() {
+        let (system, config) = fixture();
+        assert_eq!(validate_config(&system, &config), Ok(()));
+    }
+
+    #[test]
+    fn sender_slot_must_fit_largest_message() {
+        let (system, mut config) = fixture();
+        config.tdma.slots_mut()[1].capacity_bytes = 4; // m0 is 8 bytes
+        assert!(matches!(
+            validate_config(&system, &config),
+            Err(ConfigError::SlotTooSmall { capacity: 4, required: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn gateway_slot_must_fit_etc_to_ttc_traffic() {
+        let (system, mut config) = fixture();
+        config.tdma.slots_mut()[0].capacity_bytes = 8; // m1 is 16 bytes
+        assert!(matches!(
+            validate_config(&system, &config),
+            Err(ConfigError::SlotTooSmall { capacity: 8, required: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_priorities_are_reported() {
+        let (system, mut config) = fixture();
+        config.priorities = PriorityAssignment::new();
+        assert!(matches!(
+            validate_config(&system, &config),
+            Err(ConfigError::MissingProcessPriority(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_priorities_are_reported() {
+        let (system, mut config) = fixture();
+        config
+            .priorities
+            .set_process(mcs_model::ProcessId::new(2), Priority::new(1)); // same as P2
+        assert!(matches!(
+            validate_config(&system, &config),
+            Err(ConfigError::DuplicateProcessPriority(_, _))
+        ));
+
+        let (system, mut config) = fixture();
+        config
+            .priorities
+            .set_message(mcs_model::MessageId::new(1), Priority::new(1));
+        assert!(matches!(
+            validate_config(&system, &config),
+            Err(ConfigError::DuplicateMessagePriority(_, _))
+        ));
+    }
+}

@@ -1,0 +1,199 @@
+//! Integration tests of less-travelled analysis paths: gateway-resident
+//! processes, multi-period applications, offset pins and local deadlines.
+
+use mcs_core::{
+    degree_of_schedulability, multi_cluster_scheduling, AnalysisParams,
+};
+use mcs_model::{
+    Application, Architecture, GatewayParams, MessageId, NodeRole, Priority, PriorityAssignment,
+    System, SystemConfig, TdmaConfig, TdmaSlot, Time,
+};
+
+const MS: fn(u64) -> Time = Time::from_millis;
+
+fn two_cluster() -> (Architecture, mcs_model::NodeId, mcs_model::NodeId, mcs_model::NodeId) {
+    let mut b = Architecture::builder();
+    let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+    let n2 = b.add_node("N2", NodeRole::EventTriggered);
+    let ng = b.add_node("NG", NodeRole::Gateway);
+    (b.build().expect("valid"), n1, n2, ng)
+}
+
+fn tdma(ng: mcs_model::NodeId, n1: mcs_model::NodeId) -> TdmaConfig {
+    TdmaConfig::new(vec![
+        TdmaSlot {
+            node: ng,
+            capacity_bytes: 16,
+        },
+        TdmaSlot {
+            node: n1,
+            capacity_bytes: 16,
+        },
+    ])
+}
+
+#[test]
+fn gateway_resident_process_can_send_to_the_ttc() {
+    // An application process on the gateway CPU sends over TTP: the frame
+    // placement must honour the sender's (priority-scheduled) completion.
+    let (arch, n1, _, ng) = two_cluster();
+    let mut ab = Application::builder();
+    let g = ab.add_graph("G", MS(100), MS(100));
+    let src = ab.add_process(g, "router_app", ng, MS(5));
+    let dst = ab.add_process(g, "consumer", n1, MS(5));
+    ab.link(src, dst, 8);
+    let app = ab.build(&arch).expect("valid");
+    let system = System::with_gateway(app, arch, GatewayParams::new(MS(1), MS(10)));
+
+    let mut pri = PriorityAssignment::new();
+    pri.set_process(src, Priority::new(0));
+    let config = SystemConfig::new(tdma(ng, n1), pri);
+    let outcome =
+        multi_cluster_scheduling(&system, &config, &AnalysisParams::default()).expect("ok");
+    // The gateway process suffers interference from the transfer process T.
+    let t_src = outcome.process_timing(src);
+    assert!(t_src.response >= MS(5));
+    // The frame leaves after the sender's worst-case completion.
+    let frame = outcome
+        .schedule
+        .frame(MessageId::new(0))
+        .expect("frame placed");
+    assert!(frame.slot_start >= t_src.worst_completion());
+    // The TT consumer starts after the frame lands.
+    assert!(outcome.process_timing(dst).offset >= frame.arrival);
+    assert!(degree_of_schedulability(&system, &outcome).is_schedulable());
+}
+
+#[test]
+fn graphs_with_different_periods_are_analyzed_over_the_hyperperiod() {
+    let (arch, n1, n2, ng) = two_cluster();
+    let mut ab = Application::builder();
+    let fast = ab.add_graph("fast", MS(50), MS(50));
+    let slow = ab.add_graph("slow", MS(75), MS(75));
+    let f1 = ab.add_process(fast, "f1", n2, MS(5));
+    let f2 = ab.add_process(fast, "f2", n2, MS(5));
+    ab.link(f1, f2, 0);
+    let s1 = ab.add_process(slow, "s1", n1, MS(5));
+    let s2 = ab.add_process(slow, "s2", n2, MS(5));
+    ab.link(s1, s2, 8);
+    let app = ab.build(&arch).expect("valid");
+    assert_eq!(app.hyperperiod(), MS(150));
+    let system = System::new(app, arch);
+
+    let mut pri = PriorityAssignment::new();
+    pri.set_process(f1, Priority::new(0));
+    pri.set_process(f2, Priority::new(1));
+    pri.set_process(s2, Priority::new(2));
+    pri.set_message(MessageId::new(0), Priority::new(0));
+    let config = SystemConfig::new(tdma(ng, n1), pri);
+    let outcome =
+        multi_cluster_scheduling(&system, &config, &AnalysisParams::default()).expect("ok");
+    assert!(outcome.converged);
+    // The slow graph's ET process sees interference from the fast graph.
+    let t_s2 = outcome.process_timing(s2);
+    assert!(t_s2.response >= MS(5));
+    assert!(degree_of_schedulability(&system, &outcome).is_schedulable());
+}
+
+#[test]
+fn offset_pins_delay_tt_processes() {
+    let (arch, n1, _, ng) = two_cluster();
+    let mut ab = Application::builder();
+    let g = ab.add_graph("G", MS(100), MS(100));
+    let p = ab.add_process(g, "p", n1, MS(5));
+    let app = ab.build(&arch).expect("valid");
+    let system = System::new(app, arch);
+
+    let mut config = SystemConfig::new(tdma(ng, n1), PriorityAssignment::new());
+    let unpinned =
+        multi_cluster_scheduling(&system, &config, &AnalysisParams::default()).expect("ok");
+    assert_eq!(unpinned.process_timing(p).offset, Time::ZERO);
+
+    config.offsets.pin_process(p, MS(30));
+    let pinned =
+        multi_cluster_scheduling(&system, &config, &AnalysisParams::default()).expect("ok");
+    assert_eq!(pinned.process_timing(p).offset, MS(30));
+}
+
+#[test]
+fn local_deadlines_enter_the_degree() {
+    let (arch, n1, n2, ng) = two_cluster();
+    let mut ab = Application::builder();
+    let g = ab.add_graph("G", MS(200), MS(200));
+    let a = ab.add_process(g, "a", n1, MS(10));
+    let b = ab.add_process(g, "b", n2, MS(10));
+    ab.link(a, b, 8);
+    // A local deadline far tighter than anything achievable across the
+    // gateway.
+    ab.set_local_deadline(b, MS(5));
+    let app = ab.build(&arch).expect("valid");
+    let system = System::new(app, arch);
+
+    let mut pri = PriorityAssignment::new();
+    pri.set_process(b, Priority::new(0));
+    pri.set_message(MessageId::new(0), Priority::new(0));
+    let config = SystemConfig::new(tdma(ng, n1), pri);
+    let outcome =
+        multi_cluster_scheduling(&system, &config, &AnalysisParams::default()).expect("ok");
+    let degree = degree_of_schedulability(&system, &outcome);
+    assert!(!degree.is_schedulable(), "local deadline must be violated");
+    assert!(degree.overrun > 0);
+}
+
+#[test]
+fn unschedulable_overload_is_reported_not_errored() {
+    // An ET node loaded beyond 100 %: the fixed points diverge, the
+    // analysis clamps and reports, and the degree is "not schedulable".
+    let (arch, n1, n2, ng) = two_cluster();
+    let mut ab = Application::builder();
+    let g = ab.add_graph("G", MS(100), MS(100));
+    let mut pri = PriorityAssignment::new();
+    for i in 0..3 {
+        let p = ab.add_process(g, format!("hog{i}"), n2, MS(60));
+        pri.set_process(p, Priority::new(i));
+    }
+    ab.add_process(g, "tt", n1, MS(1));
+    let app = ab.build(&arch).expect("valid");
+    let system = System::new(app, arch);
+    let config = SystemConfig::new(tdma(ng, n1), pri);
+    let outcome =
+        multi_cluster_scheduling(&system, &config, &AnalysisParams::default()).expect("ok");
+    assert!(!outcome.converged);
+    let degree = degree_of_schedulability(&system, &outcome);
+    assert!(!degree.is_schedulable());
+}
+
+#[test]
+fn iterations_are_reported_and_bounded() {
+    let fig = mcs_gen_free_figure4();
+    let outcome = multi_cluster_scheduling(
+        &fig.0,
+        &fig.1,
+        &AnalysisParams {
+            max_outer_iterations: 4,
+            ..AnalysisParams::default()
+        },
+    )
+    .expect("ok");
+    assert!(outcome.iterations >= 1 && outcome.iterations <= 4);
+}
+
+/// A minimal gateway-crossing system built without `mcs-gen` (dev-dep
+/// cycles): TT → ET → TT chain.
+fn mcs_gen_free_figure4() -> (System, SystemConfig) {
+    let (arch, n1, n2, ng) = two_cluster();
+    let mut ab = Application::builder();
+    let g = ab.add_graph("G", MS(240), MS(240));
+    let p1 = ab.add_process(g, "P1", n1, MS(30));
+    let p2 = ab.add_process(g, "P2", n2, MS(20));
+    let p4 = ab.add_process(g, "P4", n1, MS(30));
+    ab.link(p1, p2, 4);
+    ab.link(p2, p4, 4);
+    let app = ab.build(&arch).expect("valid");
+    let system = System::new(app, arch);
+    let mut pri = PriorityAssignment::new();
+    pri.set_process(p2, Priority::new(0));
+    pri.set_message(MessageId::new(0), Priority::new(0));
+    pri.set_message(MessageId::new(1), Priority::new(1));
+    (system, SystemConfig::new(tdma(ng, n1), pri))
+}

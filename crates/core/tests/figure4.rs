@@ -1,0 +1,235 @@
+//! Reproduction of the paper's worked example (Figures 4 & 6): the process
+//! graph G1 mapped on a two-cluster system, analyzed under three system
+//! configurations ψ.
+//!
+//! * (a) gateway slot first (`S_G`, `S_1`), `priority(m1) > priority(m2)`,
+//!   `priority(P3) > priority(P2)` — the paper reports a deadline miss;
+//! * (b) `S_1` first — m1/m2 leave one round earlier, response improves;
+//! * (c) slots as in (a) but `priority(P2) > priority(P3)` — the
+//!   interference `I_2` disappears, response improves.
+//!
+//! Our analysis evaluates the paper's equations *strictly*, which is
+//! slightly more conservative than the trace-annotated values printed in
+//! Figure 4a (e.g. we charge the CAN blocking `B_m = max_{lp} C_k` to m1,
+//! where the figure uses 0): we obtain r_G1 = 250/230/210 ms for a/b/c
+//! versus the paper's 210 ms for (a). The *shape* is identical: (b) and (c)
+//! dominate (a), and a deadline between the configurations flips
+//! schedulability exactly as in the paper.
+
+use mcs_core::{
+    degree_of_schedulability, multi_cluster_scheduling, AnalysisParams,
+};
+use mcs_model::{
+    Application, Architecture, CanBusParams, GatewayParams, MessageId, NodeRole, Priority,
+    PriorityAssignment, ProcessId, System, SystemConfig, TdmaConfig, TdmaSlot, Time, TtpBusParams,
+};
+
+const MS: fn(u64) -> Time = Time::from_millis;
+
+struct Fixture {
+    system: System,
+    n1: mcs_model::NodeId,
+    ng: mcs_model::NodeId,
+}
+
+/// G1 of Figure 1 mapped as in Figure 3: P1, P4 on the TT node N1;
+/// P2, P3 on the ET node N2. Slot capacities of 8 bytes take 20 ms on the
+/// wire (2.5 ms/byte); every CAN frame takes a flat 10 ms; C_T = 5 ms.
+fn fixture(deadline_ms: u64) -> Fixture {
+    let mut b = Architecture::builder();
+    let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+    let n2 = b.add_node("N2", NodeRole::EventTriggered);
+    let ng = b.add_node("NG", NodeRole::Gateway);
+    b.ttp_params(TtpBusParams::new(Time::from_micros(2_500), Time::ZERO));
+    b.can_params(CanBusParams::with_fixed_frame_time(MS(10)));
+    let arch = b.build().expect("valid architecture");
+
+    let mut ab = Application::builder();
+    let g1 = ab.add_graph("G1", MS(240), MS(deadline_ms));
+    let p1 = ab.add_process(g1, "P1", n1, MS(30));
+    let p2 = ab.add_process(g1, "P2", n2, MS(20));
+    let p3 = ab.add_process(g1, "P3", n2, MS(20));
+    let p4 = ab.add_process(g1, "P4", n1, MS(30));
+    ab.link(p1, p2, 4); // m1
+    ab.link(p1, p3, 4); // m2
+    ab.link(p2, p4, 4); // m3
+    let app = ab.build(&arch).expect("valid application");
+
+    let system = System::with_gateway(app, arch, GatewayParams::new(MS(5), MS(40)));
+    Fixture { system, n1, ng }
+}
+
+fn priorities(p2_over_p3: bool) -> PriorityAssignment {
+    let mut pri = PriorityAssignment::new();
+    let (p2, p3) = (ProcessId::new(1), ProcessId::new(2));
+    if p2_over_p3 {
+        pri.set_process(p2, Priority::new(0));
+        pri.set_process(p3, Priority::new(1));
+    } else {
+        pri.set_process(p3, Priority::new(0));
+        pri.set_process(p2, Priority::new(1));
+    }
+    pri.set_message(MessageId::new(0), Priority::new(0)); // m1 highest
+    pri.set_message(MessageId::new(1), Priority::new(1)); // m2
+    pri.set_message(MessageId::new(2), Priority::new(2)); // m3
+    pri
+}
+
+fn config_a(f: &Fixture) -> SystemConfig {
+    let tdma = TdmaConfig::new(vec![
+        TdmaSlot {
+            node: f.ng,
+            capacity_bytes: 8,
+        },
+        TdmaSlot {
+            node: f.n1,
+            capacity_bytes: 8,
+        },
+    ]);
+    SystemConfig::new(tdma, priorities(false))
+}
+
+fn config_b(f: &Fixture) -> SystemConfig {
+    let tdma = TdmaConfig::new(vec![
+        TdmaSlot {
+            node: f.n1,
+            capacity_bytes: 8,
+        },
+        TdmaSlot {
+            node: f.ng,
+            capacity_bytes: 8,
+        },
+    ]);
+    SystemConfig::new(tdma, priorities(false))
+}
+
+fn config_c(f: &Fixture) -> SystemConfig {
+    let mut config = config_a(f);
+    config.priorities = priorities(true);
+    config
+}
+
+#[test]
+fn case_a_offsets_match_the_paper() {
+    let f = fixture(200);
+    let outcome =
+        multi_cluster_scheduling(&f.system, &config_a(&f), &AnalysisParams::default())
+            .expect("analyzable");
+    // m1 and m2 are packed into N1's slot of round 2, ending at 80 ms; the
+    // earliest delivery to P2/P3 adds the 10 ms CAN frame: O2 = O3 = 90.
+    // (The paper anchors the offset at the MBI arrival, 80 ms; the
+    // worst-case completions O + J + w + C agree.)
+    let t2 = outcome.process_timing(ProcessId::new(1));
+    let t3 = outcome.process_timing(ProcessId::new(2));
+    assert_eq!(t2.offset, MS(90));
+    assert_eq!(t3.offset, MS(90));
+    // P3 outranks P2, so P2 suffers exactly one preemption of C3 = 20 ms:
+    // the paper's I2 = 20.
+    assert_eq!(t2.delay, MS(20));
+    assert_eq!(t3.delay, Time::ZERO);
+    // J2 = 15 ms and the response times match the paper's annotated values:
+    // r2 = J2 + I2 + C2 = 15 + 20 + 20 = 55, r3 = J3 + C3 = 25 + 20 = 45.
+    assert_eq!(t2.jitter, MS(15));
+    assert_eq!(t3.jitter, MS(25));
+    assert_eq!(t2.response, MS(55));
+    assert_eq!(t3.response, MS(45));
+    // P1 is the first entry of N1's schedule table.
+    assert_eq!(outcome.process_timing(ProcessId::new(0)).offset, Time::ZERO);
+}
+
+#[test]
+fn case_a_misses_the_200ms_deadline() {
+    let f = fixture(200);
+    let outcome =
+        multi_cluster_scheduling(&f.system, &config_a(&f), &AnalysisParams::default())
+            .expect("analyzable");
+    let degree = degree_of_schedulability(&f.system, &outcome);
+    assert!(!degree.is_schedulable(), "the paper's case (a) misses");
+    assert_eq!(outcome.graph_response(mcs_model::GraphId::new(0)), MS(250));
+}
+
+#[test]
+fn reordering_slots_or_priorities_improves_the_response() {
+    let f = fixture(200);
+    let params = AnalysisParams::default();
+    let g = mcs_model::GraphId::new(0);
+    let ra = multi_cluster_scheduling(&f.system, &config_a(&f), &params)
+        .expect("analyzable")
+        .graph_response(g);
+    let rb = multi_cluster_scheduling(&f.system, &config_b(&f), &params)
+        .expect("analyzable")
+        .graph_response(g);
+    let rc = multi_cluster_scheduling(&f.system, &config_c(&f), &params)
+        .expect("analyzable")
+        .graph_response(g);
+    // Figure 4's point: both transformations dominate configuration (a).
+    assert!(rb < ra, "slot reordering must help: {rb} !< {ra}");
+    assert!(rc < ra, "priority swap must help: {rc} !< {ra}");
+    assert_eq!(ra, MS(250));
+    assert_eq!(rb, MS(230));
+    assert_eq!(rc, MS(210));
+}
+
+#[test]
+fn a_deadline_between_the_configurations_flips_schedulability() {
+    // With D_G1 = 240 ms our strict bounds reproduce Figure 4's shape
+    // one-to-one: (a) misses, (b) and (c) meet.
+    let f = fixture(240);
+    let params = AnalysisParams::default();
+    let da = degree_of_schedulability(
+        &f.system,
+        &multi_cluster_scheduling(&f.system, &config_a(&f), &params).expect("analyzable"),
+    );
+    let db = degree_of_schedulability(
+        &f.system,
+        &multi_cluster_scheduling(&f.system, &config_b(&f), &params).expect("analyzable"),
+    );
+    let dc = degree_of_schedulability(
+        &f.system,
+        &multi_cluster_scheduling(&f.system, &config_c(&f), &params).expect("analyzable"),
+    );
+    assert!(!da.is_schedulable(), "case (a) must miss");
+    assert!(db.is_schedulable(), "case (b) must meet");
+    assert!(dc.is_schedulable(), "case (c) must meet");
+    // δΓ orders the schedulable alternatives by slack: (c) beats (b).
+    assert!(dc.cost() < db.cost());
+}
+
+#[test]
+fn buffer_bounds_cover_the_example_traffic() {
+    let f = fixture(200);
+    let outcome =
+        multi_cluster_scheduling(&f.system, &config_a(&f), &AnalysisParams::default())
+            .expect("analyzable");
+    // Out_CAN holds at worst m1 and m2 together (4 + 4 bytes).
+    assert_eq!(outcome.queues.out_can, 8);
+    // Out_TTP holds at worst m3 alone.
+    assert_eq!(outcome.queues.out_ttp, 4);
+    // N2's output queue holds at worst m3 alone (m1/m2 are gateway traffic).
+    assert_eq!(
+        outcome.queues.out_node.get(&mcs_model::NodeId::new(1)),
+        Some(&4)
+    );
+    assert_eq!(outcome.queues.total(), 16);
+}
+
+#[test]
+fn paper_closed_form_fifo_bound_is_more_pessimistic() {
+    let f = fixture(200);
+    let tight = AnalysisParams::default();
+    let paper = AnalysisParams {
+        fifo_bound: mcs_core::FifoBound::PaperClosedForm,
+        ..tight
+    };
+    let g = mcs_model::GraphId::new(0);
+    let r_tight = multi_cluster_scheduling(&f.system, &config_a(&f), &tight)
+        .expect("analyzable")
+        .graph_response(g);
+    let r_paper = multi_cluster_scheduling(&f.system, &config_a(&f), &paper)
+        .expect("analyzable")
+        .graph_response(g);
+    assert!(
+        r_paper >= r_tight,
+        "closed form {r_paper} must not beat occurrence bound {r_tight}"
+    );
+}

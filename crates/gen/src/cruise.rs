@@ -1,0 +1,257 @@
+//! The real-life example of paper §6: a vehicle cruise controller with 40
+//! processes on a two-cluster architecture (2 TTC nodes + 2 ETC nodes +
+//! gateway), one mode of operation, deadline 250 ms.
+//!
+//! The original Volvo model is proprietary; this reconstruction follows the
+//! paper's stated shape — 40 processes, the "speedup" part mapped on the
+//! ETC, everything else on the TTC — with a sensor → estimation → speedup →
+//! control-law → actuation pipeline that crosses the gateway twice, exactly
+//! like the G1 pattern of Figure 3 at scale.
+
+use mcs_model::{
+    Application, Architecture, CanBusParams, GatewayParams, NodeId, NodeRole, ProcessId, System,
+    Time, TtpBusParams,
+};
+
+/// Node handles of the cruise-controller architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CruiseNodes {
+    /// Sensor/actuator TT node.
+    pub tt_io: NodeId,
+    /// Control-law TT node.
+    pub tt_ctrl: NodeId,
+    /// Speedup ET node.
+    pub et_speedup: NodeId,
+    /// Human-machine-interface ET node.
+    pub et_hmi: NodeId,
+    /// The gateway.
+    pub gateway: NodeId,
+}
+
+/// The cruise-controller system plus its node handles and the identifier of
+/// the single mode's process graph.
+#[derive(Clone, Debug)]
+pub struct CruiseController {
+    /// The complete system (40 processes, one graph, deadline 250 ms).
+    pub system: System,
+    /// Node handles.
+    pub nodes: CruiseNodes,
+    /// The end-to-end chain sink (`throttle_actuate`), whose completion
+    /// defines the controller's response time.
+    pub sink: ProcessId,
+}
+
+/// Builds the reconstructed cruise controller.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_gen::cruise_controller;
+///
+/// let cc = cruise_controller();
+/// assert_eq!(cc.system.application.processes().len(), 40);
+/// assert_eq!(
+///     cc.system.application.graphs()[0].deadline(),
+///     mcs_model::Time::from_millis(250),
+/// );
+/// ```
+pub fn cruise_controller() -> CruiseController {
+    let ms = Time::from_millis;
+    let mut b = Architecture::builder();
+    let tt_io = b.add_node("TT-IO", NodeRole::TimeTriggered);
+    let tt_ctrl = b.add_node("TT-CTRL", NodeRole::TimeTriggered);
+    let et_speedup = b.add_node("ET-SPEEDUP", NodeRole::EventTriggered);
+    let et_hmi = b.add_node("ET-HMI", NodeRole::EventTriggered);
+    let gateway = b.add_node("NG", NodeRole::Gateway);
+    // 32 kB/s TTP payload rate with 0.5 ms slot overhead; ~83 kbit/s CAN
+    // (a long, noisy vehicle bus at its lowest standard rate).
+    b.ttp_params(TtpBusParams::new(Time::from_micros(250), Time::from_micros(500)));
+    b.can_params(CanBusParams::new(Time::from_micros(12)));
+    let arch = b.build().expect("cruise architecture is valid");
+
+    let mut ab = Application::builder();
+    let g = ab.add_graph("cruise", ms(500), ms(250));
+    let mut add = |name: &str, node: NodeId, wcet_ms: u64| {
+        ab.add_process(g, name, node, ms(wcet_ms))
+    };
+
+    // Sensor/actuator node (TT-IO).
+    let read_speed = add("read_speed", tt_io, 8);
+    let read_rpm = add("read_rpm", tt_io, 6);
+    let read_brake = add("read_brake", tt_io, 4);
+    let read_clutch = add("read_clutch", tt_io, 4);
+    let read_buttons = add("read_buttons", tt_io, 5);
+    let throttle_actuate = add("throttle_actuate", tt_io, 8);
+    let actuator_monitor = add("actuator_monitor", tt_io, 5);
+    let brake_light = add("brake_light", tt_io, 3);
+    let diag_tt_io = add("diag_tt_io", tt_io, 4);
+    let watchdog = add("watchdog", tt_io, 3);
+
+    // Control node (TT-CTRL).
+    let filter_speed = add("filter_speed", tt_ctrl, 10);
+    let filter_rpm = add("filter_rpm", tt_ctrl, 8);
+    let speed_estimate = add("speed_estimate", tt_ctrl, 12);
+    let mode_logic = add("mode_logic", tt_ctrl, 8);
+    let fault_monitor = add("fault_monitor", tt_ctrl, 6);
+    let reference_speed = add("reference_speed", tt_ctrl, 8);
+    let pi_controller = add("pi_controller", tt_ctrl, 12);
+    let feedforward = add("feedforward", tt_ctrl, 4);
+    let gain_schedule = add("gain_schedule", tt_ctrl, 5);
+    let torque_request = add("torque_request", tt_ctrl, 6);
+    let limp_home = add("limp_home", tt_ctrl, 4);
+    let diag_tt_ctrl = add("diag_tt_ctrl", tt_ctrl, 4);
+
+    // Speedup node (ET-SPEEDUP) — the part the paper maps on the ETC.
+    let speedup_request = add("speedup_request", et_speedup, 7);
+    let ramp_generator = add("ramp_generator", et_speedup, 8);
+    let accel_limiter = add("accel_limiter", et_speedup, 7);
+    let target_speed = add("target_speed", et_speedup, 8);
+    let overshoot_guard = add("overshoot_guard", et_speedup, 6);
+    let kickdown_detect = add("kickdown_detect", et_speedup, 5);
+    let resume_handler = add("resume_handler", et_speedup, 6);
+    let diag_et_speedup = add("diag_et_speedup", et_speedup, 4);
+
+    // HMI node (ET-HMI).
+    let hmi_decode = add("hmi_decode", et_hmi, 8);
+    let hmi_feedback = add("hmi_feedback", et_hmi, 6);
+    let display_update = add("display_update", et_hmi, 10);
+    let button_logic = add("button_logic", et_hmi, 8);
+    let chime_control = add("chime_control", et_hmi, 4);
+    let trip_computer = add("trip_computer", et_hmi, 7);
+    let lamp_driver = add("lamp_driver", et_hmi, 4);
+    let set_speed_store = add("set_speed_store", et_hmi, 5);
+    let cancel_handler = add("cancel_handler", et_hmi, 4);
+    let diag_et_hmi = add("diag_et_hmi", et_hmi, 4);
+
+    // Main control pipeline: sensors → estimation → speedup (ETC) →
+    // control law (TTC) → actuation. Crosses the gateway twice.
+    ab.link(read_speed, filter_speed, 8);
+    ab.link(read_rpm, filter_rpm, 8);
+    ab.link(filter_speed, speed_estimate, 0);
+    ab.link(filter_rpm, speed_estimate, 0);
+    ab.link(speed_estimate, speedup_request, 8); // TTC → ETC
+    ab.link(speedup_request, ramp_generator, 0);
+    ab.link(target_speed, ramp_generator, 0);
+    ab.link(ramp_generator, accel_limiter, 0);
+    ab.link(kickdown_detect, accel_limiter, 0);
+    ab.link(accel_limiter, reference_speed, 8); // ETC → TTC
+    ab.link(overshoot_guard, reference_speed, 4); // ETC → TTC
+    ab.link(mode_logic, reference_speed, 0);
+    ab.link(reference_speed, pi_controller, 0);
+    ab.link(speed_estimate, pi_controller, 0);
+    ab.link(gain_schedule, pi_controller, 0);
+    ab.link(speed_estimate, gain_schedule, 0);
+    ab.link(pi_controller, feedforward, 0);
+    ab.link(pi_controller, torque_request, 0);
+    ab.link(feedforward, torque_request, 0);
+    ab.link(torque_request, throttle_actuate, 8); // TTC → TTC
+    ab.link(torque_request, limp_home, 0);
+    ab.link(throttle_actuate, actuator_monitor, 0);
+
+    // HMI interaction: buttons → HMI logic (ETC) → mode logic (TTC).
+    ab.link(read_buttons, button_logic, 4); // TTC → ETC
+    ab.link(button_logic, hmi_decode, 0);
+    ab.link(hmi_decode, mode_logic, 4); // ETC → TTC
+    ab.link(hmi_decode, display_update, 0);
+    ab.link(display_update, lamp_driver, 0);
+    ab.link(button_logic, set_speed_store, 0);
+    ab.link(set_speed_store, target_speed, 4); // ETC → ETC over CAN
+    ab.link(read_clutch, mode_logic, 4); // TTC → TTC
+    ab.link(mode_logic, hmi_feedback, 4); // TTC → ETC
+    ab.link(hmi_feedback, chime_control, 0);
+    ab.link(filter_speed, trip_computer, 8); // TTC → ETC
+
+    // Cancellation path: brake pedal cancels the speedup.
+    ab.link(read_brake, cancel_handler, 4); // TTC → ETC
+    ab.link(cancel_handler, resume_handler, 4); // ETC → ETC over CAN
+    ab.link(resume_handler, overshoot_guard, 0);
+    ab.link(read_brake, kickdown_detect, 4); // TTC → ETC
+    ab.link(read_brake, brake_light, 0);
+
+    // Monitoring.
+    ab.link(speed_estimate, fault_monitor, 0);
+    ab.link(fault_monitor, brake_light, 4); // TTC → TTC
+
+    // Independent diagnostics keep their nodes honest but are off the
+    // critical path.
+    let _ = (diag_tt_io, diag_tt_ctrl, diag_et_speedup, diag_et_hmi, watchdog);
+
+    let app = ab.build(&arch).expect("cruise application is valid");
+    let system = System::with_gateway(
+        app,
+        arch,
+        GatewayParams::new(ms(1), ms(5)),
+    );
+    CruiseController {
+        system,
+        nodes: CruiseNodes {
+            tt_io,
+            tt_ctrl,
+            et_speedup,
+            et_hmi,
+            gateway,
+        },
+        sink: throttle_actuate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::MessageRoute;
+
+    #[test]
+    fn forty_processes_one_graph_deadline_250() {
+        let cc = cruise_controller();
+        let app = &cc.system.application;
+        assert_eq!(app.processes().len(), 40);
+        assert_eq!(app.graphs().len(), 1);
+        assert_eq!(app.graphs()[0].deadline(), Time::from_millis(250));
+    }
+
+    #[test]
+    fn speedup_part_is_on_the_etc() {
+        let cc = cruise_controller();
+        let app = &cc.system.application;
+        let speedup: Vec<_> = app
+            .processes()
+            .iter()
+            .filter(|p| p.node() == cc.nodes.et_speedup)
+            .collect();
+        assert_eq!(speedup.len(), 8);
+        assert!(speedup.iter().any(|p| p.name() == "ramp_generator"));
+    }
+
+    #[test]
+    fn pipeline_crosses_the_gateway_in_both_directions() {
+        let cc = cruise_controller();
+        let to_etc = cc
+            .system
+            .messages_on_route(MessageRoute::TtcToEtc)
+            .len();
+        let to_ttc = cc
+            .system
+            .messages_on_route(MessageRoute::EtcToTtc)
+            .len();
+        assert!(to_etc >= 3, "expected TTC→ETC traffic, got {to_etc}");
+        assert!(to_ttc >= 3, "expected ETC→TTC traffic, got {to_ttc}");
+    }
+
+    #[test]
+    fn sink_is_the_throttle_actuator() {
+        let cc = cruise_controller();
+        let app = &cc.system.application;
+        assert_eq!(app.process(cc.sink).name(), "throttle_actuate");
+        // The sink is not a graph source.
+        assert!(!app.predecessors(cc.sink).is_empty());
+    }
+
+    #[test]
+    fn node_utilizations_are_moderate() {
+        let cc = cruise_controller();
+        for node in cc.system.architecture.nodes() {
+            let u = cc.system.application.node_utilization(node.id());
+            assert!(u < 0.5, "node {} overloaded: {u}", node.name());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Random multi-cluster system generation (the paper's §6 setup).
+//!
+//! Systems are a pure function of [`GeneratorParams`] (including the seed),
+//! so every experiment is reproducible. Each process graph is a random
+//! connected DAG: process `i` depends on a uniformly chosen earlier process,
+//! plus extra edges with configurable probability.
+//!
+//! Mapping is *cluster-steered*: every graph has a home cluster (alternating
+//! TTC/ETC) over whose nodes its core processes are spread uniformly, plus a
+//! controlled number of "remote" leaf processes on the opposite cluster —
+//! each contributing exactly one gateway-crossing message. The default
+//! inter-cluster traffic is one message per eight processes (the middle of
+//! the paper's Figure 9c range of 10–50 messages for 160 processes);
+//! [`GeneratorParams::inter_cluster_messages`] pins the exact count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mcs_model::{
+    Application, Architecture, NodeId, NodeRole, System, Time,
+};
+
+use crate::params::{Distribution, GeneratorParams};
+
+/// Generates a random system from the parameters.
+///
+/// # Panics
+///
+/// Panics if the parameters are degenerate (no nodes, no processes, or an
+/// inter-cluster message count larger than the processes available to carry
+/// it). The generated model itself always validates.
+pub fn generate(params: &GeneratorParams) -> System {
+    assert!(params.tt_nodes > 0, "need at least one TT node");
+    assert!(params.et_nodes > 0, "need at least one ET node");
+    assert!(params.processes_per_node > 0, "need processes");
+    assert!(params.graphs > 0, "need at least one graph");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut ab = Architecture::builder();
+    let tt: Vec<NodeId> = (0..params.tt_nodes)
+        .map(|i| ab.add_node(format!("TT{i}"), NodeRole::TimeTriggered))
+        .collect();
+    let et: Vec<NodeId> = (0..params.et_nodes)
+        .map(|i| ab.add_node(format!("ET{i}"), NodeRole::EventTriggered))
+        .collect();
+    ab.add_node("NG", NodeRole::Gateway);
+    let arch = ab.build().expect("generator architecture is valid");
+
+    let total = params.total_processes();
+    let deadline = scale_permille(params.period, params.deadline_permille);
+    // Mean WCET so that each node lands near the target utilization.
+    let mean_wcet_ticks = (params.period.ticks() as f64
+        * f64::from(params.utilization_permille)
+        / 1_000.0
+        / params.processes_per_node as f64)
+        .max(1.0);
+
+    let mut app = Application::builder();
+    // Distribute processes over graphs as evenly as possible.
+    let base = total / params.graphs;
+    let extra = total % params.graphs;
+    let inter_cluster = params
+        .inter_cluster_messages
+        .unwrap_or_else(|| (total / 8).max(1));
+    let mut cross_quota = split_quota(Some(inter_cluster), params.graphs);
+
+    for gi in 0..params.graphs {
+        let n = base + usize::from(gi < extra);
+        if n == 0 {
+            continue;
+        }
+        let graph = app.add_graph(format!("G{gi}"), params.period, deadline);
+        let cross = cross_quota.pop().unwrap_or(0).min(n.saturating_sub(1));
+        let core = n - cross;
+
+        // Home cluster alternates graph by graph.
+        let home_is_tt = gi % 2 == 0;
+
+        let mut procs = Vec::with_capacity(n);
+        for pi in 0..core {
+            let node = pick(&mut rng, if home_is_tt { &tt } else { &et });
+            let wcet = draw_wcet(&mut rng, mean_wcet_ticks, params.wcet_distribution);
+            let p = app.add_process(graph, format!("G{gi}P{pi}"), node, wcet);
+            if pi > 0 {
+                let pred = procs[rng.gen_range(0..procs.len())];
+                app.link(pred, p, draw_size(&mut rng, params.message_size));
+            }
+            if pi > 1 && rng.gen_range(0..1_000) < params.extra_edge_permille {
+                let pred = procs[rng.gen_range(0..procs.len() - 1)];
+                app.link(pred, p, draw_size(&mut rng, params.message_size));
+            }
+            procs.push(p);
+        }
+        // Remote leaves: exactly one predecessor in the core, mapped on the
+        // opposite cluster — each contributes exactly one gateway-crossing
+        // message.
+        for pi in 0..cross {
+            let node = pick(&mut rng, if home_is_tt { &et } else { &tt });
+            let wcet = draw_wcet(&mut rng, mean_wcet_ticks, params.wcet_distribution);
+            let p = app.add_process(graph, format!("G{gi}X{pi}"), node, wcet);
+            let pred = procs[rng.gen_range(0..procs.len())];
+            app.link(pred, p, draw_size(&mut rng, params.message_size));
+        }
+    }
+
+    let app = app.build(&arch).expect("generated application is valid");
+    System::new(app, arch)
+}
+
+fn scale_permille(t: Time, permille: u32) -> Time {
+    Time::from_ticks((t.ticks() as u128 * u128::from(permille) / 1_000) as u64)
+}
+
+/// Splits a requested total into per-graph quotas (last graphs first).
+fn split_quota(total: Option<usize>, graphs: usize) -> Vec<usize> {
+    let Some(total) = total else {
+        return vec![0; graphs];
+    };
+    let base = total / graphs;
+    let extra = total % graphs;
+    (0..graphs)
+        .map(|gi| base + usize::from(gi < extra))
+        .collect()
+}
+
+fn pick(rng: &mut StdRng, nodes: &[NodeId]) -> NodeId {
+    nodes[rng.gen_range(0..nodes.len())]
+}
+
+fn draw_wcet(rng: &mut StdRng, mean_ticks: f64, dist: Distribution) -> Time {
+    let ticks = match dist {
+        Distribution::Uniform => rng.gen_range(mean_ticks * 0.5..=mean_ticks * 1.5),
+        Distribution::Exponential => {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            (-mean_ticks * (1.0 - u).ln()).clamp(mean_ticks * 0.1, mean_ticks * 5.0)
+        }
+    };
+    Time::from_ticks(ticks.round().max(1.0) as u64)
+}
+
+fn draw_size(rng: &mut StdRng, (lo, hi): (u32, u32)) -> u32 {
+    rng.gen_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GeneratorParams;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let params = GeneratorParams::paper_sized(2, 42);
+        let a = generate(&params);
+        let b = generate(&params);
+        assert_eq!(a.application.processes().len(), b.application.processes().len());
+        assert_eq!(a.application.messages().len(), b.application.messages().len());
+        for (x, y) in a
+            .application
+            .processes()
+            .iter()
+            .zip(b.application.processes())
+        {
+            assert_eq!(x.wcet(), y.wcet());
+            assert_eq!(x.node(), y.node());
+        }
+        let c = generate(&GeneratorParams::paper_sized(2, 43));
+        let same = a
+            .application
+            .processes()
+            .iter()
+            .zip(c.application.processes())
+            .all(|(x, y)| x.wcet() == y.wcet() && x.node() == y.node());
+        assert!(!same, "different seeds must differ");
+    }
+
+    #[test]
+    fn paper_sizes_produce_the_right_process_counts() {
+        for nodes in [2usize, 4, 6, 8, 10] {
+            let system = generate(&GeneratorParams::paper_sized(nodes, 7));
+            assert_eq!(system.application.processes().len(), nodes * 40);
+            // Architecture: nodes + gateway.
+            assert_eq!(system.architecture.node_count(), nodes + 1);
+        }
+    }
+
+    #[test]
+    fn steered_generation_hits_the_exact_inter_cluster_count() {
+        for k in [10usize, 20, 30, 40, 50] {
+            let mut params = GeneratorParams::paper_sized(4, 99);
+            params.inter_cluster_messages = Some(k);
+            let system = generate(&params);
+            assert_eq!(system.inter_cluster_message_count(), k, "k={k}");
+            assert_eq!(system.application.processes().len(), 160);
+        }
+    }
+
+    #[test]
+    fn message_sizes_respect_the_configured_range() {
+        let system = generate(&GeneratorParams::paper_sized(4, 3));
+        assert!(!system.application.messages().is_empty());
+        for m in system.application.messages() {
+            assert!((8..=32).contains(&m.size_bytes()));
+        }
+    }
+
+    #[test]
+    fn utilization_lands_near_the_target() {
+        let params = GeneratorParams::paper_sized(4, 11);
+        let system = generate(&params);
+        for node in system.architecture.nodes() {
+            if node.role() == NodeRole::Gateway {
+                continue;
+            }
+            let u = system.application.node_utilization(node.id());
+            // Cluster-steered mapping spreads ~40 processes per node.
+            assert!(u > 0.1 && u < 0.7, "node {} utilization {u}", node.id());
+        }
+    }
+
+    #[test]
+    fn exponential_wcets_generate_valid_models() {
+        let mut params = GeneratorParams::paper_sized(2, 5);
+        params.wcet_distribution = Distribution::Exponential;
+        let system = generate(&params);
+        assert_eq!(system.application.processes().len(), 80);
+        for p in system.application.processes() {
+            assert!(!p.wcet().is_zero());
+        }
+    }
+
+    #[test]
+    fn graphs_are_connected_enough_to_have_messages() {
+        let system = generate(&GeneratorParams::paper_sized(2, 21));
+        assert!(!system.application.messages().is_empty());
+        // Default inter-cluster traffic: one message per eight processes.
+        assert_eq!(system.inter_cluster_message_count(), 10);
+    }
+}

@@ -1,0 +1,114 @@
+//! Parameters of the synthetic benchmark generator, defaulting to the
+//! experimental setup of paper §6.
+
+use mcs_model::Time;
+
+/// Distribution used for worst-case execution times and message sizes
+/// (paper §6: "assigned randomly using both uniform and exponential
+/// distribution").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform over the configured range.
+    #[default]
+    Uniform,
+    /// Exponential with the range midpoint as mean, clamped to the range.
+    Exponential,
+}
+
+/// Generator parameters.
+///
+/// The defaults reproduce the paper's setup: `n` nodes half on the TTC and
+/// half on the ETC plus a gateway, 40 processes per node, message sizes of
+/// 8–32 bytes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeneratorParams {
+    /// Number of time-triggered nodes (excluding the gateway).
+    pub tt_nodes: usize,
+    /// Number of event-triggered nodes (excluding the gateway).
+    pub et_nodes: usize,
+    /// Processes generated per node.
+    pub processes_per_node: usize,
+    /// Number of process graphs the processes are partitioned into.
+    pub graphs: usize,
+    /// Common graph period (the hyper-graph assumption: one period).
+    pub period: Time,
+    /// Deadline as a per-mille fraction of the period (1000 = deadline
+    /// equals period).
+    pub deadline_permille: u32,
+    /// Target per-node CPU utilization in per-mille (drives the WCET scale).
+    pub utilization_permille: u32,
+    /// WCET distribution.
+    pub wcet_distribution: Distribution,
+    /// Message payload size range in bytes, inclusive.
+    pub message_size: (u32, u32),
+    /// Probability (per-mille) of an extra dependency edge between two
+    /// processes of the same graph, beyond the spanning connectivity.
+    pub extra_edge_permille: u32,
+    /// If set, force exactly this many inter-cluster (gateway-crossing)
+    /// messages by steering the mapping (the Figure 9c knob); otherwise the
+    /// mapping is uniformly random and inter-cluster traffic emerges
+    /// naturally.
+    pub inter_cluster_messages: Option<usize>,
+    /// RNG seed; every generated system is a pure function of the
+    /// parameters and this seed.
+    pub seed: u64,
+}
+
+impl GeneratorParams {
+    /// The paper's configuration for a system of `nodes` application nodes
+    /// (half TTC, half ETC): 40 processes per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or odd.
+    pub fn paper_sized(nodes: usize, seed: u64) -> Self {
+        assert!(nodes > 0 && nodes.is_multiple_of(2), "paper sizes use even node counts");
+        GeneratorParams {
+            tt_nodes: nodes / 2,
+            et_nodes: nodes / 2,
+            processes_per_node: 40,
+            graphs: 10 * nodes,
+            period: Time::from_millis(1_000),
+            deadline_permille: 1_000,
+            utilization_permille: 250,
+            wcet_distribution: Distribution::Uniform,
+            message_size: (8, 32),
+            extra_edge_permille: 200,
+            inter_cluster_messages: None,
+            seed,
+        }
+    }
+
+    /// Total number of application processes.
+    pub fn total_processes(&self) -> usize {
+        (self.tt_nodes + self.et_nodes) * self.processes_per_node
+    }
+}
+
+impl Default for GeneratorParams {
+    /// The paper's smallest configuration: 2 nodes, 80 processes.
+    fn default() -> Self {
+        GeneratorParams::paper_sized(2, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_section6() {
+        for (nodes, procs) in [(2, 80), (4, 160), (6, 240), (8, 320), (10, 400)] {
+            let p = GeneratorParams::paper_sized(nodes, 0);
+            assert_eq!(p.total_processes(), procs);
+            assert_eq!(p.tt_nodes, p.et_nodes);
+            assert_eq!(p.message_size, (8, 32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even node counts")]
+    fn odd_node_counts_are_rejected() {
+        GeneratorParams::paper_sized(3, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Hand-built scenarios from the paper: the Figure 4 worked example.
+
+use mcs_model::{
+    Application, Architecture, CanBusParams, GatewayParams, MessageId, NodeRole, Priority,
+    PriorityAssignment, ProcessId, System, SystemConfig, TdmaConfig, TdmaSlot, Time, TtpBusParams,
+};
+
+/// The Figure 4 example system plus its three configurations.
+#[derive(Clone, Debug)]
+pub struct Figure4 {
+    /// G1 (P1..P4, m1..m3) mapped on N1 (TT), N2 (ET) and the gateway.
+    pub system: System,
+    /// Configuration (a): gateway slot first, `priority(P3) > priority(P2)`.
+    pub config_a: SystemConfig,
+    /// Configuration (b): N1's slot first.
+    pub config_b: SystemConfig,
+    /// Configuration (c): slots as (a), `priority(P2) > priority(P3)`.
+    pub config_c: SystemConfig,
+}
+
+/// Builds the paper's Figure 4 example: the process graph G1 of Figure 1
+/// mapped as in Figure 3, with a 40 ms TDMA round of two 20 ms slots, 10 ms
+/// CAN frames and a 5 ms gateway transfer process.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_gen::figure4;
+///
+/// let fig = figure4(mcs_model::Time::from_millis(200));
+/// assert_eq!(fig.system.application.processes().len(), 4);
+/// assert_eq!(fig.system.inter_cluster_message_count(), 3);
+/// ```
+pub fn figure4(deadline: Time) -> Figure4 {
+    let ms = Time::from_millis;
+    let mut b = Architecture::builder();
+    let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+    let n2 = b.add_node("N2", NodeRole::EventTriggered);
+    let ng = b.add_node("NG", NodeRole::Gateway);
+    b.ttp_params(TtpBusParams::new(Time::from_micros(2_500), Time::ZERO));
+    b.can_params(CanBusParams::with_fixed_frame_time(ms(10)));
+    let arch = b.build().expect("figure 4 architecture is valid");
+
+    let mut ab = Application::builder();
+    let g1 = ab.add_graph("G1", ms(240), deadline);
+    let p1 = ab.add_process(g1, "P1", n1, ms(30));
+    let p2 = ab.add_process(g1, "P2", n2, ms(20));
+    let p3 = ab.add_process(g1, "P3", n2, ms(20));
+    let p4 = ab.add_process(g1, "P4", n1, ms(30));
+    ab.link(p1, p2, 4); // m1
+    ab.link(p1, p3, 4); // m2
+    ab.link(p2, p4, 4); // m3
+    let app = ab.build(&arch).expect("figure 4 application is valid");
+    let system = System::with_gateway(app, arch, GatewayParams::new(ms(5), ms(40)));
+
+    let priorities = |p2_first: bool| {
+        let mut pri = PriorityAssignment::new();
+        if p2_first {
+            pri.set_process(p2, Priority::new(0));
+            pri.set_process(p3, Priority::new(1));
+        } else {
+            pri.set_process(p3, Priority::new(0));
+            pri.set_process(p2, Priority::new(1));
+        }
+        pri.set_message(MessageId::new(0), Priority::new(0));
+        pri.set_message(MessageId::new(1), Priority::new(1));
+        pri.set_message(MessageId::new(2), Priority::new(2));
+        pri
+    };
+    let slot = |node| TdmaSlot {
+        node,
+        capacity_bytes: 8,
+    };
+
+    let config_a = SystemConfig::new(TdmaConfig::new(vec![slot(ng), slot(n1)]), priorities(false));
+    let config_b = SystemConfig::new(TdmaConfig::new(vec![slot(n1), slot(ng)]), priorities(false));
+    let config_c = SystemConfig::new(TdmaConfig::new(vec![slot(ng), slot(n1)]), priorities(true));
+
+    Figure4 {
+        system,
+        config_a,
+        config_b,
+        config_c,
+    }
+}
+
+/// Convenience handles to the entities of the Figure 4 example.
+pub mod figure4_ids {
+    use super::*;
+
+    /// Process P1 (TT sender).
+    pub const P1: ProcessId = ProcessId::new(0);
+    /// Process P2 (ET, receives m1).
+    pub const P2: ProcessId = ProcessId::new(1);
+    /// Process P3 (ET, receives m2).
+    pub const P3: ProcessId = ProcessId::new(2);
+    /// Process P4 (TT, receives m3).
+    pub const P4: ProcessId = ProcessId::new(3);
+    /// Message m1 (P1 → P2).
+    pub const M1: MessageId = MessageId::new(0);
+    /// Message m2 (P1 → P3).
+    pub const M2: MessageId = MessageId::new(1);
+    /// Message m3 (P2 → P4).
+    pub const M3: MessageId = MessageId::new(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::MessageRoute;
+
+    #[test]
+    fn figure4_routes_match_figure3() {
+        let fig = figure4(Time::from_millis(200));
+        assert_eq!(fig.system.route(figure4_ids::M1), MessageRoute::TtcToEtc);
+        assert_eq!(fig.system.route(figure4_ids::M2), MessageRoute::TtcToEtc);
+        assert_eq!(fig.system.route(figure4_ids::M3), MessageRoute::EtcToTtc);
+    }
+
+    #[test]
+    fn configurations_differ_as_described() {
+        let fig = figure4(Time::from_millis(200));
+        assert_eq!(
+            fig.config_a.tdma.slots()[0].node,
+            fig.system.architecture.gateway()
+        );
+        assert_ne!(
+            fig.config_b.tdma.slots()[0].node,
+            fig.system.architecture.gateway()
+        );
+        // (c) differs from (a) only in process priorities.
+        assert_eq!(fig.config_a.tdma, fig.config_c.tdma);
+        assert!(fig
+            .config_c
+            .priorities
+            .process(figure4_ids::P2)
+            .expect("assigned")
+            .is_higher_than(
+                fig.config_c
+                    .priorities
+                    .process(figure4_ids::P3)
+                    .expect("assigned")
+            ));
+    }
+}

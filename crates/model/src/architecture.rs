@@ -1,0 +1,428 @@
+//! Hardware architecture: clusters, nodes, gateway, bus parameters.
+//!
+//! An architecture (paper §2.2) is a set of *nodes* partitioned into a
+//! time-triggered cluster (TTC, nodes on the TTP bus) and an event-triggered
+//! cluster (ETC, nodes on the CAN bus), plus one *gateway* node that sits on
+//! both buses and routes inter-cluster traffic.
+
+use crate::ids::NodeId;
+use crate::time::Time;
+
+/// Which cluster(s) a node belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// Node on the time-triggered cluster: statically scheduled CPU, one TDMA
+    /// slot on the TTP bus.
+    TimeTriggered,
+    /// Node on the event-triggered cluster: fixed-priority preemptive CPU,
+    /// transmits on the CAN bus through its `Out_Ni` priority queue.
+    EventTriggered,
+    /// The gateway: has both a TTP controller (and thus a TDMA slot, `S_G`)
+    /// and a CAN controller. Its CPU runs the transfer process `T` under
+    /// fixed-priority scheduling.
+    Gateway,
+}
+
+impl NodeRole {
+    /// Returns `true` if the node owns a TDMA slot on the TTP bus.
+    pub fn on_ttp(self) -> bool {
+        matches!(self, NodeRole::TimeTriggered | NodeRole::Gateway)
+    }
+
+    /// Returns `true` if the node transmits on the CAN bus.
+    pub fn on_can(self) -> bool {
+        matches!(self, NodeRole::EventTriggered | NodeRole::Gateway)
+    }
+
+    /// Returns `true` if the node's CPU is table-driven (non-preemptive,
+    /// statically scheduled).
+    pub fn is_statically_scheduled(self) -> bool {
+        matches!(self, NodeRole::TimeTriggered)
+    }
+}
+
+/// A processing node: CPU plus communication controller(s).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    id: NodeId,
+    name: String,
+    role: NodeRole,
+}
+
+impl Node {
+    /// The node identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The human-readable node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cluster membership of the node.
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+}
+
+/// Timing parameters of the TTP (TDMA) bus.
+///
+/// Slot *capacities* are expressed in bytes; a slot carrying `b` bytes
+/// occupies `slot_overhead + b × byte_time` on the wire. The TDMA round
+/// duration `T_TDMA` is the sum of all slot durations (see
+/// [`crate::config::TdmaConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TtpBusParams {
+    /// Wire time per payload byte.
+    pub byte_time: Time,
+    /// Fixed per-slot overhead (frame header, inter-frame gap, clock-sync
+    /// field).
+    pub slot_overhead: Time,
+}
+
+impl TtpBusParams {
+    /// Creates TTP bus parameters.
+    pub fn new(byte_time: Time, slot_overhead: Time) -> Self {
+        TtpBusParams {
+            byte_time,
+            slot_overhead,
+        }
+    }
+
+    /// Wire duration of a slot with the given byte capacity.
+    pub fn slot_duration(&self, capacity_bytes: u32) -> Time {
+        self.slot_overhead + self.byte_time * u64::from(capacity_bytes)
+    }
+}
+
+impl Default for TtpBusParams {
+    /// 1 Mbit/s payload rate (8 µs/byte) with 20 µs slot overhead.
+    fn default() -> Self {
+        TtpBusParams {
+            byte_time: Time::from_micros(8),
+            slot_overhead: Time::from_micros(20),
+        }
+    }
+}
+
+/// Timing parameters of the CAN bus.
+///
+/// By default frame times follow the classic worst-case formula with bit
+/// stuffing (see `mcs-can`). Didactic scenarios (the paper's Figure 4 uses a
+/// flat 10 ms per frame) can instead fix the frame time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CanBusParams {
+    /// Duration of one bit on the wire.
+    pub bit_time: Time,
+    /// If set, every frame takes exactly this long regardless of size.
+    pub fixed_frame_time: Option<Time>,
+}
+
+impl CanBusParams {
+    /// Creates CAN parameters from a bit time (e.g. 2 µs/bit for 500 kbit/s).
+    pub fn new(bit_time: Time) -> Self {
+        CanBusParams {
+            bit_time,
+            fixed_frame_time: None,
+        }
+    }
+
+    /// Creates CAN parameters where every frame takes a fixed time, as in the
+    /// paper's worked example (Figure 4: `C_m = 10 ms`).
+    pub fn with_fixed_frame_time(frame_time: Time) -> Self {
+        CanBusParams {
+            bit_time: Time::from_micros(2),
+            fixed_frame_time: Some(frame_time),
+        }
+    }
+}
+
+impl Default for CanBusParams {
+    /// 500 kbit/s (2 µs/bit), exact frame-time formula.
+    fn default() -> Self {
+        CanBusParams::new(Time::from_micros(2))
+    }
+}
+
+/// A two-cluster architecture: TTC + ETC joined by a single gateway.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_model::{Architecture, NodeRole};
+///
+/// let mut arch = Architecture::builder();
+/// let n1 = arch.add_node("N1", NodeRole::TimeTriggered);
+/// let n2 = arch.add_node("N2", NodeRole::EventTriggered);
+/// let ng = arch.add_node("NG", NodeRole::Gateway);
+/// let arch = arch.build().expect("valid architecture");
+/// assert_eq!(arch.gateway(), ng);
+/// assert_eq!(arch.ttp_nodes().count(), 2); // N1 and the gateway
+/// assert_eq!(arch.can_nodes().count(), 2); // N2 and the gateway
+/// # let _ = (n1, n2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Architecture {
+    nodes: Vec<Node>,
+    gateway: NodeId,
+    ttp: TtpBusParams,
+    can: CanBusParams,
+}
+
+/// Error constructing an [`Architecture`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildArchitectureError {
+    /// No gateway node was declared.
+    MissingGateway,
+    /// More than one gateway node was declared (the model supports one
+    /// gateway; multi-gateway systems are compositions of two-cluster ones).
+    MultipleGateways,
+    /// The architecture has no nodes at all.
+    Empty,
+}
+
+impl std::fmt::Display for BuildArchitectureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildArchitectureError::MissingGateway => {
+                write!(f, "architecture has no gateway node")
+            }
+            BuildArchitectureError::MultipleGateways => {
+                write!(f, "architecture declares more than one gateway node")
+            }
+            BuildArchitectureError::Empty => write!(f, "architecture has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for BuildArchitectureError {}
+
+/// Builder for [`Architecture`].
+#[derive(Clone, Debug, Default)]
+pub struct ArchitectureBuilder {
+    nodes: Vec<Node>,
+    ttp: Option<TtpBusParams>,
+    can: Option<CanBusParams>,
+}
+
+impl ArchitectureBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its identifier.
+    pub fn add_node(&mut self, name: impl Into<String>, role: NodeRole) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            role,
+        });
+        id
+    }
+
+    /// Overrides the TTP bus parameters (defaults otherwise).
+    pub fn ttp_params(&mut self, params: TtpBusParams) -> &mut Self {
+        self.ttp = Some(params);
+        self
+    }
+
+    /// Overrides the CAN bus parameters (defaults otherwise).
+    pub fn can_params(&mut self, params: CanBusParams) -> &mut Self {
+        self.can = Some(params);
+        self
+    }
+
+    /// Finalizes the architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there is not exactly one gateway node, or no nodes
+    /// at all.
+    pub fn build(self) -> Result<Architecture, BuildArchitectureError> {
+        if self.nodes.is_empty() {
+            return Err(BuildArchitectureError::Empty);
+        }
+        let mut gateway = None;
+        for node in &self.nodes {
+            if node.role == NodeRole::Gateway {
+                if gateway.is_some() {
+                    return Err(BuildArchitectureError::MultipleGateways);
+                }
+                gateway = Some(node.id);
+            }
+        }
+        let gateway = gateway.ok_or(BuildArchitectureError::MissingGateway)?;
+        Ok(Architecture {
+            nodes: self.nodes,
+            gateway,
+            ttp: self.ttp.unwrap_or_default(),
+            can: self.can.unwrap_or_default(),
+        })
+    }
+}
+
+impl Architecture {
+    /// Starts building an architecture.
+    pub fn builder() -> ArchitectureBuilder {
+        ArchitectureBuilder::new()
+    }
+
+    /// All nodes, ordered by id.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this architecture.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns `true` if `id` is a valid node of this architecture.
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    /// The gateway node.
+    pub fn gateway(&self) -> NodeId {
+        self.gateway
+    }
+
+    /// Nodes owning a TDMA slot on the TTP bus (TT nodes plus the gateway),
+    /// in id order.
+    pub fn ttp_nodes(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes.iter().filter(|n| n.role.on_ttp())
+    }
+
+    /// Nodes transmitting on the CAN bus (ET nodes plus the gateway), in id
+    /// order.
+    pub fn can_nodes(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes.iter().filter(|n| n.role.on_can())
+    }
+
+    /// Pure TT nodes (excluding the gateway), in id order.
+    pub fn tt_nodes(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::TimeTriggered)
+    }
+
+    /// Pure ET nodes (excluding the gateway), in id order.
+    pub fn et_nodes(&self) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::EventTriggered)
+    }
+
+    /// TTP bus parameters.
+    pub fn ttp_params(&self) -> TtpBusParams {
+        self.ttp
+    }
+
+    /// CAN bus parameters.
+    pub fn can_params(&self) -> CanBusParams {
+        self.can
+    }
+
+    /// Returns `true` if the CPU of `node` is scheduled by static tables
+    /// (offsets) rather than by priorities.
+    pub fn is_tt_cpu(&self, node: NodeId) -> bool {
+        self.node(node).role().is_statically_scheduled()
+    }
+
+    /// Returns `true` if the CPU of `node` is scheduled by fixed-priority
+    /// preemptive scheduling (ET nodes and the gateway CPU).
+    pub fn is_et_cpu(&self, node: NodeId) -> bool {
+        !self.is_tt_cpu(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster() -> Architecture {
+        let mut b = Architecture::builder();
+        b.add_node("N1", NodeRole::TimeTriggered);
+        b.add_node("N2", NodeRole::EventTriggered);
+        b.add_node("NG", NodeRole::Gateway);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = Architecture::builder();
+        let a = b.add_node("a", NodeRole::TimeTriggered);
+        let c = b.add_node("c", NodeRole::Gateway);
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 1);
+    }
+
+    #[test]
+    fn gateway_is_required_and_unique() {
+        let mut b = Architecture::builder();
+        b.add_node("N1", NodeRole::TimeTriggered);
+        assert_eq!(
+            b.clone().build().unwrap_err(),
+            BuildArchitectureError::MissingGateway
+        );
+        b.add_node("G1", NodeRole::Gateway);
+        b.add_node("G2", NodeRole::Gateway);
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildArchitectureError::MultipleGateways
+        );
+        assert_eq!(
+            ArchitectureBuilder::new().build().unwrap_err(),
+            BuildArchitectureError::Empty
+        );
+    }
+
+    #[test]
+    fn cluster_membership_queries() {
+        let arch = two_cluster();
+        assert!(arch.node(NodeId::new(0)).role().on_ttp());
+        assert!(!arch.node(NodeId::new(0)).role().on_can());
+        assert!(arch.node(NodeId::new(2)).role().on_ttp());
+        assert!(arch.node(NodeId::new(2)).role().on_can());
+        assert_eq!(arch.ttp_nodes().count(), 2);
+        assert_eq!(arch.can_nodes().count(), 2);
+        assert_eq!(arch.tt_nodes().count(), 1);
+        assert_eq!(arch.et_nodes().count(), 1);
+        assert_eq!(arch.gateway(), NodeId::new(2));
+    }
+
+    #[test]
+    fn cpu_scheduling_classes() {
+        let arch = two_cluster();
+        assert!(arch.is_tt_cpu(NodeId::new(0)));
+        assert!(arch.is_et_cpu(NodeId::new(1)));
+        // The gateway CPU runs the transfer process under priorities.
+        assert!(arch.is_et_cpu(NodeId::new(2)));
+    }
+
+    #[test]
+    fn ttp_slot_duration_accounts_for_overhead() {
+        let params = TtpBusParams::new(Time::from_micros(8), Time::from_micros(20));
+        assert_eq!(params.slot_duration(16), Time::from_micros(20 + 128));
+        assert_eq!(params.slot_duration(0), Time::from_micros(20));
+    }
+
+    #[test]
+    fn can_params_fixed_frame_time() {
+        let p = CanBusParams::with_fixed_frame_time(Time::from_millis(10));
+        assert_eq!(p.fixed_frame_time, Some(Time::from_millis(10)));
+        assert_eq!(CanBusParams::default().fixed_frame_time, None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Error types for model construction and configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{GraphId, MessageId, NodeId, ProcessId};
+
+/// Error building or validating an application model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A graph has period zero.
+    ZeroPeriod(GraphId),
+    /// A graph deadline is zero or exceeds the graph period.
+    InvalidDeadline(GraphId),
+    /// A graph contains no processes.
+    EmptyGraph(GraphId),
+    /// A graph contains a dependency cycle.
+    CyclicGraph(GraphId),
+    /// A process is mapped on a node that does not exist.
+    UnknownNode(ProcessId),
+    /// A process has zero worst-case execution time.
+    ZeroWcet(ProcessId),
+    /// A process's best-case execution time exceeds its WCET.
+    BcetExceedsWcet(ProcessId),
+    /// A link connects processes of different graphs.
+    CrossGraphLink(ProcessId, ProcessId),
+    /// A cross-node link declares a zero-size message.
+    ZeroSizeMessage(ProcessId, ProcessId),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroPeriod(g) => write!(f, "graph {g} has zero period"),
+            ModelError::InvalidDeadline(g) => {
+                write!(f, "graph {g} deadline is zero or exceeds its period")
+            }
+            ModelError::EmptyGraph(g) => write!(f, "graph {g} has no processes"),
+            ModelError::CyclicGraph(g) => write!(f, "graph {g} contains a dependency cycle"),
+            ModelError::UnknownNode(p) => write!(f, "process {p} is mapped on an unknown node"),
+            ModelError::ZeroWcet(p) => write!(f, "process {p} has zero WCET"),
+            ModelError::BcetExceedsWcet(p) => write!(f, "process {p} has BCET exceeding its WCET"),
+            ModelError::CrossGraphLink(a, b) => {
+                write!(f, "link {a} -> {b} connects different graphs")
+            }
+            ModelError::ZeroSizeMessage(a, b) => {
+                write!(f, "cross-node link {a} -> {b} declares a zero-size message")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Error validating a system configuration ψ against a system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A TTP node has no TDMA slot.
+    MissingSlot(NodeId),
+    /// A node appears in more than one TDMA slot.
+    DuplicateSlot(NodeId),
+    /// A slot references a node that is not on the TTP bus.
+    SlotForNonTtpNode(NodeId),
+    /// A slot has zero byte capacity.
+    ZeroCapacitySlot(NodeId),
+    /// A slot is too small for the largest message its node must send.
+    SlotTooSmall {
+        /// The under-provisioned node.
+        node: NodeId,
+        /// The capacity configured for the node's slot.
+        capacity: u32,
+        /// The size of the largest frame the node must send in one slot.
+        required: u32,
+    },
+    /// An ET process has no priority assigned.
+    MissingProcessPriority(ProcessId),
+    /// An ET message has no priority assigned.
+    MissingMessagePriority(MessageId),
+    /// Two processes on the same node share a priority.
+    DuplicateProcessPriority(ProcessId, ProcessId),
+    /// Two CAN messages share a priority.
+    DuplicateMessagePriority(MessageId, MessageId),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingSlot(n) => write!(f, "TTP node {n} has no TDMA slot"),
+            ConfigError::DuplicateSlot(n) => write!(f, "node {n} appears in more than one slot"),
+            ConfigError::SlotForNonTtpNode(n) => {
+                write!(f, "slot assigned to node {n} which is not on the TTP bus")
+            }
+            ConfigError::ZeroCapacitySlot(n) => write!(f, "slot of node {n} has zero capacity"),
+            ConfigError::SlotTooSmall {
+                node,
+                capacity,
+                required,
+            } => write!(
+                f,
+                "slot of node {node} has capacity {capacity} B but must carry {required} B"
+            ),
+            ConfigError::MissingProcessPriority(p) => {
+                write!(f, "ET process {p} has no priority assigned")
+            }
+            ConfigError::MissingMessagePriority(m) => {
+                write!(f, "ET message {m} has no priority assigned")
+            }
+            ConfigError::DuplicateProcessPriority(a, b) => {
+                write!(f, "processes {a} and {b} on the same node share a priority")
+            }
+            ConfigError::DuplicateMessagePriority(a, b) => {
+                write!(f, "messages {a} and {b} share a priority")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ModelError::ZeroPeriod(GraphId::new(1));
+        assert_eq!(e.to_string(), "graph G1 has zero period");
+        let c = ConfigError::SlotTooSmall {
+            node: NodeId::new(2),
+            capacity: 8,
+            required: 16,
+        };
+        assert!(c.to_string().contains("N2"));
+        assert!(c.to_string().contains("16"));
+    }
+}

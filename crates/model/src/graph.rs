@@ -1,0 +1,93 @@
+//! Process graphs: DAGs of dependent processes with a period and deadline.
+
+use crate::ids::{GraphId, ProcessId};
+use crate::time::Time;
+
+/// A process graph `G_i` (paper §2.1).
+///
+/// All processes and messages of a graph share its period `T_G`; a deadline
+/// `D_G ≤ T_G` is imposed on the completion of the graph's sink processes.
+/// Graphs of communicating processes with different periods are assumed to
+/// have already been combined into a hyper-graph over the LCM of the periods
+/// (the generator in `mcs-gen` produces such hyper-graphs directly).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessGraph {
+    id: GraphId,
+    name: String,
+    period: Time,
+    deadline: Time,
+    processes: Vec<ProcessId>,
+}
+
+impl ProcessGraph {
+    pub(crate) fn new(id: GraphId, name: String, period: Time, deadline: Time) -> Self {
+        ProcessGraph {
+            id,
+            name,
+            period,
+            deadline,
+            processes: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_process(&mut self, process: ProcessId) {
+        self.processes.push(process);
+    }
+
+    /// The graph identifier.
+    pub fn id(&self) -> GraphId {
+        self.id
+    }
+
+    /// The human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The activation period `T_G`.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The end-to-end deadline `D_G` (relative to activation).
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// The processes belonging to this graph, in insertion order.
+    pub fn processes(&self) -> &[ProcessId] {
+        &self.processes
+    }
+
+    /// Number of processes in the graph.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Returns `true` if the graph has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_accessors() {
+        let mut g = ProcessGraph::new(
+            GraphId::new(0),
+            "G1".to_owned(),
+            Time::from_millis(240),
+            Time::from_millis(200),
+        );
+        assert!(g.is_empty());
+        g.push_process(ProcessId::new(0));
+        g.push_process(ProcessId::new(1));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.period(), Time::from_millis(240));
+        assert_eq!(g.deadline(), Time::from_millis(200));
+        assert_eq!(g.processes(), &[ProcessId::new(0), ProcessId::new(1)]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Hyper-graph construction (paper §2.1): combining process graphs of
+//! different periods into activation-unrolled graphs over the hyper-period.
+//!
+//! "If communicating processes are of different periods, they are combined
+//! into a hyper-graph capturing all process activations for the
+//! hyper-period (LCM of all periods)."
+//!
+//! [`unroll_to_hyperperiod`] replaces every graph of period `T < H` (where
+//! `H` is the application hyper-period) with `H / T` copies — one per
+//! activation — each released `k · T` after the hyper-graph activation and
+//! carrying the local deadline `k · T + D`. The resulting application has a
+//! single common period `H`, which makes the one-activation-per-cycle
+//! assumption of the static TTC scheduler exact and lets all flows share
+//! one phase group in the analysis.
+
+use crate::application::{Application, ApplicationBuilder};
+use crate::architecture::Architecture;
+use crate::error::ModelError;
+use crate::ids::ProcessId;
+use crate::time::Time;
+
+/// The result of unrolling: the hyper-period application plus the release
+/// offsets that must be applied as offset pins (instance `k` of a
+/// `T`-periodic graph may not start before `k · T`).
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    /// The unrolled application; every graph has the hyper-period as its
+    /// period.
+    pub application: Application,
+    /// Release lower bound per process of the unrolled application
+    /// (zero entries are omitted).
+    pub releases: Vec<(ProcessId, Time)>,
+}
+
+/// Unrolls `app` to its hyper-period.
+///
+/// Instance `k` of each process keeps its node and WCET; its local deadline
+/// becomes `k · T + min(D_local, D_G)` so that per-activation deadlines are
+/// still enforced within the long hyper-graph period.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the unrolled application fails validation
+/// (cannot happen for an application that itself validated against `arch`).
+///
+/// # Examples
+///
+/// ```
+/// use mcs_model::{unroll_to_hyperperiod, Application, Architecture, NodeRole, Time};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut arch = Architecture::builder();
+/// let n1 = arch.add_node("N1", NodeRole::TimeTriggered);
+/// arch.add_node("NG", NodeRole::Gateway);
+/// let arch = arch.build()?;
+///
+/// let mut app = Application::builder();
+/// let fast = app.add_graph("fast", Time::from_millis(50), Time::from_millis(40));
+/// app.add_process(fast, "f", n1, Time::from_millis(5));
+/// let slow = app.add_graph("slow", Time::from_millis(100), Time::from_millis(90));
+/// app.add_process(slow, "s", n1, Time::from_millis(5));
+/// let app = app.build(&arch)?;
+///
+/// let hyper = unroll_to_hyperperiod(&app, &arch)?;
+/// // "fast" unrolls into 2 instances; "slow" stays single.
+/// assert_eq!(hyper.application.graphs().len(), 3);
+/// assert_eq!(hyper.application.hyperperiod(), Time::from_millis(100));
+/// # Ok(())
+/// # }
+/// ```
+pub fn unroll_to_hyperperiod(
+    app: &Application,
+    arch: &Architecture,
+) -> Result<Hypergraph, ModelError> {
+    let hyper = app.hyperperiod();
+    let mut builder = ApplicationBuilder::new();
+    let mut releases = Vec::new();
+
+    for graph in app.graphs() {
+        let period = graph.period();
+        let copies = hyper.ticks() / period.ticks();
+        for k in 0..copies {
+            let release = period.saturating_mul(k);
+            let name = if copies == 1 {
+                graph.name().to_owned()
+            } else {
+                format!("{}#{k}", graph.name())
+            };
+            let new_graph = builder.add_graph(name, hyper, hyper);
+            // Map original process ids to the new instance's ids.
+            let mut mapping = std::collections::HashMap::new();
+            for &p in graph.processes() {
+                let proc = app.process(p);
+                let name = if copies == 1 {
+                    proc.name().to_owned()
+                } else {
+                    format!("{}#{k}", proc.name())
+                };
+                let new_p = builder.add_process(new_graph, name, proc.node(), proc.wcet());
+                builder.set_bcet(new_p, proc.bcet());
+                if !proc.blocking().is_zero() {
+                    builder.set_blocking(new_p, proc.blocking());
+                }
+                // Per-activation deadline, relative to the hyper-graph
+                // activation.
+                let local = proc
+                    .local_deadline()
+                    .unwrap_or_else(|| graph.deadline())
+                    .min(graph.deadline());
+                builder.set_local_deadline(new_p, release + local);
+                if !release.is_zero() {
+                    releases.push((new_p, release));
+                }
+                mapping.insert(p, new_p);
+            }
+            for edge in app.edges() {
+                if app.process(edge.source).graph() != graph.id() {
+                    continue;
+                }
+                let size = edge
+                    .message
+                    .map(|m| app.message(m).size_bytes())
+                    .unwrap_or(0);
+                builder.link(mapping[&edge.source], mapping[&edge.dest], size.max(1));
+            }
+        }
+    }
+    let application = builder.build(arch)?;
+    Ok(Hypergraph {
+        application,
+        releases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::NodeRole;
+
+    fn arch() -> (Architecture, crate::ids::NodeId, crate::ids::NodeId) {
+        let mut b = Architecture::builder();
+        let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+        let n2 = b.add_node("N2", NodeRole::EventTriggered);
+        b.add_node("NG", NodeRole::Gateway);
+        (b.build().expect("valid"), n1, n2)
+    }
+
+    #[test]
+    fn unrolling_replicates_fast_graphs() {
+        let (arch, n1, n2) = arch();
+        let mut ab = Application::builder();
+        let fast = ab.add_graph("fast", Time::from_millis(40), Time::from_millis(30));
+        let f1 = ab.add_process(fast, "f1", n1, Time::from_millis(4));
+        let f2 = ab.add_process(fast, "f2", n2, Time::from_millis(4));
+        ab.link(f1, f2, 8);
+        let slow = ab.add_graph("slow", Time::from_millis(120), Time::from_millis(120));
+        ab.add_process(slow, "s1", n1, Time::from_millis(4));
+        let app = ab.build(&arch).expect("valid");
+
+        let hyper = unroll_to_hyperperiod(&app, &arch).expect("unrolls");
+        // 120 / 40 = 3 fast instances + 1 slow.
+        assert_eq!(hyper.application.graphs().len(), 4);
+        assert_eq!(hyper.application.processes().len(), 3 * 2 + 1);
+        assert_eq!(hyper.application.messages().len(), 3);
+        for g in hyper.application.graphs() {
+            assert_eq!(g.period(), Time::from_millis(120));
+        }
+        // Instances 1 and 2 carry releases of 40/80 ms.
+        let releases: Vec<Time> = hyper.releases.iter().map(|&(_, t)| t).collect();
+        assert!(releases.contains(&Time::from_millis(40)));
+        assert!(releases.contains(&Time::from_millis(80)));
+        // Per-activation deadlines: instance 2's f-processes must complete
+        // by 80 + 30.
+        let late = hyper
+            .application
+            .processes()
+            .iter()
+            .find(|p| p.name() == "f2#2")
+            .expect("instance exists");
+        assert_eq!(late.local_deadline(), Some(Time::from_millis(110)));
+    }
+
+    #[test]
+    fn single_period_applications_pass_through() {
+        let (arch, n1, _) = arch();
+        let mut ab = Application::builder();
+        let g = ab.add_graph("g", Time::from_millis(50), Time::from_millis(50));
+        ab.add_process(g, "p", n1, Time::from_millis(5));
+        let app = ab.build(&arch).expect("valid");
+        let hyper = unroll_to_hyperperiod(&app, &arch).expect("unrolls");
+        assert_eq!(hyper.application.graphs().len(), 1);
+        assert!(hyper.releases.is_empty());
+        assert_eq!(hyper.application.graphs()[0].name(), "g");
+        assert_eq!(hyper.application.processes()[0].name(), "p");
+    }
+
+    #[test]
+    fn unrolled_instances_preserve_structure() {
+        let (arch, n1, n2) = arch();
+        let mut ab = Application::builder();
+        let g = ab.add_graph("g", Time::from_millis(60), Time::from_millis(60));
+        let a = ab.add_process(g, "a", n1, Time::from_millis(3));
+        let b = ab.add_process(g, "b", n2, Time::from_millis(3));
+        let c = ab.add_process(g, "c", n1, Time::from_millis(3));
+        ab.link(a, b, 8);
+        ab.link(b, c, 8);
+        let other = ab.add_graph("o", Time::from_millis(120), Time::from_millis(120));
+        ab.add_process(other, "x", n1, Time::from_millis(3));
+        let app = ab.build(&arch).expect("valid");
+
+        let hyper = unroll_to_hyperperiod(&app, &arch).expect("unrolls");
+        // Each of the two g-instances has 2 messages with identical sizes.
+        for k in 0..2 {
+            let inst: Vec<_> = hyper
+                .application
+                .processes()
+                .iter()
+                .filter(|p| p.name().ends_with(&format!("#{k}")))
+                .collect();
+            assert_eq!(inst.len(), 3, "instance {k}");
+        }
+        assert_eq!(hyper.application.messages().len(), 4);
+    }
+}

@@ -1,0 +1,117 @@
+//! Typed identifiers for the entities of an application/architecture.
+//!
+//! Every entity (process, message, node, slot, graph) is referred to by a
+//! dense index wrapped in a newtype, so that a [`ProcessId`] can never be
+//! confused with a [`MessageId`] at compile time (C-NEWTYPE). Dense indices
+//! also let the analysis store per-entity state in flat `Vec`s.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a dense index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// Returns the dense index as `usize`, for vector indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a process (a node of a process graph).
+    ProcessId,
+    "P"
+);
+define_id!(
+    /// Identifier of a message (a communication process on a graph arc).
+    MessageId,
+    "m"
+);
+define_id!(
+    /// Identifier of a processing node (CPU + communication controller).
+    NodeId,
+    "N"
+);
+define_id!(
+    /// Identifier of a process graph within an application.
+    GraphId,
+    "G"
+);
+define_id!(
+    /// Identifier of a TDMA slot position within a round.
+    SlotId,
+    "S"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_u32() {
+        let p = ProcessId::new(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(u32::from(p), 7);
+        assert_eq!(ProcessId::from(7u32), p);
+    }
+
+    #[test]
+    fn ids_format_with_paper_prefixes() {
+        assert_eq!(ProcessId::new(1).to_string(), "P1");
+        assert_eq!(MessageId::new(2).to_string(), "m2");
+        assert_eq!(NodeId::new(3).to_string(), "N3");
+        assert_eq!(GraphId::new(4).to_string(), "G4");
+        assert_eq!(SlotId::new(0).to_string(), "S0");
+        assert_eq!(format!("{:?}", ProcessId::new(1)), "P1");
+    }
+
+    #[test]
+    fn distinct_id_types_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let set: HashSet<ProcessId> = (0..4).map(ProcessId::new).collect();
+        assert_eq!(set.len(), 4);
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+    }
+}

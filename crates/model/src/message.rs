@@ -1,0 +1,93 @@
+//! Messages: communication processes inserted on inter-node graph arcs.
+
+use crate::ids::{GraphId, MessageId, ProcessId};
+
+/// A message exchanged between two processes mapped on different nodes
+/// (paper §2.1: the black dots on the graph arcs).
+///
+/// A message inherits the period of its sender's process graph. Its size is
+/// given in bytes; the transmission time `C_m` is derived from the size and
+/// the bus it travels on (CAN frame formula, or the TTP slot it is packed
+/// into). Messages on the ETC carry a unique priority assigned through
+/// [`crate::config::PriorityAssignment`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    id: MessageId,
+    name: String,
+    graph: GraphId,
+    source: ProcessId,
+    dest: ProcessId,
+    size_bytes: u32,
+}
+
+impl Message {
+    pub(crate) fn new(
+        id: MessageId,
+        name: String,
+        graph: GraphId,
+        source: ProcessId,
+        dest: ProcessId,
+        size_bytes: u32,
+    ) -> Self {
+        Message {
+            id,
+            name,
+            graph,
+            source,
+            dest,
+            size_bytes,
+        }
+    }
+
+    /// The message identifier.
+    pub fn id(&self) -> MessageId {
+        self.id
+    }
+
+    /// The human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph whose arc carries this message.
+    pub fn graph(&self) -> GraphId {
+        self.graph
+    }
+
+    /// The sending process `P_{S(m)}`.
+    pub fn source(&self) -> ProcessId {
+        self.source
+    }
+
+    /// The receiving process `P_{D(m)}`.
+    pub fn dest(&self) -> ProcessId {
+        self.dest
+    }
+
+    /// Payload size `s_m` in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_accessors() {
+        let m = Message::new(
+            MessageId::new(3),
+            "m3".to_owned(),
+            GraphId::new(0),
+            ProcessId::new(1),
+            ProcessId::new(4),
+            8,
+        );
+        assert_eq!(m.id(), MessageId::new(3));
+        assert_eq!(m.source(), ProcessId::new(1));
+        assert_eq!(m.dest(), ProcessId::new(4));
+        assert_eq!(m.size_bytes(), 8);
+        assert_eq!(m.name(), "m3");
+    }
+}

@@ -1,0 +1,129 @@
+//! Processes: the computational nodes of a process graph.
+
+use crate::ids::{GraphId, NodeId, ProcessId};
+use crate::time::Time;
+
+/// A process mapped on a processing node (paper §2.1).
+///
+/// A process has a worst-case execution time on its node, inherits the period
+/// of its process graph, and may carry a local deadline. Processes on the ETC
+/// additionally need a unique priority, which is part of the *system
+/// configuration* π (see [`crate::config::PriorityAssignment`]), not of the
+/// application model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Process {
+    id: ProcessId,
+    name: String,
+    graph: GraphId,
+    node: NodeId,
+    wcet: Time,
+    bcet: Time,
+    local_deadline: Option<Time>,
+    blocking: Time,
+}
+
+impl Process {
+    pub(crate) fn new(
+        id: ProcessId,
+        name: String,
+        graph: GraphId,
+        node: NodeId,
+        wcet: Time,
+    ) -> Self {
+        Process {
+            id,
+            name,
+            graph,
+            node,
+            wcet,
+            bcet: wcet,
+            local_deadline: None,
+            blocking: Time::ZERO,
+        }
+    }
+
+    /// The process identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph this process belongs to.
+    pub fn graph(&self) -> GraphId {
+        self.graph
+    }
+
+    /// The node the process is mapped on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Worst-case execution time `C_i` on the mapped node.
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+
+    /// Best-case execution time (used by the simulator to draw execution
+    /// times; defaults to the WCET, i.e. deterministic execution).
+    pub fn bcet(&self) -> Time {
+        self.bcet
+    }
+
+    /// Optional local deadline `D_i` (relative to the graph activation).
+    pub fn local_deadline(&self) -> Option<Time> {
+        self.local_deadline
+    }
+
+    /// Blocking bound `B_i`: the longest critical section of any
+    /// lower-priority process on the same node that can delay this process.
+    /// Zero unless the application models shared resources.
+    pub fn blocking(&self) -> Time {
+        self.blocking
+    }
+
+    pub(crate) fn set_bcet(&mut self, bcet: Time) {
+        self.bcet = bcet;
+    }
+
+    pub(crate) fn set_wcet(&mut self, wcet: Time) {
+        self.wcet = wcet;
+    }
+
+    pub(crate) fn set_local_deadline(&mut self, deadline: Option<Time>) {
+        self.local_deadline = deadline;
+    }
+
+    pub(crate) fn set_blocking(&mut self, blocking: Time) {
+        self.blocking = blocking;
+    }
+
+    pub(crate) fn set_node(&mut self, node: NodeId) {
+        self.node = node;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_defaults() {
+        let p = Process::new(
+            ProcessId::new(0),
+            "P0".to_owned(),
+            GraphId::new(0),
+            NodeId::new(1),
+            Time::from_millis(30),
+        );
+        assert_eq!(p.wcet(), Time::from_millis(30));
+        assert_eq!(p.bcet(), p.wcet());
+        assert_eq!(p.blocking(), Time::ZERO);
+        assert_eq!(p.local_deadline(), None);
+        assert_eq!(p.node(), NodeId::new(1));
+        assert_eq!(p.name(), "P0");
+    }
+}

@@ -1,0 +1,127 @@
+//! Classification of messages by the route they take through the system.
+
+use crate::architecture::Architecture;
+use crate::application::Application;
+use crate::ids::MessageId;
+
+/// The route of a message through the buses and gateway queues (paper §4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MessageRoute {
+    /// Both endpoints reach the TTP bus: the message is statically scheduled
+    /// into the sender's TDMA slot and handled entirely by the schedule
+    /// tables (no queue analysis needed).
+    TtcToTtc,
+    /// Both endpoints reach the CAN bus: the message waits in the sender's
+    /// `Out_Ni` priority queue, then arbitrates on CAN.
+    EtcToEtc,
+    /// TTC sender, ETC receiver: TTP slot → gateway MBI → transfer process
+    /// `T` → `Out_CAN` priority queue → CAN bus.
+    TtcToEtc,
+    /// ETC sender, TTC receiver: `Out_Ni` → CAN bus → gateway interrupt →
+    /// transfer process `T` → `Out_TTP` FIFO → gateway slot `S_G` → TTP bus.
+    EtcToTtc,
+}
+
+impl MessageRoute {
+    /// Returns `true` if the message crosses the gateway.
+    pub fn crosses_gateway(self) -> bool {
+        matches!(self, MessageRoute::TtcToEtc | MessageRoute::EtcToTtc)
+    }
+
+    /// Returns `true` if any leg of the route uses the CAN bus.
+    pub fn uses_can(self) -> bool {
+        !matches!(self, MessageRoute::TtcToTtc)
+    }
+
+    /// Returns `true` if any leg of the route uses the TTP bus.
+    pub fn uses_ttp(self) -> bool {
+        !matches!(self, MessageRoute::EtcToEtc)
+    }
+}
+
+/// Classifies the route of `message` on `arch`.
+///
+/// Nodes that sit on both buses (the gateway) always use the direct,
+/// single-bus route to their peer.
+///
+/// # Panics
+///
+/// Panics if `message` does not belong to `app` or its endpoints are mapped
+/// on nodes outside `arch`.
+pub fn classify(arch: &Architecture, app: &Application, message: MessageId) -> MessageRoute {
+    let m = app.message(message);
+    let src = arch.node(app.process(m.source()).node()).role();
+    let dst = arch.node(app.process(m.dest()).node()).role();
+    if src.on_ttp() && dst.on_ttp() {
+        MessageRoute::TtcToTtc
+    } else if src.on_can() && dst.on_can() {
+        MessageRoute::EtcToEtc
+    } else if src.on_ttp() {
+        MessageRoute::TtcToEtc
+    } else {
+        MessageRoute::EtcToTtc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::NodeRole;
+    use crate::time::Time;
+
+    #[test]
+    fn routes_cover_all_endpoint_combinations() {
+        let mut b = Architecture::builder();
+        let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+        let n2 = b.add_node("N2", NodeRole::EventTriggered);
+        let ng = b.add_node("NG", NodeRole::Gateway);
+        let n3 = b.add_node("N3", NodeRole::EventTriggered);
+        let n4 = b.add_node("N4", NodeRole::TimeTriggered);
+        let arch = b.build().expect("valid");
+
+        let mut ab = Application::builder();
+        let g = ab.add_graph("G", Time::from_millis(100), Time::from_millis(100));
+        let p_tt = ab.add_process(g, "tt", n1, Time::from_millis(1));
+        let p_et = ab.add_process(g, "et", n2, Time::from_millis(1));
+        let p_gw = ab.add_process(g, "gw", ng, Time::from_millis(1));
+        let p_et2 = ab.add_process(g, "et2", n3, Time::from_millis(1));
+        let p_tt2 = ab.add_process(g, "tt2", n4, Time::from_millis(1));
+        ab.link(p_tt, p_tt2, 4); // m0: TTC->TTC
+        ab.link(p_tt, p_et, 4); // m1: TTC->ETC
+        ab.link(p_et, p_tt2, 4); // m2: ETC->TTC
+        ab.link(p_et, p_et2, 4); // m3: ETC->ETC
+        ab.link(p_gw, p_tt2, 4); // m4: gateway->TT = TTP direct
+        ab.link(p_et, p_gw, 4); // m5: ET->gateway = CAN direct
+        let app = ab.build(&arch).expect("valid");
+
+        let routes: Vec<MessageRoute> = app
+            .messages()
+            .iter()
+            .map(|m| classify(&arch, &app, m.id()))
+            .collect();
+        assert_eq!(
+            routes,
+            vec![
+                MessageRoute::TtcToTtc,
+                MessageRoute::TtcToEtc,
+                MessageRoute::EtcToTtc,
+                MessageRoute::EtcToEtc,
+                MessageRoute::TtcToTtc,
+                MessageRoute::EtcToEtc,
+            ]
+        );
+    }
+
+    #[test]
+    fn route_predicates() {
+        assert!(MessageRoute::TtcToEtc.crosses_gateway());
+        assert!(MessageRoute::EtcToTtc.crosses_gateway());
+        assert!(!MessageRoute::TtcToTtc.crosses_gateway());
+        assert!(!MessageRoute::EtcToEtc.crosses_gateway());
+        assert!(MessageRoute::TtcToTtc.uses_ttp());
+        assert!(!MessageRoute::TtcToTtc.uses_can());
+        assert!(MessageRoute::EtcToEtc.uses_can());
+        assert!(!MessageRoute::EtcToEtc.uses_ttp());
+        assert!(MessageRoute::EtcToTtc.uses_can() && MessageRoute::EtcToTtc.uses_ttp());
+    }
+}

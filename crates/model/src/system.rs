@@ -1,0 +1,149 @@
+//! A [`System`]: application + architecture + gateway software parameters.
+
+use crate::architecture::Architecture;
+use crate::application::Application;
+use crate::ids::MessageId;
+use crate::route::{classify, MessageRoute};
+use crate::time::Time;
+
+/// Parameters of the gateway transfer process `T` (paper §2.3).
+///
+/// `T` runs on the gateway CPU with the highest priority. It is invoked
+/// periodically to copy TTC frames from the MBI into `Out_CAN`, and on CAN
+/// receive interrupts to move frames into `Out_TTP`. Its period must be short
+/// enough that no MBI message instance is overwritten before being copied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GatewayParams {
+    /// Worst-case execution time `C_T` of one transfer invocation.
+    pub transfer_wcet: Time,
+    /// Invocation period `T_T` of the transfer process.
+    pub transfer_period: Time,
+}
+
+impl GatewayParams {
+    /// Creates gateway parameters.
+    pub fn new(transfer_wcet: Time, transfer_period: Time) -> Self {
+        GatewayParams {
+            transfer_wcet,
+            transfer_period,
+        }
+    }
+
+    /// Worst-case response time `r_T` of the transfer process. `T` has the
+    /// highest priority on the gateway CPU and is never blocked, so
+    /// `r_T = C_T`.
+    pub fn transfer_response(&self) -> Time {
+        self.transfer_wcet
+    }
+}
+
+impl Default for GatewayParams {
+    /// 100 µs transfer WCET, invoked every 1 ms.
+    fn default() -> Self {
+        GatewayParams {
+            transfer_wcet: Time::from_micros(100),
+            transfer_period: Time::from_millis(1),
+        }
+    }
+}
+
+/// A complete system: the application Γ mapped on a two-cluster architecture,
+/// plus gateway software parameters. This is the input to the analysis and
+/// synthesis algorithms.
+#[derive(Clone, Debug)]
+pub struct System {
+    /// The application (process graphs, processes, messages).
+    pub application: Application,
+    /// The two-cluster hardware architecture.
+    pub architecture: Architecture,
+    /// Gateway transfer-process parameters.
+    pub gateway: GatewayParams,
+}
+
+impl System {
+    /// Bundles an application with its architecture using default gateway
+    /// parameters.
+    pub fn new(application: Application, architecture: Architecture) -> Self {
+        System {
+            application,
+            architecture,
+            gateway: GatewayParams::default(),
+        }
+    }
+
+    /// Bundles an application with its architecture and explicit gateway
+    /// parameters.
+    pub fn with_gateway(
+        application: Application,
+        architecture: Architecture,
+        gateway: GatewayParams,
+    ) -> Self {
+        System {
+            application,
+            architecture,
+            gateway,
+        }
+    }
+
+    /// The route taken by `message`.
+    pub fn route(&self, message: MessageId) -> MessageRoute {
+        classify(&self.architecture, &self.application, message)
+    }
+
+    /// Messages following the given route, in id order.
+    pub fn messages_on_route(&self, route: MessageRoute) -> Vec<MessageId> {
+        self.application
+            .messages()
+            .iter()
+            .map(|m| m.id())
+            .filter(|&m| self.route(m) == route)
+            .collect()
+    }
+
+    /// Number of inter-cluster messages (both gateway directions).
+    pub fn inter_cluster_message_count(&self) -> usize {
+        self.application
+            .messages()
+            .iter()
+            .filter(|m| self.route(m.id()).crosses_gateway())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::NodeRole;
+
+    #[test]
+    fn gateway_defaults_and_response() {
+        let g = GatewayParams::default();
+        assert_eq!(g.transfer_response(), g.transfer_wcet);
+        let g2 = GatewayParams::new(Time::from_millis(5), Time::from_millis(10));
+        assert_eq!(g2.transfer_response(), Time::from_millis(5));
+    }
+
+    #[test]
+    fn system_routing_helpers() {
+        let mut b = Architecture::builder();
+        let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+        let n2 = b.add_node("N2", NodeRole::EventTriggered);
+        b.add_node("NG", NodeRole::Gateway);
+        let arch = b.build().expect("valid");
+
+        let mut ab = Application::builder();
+        let g = ab.add_graph("G", Time::from_millis(100), Time::from_millis(100));
+        let a = ab.add_process(g, "a", n1, Time::from_millis(1));
+        let c = ab.add_process(g, "c", n2, Time::from_millis(1));
+        let d = ab.add_process(g, "d", n1, Time::from_millis(1));
+        ab.link(a, c, 8);
+        ab.link(c, d, 8);
+        let app = ab.build(&arch).expect("valid");
+
+        let sys = System::new(app, arch);
+        assert_eq!(sys.inter_cluster_message_count(), 2);
+        assert_eq!(sys.messages_on_route(MessageRoute::TtcToEtc).len(), 1);
+        assert_eq!(sys.messages_on_route(MessageRoute::EtcToTtc).len(), 1);
+        assert_eq!(sys.messages_on_route(MessageRoute::TtcToTtc).len(), 0);
+    }
+}

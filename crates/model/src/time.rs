@@ -1,0 +1,326 @@
+//! Integer time arithmetic for the analysis.
+//!
+//! All schedulability equations in the paper are fixed points over times and
+//! byte counts. Using exact integer arithmetic (instead of `f64`) makes the
+//! fixed points exact and the iteration termination argument trivial. A
+//! [`Time`] is an opaque count of *ticks*; the experiments interpret one tick
+//! as one microsecond, so the paper's millisecond figures scale by 1000.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A non-negative instant or duration measured in integer ticks.
+///
+/// `Time` is a transparent newtype over `u64` with saturating subtraction
+/// helpers used pervasively by the response-time equations, where terms such
+/// as `w + J_j − O_ij` must clamp at zero rather than underflow.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_model::Time;
+///
+/// let round = Time::from_millis(40);
+/// let offset = Time::from_millis(90);
+/// assert_eq!(offset % round, Time::from_millis(10));
+/// assert_eq!(Time::from_millis(5).saturating_sub(round), Time::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant/duration.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable time; used as an "unschedulable" sentinel
+    /// bound by divergence checks.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw ticks.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Creates a time from microseconds (1 tick = 1 µs by convention).
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us)
+    }
+
+    /// Creates a time from milliseconds (1 ms = 1000 ticks).
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in (possibly fractional) milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns `true` if this is the zero time.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtraction clamped at zero, mirroring the `(x)⁺` clamps in the
+    /// paper's interference terms.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// Saturating addition, used when accumulating divergent fixed points.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Ceiling division by another time, returning a dimensionless count.
+    ///
+    /// This is the `⌈x / T⌉` that counts interfering activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[inline]
+    pub fn div_ceil(self, divisor: Time) -> u64 {
+        assert!(!divisor.is_zero(), "division of Time by zero period");
+        self.0.div_ceil(divisor.0)
+    }
+
+    /// Multiplies a duration by a dimensionless count, saturating on overflow.
+    #[inline]
+    pub const fn saturating_mul(self, count: u64) -> Time {
+        Time(self.0.saturating_mul(count))
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({})", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1_000) {
+            write!(f, "{}ms", self.0 / 1_000)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics on underflow in debug builds (wraps in release like `u64`);
+    /// prefer [`Time::saturating_sub`] in analysis code.
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Rem for Time {
+    type Output = Time;
+    #[inline]
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> u64 {
+        t.0
+    }
+}
+
+/// Least common multiple of two times, used for hyper-period computation.
+///
+/// # Panics
+///
+/// Panics if either argument is zero (a period of zero is invalid).
+pub fn lcm(a: Time, b: Time) -> Time {
+    assert!(!a.is_zero() && !b.is_zero(), "lcm of zero period");
+    Time(a.0 / gcd_u64(a.0, b.0) * b.0)
+}
+
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Time::from_millis(3).ticks(), 3_000);
+        assert_eq!(Time::from_micros(7).ticks(), 7);
+        assert_eq!(Time::from_ticks(9).ticks(), 9);
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::from_ticks(1).is_zero());
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = Time::from_ticks(5);
+        let b = Time::from_ticks(9);
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(b.saturating_sub(a), Time::from_ticks(4));
+    }
+
+    #[test]
+    fn div_ceil_counts_activations() {
+        let window = Time::from_ticks(41);
+        let period = Time::from_ticks(20);
+        assert_eq!(window.div_ceil(period), 3);
+        assert_eq!(Time::from_ticks(40).div_ceil(period), 2);
+        assert_eq!(Time::ZERO.div_ceil(period), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division of Time by zero period")]
+    fn div_ceil_zero_period_panics() {
+        let _ = Time::from_ticks(1).div_ceil(Time::ZERO);
+    }
+
+    #[test]
+    fn rem_wraps_into_round() {
+        assert_eq!(
+            Time::from_millis(90) % Time::from_millis(40),
+            Time::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn lcm_of_periods() {
+        assert_eq!(
+            lcm(Time::from_ticks(6), Time::from_ticks(4)),
+            Time::from_ticks(12)
+        );
+        assert_eq!(
+            lcm(Time::from_ticks(5), Time::from_ticks(5)),
+            Time::from_ticks(5)
+        );
+    }
+
+    #[test]
+    fn display_uses_millis_when_round() {
+        assert_eq!(Time::from_millis(40).to_string(), "40ms");
+        assert_eq!(Time::from_micros(1500).to_string(), "1500us");
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: Time = [1u64, 2, 3].into_iter().map(Time::from_ticks).sum();
+        assert_eq!(total, Time::from_ticks(6));
+        assert_eq!(
+            Time::from_ticks(3).max(Time::from_ticks(5)),
+            Time::from_ticks(5)
+        );
+        assert_eq!(
+            Time::from_ticks(3).min(Time::from_ticks(5)),
+            Time::from_ticks(3)
+        );
+    }
+
+    #[test]
+    fn saturating_ops_do_not_overflow() {
+        assert_eq!(Time::MAX.saturating_add(Time::from_ticks(1)), Time::MAX);
+        assert_eq!(Time::MAX.saturating_mul(3), Time::MAX);
+    }
+}

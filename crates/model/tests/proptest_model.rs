@@ -1,0 +1,97 @@
+//! Property-based tests for the model's core data structures.
+
+use proptest::prelude::*;
+
+use mcs_model::{
+    lcm, Application, Architecture, NodeId, NodeRole, SlotId, TdmaConfig, TdmaSlot, Time,
+    TtpBusParams,
+};
+
+proptest! {
+    #[test]
+    fn lcm_is_divisible_by_both(a in 1u64..10_000, b in 1u64..10_000) {
+        let l = lcm(Time::from_ticks(a), Time::from_ticks(b));
+        prop_assert_eq!(l.ticks() % a, 0);
+        prop_assert_eq!(l.ticks() % b, 0);
+        prop_assert!(l.ticks() >= a.max(b));
+        prop_assert!(l.ticks() <= a * b);
+    }
+
+    #[test]
+    fn saturating_sub_never_underflows(a in any::<u64>(), b in any::<u64>()) {
+        let d = Time::from_ticks(a).saturating_sub(Time::from_ticks(b));
+        prop_assert_eq!(d.ticks(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn div_ceil_matches_definition(x in 0u64..1_000_000, t in 1u64..10_000) {
+        let n = Time::from_ticks(x).div_ceil(Time::from_ticks(t));
+        prop_assert!(n * t >= x);
+        prop_assert!(n == 0 || (n - 1) * t < x);
+    }
+
+    /// Slot offsets are the prefix sums of slot durations, and the round is
+    /// the total.
+    #[test]
+    fn slot_offsets_are_prefix_sums(
+        capacities in proptest::collection::vec(1u32..64, 1..8),
+        byte_time in 1u64..100,
+        overhead in 0u64..100,
+    ) {
+        let params = TtpBusParams::new(
+            Time::from_ticks(byte_time),
+            Time::from_ticks(overhead),
+        );
+        let slots: Vec<TdmaSlot> = capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| TdmaSlot { node: NodeId::new(i as u32), capacity_bytes: c })
+            .collect();
+        let config = TdmaConfig::new(slots);
+        let mut acc = Time::ZERO;
+        for i in 0..config.slot_count() {
+            let id = SlotId::new(i as u32);
+            prop_assert_eq!(config.slot_offset(id, &params), acc);
+            acc += config.slot_duration(id, &params);
+        }
+        prop_assert_eq!(config.round_duration(&params), acc);
+    }
+
+    /// Random chain-structured applications always build, and the
+    /// topological order respects every edge.
+    #[test]
+    fn random_chains_build_and_topo_sort(
+        wcets in proptest::collection::vec(1u64..50, 2..20),
+        preds in proptest::collection::vec(0usize..100, 0..18),
+    ) {
+        let mut b = Architecture::builder();
+        let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+        let n2 = b.add_node("N2", NodeRole::EventTriggered);
+        b.add_node("NG", NodeRole::Gateway);
+        let arch = b.build().expect("valid");
+
+        let mut ab = Application::builder();
+        let g = ab.add_graph("G", Time::from_millis(1000), Time::from_millis(1000));
+        let mut procs = Vec::new();
+        for (i, &w) in wcets.iter().enumerate() {
+            let node = if i % 2 == 0 { n1 } else { n2 };
+            let p = ab.add_process(g, format!("p{i}"), node, Time::from_millis(w));
+            if i > 0 {
+                let pred = procs[preds.get(i - 1).copied().unwrap_or(0) % procs.len()];
+                ab.link(pred, p, 8);
+            }
+            procs.push(p);
+        }
+        let app = ab.build(&arch).expect("chains are acyclic");
+        let order = app.topological_order(g);
+        let pos = |p| order.iter().position(|&q| q == p).expect("in order");
+        for e in app.edges() {
+            prop_assert!(pos(e.source) < pos(e.dest));
+        }
+        // Messages exactly on the cross-node arcs.
+        for e in app.edges() {
+            let cross = app.process(e.source).node() != app.process(e.dest).node();
+            prop_assert_eq!(e.message.is_some(), cross);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! HOPA-style priority assignment (Gutiérrez García & González Harbour,
+//! "Optimized Priority Assignment for Tasks and Messages in Distributed Hard
+//! Real-Time Systems").
+//!
+//! The core of HOPA is to distribute each graph's end-to-end deadline over
+//! the processes and messages along its paths — proportionally to their
+//! share of the longest path through them — and then assign priorities
+//! deadline-monotonically per scheduling resource (per ET CPU, and globally
+//! on the CAN bus). This captures the "knowledge of the factors that
+//! influence the timing behaviour" the paper cites HOPA for.
+
+use std::collections::HashMap;
+
+use mcs_can::message_time;
+use mcs_model::{
+    MessageId, NodeId, Priority, PriorityAssignment, ProcessId, System, TdmaConfig, Time,
+};
+
+/// Computes a HOPA priority assignment for all ET processes and all
+/// CAN-travelling messages under the given TDMA configuration (whose round
+/// length serves as the TTP communication estimate).
+pub fn hopa_priorities(system: &System, tdma: &TdmaConfig) -> PriorityAssignment {
+    let app = &system.application;
+    let arch = &system.architecture;
+    let round = tdma.round_duration(&arch.ttp_params());
+    let can_params = arch.can_params();
+    let edge_cost = |m: MessageId| -> Time {
+        let route = system.route(m);
+        let mut cost = Time::ZERO;
+        if route.uses_can() {
+            cost += message_time(app.message(m).size_bytes(), &can_params);
+        }
+        if route.uses_ttp() {
+            cost += round;
+        }
+        cost
+    };
+
+    // Longest path from any source *to the completion of* each process
+    // (forward), and from each process *to* any sink (backward).
+    let mut forward: HashMap<ProcessId, Time> = HashMap::new();
+    let mut backward: HashMap<ProcessId, Time> = HashMap::new();
+    for graph in app.graphs() {
+        let topo = app.topological_order(graph.id());
+        for &p in topo {
+            let best = app
+                .predecessors(p)
+                .iter()
+                .map(|e| {
+                    forward[&e.source] + e.message.map(&edge_cost).unwrap_or(Time::ZERO)
+                })
+                .fold(Time::ZERO, Time::max);
+            forward.insert(p, best + app.process(p).wcet());
+        }
+        for &p in topo.iter().rev() {
+            let best = app
+                .successors(p)
+                .iter()
+                .map(|e| backward[&e.dest] + e.message.map(&edge_cost).unwrap_or(Time::ZERO))
+                .fold(Time::ZERO, Time::max);
+            backward.insert(p, best + app.process(p).wcet());
+        }
+    }
+
+    // Local deadline of an entity at "progress point" f along a longest
+    // path of total length f + b: d = D_G · f / (f + b).
+    let local_deadline = |f: Time, b: Time, deadline: Time| -> u64 {
+        let total = f.ticks() + b.ticks();
+        if total == 0 {
+            return deadline.ticks();
+        }
+        (u128::from(deadline.ticks()) * u128::from(f.ticks()) / u128::from(total)) as u64
+    };
+
+    // Deadline-monotonic assignment per ET CPU.
+    let mut per_node: HashMap<NodeId, Vec<(u64, ProcessId)>> = HashMap::new();
+    for p in app.processes() {
+        if !arch.is_et_cpu(p.node()) {
+            continue;
+        }
+        let deadline = app.graph(p.graph()).deadline();
+        let f = forward[&p.id()];
+        let b = backward[&p.id()].saturating_sub(p.wcet());
+        per_node
+            .entry(p.node())
+            .or_default()
+            .push((local_deadline(f, b, deadline), p.id()));
+    }
+    let mut assignment = PriorityAssignment::new();
+    for (_, mut entries) in per_node {
+        entries.sort_by_key(|&(d, p)| (d, p));
+        for (level, (_, p)) in entries.into_iter().enumerate() {
+            assignment.set_process(p, Priority::new(level as u32));
+        }
+    }
+
+    // Deadline-monotonic assignment on the CAN bus.
+    let mut bus: Vec<(u64, MessageId)> = Vec::new();
+    for m in app.messages() {
+        if !system.route(m.id()).uses_can() {
+            continue;
+        }
+        let deadline = app.graph(m.graph()).deadline();
+        let f = forward[&m.source()] + edge_cost(m.id());
+        let b = backward[&m.dest()];
+        bus.push((local_deadline(f, b, deadline), m.id()));
+    }
+    bus.sort_by_key(|&(d, m)| (d, m));
+    for (level, (_, m)) in bus.into_iter().enumerate() {
+        assignment.set_message(m, Priority::new(level as u32));
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_gen::{cruise_controller, figure4};
+    use mcs_model::Time;
+
+    #[test]
+    fn hopa_assigns_every_et_entity_uniquely() {
+        let cc = cruise_controller();
+        let tdma = crate::sf::straightforward_config(&cc.system).tdma;
+        let pri = hopa_priorities(&cc.system, &tdma);
+        let app = &cc.system.application;
+        for p in app.processes() {
+            if cc.system.architecture.is_et_cpu(p.node()) {
+                assert!(pri.process(p.id()).is_some(), "{} unassigned", p.name());
+            }
+        }
+        for m in app.messages() {
+            if cc.system.route(m.id()).uses_can() {
+                assert!(pri.message(m.id()).is_some());
+            }
+        }
+        // Uniqueness is enforced by validate_config; spot check here.
+        assert!(mcs_core::validate_config(
+            &cc.system,
+            &mcs_model::SystemConfig::new(tdma, pri)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn upstream_entities_get_tighter_deadlines_hence_higher_priority() {
+        // In figure 4, m1/m2 (early in the chain) must outrank m3 (late).
+        let fig = figure4(Time::from_millis(200));
+        let pri = hopa_priorities(&fig.system, &fig.config_a.tdma);
+        let m1 = pri.message(mcs_gen::figure4_ids::M1).expect("assigned");
+        let m3 = pri.message(mcs_gen::figure4_ids::M3).expect("assigned");
+        assert!(m1.is_higher_than(m3));
+    }
+}

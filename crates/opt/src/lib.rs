@@ -1,0 +1,49 @@
+//! # mcs-opt
+//!
+//! Synthesis heuristics for multi-cluster systems (paper §5–6):
+//!
+//! * [`hopa_priorities`] — HOPA-style deadline-distribution priority
+//!   assignment for ET processes and CAN messages;
+//! * [`optimize_schedule`] (OS) — greedy TDMA slot-sequence/slot-length
+//!   synthesis maximizing the degree of schedulability δΓ;
+//! * [`optimize_resources`] (OR) — hill climbing from OS seed solutions,
+//!   minimizing the total buffer need `s_total` under schedulability;
+//! * [`straightforward_config`] (SF), [`sa_schedule`] (SAS) and
+//!   [`sa_resources`] (SAR) — the evaluation baselines.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mcs_core::AnalysisParams;
+//! use mcs_gen::{generate, GeneratorParams};
+//! use mcs_opt::{optimize_schedule, OsParams};
+//!
+//! let system = generate(&GeneratorParams::paper_sized(2, 1));
+//! let os = optimize_schedule(&system, &AnalysisParams::default(), &OsParams::default());
+//! println!(
+//!     "schedulable: {}, buffers: {} B",
+//!     os.best.is_schedulable(),
+//!     os.best.total_buffers
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annealing;
+mod cost;
+mod hopa;
+mod moves;
+mod or;
+mod os;
+mod sensitivity;
+mod sf;
+
+pub use annealing::{anneal, sa_resources, sa_schedule, sa_start, SaParams};
+pub use cost::{evaluate, Evaluation};
+pub use hopa::hopa_priorities;
+pub use moves::{neighborhood, Move};
+pub use or::{optimize_resources, OrParams, OrResult};
+pub use os::{optimize_schedule, recommended_lengths, OsParams, OsResult};
+pub use sensitivity::{criticality_ranking, wcet_slack, WcetSlack};
+pub use sf::{minimal_slot_capacities, straightforward_config};

@@ -1,0 +1,215 @@
+//! Design transformations ("moves") over a system configuration ψ
+//! (paper §5.1):
+//!
+//! * swapping two TDMA slots in the round;
+//! * increasing/decreasing a slot's size;
+//! * swapping the priorities of two ET processes or of two messages;
+//! * moving a TT process or TTC message inside its [ASAP, ALAP] window
+//!   (realized as offset pins honoured by the list scheduler).
+
+use mcs_model::{
+    MessageId, MessageRoute, NodeId, ProcessId, SlotId, System, SystemConfig, Time,
+};
+
+use crate::cost::Evaluation;
+
+/// One design transformation applicable to a [`SystemConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Move {
+    /// Swap the positions of two TDMA slots.
+    SwapSlots(SlotId, SlotId),
+    /// Grow or shrink a slot's byte capacity.
+    ResizeSlot(SlotId, i32),
+    /// Swap the priorities of two processes on the same ET CPU.
+    SwapProcessPriorities(ProcessId, ProcessId),
+    /// Swap the priorities of two CAN messages.
+    SwapMessagePriorities(MessageId, MessageId),
+    /// Pin a TT process's earliest start (an ALAP-direction φ move).
+    PinProcess(ProcessId, Time),
+    /// Remove a process pin (back toward ASAP).
+    UnpinProcess(ProcessId),
+    /// Pin a TTC message's earliest transmission.
+    PinMessage(MessageId, Time),
+    /// Remove a message pin.
+    UnpinMessage(MessageId),
+}
+
+impl Move {
+    /// Applies the move to a configuration.
+    ///
+    /// Moves can produce *invalid* configurations (e.g. a slot shrunk below
+    /// its largest message); searches rely on evaluation rejecting those.
+    pub fn apply(&self, config: &mut SystemConfig) {
+        match *self {
+            Move::SwapSlots(a, b) => config.tdma.swap_slots(a, b),
+            Move::ResizeSlot(slot, delta) => {
+                let cap = &mut config.tdma.slots_mut()[slot.index()].capacity_bytes;
+                *cap = cap.saturating_add_signed(delta).max(1);
+            }
+            Move::SwapProcessPriorities(a, b) => config.priorities.swap_processes(a, b),
+            Move::SwapMessagePriorities(a, b) => config.priorities.swap_messages(a, b),
+            Move::PinProcess(p, t) => {
+                config.offsets.pin_process(p, t);
+            }
+            Move::UnpinProcess(p) => {
+                config.offsets.unpin_process(p);
+            }
+            Move::PinMessage(m, t) => {
+                config.offsets.pin_message(m, t);
+            }
+            Move::UnpinMessage(m) => {
+                config.offsets.unpin_message(m);
+            }
+        }
+    }
+}
+
+/// Generates the neighborhood of the evaluated configuration: every move of
+/// the paper's four families, instantiated against the current analysis
+/// outcome (offsets, slacks, priority orders).
+pub fn neighborhood(system: &System, eval: &Evaluation) -> Vec<Move> {
+    let mut moves = Vec::new();
+    let config = &eval.config;
+    let app = &system.application;
+    let arch = &system.architecture;
+
+    // Slot swaps: all ordered pairs.
+    let n_slots = config.tdma.slot_count();
+    for i in 0..n_slots {
+        for j in (i + 1)..n_slots {
+            moves.push(Move::SwapSlots(SlotId::new(i as u32), SlotId::new(j as u32)));
+        }
+    }
+    // Slot resizes: quanta of half/whole of the typical message.
+    for i in 0..n_slots {
+        for delta in [-8, -4, 4, 8] {
+            moves.push(Move::ResizeSlot(SlotId::new(i as u32), delta));
+        }
+    }
+
+    // Adjacent priority swaps per ET CPU.
+    let mut nodes: Vec<NodeId> = arch
+        .nodes()
+        .iter()
+        .filter(|n| arch.is_et_cpu(n.id()))
+        .map(|n| n.id())
+        .collect();
+    nodes.sort();
+    for node in nodes {
+        let mut procs: Vec<ProcessId> = app
+            .processes_on(node)
+            .map(|p| p.id())
+            .filter(|&p| config.priorities.process(p).is_some())
+            .collect();
+        procs.sort_by_key(|&p| config.priorities.process(p).expect("filtered"));
+        for pair in procs.windows(2) {
+            moves.push(Move::SwapProcessPriorities(pair[0], pair[1]));
+        }
+    }
+    // Adjacent message priority swaps on the bus.
+    let mut msgs: Vec<MessageId> = app
+        .messages()
+        .iter()
+        .map(|m| m.id())
+        .filter(|&m| config.priorities.message(m).is_some())
+        .collect();
+    msgs.sort_by_key(|&m| config.priorities.message(m).expect("filtered"));
+    for pair in msgs.windows(2) {
+        moves.push(Move::SwapMessagePriorities(pair[0], pair[1]));
+    }
+
+    // φ moves: shift gateway-feeding TT senders later within the graph's
+    // slack (phase-separating the inter-cluster traffic), or release pins.
+    let round = config.tdma.round_duration(&arch.ttp_params());
+    for m in app.messages() {
+        if system.route(m.id()) != MessageRoute::TtcToEtc {
+            continue;
+        }
+        let sender = m.source();
+        let graph = app.process(sender).graph();
+        let slack = Time::from_ticks(
+            (-eval
+                .degree
+                .slack
+                .min(0))
+            .unsigned_abs()
+            .try_into()
+            .unwrap_or(u64::MAX),
+        );
+        let current = eval.outcome.process_timing(sender).offset;
+        if config.offsets.process(sender).is_some() {
+            moves.push(Move::UnpinProcess(sender));
+        }
+        if eval.is_schedulable() && round <= slack {
+            moves.push(Move::PinProcess(sender, current + round));
+        }
+        let _ = graph;
+    }
+    for m in app.messages() {
+        if system.route(m.id()) != MessageRoute::TtcToTtc {
+            continue;
+        }
+        if config.offsets.message(m.id()).is_some() {
+            moves.push(Move::UnpinMessage(m.id()));
+        } else if eval.is_schedulable() {
+            let arrival = eval.outcome.message_timing[&m.id()].arrival;
+            moves.push(Move::PinMessage(m.id(), arrival + round));
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::evaluate;
+    use mcs_core::AnalysisParams;
+    use mcs_gen::figure4;
+
+    #[test]
+    fn moves_apply_and_invert() {
+        let fig = figure4(Time::from_millis(240));
+        let mut config = fig.config_a.clone();
+        let original = config.clone();
+
+        Move::SwapSlots(SlotId::new(0), SlotId::new(1)).apply(&mut config);
+        assert_ne!(config.tdma, original.tdma);
+        Move::SwapSlots(SlotId::new(0), SlotId::new(1)).apply(&mut config);
+        assert_eq!(config.tdma, original.tdma);
+
+        Move::ResizeSlot(SlotId::new(0), 8).apply(&mut config);
+        assert_eq!(config.tdma.slots()[0].capacity_bytes, 16);
+        Move::ResizeSlot(SlotId::new(0), -8).apply(&mut config);
+        assert_eq!(config.tdma.slots()[0].capacity_bytes, 8);
+        // Shrinking below one byte clamps.
+        Move::ResizeSlot(SlotId::new(0), -100).apply(&mut config);
+        assert_eq!(config.tdma.slots()[0].capacity_bytes, 1);
+    }
+
+    #[test]
+    fn pins_round_trip() {
+        let fig = figure4(Time::from_millis(240));
+        let mut config = fig.config_a.clone();
+        let p = mcs_gen::figure4_ids::P1;
+        Move::PinProcess(p, Time::from_millis(40)).apply(&mut config);
+        assert_eq!(config.offsets.process(p), Some(Time::from_millis(40)));
+        Move::UnpinProcess(p).apply(&mut config);
+        assert_eq!(config.offsets.process(p), None);
+    }
+
+    #[test]
+    fn neighborhood_contains_all_four_move_families() {
+        let fig = figure4(Time::from_millis(240));
+        let eval = evaluate(&fig.system, fig.config_b.clone(), &AnalysisParams::default())
+            .expect("valid");
+        let moves = neighborhood(&fig.system, &eval);
+        assert!(moves.iter().any(|m| matches!(m, Move::SwapSlots(_, _))));
+        assert!(moves.iter().any(|m| matches!(m, Move::ResizeSlot(_, _))));
+        assert!(moves
+            .iter()
+            .any(|m| matches!(m, Move::SwapProcessPriorities(_, _))));
+        assert!(moves
+            .iter()
+            .any(|m| matches!(m, Move::SwapMessagePriorities(_, _))));
+    }
+}

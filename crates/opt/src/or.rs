@@ -1,0 +1,150 @@
+//! `OptimizeResources` (OR) — the buffer-minimization hill climber of paper
+//! Figure 7.
+//!
+//! Step 1 runs [`optimize_schedule`](crate::optimize_schedule) to obtain a
+//! schedulable system and a pool of seed solutions. Step 2 hill-climbs from
+//! every seed over the move set of [`crate::neighborhood`], at each
+//! iteration performing the move that minimizes `s_total` without making
+//! the system unschedulable, until no improvement remains or the iteration
+//! limit is hit.
+
+use mcs_core::AnalysisParams;
+use mcs_model::System;
+
+use crate::cost::{evaluate, Evaluation};
+use crate::moves::neighborhood;
+use crate::os::{optimize_schedule, OsParams, OsResult};
+
+/// Tuning of the OR hill climber.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrParams {
+    /// OS settings used for step 1 (seed generation).
+    pub os: OsParams,
+    /// Iteration limit per seed.
+    pub max_iterations: u32,
+    /// Cap on neighbors evaluated per iteration (evenly sampled when the
+    /// neighborhood is larger).
+    pub neighbor_sample: usize,
+}
+
+impl Default for OrParams {
+    fn default() -> Self {
+        OrParams {
+            os: OsParams::default(),
+            max_iterations: 12,
+            neighbor_sample: 64,
+        }
+    }
+}
+
+/// The result of `OptimizeResources`.
+#[derive(Clone, Debug)]
+pub struct OrResult {
+    /// The best (schedulable, minimal `s_total`) configuration found.
+    pub best: Evaluation,
+    /// The step-1 result the climb started from.
+    pub os: OsResult,
+    /// Number of `MultiClusterScheduling` evaluations performed in step 2.
+    pub evaluations: u32,
+}
+
+/// Runs `OptimizeResources`.
+///
+/// If step 1 fails to find any schedulable configuration (the paper would
+/// go back and modify the mapping/architecture, which is outside ψ), the
+/// OS result is returned unchanged — callers can detect this through
+/// [`Evaluation::is_schedulable`].
+pub fn optimize_resources(
+    system: &System,
+    analysis: &AnalysisParams,
+    params: &OrParams,
+) -> OrResult {
+    let os = optimize_schedule(system, analysis, &params.os);
+    let mut evaluations = 0;
+    if !os.best.is_schedulable() {
+        return OrResult {
+            best: os.best.clone(),
+            os,
+            evaluations,
+        };
+    }
+
+    let mut global_best = os.best.clone();
+    for seed in &os.seeds {
+        let Ok(mut current) = evaluate(system, seed.clone(), analysis) else {
+            continue;
+        };
+        for _ in 0..params.max_iterations {
+            let moves = neighborhood(system, &current);
+            let stride = (moves.len() / params.neighbor_sample.max(1)).max(1);
+            let mut best_neighbor: Option<Evaluation> = None;
+            for mv in moves.into_iter().step_by(stride) {
+                let mut config = current.config.clone();
+                mv.apply(&mut config);
+                evaluations += 1;
+                let Ok(eval) = evaluate(system, config, analysis) else {
+                    continue;
+                };
+                if !eval.is_schedulable() {
+                    continue;
+                }
+                let better = match &best_neighbor {
+                    None => true,
+                    Some(b) => eval.total_buffers < b.total_buffers,
+                };
+                if better {
+                    best_neighbor = Some(eval);
+                }
+            }
+            match best_neighbor {
+                Some(next) if next.total_buffers < current.total_buffers => current = next,
+                _ => break,
+            }
+        }
+        if current.is_schedulable() && current.total_buffers < global_best.total_buffers {
+            global_best = current;
+        }
+    }
+    OrResult {
+        best: global_best,
+        os,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_gen::{figure4, generate, GeneratorParams};
+    use mcs_model::Time;
+
+    #[test]
+    fn or_never_worsens_the_buffer_need() {
+        let fig = figure4(Time::from_millis(240));
+        let analysis = AnalysisParams::default();
+        let or = optimize_resources(&fig.system, &analysis, &OrParams::default());
+        assert!(or.best.is_schedulable());
+        assert!(
+            or.best.total_buffers <= or.os.best.total_buffers,
+            "OR {} must not exceed OS {}",
+            or.best.total_buffers,
+            or.os.best.total_buffers
+        );
+    }
+
+    #[test]
+    fn or_keeps_the_system_schedulable_on_random_workloads() {
+        let system = generate(&GeneratorParams::paper_sized(2, 29));
+        let analysis = AnalysisParams::default();
+        let params = OrParams {
+            max_iterations: 3,
+            neighbor_sample: 16,
+            ..OrParams::default()
+        };
+        let or = optimize_resources(&system, &analysis, &params);
+        if or.os.best.is_schedulable() {
+            assert!(or.best.is_schedulable());
+            assert!(or.best.total_buffers <= or.os.best.total_buffers);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! `OptimizeSchedule` (OS) — the greedy bus-access and priority synthesis
+//! heuristic of paper Figure 8.
+//!
+//! Starting from the straightforward slot order with minimal lengths, the
+//! heuristic fixes the TDMA round slot by slot: for every position it tries
+//! every still-unassigned node and every *recommended length* for that
+//! node's slot, assigns HOPA priorities, runs `MultiClusterScheduling`, and
+//! keeps the combination maximizing the degree of schedulability. Along the
+//! way it records the best configurations seen — by δΓ and by `s_total` —
+//! as *seed solutions* for the resource optimizer.
+
+use mcs_core::AnalysisParams;
+use mcs_model::{MessageRoute, NodeId, System, SystemConfig, TdmaConfig, TdmaSlot};
+
+use crate::cost::{evaluate, Evaluation};
+use crate::hopa::hopa_priorities;
+use crate::sf::minimal_slot_capacities;
+
+/// Tuning of the OS heuristic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OsParams {
+    /// Maximum recommended slot lengths tried per (position, node) pair.
+    pub max_slot_candidates: usize,
+    /// Maximum number of seed solutions handed to `OptimizeResources`.
+    pub seed_limit: usize,
+}
+
+impl Default for OsParams {
+    fn default() -> Self {
+        OsParams {
+            max_slot_candidates: 3,
+            seed_limit: 6,
+        }
+    }
+}
+
+/// The result of `OptimizeSchedule`.
+#[derive(Clone, Debug)]
+pub struct OsResult {
+    /// The best configuration found (by δΓ, ties broken by `s_total`).
+    pub best: Evaluation,
+    /// Seed configurations for the second optimization step: the best by
+    /// δΓ and the schedulable ones with the smallest `s_total`.
+    pub seeds: Vec<SystemConfig>,
+    /// Number of `MultiClusterScheduling` evaluations performed.
+    pub evaluations: u32,
+}
+
+/// Recommended slot lengths for `node` (paper §5.1, after Eles et al.
+/// 2000): the
+/// cumulative sizes of the node's outgoing TTP frames, largest first — i.e.
+/// "fit the k largest messages into one round".
+pub fn recommended_lengths(system: &System, node: NodeId) -> Vec<u32> {
+    let app = &system.application;
+    let mut sizes: Vec<u32> = app
+        .messages()
+        .iter()
+        .filter(|m| {
+            let route = system.route(m.id());
+            let sender = if route == MessageRoute::EtcToTtc {
+                system.architecture.gateway()
+            } else {
+                app.process(m.source()).node()
+            };
+            route.uses_ttp() && sender == node
+        })
+        .map(|m| m.size_bytes())
+        .collect();
+    if sizes.is_empty() {
+        return vec![1];
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut lengths = Vec::new();
+    let mut sum = 0;
+    for s in sizes {
+        sum += s;
+        if lengths.last() != Some(&sum) {
+            lengths.push(sum);
+        }
+    }
+    lengths
+}
+
+/// Runs the OS heuristic.
+///
+/// Infeasible intermediate configurations (a candidate length below the
+/// node's largest frame can never occur by construction, but e.g. a
+/// degenerate architecture could fail scheduling) are skipped rather than
+/// propagated; the straightforward configuration guarantees at least one
+/// feasible evaluation.
+pub fn optimize_schedule(
+    system: &System,
+    analysis: &AnalysisParams,
+    params: &OsParams,
+) -> OsResult {
+    let caps = minimal_slot_capacities(system);
+    let order: Vec<NodeId> = system.architecture.ttp_nodes().map(|n| n.id()).collect();
+    let mut slots: Vec<TdmaSlot> = order
+        .iter()
+        .map(|&node| TdmaSlot {
+            node,
+            capacity_bytes: caps[&node],
+        })
+        .collect();
+
+    let mut evaluations = 0;
+    let mut best: Option<Evaluation> = None;
+    let mut seeds = SeedPool::new(params.seed_limit);
+
+    for position in 0..slots.len() {
+        let mut best_here: Option<(Evaluation, usize, u32)> = None;
+        for j in position..slots.len() {
+            slots.swap(position, j);
+            let node = slots[position].node;
+            let lengths = recommended_lengths(system, node);
+            for &len in lengths.iter().take(params.max_slot_candidates.max(1)) {
+                let saved = slots[position].capacity_bytes;
+                slots[position].capacity_bytes = len.max(caps[&node]);
+                let tdma = TdmaConfig::new(slots.clone());
+                let priorities = hopa_priorities(system, &tdma);
+                let config = SystemConfig::new(tdma, priorities);
+                evaluations += 1;
+                if let Ok(eval) = evaluate(system, config, analysis) {
+                    seeds.offer(&eval);
+                    let better = match &best_here {
+                        None => true,
+                        Some((cur, _, _)) => {
+                            (eval.schedule_cost(), eval.total_buffers)
+                                < (cur.schedule_cost(), cur.total_buffers)
+                        }
+                    };
+                    if better {
+                        best_here = Some((eval, j, slots[position].capacity_bytes));
+                    }
+                }
+                slots[position].capacity_bytes = saved;
+            }
+            slots.swap(position, j);
+        }
+        // Commit the best node/length for this position.
+        if let Some((eval, j, len)) = best_here {
+            slots.swap(position, j);
+            slots[position].capacity_bytes = len;
+            let better = match &best {
+                None => true,
+                Some(cur) => {
+                    (eval.schedule_cost(), eval.total_buffers)
+                        < (cur.schedule_cost(), cur.total_buffers)
+                }
+            };
+            if better {
+                best = Some(eval);
+            }
+        }
+    }
+
+    let best = best.unwrap_or_else(|| {
+        // Degenerate fallback: evaluate the straightforward configuration.
+        let config = crate::sf::straightforward_config(system);
+        evaluate(system, config, analysis)
+            .expect("the straightforward configuration must be analyzable")
+    });
+    OsResult {
+        seeds: seeds.into_configs(&best),
+        best,
+        evaluations,
+    }
+}
+
+/// Keeps the best seen configurations along two axes: δΓ and `s_total`.
+struct SeedPool {
+    limit: usize,
+    by_degree: Vec<(i128, u64, SystemConfig)>,
+    by_buffers: Vec<(u64, i128, SystemConfig)>,
+}
+
+impl SeedPool {
+    fn new(limit: usize) -> Self {
+        SeedPool {
+            limit: limit.max(2),
+            by_degree: Vec::new(),
+            by_buffers: Vec::new(),
+        }
+    }
+
+    fn offer(&mut self, eval: &Evaluation) {
+        let half = self.limit.div_ceil(2);
+        self.by_degree
+            .push((eval.schedule_cost(), eval.total_buffers, eval.config.clone()));
+        self.by_degree.sort_by_key(|a| (a.0, a.1));
+        self.by_degree.truncate(half);
+        if eval.is_schedulable() {
+            self.by_buffers
+                .push((eval.total_buffers, eval.schedule_cost(), eval.config.clone()));
+            self.by_buffers.sort_by_key(|a| (a.0, a.1));
+            self.by_buffers.truncate(half);
+        }
+    }
+
+    fn into_configs(self, best: &Evaluation) -> Vec<SystemConfig> {
+        let mut configs = vec![best.config.clone()];
+        for (_, _, c) in self.by_degree.into_iter().chain(
+            self.by_buffers
+                .into_iter()
+                .map(|(a, b, c)| (b, a, c)),
+        ) {
+            if !configs.contains(&c) {
+                configs.push(c);
+            }
+        }
+        configs.truncate(self.limit);
+        configs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_gen::{figure4, generate, GeneratorParams};
+    use mcs_model::Time;
+
+    #[test]
+    fn os_beats_or_matches_the_straightforward_baseline() {
+        let system = generate(&GeneratorParams::paper_sized(2, 17));
+        let analysis = AnalysisParams::default();
+        let sf = evaluate(
+            &system,
+            crate::sf::straightforward_config(&system),
+            &analysis,
+        )
+        .expect("SF analyzable");
+        let os = optimize_schedule(&system, &analysis, &OsParams::default());
+        assert!(
+            os.best.schedule_cost() <= sf.schedule_cost(),
+            "OS {} must not lose to SF {}",
+            os.best.schedule_cost(),
+            sf.schedule_cost()
+        );
+        assert!(os.evaluations > 0);
+        assert!(!os.seeds.is_empty());
+    }
+
+    #[test]
+    fn os_finds_a_schedulable_figure4_configuration() {
+        // With D = 240 ms, configurations (b) and (c) are schedulable; the
+        // greedy search must find one at least as good.
+        let fig = figure4(Time::from_millis(240));
+        let os = optimize_schedule(&fig.system, &AnalysisParams::default(), &OsParams::default());
+        assert!(os.best.is_schedulable());
+    }
+
+    #[test]
+    fn recommended_lengths_are_cumulative_message_sizes() {
+        let fig = figure4(Time::from_millis(200));
+        // N1 sends m1 (4 B) and m2 (4 B): lengths 4, 8.
+        let n1 = fig.system.application.process(mcs_gen::figure4_ids::P1).node();
+        assert_eq!(recommended_lengths(&fig.system, n1), vec![4, 8]);
+        // The gateway carries m3 (4 B).
+        assert_eq!(
+            recommended_lengths(&fig.system, fig.system.architecture.gateway()),
+            vec![4]
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! The straightforward (SF) baseline of paper §6: nodes allocated to TDMA
+//! slots in ascending order, slot lengths just accommodating each node's
+//! largest message, and unoptimized (index-order) ET priorities.
+
+use std::collections::HashMap;
+
+use mcs_model::{
+    MessageRoute, NodeId, Priority, PriorityAssignment, System, SystemConfig, TdmaConfig,
+    TdmaSlot,
+};
+
+/// The minimal capacity of each TTP node's slot: the largest single frame
+/// the node must emit (at least one byte so the slot exists on the wire).
+pub fn minimal_slot_capacities(system: &System) -> HashMap<NodeId, u32> {
+    let app = &system.application;
+    let mut caps: HashMap<NodeId, u32> = system
+        .architecture
+        .ttp_nodes()
+        .map(|n| (n.id(), 1))
+        .collect();
+    for m in app.messages() {
+        let route = system.route(m.id());
+        if !route.uses_ttp() {
+            continue;
+        }
+        let node = if route == MessageRoute::EtcToTtc {
+            system.architecture.gateway()
+        } else {
+            app.process(m.source()).node()
+        };
+        let cap = caps.entry(node).or_insert(1);
+        *cap = (*cap).max(m.size_bytes());
+    }
+    caps
+}
+
+/// Builds the SF configuration: ascending slot order, minimal slot lengths,
+/// index-order priorities.
+pub fn straightforward_config(system: &System) -> SystemConfig {
+    let caps = minimal_slot_capacities(system);
+    let slots: Vec<TdmaSlot> = system
+        .architecture
+        .ttp_nodes()
+        .map(|n| TdmaSlot {
+            node: n.id(),
+            capacity_bytes: caps[&n.id()],
+        })
+        .collect();
+
+    let mut priorities = PriorityAssignment::new();
+    // Index order per ET CPU.
+    let mut level_per_node: HashMap<NodeId, u32> = HashMap::new();
+    for p in system.application.processes() {
+        if system.architecture.is_et_cpu(p.node()) {
+            let level = level_per_node.entry(p.node()).or_insert(0);
+            priorities.set_process(p.id(), Priority::new(*level));
+            *level += 1;
+        }
+    }
+    // Index order on the bus.
+    let mut level = 0;
+    for m in system.application.messages() {
+        if system.route(m.id()).uses_can() {
+            priorities.set_message(m.id(), Priority::new(level));
+            level += 1;
+        }
+    }
+    SystemConfig::new(TdmaConfig::new(slots), priorities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::validate_config;
+    use mcs_gen::{cruise_controller, generate, GeneratorParams};
+
+    #[test]
+    fn sf_configuration_is_always_valid() {
+        for seed in 0..5 {
+            let system = generate(&GeneratorParams::paper_sized(4, seed));
+            let config = straightforward_config(&system);
+            assert_eq!(validate_config(&system, &config), Ok(()));
+        }
+        let cc = cruise_controller();
+        assert_eq!(
+            validate_config(&cc.system, &straightforward_config(&cc.system)),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn slots_follow_ascending_node_order_with_minimal_capacity() {
+        let system = generate(&GeneratorParams::paper_sized(2, 1));
+        let config = straightforward_config(&system);
+        let nodes: Vec<NodeId> = config.tdma.slots().iter().map(|s| s.node).collect();
+        let expected: Vec<NodeId> = system.architecture.ttp_nodes().map(|n| n.id()).collect();
+        assert_eq!(nodes, expected);
+        let caps = minimal_slot_capacities(&system);
+        for slot in config.tdma.slots() {
+            assert_eq!(slot.capacity_bytes, caps[&slot.node]);
+            assert!(slot.capacity_bytes >= 1);
+        }
+    }
+}

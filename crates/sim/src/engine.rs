@@ -1,0 +1,661 @@
+//! The discrete-event simulator of the two-cluster system.
+//!
+//! The simulator executes the system's actual runtime behaviour — schedule
+//! tables on TT CPUs, fixed-priority preemptive dispatch on ET CPUs, TDMA
+//! frame transmission on the TTP bus, priority arbitration on CAN, and the
+//! gateway's `Out_CAN`/`Out_TTP` queues — and records observed response
+//! times and queue occupancies. Its purpose is to validate that the
+//! worst-case analysis of `mcs-core` soundly over-approximates every
+//! observable behaviour (see [`crate::SimReport::soundness_violations`]).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mcs_can::Arbiter;
+use mcs_core::AnalysisOutcome;
+use mcs_model::{
+    GraphId, MessageId, MessageRoute, NodeId, Priority, ProcessId, SlotId, System, SystemConfig,
+    Time,
+};
+use mcs_ttp::RoundSchedule;
+
+use crate::report::SimReport;
+use crate::trace::TraceEvent;
+
+/// How process execution times are drawn.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionModel {
+    /// Every instance runs for exactly its WCET.
+    #[default]
+    WorstCase,
+    /// Uniformly random in `[BCET, WCET]` (seeded, reproducible).
+    RandomUniform,
+}
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimParams {
+    /// Number of activations of each graph to simulate.
+    pub activations: u64,
+    /// Execution-time model.
+    pub execution: ExecutionModel,
+    /// RNG seed for [`ExecutionModel::RandomUniform`].
+    pub seed: u64,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            activations: 4,
+            execution: ExecutionModel::WorstCase,
+            seed: 0,
+        }
+    }
+}
+
+/// A process-graph activation instance.
+type Instance = (ProcessId, u64);
+type MsgInstance = (MessageId, u64);
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Event {
+    /// A graph activates: its source processes become ready.
+    Activate(GraphId, u64),
+    /// A TT process starts per its schedule table.
+    TtStart(ProcessId, u64),
+    /// A running process finishes (guarded by the node's dispatch
+    /// generation — stale events are ignored after a preemption).
+    Finish(NodeId, u64),
+    /// A TTP frame lands: the message is in every receiver's MBI.
+    TtpArrival(MsgInstance),
+    /// The gateway transfer process has copied a TTC→ETC message into
+    /// `Out_CAN`.
+    IntoOutCan(MsgInstance),
+    /// The gateway transfer process has appended an ETC→TTC message to
+    /// `Out_TTP`.
+    IntoOutTtp(MsgInstance),
+    /// A CAN transmission completes.
+    CanFinish(MsgInstance),
+    /// The gateway slot occurrence at this round drains `Out_TTP`.
+    SgDrain(u64),
+    /// An `Out_TTP` frame lands at its TT destination's input buffer.
+    TtpDeliver(Instance),
+}
+
+#[derive(Clone, Debug)]
+struct Running {
+    instance: Instance,
+    remaining: Time,
+    since: Time,
+    rank: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct EtNode {
+    ready: Vec<(u64, Instance)>, // (rank, instance), linear scan dispatch
+    running: Option<Running>,
+    generation: u64,
+}
+
+/// Runs the simulation.
+///
+/// The TT schedule tables and frame placements are taken from `outcome`
+/// (the analysis is the system synthesis; the simulator is the "hardware").
+/// Frames are placed on the TDMA grid dynamically — each TT sender
+/// transmits in the first occurrence of its slot with spare capacity after
+/// completion — which is exactly the rule the static scheduler encoded in
+/// the MEDL for activation 0 and generalizes it to every activation.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid for `system` (run
+/// [`mcs_core::validate_config`] first) or `outcome` does not belong to
+/// this system/config pair.
+pub fn simulate(
+    system: &System,
+    config: &SystemConfig,
+    outcome: &AnalysisOutcome,
+    params: &SimParams,
+) -> SimReport {
+    Simulator::new(system, config, outcome, params).run()
+}
+
+struct Simulator<'a> {
+    system: &'a System,
+    config: &'a SystemConfig,
+    outcome: &'a AnalysisOutcome,
+    params: &'a SimParams,
+    rng: StdRng,
+
+    rounds: RoundSchedule<'a>,
+    gw_slot: SlotId,
+    gw_capacity: u32,
+
+    queue: BinaryHeap<Reverse<(Time, u8, EventKey)>>,
+    events: HashMap<u64, Event>,
+    seq: u64,
+
+    pending: HashMap<Instance, usize>,
+    exec_remaining: HashMap<Instance, Time>,
+    et_nodes: HashMap<NodeId, EtNode>,
+    /// Bytes already packed per (slot, round) occurrence.
+    frame_usage: HashMap<(u32, u64), u32>,
+
+    can: Arbiter<MsgInstance>,
+    can_busy: bool,
+    out_can_bytes: u64,
+    out_node_bytes: HashMap<NodeId, u64>,
+    /// Which queue each in-flight CAN message drains when it starts.
+    can_source: HashMap<MsgInstance, Option<NodeId>>,
+    out_ttp: VecDeque<MsgInstance>,
+    out_ttp_bytes: u64,
+    sg_scheduled: HashMap<u64, ()>,
+
+    report: SimReport,
+    now: Time,
+}
+
+/// Ordering key so the heap is deterministic without comparing `Event`.
+type EventKey = u64;
+
+impl<'a> Simulator<'a> {
+    fn new(
+        system: &'a System,
+        config: &'a SystemConfig,
+        outcome: &'a AnalysisOutcome,
+        params: &'a SimParams,
+    ) -> Self {
+        let rounds = RoundSchedule::new(&config.tdma, system.architecture.ttp_params());
+        let gw_slot = rounds
+            .slot_of_node(system.architecture.gateway())
+            .expect("validated configuration has a gateway slot");
+        let gw_capacity = rounds.slot_capacity(gw_slot);
+        let mut sim = Simulator {
+            system,
+            config,
+            outcome,
+            params,
+            rng: StdRng::seed_from_u64(params.seed),
+            rounds,
+            gw_slot,
+            gw_capacity,
+            queue: BinaryHeap::new(),
+            events: HashMap::new(),
+            seq: 0,
+            pending: HashMap::new(),
+            exec_remaining: HashMap::new(),
+            et_nodes: HashMap::new(),
+            frame_usage: HashMap::new(),
+            can: Arbiter::new(),
+            can_busy: false,
+            out_can_bytes: 0,
+            out_node_bytes: HashMap::new(),
+            can_source: HashMap::new(),
+            out_ttp: VecDeque::new(),
+            out_ttp_bytes: 0,
+            sg_scheduled: HashMap::new(),
+            report: SimReport {
+                activations: params.activations,
+                ..SimReport::default()
+            },
+            now: Time::ZERO,
+        };
+        sim.seed_events();
+        sim
+    }
+
+    fn schedule(&mut self, at: Time, event: Event) {
+        // Deliveries and completions fire before schedule-table starts at
+        // the same instant: a table entry placed exactly at a worst-case
+        // arrival bound is sound.
+        let class = match event {
+            Event::TtStart(_, _) => 1,
+            _ => 0,
+        };
+        let key = self.seq;
+        self.seq += 1;
+        self.events.insert(key, event);
+        self.queue.push(Reverse((at, class, key)));
+    }
+
+    fn seed_events(&mut self) {
+        let app = &self.system.application;
+        for graph in app.graphs() {
+            for k in 0..self.params.activations {
+                let at = graph.period().saturating_mul(k);
+                self.schedule(at, Event::Activate(graph.id(), k));
+            }
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        while let Some(Reverse((at, _, key))) = self.queue.pop() {
+            self.now = at;
+            let event = self.events.remove(&key).expect("event registered");
+            self.dispatch_event(event);
+        }
+        self.report
+    }
+
+    fn dispatch_event(&mut self, event: Event) {
+        match event {
+            Event::Activate(g, k) => self.activate(g, k),
+            Event::TtStart(p, k) => self.tt_start(p, k),
+            Event::Finish(node, generation) => self.finish(node, generation),
+            Event::TtpArrival(mi) => self.ttp_arrival(mi),
+            Event::IntoOutCan(mi) => self.copy_into_out_can(mi),
+            Event::IntoOutTtp(mi) => self.append_to_out_ttp(mi),
+            Event::CanFinish(mi) => self.can_finish(mi),
+            Event::SgDrain(round) => self.sg_drain(round),
+            Event::TtpDeliver(inst) => self.satisfy(inst),
+        }
+    }
+
+    fn activation_time(&self, p: ProcessId, k: u64) -> Time {
+        let graph = self.system.application.process(p).graph();
+        self.system
+            .application
+            .graph(graph)
+            .period()
+            .saturating_mul(k)
+    }
+
+    fn activate(&mut self, g: GraphId, k: u64) {
+        let app = &self.system.application;
+        let procs: Vec<ProcessId> = app.graph(g).processes().to_vec();
+        for p in procs {
+            let preds = app.predecessors(p).len();
+            self.pending.insert((p, k), preds);
+            let exec = self.draw_exec(p);
+            self.exec_remaining.insert((p, k), exec);
+            if self.system.architecture.is_tt_cpu(app.process(p).node()) {
+                let start = self
+                    .outcome
+                    .schedule
+                    .start(p)
+                    .expect("TT process scheduled");
+                self.schedule(
+                    start + self.activation_time(p, k),
+                    Event::TtStart(p, k),
+                );
+            } else if preds == 0 {
+                self.make_ready((p, k));
+            }
+        }
+    }
+
+    fn draw_exec(&mut self, p: ProcessId) -> Time {
+        let proc = self.system.application.process(p);
+        match self.params.execution {
+            ExecutionModel::WorstCase => proc.wcet(),
+            ExecutionModel::RandomUniform => {
+                let lo = proc.bcet().ticks();
+                let hi = proc.wcet().ticks();
+                Time::from_ticks(self.rng.gen_range(lo..=hi))
+            }
+        }
+    }
+
+    fn satisfy(&mut self, inst: Instance) {
+        let count = self
+            .pending
+            .get_mut(&inst)
+            .expect("instance activated before data arrives");
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            let node = self.system.application.process(inst.0).node();
+            if self.system.architecture.is_et_cpu(node) {
+                self.make_ready(inst);
+            }
+            // TT processes start at their table time regardless; the table
+            // time is checked against readiness in `tt_start`.
+        }
+    }
+
+    // ----- ET CPU dispatch ------------------------------------------------
+
+    fn rank_of(&self, p: ProcessId) -> u64 {
+        let prio = self
+            .config
+            .priorities
+            .process(p)
+            .unwrap_or(Priority::new(u32::MAX));
+        u64::from(prio.level())
+    }
+
+    fn make_ready(&mut self, inst: Instance) {
+        let node = self.system.application.process(inst.0).node();
+        let rank = self.rank_of(inst.0);
+        self.et_nodes
+            .entry(node)
+            .or_default()
+            .ready
+            .push((rank, inst));
+        self.dispatch_cpu(node);
+    }
+
+    fn dispatch_cpu(&mut self, node: NodeId) {
+        let now = self.now;
+        let state = self.et_nodes.entry(node).or_default();
+        // Find the highest-priority ready instance.
+        let best = state
+            .ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(rank, inst))| (rank, inst))
+            .map(|(i, _)| i);
+        let preempt = match (&state.running, best) {
+            (Some(run), Some(i)) => state.ready[i].0 < run.rank,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if !preempt {
+            return;
+        }
+        let (rank, inst) = state.ready.remove(best.expect("checked"));
+        // Suspend the current process, keeping its remaining time.
+        if let Some(run) = state.running.take() {
+            let consumed = now.saturating_sub(run.since);
+            let left = run.remaining.saturating_sub(consumed);
+            self.exec_remaining.insert(run.instance, left);
+            state.ready.push((run.rank, run.instance));
+        }
+        let remaining = self.exec_remaining[&inst];
+        state.generation += 1;
+        let generation = state.generation;
+        state.running = Some(Running {
+            instance: inst,
+            remaining,
+            since: now,
+            rank,
+        });
+        self.schedule(now + remaining, Event::Finish(node, generation));
+    }
+
+    fn finish(&mut self, node: NodeId, generation: u64) {
+        let state = self.et_nodes.entry(node).or_default();
+        if state.generation != generation {
+            return; // preempted; stale completion
+        }
+        let run = state.running.take().expect("generation matches a runner");
+        let inst = run.instance;
+        self.complete(inst);
+        self.dispatch_cpu(node);
+    }
+
+    // ----- TT CPUs --------------------------------------------------------
+
+    fn tt_start(&mut self, p: ProcessId, k: u64) {
+        if self.pending.get(&(p, k)).copied().unwrap_or(0) > 0 {
+            self.report.table_violations += 1;
+        }
+        // Consecutive activations of an unschedulable table can overlap on
+        // the CPU; a sound schedule never double-books a TT node.
+        if self
+            .et_nodes
+            .get(&self.system.application.process(p).node())
+            .is_some_and(|s| s.running.is_some())
+        {
+            self.report.table_violations += 1;
+        }
+        let exec = self.exec_remaining[&(p, k)];
+        let finish = self.now + exec;
+        // TT CPUs are exclusive by table construction; run to completion.
+        let inst = (p, k);
+        let node = self.system.application.process(p).node();
+        let generation = {
+            let state = self.et_nodes.entry(node).or_default();
+            state.generation += 1;
+            state.running = Some(Running {
+                instance: inst,
+                remaining: exec,
+                since: self.now,
+                rank: 0,
+            });
+            state.generation
+        };
+        self.schedule(finish, Event::Finish(node, generation));
+    }
+
+    // ----- completion and message emission ---------------------------------
+
+    fn complete(&mut self, inst: Instance) {
+        let (p, k) = inst;
+        self.report
+            .trace
+            .push(TraceEvent::Completed(p, k, self.now));
+        let app = &self.system.application;
+        let rel = self.now.saturating_sub(self.activation_time(p, k));
+        let entry = self
+            .report
+            .process_completion
+            .entry(p)
+            .or_insert(Time::ZERO);
+        *entry = (*entry).max(rel);
+        let graph = app.process(p).graph();
+        if app.successors(p).is_empty() {
+            let gr = self
+                .report
+                .graph_response
+                .entry(graph)
+                .or_insert(Time::ZERO);
+            *gr = (*gr).max(rel);
+        }
+
+        let succs: Vec<(ProcessId, Option<MessageId>)> = app
+            .successors(p)
+            .iter()
+            .map(|e| (e.dest, e.message))
+            .collect();
+        for (dest, message) in succs {
+            match message {
+                None => self.satisfy((dest, k)),
+                Some(m) => self.emit(m, k),
+            }
+        }
+    }
+
+    fn emit(&mut self, m: MessageId, k: u64) {
+        let route = self.system.route(m);
+        match route {
+            MessageRoute::TtcToTtc | MessageRoute::TtcToEtc => {
+                self.send_ttp_frame((m, k));
+            }
+            MessageRoute::EtcToEtc | MessageRoute::EtcToTtc => {
+                self.enqueue_can((m, k));
+            }
+        }
+    }
+
+    // ----- TTP bus ----------------------------------------------------------
+
+    fn send_ttp_frame(&mut self, mi: MsgInstance) {
+        let app = &self.system.application;
+        let message = app.message(mi.0);
+        // Replay the synthesized MEDL: the frame of activation k leaves at
+        // its placement shifted by k periods (the per-cycle MEDL the
+        // synthesis would emit). Fall back to dynamic placement only when
+        // the sender finished past its slot (unschedulable tables).
+        if let Some(placement) = self.outcome.schedule.frame(mi.0) {
+            let shift = self.activation_time(message.source(), mi.1);
+            if self.now <= placement.slot_start + shift {
+                self.schedule(placement.arrival + shift, Event::TtpArrival(mi));
+                return;
+            }
+        }
+        let node = app.process(message.source()).node();
+        let slot = self
+            .rounds
+            .slot_of_node(node)
+            .expect("validated: TTP sender has a slot");
+        let capacity = self.rounds.slot_capacity(slot);
+        let size = message.size_bytes();
+        let mut occ = self.rounds.next_occurrence(slot, self.now);
+        loop {
+            let used = self.frame_usage.entry((slot.raw(), occ.round)).or_insert(0);
+            if *used + size <= capacity {
+                *used += size;
+                self.schedule(occ.end, Event::TtpArrival(mi));
+                return;
+            }
+            occ = self.rounds.advance(occ, 1);
+        }
+    }
+
+    fn ttp_arrival(&mut self, mi: MsgInstance) {
+        let (m, k) = mi;
+        self.report
+            .trace
+            .push(TraceEvent::FrameArrived(m, k, self.now));
+        let route = self.system.route(m);
+        let r_t = self.system.gateway.transfer_response();
+        match route {
+            MessageRoute::TtcToTtc => {
+                let dest = self.system.application.message(m).dest();
+                self.satisfy((dest, k));
+            }
+            MessageRoute::TtcToEtc => {
+                // The gateway transfer process copies the frame into
+                // Out_CAN within its response time.
+                self.schedule(self.now + r_t, Event::IntoOutCan(mi));
+            }
+            _ => unreachable!("only TTC-sent frames arrive via the MEDL"),
+        }
+    }
+
+    // ----- CAN bus ----------------------------------------------------------
+
+    fn message_priority(&self, m: MessageId) -> Priority {
+        self.config
+            .priorities
+            .message(m)
+            .expect("validated: CAN messages have priorities")
+    }
+
+    fn copy_into_out_can(&mut self, mi: MsgInstance) {
+        let size = u64::from(self.system.application.message(mi.0).size_bytes());
+        self.out_can_bytes += size;
+        self.report.max_out_can = self.report.max_out_can.max(self.out_can_bytes);
+        self.can_source.insert(mi, None);
+        self.can.enqueue(self.message_priority(mi.0), mi);
+        self.try_start_can();
+    }
+
+    fn enqueue_can(&mut self, mi: MsgInstance) {
+        let app = &self.system.application;
+        let node = app.process(app.message(mi.0).source()).node();
+        let size = u64::from(app.message(mi.0).size_bytes());
+        let bytes = self.out_node_bytes.entry(node).or_insert(0);
+        *bytes += size;
+        let peak = self.report.max_out_node.entry(node).or_insert(0);
+        *peak = (*peak).max(*bytes);
+        self.can_source.insert(mi, Some(node));
+        self.can.enqueue(self.message_priority(mi.0), mi);
+        self.try_start_can();
+    }
+
+    fn try_start_can(&mut self) {
+        if self.can_busy {
+            return;
+        }
+        let params = self.system.architecture.can_params();
+        let app = &self.system.application;
+        if let Some(tx) = self.can.try_start(self.now, |mi| {
+            mcs_can::message_time(app.message(mi.0).size_bytes(), &params)
+        }) {
+            self.can_busy = true;
+            // The frame leaves its output queue when transmission starts.
+            let size = u64::from(app.message(tx.payload.0).size_bytes());
+            match self.can_source.remove(&tx.payload) {
+                Some(Some(node)) => {
+                    let bytes = self.out_node_bytes.entry(node).or_insert(0);
+                    *bytes = bytes.saturating_sub(size);
+                }
+                Some(None) => {
+                    self.out_can_bytes = self.out_can_bytes.saturating_sub(size);
+                }
+                None => {}
+            }
+            self.schedule(tx.finish, Event::CanFinish(tx.payload));
+        }
+    }
+
+    fn can_finish(&mut self, mi: MsgInstance) {
+        self.can_busy = false;
+        let (m, k) = mi;
+        self.report
+            .trace
+            .push(TraceEvent::CanTransmitted(m, k, self.now));
+        let route = self.system.route(m);
+        let r_t = self.system.gateway.transfer_response();
+        match route {
+            // Intra-ETC traffic and the CAN leg of TTC→ETC traffic both end
+            // at an ET destination.
+            MessageRoute::EtcToEtc | MessageRoute::TtcToEtc => {
+                let dest = self.system.application.message(m).dest();
+                self.satisfy((dest, k));
+            }
+            MessageRoute::EtcToTtc => {
+                self.schedule(self.now + r_t, Event::IntoOutTtp(mi));
+            }
+            MessageRoute::TtcToTtc => unreachable!("TTC→TTC frames never touch CAN"),
+        }
+        self.try_start_can();
+    }
+
+    // ----- gateway Out_TTP FIFO ----------------------------------------------
+
+    fn append_to_out_ttp(&mut self, mi: MsgInstance) {
+        self.report
+            .trace
+            .push(TraceEvent::FifoEnqueued(mi.0, mi.1, self.now));
+        let size = u64::from(self.system.application.message(mi.0).size_bytes());
+        self.out_ttp.push_back(mi);
+        self.out_ttp_bytes += size;
+        self.report.max_out_ttp = self.report.max_out_ttp.max(self.out_ttp_bytes);
+        self.schedule_sg_drain();
+    }
+
+    fn schedule_sg_drain(&mut self) {
+        let occ = self.rounds.next_occurrence(self.gw_slot, self.now);
+        if self.sg_scheduled.insert(occ.round, ()).is_none() {
+            self.schedule(occ.start, Event::SgDrain(occ.round));
+        }
+    }
+
+    fn sg_drain(&mut self, _round: u64) {
+        let occ = self.rounds.next_occurrence(self.gw_slot, self.now);
+        debug_assert_eq!(occ.start, self.now, "drain fires at the slot start");
+        let mut used = 0u32;
+        let mut drained = Vec::new();
+        while let Some(&mi) = self.out_ttp.front() {
+            let size = self.system.application.message(mi.0).size_bytes();
+            if used + size > self.gw_capacity {
+                break;
+            }
+            used += size;
+            self.out_ttp.pop_front();
+            self.out_ttp_bytes -= u64::from(size);
+            drained.push(mi);
+        }
+        for mi in drained {
+            self.report
+                .trace
+                .push(TraceEvent::FifoDelivered(mi.0, mi.1, occ.end));
+            let dest = self.system.application.message(mi.0).dest();
+            let arrive = occ.end;
+            let inst = (dest, mi.1);
+            // Deliver at the slot end.
+            self.schedule(arrive, Event::TtpDeliver(inst));
+        }
+        if !self.out_ttp.is_empty() {
+            let next = self.rounds.advance(occ, 1);
+            if self.sg_scheduled.insert(next.round, ()).is_none() {
+                self.schedule(next.start, Event::SgDrain(next.round));
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulation results and their comparison against analytic bounds.
+
+use std::collections::HashMap;
+
+use mcs_core::AnalysisOutcome;
+use mcs_model::{GraphId, NodeId, ProcessId, System, Time};
+
+use crate::trace::TraceEvent;
+
+/// Observations from one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Worst observed completion of each process, relative to its graph's
+    /// activation instant (comparable to the analytic `O + r`).
+    pub process_completion: HashMap<ProcessId, Time>,
+    /// Worst observed end-to-end response of each graph.
+    pub graph_response: HashMap<GraphId, Time>,
+    /// Peak byte occupancy of the gateway's `Out_CAN` queue.
+    pub max_out_can: u64,
+    /// Peak byte occupancy of the gateway's `Out_TTP` FIFO.
+    pub max_out_ttp: u64,
+    /// Peak byte occupancy of each node's CAN output queue.
+    pub max_out_node: HashMap<NodeId, u64>,
+    /// Times a TT process reached its schedule-table start before all its
+    /// input messages had arrived — zero for any sound schedule.
+    pub table_violations: u64,
+    /// Number of graph activations simulated.
+    pub activations: u64,
+    /// Chronological event trace (completions, frames, CAN transmissions,
+    /// gateway queue operations); render with [`crate::render_trace`].
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimReport {
+    /// Checks every observation against the analytic worst-case bounds.
+    ///
+    /// Returns the list of violations (empty when the analysis soundly
+    /// over-approximates the simulated behaviour, as it must for a
+    /// schedulable system).
+    pub fn soundness_violations(
+        &self,
+        system: &System,
+        outcome: &AnalysisOutcome,
+    ) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (&p, &observed) in &self.process_completion {
+            let bound = outcome.process_timing(p).worst_completion();
+            if observed > bound {
+                violations.push(format!(
+                    "process {} completed at {observed} past its bound {bound}",
+                    system.application.process(p).name()
+                ));
+            }
+        }
+        for (&g, &observed) in &self.graph_response {
+            let bound = outcome.graph_response(g);
+            if observed > bound {
+                violations.push(format!(
+                    "graph {} responded in {observed} past its bound {bound}",
+                    system.application.graph(g).name()
+                ));
+            }
+        }
+        if self.max_out_can > outcome.queues.out_can {
+            violations.push(format!(
+                "Out_CAN peaked at {} B past its bound {} B",
+                self.max_out_can, outcome.queues.out_can
+            ));
+        }
+        if self.max_out_ttp > outcome.queues.out_ttp {
+            violations.push(format!(
+                "Out_TTP peaked at {} B past its bound {} B",
+                self.max_out_ttp, outcome.queues.out_ttp
+            ));
+        }
+        for (&node, &observed) in &self.max_out_node {
+            let bound = outcome.queues.out_node.get(&node).copied().unwrap_or(0);
+            if observed > bound {
+                violations.push(format!(
+                    "Out_{} peaked at {observed} B past its bound {bound} B",
+                    system.architecture.node(node).name()
+                ));
+            }
+        }
+        if self.table_violations > 0 {
+            violations.push(format!(
+                "{} schedule-table starts fired before their inputs arrived",
+                self.table_violations
+            ));
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_report_is_empty() {
+        let r = SimReport::default();
+        assert_eq!(r.max_out_can, 0);
+        assert!(r.process_completion.is_empty());
+        assert_eq!(r.table_violations, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Behavioural tests of the simulator itself: CAN arbitration order, FIFO
+//! drain discipline, determinism, and multi-activation steady state.
+
+use mcs_core::{multi_cluster_scheduling, AnalysisParams};
+use mcs_gen::{figure4, generate, GeneratorParams};
+use mcs_model::Time;
+use mcs_opt::{hopa_priorities, straightforward_config};
+use mcs_sim::{simulate, ExecutionModel, SimParams};
+
+#[test]
+fn simulation_is_deterministic() {
+    let fig = figure4(Time::from_millis(240));
+    let outcome =
+        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+            .expect("analyzable");
+    let run = |seed| {
+        simulate(
+            &fig.system,
+            &fig.config_b,
+            &outcome,
+            &SimParams {
+                activations: 3,
+                execution: ExecutionModel::RandomUniform,
+                seed,
+            },
+        )
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.graph_response, b.graph_response);
+    assert_eq!(a.process_completion, b.process_completion);
+    assert_eq!(a.max_out_can, b.max_out_can);
+    let c = run(8);
+    // A different seed is allowed to differ (and usually does in starts),
+    // but must still be bounded — checked elsewhere; here we only ensure it
+    // runs.
+    assert_eq!(c.activations, 3);
+}
+
+#[test]
+fn worst_case_execution_reaches_the_figure4_trace() {
+    // With WCET execution and configuration (b), the simulated response
+    // must land exactly on the deterministic trace value: P1 (30) -> frame
+    // at 60 -> CAN -> P2/P3 -> m3 -> gateway slot -> P4.
+    let fig = figure4(Time::from_millis(240));
+    let outcome =
+        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+            .expect("analyzable");
+    let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
+    let g = mcs_model::GraphId::new(0);
+    let observed = report.graph_response[&g];
+    // The analysis bound is 230 ms; the actual trace completes earlier but
+    // within one TDMA round of the bound on this contention-free example.
+    assert!(observed <= Time::from_millis(230));
+    assert!(observed >= Time::from_millis(150));
+    assert_eq!(report.table_violations, 0);
+}
+
+#[test]
+fn queue_occupancy_tracks_gateway_traffic() {
+    let fig = figure4(Time::from_millis(240));
+    let outcome =
+        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+            .expect("analyzable");
+    let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
+    // m1 and m2 (4 B each) transit Out_CAN; m3 transits Out_TTP.
+    assert!(report.max_out_can >= 4);
+    assert!(report.max_out_can <= 8);
+    assert!(report.max_out_ttp >= 4);
+    // N2's output queue held m3 at some point.
+    assert_eq!(
+        report.max_out_node.get(&mcs_model::NodeId::new(1)),
+        Some(&4)
+    );
+}
+
+#[test]
+fn longer_runs_do_not_grow_observed_responses_unboundedly() {
+    // A schedulable system in steady state: the worst observation over 8
+    // activations equals the worst over 2 (no drift / backlog build-up).
+    let system = generate(&GeneratorParams::paper_sized(2, 5));
+    let mut config = straightforward_config(&system);
+    config.priorities = hopa_priorities(&system, &config.tdma);
+    let analysis = AnalysisParams::default();
+    let outcome = multi_cluster_scheduling(&system, &config, &analysis).expect("analyzable");
+    let short = simulate(
+        &system,
+        &config,
+        &outcome,
+        &SimParams {
+            activations: 2,
+            ..SimParams::default()
+        },
+    );
+    let long = simulate(
+        &system,
+        &config,
+        &outcome,
+        &SimParams {
+            activations: 8,
+            ..SimParams::default()
+        },
+    );
+    for (g, &r_long) in &long.graph_response {
+        let r_short = short.graph_response[g];
+        assert_eq!(
+            r_long, r_short,
+            "steady-state drift on graph {g} ({r_short} -> {r_long})"
+        );
+    }
+}
+
+#[test]
+fn trace_captures_the_gateway_path_in_order() {
+    let fig = figure4(Time::from_millis(240));
+    let outcome =
+        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+            .expect("analyzable");
+    let report = simulate(
+        &fig.system,
+        &fig.config_b,
+        &outcome,
+        &SimParams {
+            activations: 1,
+            ..SimParams::default()
+        },
+    );
+    use mcs_sim::TraceEvent;
+    let m3 = mcs_model::MessageId::new(2);
+    let find = |pred: &dyn Fn(&TraceEvent) -> bool| {
+        report
+            .trace
+            .iter()
+            .find(|e| pred(e))
+            .copied()
+            .expect("event present")
+    };
+    // m3's journey: CAN transmission -> Out_TTP -> gateway slot delivery.
+    let can = find(&|e| matches!(e, TraceEvent::CanTransmitted(m, 0, _) if *m == m3));
+    let fifo_in = find(&|e| matches!(e, TraceEvent::FifoEnqueued(m, 0, _) if *m == m3));
+    let fifo_out = find(&|e| matches!(e, TraceEvent::FifoDelivered(m, 0, _) if *m == m3));
+    assert!(can.at() <= fifo_in.at());
+    assert!(fifo_in.at() < fifo_out.at());
+    // Rendering mentions the chain.
+    let text = mcs_sim::render_trace(&fig.system, &report.trace);
+    assert!(text.contains("m2#0 -> Out_TTP"));
+    assert!(text.contains("delivered via S_G"));
+    assert!(text.contains("P4#0 completed"));
+}

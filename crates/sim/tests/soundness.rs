@@ -1,0 +1,121 @@
+//! Soundness of the worst-case analysis against the simulator: for
+//! schedulable synthesized configurations, no observed response time or
+//! queue occupancy may exceed its analytic bound, under worst-case and
+//! randomized execution times alike.
+
+use mcs_core::{multi_cluster_scheduling, AnalysisParams};
+use mcs_gen::{cruise_controller, figure4, generate, GeneratorParams};
+use mcs_model::{SystemConfig, System, Time};
+use mcs_opt::{optimize_schedule, OsParams};
+use mcs_sim::{simulate, ExecutionModel, SimParams};
+
+fn assert_sound(system: &System, config: &SystemConfig, label: &str) {
+    let analysis = AnalysisParams::default();
+    let outcome = multi_cluster_scheduling(system, config, &analysis).expect("analyzable");
+    for (execution, seed) in [
+        (ExecutionModel::WorstCase, 0),
+        (ExecutionModel::RandomUniform, 1),
+        (ExecutionModel::RandomUniform, 2),
+    ] {
+        let report = simulate(
+            system,
+            config,
+            &outcome,
+            &SimParams {
+                activations: 3,
+                execution,
+                seed,
+            },
+        );
+        let violations = report.soundness_violations(system, &outcome);
+        assert!(
+            violations.is_empty(),
+            "{label} ({execution:?}, seed {seed}): {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn figure4_schedulable_configurations_are_soundly_bounded() {
+    let fig = figure4(Time::from_millis(240));
+    assert_sound(&fig.system, &fig.config_b, "figure4 (b)");
+    assert_sound(&fig.system, &fig.config_c, "figure4 (c)");
+}
+
+#[test]
+fn figure4_unschedulable_configuration_collides_across_activations() {
+    // (a)'s response (250 ms) exceeds the period (240 ms): activation k+1's
+    // P1 overlaps activation k's P4 on N1, and the simulator must flag it.
+    let fig = figure4(Time::from_millis(240));
+    let outcome =
+        multi_cluster_scheduling(&fig.system, &fig.config_a, &AnalysisParams::default())
+            .expect("analyzable");
+    let report = simulate(&fig.system, &fig.config_a, &outcome, &SimParams::default());
+    assert!(report.table_violations > 0);
+}
+
+#[test]
+fn observed_figure4_response_is_close_to_but_below_the_bound() {
+    let fig = figure4(Time::from_millis(240));
+    let outcome =
+        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+            .expect("analyzable");
+    let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
+    let g = mcs_model::GraphId::new(0);
+    let observed = report.graph_response[&g];
+    let bound = outcome.graph_response(g);
+    assert!(observed <= bound);
+    // The bound must not be absurdly loose either: within 2x on this
+    // contention-free example.
+    assert!(
+        bound.ticks() <= observed.ticks() * 2,
+        "bound {bound} looser than 2x the observation {observed}"
+    );
+}
+
+#[test]
+fn optimized_random_systems_are_soundly_bounded() {
+    for seed in 0..3 {
+        let system = generate(&GeneratorParams::paper_sized(2, seed));
+        let os = optimize_schedule(&system, &AnalysisParams::default(), &OsParams::default());
+        if !os.best.is_schedulable() {
+            continue;
+        }
+        assert_sound(&system, &os.best.config, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn cruise_controller_is_soundly_bounded() {
+    let cc = cruise_controller();
+    let os = optimize_schedule(&cc.system, &AnalysisParams::default(), &OsParams::default());
+    assert_sound(&cc.system, &os.best.config, "cruise controller");
+}
+
+#[test]
+fn random_execution_never_beats_worst_case_bounds_but_may_beat_wcet_runs() {
+    let fig = figure4(Time::from_millis(240));
+    let outcome =
+        multi_cluster_scheduling(&fig.system, &fig.config_c, &AnalysisParams::default())
+            .expect("analyzable");
+    let worst = simulate(&fig.system, &fig.config_c, &outcome, &SimParams::default());
+    let g = mcs_model::GraphId::new(0);
+    let mut saw_not_worse = false;
+    for seed in 0..5 {
+        let random = simulate(
+            &fig.system,
+            &fig.config_c,
+            &outcome,
+            &SimParams {
+                activations: 3,
+                execution: ExecutionModel::RandomUniform,
+                seed,
+            },
+        );
+        assert!(random.graph_response[&g] <= outcome.graph_response(g));
+        if random.graph_response[&g] <= worst.graph_response[&g] {
+            saw_not_worse = true;
+        }
+    }
+    assert!(saw_not_worse);
+}

@@ -1,0 +1,565 @@
+//! Static cyclic scheduling of the time-triggered cluster by list scheduling
+//! (paper §4, using the approach of Eles et al., "Scheduling with Bus Access
+//! Optimization for Distributed Embedded Systems").
+//!
+//! The scheduler builds the TTC schedule tables and MEDLs for one activation
+//! of every process graph (the hyper-graph assumption of paper §2.1:
+//! applications with unequal periods are first combined into hyper-graphs
+//! over the LCM). It places
+//!
+//! * every process mapped on a statically scheduled (TT) CPU, respecting
+//!   precedence, CPU exclusivity and exogenous *release* lower bounds — the
+//!   worst-case arrival times of messages from the ETC computed by the
+//!   response-time analysis, plus any offset pins of the optimizer; and
+//! * the TTP leg of every message sent by a TTP node (TTC→TTC traffic and
+//!   the first leg of TTC→ETC traffic), packing frames into the sender's
+//!   TDMA slot occurrences under the slot's byte capacity.
+//!
+//! Traffic arriving from the ETC through the gateway's `Out_TTP` FIFO is
+//! *not* placed here — its arrival is bounded analytically and enters as a
+//! release on the destination process.
+
+use std::collections::HashMap;
+
+use mcs_model::{
+    MessageId, MessageRoute, NodeId, ProcessId, System, TdmaConfig, Time,
+};
+
+use crate::rounds::RoundSchedule;
+use crate::schedule::{FramePlacement, TtcSchedule};
+
+/// Error produced by the list scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A TTP-sending node has no TDMA slot in the configuration.
+    NoSlotForNode(NodeId),
+    /// A message is larger than its sender's slot capacity and cannot be
+    /// packed into a single frame.
+    MessageTooLarge {
+        /// The offending message.
+        message: MessageId,
+        /// The configured slot capacity of the sender's node.
+        capacity: u32,
+    },
+    /// The TDMA round has zero duration (no slots).
+    EmptyRound,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NoSlotForNode(n) => {
+                write!(f, "node {n} sends on the TTP bus but has no TDMA slot")
+            }
+            ScheduleError::MessageTooLarge { message, capacity } => {
+                write!(f, "message {message} exceeds its sender slot capacity {capacity} B")
+            }
+            ScheduleError::EmptyRound => write!(f, "the TDMA round has no slots"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Inputs to one static-scheduling pass.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerInput<'a> {
+    /// The system being scheduled.
+    pub system: &'a System,
+    /// The TDMA bus configuration β.
+    pub tdma: &'a TdmaConfig,
+    /// Exogenous lower bounds on TT process starts: worst-case arrival of
+    /// inbound ETC traffic plus optimizer pins. Missing entries mean zero.
+    pub process_releases: &'a HashMap<ProcessId, Time>,
+    /// Exogenous lower bounds on message transmission starts: completion of
+    /// ET senders (for frames placed on behalf of the gateway) plus pins.
+    pub message_releases: &'a HashMap<MessageId, Time>,
+}
+
+/// Runs list scheduling and returns the TTC schedule.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if the TDMA configuration cannot carry the
+/// traffic (missing slot, oversized message, empty round).
+pub fn list_schedule(input: &SchedulerInput<'_>) -> Result<TtcSchedule, ScheduleError> {
+    Scheduler::new(input)?.run()
+}
+
+/// Critical-path list priorities: the longest downstream path of each
+/// process, where processes weigh their WCET and cross-node arcs weigh one
+/// TDMA round (a uniform communication estimate).
+pub fn critical_path_priorities(system: &System, tdma: &TdmaConfig) -> HashMap<ProcessId, Time> {
+    let app = &system.application;
+    let comm = tdma.round_duration(&system.architecture.ttp_params());
+    let mut prio: HashMap<ProcessId, Time> = HashMap::new();
+    // Reverse topological order per graph guarantees successors first.
+    for graph in app.graphs() {
+        for &p in app.topological_order(graph.id()).iter().rev() {
+            let downstream = app
+                .successors(p)
+                .iter()
+                .map(|e| {
+                    let edge_cost = if e.message.is_some() { comm } else { Time::ZERO };
+                    edge_cost + prio.get(&e.dest).copied().unwrap_or(Time::ZERO)
+                })
+                .fold(Time::ZERO, Time::max);
+            prio.insert(p, app.process(p).wcet() + downstream);
+        }
+    }
+    prio
+}
+
+struct Scheduler<'a> {
+    input: &'a SchedulerInput<'a>,
+    rounds: RoundSchedule<'a>,
+    priorities: HashMap<ProcessId, Time>,
+    /// Bytes already packed into each (slot, round) occurrence.
+    frame_usage: HashMap<(u32, u64), u32>,
+    schedule: TtcSchedule,
+    node_free: HashMap<NodeId, Time>,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(input: &'a SchedulerInput<'a>) -> Result<Self, ScheduleError> {
+        if input.tdma.slots().is_empty() {
+            return Err(ScheduleError::EmptyRound);
+        }
+        let rounds = RoundSchedule::new(input.tdma, input.system.architecture.ttp_params());
+        let priorities = critical_path_priorities(input.system, input.tdma);
+        Ok(Scheduler {
+            input,
+            rounds,
+            priorities,
+            frame_usage: HashMap::new(),
+            schedule: TtcSchedule::new(),
+            node_free: HashMap::new(),
+        })
+    }
+
+    fn run(mut self) -> Result<TtcSchedule, ScheduleError> {
+        let system = self.input.system;
+        let app = &system.application;
+
+        // Frames sent by ET CPUs over the TTP bus (gateway-resident senders
+        // of TTC→TTC traffic) are placed first from their releases so that
+        // destination readiness can observe the arrival.
+        for message in app.messages() {
+            let sender_node = app.process(message.source()).node();
+            if system.route(message.id()).uses_ttp()
+                && system.route(message.id()) != MessageRoute::EtcToTtc
+                && system.architecture.is_et_cpu(sender_node)
+            {
+                let release = self
+                    .input
+                    .message_releases
+                    .get(&message.id())
+                    .copied()
+                    .unwrap_or(Time::ZERO);
+                self.place_frame(message.id(), sender_node, release)?;
+            }
+        }
+
+        // TT processes still waiting for their TT-side predecessors.
+        let mut remaining: HashMap<ProcessId, usize> = HashMap::new();
+        for p in app.processes() {
+            if system.architecture.is_tt_cpu(p.node()) {
+                let tt_preds = app
+                    .predecessors(p.id())
+                    .iter()
+                    .filter(|e| self.counts_as_tt_pred(e.source))
+                    .count();
+                remaining.insert(p.id(), tt_preds);
+            }
+        }
+
+        let mut unscheduled: Vec<ProcessId> = remaining.keys().copied().collect();
+        unscheduled.sort(); // determinism
+        while !unscheduled.is_empty() {
+            // Candidates: all TT-side dependencies resolved.
+            let mut best: Option<(Time, Time, ProcessId)> = None;
+            for &p in &unscheduled {
+                if remaining[&p] > 0 {
+                    continue;
+                }
+                let est = self.earliest_start(p);
+                let prio = self.priorities[&p];
+                let better = match best {
+                    None => true,
+                    // Earliest start first; critical path length breaks ties.
+                    Some((bt, bp, bid)) => {
+                        (est, std::cmp::Reverse(prio), p) < (bt, std::cmp::Reverse(bp), bid)
+                    }
+                };
+                if better {
+                    best = Some((est, prio, p));
+                }
+            }
+            let (start, _, p) =
+                best.expect("acyclic validated graph always has a ready TT process");
+            self.commit(p, start)?;
+            unscheduled.retain(|&q| q != p);
+            for e in app.successors(p) {
+                if let Some(r) = remaining.get_mut(&e.dest) {
+                    *r = r.saturating_sub(1);
+                }
+            }
+        }
+        Ok(self.schedule)
+    }
+
+    /// A predecessor gates a TT process through the schedule table only if
+    /// the predecessor itself is placed by this scheduler.
+    fn counts_as_tt_pred(&self, pred: ProcessId) -> bool {
+        let node = self.input.system.application.process(pred).node();
+        self.input.system.architecture.is_tt_cpu(node)
+    }
+
+    fn earliest_start(&self, p: ProcessId) -> Time {
+        let system = self.input.system;
+        let app = &system.application;
+        let node = app.process(p).node();
+        let mut ready = self
+            .input
+            .process_releases
+            .get(&p)
+            .copied()
+            .unwrap_or(Time::ZERO);
+        for e in app.predecessors(p) {
+            if !self.counts_as_tt_pred(e.source) {
+                // ET-sent TTP frames (gateway-resident senders) are placed
+                // in the pre-pass: their arrival gates the table start
+                // directly. Everything else is bounded by the exogenous
+                // release.
+                if let Some(frame) = e.message.and_then(|m| self.schedule.frame(m)) {
+                    ready = ready.max(frame.arrival);
+                }
+                continue;
+            }
+            let pred_finish = self
+                .schedule
+                .start(e.source)
+                .expect("TT predecessor scheduled before successor")
+                + app.process(e.source).wcet();
+            let avail = match e.message {
+                // Cross-node: data available when the frame lands.
+                Some(m) => self
+                    .schedule
+                    .frame(m)
+                    .map(|f| f.arrival)
+                    .unwrap_or(pred_finish),
+                // Same node: available at predecessor completion.
+                None => pred_finish,
+            };
+            ready = ready.max(avail);
+        }
+        ready.max(
+            self.node_free
+                .get(&node)
+                .copied()
+                .unwrap_or(Time::ZERO),
+        )
+    }
+
+    fn commit(&mut self, p: ProcessId, start: Time) -> Result<(), ScheduleError> {
+        let system = self.input.system;
+        let app = &system.application;
+        let process = app.process(p);
+        let finish = start + process.wcet();
+        self.schedule.set_start(p, start);
+        self.schedule.extend_makespan(finish);
+        self.node_free.insert(process.node(), finish);
+
+        // Place the TTP leg of every outbound message of this TT sender.
+        let outgoing: Vec<MessageId> = app
+            .successors(p)
+            .iter()
+            .filter_map(|e| e.message)
+            .collect();
+        for m in outgoing {
+            if !system.route(m).uses_ttp() || system.route(m) == MessageRoute::EtcToTtc {
+                continue; // CAN-only, or FIFO-forwarded by the gateway
+            }
+            let ready = finish.max(
+                self.input
+                    .message_releases
+                    .get(&m)
+                    .copied()
+                    .unwrap_or(Time::ZERO),
+            );
+            self.place_frame(m, process.node(), ready)?;
+        }
+        Ok(())
+    }
+
+    /// Packs a message into the earliest occurrence of its sender's slot
+    /// starting at or after `ready` with spare capacity.
+    fn place_frame(
+        &mut self,
+        message: MessageId,
+        sender_node: NodeId,
+        ready: Time,
+    ) -> Result<(), ScheduleError> {
+        let app = &self.input.system.application;
+        let size = app.message(message).size_bytes();
+        let slot = self
+            .rounds
+            .slot_of_node(sender_node)
+            .ok_or(ScheduleError::NoSlotForNode(sender_node))?;
+        let capacity = self.rounds.slot_capacity(slot);
+        if size > capacity {
+            return Err(ScheduleError::MessageTooLarge { message, capacity });
+        }
+        let mut occ = self.rounds.next_occurrence(slot, ready);
+        loop {
+            let used = self
+                .frame_usage
+                .entry((slot.raw(), occ.round))
+                .or_insert(0);
+            if *used + size <= capacity {
+                *used += size;
+                self.schedule.set_frame(
+                    message,
+                    FramePlacement {
+                        slot,
+                        round: occ.round,
+                        slot_start: occ.start,
+                        arrival: occ.end,
+                    },
+                );
+                self.schedule.extend_makespan(occ.end);
+                return Ok(());
+            }
+            occ = self.rounds.advance(occ, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{
+        Application, Architecture, NodeRole, TdmaSlot, TtpBusParams,
+    };
+
+    /// Two TT nodes + gateway; byte_time chosen so an 8-byte slot is 20 ms
+    /// (figure 4 proportions).
+    fn fixture() -> (System, TdmaConfig) {
+        let mut b = Architecture::builder();
+        let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+        let n2 = b.add_node("N2", NodeRole::TimeTriggered);
+        let ng = b.add_node("NG", NodeRole::Gateway);
+        b.ttp_params(TtpBusParams::new(Time::from_micros(2_500), Time::ZERO));
+        let arch = b.build().expect("valid");
+
+        let mut ab = Application::builder();
+        let g = ab.add_graph("G", Time::from_millis(500), Time::from_millis(500));
+        let p1 = ab.add_process(g, "P1", n1, Time::from_millis(30));
+        let p2 = ab.add_process(g, "P2", n2, Time::from_millis(20));
+        let p3 = ab.add_process(g, "P3", n1, Time::from_millis(10));
+        ab.link(p1, p2, 8); // m0 over TTP
+        ab.link(p2, p3, 8); // m1 over TTP
+        let app = ab.build(&arch).expect("valid");
+        let system = System::new(app, arch);
+        let tdma = TdmaConfig::new(vec![
+            TdmaSlot {
+                node: ng,
+                capacity_bytes: 8,
+            },
+            TdmaSlot {
+                node: n1,
+                capacity_bytes: 8,
+            },
+            TdmaSlot {
+                node: n2,
+                capacity_bytes: 8,
+            },
+        ]);
+        (system, tdma)
+    }
+
+    fn empty_releases() -> (HashMap<ProcessId, Time>, HashMap<MessageId, Time>) {
+        (HashMap::new(), HashMap::new())
+    }
+
+    #[test]
+    fn chain_respects_precedence_and_bus_timing() {
+        let (system, tdma) = fixture();
+        let (pr, mr) = empty_releases();
+        let input = SchedulerInput {
+            system: &system,
+            tdma: &tdma,
+            process_releases: &pr,
+            message_releases: &mr,
+        };
+        let s = list_schedule(&input).expect("schedulable");
+        let app = &system.application;
+        let p1 = ProcessId::new(0);
+        let p2 = ProcessId::new(1);
+        let p3 = ProcessId::new(2);
+        let m0 = MessageId::new(0);
+        let m1 = MessageId::new(1);
+
+        assert_eq!(s.start(p1), Some(Time::ZERO));
+        // m0 goes in N1's slot (second slot, [20,40) of each 60 ms round)
+        // after P1 finishes at 30 -> round 1 occurrence [80, 100).
+        let f0 = s.frame(m0).expect("placed");
+        assert_eq!(f0.slot_start, Time::from_millis(80));
+        assert_eq!(f0.arrival, Time::from_millis(100));
+        // P2 starts at the frame arrival.
+        assert_eq!(s.start(p2), Some(Time::from_millis(100)));
+        // m1 in N2's slot ([40,60)) after P2 finishes at 120 -> [160, 180).
+        let f1 = s.frame(m1).expect("placed");
+        assert_eq!(f1.arrival, Time::from_millis(180));
+        assert_eq!(s.start(p3), Some(Time::from_millis(180)));
+        assert_eq!(s.makespan(), Time::from_millis(190));
+        assert_eq!(app.process(p3).wcet(), Time::from_millis(10));
+    }
+
+    #[test]
+    fn releases_delay_processes() {
+        let (system, tdma) = fixture();
+        let (mut pr, mr) = empty_releases();
+        pr.insert(ProcessId::new(0), Time::from_millis(25));
+        let input = SchedulerInput {
+            system: &system,
+            tdma: &tdma,
+            process_releases: &pr,
+            message_releases: &mr,
+        };
+        let s = list_schedule(&input).expect("schedulable");
+        assert_eq!(s.start(ProcessId::new(0)), Some(Time::from_millis(25)));
+    }
+
+    #[test]
+    fn cpu_is_exclusive_for_same_node_processes() {
+        let mut b = Architecture::builder();
+        let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+        let ng = b.add_node("NG", NodeRole::Gateway);
+        let arch = b.build().expect("valid");
+        let mut ab = Application::builder();
+        let g = ab.add_graph("G", Time::from_millis(100), Time::from_millis(100));
+        // Two independent processes on the same CPU must serialize.
+        ab.add_process(g, "a", n1, Time::from_millis(10));
+        ab.add_process(g, "b", n1, Time::from_millis(10));
+        let app = ab.build(&arch).expect("valid");
+        let system = System::new(app, arch);
+        let tdma = TdmaConfig::new(vec![
+            TdmaSlot {
+                node: ng,
+                capacity_bytes: 8,
+            },
+            TdmaSlot {
+                node: n1,
+                capacity_bytes: 8,
+            },
+        ]);
+        let (pr, mr) = empty_releases();
+        let input = SchedulerInput {
+            system: &system,
+            tdma: &tdma,
+            process_releases: &pr,
+            message_releases: &mr,
+        };
+        let s = list_schedule(&input).expect("schedulable");
+        let mut starts = [
+            s.start(ProcessId::new(0)).expect("scheduled"),
+            s.start(ProcessId::new(1)).expect("scheduled"),
+        ];
+        starts.sort();
+        assert_eq!(starts[0], Time::ZERO);
+        assert_eq!(starts[1], Time::from_millis(10));
+    }
+
+    #[test]
+    fn frames_pack_until_capacity_then_spill_to_next_round() {
+        let mut b = Architecture::builder();
+        let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+        let n2 = b.add_node("N2", NodeRole::TimeTriggered);
+        let ng = b.add_node("NG", NodeRole::Gateway);
+        b.ttp_params(TtpBusParams::new(Time::from_micros(1_000), Time::ZERO));
+        let arch = b.build().expect("valid");
+        let mut ab = Application::builder();
+        let g = ab.add_graph("G", Time::from_millis(500), Time::from_millis(500));
+        let src = ab.add_process(g, "src", n1, Time::from_millis(1));
+        for i in 0..3 {
+            let dst = ab.add_process(g, format!("d{i}"), n2, Time::from_millis(1));
+            ab.link(src, dst, 6); // three 6-byte messages, slot capacity 8
+        }
+        let app = ab.build(&arch).expect("valid");
+        let system = System::new(app, arch);
+        let tdma = TdmaConfig::new(vec![
+            TdmaSlot {
+                node: ng,
+                capacity_bytes: 8,
+            },
+            TdmaSlot {
+                node: n1,
+                capacity_bytes: 8,
+            },
+            TdmaSlot {
+                node: n2,
+                capacity_bytes: 8,
+            },
+        ]);
+        let (pr, mr) = empty_releases();
+        let input = SchedulerInput {
+            system: &system,
+            tdma: &tdma,
+            process_releases: &pr,
+            message_releases: &mr,
+        };
+        let s = list_schedule(&input).expect("schedulable");
+        let mut rounds: Vec<u64> = (0..3)
+            .map(|i| s.frame(MessageId::new(i)).expect("placed").round)
+            .collect();
+        rounds.sort();
+        // Only one 6-byte message fits per 8-byte occurrence.
+        assert_eq!(rounds, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oversized_message_is_rejected() {
+        let (system, tdma) = fixture();
+        // Shrink N1's slot below the 8-byte message size.
+        let mut small = tdma.clone();
+        small.slots_mut()[1].capacity_bytes = 4;
+        let (pr, mr) = empty_releases();
+        let input = SchedulerInput {
+            system: &system,
+            tdma: &small,
+            process_releases: &pr,
+            message_releases: &mr,
+        };
+        assert_eq!(
+            list_schedule(&input).unwrap_err(),
+            ScheduleError::MessageTooLarge {
+                message: MessageId::new(0),
+                capacity: 4
+            }
+        );
+    }
+
+    #[test]
+    fn critical_path_orders_longer_chains_first() {
+        let (system, tdma) = fixture();
+        let prio = critical_path_priorities(&system, &tdma);
+        // P1 heads the whole chain: its CP must exceed P3's.
+        assert!(prio[&ProcessId::new(0)] > prio[&ProcessId::new(2)]);
+    }
+
+    #[test]
+    fn empty_round_is_rejected() {
+        let (system, _) = fixture();
+        let tdma = TdmaConfig::new(vec![]);
+        let (pr, mr) = empty_releases();
+        let input = SchedulerInput {
+            system: &system,
+            tdma: &tdma,
+            process_releases: &pr,
+            message_releases: &mr,
+        };
+        assert_eq!(list_schedule(&input).unwrap_err(), ScheduleError::EmptyRound);
+    }
+}

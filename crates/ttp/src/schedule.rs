@@ -1,0 +1,196 @@
+//! The output of static scheduling: per-node schedule tables and the MEDL.
+//!
+//! On a time-triggered cluster the synthesis produces, for every node, a
+//! *schedule table* (process start times) and, for every TTP controller, a
+//! *message descriptor list* (MEDL) saying which frame goes out in which slot
+//! occurrence. [`TtcSchedule`] is the in-memory form of both.
+
+use std::collections::HashMap;
+
+use mcs_model::{MessageId, NodeId, ProcessId, SlotId, Time};
+
+/// Placement of one message's TTP leg into a concrete slot occurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FramePlacement {
+    /// The TDMA slot carrying the frame.
+    pub slot: SlotId,
+    /// The round index of the occurrence.
+    pub round: u64,
+    /// Wire start of the slot occurrence.
+    pub slot_start: Time,
+    /// Wire end of the slot occurrence — when the message is available at
+    /// every receiving controller's MBI.
+    pub arrival: Time,
+}
+
+/// A statically scheduled TTC: process start times (the schedule tables) and
+/// frame placements (the MEDLs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TtcSchedule {
+    starts: HashMap<ProcessId, Time>,
+    frames: HashMap<MessageId, FramePlacement>,
+    makespan: Time,
+}
+
+impl TtcSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the start time of a TT process.
+    pub fn set_start(&mut self, process: ProcessId, start: Time) {
+        self.starts.insert(process, start);
+    }
+
+    /// Records the frame placement of a message's TTP leg.
+    pub fn set_frame(&mut self, message: MessageId, placement: FramePlacement) {
+        self.frames.insert(message, placement);
+    }
+
+    /// Updates the makespan if `finish` extends it.
+    pub fn extend_makespan(&mut self, finish: Time) {
+        self.makespan = self.makespan.max(finish);
+    }
+
+    /// The scheduled start (offset) of a TT process, if scheduled.
+    pub fn start(&self, process: ProcessId) -> Option<Time> {
+        self.starts.get(&process).copied()
+    }
+
+    /// The frame placement of a message, if scheduled on the TTP bus.
+    pub fn frame(&self, message: MessageId) -> Option<FramePlacement> {
+        self.frames.get(&message).copied()
+    }
+
+    /// Latest completion over everything scheduled.
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Number of scheduled processes.
+    pub fn process_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Number of placed frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Iterates over all (process, start) entries in unspecified order.
+    pub fn starts(&self) -> impl Iterator<Item = (ProcessId, Time)> + '_ {
+        self.starts.iter().map(|(&p, &t)| (p, t))
+    }
+
+    /// Iterates over all (message, placement) entries in unspecified order.
+    pub fn frames(&self) -> impl Iterator<Item = (MessageId, FramePlacement)> + '_ {
+        self.frames.iter().map(|(&m, &f)| (m, f))
+    }
+
+    /// Renders the MEDL of one node: the chronologically ordered frame
+    /// placements in that node's slot.
+    pub fn medl_of_slot(&self, slot: SlotId) -> Vec<(MessageId, FramePlacement)> {
+        let mut entries: Vec<_> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.slot == slot)
+            .map(|(&m, &f)| (m, f))
+            .collect();
+        entries.sort_by_key(|(m, f)| (f.round, *m));
+        entries
+    }
+
+    /// Renders the schedule table of one node given the mapping of processes
+    /// to nodes, ordered by start time.
+    pub fn table_of_node<'a>(
+        &'a self,
+        node: NodeId,
+        node_of: impl Fn(ProcessId) -> NodeId + 'a,
+    ) -> Vec<(ProcessId, Time)> {
+        let mut entries: Vec<_> = self
+            .starts
+            .iter()
+            .filter(|(&p, _)| node_of(p) == node)
+            .map(|(&p, &t)| (p, t))
+            .collect();
+        entries.sort_by_key(|&(p, t)| (t, p));
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_round_trips_entries() {
+        let mut s = TtcSchedule::new();
+        s.set_start(ProcessId::new(1), Time::from_millis(10));
+        s.extend_makespan(Time::from_millis(40));
+        s.set_frame(
+            MessageId::new(0),
+            FramePlacement {
+                slot: SlotId::new(1),
+                round: 1,
+                slot_start: Time::from_millis(60),
+                arrival: Time::from_millis(80),
+            },
+        );
+        assert_eq!(s.start(ProcessId::new(1)), Some(Time::from_millis(10)));
+        assert_eq!(s.start(ProcessId::new(9)), None);
+        assert_eq!(
+            s.frame(MessageId::new(0)).map(|f| f.arrival),
+            Some(Time::from_millis(80))
+        );
+        assert_eq!(s.makespan(), Time::from_millis(40));
+        assert_eq!(s.process_count(), 1);
+        assert_eq!(s.frame_count(), 1);
+    }
+
+    #[test]
+    fn makespan_only_grows() {
+        let mut s = TtcSchedule::new();
+        s.extend_makespan(Time::from_millis(50));
+        s.extend_makespan(Time::from_millis(30));
+        assert_eq!(s.makespan(), Time::from_millis(50));
+    }
+
+    #[test]
+    fn medl_is_ordered_by_round() {
+        let mut s = TtcSchedule::new();
+        let slot = SlotId::new(0);
+        for (round, m) in [(3u64, 2u32), (1, 0), (2, 1)] {
+            s.set_frame(
+                MessageId::new(m),
+                FramePlacement {
+                    slot,
+                    round,
+                    slot_start: Time::from_millis(40 * round),
+                    arrival: Time::from_millis(40 * round + 20),
+                },
+            );
+        }
+        let medl = s.medl_of_slot(slot);
+        let rounds: Vec<u64> = medl.iter().map(|(_, f)| f.round).collect();
+        assert_eq!(rounds, vec![1, 2, 3]);
+        assert!(s.medl_of_slot(SlotId::new(5)).is_empty());
+    }
+
+    #[test]
+    fn node_table_is_ordered_by_start() {
+        let mut s = TtcSchedule::new();
+        s.set_start(ProcessId::new(0), Time::from_millis(30));
+        s.set_start(ProcessId::new(1), Time::from_millis(10));
+        s.set_start(ProcessId::new(2), Time::from_millis(20));
+        let table = s.table_of_node(NodeId::new(0), |p| {
+            if p == ProcessId::new(2) {
+                NodeId::new(1)
+            } else {
+                NodeId::new(0)
+            }
+        });
+        let procs: Vec<u32> = table.iter().map(|(p, _)| p.raw()).collect();
+        assert_eq!(procs, vec![1, 0]);
+    }
+}

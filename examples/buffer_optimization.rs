@@ -1,0 +1,60 @@
+//! Buffer minimization: run the full `OptimizeResources` pipeline on a
+//! generated system and show how the hill climber shrinks the gateway and
+//! node queues while keeping the system schedulable.
+//!
+//! Run with `cargo run --release --example buffer_optimization`.
+
+use mcs::core::AnalysisParams;
+use mcs::gen::{generate, GeneratorParams};
+use mcs::opt::{optimize_resources, OrParams};
+
+fn main() {
+    let system = generate(&GeneratorParams::paper_sized(4, 7));
+    println!(
+        "generated system: {} processes on {} nodes, {} messages \
+         ({} inter-cluster)",
+        system.application.processes().len(),
+        system.architecture.node_count(),
+        system.application.messages().len(),
+        system.inter_cluster_message_count()
+    );
+
+    let analysis = AnalysisParams::default();
+    let or = optimize_resources(&system, &analysis, &OrParams::default());
+
+    let os = &or.os.best;
+    println!();
+    println!("step 1 (OptimizeSchedule): schedulable = {}", os.is_schedulable());
+    println!("  total buffers: {} B", os.total_buffers);
+    println!(
+        "  seeds handed to the hill climber: {}",
+        or.os.seeds.len()
+    );
+
+    println!();
+    println!(
+        "step 2 (OptimizeResources): {} evaluations",
+        or.evaluations
+    );
+    println!(
+        "  total buffers: {} B ({:+.1} % vs OS)",
+        or.best.total_buffers,
+        (or.best.total_buffers as f64 - os.total_buffers as f64) / os.total_buffers as f64
+            * 100.0
+    );
+    println!("  still schedulable: {}", or.best.is_schedulable());
+
+    println!();
+    println!("per-queue bounds after optimization:");
+    println!("  Out_CAN: {:>6} B", or.best.outcome.queues.out_can);
+    println!("  Out_TTP: {:>6} B", or.best.outcome.queues.out_ttp);
+    let mut nodes: Vec<_> = or.best.outcome.queues.out_node.iter().collect();
+    nodes.sort();
+    for (node, bytes) in nodes {
+        println!(
+            "  Out_{:<4}: {:>5} B",
+            system.architecture.node(*node).name(),
+            bytes
+        );
+    }
+}

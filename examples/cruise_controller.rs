@@ -1,0 +1,69 @@
+//! The paper's real-life example: synthesize the vehicle cruise controller
+//! (40 processes, deadline 250 ms) with the straightforward baseline and
+//! with the OS heuristic, and compare.
+//!
+//! Run with `cargo run --release --example cruise_controller`.
+
+use mcs::core::AnalysisParams;
+use mcs::gen::cruise_controller;
+use mcs::opt::{evaluate, optimize_schedule, straightforward_config, OsParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cc = cruise_controller();
+    let graph = cc.system.application.graphs()[0].id();
+    let deadline = cc.system.application.graphs()[0].deadline();
+    let analysis = AnalysisParams::default();
+
+    println!(
+        "cruise controller: {} processes, {} messages ({} crossing the gateway), deadline {}",
+        cc.system.application.processes().len(),
+        cc.system.application.messages().len(),
+        cc.system.inter_cluster_message_count(),
+        deadline
+    );
+
+    // Straightforward configuration: ascending slots, minimal lengths,
+    // unoptimized priorities.
+    let sf = evaluate(&cc.system, straightforward_config(&cc.system), &analysis)?;
+    println!(
+        "SF: response {:>8}  -> {}",
+        sf.outcome.graph_response(graph).to_string(),
+        if sf.is_schedulable() {
+            "meets the deadline"
+        } else {
+            "MISSES the deadline"
+        }
+    );
+
+    // OptimizeSchedule: greedy slot sequence + slot lengths + HOPA
+    // priorities.
+    let os = optimize_schedule(&cc.system, &analysis, &OsParams::default());
+    println!(
+        "OS: response {:>8}  -> {}",
+        os.best.outcome.graph_response(graph).to_string(),
+        if os.best.is_schedulable() {
+            "meets the deadline"
+        } else {
+            "MISSES the deadline"
+        }
+    );
+
+    println!();
+    println!("synthesized TDMA round (OS):");
+    for (i, slot) in os.best.config.tdma.slots().iter().enumerate() {
+        println!(
+            "  slot {} -> {} ({} bytes)",
+            i,
+            cc.system.architecture.node(slot.node).name(),
+            slot.capacity_bytes
+        );
+    }
+    println!();
+    println!(
+        "buffer bounds (OS): Out_CAN {} B, Out_TTP {} B, total {} B",
+        os.best.outcome.queues.out_can,
+        os.best.outcome.queues.out_ttp,
+        os.best.outcome.queues.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # mcs — multi-cluster distributed embedded system synthesis
+//!
+//! A reproduction of *Pop, Eles, Peng — "Schedulability Analysis and
+//! Optimization for the Synthesis of Multi-Cluster Distributed Embedded
+//! Systems" (DATE 2003)*: schedulability analysis, gateway buffer-size
+//! analysis and synthesis heuristics for architectures built from a
+//! time-triggered cluster (TTP/TDMA) and an event-triggered cluster (CAN)
+//! joined by a gateway.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`model`] — application/architecture model and the configuration ψ;
+//! * [`ttp`] — TDMA rounds, schedule tables (MEDL), the static list
+//!   scheduler;
+//! * [`can`] — CAN frame timing, arbitration, queuing-delay analysis;
+//! * [`core`] — the multi-cluster schedulability analysis (the paper's
+//!   contribution): [`core::multi_cluster_scheduling`];
+//! * [`opt`] — HOPA priorities, the OS/OR heuristics and the SF/SAS/SAR
+//!   baselines;
+//! * [`sim`] — a discrete-event simulator validating the analysis bounds;
+//! * [`gen`] — workload generation (paper §6 setup, Figure 4 example,
+//!   cruise controller).
+//!
+//! # Examples
+//!
+//! Synthesize a schedulable configuration for a generated system and verify
+//! it in simulation:
+//!
+//! ```
+//! use mcs::core::{multi_cluster_scheduling, AnalysisParams};
+//! use mcs::gen::{generate, GeneratorParams};
+//! use mcs::opt::{optimize_schedule, OsParams};
+//! use mcs::sim::{simulate, SimParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system = generate(&GeneratorParams::paper_sized(2, 42));
+//! let os = optimize_schedule(&system, &AnalysisParams::default(), &OsParams::default());
+//! if os.best.is_schedulable() {
+//!     let outcome =
+//!         multi_cluster_scheduling(&system, &os.best.config, &AnalysisParams::default())?;
+//!     let report = simulate(&system, &os.best.config, &outcome, &SimParams::default());
+//!     assert!(report.soundness_violations(&system, &outcome).is_empty());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mcs_can as can;
+pub use mcs_core as core;
+pub use mcs_gen as gen;
+pub use mcs_model as model;
+pub use mcs_opt as opt;
+pub use mcs_sim as sim;
+pub use mcs_ttp as ttp;

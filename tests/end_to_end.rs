@@ -1,0 +1,122 @@
+//! End-to-end integration: generate → synthesize → analyze → simulate,
+//! across the full crate stack.
+
+use mcs::core::{
+    degree_of_schedulability, multi_cluster_scheduling, AnalysisParams,
+};
+use mcs::gen::{cruise_controller, figure4, generate, GeneratorParams};
+use mcs::model::Time;
+use mcs::opt::{
+    evaluate, optimize_resources, optimize_schedule, sa_resources, straightforward_config,
+    OrParams, OsParams, SaParams,
+};
+use mcs::sim::{simulate, SimParams};
+
+#[test]
+fn full_pipeline_on_a_generated_system() {
+    let system = generate(&GeneratorParams::paper_sized(2, 3));
+    let analysis = AnalysisParams::default();
+
+    // SF baseline and OS heuristic.
+    let sf = evaluate(&system, straightforward_config(&system), &analysis).expect("SF analyzable");
+    let os = optimize_schedule(&system, &analysis, &OsParams::default());
+    assert!(os.best.schedule_cost() <= sf.schedule_cost());
+
+    // OR never loses schedulability nor worsens the buffers.
+    let or = optimize_resources(&system, &analysis, &OrParams::default());
+    if os.best.is_schedulable() {
+        assert!(or.best.is_schedulable());
+        assert!(or.best.total_buffers <= os.best.total_buffers);
+
+        // The synthesized configuration survives simulation.
+        let outcome =
+            multi_cluster_scheduling(&system, &or.best.config, &analysis).expect("analyzable");
+        let report = simulate(&system, &or.best.config, &outcome, &SimParams::default());
+        assert!(report
+            .soundness_violations(&system, &outcome)
+            .is_empty());
+    }
+}
+
+#[test]
+fn cruise_controller_reproduces_the_paper_shape() {
+    let cc = cruise_controller();
+    let analysis = AnalysisParams::default();
+    let graph = cc.system.application.graphs()[0].id();
+
+    // Paper: SF misses the 250 ms deadline, OS meets it.
+    let sf = evaluate(&cc.system, straightforward_config(&cc.system), &analysis)
+        .expect("SF analyzable");
+    assert!(!sf.is_schedulable(), "SF must miss (paper: 320 ms)");
+    let or = optimize_resources(&cc.system, &analysis, &OrParams::default());
+    assert!(or.os.best.is_schedulable(), "OS must meet (paper: 185 ms)");
+    assert!(
+        or.os.best.outcome.graph_response(graph) < sf.outcome.graph_response(graph)
+    );
+    // Paper: OR reduces the buffer need (24 % there) and stays close to SAR.
+    assert!(or.best.total_buffers < or.os.best.total_buffers);
+    let sar = sa_resources(
+        &cc.system,
+        &analysis,
+        &SaParams {
+            iterations: 300,
+            seed: 1,
+            ..SaParams::default()
+        },
+    );
+    assert!(sar.is_schedulable());
+    // OR within 25 % of the SAR reference (paper: 6 %).
+    let or_b = or.best.total_buffers as f64;
+    let sar_b = sar.total_buffers as f64;
+    assert!(
+        or_b <= sar_b * 1.25,
+        "OR {or_b} too far from SAR {sar_b}"
+    );
+}
+
+#[test]
+fn figure4_shape_holds_end_to_end() {
+    let fig = figure4(Time::from_millis(240));
+    let analysis = AnalysisParams::default();
+    let a = evaluate(&fig.system, fig.config_a.clone(), &analysis).expect("analyzable");
+    let b = evaluate(&fig.system, fig.config_b.clone(), &analysis).expect("analyzable");
+    let c = evaluate(&fig.system, fig.config_c.clone(), &analysis).expect("analyzable");
+    assert!(!a.is_schedulable());
+    assert!(b.is_schedulable());
+    assert!(c.is_schedulable());
+    // OS must do at least as well as the best hand configuration.
+    let os = optimize_schedule(&fig.system, &analysis, &OsParams::default());
+    assert!(os.best.is_schedulable());
+    assert!(os.best.schedule_cost() <= c.schedule_cost().max(b.schedule_cost()));
+}
+
+#[test]
+fn deterministic_pipeline_results_across_runs() {
+    let analysis = AnalysisParams::default();
+    let run = || {
+        let system = generate(&GeneratorParams::paper_sized(2, 9));
+        let os = optimize_schedule(&system, &analysis, &OsParams::default());
+        (
+            os.best.schedule_cost(),
+            os.best.total_buffers,
+            os.evaluations,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn degree_of_schedulability_orders_the_figure4_configs() {
+    let fig = figure4(Time::from_millis(240));
+    let analysis = AnalysisParams::default();
+    let degree = |config| {
+        let outcome = multi_cluster_scheduling(&fig.system, config, &analysis).expect("ok");
+        degree_of_schedulability(&fig.system, &outcome)
+    };
+    let da = degree(&fig.config_a);
+    let db = degree(&fig.config_b);
+    let dc = degree(&fig.config_c);
+    // (c) has the most slack, (a) is the only miss.
+    assert!(dc.cost() < db.cost());
+    assert!(db.cost() < da.cost());
+}

@@ -1,0 +1,125 @@
+//! Property-based tests over randomly generated systems: invariants of the
+//! analysis, the optimizers and the analysis/simulation contract.
+
+use proptest::prelude::*;
+
+use mcs::core::{multi_cluster_scheduling, AnalysisParams, FifoBound};
+use mcs::gen::{generate, Distribution, GeneratorParams};
+use mcs::opt::{evaluate, hopa_priorities, straightforward_config};
+use mcs::sim::{simulate, ExecutionModel, SimParams};
+
+fn params_from(
+    seed: u64,
+    exponential: bool,
+    util_permille: u32,
+    inter_cluster: usize,
+) -> GeneratorParams {
+    let mut p = GeneratorParams::paper_sized(2, seed);
+    p.processes_per_node = 10;
+    p.graphs = 4;
+    p.utilization_permille = 150 + util_permille % 200;
+    p.inter_cluster_messages = Some(1 + inter_cluster);
+    if exponential {
+        p.wcet_distribution = Distribution::Exponential;
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Response times always dominate WCETs; offsets and responses are
+    /// finite for converged analyses.
+    #[test]
+    fn responses_dominate_wcets(seed in 0u64..500, exp in any::<bool>(),
+                                util in 0u32..200, cross in 0usize..8) {
+        let system = generate(&params_from(seed, exp, util, cross));
+        let config = {
+            let mut c = straightforward_config(&system);
+            c.priorities = hopa_priorities(&system, &c.tdma);
+            c
+        };
+        let outcome = multi_cluster_scheduling(&system, &config, &AnalysisParams::default())
+            .expect("generated configurations are analyzable");
+        for p in system.application.processes() {
+            let t = outcome.process_timing(p.id());
+            prop_assert!(t.response >= p.wcet(),
+                "{}: r {} < C {}", p.name(), t.response, p.wcet());
+        }
+    }
+
+    /// The occurrence-based FIFO bound never exceeds the paper's closed
+    /// form on any graph response.
+    #[test]
+    fn occurrence_bound_is_never_looser(seed in 0u64..500, cross in 0usize..8) {
+        let system = generate(&params_from(seed, false, 50, cross));
+        let config = {
+            let mut c = straightforward_config(&system);
+            c.priorities = hopa_priorities(&system, &c.tdma);
+            c
+        };
+        let tight = multi_cluster_scheduling(&system, &config, &AnalysisParams {
+            fifo_bound: FifoBound::SlotOccurrence,
+            ..AnalysisParams::default()
+        }).expect("analyzable");
+        let loose = multi_cluster_scheduling(&system, &config, &AnalysisParams {
+            fifo_bound: FifoBound::PaperClosedForm,
+            ..AnalysisParams::default()
+        }).expect("analyzable");
+        for g in system.application.graphs() {
+            prop_assert!(tight.graph_response(g.id()) <= loose.graph_response(g.id()));
+        }
+    }
+
+    /// Analysis soundness against the simulator on schedulable systems,
+    /// under randomized execution times.
+    #[test]
+    fn analysis_bounds_the_simulation(seed in 0u64..200, sim_seed in 0u64..16) {
+        let system = generate(&params_from(seed, false, 30, 3));
+        let config = {
+            let mut c = straightforward_config(&system);
+            c.priorities = hopa_priorities(&system, &c.tdma);
+            c
+        };
+        let analysis = AnalysisParams::default();
+        let eval = evaluate(&system, config.clone(), &analysis).expect("analyzable");
+        prop_assume!(eval.is_schedulable());
+        let report = simulate(&system, &config, &eval.outcome, &SimParams {
+            activations: 2,
+            execution: ExecutionModel::RandomUniform,
+            seed: sim_seed,
+        });
+        let violations = report.soundness_violations(&system, &eval.outcome);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// δΓ is monotone under deadline tightening: shrinking every deadline
+    /// never improves the degree of schedulability.
+    #[test]
+    fn tighter_deadlines_never_help(seed in 0u64..300) {
+        let loose = {
+            let mut p = params_from(seed, false, 50, 2);
+            p.deadline_permille = 1_000;
+            generate(&p)
+        };
+        let tight = {
+            let mut p = params_from(seed, false, 50, 2);
+            p.deadline_permille = 500;
+            generate(&p)
+        };
+        let analysis = AnalysisParams::default();
+        let config_l = {
+            let mut c = straightforward_config(&loose);
+            c.priorities = hopa_priorities(&loose, &c.tdma);
+            c
+        };
+        let config_t = {
+            let mut c = straightforward_config(&tight);
+            c.priorities = hopa_priorities(&tight, &c.tdma);
+            c
+        };
+        let el = evaluate(&loose, config_l, &analysis).expect("analyzable");
+        let et = evaluate(&tight, config_t, &analysis).expect("analyzable");
+        prop_assert!(et.schedule_cost() >= el.schedule_cost());
+    }
+}
