@@ -1,10 +1,15 @@
 //! Run-time benchmarks of the analysis kernels: the `MultiClusterScheduling`
-//! fixed point at the paper's application sizes, the CAN queuing analysis,
-//! the FIFO-bound ablation, and the discrete-event simulator.
+//! fixed point at the paper's application sizes, fresh-per-call vs
+//! context-reuse evaluation, the CAN queuing analysis, the FIFO-bound
+//! ablation, and the discrete-event simulator.
+//!
+//! The `evaluator_reuse` group additionally writes `BENCH_core.json` (repo
+//! root, or `BENCH_CORE_JSON` if set) with evaluations/second for both
+//! paths, so the core perf trajectory is tracked from PR 1 onward.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mcs_core::{multi_cluster_scheduling, AnalysisParams, FifoBound};
+use mcs_core::{multi_cluster_scheduling, AnalysisParams, Evaluator, FifoBound};
 use mcs_gen::{cruise_controller, generate, GeneratorParams};
 use mcs_model::Time;
 use mcs_opt::straightforward_config;
@@ -17,17 +22,76 @@ fn bench_multi_cluster_scheduling(c: &mut Criterion) {
         let system = generate(&GeneratorParams::paper_sized(nodes, 7));
         let config = straightforward_config(&system);
         let params = AnalysisParams::default();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(nodes * 40),
-            &nodes,
-            |b, _| {
-                b.iter(|| {
-                    multi_cluster_scheduling(&system, &config, &params).expect("analyzable")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(nodes * 40), &nodes, |b, _| {
+            b.iter(|| multi_cluster_scheduling(&system, &config, &params).expect("analyzable"))
+        });
     }
     group.finish();
+}
+
+/// The seed's fresh-per-call evaluation (verbatim in
+/// [`mcs_bench::seed_baseline`]: every derived table and fixed-point vector
+/// rebuilt per call) vs one reused [`Evaluator`], on a paper-sized instance
+/// (160 processes — the size of the paper's Figure 9c sweep). The
+/// equivalence of their results is a test in `seed_baseline`. Emits
+/// `BENCH_core.json`.
+fn bench_evaluator_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluator_reuse");
+    group.sample_size(20);
+    let system = generate(&GeneratorParams::paper_sized(4, 7));
+    let config = {
+        let mut c = straightforward_config(&system);
+        c.priorities = mcs_opt::hopa_priorities(&system, &c.tdma);
+        c
+    };
+    let params = AnalysisParams::default();
+
+    group.bench_function("seed_fresh_per_call", |b| {
+        b.iter(|| {
+            mcs_bench::seed_baseline::seed_evaluate(&system, config.clone(), &params)
+                .expect("analyzable")
+        })
+    });
+    group.bench_function("fresh_per_call", |b| {
+        b.iter(|| mcs_opt::evaluate(&system, config.clone(), &params).expect("analyzable"))
+    });
+    let mut evaluator = Evaluator::new(&system, params);
+    group.bench_function("context_reuse", |b| {
+        b.iter(|| evaluator.evaluate(&config).expect("analyzable"))
+    });
+    group.finish();
+    drop(group);
+
+    // Persist evaluations/second for the perf trajectory.
+    let result_of = |criterion: &Criterion, suffix: &str| {
+        criterion
+            .results
+            .iter()
+            .rev()
+            .find(|r| r.id.ends_with(suffix))
+            .map(|r| 1e9 / r.mean_ns)
+            .unwrap_or(0.0)
+    };
+    let seed = result_of(c, "seed_fresh_per_call");
+    let fresh = result_of(c, "fresh_per_call");
+    let reused = result_of(c, "context_reuse");
+    let json = format!(
+        "{{\n  \"bench\": \"evaluator_reuse\",\n  \"instance\": \"paper_sized(4, 7) — 160 \
+         processes\",\n  \"seed_evaluations_per_sec\": {seed:.2},\n  \
+         \"fresh_evaluations_per_sec\": {fresh:.2},\n  \
+         \"reused_evaluations_per_sec\": {reused:.2},\n  \
+         \"speedup_vs_seed\": {:.2},\n  \"speedup_vs_fresh\": {:.2}\n}}\n",
+        reused / seed.max(f64::MIN_POSITIVE),
+        reused / fresh.max(f64::MIN_POSITIVE)
+    );
+    let path = std::env::var("BENCH_CORE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json").to_string()
+    });
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}: {fresh:.0} -> {reused:.0} evaluations/s");
+    }
 }
 
 fn bench_fifo_bound_variants(c: &mut Criterion) {
@@ -78,14 +142,7 @@ fn bench_simulator(c: &mut Criterion) {
     let outcome =
         multi_cluster_scheduling(&cc.system, &os.best.config, &analysis).expect("analyzable");
     group.bench_function("cruise_4_activations", |b| {
-        b.iter(|| {
-            simulate(
-                &cc.system,
-                &os.best.config,
-                &outcome,
-                &SimParams::default(),
-            )
-        })
+        b.iter(|| simulate(&cc.system, &os.best.config, &outcome, &SimParams::default()))
     });
     group.finish();
 }
@@ -93,6 +150,7 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_multi_cluster_scheduling,
+    bench_evaluator_reuse,
     bench_fifo_bound_variants,
     bench_can_rta,
     bench_simulator

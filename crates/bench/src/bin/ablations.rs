@@ -5,13 +5,16 @@
 //! 2. the occurrence-based `Out_TTP` bound vs. the paper's closed form;
 //! 3. OR seeded from the full OS seed pool vs. from the single best-δΓ
 //!    configuration.
+//!
+//! Each ablation's seed sweep runs in parallel (`RAYON_NUM_THREADS` caps
+//! the workers); rows are printed after collection, in seed order.
+
+use rayon::prelude::*;
 
 use mcs_bench::{cell, mean, ExperimentOptions};
 use mcs_core::{multi_cluster_scheduling, AnalysisParams, FifoBound};
 use mcs_gen::{generate, GeneratorParams};
-use mcs_opt::{
-    evaluate, hopa_priorities, optimize_resources, straightforward_config, OrParams,
-};
+use mcs_opt::{evaluate, hopa_priorities, optimize_resources, straightforward_config, OrParams};
 
 fn main() {
     let options = ExperimentOptions::from_args();
@@ -19,80 +22,84 @@ fn main() {
 
     println!("Ablation 1 — priority assignment (δΓ cost; lower is better)");
     println!("{:>6} {:>12} {:>12}", "seed", "index-order", "HOPA");
-    for seed in 0..options.seeds {
-        let system = generate(&GeneratorParams::paper_sized(4, seed));
-        let sf = straightforward_config(&system);
-        let mut hopa = sf.clone();
-        hopa.priorities = hopa_priorities(&system, &hopa.tdma);
-        let a = evaluate(&system, sf, &analysis).expect("analyzable");
-        let b = evaluate(&system, hopa, &analysis).expect("analyzable");
-        println!(
-            "{:>6} {:>12} {:>12}",
-            seed,
-            a.schedule_cost(),
-            b.schedule_cost()
-        );
+    let rows: Vec<(i128, i128)> = (0..options.seeds)
+        .into_par_iter()
+        .map(|seed| {
+            let system = generate(&GeneratorParams::paper_sized(4, seed));
+            let sf = straightforward_config(&system);
+            let mut hopa = sf.clone();
+            hopa.priorities = hopa_priorities(&system, &hopa.tdma);
+            let a = evaluate(&system, sf, &analysis).expect("analyzable");
+            let b = evaluate(&system, hopa, &analysis).expect("analyzable");
+            (a.schedule_cost(), b.schedule_cost())
+        })
+        .collect();
+    for (seed, (index_order, hopa)) in rows.into_iter().enumerate() {
+        println!("{seed:>6} {index_order:>12} {hopa:>12}");
     }
     println!();
 
     println!("Ablation 2 — Out_TTP bound (graph-response sum in ms; lower = tighter)");
     println!("{:>6} {:>12} {:>12}", "seed", "closed-form", "occurrence");
-    for seed in 0..options.seeds {
-        let system = generate(&GeneratorParams::paper_sized(4, seed));
-        let config = {
-            let mut c = straightforward_config(&system);
-            c.priorities = hopa_priorities(&system, &c.tdma);
-            c
-        };
-        let total = |bound| {
-            let params = AnalysisParams {
-                fifo_bound: bound,
-                ..analysis
+    let rows: Vec<(u64, u64)> = (0..options.seeds)
+        .into_par_iter()
+        .map(|seed| {
+            let system = generate(&GeneratorParams::paper_sized(4, seed));
+            let config = {
+                let mut c = straightforward_config(&system);
+                c.priorities = hopa_priorities(&system, &c.tdma);
+                c
             };
-            let outcome =
-                multi_cluster_scheduling(&system, &config, &params).expect("analyzable");
-            system
-                .application
-                .graphs()
-                .iter()
-                .map(|g| outcome.graph_response(g.id()).ticks() / 1_000)
-                .sum::<u64>()
-        };
-        println!(
-            "{:>6} {:>12} {:>12}",
-            seed,
-            total(FifoBound::PaperClosedForm),
-            total(FifoBound::SlotOccurrence)
-        );
+            let total = |bound| {
+                let params = AnalysisParams {
+                    fifo_bound: bound,
+                    ..analysis
+                };
+                let outcome =
+                    multi_cluster_scheduling(&system, &config, &params).expect("analyzable");
+                system
+                    .application
+                    .graphs()
+                    .iter()
+                    .map(|g| outcome.graph_response(g.id()).ticks() / 1_000)
+                    .sum::<u64>()
+            };
+            (
+                total(FifoBound::PaperClosedForm),
+                total(FifoBound::SlotOccurrence),
+            )
+        })
+        .collect();
+    for (seed, (closed, occurrence)) in rows.into_iter().enumerate() {
+        println!("{seed:>6} {closed:>12} {occurrence:>12}");
     }
     println!();
 
     println!("Ablation 3 — OR seeding (s_total in bytes; lower is better)");
     println!("{:>6} {:>12} {:>12}", "seed", "best-only", "seed-pool");
-    let mut pool_wins = Vec::new();
-    for seed in 0..options.seeds {
-        let system = generate(&GeneratorParams::paper_sized(2, seed));
-        let pool = optimize_resources(&system, &analysis, &OrParams::default());
-        let best_only = optimize_resources(
-            &system,
-            &analysis,
-            &OrParams {
-                os: mcs_opt::OsParams {
-                    seed_limit: 1,
-                    ..mcs_opt::OsParams::default()
+    let rows: Vec<(u64, u64)> = (0..options.seeds)
+        .into_par_iter()
+        .map(|seed| {
+            let system = generate(&GeneratorParams::paper_sized(2, seed));
+            let pool = optimize_resources(&system, &analysis, &OrParams::default());
+            let best_only = optimize_resources(
+                &system,
+                &analysis,
+                &OrParams {
+                    os: mcs_opt::OsParams {
+                        seed_limit: 1,
+                        ..mcs_opt::OsParams::default()
+                    },
+                    ..OrParams::default()
                 },
-                ..OrParams::default()
-            },
-        );
-        println!(
-            "{:>6} {:>12} {:>12}",
-            seed,
-            best_only.best.total_buffers,
-            pool.best.total_buffers
-        );
-        pool_wins.push(
-            best_only.best.total_buffers as f64 - pool.best.total_buffers as f64,
-        );
+            );
+            (pool.best.total_buffers, best_only.best.total_buffers)
+        })
+        .collect();
+    let mut pool_wins = Vec::new();
+    for (seed, (pool, best_only)) in rows.into_iter().enumerate() {
+        println!("{seed:>6} {best_only:>12} {pool:>12}");
+        pool_wins.push(best_only as f64 - pool as f64);
     }
     println!(
         "mean bytes saved by the seed pool: {}",

@@ -5,6 +5,12 @@
 //! As in the paper, only instances where *all* algorithms obtained a
 //! schedulable system enter the averages; the count of SF failures is
 //! reported separately (the paper saw 26 of 150).
+//!
+//! Seeds are independent synthesis runs and are evaluated in parallel
+//! (`RAYON_NUM_THREADS` caps the workers); the aggregated output is
+//! identical to the sequential sweep.
+
+use rayon::prelude::*;
 
 use mcs_bench::{cell, mean, percent_deviation, ExperimentOptions};
 use mcs_core::AnalysisParams;
@@ -12,6 +18,14 @@ use mcs_gen::{generate, GeneratorParams};
 use mcs_opt::{
     evaluate, optimize_schedule, sa_schedule, straightforward_config, OsParams, SaParams,
 };
+
+struct SeedResult {
+    sf_cost: i128,
+    os_cost: i128,
+    sas_cost: i128,
+    sf_schedulable: bool,
+    all_schedulable: bool,
+}
 
 fn main() {
     let options = ExperimentOptions::from_args();
@@ -24,32 +38,47 @@ fn main() {
     let mut sf_failures = 0;
     let mut total = 0;
     for nodes in [2usize, 4, 6, 8, 10] {
+        let results: Vec<SeedResult> = (0..options.seeds)
+            .into_par_iter()
+            .map(|seed| {
+                let system = generate(&GeneratorParams::paper_sized(nodes, seed));
+                let sf = evaluate(&system, straightforward_config(&system), &analysis)
+                    .expect("SF configuration is analyzable");
+                let os = optimize_schedule(&system, &analysis, &OsParams::default());
+                let sas = sa_schedule(
+                    &system,
+                    &analysis,
+                    &SaParams {
+                        iterations: options.sa_iters,
+                        seed,
+                        ..SaParams::default()
+                    },
+                );
+                SeedResult {
+                    sf_cost: sf.schedule_cost(),
+                    os_cost: os.best.schedule_cost(),
+                    sas_cost: sas.schedule_cost(),
+                    sf_schedulable: sf.is_schedulable(),
+                    all_schedulable: sf.is_schedulable()
+                        && os.best.is_schedulable()
+                        && sas.is_schedulable(),
+                }
+            })
+            .collect();
+
         let mut sf_dev = Vec::new();
         let mut os_dev = Vec::new();
         let mut sf_failed_here = 0;
-        for seed in 0..options.seeds {
-            let system = generate(&GeneratorParams::paper_sized(nodes, seed));
-            let sf = evaluate(&system, straightforward_config(&system), &analysis)
-                .expect("SF configuration is analyzable");
-            let os = optimize_schedule(&system, &analysis, &OsParams::default());
-            let sas = sa_schedule(
-                &system,
-                &analysis,
-                &SaParams {
-                    iterations: options.sa_iters,
-                    seed,
-                    ..SaParams::default()
-                },
-            );
+        for r in &results {
             total += 1;
-            if !sf.is_schedulable() {
+            if !r.sf_schedulable {
                 sf_failed_here += 1;
                 sf_failures += 1;
             }
-            if sf.is_schedulable() && os.best.is_schedulable() && sas.is_schedulable() {
-                let reference = sas.schedule_cost() as f64;
-                sf_dev.push(percent_deviation(sf.schedule_cost() as f64, reference));
-                os_dev.push(percent_deviation(os.best.schedule_cost() as f64, reference));
+            if r.all_schedulable {
+                let reference = r.sas_cost as f64;
+                sf_dev.push(percent_deviation(r.sf_cost as f64, reference));
+                os_dev.push(percent_deviation(r.os_cost as f64, reference));
             }
         }
         println!(

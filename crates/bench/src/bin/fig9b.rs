@@ -3,6 +3,11 @@
 //! near-optimal reference, as the application grows from 80 to 400
 //! processes. The paper's headline: OR halves the buffer need of OS and
 //! tracks SAR closely.
+//!
+//! Seeds run in parallel (`RAYON_NUM_THREADS` caps the workers); the
+//! aggregated output is identical to the sequential sweep.
+
+use rayon::prelude::*;
 
 use mcs_bench::{cell, mean, ExperimentOptions};
 use mcs_core::AnalysisParams;
@@ -18,26 +23,36 @@ fn main() {
         "nodes", "procs", "OS", "OR", "SAR", "used"
     );
     for nodes in [2usize, 4, 6, 8, 10] {
+        let results: Vec<Option<(f64, f64, f64)>> = (0..options.seeds)
+            .into_par_iter()
+            .map(|seed| {
+                let system = generate(&GeneratorParams::paper_sized(nodes, seed));
+                let or = optimize_resources(&system, &analysis, &OrParams::default());
+                let sar = sa_resources(
+                    &system,
+                    &analysis,
+                    &SaParams {
+                        iterations: options.sa_iters,
+                        seed,
+                        ..SaParams::default()
+                    },
+                );
+                (or.os.best.is_schedulable() && or.best.is_schedulable() && sar.is_schedulable())
+                    .then_some((
+                        or.os.best.total_buffers as f64,
+                        or.best.total_buffers as f64,
+                        sar.total_buffers as f64,
+                    ))
+            })
+            .collect();
+
         let mut os_bytes = Vec::new();
         let mut or_bytes = Vec::new();
         let mut sar_bytes = Vec::new();
-        for seed in 0..options.seeds {
-            let system = generate(&GeneratorParams::paper_sized(nodes, seed));
-            let or = optimize_resources(&system, &analysis, &OrParams::default());
-            let sar = sa_resources(
-                &system,
-                &analysis,
-                &SaParams {
-                    iterations: options.sa_iters,
-                    seed,
-                    ..SaParams::default()
-                },
-            );
-            if or.os.best.is_schedulable() && or.best.is_schedulable() && sar.is_schedulable() {
-                os_bytes.push(or.os.best.total_buffers as f64);
-                or_bytes.push(or.best.total_buffers as f64);
-                sar_bytes.push(sar.total_buffers as f64);
-            }
+        for (os_b, or_b, sar_b) in results.into_iter().flatten() {
+            os_bytes.push(os_b);
+            or_bytes.push(or_b);
+            sar_bytes.push(sar_b);
         }
         println!(
             "{:>6} {:>6} {} {} {} {:>8}",

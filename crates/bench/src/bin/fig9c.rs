@@ -2,6 +2,11 @@
 //! and OR from the SAR reference, on 160-process applications with 10–50
 //! inter-cluster messages. The paper's headline: OS degrades quickly as the
 //! gateway traffic intensifies, while OR stays close to SAR.
+//!
+//! Seeds run in parallel (`RAYON_NUM_THREADS` caps the workers); the
+//! aggregated output is identical to the sequential sweep.
+
+use rayon::prelude::*;
 
 use mcs_bench::{cell, mean, percent_deviation, ExperimentOptions};
 use mcs_core::AnalysisParams;
@@ -12,35 +17,40 @@ fn main() {
     let options = ExperimentOptions::from_args();
     let analysis = AnalysisParams::default();
     println!("Figure 9c — avg % deviation of s_total from SAR, 160 processes");
-    println!(
-        "{:>9} {:>10} {:>10} {:>8}",
-        "messages", "OS", "OR", "used"
-    );
+    println!("{:>9} {:>10} {:>10} {:>8}", "messages", "OS", "OR", "used");
     for inter_cluster in [10usize, 20, 30, 40, 50] {
+        let results: Vec<Option<(f64, f64)>> = (0..options.seeds)
+            .into_par_iter()
+            .map(|seed| {
+                let mut params = GeneratorParams::paper_sized(4, 1_000 + seed);
+                params.inter_cluster_messages = Some(inter_cluster);
+                let system = generate(&params);
+                let or = optimize_resources(&system, &analysis, &OrParams::default());
+                let sar = sa_resources(
+                    &system,
+                    &analysis,
+                    &SaParams {
+                        iterations: options.sa_iters,
+                        seed,
+                        ..SaParams::default()
+                    },
+                );
+                (or.os.best.is_schedulable() && or.best.is_schedulable() && sar.is_schedulable())
+                    .then(|| {
+                        let reference = sar.total_buffers as f64;
+                        (
+                            percent_deviation(or.os.best.total_buffers as f64, reference),
+                            percent_deviation(or.best.total_buffers as f64, reference),
+                        )
+                    })
+            })
+            .collect();
+
         let mut os_dev = Vec::new();
         let mut or_dev = Vec::new();
-        for seed in 0..options.seeds {
-            let mut params = GeneratorParams::paper_sized(4, 1_000 + seed);
-            params.inter_cluster_messages = Some(inter_cluster);
-            let system = generate(&params);
-            let or = optimize_resources(&system, &analysis, &OrParams::default());
-            let sar = sa_resources(
-                &system,
-                &analysis,
-                &SaParams {
-                    iterations: options.sa_iters,
-                    seed,
-                    ..SaParams::default()
-                },
-            );
-            if or.os.best.is_schedulable() && or.best.is_schedulable() && sar.is_schedulable() {
-                let reference = sar.total_buffers as f64;
-                os_dev.push(percent_deviation(
-                    or.os.best.total_buffers as f64,
-                    reference,
-                ));
-                or_dev.push(percent_deviation(or.best.total_buffers as f64, reference));
-            }
+        for (os_d, or_d) in results.into_iter().flatten() {
+            os_dev.push(os_d);
+            or_dev.push(or_d);
         }
         println!(
             "{:>9} {} {} {:>8}",

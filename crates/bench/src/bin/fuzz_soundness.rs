@@ -90,17 +90,15 @@ fn main() {
                 let mv = moves[(seed as usize * 31) % moves.len()];
                 let mut pinned = os.best.config.clone();
                 mv.apply(&mut pinned);
-                checked += u64::from(check(
-                    &system,
-                    &pinned,
-                    &analysis,
-                    &format!("move/{seed}"),
-                ));
+                checked += u64::from(check(&system, &pinned, &analysis, &format!("move/{seed}")));
             }
         }
 
         if seed % 50 == 49 {
-            println!("...{}/{campaigns} systems, {checked} schedulable configs verified", seed + 1);
+            println!(
+                "...{}/{campaigns} systems, {checked} schedulable configs verified",
+                seed + 1
+            );
         }
     }
     println!(

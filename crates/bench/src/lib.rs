@@ -12,16 +12,24 @@
 //! | `cruise` | the §6 cruise-controller table |
 //!
 //! Criterion benches (`cargo bench -p mcs-bench`) measure the §6 run-time
-//! claims (heuristics vs simulated annealing) and the ablations called out
+//! claims (heuristics vs simulated annealing), fresh-per-call vs
+//! context-reuse evaluation (`evaluator_reuse`, which also emits
+//! `BENCH_core.json` with evaluations/second), and the ablations called out
 //! in DESIGN.md.
 //!
 //! All binaries accept `--seeds N` (instances per point, default 5; the
 //! paper used 30) and `--sa-iters N` (SA budget per instance, default 200;
 //! the paper ran hours-long anneals). `--paper-scale` selects 30 seeds and
 //! 2000 SA iterations.
+//!
+//! Seed sweeps are embarrassingly parallel and fan out across cores with
+//! rayon; set `RAYON_NUM_THREADS` to cap the workers. Results are collected
+//! in seed order, so parallel output is identical to a sequential run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod seed_baseline;
 
 /// Command-line options shared by the experiment binaries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -6,8 +6,8 @@
 //! transmits non-preemptively. [`Arbiter`] reproduces exactly that behaviour
 //! over opaque frame handles.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use mcs_model::{Priority, Time};
 
@@ -162,7 +162,9 @@ mod tests {
         assert_eq!(tx.finish, Time::from_millis(10));
         // A higher-priority frame arriving mid-transmission must wait.
         bus.enqueue(Priority::new(1), "high");
-        assert!(bus.try_start(Time::from_millis(5), |_| Time::ZERO).is_none());
+        assert!(bus
+            .try_start(Time::from_millis(5), |_| Time::ZERO)
+            .is_none());
         // At finish the bus is idle again and the high frame wins.
         let tx2 = bus
             .try_start(Time::from_millis(10), |_| Time::from_millis(10))

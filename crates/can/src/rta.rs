@@ -167,9 +167,17 @@ fn gap_complement(gap: Time, period: Time) -> Time {
 /// utilization is too high for the window to close — the system is
 /// unschedulable and the caller should treat the delay as unbounded).
 pub fn queuing_delays(flows: &[CanFlow], horizon: Time) -> Vec<Option<Time>> {
-    (0..flows.len())
-        .map(|m| queuing_delay(flows, m, horizon))
-        .collect()
+    let mut delays = Vec::new();
+    queuing_delays_into(flows, horizon, &mut delays);
+    delays
+}
+
+/// Allocation-free form of [`queuing_delays`]: clears and refills `delays`
+/// in flow order, reusing its capacity. This is the variant the reusable
+/// analysis context in `mcs-core` calls in the evaluation hot path.
+pub fn queuing_delays_into(flows: &[CanFlow], horizon: Time, delays: &mut Vec<Option<Time>>) {
+    delays.clear();
+    delays.extend((0..flows.len()).map(|m| queuing_delay(flows, m, horizon)));
 }
 
 /// Computes the worst-case queuing delay of `flows[m]`.
@@ -178,20 +186,70 @@ pub fn queuing_delays(flows: &[CanFlow], horizon: Time) -> Vec<Option<Time>> {
 ///
 /// Panics if `m` is out of range or a flow has a zero period.
 pub fn queuing_delay(flows: &[CanFlow], m: usize, horizon: Time) -> Option<Time> {
+    queuing_delay_from(flows, m, horizon, Time::ZERO)
+}
+
+/// [`queuing_delay`] with a warm-start hint: the fixed point starts at
+/// `max(blocking, hint)` instead of the blocking bound.
+///
+/// Passing the delay converged in a previous round of an *outer* fixed
+/// point (where jitters and responses only grow and offsets are constant,
+/// so the interference operator only grows pointwise) is sound and reaches
+/// the **same** least fixed point as a cold start, skipping the re-climb.
+/// A hint above the current least fixed point would be unsound; `ZERO`
+/// reproduces the cold start exactly.
+///
+/// # Panics
+///
+/// Panics if `m` is out of range or a flow has a zero period.
+pub fn queuing_delay_from(flows: &[CanFlow], m: usize, horizon: Time, hint: Time) -> Option<Time> {
     let me = &flows[m];
-    let hp: Vec<&CanFlow> = flows
-        .iter()
-        .enumerate()
-        .filter(|&(k, f)| k != m && f.priority.is_higher_than(me.priority))
-        .map(|(_, f)| f)
-        .collect();
-    let mut w = blocking_bound(flows, m);
+    let hp = |f: &(usize, &CanFlow)| f.0 != m && f.1.priority.is_higher_than(me.priority);
+    let blocking = blocking_bound(flows, m);
+    let mut w = blocking.max(hint);
     loop {
-        let interference: Time = hp
+        let interference: Time = flows
+            .iter()
+            .enumerate()
+            .filter(hp)
+            .map(|(_, j)| j.transmission.saturating_mul(activations(w, me, j)))
+            .fold(Time::ZERO, Time::saturating_add);
+        let next = blocking.saturating_add(interference);
+        if next > horizon {
+            return None;
+        }
+        if next == w {
+            return Some(w);
+        }
+        w = next;
+    }
+}
+
+/// [`queuing_delay_from`] over flows **pre-sorted by descending urgency**
+/// (ascending priority level, unique priorities): `flows[..m]` is exactly
+/// the higher-priority set, and `blocking` is the caller-precomputed
+/// [`blocking_bound`] (a suffix maximum when sorted). Produces bit-identical
+/// results to the generic form, skipping the per-call priority filtering
+/// and blocking scans — the shape the reusable analysis context calls with.
+///
+/// # Panics
+///
+/// Panics if `m` is out of range or a flow has a zero period.
+pub fn queuing_delay_sorted(
+    flows: &[CanFlow],
+    m: usize,
+    blocking: Time,
+    horizon: Time,
+    hint: Time,
+) -> Option<Time> {
+    let me = &flows[m];
+    let mut w = blocking.max(hint);
+    loop {
+        let interference: Time = flows[..m]
             .iter()
             .map(|j| j.transmission.saturating_mul(activations(w, me, j)))
             .fold(Time::ZERO, Time::saturating_add);
-        let next = blocking_bound(flows, m).saturating_add(interference);
+        let next = blocking.saturating_add(interference);
         if next > horizon {
             return None;
         }

@@ -14,30 +14,19 @@
 //! the iteration either converges or crosses the analysis horizon, in which
 //! case the affected delays are clamped to the horizon and the result is
 //! flagged as diverged (unschedulable).
-
-use std::collections::HashMap;
+//!
+//! The pass operates entirely on the reusable state of [`crate::context`]:
+//! the immutable `SystemContext` tables and the `Scratch` vectors, which it
+//! clears (never reallocates) on entry.
 
 use mcs_can::CanFlow;
-use mcs_model::{
-    MessageId, MessageRoute, NodeId, Priority, ProcessId, System, SystemConfig, Time,
-};
+use mcs_model::{MessageId, MessageRoute, Priority, System, Time};
 use mcs_ttp::TtcSchedule;
 
+use crate::context::{Scratch, SystemContext};
 use crate::multicluster::FifoBound;
-use crate::outcome::{EntityTiming, MessageTiming, QueueBounds};
-use crate::queues::{
-    fifo_delay, fifo_delay_occurrence, fifo_size_bound, FifoFlow, TtpQueueParams,
-};
-use crate::rta::{interference_delays, TaskFlow};
-
-/// Result of one holistic analysis pass over a fixed TTC schedule.
-#[derive(Clone, Debug)]
-pub(crate) struct HolisticResult {
-    pub process: Vec<EntityTiming>,
-    pub message: Vec<MessageTiming>,
-    pub queues: QueueBounds,
-    pub converged: bool,
-}
+use crate::queues::{fifo_delay_from, fifo_delay_occurrence, FifoFlow, TtpQueueParams};
+use crate::rta::TaskFlow;
 
 /// Ranks: the gateway transfer process outranks all application processes.
 fn app_rank(priority: Priority) -> u64 {
@@ -45,163 +34,87 @@ fn app_rank(priority: Priority) -> u64 {
 }
 const TRANSFER_RANK: u64 = 0;
 
+/// One holistic analysis pass over a fixed TTC schedule, reading the shared
+/// [`SystemContext`] and mutating only the [`Scratch`].
 pub(crate) struct Holistic<'a> {
-    system: &'a System,
-    config: &'a SystemConfig,
-    schedule: &'a TtcSchedule,
-    horizon: Time,
-    max_iterations: u32,
-    fifo_bound: FifoBound,
-
-    route: Vec<MessageRoute>,
-    can_c: Vec<Time>,
-    msg_priority: Vec<Option<Priority>>,
-    ttp_queue: TtpQueueParams,
-    /// Phase group of each graph: all graph activations are anchored at
-    /// multiples of their period from time zero, so graphs with *equal*
-    /// periods keep a constant phase relation and may be offset-phased
-    /// against each other; graphs with different periods drift and fall
-    /// back to the critical-instant assumption.
-    phase_group: Vec<u32>,
+    pub ctx: &'a SystemContext,
+    pub system: &'a System,
+    pub schedule: &'a TtcSchedule,
+    pub ttp_queue: TtpQueueParams,
     /// One extra round of FIFO pessimism when the TDMA grid does not
     /// re-align with the hyper-period (the gateway slot's phase then drifts
     /// across activations).
-    grid_slack: Time,
-
-    // Process state.
-    po: Vec<Time>,
-    pj: Vec<Time>,
-    pw: Vec<Time>,
-    pr: Vec<Time>,
-    // Message state, per leg.
-    can_o: Vec<Time>,
-    can_j: Vec<Time>,
-    can_w: Vec<Time>,
-    can_r: Vec<Time>,
-    ttp_o: Vec<Time>,
-    ttp_j: Vec<Time>,
-    ttp_w: Vec<Time>,
-    ttp_r: Vec<Time>,
-    arrival: Vec<Time>,
-    backlog: Vec<u64>,
-    diverged: bool,
+    pub grid_slack: Time,
+    pub horizon: Time,
+    pub max_iterations: u32,
+    pub fifo_bound: FifoBound,
+    pub s: &'a mut Scratch,
 }
 
-impl<'a> Holistic<'a> {
-    pub(crate) fn new(
-        system: &'a System,
-        config: &'a SystemConfig,
-        schedule: &'a TtcSchedule,
-        horizon: Time,
-        max_iterations: u32,
-        fifo_bound: FifoBound,
-    ) -> Self {
-        let app = &system.application;
-        let arch = &system.architecture;
-        let n_p = app.processes().len();
-        let n_m = app.messages().len();
-
-        let route: Vec<MessageRoute> =
-            app.messages().iter().map(|m| system.route(m.id())).collect();
-        let can_params = arch.can_params();
-        let can_c: Vec<Time> = app
-            .messages()
-            .iter()
-            .map(|m| mcs_can::message_time(m.size_bytes(), &can_params))
-            .collect();
-        let msg_priority: Vec<Option<Priority>> = app
-            .messages()
-            .iter()
-            .map(|m| config.priorities.message(m.id()))
-            .collect();
-
-        let mut period_groups: HashMap<Time, u32> = HashMap::new();
-        let phase_group: Vec<u32> = app
-            .graphs()
-            .iter()
-            .map(|g| {
-                let next = period_groups.len() as u32;
-                *period_groups.entry(g.period()).or_insert(next)
-            })
-            .collect();
-
-        let gateway = arch.gateway();
-        let (gw_slot, gw_cfg) = config
-            .tdma
-            .slot_of_node(gateway)
-            .expect("validated configuration has a gateway slot");
-        let ttp_params = arch.ttp_params();
-        let ttp_queue = TtpQueueParams {
-            round: config.tdma.round_duration(&ttp_params),
-            slot_offset: config.tdma.slot_offset(gw_slot, &ttp_params),
-            slot_capacity: gw_cfg.capacity_bytes,
-            slot_duration: config.tdma.slot_duration(gw_slot, &ttp_params),
-        };
-
-        let grid_slack = if ttp_queue.round.is_zero()
-            || (app.hyperperiod() % ttp_queue.round).is_zero()
-        {
-            Time::ZERO
-        } else {
-            ttp_queue.round
-        };
-        let mut h = Holistic {
-            system,
-            config,
-            schedule,
-            horizon,
-            max_iterations,
-            fifo_bound,
-            route,
-            can_c,
-            msg_priority,
-            ttp_queue,
-            phase_group,
-            grid_slack,
-            po: vec![Time::ZERO; n_p],
-            pj: vec![Time::ZERO; n_p],
-            pw: vec![Time::ZERO; n_p],
-            pr: vec![Time::ZERO; n_p],
-            can_o: vec![Time::ZERO; n_m],
-            can_j: vec![Time::ZERO; n_m],
-            can_w: vec![Time::ZERO; n_m],
-            can_r: vec![Time::ZERO; n_m],
-            ttp_o: vec![Time::ZERO; n_m],
-            ttp_j: vec![Time::ZERO; n_m],
-            ttp_w: vec![Time::ZERO; n_m],
-            ttp_r: vec![Time::ZERO; n_m],
-            arrival: vec![Time::ZERO; n_m],
-            backlog: vec![0; n_m],
-            diverged: false,
-        };
-        for p in app.processes() {
-            h.pr[p.id().index()] = p.wcet();
-        }
-        h
-    }
-
-    pub(crate) fn run(mut self) -> HolisticResult {
+impl Holistic<'_> {
+    /// Runs the fixed point to convergence (or the iteration cap), leaving
+    /// the converged timing state and queue bounds in the scratch.
+    ///
+    /// Convergence is detected by the pass memos: an iteration in which
+    /// every kernel pass saw inputs identical to the previous iteration has
+    /// changed nothing (the flows embed every fingerprinted quantity — the
+    /// offsets, jitters and responses of both processes and message legs),
+    /// which is exactly the classic fixed-point termination test without
+    /// snapshotting the state vectors.
+    pub(crate) fn run(&mut self) {
+        self.reset();
+        let mut first = true;
         for _ in 0..self.max_iterations {
-            let fingerprint = self.fingerprint();
-            self.propagate_offsets_and_jitters();
-            self.can_pass();
-            self.fifo_pass();
-            self.cpu_pass();
-            if self.fingerprint() == fingerprint {
+            self.propagate_offsets_and_jitters(first);
+            first = false;
+            let can_stable = self.can_pass();
+            let fifo_stable = self.fifo_pass();
+            let cpu_stable = self.cpu_pass();
+            if can_stable && fifo_stable && cpu_stable {
                 break;
             }
         }
-        let queues = self.queue_bounds();
-        self.into_result(queues)
+        self.queue_bounds();
     }
 
-    fn fingerprint(&self) -> (Vec<Time>, Vec<Time>, Vec<Time>, Vec<Time>) {
-        (
-            self.pr.clone(),
-            self.can_r.clone(),
-            self.ttp_r.clone(),
-            self.po.clone(),
-        )
+    /// Clears the scratch to the initial fixed-point state (`r_i = C_i`,
+    /// everything else zero), reusing the allocations.
+    fn reset(&mut self) {
+        let app = &self.system.application;
+        let n_p = app.processes().len();
+        let n_m = app.messages().len();
+        let s = &mut *self.s;
+        for v in [&mut s.po, &mut s.pj, &mut s.pw, &mut s.pr] {
+            v.clear();
+            v.resize(n_p, Time::ZERO);
+        }
+        for v in [
+            &mut s.can_o,
+            &mut s.can_j,
+            &mut s.can_w,
+            &mut s.can_r,
+            &mut s.ttp_o,
+            &mut s.ttp_j,
+            &mut s.ttp_w,
+            &mut s.ttp_r,
+            &mut s.arrival,
+        ] {
+            v.clear();
+            v.resize(n_m, Time::ZERO);
+        }
+        s.backlog.clear();
+        s.backlog.resize(n_m, 0);
+        s.fifo_warm.clear();
+        s.fifo_warm.resize(self.ctx.fifo_ids.len(), Time::ZERO);
+        s.prev_can_flows.clear();
+        s.prev_fifo_flows.clear();
+        s.prev_task_flows
+            .resize(self.ctx.et_nodes.len(), Vec::new());
+        for prev in &mut s.prev_task_flows {
+            prev.clear();
+        }
+        s.diverged = false;
+        s.pr.copy_from_slice(&self.ctx.proc_wcet);
     }
 
     /// Topological pass updating `O` and `J` of ET processes and of every
@@ -214,95 +127,107 @@ impl<'a> Holistic<'a> {
     /// worked numbers (Figure 4a: `J_2 = 15`, `r_2 = 55`, `r_3 = 45`) and
     /// spreads ET-chain offsets so that the queue analyses can phase flows
     /// apart.
-    fn propagate_offsets_and_jitters(&mut self) {
-        let app = &self.system.application;
-        let arch = &self.system.architecture;
-        let r_transfer = self.system.gateway.transfer_response();
+    ///
+    /// Offsets are built from BCETs and the (fixed) schedule only, so they
+    /// are invariant across the iterations of one holistic run: after the
+    /// `first` pass resolves them in topological order, later passes update
+    /// only the jitter side.
+    fn propagate_offsets_and_jitters(&mut self, first: bool) {
+        let system = self.system;
+        let ctx = self.ctx;
+        let app = &system.application;
+        let schedule = self.schedule;
+        let r_transfer = system.gateway.transfer_response();
+        let s = &mut *self.s;
         for graph in app.graphs() {
             for &p in app.topological_order(graph.id()) {
                 let pi = p.index();
-                if arch.is_tt_cpu(app.process(p).node()) {
-                    // Fixed by the schedule table within this pass.
-                    self.po[pi] = self
-                        .schedule
-                        .start(p)
-                        .expect("TT process placed by the list scheduler");
-                    self.pj[pi] = Time::ZERO;
-                    self.pw[pi] = Time::ZERO;
-                    self.pr[pi] = app.process(p).wcet();
+                if ctx.proc_is_tt[pi] {
+                    if first {
+                        // Fixed by the schedule table for this whole run.
+                        s.po[pi] = schedule
+                            .start(p)
+                            .expect("TT process placed by the list scheduler");
+                        s.pj[pi] = Time::ZERO;
+                        s.pw[pi] = Time::ZERO;
+                        s.pr[pi] = ctx.proc_wcet[pi];
+                    }
                 } else {
                     let mut earliest = Time::ZERO;
                     let mut worst = Time::ZERO;
                     for e in app.predecessors(p) {
                         let (o, w) = match e.message {
                             None => {
-                                let s = e.source.index();
+                                let src = e.source.index();
                                 (
-                                    self.po[s].saturating_add(app.process(e.source).bcet()),
-                                    self.po[s].saturating_add(self.pr[s]),
+                                    s.po[src].saturating_add(ctx.proc_bcet[src]),
+                                    s.po[src].saturating_add(s.pr[src]),
                                 )
                             }
                             Some(m) => {
                                 let mi = m.index();
-                                match self.route[mi] {
+                                match ctx.route[mi] {
                                     MessageRoute::TtcToTtc => {
-                                        let a = self.frame_arrival(m);
+                                        let a = frame_arrival(schedule, m);
                                         (a, a)
                                     }
                                     MessageRoute::EtcToEtc | MessageRoute::TtcToEtc => (
-                                        self.can_o[mi].saturating_add(self.can_c[mi]),
-                                        self.can_o[mi].saturating_add(self.can_r[mi]),
+                                        s.can_o[mi].saturating_add(ctx.can_c[mi]),
+                                        s.can_o[mi].saturating_add(s.can_r[mi]),
                                     ),
-                                    MessageRoute::EtcToTtc => (
-                                        self.ttp_o[mi],
-                                        self.ttp_o[mi].saturating_add(self.ttp_r[mi]),
-                                    ),
+                                    MessageRoute::EtcToTtc => {
+                                        (s.ttp_o[mi], s.ttp_o[mi].saturating_add(s.ttp_r[mi]))
+                                    }
                                 }
                             }
                         };
                         earliest = earliest.max(o);
                         worst = worst.max(w);
                     }
-                    self.po[pi] = earliest;
-                    self.pj[pi] = worst.saturating_sub(earliest);
+                    if first {
+                        s.po[pi] = earliest;
+                    }
+                    s.pj[pi] = worst.saturating_sub(s.po[pi]);
                 }
                 // Outgoing message legs of p.
-                let outgoing: Vec<MessageId> = app
-                    .successors(p)
-                    .iter()
-                    .filter_map(|e| e.message)
-                    .collect();
-                for m in outgoing {
+                for e in app.successors(p) {
+                    let Some(m) = e.message else { continue };
                     let mi = m.index();
-                    let enqueue_earliest =
-                        self.po[pi].saturating_add(app.process(p).bcet());
-                    let enqueue_jitter =
-                        self.pr[pi].saturating_sub(app.process(p).bcet());
-                    match self.route[mi] {
+                    let enqueue_jitter = s.pr[pi].saturating_sub(ctx.proc_bcet[pi]);
+                    match ctx.route[mi] {
                         MessageRoute::TtcToTtc => {
-                            self.arrival[mi] = self.frame_arrival(m);
+                            if first {
+                                s.arrival[mi] = frame_arrival(schedule, m);
+                            }
                         }
                         MessageRoute::TtcToEtc => {
-                            // MBI arrival is deterministic; the gateway
-                            // transfer process adds its response time as
-                            // jitter (paper: J_m1 = r_T).
-                            self.can_o[mi] = self.frame_arrival(m);
-                            self.can_j[mi] = r_transfer;
+                            if first {
+                                // MBI arrival is deterministic; the gateway
+                                // transfer process adds its response time as
+                                // jitter (paper: J_m1 = r_T).
+                                s.can_o[mi] = frame_arrival(schedule, m);
+                                s.can_j[mi] = r_transfer;
+                            }
                         }
                         MessageRoute::EtcToEtc => {
-                            self.can_o[mi] = enqueue_earliest;
-                            self.can_j[mi] = enqueue_jitter;
+                            if first {
+                                s.can_o[mi] = s.po[pi].saturating_add(ctx.proc_bcet[pi]);
+                            }
+                            s.can_j[mi] = enqueue_jitter;
                         }
                         MessageRoute::EtcToTtc => {
-                            self.can_o[mi] = enqueue_earliest;
-                            self.can_j[mi] = enqueue_jitter;
-                            // Earliest FIFO entry: after the CAN wire time;
-                            // worst: after the CAN leg response plus the
-                            // transfer process.
-                            self.ttp_o[mi] =
-                                enqueue_earliest.saturating_add(self.can_c[mi]);
-                            self.ttp_j[mi] = self.can_r[mi]
-                                .saturating_sub(self.can_c[mi])
+                            if first {
+                                let enqueue_earliest = s.po[pi].saturating_add(ctx.proc_bcet[pi]);
+                                s.can_o[mi] = enqueue_earliest;
+                                // Earliest FIFO entry: after the CAN wire
+                                // time.
+                                s.ttp_o[mi] = enqueue_earliest.saturating_add(ctx.can_c[mi]);
+                            }
+                            s.can_j[mi] = enqueue_jitter;
+                            // Worst FIFO entry: after the CAN leg response
+                            // plus the transfer process.
+                            s.ttp_j[mi] = s.can_r[mi]
+                                .saturating_sub(ctx.can_c[mi])
                                 .saturating_add(r_transfer);
                         }
                     }
@@ -311,255 +236,250 @@ impl<'a> Holistic<'a> {
         }
     }
 
-    fn frame_arrival(&self, m: MessageId) -> Time {
-        self.schedule
-            .frame(m)
-            .map(|f| f.arrival)
-            .unwrap_or(Time::ZERO)
+    fn can_flow(&self, mi: usize) -> CanFlow {
+        let ctx = self.ctx;
+        let s = &*self.s;
+        CanFlow {
+            priority: s.msg_priority[mi].expect("validated configuration assigns CAN priorities"),
+            period: ctx.msg_period[mi],
+            jitter: s.can_j[mi],
+            offset: s.can_o[mi],
+            transaction: Some(ctx.msg_phase[mi]),
+            transmission: ctx.can_c[mi],
+            size_bytes: ctx.msg_size[mi],
+            response: s.can_r[mi],
+        }
     }
 
     /// CAN queuing delays over every message with a CAN leg (they all share
     /// the one bus, including frames produced by the gateway).
-    fn can_pass(&mut self) {
-        let app = &self.system.application;
-        let ids: Vec<usize> = (0..app.messages().len())
-            .filter(|&mi| self.route[mi].uses_can())
-            .collect();
-        let flows: Vec<CanFlow> = ids.iter().map(|&mi| self.can_flow(mi)).collect();
-        let delays = mcs_can::queuing_delays(&flows, self.horizon);
-        for (k, &mi) in ids.iter().enumerate() {
-            let w = match delays[k] {
+    ///
+    /// Each flow's fixed point warm-starts from its delay of the previous
+    /// holistic iteration: jitters only grow and offsets are constant, so
+    /// the previous converged value lies below the new least fixed point and
+    /// the climb resumes instead of restarting (identical result, fewer
+    /// iterations).
+    fn can_pass(&mut self) -> bool {
+        let ctx = self.ctx;
+        // Flows are built in bus-priority order (most urgent first), so
+        // each flow's higher-priority set is the prefix before it and its
+        // blocking bound is the precomputed suffix maximum.
+        let n = self.s.can_order.len();
+        self.s.can_flows.clear();
+        for k in 0..n {
+            let mi = self.s.can_order[k];
+            let flow = self.can_flow(mi);
+            self.s.can_flows.push(flow);
+        }
+        // Unchanged inputs ⇒ unchanged delays: skip the kernel entirely.
+        if self.s.can_flows == self.s.prev_can_flows {
+            return true;
+        }
+        for k in 0..n {
+            let mi = self.s.can_order[k];
+            let delay = mcs_can::queuing_delay_sorted(
+                &self.s.can_flows,
+                k,
+                self.s.can_blocking[k],
+                self.horizon,
+                self.s.can_w[mi],
+            );
+            let s = &mut *self.s;
+            let w = match delay {
                 Some(w) => w,
                 None => {
-                    self.diverged = true;
+                    s.diverged = true;
                     self.horizon
                 }
             };
-            self.can_w[mi] = w;
-            self.can_r[mi] = self.can_j[mi]
-                .saturating_add(w)
-                .saturating_add(self.can_c[mi]);
-            if !matches!(self.route[mi], MessageRoute::EtcToTtc) {
-                self.arrival[mi] = self.can_o[mi].saturating_add(self.can_r[mi]);
+            s.can_w[mi] = w;
+            s.can_r[mi] = s.can_j[mi].saturating_add(w).saturating_add(ctx.can_c[mi]);
+            if !matches!(ctx.route[mi], MessageRoute::EtcToTtc) {
+                s.arrival[mi] = s.can_o[mi].saturating_add(s.can_r[mi]);
             }
         }
-    }
-
-    fn can_flow(&self, mi: usize) -> CanFlow {
-        let app = &self.system.application;
-        let m = &app.messages()[mi];
-        CanFlow {
-            priority: self.msg_priority[mi]
-                .expect("validated configuration assigns CAN priorities"),
-            period: app.message_period(m.id()),
-            jitter: self.can_j[mi],
-            offset: self.can_o[mi],
-            transaction: Some(self.phase_group[m.graph().index()]),
-            transmission: self.can_c[mi],
-            size_bytes: m.size_bytes(),
-            response: self.can_r[mi],
-        }
+        let s = &mut *self.s;
+        std::mem::swap(&mut s.prev_can_flows, &mut s.can_flows);
+        false
     }
 
     /// `Out_TTP` FIFO delays of ETC→TTC messages.
-    fn fifo_pass(&mut self) {
-        let app = &self.system.application;
-        let ids: Vec<usize> = (0..app.messages().len())
-            .filter(|&mi| matches!(self.route[mi], MessageRoute::EtcToTtc))
-            .collect();
-        let flows: Vec<FifoFlow> = ids
-            .iter()
-            .map(|&mi| {
-                let m = &app.messages()[mi];
-                FifoFlow {
-                    rank: self.msg_priority[mi]
-                        .map(|p| u64::from(p.level()))
-                        .expect("validated configuration assigns CAN priorities"),
-                    period: app.message_period(m.id()),
-                    jitter: self.ttp_j[mi],
-                    offset: self.ttp_o[mi],
-                    transaction: Some(self.phase_group[m.graph().index()]),
-                    size_bytes: m.size_bytes(),
-                    response: self.ttp_r[mi],
-                }
-            })
-            .collect();
-        let delays: Vec<Option<crate::queues::FifoDelay>> = (0..flows.len())
-            .map(|k| match self.fifo_bound {
-                FifoBound::PaperClosedForm => {
-                    fifo_delay(&flows, k, &self.ttp_queue, self.horizon)
-                }
+    fn fifo_pass(&mut self) -> bool {
+        let ctx = self.ctx;
+        self.s.fifo_flows.clear();
+        for &mi in &ctx.fifo_ids {
+            let s = &*self.s;
+            let flow = FifoFlow {
+                rank: s.msg_priority[mi]
+                    .map(|p| u64::from(p.level()))
+                    .expect("validated configuration assigns CAN priorities"),
+                period: ctx.msg_period[mi],
+                jitter: s.ttp_j[mi],
+                offset: s.ttp_o[mi],
+                transaction: Some(ctx.msg_phase[mi]),
+                size_bytes: ctx.msg_size[mi],
+                response: s.ttp_r[mi],
+            };
+            self.s.fifo_flows.push(flow);
+        }
+        // Unchanged inputs ⇒ unchanged delays: skip the kernel entirely.
+        if self.s.fifo_flows == self.s.prev_fifo_flows {
+            return true;
+        }
+        self.s.fifo_delays.clear();
+        for k in 0..ctx.fifo_ids.len() {
+            // The closed form warm-starts from the previous iteration's raw
+            // delay (monotone operator); the occurrence bound cannot (its
+            // departure is not monotone in the enqueue jitter).
+            let delay = match self.fifo_bound {
+                FifoBound::PaperClosedForm => fifo_delay_from(
+                    &self.s.fifo_flows,
+                    k,
+                    &self.ttp_queue,
+                    self.horizon,
+                    self.s.fifo_warm[k],
+                ),
                 FifoBound::SlotOccurrence => {
-                    fifo_delay_occurrence(&flows, k, &self.ttp_queue, self.horizon)
-                }
-            })
-            .collect();
-        for (k, &mi) in ids.iter().enumerate() {
-            let (w, backlog) = match delays[k] {
-                Some(d) => (d.delay.saturating_add(self.grid_slack), d.backlog),
-                None => {
-                    self.diverged = true;
-                    (self.horizon, flows[k].size_bytes.into())
+                    fifo_delay_occurrence(&self.s.fifo_flows, k, &self.ttp_queue, self.horizon)
                 }
             };
-            self.ttp_w[mi] = w;
-            self.backlog[mi] = backlog;
-            self.ttp_r[mi] = self.ttp_j[mi]
+            if let Some(d) = delay {
+                self.s.fifo_warm[k] = d.delay;
+            }
+            self.s.fifo_delays.push(delay);
+        }
+        let s = &mut *self.s;
+        for (k, &mi) in ctx.fifo_ids.iter().enumerate() {
+            let (w, backlog) = match s.fifo_delays[k] {
+                Some(d) => (d.delay.saturating_add(self.grid_slack), d.backlog),
+                None => {
+                    s.diverged = true;
+                    (self.horizon, s.fifo_flows[k].size_bytes.into())
+                }
+            };
+            s.ttp_w[mi] = w;
+            s.backlog[mi] = backlog;
+            s.ttp_r[mi] = s.ttp_j[mi]
                 .saturating_add(w)
                 .saturating_add(self.ttp_queue.slot_duration);
-            self.arrival[mi] = self.ttp_o[mi].saturating_add(self.ttp_r[mi]);
+            s.arrival[mi] = s.ttp_o[mi].saturating_add(s.ttp_r[mi]);
         }
+        std::mem::swap(&mut s.prev_fifo_flows, &mut s.fifo_flows);
+        false
     }
 
     /// Preemption delays of processes sharing each ET CPU; the gateway CPU
     /// additionally hosts the transfer process `T` at the highest rank.
-    fn cpu_pass(&mut self) {
-        let app = &self.system.application;
-        let arch = &self.system.architecture;
-        let mut by_node: HashMap<NodeId, Vec<ProcessId>> = HashMap::new();
-        for p in app.processes() {
-            if arch.is_et_cpu(p.node()) {
-                by_node.entry(p.node()).or_default().push(p.id());
-            }
-        }
-        for (node, procs) in by_node {
-            let mut tasks: Vec<TaskFlow> = procs
-                .iter()
-                .map(|&p| {
-                    let proc = app.process(p);
-                    TaskFlow {
-                        rank: app_rank(
-                            self.config
-                                .priorities
-                                .process(p)
-                                .expect("validated configuration assigns ET priorities"),
-                        ),
-                        period: app.process_period(p),
-                        jitter: self.pj[p.index()],
-                        offset: self.po[p.index()],
-                        transaction: Some(self.phase_group[proc.graph().index()]),
-                        wcet: proc.wcet(),
-                        blocking: proc.blocking(),
-                        response: self.pr[p.index()],
-                    }
-                })
-                .collect();
-            if node == arch.gateway() {
-                tasks.push(TaskFlow {
+    fn cpu_pass(&mut self) -> bool {
+        let ctx = self.ctx;
+        let system = self.system;
+        let mut stable = true;
+        for (ni, et) in ctx.et_nodes.iter().enumerate() {
+            // Tasks are assembled in rank order (transfer process first on
+            // the gateway), so each task's higher-priority set is the
+            // prefix before it.
+            self.s.task_flows.clear();
+            if et.is_gateway {
+                self.s.task_flows.push(TaskFlow {
                     rank: TRANSFER_RANK,
-                    period: self.system.gateway.transfer_period,
+                    period: system.gateway.transfer_period,
                     jitter: Time::ZERO,
                     offset: Time::ZERO,
                     transaction: None,
-                    wcet: self.system.gateway.transfer_wcet,
+                    wcet: system.gateway.transfer_wcet,
                     blocking: Time::ZERO,
-                    response: self.system.gateway.transfer_wcet,
+                    response: system.gateway.transfer_wcet,
                 });
             }
-            let delays = interference_delays(&tasks, self.horizon);
-            for (k, &p) in procs.iter().enumerate() {
-                let w = match delays[k] {
+            let offset = usize::from(et.is_gateway);
+            for idx in 0..self.s.node_order[ni].len() {
+                let pi = self.s.node_order[ni][idx].index();
+                let s = &*self.s;
+                let task = TaskFlow {
+                    rank: app_rank(
+                        s.proc_priority[pi].expect("validated configuration assigns ET priorities"),
+                    ),
+                    period: ctx.proc_period[pi],
+                    jitter: s.pj[pi],
+                    offset: s.po[pi],
+                    transaction: Some(ctx.proc_phase[pi]),
+                    wcet: ctx.proc_wcet[pi],
+                    blocking: ctx.proc_blocking[pi],
+                    response: s.pr[pi],
+                };
+                self.s.task_flows.push(task);
+            }
+            // Unchanged inputs ⇒ unchanged delays: skip this CPU's kernel.
+            if self.s.task_flows == self.s.prev_task_flows[ni] {
+                continue;
+            }
+            stable = false;
+            // Each process's busy window warm-starts from its previous
+            // delay (see `can_pass`); the leading transfer task needs no
+            // delay of its own (it has the highest rank).
+            for idx in 0..self.s.node_order[ni].len() {
+                let pi = self.s.node_order[ni][idx].index();
+                let delay = crate::rta::interference_delay_sorted(
+                    &self.s.task_flows,
+                    offset + idx,
+                    self.horizon,
+                    self.s.pw[pi],
+                );
+                let s = &mut *self.s;
+                let w = match delay {
                     Some(w) => w,
                     None => {
-                        self.diverged = true;
+                        s.diverged = true;
                         self.horizon
                     }
                 };
-                let pi = p.index();
-                self.pw[pi] = w;
-                self.pr[pi] = self.pj[pi]
-                    .saturating_add(w)
-                    .saturating_add(app.process(p).wcet());
+                s.pw[pi] = w;
+                s.pr[pi] = s.pj[pi].saturating_add(w).saturating_add(ctx.proc_wcet[pi]);
             }
+            let s = &mut *self.s;
+            std::mem::swap(&mut s.prev_task_flows[ni], &mut s.task_flows);
         }
+        stable
     }
 
-    /// Buffer bounds for `Out_CAN`, `Out_TTP` and every `Out_Ni`.
-    fn queue_bounds(&self) -> QueueBounds {
-        let app = &self.system.application;
-        let arch = &self.system.architecture;
-        let mut bounds = QueueBounds::default();
+    /// Buffer bounds for `Out_CAN`, `Out_TTP` and every `Out_Ni`, left in
+    /// `Scratch::queues`.
+    fn queue_bounds(&mut self) {
+        let ctx = self.ctx;
 
         // Out_CAN holds TTC→ETC traffic queued by the gateway.
-        let out_can_ids: Vec<usize> = (0..app.messages().len())
-            .filter(|&mi| matches!(self.route[mi], MessageRoute::TtcToEtc))
-            .collect();
-        bounds.out_can = self.priority_queue_bound(&out_can_ids);
+        let out_can = self.priority_queue_bound(&ctx.out_can_ids);
+        self.s.queues.out_can = out_can;
 
         // Out_Ni holds the CAN traffic originated by each CAN-sending node.
-        for node in arch.can_nodes() {
-            let ids: Vec<usize> = (0..app.messages().len())
-                .filter(|&mi| {
-                    self.route[mi].uses_can()
-                        && !matches!(self.route[mi], MessageRoute::TtcToEtc)
-                        && app.process(app.messages()[mi].source()).node() == node.id()
-                })
-                .collect();
-            if !ids.is_empty() {
-                bounds
-                    .out_node
-                    .insert(node.id(), self.priority_queue_bound(&ids));
-            }
+        self.s.queues.out_node.clear();
+        for (node, ids) in &ctx.out_node_ids {
+            let bound = self.priority_queue_bound(ids);
+            self.s.queues.out_node.insert(*node, bound);
         }
 
-        // Out_TTP: the FIFO bound.
-        let fifo: Vec<_> = (0..app.messages().len())
-            .filter(|&mi| matches!(self.route[mi], MessageRoute::EtcToTtc))
-            .map(|mi| {
-                Some(crate::queues::FifoDelay {
-                    delay: self.ttp_w[mi],
-                    backlog: self.backlog[mi],
-                })
-            })
-            .collect();
-        bounds.out_ttp = fifo_size_bound(&fifo);
-        bounds
+        // Out_TTP: the FIFO bound — the worst backlog over all FIFO flows.
+        self.s.queues.out_ttp = ctx
+            .fifo_ids
+            .iter()
+            .map(|&mi| self.s.backlog[mi])
+            .max()
+            .unwrap_or(0);
     }
 
-    fn priority_queue_bound(&self, ids: &[usize]) -> u64 {
-        let flows: Vec<CanFlow> = ids.iter().map(|&mi| self.can_flow(mi)).collect();
-        let delays: Vec<Option<Time>> = ids.iter().map(|&mi| Some(self.can_w[mi])).collect();
-        mcs_can::queue_size_bound(&flows, &delays, self.horizon)
-    }
-
-    fn into_result(self, queues: QueueBounds) -> HolisticResult {
-        let app = &self.system.application;
-        let process: Vec<EntityTiming> = (0..app.processes().len())
-            .map(|i| EntityTiming {
-                offset: self.po[i],
-                jitter: self.pj[i],
-                delay: self.pw[i],
-                response: self.pr[i],
-            })
-            .collect();
-        let message: Vec<MessageTiming> = (0..app.messages().len())
-            .map(|mi| {
-                let can = self.route[mi].uses_can().then_some(EntityTiming {
-                    offset: self.can_o[mi],
-                    jitter: self.can_j[mi],
-                    delay: self.can_w[mi],
-                    response: self.can_r[mi],
-                });
-                let ttp = matches!(self.route[mi], MessageRoute::EtcToTtc).then_some(
-                    EntityTiming {
-                        offset: self.ttp_o[mi],
-                        jitter: self.ttp_j[mi],
-                        delay: self.ttp_w[mi],
-                        response: self.ttp_r[mi],
-                    },
-                );
-                MessageTiming {
-                    can,
-                    ttp,
-                    arrival: self.arrival[mi],
-                }
-            })
-            .collect();
-        HolisticResult {
-            process,
-            message,
-            queues,
-            converged: !self.diverged,
+    fn priority_queue_bound(&mut self, ids: &[usize]) -> u64 {
+        self.s.bound_flows.clear();
+        self.s.bound_delays.clear();
+        for &mi in ids {
+            let flow = self.can_flow(mi);
+            self.s.bound_flows.push(flow);
+            let delay = Some(self.s.can_w[mi]);
+            self.s.bound_delays.push(delay);
         }
+        mcs_can::queue_size_bound(&self.s.bound_flows, &self.s.bound_delays, self.horizon)
     }
+}
+
+fn frame_arrival(schedule: &TtcSchedule, m: MessageId) -> Time {
+    schedule.frame(m).map(|f| f.arrival).unwrap_or(Time::ZERO)
 }

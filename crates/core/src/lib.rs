@@ -15,6 +15,26 @@
 //!   bounds (`s_Out^CAN`, `s_Out^Ni`, `s_Out^TTP`),
 //! * per-graph response times and the degree of schedulability δΓ.
 //!
+//! # The reusable analysis context
+//!
+//! Synthesis loops run this analysis thousands of times per instance, so the
+//! engine is split into two halves (see [`Evaluator`]):
+//!
+//! * a **system context** built once per system — message routes, CAN frame
+//!   times, per-graph phase groups, per-ET-CPU process partitions,
+//!   gateway-crossing message lists, per-graph sinks, the analysis horizon —
+//!   everything that does not depend on the configuration ψ; and
+//! * **scratch state** — the `O/J/w/r` fixed-point vectors of processes and
+//!   message legs, the flow buffers handed to the CAN/CPU/FIFO kernels, the
+//!   outer-loop release maps and the TTC schedule — which is *cleared, not
+//!   reallocated*, between evaluations.
+//!
+//! [`Evaluator::evaluate`] runs one configuration against the context and
+//! returns a cheap [`EvalSummary`] (δΓ and `s_total`); the full
+//! [`AnalysisOutcome`] maps are only materialized on demand via
+//! [`Evaluator::outcome`]. [`multi_cluster_scheduling`] wraps the same engine
+//! for one-shot use, so both paths produce identical results.
+//!
 //! # Examples
 //!
 //! ```
@@ -58,6 +78,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod context;
 mod holistic;
 mod multicluster;
 mod outcome;
@@ -67,13 +88,17 @@ mod rta;
 mod schedulability;
 mod validate;
 
+pub use context::{EvalSummary, Evaluator};
 pub use multicluster::{multi_cluster_scheduling, AnalysisError, AnalysisParams, FifoBound};
 pub use outcome::{AnalysisOutcome, EntityTiming, MessageTiming, QueueBounds};
-pub use report::render_report;
 pub use queues::{
-    fifo_blocking, fifo_delay, fifo_delay_occurrence, fifo_delays, fifo_size_bound, FifoDelay,
-    FifoFlow, TtpQueueParams,
+    fifo_blocking, fifo_delay, fifo_delay_from, fifo_delay_occurrence, fifo_delays,
+    fifo_size_bound, FifoDelay, FifoFlow, TtpQueueParams,
 };
-pub use rta::{interference_delay, interference_delays, relative_phase, TaskFlow};
+pub use report::render_report;
+pub use rta::{
+    interference_delay, interference_delay_from, interference_delay_sorted, interference_delays,
+    interference_delays_into, relative_phase, TaskFlow,
+};
 pub use schedulability::{degree_of_schedulability, is_schedulable, SchedulabilityDegree};
 pub use validate::validate_config;

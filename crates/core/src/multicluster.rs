@@ -11,17 +11,16 @@
 //! 3. re-derive the release lower bounds of TT processes (worst-case arrival
 //!    of their inbound ETC messages) and re-schedule;
 //! 4. repeat until the offsets stop changing.
+//!
+//! The fixed point itself lives in [`crate::Evaluator`], which reuses all
+//! derived tables and scratch state across evaluations of the same system;
+//! [`multi_cluster_scheduling`] is the one-shot convenience wrapper.
 
-use std::collections::HashMap;
+use mcs_model::{ConfigError, System, SystemConfig};
+use mcs_ttp::ScheduleError;
 
-use mcs_model::{
-    ConfigError, MessageId, MessageRoute, ProcessId, System, SystemConfig, Time,
-};
-use mcs_ttp::{list_schedule, ScheduleError, SchedulerInput};
-
-use crate::holistic::Holistic;
+use crate::context::Evaluator;
 use crate::outcome::AnalysisOutcome;
-use crate::validate::validate_config;
 
 /// How the `Out_TTP` FIFO delay is bounded.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -108,6 +107,11 @@ impl From<ScheduleError> for AnalysisError {
 /// Runs `MultiClusterScheduling(Γ, β, π)` and returns the offsets φ,
 /// response times ρ, queue bounds and graph response times.
 ///
+/// This builds a fresh [`Evaluator`] per call; code evaluating many
+/// configurations of the *same* system should construct one `Evaluator` and
+/// reuse it — that path reuses all derived tables and fixed-point state
+/// between runs and is several times faster.
+///
 /// # Errors
 ///
 /// Returns [`AnalysisError`] if ψ is invalid or the TTC traffic cannot be
@@ -124,130 +128,7 @@ pub fn multi_cluster_scheduling(
     config: &SystemConfig,
     params: &AnalysisParams,
 ) -> Result<AnalysisOutcome, AnalysisError> {
-    validate_config(system, config)?;
-    let app = &system.application;
-    let horizon = app
-        .hyperperiod()
-        .saturating_mul(params.horizon_factor.max(1));
-
-    let mut process_releases: HashMap<ProcessId, Time> = HashMap::new();
-    let mut message_releases: HashMap<MessageId, Time> = HashMap::new();
-    seed_pins(system, config, &mut process_releases, &mut message_releases);
-
-    let mut iterations = 0;
-    let mut settled = false;
-    let mut last = None;
-    while iterations < params.max_outer_iterations {
-        iterations += 1;
-        let input = SchedulerInput {
-            system,
-            tdma: &config.tdma,
-            process_releases: &process_releases,
-            message_releases: &message_releases,
-        };
-        let schedule = list_schedule(&input)?;
-        let holistic = Holistic::new(
-            system,
-            config,
-            &schedule,
-            horizon,
-            params.max_holistic_iterations,
-            params.fifo_bound,
-        )
-        .run();
-
-        // Re-derive releases from the analysis.
-        let mut next_p = HashMap::new();
-        let mut next_m = HashMap::new();
-        seed_pins(system, config, &mut next_p, &mut next_m);
-        for message in app.messages() {
-            let mi = message.id().index();
-            match system.route(message.id()) {
-                MessageRoute::EtcToTtc => {
-                    // Destination TT process must not start before the
-                    // worst-case arrival through Out_TTP.
-                    let arrival = holistic.message[mi].arrival.min(horizon);
-                    let entry = next_p.entry(message.dest()).or_insert(Time::ZERO);
-                    *entry = (*entry).max(arrival);
-                }
-                route if route.uses_ttp() => {
-                    // TTP frames whose sender runs under priorities (gateway
-                    // CPU): the frame cannot leave before the sender's
-                    // worst-case completion.
-                    let sender = message.source();
-                    if system
-                        .architecture
-                        .is_et_cpu(app.process(sender).node())
-                    {
-                        let done = holistic.process[sender.index()]
-                            .worst_completion()
-                            .min(horizon);
-                        let entry = next_m.entry(message.id()).or_insert(Time::ZERO);
-                        *entry = (*entry).max(done);
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        let done = next_p == process_releases && next_m == message_releases;
-        process_releases = next_p;
-        message_releases = next_m;
-        last = Some((schedule, holistic));
-        if done {
-            settled = true;
-            break;
-        }
-    }
-
-    let (schedule, holistic) = last.expect("at least one outer iteration runs");
-    let mut graph_response = HashMap::new();
-    for graph in app.graphs() {
-        let r = app
-            .sinks(graph.id())
-            .into_iter()
-            .map(|p| holistic.process[p.index()].worst_completion())
-            .fold(Time::ZERO, Time::max);
-        graph_response.insert(graph.id(), r);
-    }
-
-    let process_timing = app
-        .processes()
-        .iter()
-        .map(|p| (p.id(), holistic.process[p.id().index()]))
-        .collect();
-    let message_timing = app
-        .messages()
-        .iter()
-        .map(|m| (m.id(), holistic.message[m.id().index()]))
-        .collect();
-
-    Ok(AnalysisOutcome {
-        schedule,
-        process_timing,
-        message_timing,
-        queues: holistic.queues,
-        graph_response,
-        converged: holistic.converged && settled,
-        iterations,
-    })
-}
-
-/// Applies the optimizer's offset pins as baseline releases.
-fn seed_pins(
-    system: &System,
-    config: &SystemConfig,
-    process_releases: &mut HashMap<ProcessId, Time>,
-    message_releases: &mut HashMap<MessageId, Time>,
-) {
-    for p in system.application.processes() {
-        if let Some(t) = config.offsets.process(p.id()) {
-            process_releases.insert(p.id(), t);
-        }
-    }
-    for m in system.application.messages() {
-        if let Some(t) = config.offsets.message(m.id()) {
-            message_releases.insert(m.id(), t);
-        }
-    }
+    let mut evaluator = Evaluator::new(system, *params);
+    evaluator.evaluate(config)?;
+    Ok(evaluator.outcome())
 }

@@ -66,10 +66,15 @@ fn same_transaction(a: Option<u32>, b: Option<u32>) -> bool {
     matches!((a, b), (Some(x), Some(y)) if x == y)
 }
 
-fn queued_ahead_of(me: &FifoFlow, ahead: &[&FifoFlow], w: Time) -> u64 {
-    ahead
+/// Bytes queued ahead of `flows[m]` within a window `w`: the interference of
+/// every flow with a lower rank, filtered inline (no per-call allocation).
+fn queued_ahead_of(flows: &[FifoFlow], m: usize, w: Time) -> u64 {
+    let me = &flows[m];
+    flows
         .iter()
-        .map(|j| {
+        .enumerate()
+        .filter(|&(k, f)| k != m && f.rank < me.rank)
+        .map(|(_, j)| {
             let phase = sound_phase(
                 me.offset,
                 me.jitter,
@@ -109,18 +114,36 @@ pub fn fifo_delay(
     params: &TtpQueueParams,
     horizon: Time,
 ) -> Option<FifoDelay> {
+    fifo_delay_from(flows, m, params, horizon, Time::ZERO)
+}
+
+/// [`fifo_delay`] with a warm-start hint: the fixed point starts at
+/// `max(B_m, hint)`.
+///
+/// Sound when the hint converged under a pointwise-smaller backlog operator
+/// (enqueue jitters only grow, offsets constant across the outer
+/// iteration); the fixed point reached is identical to a cold start. `ZERO`
+/// reproduces the cold start exactly. (The occurrence-based bound has no
+/// warm-start variant: its departure depends non-monotonically on the
+/// enqueue jitter.)
+///
+/// # Panics
+///
+/// Panics if `m` is out of range, the slot capacity is zero, or a flow has
+/// a zero period.
+pub fn fifo_delay_from(
+    flows: &[FifoFlow],
+    m: usize,
+    params: &TtpQueueParams,
+    horizon: Time,
+    hint: Time,
+) -> Option<FifoDelay> {
     assert!(params.slot_capacity > 0, "gateway slot has zero capacity");
     let me = &flows[m];
     let blocking = fifo_blocking(me, params);
-    let ahead: Vec<&FifoFlow> = flows
-        .iter()
-        .enumerate()
-        .filter(|&(k, f)| k != m && f.rank < me.rank)
-        .map(|(_, f)| f)
-        .collect();
-    let mut w = blocking;
+    let mut w = blocking.max(hint);
     loop {
-        let backlog = u64::from(me.size_bytes) + queued_ahead_of(me, &ahead, w);
+        let backlog = u64::from(me.size_bytes) + queued_ahead_of(flows, m, w);
         let rounds = backlog.div_ceil(u64::from(params.slot_capacity));
         let next = blocking.saturating_add(params.round.saturating_mul(rounds));
         if next > horizon {
@@ -158,23 +181,18 @@ pub fn fifo_delay_occurrence(
     assert!(params.slot_capacity > 0, "gateway slot has zero capacity");
     let me = &flows[m];
     let enqueue = me.offset.saturating_add(me.jitter);
-    let ahead: Vec<&FifoFlow> = flows
-        .iter()
-        .enumerate()
-        .filter(|&(k, f)| k != m && f.rank < me.rank)
-        .map(|(_, f)| f)
-        .collect();
     // First gateway-slot start at or after the worst-case enqueue.
     let first_start = if enqueue <= params.slot_offset {
         params.slot_offset
     } else {
-        params.slot_offset + params.round.saturating_mul(
-            (enqueue - params.slot_offset).div_ceil(params.round),
-        )
+        params.slot_offset
+            + params
+                .round
+                .saturating_mul((enqueue - params.slot_offset).div_ceil(params.round))
     };
     let mut w = Time::ZERO;
     loop {
-        let backlog = u64::from(me.size_bytes) + queued_ahead_of(me, &ahead, w);
+        let backlog = u64::from(me.size_bytes) + queued_ahead_of(flows, m, w);
         let rounds = backlog.div_ceil(u64::from(params.slot_capacity));
         let depart = first_start.saturating_add(params.round.saturating_mul(rounds - 1));
         let next = depart.saturating_sub(enqueue);
@@ -296,7 +314,10 @@ mod tests {
         let mut hog = flow(0, 64);
         hog.period = Time::from_millis(40);
         let flows = vec![hog, flow(1, 8)];
-        assert_eq!(fifo_delay(&flows, 1, &params, Time::from_millis(100_000)), None);
+        assert_eq!(
+            fifo_delay(&flows, 1, &params, Time::from_millis(100_000)),
+            None
+        );
     }
 
     #[test]

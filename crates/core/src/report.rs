@@ -120,8 +120,8 @@ mod tests {
     use super::*;
     use crate::multicluster::{multi_cluster_scheduling, AnalysisParams};
     use mcs_model::{
-        Application, Architecture, MessageId, NodeRole, Priority, PriorityAssignment,
-        SystemConfig, TdmaConfig, TdmaSlot, Time,
+        Application, Architecture, MessageId, NodeRole, Priority, PriorityAssignment, SystemConfig,
+        TdmaConfig, TdmaSlot, Time,
     };
 
     #[test]

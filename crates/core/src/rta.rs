@@ -92,9 +92,16 @@ fn activations(w: Time, i: &TaskFlow, j: &TaskFlow) -> u64 {
 /// Returns `None` for a task whose busy window exceeds `horizon` (diverged:
 /// the demand of higher-priority tasks is unsustainable).
 pub fn interference_delays(tasks: &[TaskFlow], horizon: Time) -> Vec<Option<Time>> {
-    (0..tasks.len())
-        .map(|i| interference_delay(tasks, i, horizon))
-        .collect()
+    let mut delays = Vec::new();
+    interference_delays_into(tasks, horizon, &mut delays);
+    delays
+}
+
+/// Allocation-free form of [`interference_delays`]: clears and refills
+/// `delays` in task order, reusing its capacity (the evaluation hot path).
+pub fn interference_delays_into(tasks: &[TaskFlow], horizon: Time, delays: &mut Vec<Option<Time>>) {
+    delays.clear();
+    delays.extend((0..tasks.len()).map(|i| interference_delay(tasks, i, horizon)));
 }
 
 /// Computes the interference delay `w_i` of `tasks[i]`.
@@ -112,17 +119,68 @@ pub fn interference_delays(tasks: &[TaskFlow], horizon: Time) -> Vec<Option<Time
 ///
 /// Panics if `i` is out of range or a task has a zero period.
 pub fn interference_delay(tasks: &[TaskFlow], i: usize, horizon: Time) -> Option<Time> {
+    interference_delay_from(tasks, i, horizon, Time::ZERO)
+}
+
+/// [`interference_delay`] with a warm-start hint: the busy window starts at
+/// `max(B + C, hint + C)` (i.e. the hint is a previously converged *delay*
+/// `w = q − C`).
+///
+/// Sound when the hint converged under a pointwise-smaller interference
+/// operator (jitters/responses only grow, offsets constant across the outer
+/// iteration) — the fixed point reached is identical to a cold start.
+/// `ZERO` reproduces the cold start exactly.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range or a task has a zero period.
+pub fn interference_delay_from(
+    tasks: &[TaskFlow],
+    i: usize,
+    horizon: Time,
+    hint: Time,
+) -> Option<Time> {
     let me = &tasks[i];
-    let hp: Vec<&TaskFlow> = tasks
-        .iter()
-        .enumerate()
-        .filter(|&(k, t)| k != i && t.rank < me.rank)
-        .map(|(_, t)| t)
-        .collect();
+    let hp = |t: &(usize, &TaskFlow)| t.0 != i && t.1.rank < me.rank;
     let base = me.blocking.saturating_add(me.wcet);
-    let mut q = base;
+    let mut q = base.max(hint.saturating_add(me.wcet));
     loop {
-        let interference: Time = hp
+        let interference: Time = tasks
+            .iter()
+            .enumerate()
+            .filter(hp)
+            .map(|(_, j)| j.wcet.saturating_mul(activations(q, me, j)))
+            .fold(Time::ZERO, Time::saturating_add);
+        let next = base.saturating_add(interference);
+        if next > horizon {
+            return None;
+        }
+        if next == q {
+            return Some(q - me.wcet);
+        }
+        q = next;
+    }
+}
+
+/// [`interference_delay_from`] over tasks **pre-sorted by ascending rank**
+/// (unique ranks): `tasks[..i]` is exactly the higher-priority set.
+/// Bit-identical to the generic form, without the per-call rank filtering —
+/// the shape the reusable analysis context calls with.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range or a task has a zero period.
+pub fn interference_delay_sorted(
+    tasks: &[TaskFlow],
+    i: usize,
+    horizon: Time,
+    hint: Time,
+) -> Option<Time> {
+    let me = &tasks[i];
+    let base = me.blocking.saturating_add(me.wcet);
+    let mut q = base.max(hint.saturating_add(me.wcet));
+    loop {
+        let interference: Time = tasks[..i]
             .iter()
             .map(|j| j.wcet.saturating_mul(activations(q, me, j)))
             .fold(Time::ZERO, Time::saturating_add);

@@ -7,9 +7,7 @@
 
 use std::collections::HashMap;
 
-use mcs_model::{
-    ConfigError, MessageRoute, NodeId, Priority, System, SystemConfig,
-};
+use mcs_model::{ConfigError, MessageRoute, NodeId, Priority, System, SystemConfig};
 
 /// Validates ψ = ⟨β, π⟩ against the system.
 ///
@@ -149,7 +147,11 @@ mod tests {
         config.tdma.slots_mut()[1].capacity_bytes = 4; // m0 is 8 bytes
         assert!(matches!(
             validate_config(&system, &config),
-            Err(ConfigError::SlotTooSmall { capacity: 4, required: 8, .. })
+            Err(ConfigError::SlotTooSmall {
+                capacity: 4,
+                required: 8,
+                ..
+            })
         ));
     }
 
@@ -159,7 +161,11 @@ mod tests {
         config.tdma.slots_mut()[0].capacity_bytes = 8; // m1 is 16 bytes
         assert!(matches!(
             validate_config(&system, &config),
-            Err(ConfigError::SlotTooSmall { capacity: 8, required: 16, .. })
+            Err(ConfigError::SlotTooSmall {
+                capacity: 8,
+                required: 16,
+                ..
+            })
         ));
     }
 

@@ -1,9 +1,7 @@
 //! Integration tests of less-travelled analysis paths: gateway-resident
 //! processes, multi-period applications, offset pins and local deadlines.
 
-use mcs_core::{
-    degree_of_schedulability, multi_cluster_scheduling, AnalysisParams,
-};
+use mcs_core::{degree_of_schedulability, multi_cluster_scheduling, AnalysisParams};
 use mcs_model::{
     Application, Architecture, GatewayParams, MessageId, NodeRole, Priority, PriorityAssignment,
     System, SystemConfig, TdmaConfig, TdmaSlot, Time,
@@ -11,7 +9,12 @@ use mcs_model::{
 
 const MS: fn(u64) -> Time = Time::from_millis;
 
-fn two_cluster() -> (Architecture, mcs_model::NodeId, mcs_model::NodeId, mcs_model::NodeId) {
+fn two_cluster() -> (
+    Architecture,
+    mcs_model::NodeId,
+    mcs_model::NodeId,
+    mcs_model::NodeId,
+) {
     let mut b = Architecture::builder();
     let n1 = b.add_node("N1", NodeRole::TimeTriggered);
     let n2 = b.add_node("N2", NodeRole::EventTriggered);

@@ -16,9 +16,7 @@
 //! dominate (a), and a deadline between the configurations flips
 //! schedulability exactly as in the paper.
 
-use mcs_core::{
-    degree_of_schedulability, multi_cluster_scheduling, AnalysisParams,
-};
+use mcs_core::{degree_of_schedulability, multi_cluster_scheduling, AnalysisParams};
 use mcs_model::{
     Application, Architecture, CanBusParams, GatewayParams, MessageId, NodeRole, Priority,
     PriorityAssignment, ProcessId, System, SystemConfig, TdmaConfig, TdmaSlot, Time, TtpBusParams,
@@ -112,9 +110,8 @@ fn config_c(f: &Fixture) -> SystemConfig {
 #[test]
 fn case_a_offsets_match_the_paper() {
     let f = fixture(200);
-    let outcome =
-        multi_cluster_scheduling(&f.system, &config_a(&f), &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&f.system, &config_a(&f), &AnalysisParams::default())
+        .expect("analyzable");
     // m1 and m2 are packed into N1's slot of round 2, ending at 80 ms; the
     // earliest delivery to P2/P3 adds the 10 ms CAN frame: O2 = O3 = 90.
     // (The paper anchors the offset at the MBI arrival, 80 ms; the
@@ -140,9 +137,8 @@ fn case_a_offsets_match_the_paper() {
 #[test]
 fn case_a_misses_the_200ms_deadline() {
     let f = fixture(200);
-    let outcome =
-        multi_cluster_scheduling(&f.system, &config_a(&f), &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&f.system, &config_a(&f), &AnalysisParams::default())
+        .expect("analyzable");
     let degree = degree_of_schedulability(&f.system, &outcome);
     assert!(!degree.is_schedulable(), "the paper's case (a) misses");
     assert_eq!(outcome.graph_response(mcs_model::GraphId::new(0)), MS(250));
@@ -198,9 +194,8 @@ fn a_deadline_between_the_configurations_flips_schedulability() {
 #[test]
 fn buffer_bounds_cover_the_example_traffic() {
     let f = fixture(200);
-    let outcome =
-        multi_cluster_scheduling(&f.system, &config_a(&f), &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&f.system, &config_a(&f), &AnalysisParams::default())
+        .expect("analyzable");
     // Out_CAN holds at worst m1 and m2 together (4 + 4 bytes).
     assert_eq!(outcome.queues.out_can, 8);
     // Out_TTP holds at worst m3 alone.

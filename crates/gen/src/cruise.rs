@@ -65,15 +65,17 @@ pub fn cruise_controller() -> CruiseController {
     let gateway = b.add_node("NG", NodeRole::Gateway);
     // 32 kB/s TTP payload rate with 0.5 ms slot overhead; ~83 kbit/s CAN
     // (a long, noisy vehicle bus at its lowest standard rate).
-    b.ttp_params(TtpBusParams::new(Time::from_micros(250), Time::from_micros(500)));
+    b.ttp_params(TtpBusParams::new(
+        Time::from_micros(250),
+        Time::from_micros(500),
+    ));
     b.can_params(CanBusParams::new(Time::from_micros(12)));
     let arch = b.build().expect("cruise architecture is valid");
 
     let mut ab = Application::builder();
     let g = ab.add_graph("cruise", ms(500), ms(250));
-    let mut add = |name: &str, node: NodeId, wcet_ms: u64| {
-        ab.add_process(g, name, node, ms(wcet_ms))
-    };
+    let mut add =
+        |name: &str, node: NodeId, wcet_ms: u64| ab.add_process(g, name, node, ms(wcet_ms));
 
     // Sensor/actuator node (TT-IO).
     let read_speed = add("read_speed", tt_io, 8);
@@ -174,14 +176,16 @@ pub fn cruise_controller() -> CruiseController {
 
     // Independent diagnostics keep their nodes honest but are off the
     // critical path.
-    let _ = (diag_tt_io, diag_tt_ctrl, diag_et_speedup, diag_et_hmi, watchdog);
+    let _ = (
+        diag_tt_io,
+        diag_tt_ctrl,
+        diag_et_speedup,
+        diag_et_hmi,
+        watchdog,
+    );
 
     let app = ab.build(&arch).expect("cruise application is valid");
-    let system = System::with_gateway(
-        app,
-        arch,
-        GatewayParams::new(ms(1), ms(5)),
-    );
+    let system = System::with_gateway(app, arch, GatewayParams::new(ms(1), ms(5)));
     CruiseController {
         system,
         nodes: CruiseNodes {
@@ -225,14 +229,8 @@ mod tests {
     #[test]
     fn pipeline_crosses_the_gateway_in_both_directions() {
         let cc = cruise_controller();
-        let to_etc = cc
-            .system
-            .messages_on_route(MessageRoute::TtcToEtc)
-            .len();
-        let to_ttc = cc
-            .system
-            .messages_on_route(MessageRoute::EtcToTtc)
-            .len();
+        let to_etc = cc.system.messages_on_route(MessageRoute::TtcToEtc).len();
+        let to_ttc = cc.system.messages_on_route(MessageRoute::EtcToTtc).len();
         assert!(to_etc >= 3, "expected TTC→ETC traffic, got {to_etc}");
         assert!(to_ttc >= 3, "expected ETC→TTC traffic, got {to_ttc}");
     }

@@ -16,9 +16,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mcs_model::{
-    Application, Architecture, NodeId, NodeRole, System, Time,
-};
+use mcs_model::{Application, Architecture, NodeId, NodeRole, System, Time};
 
 use crate::params::{Distribution, GeneratorParams};
 
@@ -49,8 +47,7 @@ pub fn generate(params: &GeneratorParams) -> System {
     let total = params.total_processes();
     let deadline = scale_permille(params.period, params.deadline_permille);
     // Mean WCET so that each node lands near the target utilization.
-    let mean_wcet_ticks = (params.period.ticks() as f64
-        * f64::from(params.utilization_permille)
+    let mean_wcet_ticks = (params.period.ticks() as f64 * f64::from(params.utilization_permille)
         / 1_000.0
         / params.processes_per_node as f64)
         .max(1.0);
@@ -152,8 +149,14 @@ mod tests {
         let params = GeneratorParams::paper_sized(2, 42);
         let a = generate(&params);
         let b = generate(&params);
-        assert_eq!(a.application.processes().len(), b.application.processes().len());
-        assert_eq!(a.application.messages().len(), b.application.messages().len());
+        assert_eq!(
+            a.application.processes().len(),
+            b.application.processes().len()
+        );
+        assert_eq!(
+            a.application.messages().len(),
+            b.application.messages().len()
+        );
         for (x, y) in a
             .application
             .processes()

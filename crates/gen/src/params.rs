@@ -62,7 +62,10 @@ impl GeneratorParams {
     ///
     /// Panics if `nodes` is zero or odd.
     pub fn paper_sized(nodes: usize, seed: u64) -> Self {
-        assert!(nodes > 0 && nodes.is_multiple_of(2), "paper sizes use even node counts");
+        assert!(
+            nodes > 0 && nodes.is_multiple_of(2),
+            "paper sizes use even node counts"
+        );
         GeneratorParams {
             tt_nodes: nodes / 2,
             et_nodes: nodes / 2,

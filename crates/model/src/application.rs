@@ -503,10 +503,7 @@ mod tests {
         let mut b = Application::builder();
         let g = b.add_graph("G", Time::from_millis(100), Time::from_millis(100));
         let p = b.add_process(g, "a", n1, Time::ZERO);
-        assert_eq!(
-            b.clone().build(&arch).unwrap_err(),
-            ModelError::ZeroWcet(p)
-        );
+        assert_eq!(b.clone().build(&arch).unwrap_err(), ModelError::ZeroWcet(p));
 
         let mut b2 = Application::builder();
         let g2 = b2.add_graph("G", Time::from_millis(100), Time::from_millis(100));

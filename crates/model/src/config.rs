@@ -79,9 +79,23 @@ pub struct TdmaSlot {
 /// assert_eq!(cfg.round_duration(&params), Time::from_micros(128));
 /// assert!(cfg.slot_of_node(NodeId::new(0)).is_some());
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Debug, PartialEq, Eq, Default)]
 pub struct TdmaConfig {
     slots: Vec<TdmaSlot>,
+}
+
+impl Clone for TdmaConfig {
+    fn clone(&self) -> Self {
+        TdmaConfig {
+            slots: self.slots.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Reuses the slot vector's allocation (hot path: search loops
+        // snapshotting configurations).
+        self.slots.clone_from(&source.slots);
+    }
 }
 
 impl TdmaConfig {
@@ -184,10 +198,24 @@ impl TdmaConfig {
 ///
 /// Priorities must be unique per scheduling resource: among processes sharing
 /// an ET CPU, and among all frames on the CAN bus.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Debug, PartialEq, Eq, Default)]
 pub struct PriorityAssignment {
     processes: HashMap<ProcessId, Priority>,
     messages: HashMap<MessageId, Priority>,
+}
+
+impl Clone for PriorityAssignment {
+    fn clone(&self) -> Self {
+        PriorityAssignment {
+            processes: self.processes.clone(),
+            messages: self.messages.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.processes.clone_from(&source.processes);
+        self.messages.clone_from(&source.messages);
+    }
 }
 
 impl PriorityAssignment {
@@ -254,10 +282,24 @@ impl PriorityAssignment {
 /// The static scheduler treats a pinned entity as "not ready before the pin",
 /// which realizes the paper's *move a process/message inside its
 /// [ASAP, ALAP] interval* design transformation.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Debug, PartialEq, Eq, Default)]
 pub struct OffsetConstraints {
     processes: HashMap<ProcessId, Time>,
     messages: HashMap<MessageId, Time>,
+}
+
+impl Clone for OffsetConstraints {
+    fn clone(&self) -> Self {
+        OffsetConstraints {
+            processes: self.processes.clone(),
+            messages: self.messages.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.processes.clone_from(&source.processes);
+        self.messages.clone_from(&source.messages);
+    }
 }
 
 impl OffsetConstraints {
@@ -309,7 +351,7 @@ impl OffsetConstraints {
 /// The complete system configuration ψ = ⟨φ, β, π⟩ explored by the synthesis
 /// heuristics. φ is represented by its constraints; the realized offsets are
 /// computed by `MultiClusterScheduling`.
-#[derive(Clone, Debug, PartialEq, Default)]
+#[derive(Debug, PartialEq, Default)]
 pub struct SystemConfig {
     /// The TDMA bus configuration β.
     pub tdma: TdmaConfig,
@@ -317,6 +359,22 @@ pub struct SystemConfig {
     pub priorities: PriorityAssignment,
     /// Offset pins realizing φ-moves of the resource optimizer.
     pub offsets: OffsetConstraints,
+}
+
+impl Clone for SystemConfig {
+    fn clone(&self) -> Self {
+        SystemConfig {
+            tdma: self.tdma.clone(),
+            priorities: self.priorities.clone(),
+            offsets: self.offsets.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.tdma.clone_from(&source.tdma);
+        self.priorities.clone_from(&source.priorities);
+        self.offsets.clone_from(&source.offsets);
+    }
 }
 
 impl SystemConfig {

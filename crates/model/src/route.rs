@@ -1,7 +1,7 @@
 //! Classification of messages by the route they take through the system.
 
-use crate::architecture::Architecture;
 use crate::application::Application;
+use crate::architecture::Architecture;
 use crate::ids::MessageId;
 
 /// The route of a message through the buses and gateway queues (paper §4.1).

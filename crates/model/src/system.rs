@@ -1,7 +1,7 @@
 //! A [`System`]: application + architecture + gateway software parameters.
 
-use crate::architecture::Architecture;
 use crate::application::Application;
+use crate::architecture::Architecture;
 use crate::ids::MessageId;
 use crate::route::{classify, MessageRoute};
 use crate::time::Time;

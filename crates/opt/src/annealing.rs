@@ -1,17 +1,23 @@
 //! Simulated-annealing baselines (paper §6): SAS minimizes the degree of
 //! schedulability δΓ, SAR minimizes the total buffer need `s_total`. Both
-//! explore the same move set as the heuristics; with long runs they provide
-//! the near-optimal reference values of Figure 9.
+//! explore the same move families as the heuristics; with long runs they
+//! provide the near-optimal reference values of Figure 9.
+//!
+//! The inner loop is built for throughput: one reused
+//! [`Evaluator`] (allocation-free analysis state), one lazily sampled move
+//! per iteration ([`crate::MoveSampler`], no materialized neighborhood) and
+//! apply/undo move semantics (no `SystemConfig` clone per iteration — the
+//! configuration is only cloned when a new best is recorded).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mcs_core::AnalysisParams;
+use mcs_core::{AnalysisParams, EvalSummary, Evaluator};
 use mcs_model::{System, SystemConfig};
 
-use crate::cost::{evaluate, Evaluation};
+use crate::cost::{materialize, resource_cost, Evaluation};
 use crate::hopa::hopa_priorities;
-use crate::moves::neighborhood;
+use crate::sampler::MoveSampler;
 use crate::sf::straightforward_config;
 
 /// Simulated-annealing parameters.
@@ -43,32 +49,39 @@ impl Default for SaParams {
 
 /// Generic simulated annealing over configuration moves.
 ///
-/// `cost` maps an evaluation to the scalar being minimized. Returns the best
-/// evaluation ever visited (not the final state).
+/// `cost` maps an evaluation summary to the scalar being minimized. Returns
+/// the best evaluation ever visited (not the final state).
+///
+/// # Panics
+///
+/// Panics if `start` is not analyzable.
 pub fn anneal(
     system: &System,
     start: SystemConfig,
     analysis: &AnalysisParams,
-    cost: impl Fn(&Evaluation) -> f64,
+    cost: impl Fn(&EvalSummary) -> f64,
     params: &SaParams,
 ) -> Evaluation {
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut current =
-        evaluate(system, start, analysis).expect("the SA start configuration must be analyzable");
-    let mut best = current.clone();
+    let mut evaluator = Evaluator::new(system, *analysis);
+    let mut sampler = MoveSampler::new(system);
+    let mut config = start;
+    let mut current = evaluator
+        .evaluate(&config)
+        .expect("the SA start configuration must be analyzable");
+    let mut best = current;
+    let mut best_config = config.clone();
     let mut temperature = params.initial_temperature;
 
     for _ in 0..params.iterations {
-        let moves = neighborhood(system, &current);
-        if moves.is_empty() {
+        let Some(mv) = sampler.sample(system, &config, &evaluator, &current, &mut rng) else {
             break;
-        }
-        let mv = moves[rng.gen_range(0..moves.len())];
-        let mut config = current.config.clone();
-        mv.apply(&mut config);
+        };
+        let undo = mv.apply_undoable(&mut config);
         temperature *= params.cooling;
-        let Ok(candidate) = evaluate(system, config, analysis) else {
-            continue; // infeasible neighbor
+        let Ok(candidate) = evaluator.evaluate(&config) else {
+            undo.revert(&mut config); // infeasible neighbor
+            continue;
         };
         let delta = cost(&candidate) - cost(&current);
         let accept = delta <= 0.0 || {
@@ -77,12 +90,21 @@ pub fn anneal(
         };
         if accept {
             if cost(&candidate) < cost(&best) {
-                best = candidate.clone();
+                best = candidate;
+                best_config.clone_from(&config);
             }
             current = candidate;
+        } else {
+            undo.revert(&mut config);
         }
     }
-    best
+    // Materialize the best visited configuration (one extra analysis, so
+    // the hot loop never builds outcome maps).
+    let summary = evaluator
+        .evaluate(&best_config)
+        .expect("the best configuration was analyzable when visited");
+    debug_assert_eq!(summary, best);
+    materialize(&evaluator, best_config, summary)
 }
 
 /// The starting point both SA baselines use: straightforward slot order
@@ -111,7 +133,7 @@ pub fn sa_resources(system: &System, analysis: &AnalysisParams, params: &SaParam
         system,
         sa_start(system),
         analysis,
-        |e| e.resource_cost() as f64,
+        |e| resource_cost(e) as f64,
         params,
     )
 }
@@ -119,6 +141,7 @@ pub fn sa_resources(system: &System, analysis: &AnalysisParams, params: &SaParam
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::evaluate;
     use mcs_gen::figure4;
     use mcs_model::Time;
 
@@ -156,5 +179,23 @@ mod tests {
         let b = sa_schedule(&fig.system, &analysis, &quick());
         assert_eq!(a.schedule_cost(), b.schedule_cost());
         assert_eq!(a.total_buffers, b.total_buffers);
+    }
+
+    #[test]
+    fn annealing_never_worsens_with_more_budget_of_the_best() {
+        // The returned evaluation is the best ever visited: running more
+        // iterations with the same seed can only improve (or match) it.
+        let fig = figure4(Time::from_millis(240));
+        let analysis = AnalysisParams::default();
+        let short = sa_schedule(&fig.system, &analysis, &quick());
+        let long = sa_schedule(
+            &fig.system,
+            &analysis,
+            &SaParams {
+                iterations: 120,
+                ..quick()
+            },
+        );
+        assert!(long.schedule_cost() <= short.schedule_cost());
     }
 }

@@ -1,10 +1,13 @@
 //! Configuration evaluation: one `MultiClusterScheduling` run plus the two
 //! cost functions of the paper — the degree of schedulability δΓ and the
 //! total buffer need `s_total`.
+//!
+//! The search loops evaluate through a reused [`Evaluator`], reading only
+//! the cheap [`EvalSummary`]; a full [`Evaluation`] (with the outcome maps)
+//! is materialized via [`materialize`] for accepted/final configurations.
 
 use mcs_core::{
-    degree_of_schedulability, multi_cluster_scheduling, AnalysisError, AnalysisOutcome,
-    AnalysisParams, SchedulabilityDegree,
+    AnalysisError, AnalysisOutcome, AnalysisParams, EvalSummary, Evaluator, SchedulabilityDegree,
 };
 use mcs_model::{System, SystemConfig};
 
@@ -44,7 +47,37 @@ impl Evaluation {
     }
 }
 
-/// Analyzes `config` and packages the costs.
+/// The resource-optimization cost of a summary (same ordering as
+/// [`Evaluation::resource_cost`]): `s_total` for schedulable
+/// configurations, unschedulable ones ranked after every schedulable one by
+/// δΓ.
+pub fn resource_cost(summary: &EvalSummary) -> i128 {
+    if summary.is_schedulable() {
+        i128::from(summary.total_buffers)
+    } else {
+        i128::MAX / 4 + summary.schedule_cost().min(i128::MAX / 8)
+    }
+}
+
+/// Packages the evaluator's **last** run as a full [`Evaluation`].
+///
+/// `summary` must be the result of that run (i.e. of evaluating `config`);
+/// the outcome maps are materialized from the evaluator's scratch state.
+pub(crate) fn materialize(
+    evaluator: &Evaluator<'_>,
+    config: SystemConfig,
+    summary: EvalSummary,
+) -> Evaluation {
+    Evaluation {
+        config,
+        degree: summary.degree,
+        total_buffers: summary.total_buffers,
+        outcome: evaluator.outcome(),
+    }
+}
+
+/// Analyzes `config` and packages the costs (one-shot: builds a fresh
+/// [`Evaluator`]; search loops should construct and reuse their own).
 ///
 /// # Errors
 ///
@@ -56,14 +89,9 @@ pub fn evaluate(
     config: SystemConfig,
     params: &AnalysisParams,
 ) -> Result<Evaluation, AnalysisError> {
-    let outcome = multi_cluster_scheduling(system, &config, params)?;
-    let degree = degree_of_schedulability(system, &outcome);
-    Ok(Evaluation {
-        config,
-        degree,
-        total_buffers: outcome.queues.total(),
-        outcome,
-    })
+    let mut evaluator = Evaluator::new(system, *params);
+    let summary = evaluator.evaluate(&config)?;
+    Ok(materialize(&evaluator, config, summary))
 }
 
 #[cfg(test)]

@@ -8,6 +8,10 @@
 //! deadline-monotonically per scheduling resource (per ET CPU, and globally
 //! on the CAN bus). This captures the "knowledge of the factors that
 //! influence the timing behaviour" the paper cites HOPA for.
+//!
+//! The OS heuristic calls this once per candidate TDMA configuration, so
+//! the longest-path passes run over dense index vectors rather than hash
+//! maps.
 
 use std::collections::HashMap;
 
@@ -37,9 +41,11 @@ pub fn hopa_priorities(system: &System, tdma: &TdmaConfig) -> PriorityAssignment
     };
 
     // Longest path from any source *to the completion of* each process
-    // (forward), and from each process *to* any sink (backward).
-    let mut forward: HashMap<ProcessId, Time> = HashMap::new();
-    let mut backward: HashMap<ProcessId, Time> = HashMap::new();
+    // (forward), and from each process *to* any sink (backward), on dense
+    // process indices.
+    let n = app.processes().len();
+    let mut forward = vec![Time::ZERO; n];
+    let mut backward = vec![Time::ZERO; n];
     for graph in app.graphs() {
         let topo = app.topological_order(graph.id());
         for &p in topo {
@@ -47,18 +53,18 @@ pub fn hopa_priorities(system: &System, tdma: &TdmaConfig) -> PriorityAssignment
                 .predecessors(p)
                 .iter()
                 .map(|e| {
-                    forward[&e.source] + e.message.map(&edge_cost).unwrap_or(Time::ZERO)
+                    forward[e.source.index()] + e.message.map(&edge_cost).unwrap_or(Time::ZERO)
                 })
                 .fold(Time::ZERO, Time::max);
-            forward.insert(p, best + app.process(p).wcet());
+            forward[p.index()] = best + app.process(p).wcet();
         }
         for &p in topo.iter().rev() {
             let best = app
                 .successors(p)
                 .iter()
-                .map(|e| backward[&e.dest] + e.message.map(&edge_cost).unwrap_or(Time::ZERO))
+                .map(|e| backward[e.dest.index()] + e.message.map(&edge_cost).unwrap_or(Time::ZERO))
                 .fold(Time::ZERO, Time::max);
-            backward.insert(p, best + app.process(p).wcet());
+            backward[p.index()] = best + app.process(p).wcet();
         }
     }
 
@@ -79,8 +85,8 @@ pub fn hopa_priorities(system: &System, tdma: &TdmaConfig) -> PriorityAssignment
             continue;
         }
         let deadline = app.graph(p.graph()).deadline();
-        let f = forward[&p.id()];
-        let b = backward[&p.id()].saturating_sub(p.wcet());
+        let f = forward[p.id().index()];
+        let b = backward[p.id().index()].saturating_sub(p.wcet());
         per_node
             .entry(p.node())
             .or_default()
@@ -101,8 +107,8 @@ pub fn hopa_priorities(system: &System, tdma: &TdmaConfig) -> PriorityAssignment
             continue;
         }
         let deadline = app.graph(m.graph()).deadline();
-        let f = forward[&m.source()] + edge_cost(m.id());
-        let b = backward[&m.dest()];
+        let f = forward[m.source().index()] + edge_cost(m.id());
+        let b = backward[m.dest().index()];
         bus.push((local_deadline(f, b, deadline), m.id()));
     }
     bus.sort_by_key(|&(d, m)| (d, m));
@@ -135,11 +141,9 @@ mod tests {
             }
         }
         // Uniqueness is enforced by validate_config; spot check here.
-        assert!(mcs_core::validate_config(
-            &cc.system,
-            &mcs_model::SystemConfig::new(tdma, pri)
-        )
-        .is_ok());
+        assert!(
+            mcs_core::validate_config(&cc.system, &mcs_model::SystemConfig::new(tdma, pri)).is_ok()
+        );
     }
 
     #[test]

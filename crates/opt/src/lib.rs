@@ -11,6 +11,34 @@
 //! * [`straightforward_config`] (SF), [`sa_schedule`] (SAS) and
 //!   [`sa_resources`] (SAR) — the evaluation baselines.
 //!
+//! # Search-loop machinery
+//!
+//! Every search evaluates configurations through one reused
+//! [`mcs_core::Evaluator`] (the reusable analysis context: system-invariant
+//! tables built once, fixed-point scratch cleared between runs) and reads
+//! only the cheap [`mcs_core::EvalSummary`] per candidate; full
+//! [`Evaluation`]s (with the outcome maps) are materialized only for
+//! accepted and final configurations.
+//!
+//! **The apply/undo move contract.** [`Move::apply_undoable`] applies a
+//! design transformation and returns a [`MoveUndo`] whose
+//! [`revert`](MoveUndo::revert) restores the configuration *bit-for-bit* —
+//! including the two lossy cases plain re-application would get wrong: a
+//! slot resize clamped at the 1-byte floor (the undo restores the recorded
+//! previous capacity) and a pin move overwriting an existing pin (the undo
+//! restores the previous pin value, or removes the pin if there was none).
+//! Search loops therefore keep **one** working [`SystemConfig`] per climb
+//! and explore every neighbor in place; the simulated-annealing baselines
+//! clone a configuration only when recording a new best. Undo tokens must
+//! be reverted in LIFO order when stacked.
+//!
+//! The SA baselines additionally draw their neighbors through
+//! [`MoveSampler`], which picks one random move with the same distribution
+//! as drawing uniformly from the materialized [`neighborhood`] — without
+//! building the O(n²) move set.
+//!
+//! [`SystemConfig`]: mcs_model::SystemConfig
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -36,14 +64,16 @@ mod hopa;
 mod moves;
 mod or;
 mod os;
+mod sampler;
 mod sensitivity;
 mod sf;
 
 pub use annealing::{anneal, sa_resources, sa_schedule, sa_start, SaParams};
-pub use cost::{evaluate, Evaluation};
+pub use cost::{evaluate, resource_cost, Evaluation};
 pub use hopa::hopa_priorities;
-pub use moves::{neighborhood, Move};
+pub use moves::{neighborhood, Move, MoveUndo};
 pub use or::{optimize_resources, OrParams, OrResult};
 pub use os::{optimize_schedule, recommended_lengths, OsParams, OsResult};
+pub use sampler::MoveSampler;
 pub use sensitivity::{criticality_ranking, wcet_slack, WcetSlack};
 pub use sf::{minimal_slot_capacities, straightforward_config};

@@ -7,9 +7,7 @@
 //! * moving a TT process or TTC message inside its [ASAP, ALAP] window
 //!   (realized as offset pins honoured by the list scheduler).
 
-use mcs_model::{
-    MessageId, MessageRoute, NodeId, ProcessId, SlotId, System, SystemConfig, Time,
-};
+use mcs_model::{MessageId, MessageRoute, NodeId, ProcessId, SlotId, System, SystemConfig, Time};
 
 use crate::cost::Evaluation;
 
@@ -62,6 +60,81 @@ impl Move {
             }
         }
     }
+
+    /// Applies the move and returns the exact inverse, so search loops can
+    /// explore a neighbor and roll the configuration back **in place**
+    /// instead of cloning a [`SystemConfig`] per candidate.
+    ///
+    /// The apply/undo contract: for any configuration `c`,
+    /// `let u = m.apply_undoable(&mut c); u.revert(&mut c);` restores `c`
+    /// bit-for-bit — including the cases plain re-application would get
+    /// wrong (a resize clamped at 1 byte, a pin overwriting an existing
+    /// pin).
+    pub fn apply_undoable(&self, config: &mut SystemConfig) -> MoveUndo {
+        let undo = match *self {
+            Move::SwapSlots(a, b) => MoveUndo::SwapSlots(a, b),
+            Move::ResizeSlot(slot, _) => MoveUndo::RestoreSlotCapacity(
+                slot,
+                config.tdma.slots()[slot.index()].capacity_bytes,
+            ),
+            Move::SwapProcessPriorities(a, b) => MoveUndo::SwapProcessPriorities(a, b),
+            Move::SwapMessagePriorities(a, b) => MoveUndo::SwapMessagePriorities(a, b),
+            Move::PinProcess(p, _) | Move::UnpinProcess(p) => {
+                MoveUndo::RestoreProcessPin(p, config.offsets.process(p))
+            }
+            Move::PinMessage(m, _) | Move::UnpinMessage(m) => {
+                MoveUndo::RestoreMessagePin(m, config.offsets.message(m))
+            }
+        };
+        self.apply(config);
+        undo
+    }
+}
+
+/// The inverse of one applied [`Move`], captured by
+/// [`Move::apply_undoable`]. Swaps are their own inverses; resizes and pin
+/// changes restore the recorded prior state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveUndo {
+    /// Swap the two slots back.
+    SwapSlots(SlotId, SlotId),
+    /// Restore a slot's previous byte capacity.
+    RestoreSlotCapacity(SlotId, u32),
+    /// Swap the two process priorities back.
+    SwapProcessPriorities(ProcessId, ProcessId),
+    /// Swap the two message priorities back.
+    SwapMessagePriorities(MessageId, MessageId),
+    /// Restore a process's previous pin (`None` removes the pin).
+    RestoreProcessPin(ProcessId, Option<Time>),
+    /// Restore a message's previous pin (`None` removes the pin).
+    RestoreMessagePin(MessageId, Option<Time>),
+}
+
+impl MoveUndo {
+    /// Rolls the configuration back to its state before the paired
+    /// [`Move::apply_undoable`] call.
+    pub fn revert(self, config: &mut SystemConfig) {
+        match self {
+            MoveUndo::SwapSlots(a, b) => config.tdma.swap_slots(a, b),
+            MoveUndo::RestoreSlotCapacity(slot, capacity) => {
+                config.tdma.slots_mut()[slot.index()].capacity_bytes = capacity;
+            }
+            MoveUndo::SwapProcessPriorities(a, b) => config.priorities.swap_processes(a, b),
+            MoveUndo::SwapMessagePriorities(a, b) => config.priorities.swap_messages(a, b),
+            MoveUndo::RestoreProcessPin(p, Some(t)) => {
+                config.offsets.pin_process(p, t);
+            }
+            MoveUndo::RestoreProcessPin(p, None) => {
+                config.offsets.unpin_process(p);
+            }
+            MoveUndo::RestoreMessagePin(m, Some(t)) => {
+                config.offsets.pin_message(m, t);
+            }
+            MoveUndo::RestoreMessagePin(m, None) => {
+                config.offsets.unpin_message(m);
+            }
+        }
+    }
 }
 
 /// Generates the neighborhood of the evaluated configuration: every move of
@@ -77,7 +150,10 @@ pub fn neighborhood(system: &System, eval: &Evaluation) -> Vec<Move> {
     let n_slots = config.tdma.slot_count();
     for i in 0..n_slots {
         for j in (i + 1)..n_slots {
-            moves.push(Move::SwapSlots(SlotId::new(i as u32), SlotId::new(j as u32)));
+            moves.push(Move::SwapSlots(
+                SlotId::new(i as u32),
+                SlotId::new(j as u32),
+            ));
         }
     }
     // Slot resizes: quanta of half/whole of the typical message.
@@ -128,13 +204,10 @@ pub fn neighborhood(system: &System, eval: &Evaluation) -> Vec<Move> {
         let sender = m.source();
         let graph = app.process(sender).graph();
         let slack = Time::from_ticks(
-            (-eval
-                .degree
-                .slack
-                .min(0))
-            .unsigned_abs()
-            .try_into()
-            .unwrap_or(u64::MAX),
+            (-eval.degree.slack.min(0))
+                .unsigned_abs()
+                .try_into()
+                .unwrap_or(u64::MAX),
         );
         let current = eval.outcome.process_timing(sender).offset;
         if config.offsets.process(sender).is_some() {
@@ -200,8 +273,12 @@ mod tests {
     #[test]
     fn neighborhood_contains_all_four_move_families() {
         let fig = figure4(Time::from_millis(240));
-        let eval = evaluate(&fig.system, fig.config_b.clone(), &AnalysisParams::default())
-            .expect("valid");
+        let eval = evaluate(
+            &fig.system,
+            fig.config_b.clone(),
+            &AnalysisParams::default(),
+        )
+        .expect("valid");
         let moves = neighborhood(&fig.system, &eval);
         assert!(moves.iter().any(|m| matches!(m, Move::SwapSlots(_, _))));
         assert!(moves.iter().any(|m| matches!(m, Move::ResizeSlot(_, _))));

@@ -7,11 +7,16 @@
 //! iteration performing the move that minimizes `s_total` without making
 //! the system unschedulable, until no improvement remains or the iteration
 //! limit is hit.
+//!
+//! Neighbors are explored with apply/undo semantics against one working
+//! configuration and evaluated through a reused
+//! [`Evaluator`] — no `SystemConfig` clone and no outcome materialization
+//! per candidate.
 
-use mcs_core::AnalysisParams;
-use mcs_model::System;
+use mcs_core::{AnalysisParams, EvalSummary, Evaluator};
+use mcs_model::{System, SystemConfig};
 
-use crate::cost::{evaluate, Evaluation};
+use crate::cost::{materialize, Evaluation};
 use crate::moves::neighborhood;
 use crate::os::{optimize_schedule, OsParams, OsResult};
 
@@ -69,35 +74,43 @@ pub fn optimize_resources(
         };
     }
 
+    let mut evaluator = Evaluator::new(system, *analysis);
     let mut global_best = os.best.clone();
     for seed in &os.seeds {
-        let Ok(mut current) = evaluate(system, seed.clone(), analysis) else {
+        let Ok(summary) = evaluator.evaluate(seed) else {
             continue;
         };
+        let mut current = materialize(&evaluator, seed.clone(), summary);
         for _ in 0..params.max_iterations {
             let moves = neighborhood(system, &current);
             let stride = (moves.len() / params.neighbor_sample.max(1)).max(1);
-            let mut best_neighbor: Option<Evaluation> = None;
+            let mut work = current.config.clone();
+            let mut best_neighbor: Option<(EvalSummary, SystemConfig)> = None;
             for mv in moves.into_iter().step_by(stride) {
-                let mut config = current.config.clone();
-                mv.apply(&mut config);
+                let undo = mv.apply_undoable(&mut work);
                 evaluations += 1;
-                let Ok(eval) = evaluate(system, config, analysis) else {
-                    continue;
-                };
-                if !eval.is_schedulable() {
-                    continue;
+                if let Ok(summary) = evaluator.evaluate(&work) {
+                    if summary.is_schedulable() {
+                        let better = match &best_neighbor {
+                            None => true,
+                            Some((b, _)) => summary.total_buffers < b.total_buffers,
+                        };
+                        if better {
+                            best_neighbor = Some((summary, work.clone()));
+                        }
+                    }
                 }
-                let better = match &best_neighbor {
-                    None => true,
-                    Some(b) => eval.total_buffers < b.total_buffers,
-                };
-                if better {
-                    best_neighbor = Some(eval);
-                }
+                undo.revert(&mut work);
             }
             match best_neighbor {
-                Some(next) if next.total_buffers < current.total_buffers => current = next,
+                Some((summary, config)) if summary.total_buffers < current.total_buffers => {
+                    // Accepted: materialize the outcome for the next
+                    // neighborhood instantiation.
+                    let summary = evaluator
+                        .evaluate(&config)
+                        .expect("accepted neighbor was analyzable");
+                    current = materialize(&evaluator, config, summary);
+                }
                 _ => break,
             }
         }

@@ -8,11 +8,15 @@
 //! keeps the combination maximizing the degree of schedulability. Along the
 //! way it records the best configurations seen — by δΓ and by `s_total` —
 //! as *seed solutions* for the resource optimizer.
+//!
+//! All candidate evaluations run through one reused
+//! [`Evaluator`], and only summaries are compared in the search; the full
+//! outcome is materialized once for the winning configuration.
 
-use mcs_core::AnalysisParams;
+use mcs_core::{AnalysisParams, EvalSummary, Evaluator};
 use mcs_model::{MessageRoute, NodeId, System, SystemConfig, TdmaConfig, TdmaSlot};
 
-use crate::cost::{evaluate, Evaluation};
+use crate::cost::{materialize, Evaluation};
 use crate::hopa::hopa_priorities;
 use crate::sf::minimal_slot_capacities;
 
@@ -93,6 +97,7 @@ pub fn optimize_schedule(
     analysis: &AnalysisParams,
     params: &OsParams,
 ) -> OsResult {
+    let mut evaluator = Evaluator::new(system, *analysis);
     let caps = minimal_slot_capacities(system);
     let order: Vec<NodeId> = system.architecture.ttp_nodes().map(|n| n.id()).collect();
     let mut slots: Vec<TdmaSlot> = order
@@ -104,11 +109,11 @@ pub fn optimize_schedule(
         .collect();
 
     let mut evaluations = 0;
-    let mut best: Option<Evaluation> = None;
+    let mut best: Option<(EvalSummary, SystemConfig)> = None;
     let mut seeds = SeedPool::new(params.seed_limit);
 
     for position in 0..slots.len() {
-        let mut best_here: Option<(Evaluation, usize, u32)> = None;
+        let mut best_here: Option<(EvalSummary, SystemConfig, usize, u32)> = None;
         for j in position..slots.len() {
             slots.swap(position, j);
             let node = slots[position].node;
@@ -120,17 +125,17 @@ pub fn optimize_schedule(
                 let priorities = hopa_priorities(system, &tdma);
                 let config = SystemConfig::new(tdma, priorities);
                 evaluations += 1;
-                if let Ok(eval) = evaluate(system, config, analysis) {
-                    seeds.offer(&eval);
+                if let Ok(summary) = evaluator.evaluate(&config) {
+                    seeds.offer(&summary, &config);
                     let better = match &best_here {
                         None => true,
-                        Some((cur, _, _)) => {
-                            (eval.schedule_cost(), eval.total_buffers)
+                        Some((cur, _, _, _)) => {
+                            (summary.schedule_cost(), summary.total_buffers)
                                 < (cur.schedule_cost(), cur.total_buffers)
                         }
                     };
                     if better {
-                        best_here = Some((eval, j, slots[position].capacity_bytes));
+                        best_here = Some((summary, config, j, slots[position].capacity_bytes));
                     }
                 }
                 slots[position].capacity_bytes = saved;
@@ -138,28 +143,40 @@ pub fn optimize_schedule(
             slots.swap(position, j);
         }
         // Commit the best node/length for this position.
-        if let Some((eval, j, len)) = best_here {
+        if let Some((summary, config, j, len)) = best_here {
             slots.swap(position, j);
             slots[position].capacity_bytes = len;
             let better = match &best {
                 None => true,
-                Some(cur) => {
-                    (eval.schedule_cost(), eval.total_buffers)
+                Some((cur, _)) => {
+                    (summary.schedule_cost(), summary.total_buffers)
                         < (cur.schedule_cost(), cur.total_buffers)
                 }
             };
             if better {
-                best = Some(eval);
+                best = Some((summary, config));
             }
         }
     }
 
-    let best = best.unwrap_or_else(|| {
-        // Degenerate fallback: evaluate the straightforward configuration.
-        let config = crate::sf::straightforward_config(system);
-        evaluate(system, config, analysis)
-            .expect("the straightforward configuration must be analyzable")
-    });
+    let best = match best {
+        Some((_, config)) => {
+            // Materialize the winner's outcome (one extra analysis; the
+            // search itself only compared summaries).
+            let summary = evaluator
+                .evaluate(&config)
+                .expect("the best configuration was analyzable when visited");
+            materialize(&evaluator, config, summary)
+        }
+        None => {
+            // Degenerate fallback: evaluate the straightforward configuration.
+            let config = crate::sf::straightforward_config(system);
+            let summary = evaluator
+                .evaluate(&config)
+                .expect("the straightforward configuration must be analyzable");
+            materialize(&evaluator, config, summary)
+        }
+    };
     OsResult {
         seeds: seeds.into_configs(&best),
         best,
@@ -183,15 +200,21 @@ impl SeedPool {
         }
     }
 
-    fn offer(&mut self, eval: &Evaluation) {
+    fn offer(&mut self, summary: &EvalSummary, config: &SystemConfig) {
         let half = self.limit.div_ceil(2);
-        self.by_degree
-            .push((eval.schedule_cost(), eval.total_buffers, eval.config.clone()));
+        self.by_degree.push((
+            summary.schedule_cost(),
+            summary.total_buffers,
+            config.clone(),
+        ));
         self.by_degree.sort_by_key(|a| (a.0, a.1));
         self.by_degree.truncate(half);
-        if eval.is_schedulable() {
-            self.by_buffers
-                .push((eval.total_buffers, eval.schedule_cost(), eval.config.clone()));
+        if summary.is_schedulable() {
+            self.by_buffers.push((
+                summary.total_buffers,
+                summary.schedule_cost(),
+                config.clone(),
+            ));
             self.by_buffers.sort_by_key(|a| (a.0, a.1));
             self.by_buffers.truncate(half);
         }
@@ -199,11 +222,11 @@ impl SeedPool {
 
     fn into_configs(self, best: &Evaluation) -> Vec<SystemConfig> {
         let mut configs = vec![best.config.clone()];
-        for (_, _, c) in self.by_degree.into_iter().chain(
-            self.by_buffers
-                .into_iter()
-                .map(|(a, b, c)| (b, a, c)),
-        ) {
+        for (_, _, c) in self
+            .by_degree
+            .into_iter()
+            .chain(self.by_buffers.into_iter().map(|(a, b, c)| (b, a, c)))
+        {
             if !configs.contains(&c) {
                 configs.push(c);
             }
@@ -216,6 +239,7 @@ impl SeedPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::evaluate;
     use mcs_gen::{figure4, generate, GeneratorParams};
     use mcs_model::Time;
 
@@ -245,7 +269,11 @@ mod tests {
         // With D = 240 ms, configurations (b) and (c) are schedulable; the
         // greedy search must find one at least as good.
         let fig = figure4(Time::from_millis(240));
-        let os = optimize_schedule(&fig.system, &AnalysisParams::default(), &OsParams::default());
+        let os = optimize_schedule(
+            &fig.system,
+            &AnalysisParams::default(),
+            &OsParams::default(),
+        );
         assert!(os.best.is_schedulable());
     }
 
@@ -253,7 +281,11 @@ mod tests {
     fn recommended_lengths_are_cumulative_message_sizes() {
         let fig = figure4(Time::from_millis(200));
         // N1 sends m1 (4 B) and m2 (4 B): lengths 4, 8.
-        let n1 = fig.system.application.process(mcs_gen::figure4_ids::P1).node();
+        let n1 = fig
+            .system
+            .application
+            .process(mcs_gen::figure4_ids::P1)
+            .node();
         assert_eq!(recommended_lengths(&fig.system, n1), vec![4, 8]);
         // The gateway carries m3 (4 B).
         assert_eq!(

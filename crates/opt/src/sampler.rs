@@ -1,0 +1,308 @@
+//! Lazy neighborhood sampling: draw one random design transformation
+//! without materializing the full O(n²) move set.
+//!
+//! [`crate::neighborhood`] instantiates every move of the paper's four
+//! families — O(slots²) slot swaps alone — which the simulated-annealing
+//! baselines then discard after picking a *single* random element. The
+//! [`MoveSampler`] inverts that: it weights the four families by their exact
+//! neighborhood sizes (so the sampled distribution matches drawing uniformly
+//! from the materialized set) and instantiates only the one chosen move.
+//! Cost per draw is O(1) in the number of candidate moves, plus an
+//! O(k log k) sort over the ~k processes of the one chosen CPU (or the CAN
+//! message set) to locate a priority-adjacent pair.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use mcs_core::{EvalSummary, Evaluator};
+use mcs_model::{MessageId, MessageRoute, Priority, ProcessId, SlotId, System, SystemConfig, Time};
+
+use crate::moves::Move;
+
+/// A reusable sampler of random configuration moves for one [`System`].
+///
+/// Build it once per search; [`MoveSampler::sample`] draws moves against the
+/// current configuration and the evaluator's **most recent** analysis: pin
+/// moves anchor on the analyzed offsets and arrivals like the materialized
+/// neighborhood does, except that after a rejected or infeasible neighbor
+/// the anchors reflect that last-analyzed candidate rather than the
+/// current configuration — the pin targets are heuristic anchors, and
+/// re-analyzing the current configuration per draw would cost a full
+/// evaluation. When the evaluator holds no successful analysis at all, the
+/// pin families are simply excluded from the draw.
+pub struct MoveSampler {
+    /// ET CPUs and their processes, in node order.
+    nodes: Vec<Vec<ProcessId>>,
+    /// All messages, in id order (the priority-swap family covers every
+    /// prioritized message, exactly like the materialized neighborhood).
+    msgs: Vec<MessageId>,
+    /// Senders of TTC→ETC traffic (φ process-pin candidates).
+    ttc_to_etc_senders: Vec<ProcessId>,
+    /// TTC→TTC messages (φ message-pin candidates).
+    ttc_to_ttc_msgs: Vec<MessageId>,
+    /// Scratch: (priority, entity) pairs sorted to find adjacent swaps.
+    order: Vec<(Priority, u32)>,
+}
+
+/// Slot-resize quanta: half/whole of the typical message.
+const RESIZE_DELTAS: [i32; 4] = [-8, -4, 4, 8];
+
+impl MoveSampler {
+    /// Precomputes the system-invariant candidate sets.
+    pub fn new(system: &System) -> Self {
+        let app = &system.application;
+        let arch = &system.architecture;
+        let mut node_ids: Vec<_> = arch
+            .nodes()
+            .iter()
+            .filter(|n| arch.is_et_cpu(n.id()))
+            .map(|n| n.id())
+            .collect();
+        node_ids.sort();
+        let nodes = node_ids
+            .iter()
+            .map(|&node| app.processes_on(node).map(|p| p.id()).collect())
+            .collect();
+        let msgs = app.messages().iter().map(|m| m.id()).collect();
+        let ttc_to_etc_senders = app
+            .messages()
+            .iter()
+            .filter(|m| system.route(m.id()) == MessageRoute::TtcToEtc)
+            .map(|m| m.source())
+            .collect();
+        let ttc_to_ttc_msgs = app
+            .messages()
+            .iter()
+            .map(|m| m.id())
+            .filter(|&m| system.route(m) == MessageRoute::TtcToTtc)
+            .collect();
+        MoveSampler {
+            nodes,
+            msgs,
+            ttc_to_etc_senders,
+            ttc_to_ttc_msgs,
+            order: Vec::new(),
+        }
+    }
+
+    /// Draws one random move against the current configuration, or `None`
+    /// when the neighborhood is empty.
+    ///
+    /// `evaluator` must have completed an evaluation of a configuration of
+    /// this system (its offsets/arrivals anchor the φ pin moves); `summary`
+    /// is the evaluation of `config` steering schedulability-gated moves.
+    pub fn sample(
+        &mut self,
+        system: &System,
+        config: &SystemConfig,
+        evaluator: &Evaluator<'_>,
+        summary: &EvalSummary,
+        rng: &mut StdRng,
+    ) -> Option<Move> {
+        let n_slots = config.tdma.slot_count() as u64;
+        let w_slot_swap = n_slots * n_slots.saturating_sub(1) / 2;
+        let w_resize = n_slots * RESIZE_DELTAS.len() as u64;
+        let w_proc_swap: u64 = self
+            .nodes
+            .iter()
+            .map(|procs| Self::prioritized(config, procs).saturating_sub(1) as u64)
+            .sum();
+        let w_msg_swap = (self
+            .msgs
+            .iter()
+            .filter(|&&m| config.priorities.message(m).is_some())
+            .count() as u64)
+            .saturating_sub(1);
+
+        // φ moves, counted exactly like the materialized neighborhood.
+        let round = config
+            .tdma
+            .round_duration(&system.architecture.ttp_params());
+        let slack = Time::from_ticks(
+            (-summary.degree.slack.min(0))
+                .unsigned_abs()
+                .try_into()
+                .unwrap_or(u64::MAX),
+        );
+        let schedulable = summary.is_schedulable();
+        // Pin moves need the evaluator's analyzed offsets/arrivals; without
+        // a successful analysis those families are excluded.
+        let anchored = evaluator.has_run();
+        let w_unpin_proc = self
+            .ttc_to_etc_senders
+            .iter()
+            .filter(|&&p| config.offsets.process(p).is_some())
+            .count() as u64;
+        let w_pin_proc = if anchored && schedulable && round <= slack {
+            self.ttc_to_etc_senders.len() as u64
+        } else {
+            0
+        };
+        let w_unpin_msg = self
+            .ttc_to_ttc_msgs
+            .iter()
+            .filter(|&&m| config.offsets.message(m).is_some())
+            .count() as u64;
+        let w_pin_msg = if anchored && schedulable {
+            (self.ttc_to_ttc_msgs.len() as u64).saturating_sub(w_unpin_msg)
+        } else {
+            0
+        };
+
+        let weights = [
+            w_slot_swap,
+            w_resize,
+            w_proc_swap,
+            w_msg_swap,
+            w_unpin_proc,
+            w_pin_proc,
+            w_unpin_msg,
+            w_pin_msg,
+        ];
+        let total: u64 = weights.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut pick = rng.gen_range(0..total);
+        let family = weights
+            .iter()
+            .position(|&w| {
+                if pick < w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .expect("pick < total");
+
+        Some(match family {
+            0 => {
+                // The pick-th ordered slot pair (i < j).
+                let (mut i, mut j) = (0u64, 1u64);
+                let mut remaining = pick;
+                while remaining >= n_slots - i - 1 {
+                    remaining -= n_slots - i - 1;
+                    i += 1;
+                    j = i + 1;
+                }
+                j += remaining;
+                Move::SwapSlots(SlotId::new(i as u32), SlotId::new(j as u32))
+            }
+            1 => {
+                let slot = pick / RESIZE_DELTAS.len() as u64;
+                let delta = RESIZE_DELTAS[(pick % RESIZE_DELTAS.len() as u64) as usize];
+                Move::ResizeSlot(SlotId::new(slot as u32), delta)
+            }
+            2 => {
+                // Locate the pick-th adjacent pair across the ET CPUs.
+                let mut remaining = pick;
+                for procs in &self.nodes {
+                    let pairs = Self::prioritized(config, procs).saturating_sub(1) as u64;
+                    if remaining < pairs {
+                        self.order.clear();
+                        self.order.extend(
+                            procs.iter().filter_map(|&p| {
+                                config.priorities.process(p).map(|pr| (pr, p.raw()))
+                            }),
+                        );
+                        self.order.sort();
+                        let k = remaining as usize;
+                        return Some(Move::SwapProcessPriorities(
+                            ProcessId::new(self.order[k].1),
+                            ProcessId::new(self.order[k + 1].1),
+                        ));
+                    }
+                    remaining -= pairs;
+                }
+                unreachable!("pick bounded by the family weight")
+            }
+            3 => {
+                self.order.clear();
+                self.order.extend(
+                    self.msgs
+                        .iter()
+                        .filter_map(|&m| config.priorities.message(m).map(|pr| (pr, m.raw()))),
+                );
+                self.order.sort();
+                let k = pick as usize;
+                Move::SwapMessagePriorities(
+                    MessageId::new(self.order[k].1),
+                    MessageId::new(self.order[k + 1].1),
+                )
+            }
+            4 => {
+                let p = *self
+                    .ttc_to_etc_senders
+                    .iter()
+                    .filter(|&&p| config.offsets.process(p).is_some())
+                    .nth(pick as usize)
+                    .expect("pick bounded by the family weight");
+                Move::UnpinProcess(p)
+            }
+            5 => {
+                let p = self.ttc_to_etc_senders[pick as usize];
+                let current = evaluator.process_timing(p).offset;
+                Move::PinProcess(p, current + round)
+            }
+            6 => {
+                let m = *self
+                    .ttc_to_ttc_msgs
+                    .iter()
+                    .filter(|&&m| config.offsets.message(m).is_some())
+                    .nth(pick as usize)
+                    .expect("pick bounded by the family weight");
+                Move::UnpinMessage(m)
+            }
+            _ => {
+                let m = *self
+                    .ttc_to_ttc_msgs
+                    .iter()
+                    .filter(|&&m| config.offsets.message(m).is_none())
+                    .nth(pick as usize)
+                    .expect("pick bounded by the family weight");
+                let arrival = evaluator.message_timing(m).arrival;
+                Move::PinMessage(m, arrival + round)
+            }
+        })
+    }
+
+    /// Number of prioritized processes among `procs`.
+    fn prioritized(config: &SystemConfig, procs: &[ProcessId]) -> usize {
+        procs
+            .iter()
+            .filter(|&&p| config.priorities.process(p).is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_core::AnalysisParams;
+    use mcs_gen::figure4;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_moves_apply_and_revert_cleanly() {
+        let fig = figure4(Time::from_millis(240));
+        let mut evaluator = Evaluator::new(&fig.system, AnalysisParams::default());
+        let mut config = fig.config_b.clone();
+        let summary = evaluator.evaluate(&config).expect("analyzable");
+        let mut sampler = MoveSampler::new(&fig.system);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut families = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let mv = sampler
+                .sample(&fig.system, &config, &evaluator, &summary, &mut rng)
+                .expect("figure 4 neighborhood is nonempty");
+            families.insert(std::mem::discriminant(&mv));
+            let before = config.clone();
+            let undo = mv.apply_undoable(&mut config);
+            undo.revert(&mut config);
+            assert_eq!(config, before, "undo must restore {mv:?} exactly");
+        }
+        // All four always-available families show up.
+        assert!(families.len() >= 4, "saw only {} families", families.len());
+    }
+}

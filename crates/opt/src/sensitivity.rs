@@ -106,9 +106,7 @@ pub fn criticality_ranking(
         .application
         .processes()
         .iter()
-        .filter_map(|p| {
-            wcet_slack(system, config, analysis, p.id(), scale_limit, resolution)
-        })
+        .filter_map(|p| wcet_slack(system, config, analysis, p.id(), scale_limit, resolution))
         .collect();
     slacks.sort_by_key(|s| (s.headroom_permille(), s.process));
     slacks
@@ -128,10 +126,24 @@ mod tests {
         let fig = figure4(Time::from_millis(240));
         let analysis = AnalysisParams::default();
         let res = Time::from_millis(1);
-        let p1 = wcet_slack(&fig.system, &fig.config_b, &analysis, figure4_ids::P1, 8, res)
-            .expect("schedulable");
-        let p3 = wcet_slack(&fig.system, &fig.config_b, &analysis, figure4_ids::P3, 8, res)
-            .expect("schedulable");
+        let p1 = wcet_slack(
+            &fig.system,
+            &fig.config_b,
+            &analysis,
+            figure4_ids::P1,
+            8,
+            res,
+        )
+        .expect("schedulable");
+        let p3 = wcet_slack(
+            &fig.system,
+            &fig.config_b,
+            &analysis,
+            figure4_ids::P3,
+            8,
+            res,
+        )
+        .expect("schedulable");
         assert!(p1.slack() < p3.slack(), "P1 {:?} vs P3 {:?}", p1, p3);
         assert!(p1.max_wcet >= p1.wcet);
     }

@@ -5,8 +5,7 @@
 use std::collections::HashMap;
 
 use mcs_model::{
-    MessageRoute, NodeId, Priority, PriorityAssignment, System, SystemConfig, TdmaConfig,
-    TdmaSlot,
+    MessageRoute, NodeId, Priority, PriorityAssignment, System, SystemConfig, TdmaConfig, TdmaSlot,
 };
 
 /// The minimal capacity of each TTP node's slot: the largest single frame

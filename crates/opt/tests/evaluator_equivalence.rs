@@ -1,0 +1,88 @@
+//! The reusable-context contract: a reused [`Evaluator`] must produce
+//! **bit-identical** results to a fresh per-call evaluation — δΓ, `s_total`,
+//! every per-entity timing, every queue bound, the schedule tables and the
+//! convergence metadata — across generated systems and random move
+//! sequences. This is what licenses every cache in the evaluator (schedule
+//! memo, warm-started kernels, pass memos, config-derived tables): none of
+//! them may leak state between configurations.
+
+use proptest::prelude::*;
+
+use mcs_core::{AnalysisParams, Evaluator};
+use mcs_gen::{generate, GeneratorParams};
+use mcs_opt::{evaluate, hopa_priorities, neighborhood, straightforward_config};
+
+fn small_system(seed: u64) -> mcs_model::System {
+    let mut p = GeneratorParams::paper_sized(2, seed);
+    p.processes_per_node = 8;
+    p.graphs = 4;
+    p.inter_cluster_messages = Some(3);
+    generate(&p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Walk a random move sequence; after every move, the reused evaluator
+    /// (carrying caches from all previous configurations) must agree with a
+    /// fresh evaluation down to the last bit — including on *which* moves
+    /// are infeasible.
+    #[test]
+    fn reused_evaluator_matches_fresh_evaluation(
+        seed in 0u64..500,
+        picks in proptest::collection::vec(0usize..1_000, 1..6),
+    ) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let mut config = straightforward_config(&system);
+        config.priorities = hopa_priorities(&system, &config.tdma);
+
+        let mut reused = Evaluator::new(&system, analysis);
+        let mut current = evaluate(&system, config, &analysis).expect("analyzable");
+        for &pick in &picks {
+            let moves = neighborhood(&system, &current);
+            prop_assume!(!moves.is_empty());
+            let mv = moves[pick % moves.len()];
+            let mut next = current.config.clone();
+            mv.apply(&mut next);
+
+            let fresh = evaluate(&system, next.clone(), &analysis);
+            let warm = reused.evaluate(&next);
+            match (fresh, warm) {
+                (Ok(fresh), Ok(summary)) => {
+                    prop_assert_eq!(summary.degree, fresh.degree);
+                    prop_assert_eq!(summary.total_buffers, fresh.total_buffers);
+                    prop_assert_eq!(summary.converged, fresh.outcome.converged);
+                    prop_assert_eq!(summary.iterations, fresh.outcome.iterations);
+                    let outcome = reused.outcome();
+                    prop_assert_eq!(&outcome.schedule, &fresh.outcome.schedule);
+                    prop_assert_eq!(&outcome.process_timing, &fresh.outcome.process_timing);
+                    prop_assert_eq!(&outcome.message_timing, &fresh.outcome.message_timing);
+                    prop_assert_eq!(&outcome.queues, &fresh.outcome.queues);
+                    prop_assert_eq!(&outcome.graph_response, &fresh.outcome.graph_response);
+                    current = fresh;
+                }
+                (Err(fresh), Err(warm)) => prop_assert_eq!(fresh, warm),
+                (fresh, warm) => prop_assert!(
+                    false,
+                    "feasibility disagreement on {mv:?}: fresh {fresh:?} vs reused {warm:?}"
+                ),
+            }
+        }
+    }
+
+    /// Re-evaluating the same configuration through all warm caches is a
+    /// fixed point: summaries are identical call to call.
+    #[test]
+    fn repeated_evaluation_is_stable(seed in 0u64..200) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let mut config = straightforward_config(&system);
+        config.priorities = hopa_priorities(&system, &config.tdma);
+        let mut evaluator = Evaluator::new(&system, analysis);
+        let first = evaluator.evaluate(&config).expect("analyzable");
+        for _ in 0..3 {
+            prop_assert_eq!(evaluator.evaluate(&config).expect("analyzable"), first);
+        }
+    }
+}

@@ -277,10 +277,7 @@ impl<'a> Simulator<'a> {
                     .schedule
                     .start(p)
                     .expect("TT process scheduled");
-                self.schedule(
-                    start + self.activation_time(p, k),
-                    Event::TtStart(p, k),
-                );
+                self.schedule(start + self.activation_time(p, k), Event::TtStart(p, k));
             } else if preds == 0 {
                 self.make_ready((p, k));
             }

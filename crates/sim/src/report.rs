@@ -37,11 +37,7 @@ impl SimReport {
     /// Returns the list of violations (empty when the analysis soundly
     /// over-approximates the simulated behaviour, as it must for a
     /// schedulable system).
-    pub fn soundness_violations(
-        &self,
-        system: &System,
-        outcome: &AnalysisOutcome,
-    ) -> Vec<String> {
+    pub fn soundness_violations(&self, system: &System, outcome: &AnalysisOutcome) -> Vec<String> {
         let mut violations = Vec::new();
         for (&p, &observed) in &self.process_completion {
             let bound = outcome.process_timing(p).worst_completion();

@@ -10,9 +10,8 @@ use mcs_sim::{simulate, ExecutionModel, SimParams};
 #[test]
 fn simulation_is_deterministic() {
     let fig = figure4(Time::from_millis(240));
-    let outcome =
-        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+        .expect("analyzable");
     let run = |seed| {
         simulate(
             &fig.system,
@@ -43,9 +42,8 @@ fn worst_case_execution_reaches_the_figure4_trace() {
     // must land exactly on the deterministic trace value: P1 (30) -> frame
     // at 60 -> CAN -> P2/P3 -> m3 -> gateway slot -> P4.
     let fig = figure4(Time::from_millis(240));
-    let outcome =
-        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+        .expect("analyzable");
     let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
     let g = mcs_model::GraphId::new(0);
     let observed = report.graph_response[&g];
@@ -59,9 +57,8 @@ fn worst_case_execution_reaches_the_figure4_trace() {
 #[test]
 fn queue_occupancy_tracks_gateway_traffic() {
     let fig = figure4(Time::from_millis(240));
-    let outcome =
-        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+        .expect("analyzable");
     let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
     // m1 and m2 (4 B each) transit Out_CAN; m3 transits Out_TTP.
     assert!(report.max_out_can >= 4);
@@ -113,9 +110,8 @@ fn longer_runs_do_not_grow_observed_responses_unboundedly() {
 #[test]
 fn trace_captures_the_gateway_path_in_order() {
     let fig = figure4(Time::from_millis(240));
-    let outcome =
-        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+        .expect("analyzable");
     let report = simulate(
         &fig.system,
         &fig.config_b,

@@ -5,7 +5,7 @@
 
 use mcs_core::{multi_cluster_scheduling, AnalysisParams};
 use mcs_gen::{cruise_controller, figure4, generate, GeneratorParams};
-use mcs_model::{SystemConfig, System, Time};
+use mcs_model::{System, SystemConfig, Time};
 use mcs_opt::{optimize_schedule, OsParams};
 use mcs_sim::{simulate, ExecutionModel, SimParams};
 
@@ -47,9 +47,8 @@ fn figure4_unschedulable_configuration_collides_across_activations() {
     // (a)'s response (250 ms) exceeds the period (240 ms): activation k+1's
     // P1 overlaps activation k's P4 on N1, and the simulator must flag it.
     let fig = figure4(Time::from_millis(240));
-    let outcome =
-        multi_cluster_scheduling(&fig.system, &fig.config_a, &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_a, &AnalysisParams::default())
+        .expect("analyzable");
     let report = simulate(&fig.system, &fig.config_a, &outcome, &SimParams::default());
     assert!(report.table_violations > 0);
 }
@@ -57,9 +56,8 @@ fn figure4_unschedulable_configuration_collides_across_activations() {
 #[test]
 fn observed_figure4_response_is_close_to_but_below_the_bound() {
     let fig = figure4(Time::from_millis(240));
-    let outcome =
-        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+        .expect("analyzable");
     let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
     let g = mcs_model::GraphId::new(0);
     let observed = report.graph_response[&g];
@@ -95,9 +93,8 @@ fn cruise_controller_is_soundly_bounded() {
 #[test]
 fn random_execution_never_beats_worst_case_bounds_but_may_beat_wcet_runs() {
     let fig = figure4(Time::from_millis(240));
-    let outcome =
-        multi_cluster_scheduling(&fig.system, &fig.config_c, &AnalysisParams::default())
-            .expect("analyzable");
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_c, &AnalysisParams::default())
+        .expect("analyzable");
     let worst = simulate(&fig.system, &fig.config_c, &outcome, &SimParams::default());
     let g = mcs_model::GraphId::new(0);
     let mut saw_not_worse = false;

@@ -21,9 +21,7 @@
 
 use std::collections::HashMap;
 
-use mcs_model::{
-    MessageId, MessageRoute, NodeId, ProcessId, System, TdmaConfig, Time,
-};
+use mcs_model::{MessageId, MessageRoute, NodeId, ProcessId, System, TdmaConfig, Time};
 
 use crate::rounds::RoundSchedule;
 use crate::schedule::{FramePlacement, TtcSchedule};
@@ -53,7 +51,10 @@ impl std::fmt::Display for ScheduleError {
                 write!(f, "node {n} sends on the TTP bus but has no TDMA slot")
             }
             ScheduleError::MessageTooLarge { message, capacity } => {
-                write!(f, "message {message} exceeds its sender slot capacity {capacity} B")
+                write!(
+                    f,
+                    "message {message} exceeds its sender slot capacity {capacity} B"
+                )
             }
             ScheduleError::EmptyRound => write!(f, "the TDMA round has no slots"),
         }
@@ -84,16 +85,52 @@ pub struct SchedulerInput<'a> {
 /// Returns [`ScheduleError`] if the TDMA configuration cannot carry the
 /// traffic (missing slot, oversized message, empty round).
 pub fn list_schedule(input: &SchedulerInput<'_>) -> Result<TtcSchedule, ScheduleError> {
-    Scheduler::new(input)?.run()
+    let mut priorities = Vec::new();
+    critical_path_priorities_into(input.system, input.tdma, &mut priorities);
+    let mut schedule = TtcSchedule::new();
+    list_schedule_into(input, &priorities, &mut schedule)?;
+    Ok(schedule)
+}
+
+/// Reusable form of [`list_schedule`]: clears and refills `schedule` in
+/// place (keeping its allocations) and takes the critical-path priorities as
+/// an input so a caller iterating schedule ↔ analysis fixed points computes
+/// them once per TDMA configuration instead of once per pass.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if the TDMA configuration cannot carry the
+/// traffic (missing slot, oversized message, empty round). On error the
+/// schedule contents are unspecified (partially filled); callers must treat
+/// it as garbage until the next successful pass.
+pub fn list_schedule_into(
+    input: &SchedulerInput<'_>,
+    priorities: &[Time],
+    schedule: &mut TtcSchedule,
+) -> Result<(), ScheduleError> {
+    schedule.clear();
+    Scheduler::new(input, priorities, schedule)?.run()
 }
 
 /// Critical-path list priorities: the longest downstream path of each
 /// process, where processes weigh their WCET and cross-node arcs weigh one
 /// TDMA round (a uniform communication estimate).
 pub fn critical_path_priorities(system: &System, tdma: &TdmaConfig) -> HashMap<ProcessId, Time> {
+    let mut prio = Vec::new();
+    critical_path_priorities_into(system, tdma, &mut prio);
+    prio.into_iter()
+        .enumerate()
+        .map(|(i, t)| (ProcessId::new(i as u32), t))
+        .collect()
+}
+
+/// Allocation-reusing form of [`critical_path_priorities`]: clears and
+/// refills `prio`, indexed densely by [`ProcessId::index`].
+pub fn critical_path_priorities_into(system: &System, tdma: &TdmaConfig, prio: &mut Vec<Time>) {
     let app = &system.application;
     let comm = tdma.round_duration(&system.architecture.ttp_params());
-    let mut prio: HashMap<ProcessId, Time> = HashMap::new();
+    prio.clear();
+    prio.resize(app.processes().len(), Time::ZERO);
     // Reverse topological order per graph guarantees successors first.
     for graph in app.graphs() {
         for &p in app.topological_order(graph.id()).iter().rev() {
@@ -101,44 +138,68 @@ pub fn critical_path_priorities(system: &System, tdma: &TdmaConfig) -> HashMap<P
                 .successors(p)
                 .iter()
                 .map(|e| {
-                    let edge_cost = if e.message.is_some() { comm } else { Time::ZERO };
-                    edge_cost + prio.get(&e.dest).copied().unwrap_or(Time::ZERO)
+                    let edge_cost = if e.message.is_some() {
+                        comm
+                    } else {
+                        Time::ZERO
+                    };
+                    edge_cost + prio[e.dest.index()]
                 })
                 .fold(Time::ZERO, Time::max);
-            prio.insert(p, app.process(p).wcet() + downstream);
+            prio[p.index()] = app.process(p).wcet() + downstream;
         }
     }
-    prio
 }
 
 struct Scheduler<'a> {
     input: &'a SchedulerInput<'a>,
     rounds: RoundSchedule<'a>,
-    priorities: HashMap<ProcessId, Time>,
+    /// Critical-path priority per process (dense index).
+    priorities: &'a [Time],
+    /// Release lower bound per process/message (dense index; the input hash
+    /// maps are flattened once so the O(n²) candidate scan reads vectors).
+    proc_release: Vec<Time>,
+    msg_release: Vec<Time>,
     /// Bytes already packed into each (slot, round) occurrence.
     frame_usage: HashMap<(u32, u64), u32>,
-    schedule: TtcSchedule,
-    node_free: HashMap<NodeId, Time>,
+    schedule: &'a mut TtcSchedule,
+    /// Earliest idle instant per node (dense index).
+    node_free: Vec<Time>,
 }
 
 impl<'a> Scheduler<'a> {
-    fn new(input: &'a SchedulerInput<'a>) -> Result<Self, ScheduleError> {
+    fn new(
+        input: &'a SchedulerInput<'a>,
+        priorities: &'a [Time],
+        schedule: &'a mut TtcSchedule,
+    ) -> Result<Self, ScheduleError> {
         if input.tdma.slots().is_empty() {
             return Err(ScheduleError::EmptyRound);
         }
+        let app = &input.system.application;
         let rounds = RoundSchedule::new(input.tdma, input.system.architecture.ttp_params());
-        let priorities = critical_path_priorities(input.system, input.tdma);
+        let mut proc_release = vec![Time::ZERO; app.processes().len()];
+        for (&p, &t) in input.process_releases {
+            proc_release[p.index()] = t;
+        }
+        let mut msg_release = vec![Time::ZERO; app.messages().len()];
+        for (&m, &t) in input.message_releases {
+            msg_release[m.index()] = t;
+        }
+        let node_free = vec![Time::ZERO; input.system.architecture.nodes().len()];
         Ok(Scheduler {
             input,
             rounds,
             priorities,
+            proc_release,
+            msg_release,
             frame_usage: HashMap::new(),
-            schedule: TtcSchedule::new(),
-            node_free: HashMap::new(),
+            schedule,
+            node_free,
         })
     }
 
-    fn run(mut self) -> Result<TtcSchedule, ScheduleError> {
+    fn run(mut self) -> Result<(), ScheduleError> {
         let system = self.input.system;
         let app = &system.application;
 
@@ -151,40 +212,34 @@ impl<'a> Scheduler<'a> {
                 && system.route(message.id()) != MessageRoute::EtcToTtc
                 && system.architecture.is_et_cpu(sender_node)
             {
-                let release = self
-                    .input
-                    .message_releases
-                    .get(&message.id())
-                    .copied()
-                    .unwrap_or(Time::ZERO);
+                let release = self.msg_release[message.id().index()];
                 self.place_frame(message.id(), sender_node, release)?;
             }
         }
 
         // TT processes still waiting for their TT-side predecessors.
-        let mut remaining: HashMap<ProcessId, usize> = HashMap::new();
+        let mut remaining: Vec<usize> = vec![0; app.processes().len()];
+        let mut unscheduled: Vec<ProcessId> = Vec::new();
         for p in app.processes() {
             if system.architecture.is_tt_cpu(p.node()) {
-                let tt_preds = app
+                remaining[p.id().index()] = app
                     .predecessors(p.id())
                     .iter()
                     .filter(|e| self.counts_as_tt_pred(e.source))
                     .count();
-                remaining.insert(p.id(), tt_preds);
+                unscheduled.push(p.id()); // id order: determinism
             }
         }
 
-        let mut unscheduled: Vec<ProcessId> = remaining.keys().copied().collect();
-        unscheduled.sort(); // determinism
         while !unscheduled.is_empty() {
             // Candidates: all TT-side dependencies resolved.
             let mut best: Option<(Time, Time, ProcessId)> = None;
             for &p in &unscheduled {
-                if remaining[&p] > 0 {
+                if remaining[p.index()] > 0 {
                     continue;
                 }
                 let est = self.earliest_start(p);
-                let prio = self.priorities[&p];
+                let prio = self.priorities[p.index()];
                 let better = match best {
                     None => true,
                     // Earliest start first; critical path length breaks ties.
@@ -201,12 +256,11 @@ impl<'a> Scheduler<'a> {
             self.commit(p, start)?;
             unscheduled.retain(|&q| q != p);
             for e in app.successors(p) {
-                if let Some(r) = remaining.get_mut(&e.dest) {
-                    *r = r.saturating_sub(1);
-                }
+                let r = &mut remaining[e.dest.index()];
+                *r = r.saturating_sub(1);
             }
         }
-        Ok(self.schedule)
+        Ok(())
     }
 
     /// A predecessor gates a TT process through the schedule table only if
@@ -220,12 +274,7 @@ impl<'a> Scheduler<'a> {
         let system = self.input.system;
         let app = &system.application;
         let node = app.process(p).node();
-        let mut ready = self
-            .input
-            .process_releases
-            .get(&p)
-            .copied()
-            .unwrap_or(Time::ZERO);
+        let mut ready = self.proc_release[p.index()];
         for e in app.predecessors(p) {
             if !self.counts_as_tt_pred(e.source) {
                 // ET-sent TTP frames (gateway-resident senders) are placed
@@ -254,12 +303,7 @@ impl<'a> Scheduler<'a> {
             };
             ready = ready.max(avail);
         }
-        ready.max(
-            self.node_free
-                .get(&node)
-                .copied()
-                .unwrap_or(Time::ZERO),
-        )
+        ready.max(self.node_free[node.index()])
     }
 
     fn commit(&mut self, p: ProcessId, start: Time) -> Result<(), ScheduleError> {
@@ -269,25 +313,15 @@ impl<'a> Scheduler<'a> {
         let finish = start + process.wcet();
         self.schedule.set_start(p, start);
         self.schedule.extend_makespan(finish);
-        self.node_free.insert(process.node(), finish);
+        self.node_free[process.node().index()] = finish;
 
         // Place the TTP leg of every outbound message of this TT sender.
-        let outgoing: Vec<MessageId> = app
-            .successors(p)
-            .iter()
-            .filter_map(|e| e.message)
-            .collect();
+        let outgoing: Vec<MessageId> = app.successors(p).iter().filter_map(|e| e.message).collect();
         for m in outgoing {
             if !system.route(m).uses_ttp() || system.route(m) == MessageRoute::EtcToTtc {
                 continue; // CAN-only, or FIFO-forwarded by the gateway
             }
-            let ready = finish.max(
-                self.input
-                    .message_releases
-                    .get(&m)
-                    .copied()
-                    .unwrap_or(Time::ZERO),
-            );
+            let ready = finish.max(self.msg_release[m.index()]);
             self.place_frame(m, process.node(), ready)?;
         }
         Ok(())
@@ -313,10 +347,7 @@ impl<'a> Scheduler<'a> {
         }
         let mut occ = self.rounds.next_occurrence(slot, ready);
         loop {
-            let used = self
-                .frame_usage
-                .entry((slot.raw(), occ.round))
-                .or_insert(0);
+            let used = self.frame_usage.entry((slot.raw(), occ.round)).or_insert(0);
             if *used + size <= capacity {
                 *used += size;
                 self.schedule.set_frame(
@@ -339,9 +370,7 @@ impl<'a> Scheduler<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcs_model::{
-        Application, Architecture, NodeRole, TdmaSlot, TtpBusParams,
-    };
+    use mcs_model::{Application, Architecture, NodeRole, TdmaSlot, TtpBusParams};
 
     /// Two TT nodes + gateway; byte_time chosen so an 8-byte slot is 20 ms
     /// (figure 4 proportions).
@@ -560,6 +589,9 @@ mod tests {
             process_releases: &pr,
             message_releases: &mr,
         };
-        assert_eq!(list_schedule(&input).unwrap_err(), ScheduleError::EmptyRound);
+        assert_eq!(
+            list_schedule(&input).unwrap_err(),
+            ScheduleError::EmptyRound
+        );
     }
 }

@@ -79,7 +79,10 @@ pub fn render_schedule(system: &System, tdma: &TdmaConfig, schedule: &TtcSchedul
             rows.push(done);
         }
         for (round, names) in rows {
-            let occ = rounds.advance(rounds.next_occurrence(slot_id, mcs_model::Time::ZERO), round);
+            let occ = rounds.advance(
+                rounds.next_occurrence(slot_id, mcs_model::Time::ZERO),
+                round,
+            );
             let _ = writeln!(
                 out,
                 "  round {:>2}  [{:>8} .. {:>8}]  {}",
@@ -97,9 +100,7 @@ pub fn render_schedule(system: &System, tdma: &TdmaConfig, schedule: &TtcSchedul
 mod tests {
     use super::*;
     use crate::list_scheduler::{list_schedule, SchedulerInput};
-    use mcs_model::{
-        Application, Architecture, NodeRole, TdmaSlot, Time, TtpBusParams,
-    };
+    use mcs_model::{Application, Architecture, NodeRole, TdmaSlot, Time, TtpBusParams};
     use std::collections::HashMap;
 
     #[test]

@@ -5,8 +5,6 @@
 //! *message descriptor list* (MEDL) saying which frame goes out in which slot
 //! occurrence. [`TtcSchedule`] is the in-memory form of both.
 
-use std::collections::HashMap;
-
 use mcs_model::{MessageId, NodeId, ProcessId, SlotId, Time};
 
 /// Placement of one message's TTP leg into a concrete slot occurrence.
@@ -25,11 +23,33 @@ pub struct FramePlacement {
 
 /// A statically scheduled TTC: process start times (the schedule tables) and
 /// frame placements (the MEDLs).
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// Entries are stored in dense vectors indexed by the entity ids, so the
+/// analysis fixed point reads `start`/`frame` with a bounds-checked index
+/// instead of a hash lookup (these are the hottest lookups of the holistic
+/// pass).
+#[derive(Clone, Debug, Default)]
 pub struct TtcSchedule {
-    starts: HashMap<ProcessId, Time>,
-    frames: HashMap<MessageId, FramePlacement>,
+    starts: Vec<Option<Time>>,
+    frames: Vec<Option<FramePlacement>>,
+    start_count: usize,
+    frame_count: usize,
     makespan: Time,
+}
+
+impl PartialEq for TtcSchedule {
+    /// Semantic equality: same placed entries and makespan (trailing empty
+    /// slots from capacity reuse are ignored).
+    fn eq(&self, other: &Self) -> bool {
+        fn entries<T: Copy>(v: &[Option<T>]) -> impl Iterator<Item = (usize, T)> + '_ {
+            v.iter().enumerate().filter_map(|(i, e)| e.map(|e| (i, e)))
+        }
+        self.start_count == other.start_count
+            && self.frame_count == other.frame_count
+            && self.makespan == other.makespan
+            && entries(&self.starts).eq(entries(&other.starts))
+            && entries(&self.frames).eq(entries(&other.frames))
+    }
 }
 
 impl TtcSchedule {
@@ -38,14 +58,37 @@ impl TtcSchedule {
         Self::default()
     }
 
+    /// Empties the schedule while keeping its allocations, so one
+    /// `TtcSchedule` can be reused across scheduling passes (the reusable
+    /// analysis context rebuilds the schedule many times per synthesis run).
+    pub fn clear(&mut self) {
+        self.starts.clear();
+        self.frames.clear();
+        self.start_count = 0;
+        self.frame_count = 0;
+        self.makespan = Time::ZERO;
+    }
+
     /// Records the start time of a TT process.
     pub fn set_start(&mut self, process: ProcessId, start: Time) {
-        self.starts.insert(process, start);
+        let i = process.index();
+        if i >= self.starts.len() {
+            self.starts.resize(i + 1, None);
+        }
+        if self.starts[i].replace(start).is_none() {
+            self.start_count += 1;
+        }
     }
 
     /// Records the frame placement of a message's TTP leg.
     pub fn set_frame(&mut self, message: MessageId, placement: FramePlacement) {
-        self.frames.insert(message, placement);
+        let i = message.index();
+        if i >= self.frames.len() {
+            self.frames.resize(i + 1, None);
+        }
+        if self.frames[i].replace(placement).is_none() {
+            self.frame_count += 1;
+        }
     }
 
     /// Updates the makespan if `finish` extends it.
@@ -54,13 +97,15 @@ impl TtcSchedule {
     }
 
     /// The scheduled start (offset) of a TT process, if scheduled.
+    #[inline]
     pub fn start(&self, process: ProcessId) -> Option<Time> {
-        self.starts.get(&process).copied()
+        self.starts.get(process.index()).copied().flatten()
     }
 
     /// The frame placement of a message, if scheduled on the TTP bus.
+    #[inline]
     pub fn frame(&self, message: MessageId) -> Option<FramePlacement> {
-        self.frames.get(&message).copied()
+        self.frames.get(message.index()).copied().flatten()
     }
 
     /// Latest completion over everything scheduled.
@@ -70,33 +115,34 @@ impl TtcSchedule {
 
     /// Number of scheduled processes.
     pub fn process_count(&self) -> usize {
-        self.starts.len()
+        self.start_count
     }
 
     /// Number of placed frames.
     pub fn frame_count(&self) -> usize {
-        self.frames.len()
+        self.frame_count
     }
 
-    /// Iterates over all (process, start) entries in unspecified order.
+    /// Iterates over all (process, start) entries in id order.
     pub fn starts(&self) -> impl Iterator<Item = (ProcessId, Time)> + '_ {
-        self.starts.iter().map(|(&p, &t)| (p, t))
+        self.starts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (ProcessId::new(i as u32), t)))
     }
 
-    /// Iterates over all (message, placement) entries in unspecified order.
+    /// Iterates over all (message, placement) entries in id order.
     pub fn frames(&self) -> impl Iterator<Item = (MessageId, FramePlacement)> + '_ {
-        self.frames.iter().map(|(&m, &f)| (m, f))
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.map(|f| (MessageId::new(i as u32), f)))
     }
 
     /// Renders the MEDL of one node: the chronologically ordered frame
     /// placements in that node's slot.
     pub fn medl_of_slot(&self, slot: SlotId) -> Vec<(MessageId, FramePlacement)> {
-        let mut entries: Vec<_> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.slot == slot)
-            .map(|(&m, &f)| (m, f))
-            .collect();
+        let mut entries: Vec<_> = self.frames().filter(|(_, f)| f.slot == slot).collect();
         entries.sort_by_key(|(m, f)| (f.round, *m));
         entries
     }
@@ -108,12 +154,7 @@ impl TtcSchedule {
         node: NodeId,
         node_of: impl Fn(ProcessId) -> NodeId + 'a,
     ) -> Vec<(ProcessId, Time)> {
-        let mut entries: Vec<_> = self
-            .starts
-            .iter()
-            .filter(|(&p, _)| node_of(p) == node)
-            .map(|(&p, &t)| (p, t))
-            .collect();
+        let mut entries: Vec<_> = self.starts().filter(|&(p, _)| node_of(p) == node).collect();
         entries.sort_by_key(|&(p, t)| (t, p));
         entries
     }

@@ -24,23 +24,19 @@ fn main() {
 
     let os = &or.os.best;
     println!();
-    println!("step 1 (OptimizeSchedule): schedulable = {}", os.is_schedulable());
-    println!("  total buffers: {} B", os.total_buffers);
     println!(
-        "  seeds handed to the hill climber: {}",
-        or.os.seeds.len()
+        "step 1 (OptimizeSchedule): schedulable = {}",
+        os.is_schedulable()
     );
+    println!("  total buffers: {} B", os.total_buffers);
+    println!("  seeds handed to the hill climber: {}", or.os.seeds.len());
 
     println!();
-    println!(
-        "step 2 (OptimizeResources): {} evaluations",
-        or.evaluations
-    );
+    println!("step 2 (OptimizeResources): {} evaluations", or.evaluations);
     println!(
         "  total buffers: {} B ({:+.1} % vs OS)",
         or.best.total_buffers,
-        (or.best.total_buffers as f64 - os.total_buffers as f64) / os.total_buffers as f64
-            * 100.0
+        (or.best.total_buffers as f64 - os.total_buffers as f64) / os.total_buffers as f64 * 100.0
     );
     println!("  still schedulable: {}", or.best.is_schedulable());
 

@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for graph in system.application.graphs() {
             if let Some(&observed) = report.graph_response.get(&graph.id()) {
                 let bound = outcome.graph_response(graph.id());
-                worst_ratio = worst_ratio
-                    .max(observed.ticks() as f64 / bound.ticks().max(1) as f64);
+                worst_ratio =
+                    worst_ratio.max(observed.ticks() as f64 / bound.ticks().max(1) as f64);
             }
         }
         println!(

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this crate implements the
+//! subset of criterion the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`, `bench_with_input`,
+//! `finish`), [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Methodology (simpler than upstream, adequate for tracking relative
+//! throughput): each benchmark is warmed up for ~100 ms, then measured over
+//! `sample_size` samples; each sample times a batch sized to run ≥1 ms. The
+//! report prints the mean and min per-iteration time. Every result is also
+//! recorded in [`Criterion::results`] so a harness `main` can post-process
+//! (e.g. emit a JSON summary).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One completed measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The benchmark context passed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// All measurements taken so far, in execution order.
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = measure(id.to_string(), 20, &mut f);
+        report(&result);
+        self.results.push(result);
+        self
+    }
+}
+
+/// A named benchmark group sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = measure(format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        report(&result);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream finalizes reports here; we report eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier (`from_parameter` renders the parameter value).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the payload.
+pub struct Bencher {
+    mode: Mode,
+    /// (total elapsed, iterations) accumulated by `iter` in measure mode.
+    measured: Option<(Duration, u64)>,
+}
+
+enum Mode {
+    /// Run the payload until ~100 ms elapse; used to estimate batch size.
+    Warmup,
+    /// Run exactly `n` iterations and record the elapsed time.
+    Measure(u64),
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Warmup => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < Duration::from_millis(100) {
+                    black_box(f());
+                    iters += 1;
+                }
+                self.measured = Some((start.elapsed(), iters));
+            }
+            Mode::Measure(n) => {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(f());
+                }
+                self.measured = Some((start.elapsed(), n));
+            }
+        }
+    }
+}
+
+fn measure<F: FnMut(&mut Bencher)>(id: String, samples: usize, f: &mut F) -> BenchResult {
+    // Warmup, which also estimates the batch size for ≥1 ms samples.
+    let mut bencher = Bencher {
+        mode: Mode::Warmup,
+        measured: None,
+    };
+    f(&mut bencher);
+    let (elapsed, iters) = bencher
+        .measured
+        .expect("benchmark closure must call iter()");
+    let ns_estimate = (elapsed.as_nanos() as f64 / iters.max(1) as f64).max(1.0);
+    let batch = ((1_000_000.0 / ns_estimate).ceil() as u64).max(1);
+
+    let mut total_ns = 0f64;
+    let mut total_iters = 0u64;
+    let mut min_ns = f64::INFINITY;
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            mode: Mode::Measure(batch),
+            measured: None,
+        };
+        f(&mut bencher);
+        let (elapsed, iters) = bencher
+            .measured
+            .expect("benchmark closure must call iter()");
+        let ns = elapsed.as_nanos() as f64;
+        total_ns += ns;
+        total_iters += iters;
+        min_ns = min_ns.min(ns / iters.max(1) as f64);
+    }
+    BenchResult {
+        id,
+        mean_ns: total_ns / total_iters.max(1) as f64,
+        min_ns,
+        iterations: total_iters,
+    }
+}
+
+fn report(result: &BenchResult) {
+    println!(
+        "{:<50} time: [mean {} | min {}]  ({} iterations)",
+        result.id,
+        human(result.mean_ns),
+        human(result.min_ns),
+        result.iterations
+    );
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}

@@ -1,0 +1,84 @@
+//! The case runner driving each `proptest!` function.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (the subset the workspace uses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 to keep CI runs quick.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and is re-drawn.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// A rejected case.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `cases` accepted cases of `body` with a deterministic RNG derived
+/// from the test name. Panics (failing the enclosing `#[test]`) on the first
+/// assertion failure or when too many cases are rejected.
+pub fn run<F>(config: ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    // FNV-1a over the test name: per-test deterministic stream.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(16).max(64);
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest '{name}': too many rejected cases ({attempts} attempts \
+             for {accepted} accepted)"
+        );
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest '{name}' failed at case {accepted}: {message}")
+            }
+        }
+    }
+}

@@ -1,9 +1,7 @@
 //! End-to-end integration: generate → synthesize → analyze → simulate,
 //! across the full crate stack.
 
-use mcs::core::{
-    degree_of_schedulability, multi_cluster_scheduling, AnalysisParams,
-};
+use mcs::core::{degree_of_schedulability, multi_cluster_scheduling, AnalysisParams};
 use mcs::gen::{cruise_controller, figure4, generate, GeneratorParams};
 use mcs::model::Time;
 use mcs::opt::{
@@ -32,9 +30,7 @@ fn full_pipeline_on_a_generated_system() {
         let outcome =
             multi_cluster_scheduling(&system, &or.best.config, &analysis).expect("analyzable");
         let report = simulate(&system, &or.best.config, &outcome, &SimParams::default());
-        assert!(report
-            .soundness_violations(&system, &outcome)
-            .is_empty());
+        assert!(report.soundness_violations(&system, &outcome).is_empty());
     }
 }
 
@@ -45,14 +41,12 @@ fn cruise_controller_reproduces_the_paper_shape() {
     let graph = cc.system.application.graphs()[0].id();
 
     // Paper: SF misses the 250 ms deadline, OS meets it.
-    let sf = evaluate(&cc.system, straightforward_config(&cc.system), &analysis)
-        .expect("SF analyzable");
+    let sf =
+        evaluate(&cc.system, straightforward_config(&cc.system), &analysis).expect("SF analyzable");
     assert!(!sf.is_schedulable(), "SF must miss (paper: 320 ms)");
     let or = optimize_resources(&cc.system, &analysis, &OrParams::default());
     assert!(or.os.best.is_schedulable(), "OS must meet (paper: 185 ms)");
-    assert!(
-        or.os.best.outcome.graph_response(graph) < sf.outcome.graph_response(graph)
-    );
+    assert!(or.os.best.outcome.graph_response(graph) < sf.outcome.graph_response(graph));
     // Paper: OR reduces the buffer need (24 % there) and stays close to SAR.
     assert!(or.best.total_buffers < or.os.best.total_buffers);
     let sar = sa_resources(
@@ -68,10 +62,7 @@ fn cruise_controller_reproduces_the_paper_shape() {
     // OR within 25 % of the SAR reference (paper: 6 %).
     let or_b = or.best.total_buffers as f64;
     let sar_b = sar.total_buffers as f64;
-    assert!(
-        or_b <= sar_b * 1.25,
-        "OR {or_b} too far from SAR {sar_b}"
-    );
+    assert!(or_b <= sar_b * 1.25, "OR {or_b} too far from SAR {sar_b}");
 }
 
 #[test]
