@@ -75,23 +75,243 @@ fn bench_evaluator_reuse(c: &mut Criterion) {
     let seed = result_of(c, "seed_fresh_per_call");
     let fresh = result_of(c, "fresh_per_call");
     let reused = result_of(c, "context_reuse");
-    let json = format!(
-        "{{\n  \"bench\": \"evaluator_reuse\",\n  \"instance\": \"paper_sized(4, 7) — 160 \
-         processes\",\n  \"seed_evaluations_per_sec\": {seed:.2},\n  \
-         \"fresh_evaluations_per_sec\": {fresh:.2},\n  \
-         \"reused_evaluations_per_sec\": {reused:.2},\n  \
-         \"speedup_vs_seed\": {:.2},\n  \"speedup_vs_fresh\": {:.2}\n}}\n",
+    let body = format!(
+        "{{\"instance\": \"paper_sized(4, 7) — 160 processes\", \
+         \"seed_evaluations_per_sec\": {seed:.2}, \
+         \"fresh_evaluations_per_sec\": {fresh:.2}, \
+         \"reused_evaluations_per_sec\": {reused:.2}, \
+         \"speedup_vs_seed\": {:.2}, \"speedup_vs_fresh\": {:.2}}}",
         reused / seed.max(f64::MIN_POSITIVE),
         reused / fresh.max(f64::MIN_POSITIVE)
     );
-    let path = std::env::var("BENCH_CORE_JSON").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json").to_string()
+    mcs_bench::record_bench_section("evaluator_reuse", &body);
+}
+
+/// The delta-RTA bench of PR 2: full vs delta evaluation replaying one SA
+/// move trace (sampled moves with recorded accept/reject decisions) on the
+/// 160-process Fig-9c instance (10 inter-cluster messages). Both replays
+/// visit identical configurations and — by the delta contract — produce
+/// bit-identical results; only the kernel work differs. Emits the
+/// `delta_rta` section of `BENCH_core.json`.
+fn bench_delta_rta(c: &mut Criterion) {
+    use mcs_opt::sa_start;
+
+    let mut params = GeneratorParams::paper_sized(4, 1_000);
+    params.inter_cluster_messages = Some(10);
+    let system = generate(&params);
+    let analysis = AnalysisParams::default();
+    let start = sa_start(&system);
+
+    // Record the trace once with a scout evaluator: the same sampled moves
+    // and accept decisions are then replayed through both paths.
+    let trace = record_sa_trace(&system, &start, &analysis, 300);
+
+    let mut group = c.benchmark_group("delta_rta");
+    group.sample_size(10);
+    group.bench_function("pr1_reused_path", |b| {
+        b.iter(|| replay_pr1(&system, &start, &analysis, &trace))
     });
-    if let Err(e) = std::fs::write(&path, json) {
-        eprintln!("could not write {path}: {e}");
-    } else {
-        println!("wrote {path}: {fresh:.0} -> {reused:.0} evaluations/s");
+    group.bench_function("full_path", |b| {
+        b.iter(|| replay_full(&system, &start, &analysis, &trace))
+    });
+    group.bench_function("delta_path", |b| {
+        b.iter(|| replay_delta(&system, &start, &analysis, &trace))
+    });
+    group.finish();
+
+    // All replays must land on the same final result (bit-identity spot
+    // check outside the timed loops; the property tests do the real work).
+    let pr1_final = replay_pr1(&system, &start, &analysis, &trace);
+    let full_final = replay_full(&system, &start, &analysis, &trace);
+    let delta_final = replay_delta(&system, &start, &analysis, &trace);
+    assert_eq!(full_final, delta_final, "delta replay drifted from full");
+    assert_eq!(
+        (full_final.schedule_cost(), full_final.total_buffers),
+        pr1_final,
+        "current evaluator drifted from the PR 1 baseline"
+    );
+
+    let result_of = |criterion: &Criterion, suffix: &str| {
+        criterion
+            .results
+            .iter()
+            .rev()
+            .find(|r| r.id.ends_with(suffix))
+            .map(|r| trace.len() as f64 * 1e9 / r.mean_ns)
+            .unwrap_or(0.0)
+    };
+    let pr1_reused = result_of(c, "pr1_reused_path");
+    let full = result_of(c, "full_path");
+    let delta = result_of(c, "delta_path");
+    let (delta_passes, full_passes) = {
+        let mut evaluator = Evaluator::new(&system, analysis);
+        let mut config = start.clone();
+        let mut seeds = mcs_core::DeltaSeeds::new();
+        evaluator.evaluate(&config).expect("analyzable");
+        for &(mv, accepted) in &trace {
+            let undo = mv.apply_undoable_seeded(&mut config, &mut seeds);
+            match evaluator.evaluate_delta(&config, &seeds) {
+                Ok(_) => {
+                    seeds.clear();
+                    if !accepted {
+                        undo.record_seeds(&mut seeds);
+                        undo.revert(&mut config);
+                    }
+                }
+                Err(_) => {
+                    undo.record_seeds(&mut seeds);
+                    undo.revert(&mut config);
+                }
+            }
+        }
+        evaluator.delta_stats()
+    };
+    let body = format!(
+        "{{\"instance\": \"fig9c paper_sized(4, 1000) + 10 inter-cluster — 160 processes\", \
+         \"trace_moves\": {}, \
+         \"pr1_reused_evaluations_per_sec\": {pr1_reused:.2}, \
+         \"full_evaluations_per_sec\": {full:.2}, \
+         \"delta_evaluations_per_sec\": {delta:.2}, \
+         \"speedup_vs_pr1_reused\": {:.2}, \
+         \"speedup_vs_full_path\": {:.2}, \
+         \"delta_holistic_passes\": {delta_passes}, \
+         \"full_holistic_passes\": {full_passes}}}",
+        trace.len(),
+        delta / pr1_reused.max(f64::MIN_POSITIVE),
+        delta / full.max(f64::MIN_POSITIVE),
+    );
+    mcs_bench::record_bench_section("delta_rta", &body);
+    println!("delta_rta: full {full:.0}/s -> delta {delta:.0}/s");
+}
+
+type SaTrace = Vec<(mcs_opt::Move, bool)>;
+
+/// Samples `len` SA moves against a scout evaluator, recording each move
+/// and whether the annealing acceptance rule of [`mcs_opt::SaParams`]
+/// (default temperature schedule, Metropolis criterion on δΓ — exactly the
+/// SAS loop) takes it.
+fn record_sa_trace(
+    system: &mcs_model::System,
+    start: &mcs_model::SystemConfig,
+    analysis: &AnalysisParams,
+    len: usize,
+) -> SaTrace {
+    use rand::{Rng, SeedableRng};
+    let sa = mcs_opt::SaParams::default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(sa.seed);
+    let mut evaluator = Evaluator::new(system, *analysis);
+    let mut sampler = mcs_opt::MoveSampler::new(system);
+    let mut config = start.clone();
+    let mut current = evaluator.evaluate(&config).expect("analyzable");
+    let mut temperature = sa.initial_temperature;
+    let mut trace = Vec::new();
+    while trace.len() < len {
+        let Some(mv) = sampler.sample(system, &config, &evaluator, &current, &mut rng) else {
+            break;
+        };
+        let undo = mv.apply_undoable(&mut config);
+        temperature *= sa.cooling;
+        match evaluator.evaluate(&config) {
+            Ok(candidate) => {
+                let delta = (candidate.schedule_cost() - current.schedule_cost()) as f64;
+                let accept = delta <= 0.0 || {
+                    let t = temperature.max(f64::MIN_POSITIVE);
+                    rng.gen::<f64>() < (-delta / t).exp()
+                };
+                if accept {
+                    current = candidate;
+                } else {
+                    undo.revert(&mut config);
+                }
+                trace.push((mv, accept));
+            }
+            Err(_) => {
+                undo.revert(&mut config);
+                trace.push((mv, false));
+            }
+        }
     }
+    trace
+}
+
+/// Replays the trace through the frozen PR 1 evaluator — the criterion's
+/// baseline: "the PR 1 reused path" on the very same workload.
+fn replay_pr1(
+    system: &mcs_model::System,
+    start: &mcs_model::SystemConfig,
+    analysis: &AnalysisParams,
+    trace: &SaTrace,
+) -> (i128, u64) {
+    let mut evaluator = mcs_bench::pr1_baseline::Pr1Evaluator::new(system, *analysis);
+    let mut config = start.clone();
+    let mut last = evaluator.evaluate(&config).expect("analyzable");
+    for &(mv, accepted) in trace {
+        let undo = mv.apply_undoable(&mut config);
+        match evaluator.evaluate(&config) {
+            Ok(summary) => {
+                last = summary;
+                if !accepted {
+                    undo.revert(&mut config);
+                }
+            }
+            Err(_) => undo.revert(&mut config),
+        }
+    }
+    (last.schedule_cost(), last.total_buffers)
+}
+
+fn replay_full(
+    system: &mcs_model::System,
+    start: &mcs_model::SystemConfig,
+    analysis: &AnalysisParams,
+    trace: &SaTrace,
+) -> mcs_core::EvalSummary {
+    let mut evaluator = Evaluator::new(system, *analysis);
+    let mut config = start.clone();
+    let mut last = evaluator.evaluate(&config).expect("analyzable");
+    for &(mv, accepted) in trace {
+        let undo = mv.apply_undoable(&mut config);
+        match evaluator.evaluate(&config) {
+            Ok(summary) => {
+                last = summary;
+                if !accepted {
+                    undo.revert(&mut config);
+                }
+            }
+            Err(_) => undo.revert(&mut config),
+        }
+    }
+    last
+}
+
+fn replay_delta(
+    system: &mcs_model::System,
+    start: &mcs_model::SystemConfig,
+    analysis: &AnalysisParams,
+    trace: &SaTrace,
+) -> mcs_core::EvalSummary {
+    let mut evaluator = Evaluator::new(system, *analysis);
+    let mut config = start.clone();
+    let mut seeds = mcs_core::DeltaSeeds::new();
+    let mut last = evaluator.evaluate(&config).expect("analyzable");
+    for &(mv, accepted) in trace {
+        let undo = mv.apply_undoable_seeded(&mut config, &mut seeds);
+        match evaluator.evaluate_delta(&config, &seeds) {
+            Ok(summary) => {
+                seeds.clear();
+                last = summary;
+                if !accepted {
+                    undo.record_seeds(&mut seeds);
+                    undo.revert(&mut config);
+                }
+            }
+            Err(_) => {
+                undo.record_seeds(&mut seeds);
+                undo.revert(&mut config);
+            }
+        }
+    }
+    last
 }
 
 fn bench_fifo_bound_variants(c: &mut Criterion) {
@@ -151,6 +371,7 @@ criterion_group!(
     benches,
     bench_multi_cluster_scheduling,
     bench_evaluator_reuse,
+    bench_delta_rta,
     bench_fifo_bound_variants,
     bench_can_rta,
     bench_simulator

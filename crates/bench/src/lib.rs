@@ -13,9 +13,12 @@
 //!
 //! Criterion benches (`cargo bench -p mcs-bench`) measure the §6 run-time
 //! claims (heuristics vs simulated annealing), fresh-per-call vs
-//! context-reuse evaluation (`evaluator_reuse`, which also emits
-//! `BENCH_core.json` with evaluations/second), and the ablations called out
-//! in DESIGN.md.
+//! context-reuse evaluation (`evaluator_reuse`), and full vs delta
+//! evaluation over an SA move trace (`delta_rta`, measured against both the
+//! current full path and the frozen [`pr1_baseline`] evaluator); both emit
+//! their evaluations/second into `BENCH_core.json` via
+//! [`record_bench_section`]. The ablations called out in DESIGN.md live in
+//! the `optimization` bench.
 //!
 //! All binaries accept `--seeds N` (instances per point, default 5; the
 //! paper used 30) and `--sa-iters N` (SA budget per instance, default 200;
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pr1_baseline;
 pub mod seed_baseline;
 
 /// Command-line options shared by the experiment binaries.
@@ -82,6 +86,54 @@ impl ExperimentOptions {
             }
         }
         options
+    }
+}
+
+/// Records one bench section into `BENCH_core.json` (repo root, or the
+/// `BENCH_CORE_JSON` path), merging with whatever other sections are
+/// already there. The file is a flat object with one single-line JSON
+/// object per section:
+///
+/// ```json
+/// {
+///   "evaluator_reuse": {...},
+///   "delta_rta": {...}
+/// }
+/// ```
+///
+/// `body` must be the section's single-line `{...}` object. Unparseable
+/// content (e.g. the pre-PR-2 single-object format) is discarded.
+pub fn record_bench_section(name: &str, body: &str) {
+    let path = std::env::var("BENCH_CORE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json").to_string()
+    });
+    let mut sections: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some((key, value)) = line.split_once(':') {
+                let key = key.trim().trim_matches('"');
+                let value = value.trim();
+                if !key.is_empty() && value.starts_with('{') && value.ends_with('}') {
+                    sections.push((key.to_string(), value.to_string()));
+                }
+            }
+        }
+    }
+    match sections.iter_mut().find(|(k, _)| k == name) {
+        Some((_, value)) => *value = body.to_string(),
+        None => sections.push((name.to_string(), body.to_string())),
+    }
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        out.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("recorded bench section {name:?} in {path}");
     }
 }
 

@@ -1,0 +1,773 @@
+//! PR 1's reusable analysis context, **frozen verbatim** as the
+//! `pr1_baseline` reference (only imports, visibilities and type names
+//! adapted — `Evaluator` → [`Pr1Evaluator`]): a `SystemContext` of system-invariant
+//! tables built once per [`System`], plus a `Scratch` of fixed-point state
+//! that is cleared — not reallocated — between runs.
+//!
+//! Synthesis loops (simulated annealing, the OS/OR heuristics) evaluate
+//! `MultiClusterScheduling` hundreds to thousands of times per instance,
+//! varying only the configuration ψ. Rebuilding message routes, CAN frame
+//! times, phase groups and every fixed-point vector on each evaluation
+//! dominated the hot path; the [`Pr1Evaluator`] amortizes all of it:
+//!
+//! * **`SystemContext`** (immutable per system): message routes, CAN wire
+//!   times `C_m`, per-graph phase groups, per-ET-CPU process partitions,
+//!   gateway-crossing message index lists, per-graph sinks and the analysis
+//!   horizon.
+//! * **`Scratch`** (mutable, reused): the `O/J/w/r` vectors of processes and
+//!   of both message legs, arrival times, FIFO backlogs, flow buffers handed
+//!   to the CAN/CPU/FIFO kernels, the release maps of the outer fixed point
+//!   and the reused [`TtcSchedule`].
+//!
+//! [`Pr1Evaluator::evaluate`] returns a cheap [`Pr1EvalSummary`] (δΓ, `s_total`);
+//! the full [`AnalysisOutcome`] is materialized on demand by
+//! [`Pr1Evaluator::outcome`], so inner search loops never pay for the result
+//! maps they do not read.
+
+use std::collections::HashMap;
+
+use mcs_model::{MessageId, MessageRoute, NodeId, ProcessId, System, SystemConfig, Time};
+use mcs_ttp::{critical_path_priorities_into, list_schedule_into, SchedulerInput, TtcSchedule};
+
+use mcs_core::{
+    validate_config, AnalysisError, AnalysisOutcome, AnalysisParams, EntityTiming, FifoDelay,
+    MessageTiming, QueueBounds, SchedulabilityDegree, TaskFlow, TtpQueueParams,
+};
+
+use super::holistic::Holistic;
+
+/// One ET-scheduled CPU and the processes it hosts.
+#[derive(Clone, Debug)]
+pub(super) struct EtNode {
+    /// The gateway CPU additionally hosts the transfer process `T`.
+    pub is_gateway: bool,
+    /// Hosted processes in id order.
+    pub procs: Vec<ProcessId>,
+}
+
+/// System-invariant tables shared by every evaluation of one [`System`].
+#[derive(Clone, Debug)]
+pub(super) struct SystemContext {
+    /// Route of each message, by message index.
+    pub route: Vec<MessageRoute>,
+    /// CAN wire time `C_m` of each message, by message index.
+    pub can_c: Vec<Time>,
+    /// Period of each message (its graph's period), by message index.
+    pub msg_period: Vec<Time>,
+    /// Payload size of each message in bytes, by message index.
+    pub msg_size: Vec<u32>,
+    /// Phase group of each message's graph, by message index.
+    pub msg_phase: Vec<u32>,
+    /// Period of each process (its graph's period), by process index.
+    pub proc_period: Vec<Time>,
+    /// WCET of each process, by process index.
+    pub proc_wcet: Vec<Time>,
+    /// BCET of each process, by process index.
+    pub proc_bcet: Vec<Time>,
+    /// Blocking bound of each process, by process index.
+    pub proc_blocking: Vec<Time>,
+    /// Phase group of each process's graph, by process index.
+    pub proc_phase: Vec<u32>,
+    /// Whether each process runs on a statically scheduled (TT) CPU.
+    pub proc_is_tt: Vec<bool>,
+    /// Processes with a local deadline, with the deadline.
+    pub local_deadlines: Vec<(usize, Time)>,
+    /// ET CPUs and their process partitions.
+    pub et_nodes: Vec<EtNode>,
+    /// Messages with a CAN leg, in id order.
+    pub can_ids: Vec<usize>,
+    /// ETC→TTC messages (through `Out_TTP`), in id order.
+    pub fifo_ids: Vec<usize>,
+    /// TTC→ETC messages (through `Out_CAN`), in id order.
+    pub out_can_ids: Vec<usize>,
+    /// Per CAN-attached node: the CAN messages originated there (`Out_Ni`).
+    pub out_node_ids: Vec<(NodeId, Vec<usize>)>,
+    /// Messages whose TTP frame is sent by an ET-scheduled (gateway) CPU —
+    /// their frame release depends on the sender's response time.
+    pub et_ttp_senders: Vec<usize>,
+    /// Sink processes of each graph, by graph index.
+    pub sinks: Vec<Vec<ProcessId>>,
+    /// The divergence horizon: `horizon_factor × hyperperiod`.
+    pub horizon: Time,
+}
+
+impl SystemContext {
+    fn new(system: &System, params: &AnalysisParams) -> Self {
+        let app = &system.application;
+        let arch = &system.architecture;
+
+        let route: Vec<MessageRoute> = app
+            .messages()
+            .iter()
+            .map(|m| system.route(m.id()))
+            .collect();
+        let can_params = arch.can_params();
+        let can_c: Vec<Time> = app
+            .messages()
+            .iter()
+            .map(|m| mcs_can::message_time(m.size_bytes(), &can_params))
+            .collect();
+        let msg_period: Vec<Time> = app
+            .messages()
+            .iter()
+            .map(|m| app.message_period(m.id()))
+            .collect();
+        let msg_size: Vec<u32> = app.messages().iter().map(|m| m.size_bytes()).collect();
+        let proc_period: Vec<Time> = app
+            .processes()
+            .iter()
+            .map(|p| app.process_period(p.id()))
+            .collect();
+        let proc_wcet: Vec<Time> = app.processes().iter().map(|p| p.wcet()).collect();
+        let proc_bcet: Vec<Time> = app.processes().iter().map(|p| p.bcet()).collect();
+        let proc_blocking: Vec<Time> = app.processes().iter().map(|p| p.blocking()).collect();
+        let proc_is_tt: Vec<bool> = app
+            .processes()
+            .iter()
+            .map(|p| arch.is_tt_cpu(p.node()))
+            .collect();
+        let local_deadlines: Vec<(usize, Time)> = app
+            .processes()
+            .iter()
+            .filter_map(|p| p.local_deadline().map(|d| (p.id().index(), d)))
+            .collect();
+
+        let mut period_groups: HashMap<Time, u32> = HashMap::new();
+        let phase_group: Vec<u32> = app
+            .graphs()
+            .iter()
+            .map(|g| {
+                let next = period_groups.len() as u32;
+                *period_groups.entry(g.period()).or_insert(next)
+            })
+            .collect();
+        let msg_phase: Vec<u32> = app
+            .messages()
+            .iter()
+            .map(|m| phase_group[m.graph().index()])
+            .collect();
+        let proc_phase: Vec<u32> = app
+            .processes()
+            .iter()
+            .map(|p| phase_group[p.graph().index()])
+            .collect();
+
+        let gateway = arch.gateway();
+        let et_nodes: Vec<EtNode> = arch
+            .nodes()
+            .iter()
+            .filter(|n| arch.is_et_cpu(n.id()))
+            .map(|n| EtNode {
+                is_gateway: n.id() == gateway,
+                procs: app.processes_on(n.id()).map(|p| p.id()).collect(),
+            })
+            .filter(|n| !n.procs.is_empty())
+            .collect();
+
+        let can_ids: Vec<usize> = (0..route.len())
+            .filter(|&mi| route[mi].uses_can())
+            .collect();
+        let fifo_ids: Vec<usize> = (0..route.len())
+            .filter(|&mi| matches!(route[mi], MessageRoute::EtcToTtc))
+            .collect();
+        let out_can_ids: Vec<usize> = (0..route.len())
+            .filter(|&mi| matches!(route[mi], MessageRoute::TtcToEtc))
+            .collect();
+        let out_node_ids: Vec<(NodeId, Vec<usize>)> = arch
+            .can_nodes()
+            .map(|node| {
+                let ids: Vec<usize> = (0..route.len())
+                    .filter(|&mi| {
+                        route[mi].uses_can()
+                            && !matches!(route[mi], MessageRoute::TtcToEtc)
+                            && app.process(app.messages()[mi].source()).node() == node.id()
+                    })
+                    .collect();
+                (node.id(), ids)
+            })
+            .filter(|(_, ids)| !ids.is_empty())
+            .collect();
+        let et_ttp_senders: Vec<usize> = (0..route.len())
+            .filter(|&mi| {
+                route[mi].uses_ttp()
+                    && !matches!(route[mi], MessageRoute::EtcToTtc)
+                    && arch.is_et_cpu(app.process(app.messages()[mi].source()).node())
+            })
+            .collect();
+
+        let sinks: Vec<Vec<ProcessId>> = app.graphs().iter().map(|g| app.sinks(g.id())).collect();
+
+        let horizon = app
+            .hyperperiod()
+            .saturating_mul(params.horizon_factor.max(1));
+
+        SystemContext {
+            route,
+            can_c,
+            msg_period,
+            msg_size,
+            msg_phase,
+            proc_period,
+            proc_wcet,
+            proc_bcet,
+            proc_blocking,
+            proc_phase,
+            proc_is_tt,
+            local_deadlines,
+            et_nodes,
+            can_ids,
+            fifo_ids,
+            out_can_ids,
+            out_node_ids,
+            et_ttp_senders,
+            sinks,
+            horizon,
+        }
+    }
+}
+
+/// Reusable fixed-point state: cleared, never reallocated, between runs.
+#[derive(Clone, Debug, Default)]
+pub(super) struct Scratch {
+    // Process state, by process index.
+    pub po: Vec<Time>,
+    pub pj: Vec<Time>,
+    pub pw: Vec<Time>,
+    pub pr: Vec<Time>,
+    // Message state, per leg, by message index.
+    pub can_o: Vec<Time>,
+    pub can_j: Vec<Time>,
+    pub can_w: Vec<Time>,
+    pub can_r: Vec<Time>,
+    pub ttp_o: Vec<Time>,
+    pub ttp_j: Vec<Time>,
+    pub ttp_w: Vec<Time>,
+    pub ttp_r: Vec<Time>,
+    pub arrival: Vec<Time>,
+    pub backlog: Vec<u64>,
+    pub diverged: bool,
+    // Config-derived tables, refilled per evaluation.
+    pub msg_priority: Vec<Option<mcs_model::Priority>>,
+    pub proc_priority: Vec<Option<mcs_model::Priority>>,
+    /// CAN-leg message indices sorted by bus priority (most urgent first),
+    /// so the RTA's higher-priority sets are array prefixes.
+    pub can_order: Vec<usize>,
+    /// Suffix-max blocking bound per sorted CAN position: the longest
+    /// lower-priority transmission.
+    pub can_blocking: Vec<Time>,
+    /// Per ET CPU: its processes sorted by priority (most urgent first).
+    pub node_order: Vec<Vec<ProcessId>>,
+    // Pass-level memo: the kernel inputs of the previous holistic
+    // iteration; when a pass rebuilds identical inputs its delays are
+    // unchanged and the kernel fixed points are skipped entirely.
+    pub prev_can_flows: Vec<mcs_can::CanFlow>,
+    pub prev_fifo_flows: Vec<mcs_core::FifoFlow>,
+    pub prev_task_flows: Vec<Vec<TaskFlow>>,
+    // Flow buffers handed to the analysis kernels.
+    pub can_flows: Vec<mcs_can::CanFlow>,
+    pub fifo_flows: Vec<mcs_core::FifoFlow>,
+    pub fifo_delays: Vec<Option<FifoDelay>>,
+    /// Warm-start hints for the closed-form FIFO bound (raw delays, before
+    /// the grid-slack pessimism), indexed like `fifo_flows`.
+    pub fifo_warm: Vec<Time>,
+    pub task_flows: Vec<TaskFlow>,
+    pub bound_flows: Vec<mcs_can::CanFlow>,
+    pub bound_delays: Vec<Option<Time>>,
+    // Outer fixed point: release lower bounds of the static scheduler.
+    pub proc_release: HashMap<ProcessId, Time>,
+    pub msg_release: HashMap<MessageId, Time>,
+    pub next_proc_release: HashMap<ProcessId, Time>,
+    pub next_msg_release: HashMap<MessageId, Time>,
+    // Results of the last run.
+    pub queues: QueueBounds,
+    pub graph_response: Vec<Time>,
+}
+
+/// The cheap result of one [`Pr1Evaluator::evaluate`] call: the two cost
+/// functions of the paper plus convergence metadata. The full
+/// [`AnalysisOutcome`] is materialized separately by [`Pr1Evaluator::outcome`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pr1EvalSummary {
+    /// The degree of schedulability δΓ.
+    pub degree: SchedulabilityDegree,
+    /// The total buffer need `s_total` in bytes.
+    pub total_buffers: u64,
+    /// Whether every fixed point converged and the outer iteration settled.
+    pub converged: bool,
+    /// Outer (schedule ↔ RTA) iterations performed.
+    pub iterations: u32,
+}
+
+impl Pr1EvalSummary {
+    /// `true` iff the configuration is schedulable.
+    pub fn is_schedulable(&self) -> bool {
+        self.degree.is_schedulable()
+    }
+
+    /// The δΓ scalar minimized by schedule optimization.
+    pub fn schedule_cost(&self) -> i128 {
+        self.degree.cost()
+    }
+}
+
+/// A re-entrant `MultiClusterScheduling` engine bound to one [`System`].
+///
+/// Build it once, then call [`evaluate`](Pr1Evaluator::evaluate) for every
+/// configuration ψ a search visits: all system-invariant tables and all
+/// fixed-point vectors are reused across calls, making the per-evaluation
+/// cost allocation-free outside the static scheduler's hash maps.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_core::{AnalysisParams, Evaluator};
+/// use mcs_model::{
+///     Application, Architecture, NodeRole, Priority, PriorityAssignment,
+///     System, SystemConfig, TdmaConfig, TdmaSlot, Time,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut arch = Architecture::builder();
+/// let n1 = arch.add_node("N1", NodeRole::TimeTriggered);
+/// let n2 = arch.add_node("N2", NodeRole::EventTriggered);
+/// let ng = arch.add_node("NG", NodeRole::Gateway);
+/// let arch = arch.build()?;
+/// let mut app = Application::builder();
+/// let g = app.add_graph("G1", Time::from_millis(240), Time::from_millis(200));
+/// let p1 = app.add_process(g, "P1", n1, Time::from_millis(30));
+/// let p2 = app.add_process(g, "P2", n2, Time::from_millis(20));
+/// app.link(p1, p2, 8);
+/// let system = System::new(app.build(&arch)?, arch);
+///
+/// let tdma = TdmaConfig::new(vec![
+///     TdmaSlot { node: ng, capacity_bytes: 8 },
+///     TdmaSlot { node: n1, capacity_bytes: 8 },
+/// ]);
+/// let mut priorities = PriorityAssignment::new();
+/// priorities.set_process(p2, Priority::new(1));
+/// priorities.set_message(mcs_model::MessageId::new(0), Priority::new(1));
+/// let config = SystemConfig::new(tdma, priorities);
+///
+/// let mut evaluator = Evaluator::new(&system, AnalysisParams::default());
+/// let summary = evaluator.evaluate(&config)?;   // cheap: no result maps
+/// assert!(summary.is_schedulable());
+/// let outcome = evaluator.outcome();            // full tables on demand
+/// assert!(outcome.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Pr1Evaluator<'s> {
+    system: &'s System,
+    params: AnalysisParams,
+    ctx: SystemContext,
+    /// Memoized static schedules, one slot per outer iteration. The
+    /// schedule is a pure function of (system, TDMA configuration, release
+    /// bounds), so re-evaluations that reproduce the same scheduler inputs
+    /// — every repeat evaluation, and in local search every move that
+    /// leaves β and the analysis-derived releases unchanged — skip the
+    /// scheduling pass entirely.
+    sched_cache: Vec<SchedCacheEntry>,
+    /// Critical-path list priorities (dense); they depend on the TDMA
+    /// configuration only through the round duration, so they are memoized
+    /// on it.
+    sched_priorities: Vec<Time>,
+    sched_round: Option<Time>,
+    /// The last configuration that passed validation (validation is a pure
+    /// function of system + configuration, so an unchanged configuration
+    /// skips it). The buffer is kept across invalidations so snapshots
+    /// reuse its allocations; `last_validated_ok` gates its validity.
+    last_validated: Option<SystemConfig>,
+    last_validated_ok: bool,
+    scratch: Scratch,
+    /// Whether the last `evaluate` completed successfully (gates `outcome`).
+    has_run: bool,
+    last_converged: bool,
+    last_iterations: u32,
+    /// Cache slot holding the schedule of the last completed evaluation.
+    last_sched_slot: usize,
+}
+
+/// One memoized scheduling pass: the inputs it was computed from and the
+/// resulting schedule (reused in place on recompute).
+#[derive(Default)]
+struct SchedCacheEntry {
+    valid: bool,
+    tdma: mcs_model::TdmaConfig,
+    proc_release: HashMap<ProcessId, Time>,
+    msg_release: HashMap<MessageId, Time>,
+    schedule: TtcSchedule,
+}
+
+impl<'s> Pr1Evaluator<'s> {
+    /// Builds the reusable context for `system`.
+    pub fn new(system: &'s System, params: AnalysisParams) -> Self {
+        let ctx = SystemContext::new(system, &params);
+        Pr1Evaluator {
+            system,
+            params,
+            ctx,
+            sched_cache: Vec::new(),
+            sched_priorities: Vec::new(),
+            sched_round: None,
+            last_validated: None,
+            last_validated_ok: false,
+            scratch: Scratch::default(),
+            has_run: false,
+            last_converged: false,
+            last_iterations: 0,
+            last_sched_slot: 0,
+        }
+    }
+
+    /// The analyzed system.
+    pub fn system(&self) -> &'s System {
+        self.system
+    }
+
+    /// The analysis parameters this evaluator was built with.
+    pub fn params(&self) -> &AnalysisParams {
+        &self.params
+    }
+
+    /// `true` once an evaluation has completed successfully — the timing
+    /// accessors and [`outcome`](Pr1Evaluator::outcome) are only meaningful
+    /// (and only non-panicking) while this holds. A failed
+    /// [`evaluate`](Pr1Evaluator::evaluate) resets it.
+    pub fn has_run(&self) -> bool {
+        self.has_run
+    }
+
+    /// Runs `MultiClusterScheduling(Γ, β, π)` for one configuration,
+    /// reusing every buffer of previous runs, and returns the summary costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError`] if ψ is invalid or the TTC traffic cannot
+    /// be scheduled; an unschedulable but well-formed configuration is not
+    /// an error (its summary has a positive δΓ cost).
+    pub fn evaluate(&mut self, config: &SystemConfig) -> Result<Pr1EvalSummary, AnalysisError> {
+        // Validation and every configuration-derived table are pure
+        // functions of (system, configuration): an unchanged configuration
+        // skips both.
+        let config_changed =
+            !self.last_validated_ok || self.last_validated.as_ref() != Some(config);
+        if config_changed {
+            self.last_validated_ok = false;
+            validate_config(self.system, config)?;
+        }
+        self.has_run = false;
+        let system = self.system;
+        let app = &system.application;
+        let arch = &system.architecture;
+
+        if config_changed {
+            // Configuration-derived tables: the priority lookups flattened
+            // to dense vectors, the priority-sorted evaluation orders
+            // (priorities are unique per resource, so the orders are total)
+            // and the CAN suffix-max blocking bounds — these turn every
+            // kernel's higher-priority filtering into prefix scans.
+            let s = &mut self.scratch;
+            s.msg_priority.clear();
+            s.msg_priority.extend(
+                app.messages()
+                    .iter()
+                    .map(|m| config.priorities.message(m.id())),
+            );
+            s.proc_priority.clear();
+            s.proc_priority.extend(
+                app.processes()
+                    .iter()
+                    .map(|p| config.priorities.process(p.id())),
+            );
+            s.can_order.clear();
+            s.can_order.extend(self.ctx.can_ids.iter().copied());
+            s.can_order.sort_by_key(|&mi| {
+                s.msg_priority[mi].expect("validated configuration assigns CAN priorities")
+            });
+            s.can_blocking.clear();
+            s.can_blocking.resize(s.can_order.len(), Time::ZERO);
+            let mut suffix = Time::ZERO;
+            for k in (0..s.can_order.len()).rev() {
+                s.can_blocking[k] = suffix;
+                suffix = suffix.max(self.ctx.can_c[s.can_order[k]]);
+            }
+            s.node_order.resize(self.ctx.et_nodes.len(), Vec::new());
+            for (ni, et) in self.ctx.et_nodes.iter().enumerate() {
+                let order = &mut s.node_order[ni];
+                order.clear();
+                order.extend(et.procs.iter().copied());
+                order.sort_by_key(|p| {
+                    s.proc_priority[p.index()]
+                        .expect("validated configuration assigns ET priorities")
+                });
+            }
+            // `clone_from` reuses the previous snapshot's allocations, so
+            // a changed configuration costs no fresh allocation here.
+            match &mut self.last_validated {
+                Some(previous) => previous.clone_from(config),
+                slot => *slot = Some(config.clone()),
+            }
+            self.last_validated_ok = true;
+        }
+        let gateway = arch.gateway();
+        let (gw_slot, gw_cfg) = config
+            .tdma
+            .slot_of_node(gateway)
+            .expect("validated configuration has a gateway slot");
+        let ttp_params = arch.ttp_params();
+        let ttp_queue = TtpQueueParams {
+            round: config.tdma.round_duration(&ttp_params),
+            slot_offset: config.tdma.slot_offset(gw_slot, &ttp_params),
+            slot_capacity: gw_cfg.capacity_bytes,
+            slot_duration: config.tdma.slot_duration(gw_slot, &ttp_params),
+        };
+        let grid_slack =
+            if ttp_queue.round.is_zero() || (app.hyperperiod() % ttp_queue.round).is_zero() {
+                Time::ZERO
+            } else {
+                ttp_queue.round
+            };
+        if self.sched_round != Some(ttp_queue.round) {
+            critical_path_priorities_into(system, &config.tdma, &mut self.sched_priorities);
+            self.sched_round = Some(ttp_queue.round);
+        }
+
+        seed_pins(
+            system,
+            config,
+            &mut self.scratch.proc_release,
+            &mut self.scratch.msg_release,
+        );
+
+        let mut iterations = 0;
+        let mut settled = false;
+        while iterations < self.params.max_outer_iterations {
+            let slot = iterations as usize;
+            iterations += 1;
+            if self.sched_cache.len() <= slot {
+                self.sched_cache.push(SchedCacheEntry::default());
+            }
+            let hit = {
+                let entry = &self.sched_cache[slot];
+                entry.valid
+                    && entry.tdma == config.tdma
+                    && entry.proc_release == self.scratch.proc_release
+                    && entry.msg_release == self.scratch.msg_release
+            };
+            if !hit {
+                let entry = &mut self.sched_cache[slot];
+                entry.valid = false;
+                let input = SchedulerInput {
+                    system,
+                    tdma: &config.tdma,
+                    process_releases: &self.scratch.proc_release,
+                    message_releases: &self.scratch.msg_release,
+                };
+                list_schedule_into(&input, &self.sched_priorities, &mut entry.schedule)?;
+                entry.tdma.clone_from(&config.tdma);
+                entry.proc_release.clone_from(&self.scratch.proc_release);
+                entry.msg_release.clone_from(&self.scratch.msg_release);
+                entry.valid = true;
+            }
+            self.last_sched_slot = slot;
+            Holistic {
+                ctx: &self.ctx,
+                system,
+                schedule: &self.sched_cache[slot].schedule,
+                ttp_queue,
+                grid_slack,
+                horizon: self.ctx.horizon,
+                max_iterations: self.params.max_holistic_iterations,
+                fifo_bound: self.params.fifo_bound,
+                s: &mut self.scratch,
+            }
+            .run();
+
+            // Re-derive the release lower bounds from the analysis.
+            let s = &mut self.scratch;
+            seed_pins(
+                system,
+                config,
+                &mut s.next_proc_release,
+                &mut s.next_msg_release,
+            );
+            for &mi in &self.ctx.fifo_ids {
+                // Destination TT process must not start before the worst-case
+                // arrival through Out_TTP.
+                let message = &app.messages()[mi];
+                let arrival = s.arrival[mi].min(self.ctx.horizon);
+                let entry = s
+                    .next_proc_release
+                    .entry(message.dest())
+                    .or_insert(Time::ZERO);
+                *entry = (*entry).max(arrival);
+            }
+            for &mi in &self.ctx.et_ttp_senders {
+                // TTP frames whose sender runs under priorities (gateway
+                // CPU): the frame cannot leave before the sender's
+                // worst-case completion.
+                let message = &app.messages()[mi];
+                let sender = message.source().index();
+                let done = s.po[sender]
+                    .saturating_add(s.pr[sender])
+                    .min(self.ctx.horizon);
+                let entry = s.next_msg_release.entry(message.id()).or_insert(Time::ZERO);
+                *entry = (*entry).max(done);
+            }
+
+            let done = s.next_proc_release == s.proc_release && s.next_msg_release == s.msg_release;
+            std::mem::swap(&mut s.proc_release, &mut s.next_proc_release);
+            std::mem::swap(&mut s.msg_release, &mut s.next_msg_release);
+            if done {
+                settled = true;
+                break;
+            }
+        }
+
+        // Graph responses and the degree of schedulability, straight from
+        // the scratch vectors (no result maps on this path).
+        let s = &mut self.scratch;
+        s.graph_response.clear();
+        let mut overrun: u64 = 0;
+        let mut slack: i128 = 0;
+        for (gi, graph) in app.graphs().iter().enumerate() {
+            let r = self.ctx.sinks[gi]
+                .iter()
+                .map(|p| s.po[p.index()].saturating_add(s.pr[p.index()]))
+                .fold(Time::ZERO, Time::max);
+            s.graph_response.push(r);
+            let d = graph.deadline();
+            overrun += r.saturating_sub(d).ticks();
+            slack += i128::from(r.ticks()) - i128::from(d.ticks());
+        }
+        for &(pi, d) in &self.ctx.local_deadlines {
+            let completion = s.po[pi].saturating_add(s.pr[pi]);
+            overrun += completion.saturating_sub(d).ticks();
+        }
+
+        let converged = !s.diverged && settled;
+        self.has_run = true;
+        self.last_converged = converged;
+        self.last_iterations = iterations;
+        Ok(Pr1EvalSummary {
+            degree: SchedulabilityDegree {
+                overrun,
+                slack,
+                converged,
+            },
+            total_buffers: s.queues.total(),
+            converged,
+            iterations,
+        })
+    }
+
+    /// Materializes the full [`AnalysisOutcome`] of the last successful
+    /// [`evaluate`](Pr1Evaluator::evaluate) call (this allocates the result
+    /// maps — call it for accepted configurations, not per search move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no evaluation has completed successfully yet.
+    pub fn outcome(&self) -> AnalysisOutcome {
+        assert!(
+            self.has_run,
+            "Evaluator::outcome called before a successful evaluate"
+        );
+        let app = &self.system.application;
+        let s = &self.scratch;
+        let process_timing: HashMap<ProcessId, EntityTiming> = app
+            .processes()
+            .iter()
+            .map(|p| (p.id(), self.process_timing(p.id())))
+            .collect();
+        let message_timing: HashMap<MessageId, MessageTiming> = app
+            .messages()
+            .iter()
+            .map(|m| (m.id(), self.message_timing(m.id())))
+            .collect();
+        let graph_response = app
+            .graphs()
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| (g.id(), s.graph_response[gi]))
+            .collect();
+        AnalysisOutcome {
+            schedule: self.sched_cache[self.last_sched_slot].schedule.clone(),
+            process_timing,
+            message_timing,
+            queues: s.queues.clone(),
+            graph_response,
+            converged: self.last_converged,
+            iterations: self.last_iterations,
+        }
+    }
+
+    /// Worst-case timing of one process from the last evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no evaluation has completed successfully yet.
+    pub fn process_timing(&self, process: ProcessId) -> EntityTiming {
+        assert!(self.has_run, "no successful evaluation yet");
+        let i = process.index();
+        let s = &self.scratch;
+        EntityTiming {
+            offset: s.po[i],
+            jitter: s.pj[i],
+            delay: s.pw[i],
+            response: s.pr[i],
+        }
+    }
+
+    /// Worst-case per-leg timing of one message from the last evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no evaluation has completed successfully yet.
+    pub fn message_timing(&self, message: MessageId) -> MessageTiming {
+        assert!(self.has_run, "no successful evaluation yet");
+        let mi = message.index();
+        let s = &self.scratch;
+        let can = self.ctx.route[mi].uses_can().then_some(EntityTiming {
+            offset: s.can_o[mi],
+            jitter: s.can_j[mi],
+            delay: s.can_w[mi],
+            response: s.can_r[mi],
+        });
+        let ttp = matches!(self.ctx.route[mi], MessageRoute::EtcToTtc).then_some(EntityTiming {
+            offset: s.ttp_o[mi],
+            jitter: s.ttp_j[mi],
+            delay: s.ttp_w[mi],
+            response: s.ttp_r[mi],
+        });
+        MessageTiming {
+            can,
+            ttp,
+            arrival: s.arrival[mi],
+        }
+    }
+}
+
+/// Applies the optimizer's offset pins as baseline releases.
+fn seed_pins(
+    system: &System,
+    config: &SystemConfig,
+    process_releases: &mut HashMap<ProcessId, Time>,
+    message_releases: &mut HashMap<MessageId, Time>,
+) {
+    process_releases.clear();
+    message_releases.clear();
+    if config.offsets.is_empty() {
+        return;
+    }
+    for p in system.application.processes() {
+        if let Some(t) = config.offsets.process(p.id()) {
+            process_releases.insert(p.id(), t);
+        }
+    }
+    for m in system.application.messages() {
+        if let Some(t) = config.offsets.message(m.id()) {
+            message_releases.insert(m.id(), t);
+        }
+    }
+}

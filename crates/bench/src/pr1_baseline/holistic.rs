@@ -1,0 +1,488 @@
+//! PR 1's holistic pass, **frozen verbatim** as the `pr1_baseline`
+//! reference (only imports and visibilities adapted): the holistic
+//! response-time analysis of the event-triggered side, given a fixed TTC
+//! schedule (the paper's `ResponseTimeAnalysis(Γ, φ, π)`).
+//!
+//! For a fixed static schedule of the TTC (process start times and frame
+//! placements), this module iterates the coupled fixed points of
+//!
+//! * offset/jitter propagation along the process graphs
+//!   (`J_D(m) = r_m`, `O_B = max` over predecessor availabilities),
+//! * CAN queuing delays of every message with a CAN leg (`mcs-can`),
+//! * `Out_TTP` FIFO delays of ETC→TTC messages ([`crate::queues`]), and
+//! * preemption delays of processes sharing each ET CPU ([`crate::rta`]),
+//!
+//! until the response times stabilize. All quantities grow monotonically, so
+//! the iteration either converges or crosses the analysis horizon, in which
+//! case the affected delays are clamped to the horizon and the result is
+//! flagged as diverged (unschedulable).
+//!
+//! The pass operates entirely on the reusable state of [`crate::context`]:
+//! the immutable `SystemContext` tables and the `Scratch` vectors, which it
+//! clears (never reallocates) on entry.
+
+use mcs_can::CanFlow;
+use mcs_model::{MessageId, MessageRoute, Priority, System, Time};
+use mcs_ttp::TtcSchedule;
+
+use mcs_core::{
+    fifo_delay_from, fifo_delay_occurrence, FifoBound, FifoFlow, TaskFlow, TtpQueueParams,
+};
+
+use super::context::{Scratch, SystemContext};
+
+/// Ranks: the gateway transfer process outranks all application processes.
+fn app_rank(priority: Priority) -> u64 {
+    1 << 32 | u64::from(priority.level())
+}
+const TRANSFER_RANK: u64 = 0;
+
+/// One holistic analysis pass over a fixed TTC schedule, reading the shared
+/// [`SystemContext`] and mutating only the [`Scratch`].
+pub(super) struct Holistic<'a> {
+    pub ctx: &'a SystemContext,
+    pub system: &'a System,
+    pub schedule: &'a TtcSchedule,
+    pub ttp_queue: TtpQueueParams,
+    /// One extra round of FIFO pessimism when the TDMA grid does not
+    /// re-align with the hyper-period (the gateway slot's phase then drifts
+    /// across activations).
+    pub grid_slack: Time,
+    pub horizon: Time,
+    pub max_iterations: u32,
+    pub fifo_bound: FifoBound,
+    pub s: &'a mut Scratch,
+}
+
+impl Holistic<'_> {
+    /// Runs the fixed point to convergence (or the iteration cap), leaving
+    /// the converged timing state and queue bounds in the scratch.
+    ///
+    /// Convergence is detected by the pass memos: an iteration in which
+    /// every kernel pass saw inputs identical to the previous iteration has
+    /// changed nothing (the flows embed every fingerprinted quantity — the
+    /// offsets, jitters and responses of both processes and message legs),
+    /// which is exactly the classic fixed-point termination test without
+    /// snapshotting the state vectors.
+    pub(super) fn run(&mut self) {
+        self.reset();
+        let mut first = true;
+        for _ in 0..self.max_iterations {
+            self.propagate_offsets_and_jitters(first);
+            first = false;
+            let can_stable = self.can_pass();
+            let fifo_stable = self.fifo_pass();
+            let cpu_stable = self.cpu_pass();
+            if can_stable && fifo_stable && cpu_stable {
+                break;
+            }
+        }
+        self.queue_bounds();
+    }
+
+    /// Clears the scratch to the initial fixed-point state (`r_i = C_i`,
+    /// everything else zero), reusing the allocations.
+    fn reset(&mut self) {
+        let app = &self.system.application;
+        let n_p = app.processes().len();
+        let n_m = app.messages().len();
+        let s = &mut *self.s;
+        for v in [&mut s.po, &mut s.pj, &mut s.pw, &mut s.pr] {
+            v.clear();
+            v.resize(n_p, Time::ZERO);
+        }
+        for v in [
+            &mut s.can_o,
+            &mut s.can_j,
+            &mut s.can_w,
+            &mut s.can_r,
+            &mut s.ttp_o,
+            &mut s.ttp_j,
+            &mut s.ttp_w,
+            &mut s.ttp_r,
+            &mut s.arrival,
+        ] {
+            v.clear();
+            v.resize(n_m, Time::ZERO);
+        }
+        s.backlog.clear();
+        s.backlog.resize(n_m, 0);
+        s.fifo_warm.clear();
+        s.fifo_warm.resize(self.ctx.fifo_ids.len(), Time::ZERO);
+        s.prev_can_flows.clear();
+        s.prev_fifo_flows.clear();
+        s.prev_task_flows
+            .resize(self.ctx.et_nodes.len(), Vec::new());
+        for prev in &mut s.prev_task_flows {
+            prev.clear();
+        }
+        s.diverged = false;
+        s.pr.copy_from_slice(&self.ctx.proc_wcet);
+    }
+
+    /// Topological pass updating `O` and `J` of ET processes and of every
+    /// message leg from the current response times.
+    ///
+    /// Offsets are propagated as *earliest availabilities*: an entity's
+    /// offset is the best-case instant its triggering data can exist
+    /// (predecessor offset + BCET + minimal transmission), and its jitter is
+    /// the gap to the worst-case availability. This matches the paper's
+    /// worked numbers (Figure 4a: `J_2 = 15`, `r_2 = 55`, `r_3 = 45`) and
+    /// spreads ET-chain offsets so that the queue analyses can phase flows
+    /// apart.
+    ///
+    /// Offsets are built from BCETs and the (fixed) schedule only, so they
+    /// are invariant across the iterations of one holistic run: after the
+    /// `first` pass resolves them in topological order, later passes update
+    /// only the jitter side.
+    fn propagate_offsets_and_jitters(&mut self, first: bool) {
+        let system = self.system;
+        let ctx = self.ctx;
+        let app = &system.application;
+        let schedule = self.schedule;
+        let r_transfer = system.gateway.transfer_response();
+        let s = &mut *self.s;
+        for graph in app.graphs() {
+            for &p in app.topological_order(graph.id()) {
+                let pi = p.index();
+                if ctx.proc_is_tt[pi] {
+                    if first {
+                        // Fixed by the schedule table for this whole run.
+                        s.po[pi] = schedule
+                            .start(p)
+                            .expect("TT process placed by the list scheduler");
+                        s.pj[pi] = Time::ZERO;
+                        s.pw[pi] = Time::ZERO;
+                        s.pr[pi] = ctx.proc_wcet[pi];
+                    }
+                } else {
+                    let mut earliest = Time::ZERO;
+                    let mut worst = Time::ZERO;
+                    for e in app.predecessors(p) {
+                        let (o, w) = match e.message {
+                            None => {
+                                let src = e.source.index();
+                                (
+                                    s.po[src].saturating_add(ctx.proc_bcet[src]),
+                                    s.po[src].saturating_add(s.pr[src]),
+                                )
+                            }
+                            Some(m) => {
+                                let mi = m.index();
+                                match ctx.route[mi] {
+                                    MessageRoute::TtcToTtc => {
+                                        let a = frame_arrival(schedule, m);
+                                        (a, a)
+                                    }
+                                    MessageRoute::EtcToEtc | MessageRoute::TtcToEtc => (
+                                        s.can_o[mi].saturating_add(ctx.can_c[mi]),
+                                        s.can_o[mi].saturating_add(s.can_r[mi]),
+                                    ),
+                                    MessageRoute::EtcToTtc => {
+                                        (s.ttp_o[mi], s.ttp_o[mi].saturating_add(s.ttp_r[mi]))
+                                    }
+                                }
+                            }
+                        };
+                        earliest = earliest.max(o);
+                        worst = worst.max(w);
+                    }
+                    if first {
+                        s.po[pi] = earliest;
+                    }
+                    s.pj[pi] = worst.saturating_sub(s.po[pi]);
+                }
+                // Outgoing message legs of p.
+                for e in app.successors(p) {
+                    let Some(m) = e.message else { continue };
+                    let mi = m.index();
+                    let enqueue_jitter = s.pr[pi].saturating_sub(ctx.proc_bcet[pi]);
+                    match ctx.route[mi] {
+                        MessageRoute::TtcToTtc => {
+                            if first {
+                                s.arrival[mi] = frame_arrival(schedule, m);
+                            }
+                        }
+                        MessageRoute::TtcToEtc => {
+                            if first {
+                                // MBI arrival is deterministic; the gateway
+                                // transfer process adds its response time as
+                                // jitter (paper: J_m1 = r_T).
+                                s.can_o[mi] = frame_arrival(schedule, m);
+                                s.can_j[mi] = r_transfer;
+                            }
+                        }
+                        MessageRoute::EtcToEtc => {
+                            if first {
+                                s.can_o[mi] = s.po[pi].saturating_add(ctx.proc_bcet[pi]);
+                            }
+                            s.can_j[mi] = enqueue_jitter;
+                        }
+                        MessageRoute::EtcToTtc => {
+                            if first {
+                                let enqueue_earliest = s.po[pi].saturating_add(ctx.proc_bcet[pi]);
+                                s.can_o[mi] = enqueue_earliest;
+                                // Earliest FIFO entry: after the CAN wire
+                                // time.
+                                s.ttp_o[mi] = enqueue_earliest.saturating_add(ctx.can_c[mi]);
+                            }
+                            s.can_j[mi] = enqueue_jitter;
+                            // Worst FIFO entry: after the CAN leg response
+                            // plus the transfer process.
+                            s.ttp_j[mi] = s.can_r[mi]
+                                .saturating_sub(ctx.can_c[mi])
+                                .saturating_add(r_transfer);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn can_flow(&self, mi: usize) -> CanFlow {
+        let ctx = self.ctx;
+        let s = &*self.s;
+        CanFlow {
+            priority: s.msg_priority[mi].expect("validated configuration assigns CAN priorities"),
+            period: ctx.msg_period[mi],
+            jitter: s.can_j[mi],
+            offset: s.can_o[mi],
+            transaction: Some(ctx.msg_phase[mi]),
+            transmission: ctx.can_c[mi],
+            size_bytes: ctx.msg_size[mi],
+            response: s.can_r[mi],
+        }
+    }
+
+    /// CAN queuing delays over every message with a CAN leg (they all share
+    /// the one bus, including frames produced by the gateway).
+    ///
+    /// Each flow's fixed point warm-starts from its delay of the previous
+    /// holistic iteration: jitters only grow and offsets are constant, so
+    /// the previous converged value lies below the new least fixed point and
+    /// the climb resumes instead of restarting (identical result, fewer
+    /// iterations).
+    fn can_pass(&mut self) -> bool {
+        let ctx = self.ctx;
+        // Flows are built in bus-priority order (most urgent first), so
+        // each flow's higher-priority set is the prefix before it and its
+        // blocking bound is the precomputed suffix maximum.
+        let n = self.s.can_order.len();
+        self.s.can_flows.clear();
+        for k in 0..n {
+            let mi = self.s.can_order[k];
+            let flow = self.can_flow(mi);
+            self.s.can_flows.push(flow);
+        }
+        // Unchanged inputs ⇒ unchanged delays: skip the kernel entirely.
+        if self.s.can_flows == self.s.prev_can_flows {
+            return true;
+        }
+        for k in 0..n {
+            let mi = self.s.can_order[k];
+            let delay = mcs_can::queuing_delay_sorted(
+                &self.s.can_flows,
+                k,
+                self.s.can_blocking[k],
+                self.horizon,
+                self.s.can_w[mi],
+            );
+            let s = &mut *self.s;
+            let w = match delay {
+                Some(w) => w,
+                None => {
+                    s.diverged = true;
+                    self.horizon
+                }
+            };
+            s.can_w[mi] = w;
+            s.can_r[mi] = s.can_j[mi].saturating_add(w).saturating_add(ctx.can_c[mi]);
+            if !matches!(ctx.route[mi], MessageRoute::EtcToTtc) {
+                s.arrival[mi] = s.can_o[mi].saturating_add(s.can_r[mi]);
+            }
+        }
+        let s = &mut *self.s;
+        std::mem::swap(&mut s.prev_can_flows, &mut s.can_flows);
+        false
+    }
+
+    /// `Out_TTP` FIFO delays of ETC→TTC messages.
+    fn fifo_pass(&mut self) -> bool {
+        let ctx = self.ctx;
+        self.s.fifo_flows.clear();
+        for &mi in &ctx.fifo_ids {
+            let s = &*self.s;
+            let flow = FifoFlow {
+                rank: s.msg_priority[mi]
+                    .map(|p| u64::from(p.level()))
+                    .expect("validated configuration assigns CAN priorities"),
+                period: ctx.msg_period[mi],
+                jitter: s.ttp_j[mi],
+                offset: s.ttp_o[mi],
+                transaction: Some(ctx.msg_phase[mi]),
+                size_bytes: ctx.msg_size[mi],
+                response: s.ttp_r[mi],
+            };
+            self.s.fifo_flows.push(flow);
+        }
+        // Unchanged inputs ⇒ unchanged delays: skip the kernel entirely.
+        if self.s.fifo_flows == self.s.prev_fifo_flows {
+            return true;
+        }
+        self.s.fifo_delays.clear();
+        for k in 0..ctx.fifo_ids.len() {
+            // The closed form warm-starts from the previous iteration's raw
+            // delay (monotone operator); the occurrence bound cannot (its
+            // departure is not monotone in the enqueue jitter).
+            let delay = match self.fifo_bound {
+                FifoBound::PaperClosedForm => fifo_delay_from(
+                    &self.s.fifo_flows,
+                    k,
+                    &self.ttp_queue,
+                    self.horizon,
+                    self.s.fifo_warm[k],
+                ),
+                FifoBound::SlotOccurrence => {
+                    fifo_delay_occurrence(&self.s.fifo_flows, k, &self.ttp_queue, self.horizon)
+                }
+            };
+            if let Some(d) = delay {
+                self.s.fifo_warm[k] = d.delay;
+            }
+            self.s.fifo_delays.push(delay);
+        }
+        let s = &mut *self.s;
+        for (k, &mi) in ctx.fifo_ids.iter().enumerate() {
+            let (w, backlog) = match s.fifo_delays[k] {
+                Some(d) => (d.delay.saturating_add(self.grid_slack), d.backlog),
+                None => {
+                    s.diverged = true;
+                    (self.horizon, s.fifo_flows[k].size_bytes.into())
+                }
+            };
+            s.ttp_w[mi] = w;
+            s.backlog[mi] = backlog;
+            s.ttp_r[mi] = s.ttp_j[mi]
+                .saturating_add(w)
+                .saturating_add(self.ttp_queue.slot_duration);
+            s.arrival[mi] = s.ttp_o[mi].saturating_add(s.ttp_r[mi]);
+        }
+        std::mem::swap(&mut s.prev_fifo_flows, &mut s.fifo_flows);
+        false
+    }
+
+    /// Preemption delays of processes sharing each ET CPU; the gateway CPU
+    /// additionally hosts the transfer process `T` at the highest rank.
+    fn cpu_pass(&mut self) -> bool {
+        let ctx = self.ctx;
+        let system = self.system;
+        let mut stable = true;
+        for (ni, et) in ctx.et_nodes.iter().enumerate() {
+            // Tasks are assembled in rank order (transfer process first on
+            // the gateway), so each task's higher-priority set is the
+            // prefix before it.
+            self.s.task_flows.clear();
+            if et.is_gateway {
+                self.s.task_flows.push(TaskFlow {
+                    rank: TRANSFER_RANK,
+                    period: system.gateway.transfer_period,
+                    jitter: Time::ZERO,
+                    offset: Time::ZERO,
+                    transaction: None,
+                    wcet: system.gateway.transfer_wcet,
+                    blocking: Time::ZERO,
+                    response: system.gateway.transfer_wcet,
+                });
+            }
+            let offset = usize::from(et.is_gateway);
+            for idx in 0..self.s.node_order[ni].len() {
+                let pi = self.s.node_order[ni][idx].index();
+                let s = &*self.s;
+                let task = TaskFlow {
+                    rank: app_rank(
+                        s.proc_priority[pi].expect("validated configuration assigns ET priorities"),
+                    ),
+                    period: ctx.proc_period[pi],
+                    jitter: s.pj[pi],
+                    offset: s.po[pi],
+                    transaction: Some(ctx.proc_phase[pi]),
+                    wcet: ctx.proc_wcet[pi],
+                    blocking: ctx.proc_blocking[pi],
+                    response: s.pr[pi],
+                };
+                self.s.task_flows.push(task);
+            }
+            // Unchanged inputs ⇒ unchanged delays: skip this CPU's kernel.
+            if self.s.task_flows == self.s.prev_task_flows[ni] {
+                continue;
+            }
+            stable = false;
+            // Each process's busy window warm-starts from its previous
+            // delay (see `can_pass`); the leading transfer task needs no
+            // delay of its own (it has the highest rank).
+            for idx in 0..self.s.node_order[ni].len() {
+                let pi = self.s.node_order[ni][idx].index();
+                let delay = mcs_core::interference_delay_sorted(
+                    &self.s.task_flows,
+                    offset + idx,
+                    self.horizon,
+                    self.s.pw[pi],
+                );
+                let s = &mut *self.s;
+                let w = match delay {
+                    Some(w) => w,
+                    None => {
+                        s.diverged = true;
+                        self.horizon
+                    }
+                };
+                s.pw[pi] = w;
+                s.pr[pi] = s.pj[pi].saturating_add(w).saturating_add(ctx.proc_wcet[pi]);
+            }
+            let s = &mut *self.s;
+            std::mem::swap(&mut s.prev_task_flows[ni], &mut s.task_flows);
+        }
+        stable
+    }
+
+    /// Buffer bounds for `Out_CAN`, `Out_TTP` and every `Out_Ni`, left in
+    /// `Scratch::queues`.
+    fn queue_bounds(&mut self) {
+        let ctx = self.ctx;
+
+        // Out_CAN holds TTC→ETC traffic queued by the gateway.
+        let out_can = self.priority_queue_bound(&ctx.out_can_ids);
+        self.s.queues.out_can = out_can;
+
+        // Out_Ni holds the CAN traffic originated by each CAN-sending node.
+        self.s.queues.out_node.clear();
+        for (node, ids) in &ctx.out_node_ids {
+            let bound = self.priority_queue_bound(ids);
+            self.s.queues.out_node.insert(*node, bound);
+        }
+
+        // Out_TTP: the FIFO bound — the worst backlog over all FIFO flows.
+        self.s.queues.out_ttp = ctx
+            .fifo_ids
+            .iter()
+            .map(|&mi| self.s.backlog[mi])
+            .max()
+            .unwrap_or(0);
+    }
+
+    fn priority_queue_bound(&mut self, ids: &[usize]) -> u64 {
+        self.s.bound_flows.clear();
+        self.s.bound_delays.clear();
+        for &mi in ids {
+            let flow = self.can_flow(mi);
+            self.s.bound_flows.push(flow);
+            let delay = Some(self.s.can_w[mi]);
+            self.s.bound_delays.push(delay);
+        }
+        mcs_can::queue_size_bound(&self.s.bound_flows, &self.s.bound_delays, self.horizon)
+    }
+}
+
+fn frame_arrival(schedule: &TtcSchedule, m: MessageId) -> Time {
+    schedule.frame(m).map(|f| f.arrival).unwrap_or(Time::ZERO)
+}

@@ -1,0 +1,14 @@
+//! PR 1's reusable-context evaluator, **frozen verbatim** (imports,
+//! visibilities and the `Evaluator` → [`Pr1Evaluator`] rename aside) as the
+//! performance baseline the delta-RTA work of PR 2 is measured against:
+//! the `delta_rta` bench replays the same SA move trace through this
+//! evaluator, the current full path and the delta path, so the recorded
+//! speedups compare like for like on the same workload.
+//!
+//! Like [`crate::seed_baseline`], this module must not be "improved" — it
+//! is the frozen reference.
+
+mod context;
+mod holistic;
+
+pub use context::{Pr1EvalSummary, Pr1Evaluator};

@@ -260,6 +260,40 @@ pub fn queuing_delay_sorted(
     }
 }
 
+/// Dirty-subset form of [`queuing_delay_sorted`] for incremental ("delta")
+/// re-analysis: recomputes the queuing delays of only the flows marked in
+/// `dirty` at position `from` or below, warm-starting each from its entry
+/// in `delays` (`None` counts as a cold start). All other entries are left
+/// untouched — the caller guarantees, via its dependency closure and
+/// change tracking, that no input of theirs changed (a flow's inputs are
+/// exactly the sorted prefix before it), so their previously converged
+/// delays are still the least fixed point.
+///
+/// `flows` must be pre-sorted by descending urgency with per-position
+/// `blocking` bounds, exactly as for [`queuing_delay_sorted`]; a recomputed
+/// entry becomes `None` when its fixed point exceeds `horizon` (diverged).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree or a dirty flow has a zero period.
+pub fn queuing_delays_sorted_subset(
+    flows: &[CanFlow],
+    blocking: &[Time],
+    dirty: &[bool],
+    from: usize,
+    horizon: Time,
+    delays: &mut [Option<Time>],
+) {
+    assert_eq!(flows.len(), dirty.len());
+    assert_eq!(flows.len(), delays.len());
+    for m in from..flows.len() {
+        if dirty[m] {
+            let hint = delays[m].unwrap_or(Time::ZERO);
+            delays[m] = queuing_delay_sorted(flows, m, blocking[m], horizon, hint);
+        }
+    }
+}
+
 /// Worst-case backlog in bytes of the priority queue feeding the bus, over
 /// the given flows, using converged queuing delays (`None` delays are
 /// treated as "all higher-priority instances over the horizon", i.e. the

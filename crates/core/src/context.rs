@@ -21,12 +21,47 @@
 //! the full [`AnalysisOutcome`] is materialized on demand by
 //! [`Evaluator::outcome`], so inner search loops never pay for the result
 //! maps they do not read.
+//!
+//! # Incremental (delta) evaluation
+//!
+//! A single design transformation perturbs only a small cone of the
+//! holistic fixed point. [`Evaluator::evaluate_delta`] exploits that: the
+//! optimizer reports the seed entities a move touched
+//! ([`DeltaSeeds`](crate::DeltaSeeds)), the seeds are closed over the
+//! static entity-dependency graph of [`crate::delta`] (route successors,
+//! priority-band interference sets on each ET CPU and the CAN bus,
+//! phase-group membership, gateway coupling), and the outer
+//! schedule↔analysis loop *replays the evaluation trajectory*:
+//!
+//! * every outer iteration's schedule memo ([`SchedCacheEntry`]) carries an
+//!   [`AnalysisSnapshot`] of the holistic state it converged to;
+//! * an iteration whose schedule inputs hit the memo extends that snapshot
+//!   through restricted dirty-cone passes ([`Holistic::run_delta`]) — clean
+//!   entities keep their converged values *as the least fixed point*, dirty
+//!   entities restart from the bottom of the lattice;
+//! * an iteration whose release bounds changed is re-scheduled, the new
+//!   schedule is **diffed** against the snapshot's
+//!   ([`TtcSchedule::diff_into`]) and the moved placements join the cone;
+//! * an iteration whose cone contains no release input is skipped outright
+//!   (its derived releases are read straight off the snapshot), with its
+//!   seeds parked on the slot's pending list;
+//! * everything else — structural (TDMA) changes, stale/diverged/unstable
+//!   snapshots, cones past [`AnalysisParams::delta_frontier_percent`] —
+//!   falls back to the full fixed point of that iteration.
+//!
+//! Results are **bit-identical** to [`Evaluator::evaluate`] by
+//! construction; the equivalence is enforced by property tests in
+//! `crates/opt/tests/` and against the frozen seed implementation in
+//! `mcs-bench`.
 
 use std::collections::HashMap;
 
 use mcs_model::{MessageId, MessageRoute, NodeId, ProcessId, System, SystemConfig, Time};
-use mcs_ttp::{critical_path_priorities_into, list_schedule_into, SchedulerInput, TtcSchedule};
+use mcs_ttp::{
+    critical_path_priorities_into, list_schedule_dense_into, DenseSchedulerInput, TtcSchedule,
+};
 
+use crate::delta::{close_dirty, DeltaSeeds, DirtySet};
 use crate::holistic::Holistic;
 use crate::multicluster::{AnalysisError, AnalysisParams};
 use crate::outcome::{AnalysisOutcome, EntityTiming, MessageTiming, QueueBounds};
@@ -88,6 +123,26 @@ pub(crate) struct SystemContext {
     pub sinks: Vec<Vec<ProcessId>>,
     /// The divergence horizon: `horizon_factor × hyperperiod`.
     pub horizon: Time,
+    // Static entity-dependency tables for delta evaluation (see
+    // [`crate::delta`]).
+    /// Number of process graphs (phase groups are per graph).
+    pub n_graphs: usize,
+    /// Graph index of each process.
+    pub proc_graph: Vec<u32>,
+    /// Graph index of each message.
+    pub msg_graph: Vec<u32>,
+    /// Destination process index of each message.
+    pub msg_dest: Vec<u32>,
+    /// Index into [`SystemContext::et_nodes`] of each ET-hosted process.
+    pub proc_et_node: Vec<Option<u32>>,
+    /// Direct (message-free) ET successors of each ET process.
+    pub proc_direct_succ: Vec<Vec<u32>>,
+    /// Outgoing messages of each ET process whose legs the analysis derives
+    /// from the sender's response (ETC→ETC and ETC→TTC routes).
+    pub proc_out_et_msgs: Vec<Vec<u32>>,
+    /// Whether the process sources an ET-sent TTP frame: its completion
+    /// bounds the frame's release — an input of the static scheduler.
+    pub proc_feeds_msg_release: Vec<bool>,
 }
 
 impl SystemContext {
@@ -200,6 +255,57 @@ impl SystemContext {
             .hyperperiod()
             .saturating_mul(params.horizon_factor.max(1));
 
+        // Static dependency tables for delta evaluation.
+        let proc_graph: Vec<u32> = app
+            .processes()
+            .iter()
+            .map(|p| p.graph().index() as u32)
+            .collect();
+        let msg_graph: Vec<u32> = app
+            .messages()
+            .iter()
+            .map(|m| m.graph().index() as u32)
+            .collect();
+        let msg_dest: Vec<u32> = app
+            .messages()
+            .iter()
+            .map(|m| m.dest().index() as u32)
+            .collect();
+        let mut proc_et_node: Vec<Option<u32>> = vec![None; proc_is_tt.len()];
+        for (ni, et) in et_nodes.iter().enumerate() {
+            for p in &et.procs {
+                proc_et_node[p.index()] = Some(ni as u32);
+            }
+        }
+        let mut proc_direct_succ: Vec<Vec<u32>> = vec![Vec::new(); proc_is_tt.len()];
+        let mut proc_out_et_msgs: Vec<Vec<u32>> = vec![Vec::new(); proc_is_tt.len()];
+        for p in app.processes() {
+            let pi = p.id().index();
+            for e in app.successors(p.id()) {
+                match e.message {
+                    None => {
+                        // TT destinations are fixed by the schedule table
+                        // and absorb no timing dirtiness.
+                        if !proc_is_tt[e.dest.index()] {
+                            proc_direct_succ[pi].push(e.dest.index() as u32);
+                        }
+                    }
+                    Some(m) => {
+                        let mi = m.index();
+                        // Only ET-sent legs derive from the sender's
+                        // response; TT-sent legs are frame-driven.
+                        if matches!(route[mi], MessageRoute::EtcToEtc | MessageRoute::EtcToTtc) {
+                            proc_out_et_msgs[pi].push(mi as u32);
+                        }
+                    }
+                }
+            }
+        }
+        let mut proc_feeds_msg_release = vec![false; proc_is_tt.len()];
+        for &mi in &et_ttp_senders {
+            proc_feeds_msg_release[app.messages()[mi].source().index()] = true;
+        }
+
         SystemContext {
             route,
             can_c,
@@ -221,6 +327,14 @@ impl SystemContext {
             et_ttp_senders,
             sinks,
             horizon,
+            n_graphs: app.graphs().len(),
+            proc_graph,
+            msg_graph,
+            msg_dest,
+            proc_et_node,
+            proc_direct_succ,
+            proc_out_et_msgs,
+            proc_feeds_msg_release,
         }
     }
 }
@@ -251,11 +365,30 @@ pub(crate) struct Scratch {
     /// CAN-leg message indices sorted by bus priority (most urgent first),
     /// so the RTA's higher-priority sets are array prefixes.
     pub can_order: Vec<usize>,
+    /// Position of each CAN-leg message in `can_order` (by message index;
+    /// `usize::MAX` for messages without a CAN leg).
+    pub can_pos: Vec<usize>,
     /// Suffix-max blocking bound per sorted CAN position: the longest
     /// lower-priority transmission.
     pub can_blocking: Vec<Time>,
     /// Per ET CPU: its processes sorted by priority (most urgent first).
     pub node_order: Vec<Vec<ProcessId>>,
+    /// Position of each ET process in its CPU's `node_order` (by process
+    /// index; `usize::MAX` for TT processes).
+    pub node_pos: Vec<usize>,
+    // Delta-evaluation state (see [`crate::delta`]).
+    /// The dirty cone of the current delta evaluation.
+    pub dirty: DirtySet,
+    /// Positional (sorted-order) dirty mask handed to the CAN kernel.
+    pub can_dirty_pos: Vec<bool>,
+    /// Positional in/out delay buffer of the CAN kernel's dirty subset.
+    pub can_delay_pos: Vec<Option<Time>>,
+    /// Positional dirty mask handed to the CPU kernel (one node at a time).
+    pub task_dirty_pos: Vec<bool>,
+    /// Positional in/out delay buffer of the CPU kernel's dirty subset.
+    pub task_delay_pos: Vec<Option<Time>>,
+    /// Positional (FIFO-index) dirty mask of the FIFO delta pass.
+    pub fifo_dirty_pos: Vec<bool>,
     // Pass-level memo: the kernel inputs of the previous holistic
     // iteration; when a pass rebuilds identical inputs its delays are
     // unchanged and the kernel fixed points are skipped entirely.
@@ -272,11 +405,14 @@ pub(crate) struct Scratch {
     pub task_flows: Vec<TaskFlow>,
     pub bound_flows: Vec<mcs_can::CanFlow>,
     pub bound_delays: Vec<Option<Time>>,
-    // Outer fixed point: release lower bounds of the static scheduler.
-    pub proc_release: HashMap<ProcessId, Time>,
-    pub msg_release: HashMap<MessageId, Time>,
-    pub next_proc_release: HashMap<ProcessId, Time>,
-    pub next_msg_release: HashMap<MessageId, Time>,
+    // Outer fixed point: release lower bounds of the static scheduler,
+    // dense by entity index (`None` = no bound). Dense tables compare in
+    // O(n) without hashing — the settle test and the schedule memo hit test
+    // are plain slice comparisons.
+    pub proc_release: Vec<Option<Time>>,
+    pub msg_release: Vec<Option<Time>>,
+    pub next_proc_release: Vec<Option<Time>>,
+    pub next_msg_release: Vec<Option<Time>>,
     // Results of the last run.
     pub queues: QueueBounds,
     pub graph_response: Vec<Time>,
@@ -382,19 +518,138 @@ pub struct Evaluator<'s> {
     has_run: bool,
     last_converged: bool,
     last_iterations: u32,
+    /// Whether the outer schedule↔analysis loop of the last run settled.
+    last_settled: bool,
     /// Cache slot holding the schedule of the last completed evaluation.
     last_sched_slot: usize,
+    /// Whether the final holistic pass of the last run reached stability
+    /// (as opposed to exhausting its iteration cap).
+    last_holistic_stable: bool,
+    /// Monotone id of evaluation attempts, stamped into analysis snapshots.
+    run_counter: u64,
+    /// `run_counter` of the last evaluation that completed successfully —
+    /// only its snapshots are valid delta baselines.
+    last_success_run: u64,
+    /// The configuration of that last successful evaluation (the base the
+    /// optimizer's accumulated seeds are relative to).
+    success_config: Option<SystemConfig>,
+    /// Staging buffer for schedule rebuilds on the delta path, so the old
+    /// schedule stays diffable until the rebuild lands.
+    sched_tmp: TtcSchedule,
+    /// Schedule-diff output of the current outer iteration: processes whose
+    /// start / messages whose frame placement moved in the rebuild.
+    diff_procs: Vec<ProcessId>,
+    diff_msgs: Vec<MessageId>,
+    /// Whether the last prepared configuration differs from the previous
+    /// validated one only by offset pins and/or a per-resource priority
+    /// permutation — the precondition of the delta path's no-op probe (all
+    /// equation changes stay inside the seed position spans).
+    swap_only_change: bool,
+    /// Whether any non-structural delta evaluation has been requested:
+    /// only then are per-iteration analysis snapshots worth stamping.
+    delta_live: bool,
+    /// Holistic passes served by a dirty-cone delta / by a full re-analysis.
+    delta_evals: u64,
+    full_evals: u64,
 }
 
-/// One memoized scheduling pass: the inputs it was computed from and the
-/// resulting schedule (reused in place on recompute).
+/// One memoized scheduling pass: the inputs it was computed from, the
+/// resulting schedule (reused in place on recompute), and a snapshot of the
+/// holistic analysis state the schedule converged to — the baseline the
+/// delta path extends at this outer iteration.
 #[derive(Default)]
 struct SchedCacheEntry {
     valid: bool,
     tdma: mcs_model::TdmaConfig,
-    proc_release: HashMap<ProcessId, Time>,
-    msg_release: HashMap<MessageId, Time>,
+    proc_release: Vec<Option<Time>>,
+    msg_release: Vec<Option<Time>>,
     schedule: TtcSchedule,
+    analysis: AnalysisSnapshot,
+    /// Seeds the snapshot is *behind* by: when an intermediate outer
+    /// iteration is skipped (its cone touched no release input, so its only
+    /// product — the derived releases — was read straight off the
+    /// snapshot), the configuration/diff seeds of the skipped evaluation
+    /// accumulate here and join the cone of the next delta evaluation that
+    /// extends this snapshot. Cleared whenever the slot is re-analyzed.
+    pending_seeds: DeltaSeeds,
+    pending_moved_procs: Vec<ProcessId>,
+    pending_moved_msgs: Vec<MessageId>,
+}
+
+/// The timing state of one holistic analysis, as left in [`Scratch`] after
+/// analyzing one outer iteration's schedule. `run` ties the snapshot to the
+/// evaluation that produced it: the delta path only extends snapshots
+/// stamped by the immediately preceding successful evaluation (whose
+/// configuration is the seeds' base).
+#[derive(Clone, Debug, Default)]
+struct AnalysisSnapshot {
+    /// The `run_counter` value of the evaluation that stamped this snapshot
+    /// (0 = never stamped / invalidated by a schedule rebuild).
+    run: u64,
+    /// Whether the holistic pass reached stability (vs the iteration cap) —
+    /// only a stable state is a least fixed point a delta run may extend.
+    stable: bool,
+    /// Whether any kernel diverged (clamped at the horizon).
+    diverged: bool,
+    po: Vec<Time>,
+    pj: Vec<Time>,
+    pw: Vec<Time>,
+    pr: Vec<Time>,
+    can_o: Vec<Time>,
+    can_j: Vec<Time>,
+    can_w: Vec<Time>,
+    can_r: Vec<Time>,
+    ttp_o: Vec<Time>,
+    ttp_j: Vec<Time>,
+    ttp_w: Vec<Time>,
+    ttp_r: Vec<Time>,
+    arrival: Vec<Time>,
+    backlog: Vec<u64>,
+    fifo_warm: Vec<Time>,
+}
+
+impl AnalysisSnapshot {
+    /// Stamps the snapshot from the scratch state (allocation-reusing).
+    fn save(&mut self, s: &Scratch, run: u64, stable: bool) {
+        self.run = run;
+        self.stable = stable;
+        self.diverged = s.diverged;
+        self.po.clone_from(&s.po);
+        self.pj.clone_from(&s.pj);
+        self.pw.clone_from(&s.pw);
+        self.pr.clone_from(&s.pr);
+        self.can_o.clone_from(&s.can_o);
+        self.can_j.clone_from(&s.can_j);
+        self.can_w.clone_from(&s.can_w);
+        self.can_r.clone_from(&s.can_r);
+        self.ttp_o.clone_from(&s.ttp_o);
+        self.ttp_j.clone_from(&s.ttp_j);
+        self.ttp_w.clone_from(&s.ttp_w);
+        self.ttp_r.clone_from(&s.ttp_r);
+        self.arrival.clone_from(&s.arrival);
+        self.backlog.clone_from(&s.backlog);
+        self.fifo_warm.clone_from(&s.fifo_warm);
+    }
+
+    /// Restores the scratch timing state from the snapshot.
+    fn load(&self, s: &mut Scratch) {
+        s.diverged = self.diverged;
+        s.po.clone_from(&self.po);
+        s.pj.clone_from(&self.pj);
+        s.pw.clone_from(&self.pw);
+        s.pr.clone_from(&self.pr);
+        s.can_o.clone_from(&self.can_o);
+        s.can_j.clone_from(&self.can_j);
+        s.can_w.clone_from(&self.can_w);
+        s.can_r.clone_from(&self.can_r);
+        s.ttp_o.clone_from(&self.ttp_o);
+        s.ttp_j.clone_from(&self.ttp_j);
+        s.ttp_w.clone_from(&self.ttp_w);
+        s.ttp_r.clone_from(&self.ttp_r);
+        s.arrival.clone_from(&self.arrival);
+        s.backlog.clone_from(&self.backlog);
+        s.fifo_warm.clone_from(&self.fifo_warm);
+    }
 }
 
 impl<'s> Evaluator<'s> {
@@ -414,7 +669,19 @@ impl<'s> Evaluator<'s> {
             has_run: false,
             last_converged: false,
             last_iterations: 0,
+            last_settled: false,
             last_sched_slot: 0,
+            last_holistic_stable: false,
+            run_counter: 0,
+            last_success_run: 0,
+            success_config: None,
+            sched_tmp: TtcSchedule::new(),
+            diff_procs: Vec::new(),
+            diff_msgs: Vec::new(),
+            swap_only_change: false,
+            delta_live: false,
+            delta_evals: 0,
+            full_evals: 0,
         }
     }
 
@@ -445,69 +712,533 @@ impl<'s> Evaluator<'s> {
     /// be scheduled; an unschedulable but well-formed configuration is not
     /// an error (its summary has a positive δΓ cost).
     pub fn evaluate(&mut self, config: &SystemConfig) -> Result<EvalSummary, AnalysisError> {
-        // Validation and every configuration-derived table are pure
-        // functions of (system, configuration): an unchanged configuration
-        // skips both.
+        self.prepare_config(config)?;
+        self.evaluate_inner(config, None)
+    }
+
+    /// The shared outer schedule↔analysis loop. With `delta_seeds`, every
+    /// outer iteration tries to extend the analysis snapshot of the previous
+    /// successful evaluation through the restricted dirty-cone passes
+    /// instead of re-running the full holistic fixed point: a schedule memo
+    /// hit extends the snapshot directly, a rebuild diffs the new schedule
+    /// against the snapshot's and feeds the moved placements into the cone.
+    /// Iterations whose snapshot is unusable (stale, diverged, unstable),
+    /// whose cone exceeds the frontier bound, or whose restricted passes
+    /// exhaust their budget take the full path of that iteration — so the
+    /// trajectory, and with it every result, is bit-identical either way.
+    fn evaluate_inner(
+        &mut self,
+        config: &SystemConfig,
+        delta_seeds: Option<&DeltaSeeds>,
+    ) -> Result<EvalSummary, AnalysisError> {
+        self.has_run = false;
+        self.run_counter += 1;
+        let run = self.run_counter;
+        let base_run = self.last_success_run;
+        let system = self.system;
+        let (ttp_queue, grid_slack) = self.ttp_queue(config);
+        if self.sched_round != Some(ttp_queue.round) {
+            critical_path_priorities_into(system, &config.tdma, &mut self.sched_priorities);
+            self.sched_round = Some(ttp_queue.round);
+        }
+
+        seed_pins(
+            system,
+            config,
+            &mut self.scratch.proc_release,
+            &mut self.scratch.msg_release,
+        );
+
+        // Frontier bound: a dirty cone past this size pays the delta
+        // bookkeeping without saving kernel work.
+        let entity_total = self.ctx.proc_is_tt.len() + 2 * self.ctx.route.len();
+        let cone_limit =
+            entity_total.saturating_mul(self.params.delta_frontier_percent.min(100) as usize) / 100;
+
+        let mut iterations = 0;
+        let mut settled = false;
+        let mut holistic_stable = false;
+        let mut analyzed: Option<usize> = None;
+        // Whether every analyzed iteration extended the delta baseline —
+        // only then is the final state snapshot-linked to the previous
+        // evaluation's and the per-queue bound memo usable. `extended_slot`
+        // tracks *which* iteration's snapshot the scratch currently
+        // extends: the identical-schedule shortcut leaves the scratch on an
+        // earlier iteration's analysis, which must not pass for the final
+        // one.
+        let base_final_slot = self.last_sched_slot;
+        let mut cone_covers_all = delta_seeds.is_some();
+        let mut extended_slot: Option<usize> = None;
+        while iterations < self.params.max_outer_iterations {
+            let slot = iterations as usize;
+            iterations += 1;
+            if self.sched_cache.len() <= slot {
+                self.sched_cache.push(SchedCacheEntry::default());
+            }
+            let hit = {
+                let entry = &self.sched_cache[slot];
+                entry.valid
+                    && entry.tdma == config.tdma
+                    && entry.proc_release == self.scratch.proc_release
+                    && entry.msg_release == self.scratch.msg_release
+            };
+            self.diff_procs.clear();
+            self.diff_msgs.clear();
+            if !hit {
+                // Can the rebuilt schedule still extend this slot's
+                // snapshot? Only if the snapshot is a stable, converged
+                // state of the delta base — then the rebuild is staged and
+                // diffed, and the moved placements join the dirty cone.
+                let diffable = delta_seeds.is_some() && {
+                    let entry = &self.sched_cache[slot];
+                    entry.valid
+                        && entry.analysis.run == base_run
+                        && entry.analysis.stable
+                        && !entry.analysis.diverged
+                };
+                let entry = &mut self.sched_cache[slot];
+                entry.valid = false;
+                let input = DenseSchedulerInput {
+                    system,
+                    tdma: &config.tdma,
+                    process_releases: &self.scratch.proc_release,
+                    message_releases: &self.scratch.msg_release,
+                };
+                if diffable {
+                    list_schedule_dense_into(&input, &self.sched_priorities, &mut self.sched_tmp)?;
+                    self.sched_tmp.diff_into(
+                        &entry.schedule,
+                        &mut self.diff_procs,
+                        &mut self.diff_msgs,
+                    );
+                    std::mem::swap(&mut entry.schedule, &mut self.sched_tmp);
+                    // The snapshot stays stamped: the diff seeds cover
+                    // everything the rebuild moved.
+                } else {
+                    entry.analysis.run = 0;
+                    list_schedule_dense_into(&input, &self.sched_priorities, &mut entry.schedule)?;
+                }
+                entry.tdma.clone_from(&config.tdma);
+                entry.proc_release.clone_from(&self.scratch.proc_release);
+                entry.msg_release.clone_from(&self.scratch.msg_release);
+                entry.valid = true;
+            }
+            // The holistic analysis is a pure function of (schedule,
+            // configuration): when changed releases produced a schedule
+            // identical to the one analyzed in the previous outer iteration
+            // of this call, the scratch already holds its fixed point.
+            let same_schedule = analyzed
+                .map(|prev| self.sched_cache[prev].schedule == self.sched_cache[slot].schedule)
+                .unwrap_or(false);
+            self.last_sched_slot = slot;
+            let mut skipped = false;
+            if !same_schedule {
+                // Delta baseline: a snapshot stamped by the immediately
+                // preceding successful evaluation, converged and stable —
+                // exactly the state the dirty cone (joined with whatever
+                // the snapshot is pending behind) is a diff against.
+                let baseline = delta_seeds.is_some() && {
+                    let snap = &self.sched_cache[slot].analysis;
+                    snap.run == base_run && snap.stable && !snap.diverged
+                };
+                let mut ran_delta = false;
+                if baseline {
+                    let entry = &self.sched_cache[slot];
+                    let cone = close_dirty(
+                        &self.ctx,
+                        &mut self.scratch,
+                        &[
+                            delta_seeds.expect("baseline implies delta seeds"),
+                            &entry.pending_seeds,
+                        ],
+                        &[
+                            (&self.diff_procs, &self.diff_msgs),
+                            (&entry.pending_moved_procs, &entry.pending_moved_msgs),
+                        ],
+                    );
+                    // The no-op probe additionally needs the change to be a
+                    // per-resource priority permutation (see
+                    // `swap_only_change`).
+                    self.scratch.dirty.probe_ok &= self.swap_only_change;
+                    if cone.entities <= cone_limit {
+                        if !cone.feeders && iterations < self.params.max_outer_iterations {
+                            // The cone contains no release input, so this
+                            // iteration's only product — the derived
+                            // release bounds — reads straight off the
+                            // snapshot. Unless the loop settles here (then
+                            // the final timing state is actually needed),
+                            // the whole re-analysis of this iteration is
+                            // skipped; its seeds go on the slot's pending
+                            // list so the next evaluation's cone still
+                            // covers the distance to the snapshot.
+                            {
+                                let snap = &self.sched_cache[slot].analysis;
+                                derive_releases_into(
+                                    system,
+                                    &self.ctx,
+                                    config,
+                                    (&snap.arrival, &snap.po, &snap.pr),
+                                    &mut self.scratch.next_proc_release,
+                                    &mut self.scratch.next_msg_release,
+                                );
+                            }
+                            let s = &self.scratch;
+                            let will_settle = s.next_proc_release == s.proc_release
+                                && s.next_msg_release == s.msg_release;
+                            if !will_settle {
+                                let seeds = delta_seeds.expect("baseline implies delta seeds");
+                                let entry = &mut self.sched_cache[slot];
+                                entry.pending_seeds.merge(seeds);
+                                entry
+                                    .pending_moved_procs
+                                    .extend_from_slice(&self.diff_procs);
+                                entry.pending_moved_msgs.extend_from_slice(&self.diff_msgs);
+                                let backlog = entry.pending_seeds.processes().len()
+                                    + entry.pending_seeds.messages().len()
+                                    + entry.pending_moved_procs.len()
+                                    + entry.pending_moved_msgs.len();
+                                // Unbounded pending growth (a slot skipped
+                                // for thousands of evaluations) would make
+                                // the closure re-chew an ever-longer seed
+                                // list; past a generous bound, retire the
+                                // snapshot instead — the next evaluation
+                                // re-analyzes the slot and starts afresh.
+                                entry.analysis.run =
+                                    if backlog > 4 * entity_total { 0 } else { run };
+                                skipped = true;
+                                self.delta_evals += 1;
+                            }
+                            // On `will_settle` this is the final iteration:
+                            // fall through and materialize its analysis.
+                        }
+                        if !skipped {
+                            self.sched_cache[slot].analysis.load(&mut self.scratch);
+                            ran_delta = Holistic {
+                                ctx: &self.ctx,
+                                system,
+                                schedule: &self.sched_cache[slot].schedule,
+                                ttp_queue,
+                                grid_slack,
+                                horizon: self.ctx.horizon,
+                                max_iterations: self.params.max_holistic_iterations,
+                                fifo_bound: self.params.fifo_bound,
+                                s: &mut self.scratch,
+                            }
+                            .run_delta();
+                            // An exhausted pass budget leaves the scratch
+                            // mid-climb: the full pass below resets and
+                            // re-derives it exactly.
+                        }
+                    }
+                }
+                if skipped {
+                    // Nothing analyzed: the scratch still holds whatever
+                    // iteration was analyzed last.
+                } else if ran_delta {
+                    holistic_stable = true;
+                    extended_slot = Some(slot);
+                    self.delta_evals += 1;
+                } else {
+                    self.full_evals += 1;
+                    cone_covers_all = false;
+                    holistic_stable = Holistic {
+                        ctx: &self.ctx,
+                        system,
+                        schedule: &self.sched_cache[slot].schedule,
+                        ttp_queue,
+                        grid_slack,
+                        horizon: self.ctx.horizon,
+                        max_iterations: self.params.max_holistic_iterations,
+                        fifo_bound: self.params.fifo_bound,
+                        s: &mut self.scratch,
+                    }
+                    .run();
+                }
+            }
+            if !skipped {
+                analyzed = Some(slot);
+                // Snapshots are only consumed by delta evaluations, so pure
+                // full-path consumers (one-shot analyses, the structural OS
+                // search) skip the copies; once a search has made one
+                // non-structural delta call, every evaluation — including
+                // interleaved structural moves and full rematerializations —
+                // keeps stamping fresh baselines for the next delta call.
+                if delta_seeds.is_some() || self.delta_live {
+                    let entry = &mut self.sched_cache[slot];
+                    entry.analysis.save(&self.scratch, run, holistic_stable);
+                    entry.pending_seeds.clear();
+                    entry.pending_moved_procs.clear();
+                    entry.pending_moved_msgs.clear();
+                }
+                // Re-derive the release lower bounds from the analysis.
+                self.derive_releases(config);
+            }
+            let s = &mut self.scratch;
+            let done = s.next_proc_release == s.proc_release && s.next_msg_release == s.msg_release;
+            std::mem::swap(&mut s.proc_release, &mut s.next_proc_release);
+            std::mem::swap(&mut s.msg_release, &mut s.next_msg_release);
+            if done {
+                settled = true;
+                break;
+            }
+        }
+
+        // Queue bounds are needed only for the final analysis state. When
+        // the whole trajectory extended the previous evaluation's snapshots
+        // and the final state extends the snapshot the cached bounds were
+        // computed from, queues without a dirty member provably kept their
+        // bounds.
+        let queue_delta = cone_covers_all && extended_slot == Some(base_final_slot);
+        self.finish_queue_bounds(ttp_queue, grid_slack, queue_delta);
+        self.last_settled = settled;
+        self.last_holistic_stable = holistic_stable;
+        let summary = self.summarize(settled, iterations);
+        self.last_success_run = run;
+        match &mut self.success_config {
+            Some(previous) => previous.clone_from(config),
+            slot => *slot = Some(config.clone()),
+        }
+        Ok(summary)
+    }
+
+    /// Incrementally re-evaluates a configuration that differs from the
+    /// last successfully evaluated one only in the `seeds` entities,
+    /// re-running only the RTA kernels inside the dependency cone of the
+    /// change. Results — the summary, every per-entity timing, the queue
+    /// bounds and the convergence metadata — are **bit-identical** to a full
+    /// [`evaluate`](Evaluator::evaluate) of the same configuration.
+    ///
+    /// # The delta contract
+    ///
+    /// `seeds` must over-approximate the difference between `config` and the
+    /// configuration of this evaluator's last *successful* evaluation
+    /// (search loops accumulate seeds across rejected/reverted moves and
+    /// clear them after every successful call). The seeds are closed over
+    /// the static dependency graph (see [`crate::delta`]) and the outer
+    /// schedule↔analysis loop replays the evaluation trajectory:
+    ///
+    /// * an outer iteration whose schedule inputs (TDMA round + release
+    ///   bounds) hit the memo **and** whose analysis snapshot was stamped by
+    ///   the immediately preceding successful evaluation extends that
+    ///   snapshot — clean entities keep their converged fixed-point values,
+    ///   dirty entities restart from the bottom of the lattice and re-climb
+    ///   against them, reaching the same least fixed point in a fraction of
+    ///   the kernel work;
+    /// * an iteration whose release bounds changed (the cone touched a FIFO
+    ///   arrival or an ET-sent frame's release), whose snapshot is missing,
+    ///   diverged or unstable, or whose restricted passes exhaust their
+    ///   budget is re-scheduled and re-analyzed in full — from that point
+    ///   the replay *is* the full evaluation.
+    ///
+    /// The call transparently takes the full path outright for structural
+    /// seeds (TDMA changes — they alter the FIFO drain parameters every
+    /// kernel reads), for priority changes that are not a per-resource
+    /// *permutation* of the base assignment (a value moved to a fresh level
+    /// perturbs hp sets above its new position, outside the closure's
+    /// bands), or when there is no successful evaluation to diff against.
+    /// Offset-pin changes need no seeds at all: they act purely through the
+    /// release bounds, which the trajectory replay re-derives and re-checks
+    /// anyway.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`evaluate`](Evaluator::evaluate): the same configurations
+    /// are invalid on both paths.
+    pub fn evaluate_delta(
+        &mut self,
+        config: &SystemConfig,
+        seeds: &DeltaSeeds,
+    ) -> Result<EvalSummary, AnalysisError> {
+        if !seeds.is_structural() {
+            self.delta_live = true;
+        }
+        if !self.delta_applicable(config, seeds) {
+            return self.evaluate(config);
+        }
+        self.prepare_config(config)?;
+        self.evaluate_inner(config, Some(seeds))
+    }
+
+    /// How many holistic passes were served by the restricted dirty-cone
+    /// analysis vs a full re-analysis, since construction.
+    pub fn delta_stats(&self) -> (u64, u64) {
+        (self.delta_evals, self.full_evals)
+    }
+
+    /// Whether the delta preconditions hold for `config`: non-structural
+    /// seeds, an unchanged TDMA round, and a priority assignment that is a
+    /// per-resource *permutation* of the last successful evaluation's (the
+    /// seeds' base). The permutation requirement is what licenses the
+    /// priority-band closure of [`crate::delta`]: a priority moved to a
+    /// fresh level would change hp sets *above* its new position, outside
+    /// the marked bands.
+    fn delta_applicable(&self, config: &SystemConfig, seeds: &DeltaSeeds) -> bool {
+        if seeds.is_structural() {
+            return false;
+        }
+        match &self.success_config {
+            Some(prev) => {
+                prev.tdma == config.tdma && self.priority_change_is_permutation(prev, config)
+            }
+            None => false,
+        }
+    }
+
+    /// Validates ψ and (re)builds the configuration-derived tables when the
+    /// configuration changed since the last successful validation.
+    ///
+    /// Validation and every configuration-derived table are pure functions
+    /// of (system, configuration): an unchanged configuration skips both.
+    fn prepare_config(&mut self, config: &SystemConfig) -> Result<(), AnalysisError> {
         let config_changed =
             !self.last_validated_ok || self.last_validated.as_ref() != Some(config);
-        if config_changed {
-            self.last_validated_ok = false;
+        if !config_changed {
+            self.swap_only_change = true;
+            return Ok(());
+        }
+        self.swap_only_change = false;
+        // Pins-only change: validation never reads the offset pins, and
+        // every configuration-derived table depends on β and π only — an
+        // unchanged TDMA round + priority assignment keeps both.
+        if self.last_validated_ok {
+            if let Some(prev) = &self.last_validated {
+                if prev.tdma == config.tdma && prev.priorities == config.priorities {
+                    self.swap_only_change = true;
+                    match &mut self.last_validated {
+                        Some(previous) => previous.clone_from(config),
+                        slot => *slot = Some(config.clone()),
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        // A priority change that merely *permutes* the previous (validated)
+        // assignment within each resource preserves validity outright:
+        // completeness (every changed ET process / CAN message keeps a
+        // priority) and per-resource uniqueness (the value multiset per
+        // CPU/bus is unchanged) are checked exactly, so re-validation would
+        // be a no-op. Anything else re-validates in full.
+        let skip_validation = self.last_validated_ok
+            && self
+                .last_validated
+                .as_ref()
+                .map(|prev| {
+                    prev.tdma == config.tdma && self.priority_change_is_permutation(prev, config)
+                })
+                .unwrap_or(false);
+        self.last_validated_ok = false;
+        self.swap_only_change = skip_validation;
+        if !skip_validation {
             validate_config(self.system, config)?;
         }
-        self.has_run = false;
-        let system = self.system;
-        let app = &system.application;
-        let arch = &system.architecture;
+        let app = &self.system.application;
 
-        if config_changed {
-            // Configuration-derived tables: the priority lookups flattened
-            // to dense vectors, the priority-sorted evaluation orders
-            // (priorities are unique per resource, so the orders are total)
-            // and the CAN suffix-max blocking bounds — these turn every
-            // kernel's higher-priority filtering into prefix scans.
-            let s = &mut self.scratch;
-            s.msg_priority.clear();
-            s.msg_priority.extend(
-                app.messages()
-                    .iter()
-                    .map(|m| config.priorities.message(m.id())),
-            );
-            s.proc_priority.clear();
-            s.proc_priority.extend(
-                app.processes()
-                    .iter()
-                    .map(|p| config.priorities.process(p.id())),
-            );
-            s.can_order.clear();
-            s.can_order.extend(self.ctx.can_ids.iter().copied());
-            s.can_order.sort_by_key(|&mi| {
-                s.msg_priority[mi].expect("validated configuration assigns CAN priorities")
-            });
-            s.can_blocking.clear();
-            s.can_blocking.resize(s.can_order.len(), Time::ZERO);
-            let mut suffix = Time::ZERO;
-            for k in (0..s.can_order.len()).rev() {
-                s.can_blocking[k] = suffix;
-                suffix = suffix.max(self.ctx.can_c[s.can_order[k]]);
-            }
-            s.node_order.resize(self.ctx.et_nodes.len(), Vec::new());
-            for (ni, et) in self.ctx.et_nodes.iter().enumerate() {
-                let order = &mut s.node_order[ni];
-                order.clear();
-                order.extend(et.procs.iter().copied());
-                order.sort_by_key(|p| {
-                    s.proc_priority[p.index()]
-                        .expect("validated configuration assigns ET priorities")
-                });
-            }
-            // `clone_from` reuses the previous snapshot's allocations, so
-            // a changed configuration costs no fresh allocation here.
-            match &mut self.last_validated {
-                Some(previous) => previous.clone_from(config),
-                slot => *slot = Some(config.clone()),
-            }
-            self.last_validated_ok = true;
+        // Configuration-derived tables: the priority lookups flattened
+        // to dense vectors, the priority-sorted evaluation orders
+        // (priorities are unique per resource, so the orders are total),
+        // their inverse position tables (the delta closure reads priority
+        // bands from them) and the CAN suffix-max blocking bounds — these
+        // turn every kernel's higher-priority filtering into prefix scans.
+        let s = &mut self.scratch;
+        s.msg_priority.clear();
+        s.msg_priority.extend(
+            app.messages()
+                .iter()
+                .map(|m| config.priorities.message(m.id())),
+        );
+        s.proc_priority.clear();
+        s.proc_priority.extend(
+            app.processes()
+                .iter()
+                .map(|p| config.priorities.process(p.id())),
+        );
+        s.can_order.clear();
+        s.can_order.extend(self.ctx.can_ids.iter().copied());
+        s.can_order.sort_by_key(|&mi| {
+            s.msg_priority[mi].expect("validated configuration assigns CAN priorities")
+        });
+        s.can_pos.clear();
+        s.can_pos.resize(s.msg_priority.len(), usize::MAX);
+        for (k, &mi) in s.can_order.iter().enumerate() {
+            s.can_pos[mi] = k;
         }
+        s.can_blocking.clear();
+        s.can_blocking.resize(s.can_order.len(), Time::ZERO);
+        let mut suffix = Time::ZERO;
+        for k in (0..s.can_order.len()).rev() {
+            s.can_blocking[k] = suffix;
+            suffix = suffix.max(self.ctx.can_c[s.can_order[k]]);
+        }
+        s.node_order.resize(self.ctx.et_nodes.len(), Vec::new());
+        s.node_pos.clear();
+        s.node_pos.resize(s.proc_priority.len(), usize::MAX);
+        for (ni, et) in self.ctx.et_nodes.iter().enumerate() {
+            let order = &mut s.node_order[ni];
+            order.clear();
+            order.extend(et.procs.iter().copied());
+            order.sort_by_key(|p| {
+                s.proc_priority[p.index()].expect("validated configuration assigns ET priorities")
+            });
+            for (idx, p) in order.iter().enumerate() {
+                s.node_pos[p.index()] = idx;
+            }
+        }
+        // `clone_from` reuses the previous snapshot's allocations, so
+        // a changed configuration costs no fresh allocation here.
+        match &mut self.last_validated {
+            Some(previous) => previous.clone_from(config),
+            slot => *slot = Some(config.clone()),
+        }
+        self.last_validated_ok = true;
+        Ok(())
+    }
+
+    /// Exact validity-preservation check: the new priority assignment is a
+    /// per-resource permutation of the previous one — every changed ET
+    /// process and CAN-leg message keeps a priority, and the changed values
+    /// permute within their CPU / the bus (multiset equality), so
+    /// per-resource uniqueness is preserved. Changes to priorities the
+    /// validator never reads (TT processes, messages without a CAN leg) are
+    /// ignored.
+    fn priority_change_is_permutation(&self, prev: &SystemConfig, next: &SystemConfig) -> bool {
+        let app = &self.system.application;
+        // (resource group, priority level) of every changed, validated slot.
+        let mut old_vals: Vec<(u32, u32)> = Vec::new();
+        let mut new_vals: Vec<(u32, u32)> = Vec::new();
+        for m in app.messages() {
+            let o = prev.priorities.message(m.id());
+            let n = next.priorities.message(m.id());
+            if o == n || !self.ctx.route[m.id().index()].uses_can() {
+                continue;
+            }
+            let (Some(o), Some(n)) = (o, n) else {
+                return false;
+            };
+            old_vals.push((u32::MAX, o.level()));
+            new_vals.push((u32::MAX, n.level()));
+        }
+        for p in app.processes() {
+            let o = prev.priorities.process(p.id());
+            let n = next.priorities.process(p.id());
+            if o == n || self.ctx.proc_is_tt[p.id().index()] {
+                continue;
+            }
+            let (Some(o), Some(n)) = (o, n) else {
+                return false;
+            };
+            let node = p.node().raw();
+            old_vals.push((node, o.level()));
+            new_vals.push((node, n.level()));
+        }
+        old_vals.sort_unstable();
+        new_vals.sort_unstable();
+        old_vals == new_vals
+    }
+
+    /// The gateway-slot FIFO parameters and the TDMA grid slack of ψ.
+    fn ttp_queue(&self, config: &SystemConfig) -> (TtpQueueParams, Time) {
+        let arch = &self.system.architecture;
+        let app = &self.system.application;
         let gateway = arch.gateway();
         let (gw_slot, gw_cfg) = config
             .tdma
@@ -526,111 +1257,57 @@ impl<'s> Evaluator<'s> {
             } else {
                 ttp_queue.round
             };
-        if self.sched_round != Some(ttp_queue.round) {
-            critical_path_priorities_into(system, &config.tdma, &mut self.sched_priorities);
-            self.sched_round = Some(ttp_queue.round);
-        }
+        (ttp_queue, grid_slack)
+    }
 
-        seed_pins(
+    /// Re-derives the release lower bounds of the static scheduler from the
+    /// current analysis state, into the `next_*` tables.
+    fn derive_releases(&mut self, config: &SystemConfig) {
+        let system = self.system;
+        let ctx = &self.ctx;
+        let s = &mut self.scratch;
+        derive_releases_into(
             system,
+            ctx,
             config,
-            &mut self.scratch.proc_release,
-            &mut self.scratch.msg_release,
+            (&s.arrival, &s.po, &s.pr),
+            &mut s.next_proc_release,
+            &mut s.next_msg_release,
         );
+    }
 
-        let mut iterations = 0;
-        let mut settled = false;
-        while iterations < self.params.max_outer_iterations {
-            let slot = iterations as usize;
-            iterations += 1;
-            if self.sched_cache.len() <= slot {
-                self.sched_cache.push(SchedCacheEntry::default());
-            }
-            let hit = {
-                let entry = &self.sched_cache[slot];
-                entry.valid
-                    && entry.tdma == config.tdma
-                    && entry.proc_release == self.scratch.proc_release
-                    && entry.msg_release == self.scratch.msg_release
-            };
-            if !hit {
-                let entry = &mut self.sched_cache[slot];
-                entry.valid = false;
-                let input = SchedulerInput {
-                    system,
-                    tdma: &config.tdma,
-                    process_releases: &self.scratch.proc_release,
-                    message_releases: &self.scratch.msg_release,
-                };
-                list_schedule_into(&input, &self.sched_priorities, &mut entry.schedule)?;
-                entry.tdma.clone_from(&config.tdma);
-                entry.proc_release.clone_from(&self.scratch.proc_release);
-                entry.msg_release.clone_from(&self.scratch.msg_release);
-                entry.valid = true;
-            }
-            self.last_sched_slot = slot;
-            Holistic {
-                ctx: &self.ctx,
-                system,
-                schedule: &self.sched_cache[slot].schedule,
-                ttp_queue,
-                grid_slack,
-                horizon: self.ctx.horizon,
-                max_iterations: self.params.max_holistic_iterations,
-                fifo_bound: self.params.fifo_bound,
-                s: &mut self.scratch,
-            }
-            .run();
-
-            // Re-derive the release lower bounds from the analysis.
-            let s = &mut self.scratch;
-            seed_pins(
-                system,
-                config,
-                &mut s.next_proc_release,
-                &mut s.next_msg_release,
-            );
-            for &mi in &self.ctx.fifo_ids {
-                // Destination TT process must not start before the worst-case
-                // arrival through Out_TTP.
-                let message = &app.messages()[mi];
-                let arrival = s.arrival[mi].min(self.ctx.horizon);
-                let entry = s
-                    .next_proc_release
-                    .entry(message.dest())
-                    .or_insert(Time::ZERO);
-                *entry = (*entry).max(arrival);
-            }
-            for &mi in &self.ctx.et_ttp_senders {
-                // TTP frames whose sender runs under priorities (gateway
-                // CPU): the frame cannot leave before the sender's
-                // worst-case completion.
-                let message = &app.messages()[mi];
-                let sender = message.source().index();
-                let done = s.po[sender]
-                    .saturating_add(s.pr[sender])
-                    .min(self.ctx.horizon);
-                let entry = s.next_msg_release.entry(message.id()).or_insert(Time::ZERO);
-                *entry = (*entry).max(done);
-            }
-
-            let done = s.next_proc_release == s.proc_release && s.next_msg_release == s.msg_release;
-            std::mem::swap(&mut s.proc_release, &mut s.next_proc_release);
-            std::mem::swap(&mut s.msg_release, &mut s.next_msg_release);
-            if done {
-                settled = true;
-                break;
-            }
+    /// Computes the queue bounds of the final analysis state.
+    fn finish_queue_bounds(&mut self, ttp_queue: TtpQueueParams, grid_slack: Time, delta: bool) {
+        let mut holistic = Holistic {
+            ctx: &self.ctx,
+            system: self.system,
+            schedule: &self.sched_cache[self.last_sched_slot].schedule,
+            ttp_queue,
+            grid_slack,
+            horizon: self.ctx.horizon,
+            max_iterations: self.params.max_holistic_iterations,
+            fifo_bound: self.params.fifo_bound,
+            s: &mut self.scratch,
+        };
+        if delta {
+            holistic.queue_bounds_delta();
+        } else {
+            holistic.queue_bounds();
         }
+    }
 
-        // Graph responses and the degree of schedulability, straight from
-        // the scratch vectors (no result maps on this path).
+    /// Graph responses and the degree of schedulability, straight from the
+    /// scratch vectors (no result maps on this path), plus the run metadata.
+    fn summarize(&mut self, settled: bool, iterations: u32) -> EvalSummary {
+        let system = self.system;
+        let app = &system.application;
+        let ctx = &self.ctx;
         let s = &mut self.scratch;
         s.graph_response.clear();
         let mut overrun: u64 = 0;
         let mut slack: i128 = 0;
         for (gi, graph) in app.graphs().iter().enumerate() {
-            let r = self.ctx.sinks[gi]
+            let r = ctx.sinks[gi]
                 .iter()
                 .map(|p| s.po[p.index()].saturating_add(s.pr[p.index()]))
                 .fold(Time::ZERO, Time::max);
@@ -639,7 +1316,7 @@ impl<'s> Evaluator<'s> {
             overrun += r.saturating_sub(d).ticks();
             slack += i128::from(r.ticks()) - i128::from(d.ticks());
         }
-        for &(pi, d) in &self.ctx.local_deadlines {
+        for &(pi, d) in &ctx.local_deadlines {
             let completion = s.po[pi].saturating_add(s.pr[pi]);
             overrun += completion.saturating_sub(d).ticks();
         }
@@ -648,7 +1325,7 @@ impl<'s> Evaluator<'s> {
         self.has_run = true;
         self.last_converged = converged;
         self.last_iterations = iterations;
-        Ok(EvalSummary {
+        EvalSummary {
             degree: SchedulabilityDegree {
                 overrun,
                 slack,
@@ -657,7 +1334,7 @@ impl<'s> Evaluator<'s> {
             total_buffers: s.queues.total(),
             converged,
             iterations,
-        })
+        }
     }
 
     /// Materializes the full [`AnalysisOutcome`] of the last successful
@@ -747,26 +1424,64 @@ impl<'s> Evaluator<'s> {
     }
 }
 
-/// Applies the optimizer's offset pins as baseline releases.
+/// Re-derives the release lower bounds of the static scheduler from an
+/// analysis state given as `(arrival, po, pr)` slices — the scratch vectors
+/// after a holistic run, or an iteration's snapshot when the delta path
+/// skips re-analyzing an intermediate iteration whose release inputs are
+/// provably unchanged.
+fn derive_releases_into(
+    system: &System,
+    ctx: &SystemContext,
+    config: &SystemConfig,
+    (arrival, po, pr): (&[Time], &[Time], &[Time]),
+    next_proc_release: &mut Vec<Option<Time>>,
+    next_msg_release: &mut Vec<Option<Time>>,
+) {
+    let app = &system.application;
+    seed_pins(system, config, next_proc_release, next_msg_release);
+    for &mi in &ctx.fifo_ids {
+        // Destination TT process must not start before the worst-case
+        // arrival through Out_TTP.
+        let message = &app.messages()[mi];
+        let bound = arrival[mi].min(ctx.horizon);
+        let entry = &mut next_proc_release[message.dest().index()];
+        *entry = Some(entry.unwrap_or(Time::ZERO).max(bound));
+    }
+    for &mi in &ctx.et_ttp_senders {
+        // TTP frames whose sender runs under priorities (gateway CPU): the
+        // frame cannot leave before the sender's worst-case completion.
+        let message = &app.messages()[mi];
+        let sender = message.source().index();
+        let done = po[sender].saturating_add(pr[sender]).min(ctx.horizon);
+        let entry = &mut next_msg_release[message.id().index()];
+        *entry = Some(entry.unwrap_or(Time::ZERO).max(done));
+    }
+}
+
+/// Applies the optimizer's offset pins as baseline releases (dense tables;
+/// `None` distinguishes "no bound" from an explicit zero pin).
 fn seed_pins(
     system: &System,
     config: &SystemConfig,
-    process_releases: &mut HashMap<ProcessId, Time>,
-    message_releases: &mut HashMap<MessageId, Time>,
+    process_releases: &mut Vec<Option<Time>>,
+    message_releases: &mut Vec<Option<Time>>,
 ) {
+    let app = &system.application;
     process_releases.clear();
+    process_releases.resize(app.processes().len(), None);
     message_releases.clear();
+    message_releases.resize(app.messages().len(), None);
     if config.offsets.is_empty() {
         return;
     }
-    for p in system.application.processes() {
+    for p in app.processes() {
         if let Some(t) = config.offsets.process(p.id()) {
-            process_releases.insert(p.id(), t);
+            process_releases[p.id().index()] = Some(t);
         }
     }
-    for m in system.application.messages() {
+    for m in app.messages() {
         if let Some(t) = config.offsets.message(m.id()) {
-            message_releases.insert(m.id(), t);
+            message_releases[m.id().index()] = Some(t);
         }
     }
 }

@@ -20,7 +20,7 @@
 //! clears (never reallocates) on entry.
 
 use mcs_can::CanFlow;
-use mcs_model::{MessageId, MessageRoute, Priority, System, Time};
+use mcs_model::{GraphId, MessageId, MessageRoute, Priority, System, Time};
 use mcs_ttp::TtcSchedule;
 
 use crate::context::{Scratch, SystemContext};
@@ -33,6 +33,20 @@ fn app_rank(priority: Priority) -> u64 {
     1 << 32 | u64::from(priority.level())
 }
 const TRANSFER_RANK: u64 = 0;
+
+/// Which entities one propagation walk touches (see
+/// [`Holistic::walk_graph`]).
+#[derive(Clone, Copy)]
+enum WalkMode {
+    /// Every entity; `first` additionally resolves the offsets.
+    Full {
+        /// Whether this is the first pass of the holistic run.
+        first: bool,
+    },
+    /// Only dirty entities, offsets included (their baseline schedule may
+    /// have moved); clean entities keep their values untouched.
+    Delta,
+}
 
 /// One holistic analysis pass over a fixed TTC schedule, reading the shared
 /// [`SystemContext`] and mutating only the [`Scratch`].
@@ -53,7 +67,10 @@ pub(crate) struct Holistic<'a> {
 
 impl Holistic<'_> {
     /// Runs the fixed point to convergence (or the iteration cap), leaving
-    /// the converged timing state and queue bounds in the scratch.
+    /// the converged timing state in the scratch; queue bounds are computed
+    /// separately by [`queue_bounds`](Holistic::queue_bounds) (the evaluator
+    /// needs them only for the final outer iteration). Returns whether the
+    /// passes reached stability (as opposed to exhausting the cap).
     ///
     /// Convergence is detected by the pass memos: an iteration in which
     /// every kernel pass saw inputs identical to the previous iteration has
@@ -61,7 +78,7 @@ impl Holistic<'_> {
     /// offsets, jitters and responses of both processes and message legs),
     /// which is exactly the classic fixed-point termination test without
     /// snapshotting the state vectors.
-    pub(crate) fn run(&mut self) {
+    pub(crate) fn run(&mut self) -> bool {
         self.reset();
         let mut first = true;
         for _ in 0..self.max_iterations {
@@ -71,10 +88,217 @@ impl Holistic<'_> {
             let fifo_stable = self.fifo_pass();
             let cpu_stable = self.cpu_pass();
             if can_stable && fifo_stable && cpu_stable {
-                break;
+                return true;
             }
         }
-        self.queue_bounds();
+        false
+    }
+
+    /// Restricted fixed point over the dirty cone of `Scratch::dirty`
+    /// (see [`crate::delta`]): the scratch holds the converged analysis of
+    /// this exact schedule under the delta base configuration (loaded from
+    /// the outer iteration's snapshot); clean entities keep those values,
+    /// dirty entities restart from the bottom of the lattice and re-climb
+    /// against the fixed clean inputs — reaching the same least fixed point
+    /// a full re-analysis would, in a fraction of the kernel work. Returns
+    /// whether stability was reached within the pass budget; on `false` the
+    /// caller must fall back to the full analysis (the scratch is
+    /// mid-climb).
+    pub(crate) fn run_delta(&mut self) -> bool {
+        let ctx = self.ctx;
+        // No-op probe: for a pure priority permutation, only the seed
+        // position spans' equations changed. Recompute those few fixed
+        // points cold against the loaded baseline; if every one reproduces
+        // its snapshot value, nothing in the cone can move — the baseline
+        // *is* this configuration's analysis.
+        if self.s.dirty.probe_ok {
+            self.build_delta_inputs();
+            if self.probe_unchanged() {
+                return true;
+            }
+        }
+        {
+            // Dirty entities restart from the bottom of the fixed-point
+            // lattice. Offsets are *kept*: they derive from the schedule and
+            // BCETs only, which are identical for this snapshot's schedule.
+            let s = &mut *self.s;
+            for pi in 0..s.dirty.procs.len() {
+                if s.dirty.procs[pi] {
+                    s.pj[pi] = Time::ZERO;
+                    s.pw[pi] = Time::ZERO;
+                    s.pr[pi] = ctx.proc_wcet[pi];
+                }
+            }
+            for mi in 0..s.dirty.can.len() {
+                if s.dirty.can[mi] {
+                    // `can_j` is left in place: for ETC-sent legs the next
+                    // jitter pass recomputes it from the (reset) sender
+                    // state before any kernel reads it, and for TTC→ETC legs
+                    // it is the constant transfer-process response.
+                    s.can_w[mi] = Time::ZERO;
+                    s.can_r[mi] = Time::ZERO;
+                }
+            }
+            // Positional dirty masks of the CAN and FIFO kernels (static
+            // across the delta passes).
+            let n = s.can_order.len();
+            s.can_dirty_pos.clear();
+            s.can_dirty_pos.resize(n, false);
+            for k in 0..n {
+                s.can_dirty_pos[k] = s.dirty.can[s.can_order[k]];
+            }
+            s.fifo_dirty_pos.clear();
+            s.fifo_dirty_pos.resize(ctx.fifo_ids.len(), false);
+            for (k, &mi) in ctx.fifo_ids.iter().enumerate() {
+                if s.dirty.ttp[mi] {
+                    s.fifo_dirty_pos[k] = true;
+                    // The FIFO leg restarts from the bottom as well.
+                    s.ttp_w[mi] = Time::ZERO;
+                    s.ttp_r[mi] = Time::ZERO;
+                    s.backlog[mi] = 0;
+                    s.fifo_warm[k] = Time::ZERO;
+                }
+            }
+        }
+        // Build the kernel input arrays once; the delta passes update only
+        // their dirty entries in place (clean flows cannot change), so each
+        // pass costs O(dirty) instead of O(system). A failed probe already
+        // staged them — the reset only touched scratch values whose array
+        // entries the first delta pass refreshes itself. The full-pass
+        // memos are bypassed entirely — `run`'s reset rebuilds them.
+        if !self.s.dirty.probe_ok {
+            self.build_delta_inputs();
+        }
+        let mut first = true;
+        for _ in 0..self.max_iterations {
+            self.propagate_jitters_delta();
+            let can_stable = self.can_pass_delta(first);
+            let fifo_stable = self.fifo_pass_delta(first);
+            let cpu_stable = self.cpu_pass_delta(first);
+            first = false;
+            if can_stable && fifo_stable && cpu_stable {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Probes the equation-dirty spans against the loaded baseline: every
+    /// affected fixed point is recomputed cold and compared to its snapshot
+    /// value. `true` means the whole dirty cone is provably value-clean.
+    /// Requires [`build_delta_inputs`](Holistic::build_delta_inputs) to
+    /// have staged the kernel arrays from the (unmodified) baseline state.
+    ///
+    /// Soundness (why a passing probe implies the baseline is the *least*
+    /// fixed point of the new equations, not merely *a* fixed point): a
+    /// priority permutation only adds or removes interference terms in the
+    /// span entities' equations. A removed term that reproduces the old
+    /// value must have contributed zero at the old state, and an added term
+    /// must evaluate to zero there (otherwise the cold climb would pass the
+    /// old value and mismatch). Every term is monotone in the state, so a
+    /// term that is zero at the old state is zero on the whole order
+    /// interval below it — the new fixed-point map coincides with the old
+    /// one on the entire climb range, and the from-bottom iterations (and
+    /// hence the least fixed points) are identical.
+    fn probe_unchanged(&mut self) -> bool {
+        let ctx = self.ctx;
+        let s = &*self.s;
+        if let Some((lo, hi)) = s.dirty.eq_can_span {
+            for k in lo..=hi {
+                let mi = s.can_order[k];
+                let w = mcs_can::queuing_delay_sorted(
+                    &s.can_flows,
+                    k,
+                    s.can_blocking[k],
+                    self.horizon,
+                    Time::ZERO,
+                );
+                if w != Some(s.can_w[mi]) {
+                    return false;
+                }
+            }
+        }
+        if let Some((lo, hi)) = s.dirty.eq_fifo_span {
+            for (k, &mi) in ctx.fifo_ids.iter().enumerate() {
+                let rank = s.fifo_flows[k].rank;
+                if rank < lo || rank > hi {
+                    continue;
+                }
+                let delay = match self.fifo_bound {
+                    FifoBound::PaperClosedForm => {
+                        fifo_delay_from(&s.fifo_flows, k, &self.ttp_queue, self.horizon, Time::ZERO)
+                    }
+                    FifoBound::SlotOccurrence => {
+                        fifo_delay_occurrence(&s.fifo_flows, k, &self.ttp_queue, self.horizon)
+                    }
+                };
+                let reproduced = delay.is_some_and(|d| {
+                    d.delay.saturating_add(self.grid_slack) == s.ttp_w[mi]
+                        && d.backlog == s.backlog[mi]
+                });
+                if !reproduced {
+                    return false;
+                }
+            }
+        }
+        for (ni, et) in ctx.et_nodes.iter().enumerate() {
+            let Some((lo, hi)) = s.dirty.eq_node_span[ni] else {
+                continue;
+            };
+            let offset = usize::from(et.is_gateway);
+            for idx in lo..=hi {
+                let pi = s.node_order[ni][idx].index();
+                let w = crate::rta::interference_delay_sorted(
+                    &s.prev_task_flows[ni],
+                    offset + idx,
+                    self.horizon,
+                    Time::ZERO,
+                );
+                if w != Some(s.pw[pi]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Seeds the kernel input arrays of a delta run from the loaded
+    /// baseline state: the sorted CAN flows, the FIFO flows, and — for each
+    /// CPU hosting a dirty process — the rank-ordered task array (staged in
+    /// `prev_task_flows`, whose memo role is unused on the delta path).
+    fn build_delta_inputs(&mut self) {
+        let ctx = self.ctx;
+        let system = self.system;
+        let n = self.s.can_order.len();
+        self.s.can_flows.clear();
+        for k in 0..n {
+            let mi = self.s.can_order[k];
+            let flow = self.can_flow(mi);
+            self.s.can_flows.push(flow);
+        }
+        self.s.fifo_flows.clear();
+        for &mi in &ctx.fifo_ids {
+            let flow = self.fifo_flow(mi);
+            self.s.fifo_flows.push(flow);
+        }
+        self.s
+            .prev_task_flows
+            .resize(ctx.et_nodes.len(), Vec::new());
+        for (ni, et) in ctx.et_nodes.iter().enumerate() {
+            if !self.s.dirty.nodes[ni] {
+                continue;
+            }
+            self.s.prev_task_flows[ni].clear();
+            if et.is_gateway {
+                let task = transfer_task(system);
+                self.s.prev_task_flows[ni].push(task);
+            }
+            for idx in 0..self.s.node_order[ni].len() {
+                let pi = self.s.node_order[ni][idx].index();
+                let task = self.task_flow(pi);
+                self.s.prev_task_flows[ni].push(task);
+            }
+        }
     }
 
     /// Clears the scratch to the initial fixed-point state (`r_i = C_i`,
@@ -133,17 +357,49 @@ impl Holistic<'_> {
     /// `first` pass resolves them in topological order, later passes update
     /// only the jitter side.
     fn propagate_offsets_and_jitters(&mut self, first: bool) {
+        for gi in 0..self.ctx.n_graphs {
+            self.walk_graph(GraphId::new(gi as u32), WalkMode::Full { first });
+        }
+    }
+
+    /// Delta form of the propagation pass: only the graphs (phase groups)
+    /// containing a dirty entity are walked, and inside them only dirty
+    /// entities are recomputed — offsets included, because a schedule
+    /// rebuild may have moved the placements under them; clean entities
+    /// provably kept every input, so their offsets and jitters stand.
+    fn propagate_jitters_delta(&mut self) {
+        for gi in 0..self.ctx.n_graphs {
+            if self.s.dirty.graphs[gi] {
+                self.walk_graph(GraphId::new(gi as u32), WalkMode::Delta);
+            }
+        }
+    }
+
+    /// One graph of the propagation pass (see
+    /// [`propagate_offsets_and_jitters`](Holistic::propagate_offsets_and_jitters)).
+    fn walk_graph(&mut self, graph: GraphId, mode: WalkMode) {
         let system = self.system;
         let ctx = self.ctx;
         let app = &system.application;
         let schedule = self.schedule;
         let r_transfer = system.gateway.transfer_response();
         let s = &mut *self.s;
-        for graph in app.graphs() {
-            for &p in app.topological_order(graph.id()) {
+        {
+            for &p in app.topological_order(graph) {
                 let pi = p.index();
+                // Whether this entity's offset is (re)resolved this pass:
+                // the first pass of a full run, or a dirty entity of a delta
+                // run (whose baseline schedule may have moved).
+                let touch_proc = match mode {
+                    WalkMode::Full { .. } => true,
+                    WalkMode::Delta => s.dirty.procs[pi],
+                };
+                let set_offsets = match mode {
+                    WalkMode::Full { first } => first,
+                    WalkMode::Delta => true,
+                };
                 if ctx.proc_is_tt[pi] {
-                    if first {
+                    if touch_proc && set_offsets {
                         // Fixed by the schedule table for this whole run.
                         s.po[pi] = schedule
                             .start(p)
@@ -152,7 +408,7 @@ impl Holistic<'_> {
                         s.pw[pi] = Time::ZERO;
                         s.pr[pi] = ctx.proc_wcet[pi];
                     }
-                } else {
+                } else if touch_proc {
                     let mut earliest = Time::ZERO;
                     let mut worst = Time::ZERO;
                     for e in app.predecessors(p) {
@@ -184,24 +440,35 @@ impl Holistic<'_> {
                         earliest = earliest.max(o);
                         worst = worst.max(w);
                     }
-                    if first {
+                    if set_offsets {
+                        // Offsets derive from BCETs and the schedule only,
+                        // so recomputing them is idempotent across passes.
                         s.po[pi] = earliest;
                     }
                     s.pj[pi] = worst.saturating_sub(s.po[pi]);
                 }
-                // Outgoing message legs of p.
+                // Outgoing message legs of p (checked per leg: a clean
+                // process can still feed a leg dirtied through its bus
+                // band or a moved frame).
                 for e in app.successors(p) {
                     let Some(m) = e.message else { continue };
                     let mi = m.index();
+                    let (touch_leg, leg_offsets) = match mode {
+                        WalkMode::Full { first } => (true, first),
+                        WalkMode::Delta => (s.dirty.can[mi] || s.dirty.frame[mi], true),
+                    };
+                    if !touch_leg {
+                        continue;
+                    }
                     let enqueue_jitter = s.pr[pi].saturating_sub(ctx.proc_bcet[pi]);
                     match ctx.route[mi] {
                         MessageRoute::TtcToTtc => {
-                            if first {
+                            if leg_offsets {
                                 s.arrival[mi] = frame_arrival(schedule, m);
                             }
                         }
                         MessageRoute::TtcToEtc => {
-                            if first {
+                            if leg_offsets {
                                 // MBI arrival is deterministic; the gateway
                                 // transfer process adds its response time as
                                 // jitter (paper: J_m1 = r_T).
@@ -210,13 +477,13 @@ impl Holistic<'_> {
                             }
                         }
                         MessageRoute::EtcToEtc => {
-                            if first {
+                            if leg_offsets {
                                 s.can_o[mi] = s.po[pi].saturating_add(ctx.proc_bcet[pi]);
                             }
                             s.can_j[mi] = enqueue_jitter;
                         }
                         MessageRoute::EtcToTtc => {
-                            if first {
+                            if leg_offsets {
                                 let enqueue_earliest = s.po[pi].saturating_add(ctx.proc_bcet[pi]);
                                 s.can_o[mi] = enqueue_earliest;
                                 // Earliest FIFO entry: after the CAN wire
@@ -237,18 +504,15 @@ impl Holistic<'_> {
     }
 
     fn can_flow(&self, mi: usize) -> CanFlow {
-        let ctx = self.ctx;
-        let s = &*self.s;
-        CanFlow {
-            priority: s.msg_priority[mi].expect("validated configuration assigns CAN priorities"),
-            period: ctx.msg_period[mi],
-            jitter: s.can_j[mi],
-            offset: s.can_o[mi],
-            transaction: Some(ctx.msg_phase[mi]),
-            transmission: ctx.can_c[mi],
-            size_bytes: ctx.msg_size[mi],
-            response: s.can_r[mi],
-        }
+        build_can_flow(self.ctx, self.s, mi)
+    }
+
+    fn fifo_flow(&self, mi: usize) -> FifoFlow {
+        build_fifo_flow(self.ctx, self.s, mi)
+    }
+
+    fn task_flow(&self, pi: usize) -> TaskFlow {
+        build_task_flow(self.ctx, self.s, pi)
     }
 
     /// CAN queuing delays over every message with a CAN leg (they all share
@@ -303,23 +567,87 @@ impl Holistic<'_> {
         false
     }
 
+    /// Delta form of [`can_pass`](Holistic::can_pass): only the dirty
+    /// entries of the (persistently maintained) sorted flow array are
+    /// refreshed and — when any of them changed, or unconditionally on the
+    /// first pass — only the dirty fixed points are re-run, through
+    /// [`mcs_can::queuing_delays_sorted_subset`]. Clean flows' delays are
+    /// already the least fixed point because no input of theirs changed.
+    fn can_pass_delta(&mut self, first: bool) -> bool {
+        let ctx = self.ctx;
+        let n = self.s.can_order.len();
+        // A flow's kernel inputs are exactly the sorted prefix before it
+        // (plus its own fields), so only dirty flows at or below the topmost
+        // changed position can produce a new delay this pass; everything
+        // above re-confirms trivially and is skipped.
+        let mut min_changed = if first { 0 } else { n };
+        {
+            let s = &mut *self.s;
+            for k in 0..n {
+                if !s.can_dirty_pos[k] {
+                    continue;
+                }
+                let mi = s.can_order[k];
+                let flow = build_can_flow(ctx, s, mi);
+                if s.can_flows[k] != flow {
+                    s.can_flows[k] = flow;
+                    min_changed = min_changed.min(k);
+                }
+            }
+        }
+        // Unchanged inputs ⇒ unchanged delays (the first pass always runs:
+        // the dirty delays were reset to the bottom behind the flows).
+        if min_changed == n {
+            return true;
+        }
+        {
+            // Warm hints: each dirty flow in the affected suffix resumes
+            // from its own previous iterate (zero on the first delta pass).
+            let s = &mut *self.s;
+            s.can_delay_pos.clear();
+            s.can_delay_pos.resize(n, None);
+            for k in min_changed..n {
+                if s.can_dirty_pos[k] {
+                    s.can_delay_pos[k] = Some(s.can_w[s.can_order[k]]);
+                }
+            }
+            mcs_can::queuing_delays_sorted_subset(
+                &s.can_flows,
+                &s.can_blocking,
+                &s.can_dirty_pos,
+                min_changed,
+                self.horizon,
+                &mut s.can_delay_pos,
+            );
+        }
+        let s = &mut *self.s;
+        for k in min_changed..n {
+            if !s.can_dirty_pos[k] {
+                continue;
+            }
+            let mi = s.can_order[k];
+            let w = match s.can_delay_pos[k] {
+                Some(w) => w,
+                None => {
+                    s.diverged = true;
+                    self.horizon
+                }
+            };
+            s.can_w[mi] = w;
+            s.can_r[mi] = s.can_j[mi].saturating_add(w).saturating_add(ctx.can_c[mi]);
+            if !matches!(ctx.route[mi], MessageRoute::EtcToTtc) {
+                s.arrival[mi] = s.can_o[mi].saturating_add(s.can_r[mi]);
+            }
+        }
+        false
+    }
+
     /// `Out_TTP` FIFO delays of ETC→TTC messages.
     fn fifo_pass(&mut self) -> bool {
         let ctx = self.ctx;
         self.s.fifo_flows.clear();
         for &mi in &ctx.fifo_ids {
-            let s = &*self.s;
-            let flow = FifoFlow {
-                rank: s.msg_priority[mi]
-                    .map(|p| u64::from(p.level()))
-                    .expect("validated configuration assigns CAN priorities"),
-                period: ctx.msg_period[mi],
-                jitter: s.ttp_j[mi],
-                offset: s.ttp_o[mi],
-                transaction: Some(ctx.msg_phase[mi]),
-                size_bytes: ctx.msg_size[mi],
-                response: s.ttp_r[mi],
-            };
+            let flow = self.fifo_flow(mi);
             self.s.fifo_flows.push(flow);
         }
         // Unchanged inputs ⇒ unchanged delays: skip the kernel entirely.
@@ -368,6 +696,72 @@ impl Holistic<'_> {
         false
     }
 
+    /// Delta form of [`fifo_pass`](Holistic::fifo_pass): only the dirty
+    /// entries of the flow array are refreshed, and only their FIFO fixed
+    /// points re-run. The FIFO drains in CAN-priority order, so the closure
+    /// marked the dirty leg and everything drained after it; a clean leg's
+    /// backlog interference comes exclusively from clean (lower-rank) flows.
+    fn fifo_pass_delta(&mut self, first: bool) -> bool {
+        let ctx = self.ctx;
+        // A FIFO leg's kernel inputs are the flows drained before it (lower
+        // rank) plus its own fields, so only dirty legs at or above the
+        // lowest changed rank can produce a new delay this pass.
+        let mut min_changed_rank = if first { 0 } else { u64::MAX };
+        {
+            let s = &mut *self.s;
+            for (k, &mi) in ctx.fifo_ids.iter().enumerate() {
+                if !s.fifo_dirty_pos[k] {
+                    continue;
+                }
+                let flow = build_fifo_flow(ctx, s, mi);
+                if s.fifo_flows[k] != flow {
+                    min_changed_rank = min_changed_rank.min(flow.rank);
+                    s.fifo_flows[k] = flow;
+                }
+            }
+        }
+        // Unchanged inputs ⇒ unchanged delays (the first pass always runs).
+        if min_changed_rank == u64::MAX {
+            return true;
+        }
+        for k in 0..ctx.fifo_ids.len() {
+            if !self.s.fifo_dirty_pos[k] || self.s.fifo_flows[k].rank < min_changed_rank {
+                continue;
+            }
+            let delay = match self.fifo_bound {
+                FifoBound::PaperClosedForm => fifo_delay_from(
+                    &self.s.fifo_flows,
+                    k,
+                    &self.ttp_queue,
+                    self.horizon,
+                    self.s.fifo_warm[k],
+                ),
+                FifoBound::SlotOccurrence => {
+                    fifo_delay_occurrence(&self.s.fifo_flows, k, &self.ttp_queue, self.horizon)
+                }
+            };
+            let s = &mut *self.s;
+            let mi = ctx.fifo_ids[k];
+            let (w, backlog) = match delay {
+                Some(d) => {
+                    s.fifo_warm[k] = d.delay;
+                    (d.delay.saturating_add(self.grid_slack), d.backlog)
+                }
+                None => {
+                    s.diverged = true;
+                    (self.horizon, s.fifo_flows[k].size_bytes.into())
+                }
+            };
+            s.ttp_w[mi] = w;
+            s.backlog[mi] = backlog;
+            s.ttp_r[mi] = s.ttp_j[mi]
+                .saturating_add(w)
+                .saturating_add(self.ttp_queue.slot_duration);
+            s.arrival[mi] = s.ttp_o[mi].saturating_add(s.ttp_r[mi]);
+        }
+        false
+    }
+
     /// Preemption delays of processes sharing each ET CPU; the gateway CPU
     /// additionally hosts the transfer process `T` at the highest rank.
     fn cpu_pass(&mut self) -> bool {
@@ -380,33 +774,13 @@ impl Holistic<'_> {
             // prefix before it.
             self.s.task_flows.clear();
             if et.is_gateway {
-                self.s.task_flows.push(TaskFlow {
-                    rank: TRANSFER_RANK,
-                    period: system.gateway.transfer_period,
-                    jitter: Time::ZERO,
-                    offset: Time::ZERO,
-                    transaction: None,
-                    wcet: system.gateway.transfer_wcet,
-                    blocking: Time::ZERO,
-                    response: system.gateway.transfer_wcet,
-                });
+                let task = transfer_task(system);
+                self.s.task_flows.push(task);
             }
             let offset = usize::from(et.is_gateway);
             for idx in 0..self.s.node_order[ni].len() {
                 let pi = self.s.node_order[ni][idx].index();
-                let s = &*self.s;
-                let task = TaskFlow {
-                    rank: app_rank(
-                        s.proc_priority[pi].expect("validated configuration assigns ET priorities"),
-                    ),
-                    period: ctx.proc_period[pi],
-                    jitter: s.pj[pi],
-                    offset: s.po[pi],
-                    transaction: Some(ctx.proc_phase[pi]),
-                    wcet: ctx.proc_wcet[pi],
-                    blocking: ctx.proc_blocking[pi],
-                    response: s.pr[pi],
-                };
+                let task = self.task_flow(pi);
                 self.s.task_flows.push(task);
             }
             // Unchanged inputs ⇒ unchanged delays: skip this CPU's kernel.
@@ -442,9 +816,118 @@ impl Holistic<'_> {
         stable
     }
 
+    /// Delta form of [`cpu_pass`](Holistic::cpu_pass): only CPUs hosting a
+    /// dirty process are visited; only the dirty entries of each visited
+    /// CPU's (persistently staged) task array are refreshed, and only their
+    /// busy windows re-run, through
+    /// [`crate::rta::interference_delays_sorted_subset`].
+    fn cpu_pass_delta(&mut self, first: bool) -> bool {
+        let ctx = self.ctx;
+        let mut stable = true;
+        for (ni, et) in ctx.et_nodes.iter().enumerate() {
+            if !self.s.dirty.nodes[ni] {
+                continue;
+            }
+            let offset = usize::from(et.is_gateway);
+            let len = offset + self.s.node_order[ni].len();
+            // Same prefix argument as the CAN pass: a task's inputs are the
+            // rank-sorted prefix before it.
+            let mut min_changed = if first { 0 } else { len };
+            {
+                let s = &mut *self.s;
+                for idx in 0..s.node_order[ni].len() {
+                    let pi = s.node_order[ni][idx].index();
+                    if !s.dirty.procs[pi] {
+                        continue;
+                    }
+                    let task = build_task_flow(ctx, s, pi);
+                    if s.prev_task_flows[ni][offset + idx] != task {
+                        s.prev_task_flows[ni][offset + idx] = task;
+                        min_changed = min_changed.min(offset + idx);
+                    }
+                }
+            }
+            // Unchanged inputs ⇒ unchanged delays (first pass always runs).
+            if min_changed == len {
+                continue;
+            }
+            stable = false;
+            {
+                let s = &mut *self.s;
+                s.task_dirty_pos.clear();
+                s.task_dirty_pos.resize(len, false);
+                s.task_delay_pos.clear();
+                s.task_delay_pos.resize(len, None);
+                for idx in 0..s.node_order[ni].len() {
+                    let pi = s.node_order[ni][idx].index();
+                    if s.dirty.procs[pi] && offset + idx >= min_changed {
+                        s.task_dirty_pos[offset + idx] = true;
+                        s.task_delay_pos[offset + idx] = Some(s.pw[pi]);
+                    }
+                }
+                crate::rta::interference_delays_sorted_subset(
+                    &s.prev_task_flows[ni],
+                    &s.task_dirty_pos,
+                    min_changed,
+                    self.horizon,
+                    &mut s.task_delay_pos,
+                );
+            }
+            let s = &mut *self.s;
+            for idx in 0..s.node_order[ni].len() {
+                let pi = s.node_order[ni][idx].index();
+                if !s.task_dirty_pos[offset + idx] {
+                    continue;
+                }
+                let w = match s.task_delay_pos[offset + idx] {
+                    Some(w) => w,
+                    None => {
+                        s.diverged = true;
+                        self.horizon
+                    }
+                };
+                s.pw[pi] = w;
+                s.pr[pi] = s.pj[pi].saturating_add(w).saturating_add(ctx.proc_wcet[pi]);
+            }
+        }
+        stable
+    }
+
+    /// Delta form of [`queue_bounds`](Holistic::queue_bounds): queues with
+    /// no member in the dirty cone keep their bound from the previous
+    /// evaluation (their member flows and delays are provably unchanged).
+    /// Only valid when the evaluation's final state extends the previous
+    /// evaluation's final snapshot through the cone (the caller checks).
+    pub(crate) fn queue_bounds_delta(&mut self) {
+        let ctx = self.ctx;
+
+        if ctx.out_can_ids.iter().any(|&mi| self.s.dirty.can[mi]) {
+            let out_can = self.priority_queue_bound(&ctx.out_can_ids);
+            self.s.queues.out_can = out_can;
+        }
+
+        // The map keys are stable across evaluations, so untouched queues
+        // simply keep their entries.
+        for (node, ids) in &ctx.out_node_ids {
+            if ids.iter().any(|&mi| self.s.dirty.can[mi]) {
+                let bound = self.priority_queue_bound(ids);
+                self.s.queues.out_node.insert(*node, bound);
+            }
+        }
+
+        if ctx.fifo_ids.iter().any(|&mi| self.s.dirty.ttp[mi]) {
+            self.s.queues.out_ttp = ctx
+                .fifo_ids
+                .iter()
+                .map(|&mi| self.s.backlog[mi])
+                .max()
+                .unwrap_or(0);
+        }
+    }
+
     /// Buffer bounds for `Out_CAN`, `Out_TTP` and every `Out_Ni`, left in
     /// `Scratch::queues`.
-    fn queue_bounds(&mut self) {
+    pub(crate) fn queue_bounds(&mut self) {
         let ctx = self.ctx;
 
         // Out_CAN holds TTC→ETC traffic queued by the gateway.
@@ -482,4 +965,62 @@ impl Holistic<'_> {
 
 fn frame_arrival(schedule: &TtcSchedule, m: MessageId) -> Time {
     schedule.frame(m).map(|f| f.arrival).unwrap_or(Time::ZERO)
+}
+
+// Flow constructors as free functions over (context, scratch), so the delta
+// passes can rebuild single entries while holding split borrows of the
+// scratch; each kernel's input shape is assembled in exactly one place.
+
+fn build_can_flow(ctx: &SystemContext, s: &Scratch, mi: usize) -> CanFlow {
+    CanFlow {
+        priority: s.msg_priority[mi].expect("validated configuration assigns CAN priorities"),
+        period: ctx.msg_period[mi],
+        jitter: s.can_j[mi],
+        offset: s.can_o[mi],
+        transaction: Some(ctx.msg_phase[mi]),
+        transmission: ctx.can_c[mi],
+        size_bytes: ctx.msg_size[mi],
+        response: s.can_r[mi],
+    }
+}
+
+fn build_fifo_flow(ctx: &SystemContext, s: &Scratch, mi: usize) -> FifoFlow {
+    FifoFlow {
+        rank: s.msg_priority[mi]
+            .map(|p| u64::from(p.level()))
+            .expect("validated configuration assigns CAN priorities"),
+        period: ctx.msg_period[mi],
+        jitter: s.ttp_j[mi],
+        offset: s.ttp_o[mi],
+        transaction: Some(ctx.msg_phase[mi]),
+        size_bytes: ctx.msg_size[mi],
+        response: s.ttp_r[mi],
+    }
+}
+
+/// The gateway transfer process `T` as the highest-rank task of its CPU.
+fn transfer_task(system: &System) -> TaskFlow {
+    TaskFlow {
+        rank: TRANSFER_RANK,
+        period: system.gateway.transfer_period,
+        jitter: Time::ZERO,
+        offset: Time::ZERO,
+        transaction: None,
+        wcet: system.gateway.transfer_wcet,
+        blocking: Time::ZERO,
+        response: system.gateway.transfer_wcet,
+    }
+}
+
+fn build_task_flow(ctx: &SystemContext, s: &Scratch, pi: usize) -> TaskFlow {
+    TaskFlow {
+        rank: app_rank(s.proc_priority[pi].expect("validated configuration assigns ET priorities")),
+        period: ctx.proc_period[pi],
+        jitter: s.pj[pi],
+        offset: s.po[pi],
+        transaction: Some(ctx.proc_phase[pi]),
+        wcet: ctx.proc_wcet[pi],
+        blocking: ctx.proc_blocking[pi],
+        response: s.pr[pi],
+    }
 }

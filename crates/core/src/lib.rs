@@ -35,6 +35,14 @@
 //! [`Evaluator::outcome`]. [`multi_cluster_scheduling`] wraps the same engine
 //! for one-shot use, so both paths produce identical results.
 //!
+//! On top of that, [`Evaluator::evaluate_delta`] re-evaluates a *slightly
+//! changed* configuration incrementally: the search loop reports the seed
+//! entities its move touched ([`DeltaSeeds`]), the seeds are closed over a
+//! static entity-dependency graph into a dirty cone, and only the RTA
+//! kernels inside the cone are re-run against per-iteration analysis
+//! snapshots — bit-identical to a full evaluation, at a fraction of the
+//! kernel work.
+//!
 //! # Examples
 //!
 //! ```
@@ -79,6 +87,7 @@
 #![warn(missing_docs)]
 
 mod context;
+mod delta;
 mod holistic;
 mod multicluster;
 mod outcome;
@@ -89,6 +98,7 @@ mod schedulability;
 mod validate;
 
 pub use context::{EvalSummary, Evaluator};
+pub use delta::DeltaSeeds;
 pub use multicluster::{multi_cluster_scheduling, AnalysisError, AnalysisParams, FifoBound};
 pub use outcome::{AnalysisOutcome, EntityTiming, MessageTiming, QueueBounds};
 pub use queues::{
@@ -98,7 +108,7 @@ pub use queues::{
 pub use report::render_report;
 pub use rta::{
     interference_delay, interference_delay_from, interference_delay_sorted, interference_delays,
-    interference_delays_into, relative_phase, TaskFlow,
+    interference_delays_into, interference_delays_sorted_subset, relative_phase, TaskFlow,
 };
 pub use schedulability::{degree_of_schedulability, is_schedulable, SchedulabilityDegree};
 pub use validate::validate_config;

@@ -195,6 +195,39 @@ pub fn interference_delay_sorted(
     }
 }
 
+/// Dirty-subset form of [`interference_delay_sorted`] for incremental
+/// ("delta") re-analysis: recomputes the busy windows of only the tasks
+/// marked in `dirty` at position `from` or below, warm-starting each from
+/// its entry in `delays` (`None` counts as a cold start). All other entries
+/// are left untouched — the caller guarantees, via its dependency closure
+/// and change tracking, that no input of theirs changed (a task's inputs
+/// are exactly the rank-sorted prefix before it), so their previously
+/// converged delays are still the least fixed point.
+///
+/// `tasks` must be pre-sorted by ascending rank, exactly as for
+/// [`interference_delay_sorted`]; a recomputed entry becomes `None` when its
+/// busy window exceeds `horizon` (diverged).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree or a dirty task has a zero period.
+pub fn interference_delays_sorted_subset(
+    tasks: &[TaskFlow],
+    dirty: &[bool],
+    from: usize,
+    horizon: Time,
+    delays: &mut [Option<Time>],
+) {
+    assert_eq!(tasks.len(), dirty.len());
+    assert_eq!(tasks.len(), delays.len());
+    for i in from..tasks.len() {
+        if dirty[i] {
+            let hint = delays[i].unwrap_or(Time::ZERO);
+            delays[i] = interference_delay_sorted(tasks, i, horizon, hint);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mcs_core::{AnalysisParams, EvalSummary, Evaluator};
+use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
 use mcs_model::{System, SystemConfig};
 
 use crate::cost::{materialize, resource_cost, Evaluation};
@@ -73,16 +73,25 @@ pub fn anneal(
     let mut best_config = config.clone();
     let mut temperature = params.initial_temperature;
 
+    // Delta-RTA seed accumulation: `seeds` always over-approximates the
+    // difference between `config` and the evaluator's last completed
+    // analysis — cleared after every successful evaluation, re-fed with the
+    // undo's entities whenever a candidate is reverted.
+    let mut seeds = DeltaSeeds::new();
     for _ in 0..params.iterations {
         let Some(mv) = sampler.sample(system, &config, &evaluator, &current, &mut rng) else {
             break;
         };
-        let undo = mv.apply_undoable(&mut config);
+        let undo = mv.apply_undoable_seeded(&mut config, &mut seeds);
         temperature *= params.cooling;
-        let Ok(candidate) = evaluator.evaluate(&config) else {
-            undo.revert(&mut config); // infeasible neighbor
+        let Ok(candidate) = evaluator.evaluate_delta(&config, &seeds) else {
+            // Infeasible neighbor: the evaluator's state is unchanged, so
+            // the seeds keep accumulating across the revert.
+            undo.record_seeds(&mut seeds);
+            undo.revert(&mut config);
             continue;
         };
+        seeds.clear();
         let delta = cost(&candidate) - cost(&current);
         let accept = delta <= 0.0 || {
             let t = temperature.max(f64::MIN_POSITIVE);
@@ -95,6 +104,7 @@ pub fn anneal(
             }
             current = candidate;
         } else {
+            undo.record_seeds(&mut seeds);
             undo.revert(&mut config);
         }
     }

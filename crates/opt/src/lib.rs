@@ -32,6 +32,19 @@
 //! clone a configuration only when recording a new best. Undo tokens must
 //! be reverted in LIFO order when stacked.
 //!
+//! **The delta-evaluation workflow.** Every search loop evaluates through
+//! [`mcs_core::Evaluator::evaluate_delta`], handing it an accumulated
+//! [`mcs_core::DeltaSeeds`] set that over-approximates the difference
+//! between the configuration being evaluated and the evaluator's last
+//! completed analysis: [`Move::apply_undoable_seeded`] records a move's
+//! seed entities on apply, the set is cleared after every successful
+//! evaluation, and [`MoveUndo::record_seeds`] re-adds the undone entities
+//! whenever a rejected or infeasible candidate is reverted. Priority swaps
+//! seed the swapped entities, TDMA moves are structural (always the full
+//! fixed point), and pin moves need no seeds at all — they act purely
+//! through the static scheduler's release bounds, which the delta
+//! evaluator re-derives itself.
+//!
 //! The SA baselines additionally draw their neighbors through
 //! [`MoveSampler`], which picks one random move with the same distribution
 //! as drawing uniformly from the materialized [`neighborhood`] — without

@@ -7,6 +7,7 @@
 //! * moving a TT process or TTC message inside its [ASAP, ALAP] window
 //!   (realized as offset pins honoured by the list scheduler).
 
+use mcs_core::DeltaSeeds;
 use mcs_model::{MessageId, MessageRoute, NodeId, ProcessId, SlotId, System, SystemConfig, Time};
 
 use crate::cost::Evaluation;
@@ -89,6 +90,48 @@ impl Move {
         self.apply(config);
         undo
     }
+
+    /// [`apply_undoable`](Move::apply_undoable) that additionally reports
+    /// the delta-RTA seed entities the move touches into `seeds`, so the
+    /// search loop can drive [`mcs_core::Evaluator::evaluate_delta`].
+    ///
+    /// Seeds accumulate: the caller clears them after each successful
+    /// evaluation and records the undo's seeds again when reverting (see
+    /// [`MoveUndo::record_seeds`]), keeping the set an over-approximation of
+    /// "what changed since the evaluator's last completed analysis".
+    pub fn apply_undoable_seeded(
+        &self,
+        config: &mut SystemConfig,
+        seeds: &mut DeltaSeeds,
+    ) -> MoveUndo {
+        self.record_seeds(seeds);
+        self.apply_undoable(config)
+    }
+
+    /// Records the delta-RTA seed entities this move touches: the swapped
+    /// priority holders for the two priority families, a structural marker
+    /// for TDMA-round changes (slot swaps/resizes alter the bus parameters
+    /// every kernel reads, so they always take the full evaluation path).
+    /// Pin moves record nothing — they act purely through the static
+    /// scheduler's release bounds, which the delta evaluator's trajectory
+    /// replay re-derives and re-checks itself.
+    pub fn record_seeds(&self, seeds: &mut DeltaSeeds) {
+        match *self {
+            Move::SwapSlots(_, _) | Move::ResizeSlot(_, _) => seeds.mark_structural(),
+            Move::PinProcess(_, _)
+            | Move::UnpinProcess(_)
+            | Move::PinMessage(_, _)
+            | Move::UnpinMessage(_) => {}
+            Move::SwapProcessPriorities(a, b) => {
+                seeds.push_process(a);
+                seeds.push_process(b);
+            }
+            Move::SwapMessagePriorities(a, b) => {
+                seeds.push_message(a);
+                seeds.push_message(b);
+            }
+        }
+    }
 }
 
 /// The inverse of one applied [`Move`], captured by
@@ -132,6 +175,28 @@ impl MoveUndo {
             }
             MoveUndo::RestoreMessagePin(m, None) => {
                 config.offsets.unpin_message(m);
+            }
+        }
+    }
+
+    /// Records the delta-RTA seed entities this undo touches (the same
+    /// entities as the move it inverts). Call before
+    /// [`revert`](MoveUndo::revert)ing away from an evaluated configuration,
+    /// so the accumulated seeds keep covering the distance to the
+    /// evaluator's last completed analysis.
+    pub fn record_seeds(&self, seeds: &mut DeltaSeeds) {
+        match *self {
+            MoveUndo::SwapSlots(_, _) | MoveUndo::RestoreSlotCapacity(_, _) => {
+                seeds.mark_structural()
+            }
+            MoveUndo::RestoreProcessPin(_, _) | MoveUndo::RestoreMessagePin(_, _) => {}
+            MoveUndo::SwapProcessPriorities(a, b) => {
+                seeds.push_process(a);
+                seeds.push_process(b);
+            }
+            MoveUndo::SwapMessagePriorities(a, b) => {
+                seeds.push_message(a);
+                seeds.push_message(b);
             }
         }
     }

@@ -13,7 +13,7 @@
 //! [`Evaluator`] — no `SystemConfig` clone and no outcome materialization
 //! per candidate.
 
-use mcs_core::{AnalysisParams, EvalSummary, Evaluator};
+use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
 use mcs_model::{System, SystemConfig};
 
 use crate::cost::{materialize, Evaluation};
@@ -81,15 +81,19 @@ pub fn optimize_resources(
             continue;
         };
         let mut current = materialize(&evaluator, seed.clone(), summary);
+        // Delta-RTA seed accumulation across the in-place neighbor scan
+        // (cleared after every successful evaluation, re-fed on revert).
+        let mut seeds = DeltaSeeds::new();
         for _ in 0..params.max_iterations {
             let moves = neighborhood(system, &current);
             let stride = (moves.len() / params.neighbor_sample.max(1)).max(1);
             let mut work = current.config.clone();
             let mut best_neighbor: Option<(EvalSummary, SystemConfig)> = None;
             for mv in moves.into_iter().step_by(stride) {
-                let undo = mv.apply_undoable(&mut work);
+                let undo = mv.apply_undoable_seeded(&mut work, &mut seeds);
                 evaluations += 1;
-                if let Ok(summary) = evaluator.evaluate(&work) {
+                if let Ok(summary) = evaluator.evaluate_delta(&work, &seeds) {
+                    seeds.clear();
                     if summary.is_schedulable() {
                         let better = match &best_neighbor {
                             None => true,
@@ -100,15 +104,18 @@ pub fn optimize_resources(
                         }
                     }
                 }
+                undo.record_seeds(&mut seeds);
                 undo.revert(&mut work);
             }
             match best_neighbor {
                 Some((summary, config)) if summary.total_buffers < current.total_buffers => {
                     // Accepted: materialize the outcome for the next
-                    // neighborhood instantiation.
+                    // neighborhood instantiation. The full evaluation resets
+                    // the delta base to the accepted configuration.
                     let summary = evaluator
                         .evaluate(&config)
                         .expect("accepted neighbor was analyzable");
+                    seeds.clear();
                     current = materialize(&evaluator, config, summary);
                 }
                 _ => break,

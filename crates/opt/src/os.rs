@@ -13,7 +13,7 @@
 //! [`Evaluator`], and only summaries are compared in the search; the full
 //! outcome is materialized once for the winning configuration.
 
-use mcs_core::{AnalysisParams, EvalSummary, Evaluator};
+use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
 use mcs_model::{MessageRoute, NodeId, System, SystemConfig, TdmaConfig, TdmaSlot};
 
 use crate::cost::{materialize, Evaluation};
@@ -111,6 +111,10 @@ pub fn optimize_schedule(
     let mut evaluations = 0;
     let mut best: Option<(EvalSummary, SystemConfig)> = None;
     let mut seeds = SeedPool::new(params.seed_limit);
+    // Every OS candidate changes the TDMA round (slot order or length), so
+    // the delta path degenerates to the full fixed point by design; the
+    // structural seed set documents that through the uniform entry point.
+    let structural = DeltaSeeds::structural();
 
     for position in 0..slots.len() {
         let mut best_here: Option<(EvalSummary, SystemConfig, usize, u32)> = None;
@@ -125,7 +129,7 @@ pub fn optimize_schedule(
                 let priorities = hopa_priorities(system, &tdma);
                 let config = SystemConfig::new(tdma, priorities);
                 evaluations += 1;
-                if let Ok(summary) = evaluator.evaluate(&config) {
+                if let Ok(summary) = evaluator.evaluate_delta(&config, &structural) {
                     seeds.offer(&summary, &config);
                     let better = match &best_here {
                         None => true,

@@ -78,6 +78,28 @@ pub struct SchedulerInput<'a> {
     pub message_releases: &'a HashMap<MessageId, Time>,
 }
 
+/// Inputs to one static-scheduling pass with **dense** release tables,
+/// indexed by [`ProcessId::index`]/[`MessageId::index`] (`None` = no bound).
+///
+/// This is the shape the incremental evaluation pipeline in `mcs-core`
+/// drives the scheduler with: dense tables compare in O(n) without hashing,
+/// so a schedule↔analysis fixed point detects "no release changed — nothing
+/// to rebuild" (the dominant case on the delta-evaluation path, where a
+/// whole re-scheduling pass is skipped because no phase group's releases
+/// moved) with a plain slice comparison, and the scheduler reads bounds by
+/// index instead of hashing inside its O(n²) candidate scans.
+#[derive(Clone, Copy, Debug)]
+pub struct DenseSchedulerInput<'a> {
+    /// The system being scheduled.
+    pub system: &'a System,
+    /// The TDMA bus configuration β.
+    pub tdma: &'a TdmaConfig,
+    /// Release lower bound per process, by [`ProcessId::index`].
+    pub process_releases: &'a [Option<Time>],
+    /// Release lower bound per message, by [`MessageId::index`].
+    pub message_releases: &'a [Option<Time>],
+}
+
 /// Runs list scheduling and returns the TTC schedule.
 ///
 /// # Errors
@@ -105,6 +127,42 @@ pub fn list_schedule(input: &SchedulerInput<'_>) -> Result<TtcSchedule, Schedule
 /// it as garbage until the next successful pass.
 pub fn list_schedule_into(
     input: &SchedulerInput<'_>,
+    priorities: &[Time],
+    schedule: &mut TtcSchedule,
+) -> Result<(), ScheduleError> {
+    let app = &input.system.application;
+    let mut process_releases = vec![None; app.processes().len()];
+    for (&p, &t) in input.process_releases {
+        process_releases[p.index()] = Some(t);
+    }
+    let mut message_releases = vec![None; app.messages().len()];
+    for (&m, &t) in input.message_releases {
+        message_releases[m.index()] = Some(t);
+    }
+    list_schedule_dense_into(
+        &DenseSchedulerInput {
+            system: input.system,
+            tdma: input.tdma,
+            process_releases: &process_releases,
+            message_releases: &message_releases,
+        },
+        priorities,
+        schedule,
+    )
+}
+
+/// [`list_schedule_into`] over a [`DenseSchedulerInput`]: the allocation-free
+/// scheduling entry point of the reusable analysis context (release bounds
+/// are read by index, no hash map is flattened per pass).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if the TDMA configuration cannot carry the
+/// traffic (missing slot, oversized message, empty round). On error the
+/// schedule contents are unspecified (partially filled); callers must treat
+/// it as garbage until the next successful pass.
+pub fn list_schedule_dense_into(
+    input: &DenseSchedulerInput<'_>,
     priorities: &[Time],
     schedule: &mut TtcSchedule,
 ) -> Result<(), ScheduleError> {
@@ -152,14 +210,10 @@ pub fn critical_path_priorities_into(system: &System, tdma: &TdmaConfig, prio: &
 }
 
 struct Scheduler<'a> {
-    input: &'a SchedulerInput<'a>,
+    input: &'a DenseSchedulerInput<'a>,
     rounds: RoundSchedule<'a>,
     /// Critical-path priority per process (dense index).
     priorities: &'a [Time],
-    /// Release lower bound per process/message (dense index; the input hash
-    /// maps are flattened once so the O(n²) candidate scan reads vectors).
-    proc_release: Vec<Time>,
-    msg_release: Vec<Time>,
     /// Bytes already packed into each (slot, round) occurrence.
     frame_usage: HashMap<(u32, u64), u32>,
     schedule: &'a mut TtcSchedule,
@@ -169,34 +223,41 @@ struct Scheduler<'a> {
 
 impl<'a> Scheduler<'a> {
     fn new(
-        input: &'a SchedulerInput<'a>,
+        input: &'a DenseSchedulerInput<'a>,
         priorities: &'a [Time],
         schedule: &'a mut TtcSchedule,
     ) -> Result<Self, ScheduleError> {
         if input.tdma.slots().is_empty() {
             return Err(ScheduleError::EmptyRound);
         }
-        let app = &input.system.application;
         let rounds = RoundSchedule::new(input.tdma, input.system.architecture.ttp_params());
-        let mut proc_release = vec![Time::ZERO; app.processes().len()];
-        for (&p, &t) in input.process_releases {
-            proc_release[p.index()] = t;
-        }
-        let mut msg_release = vec![Time::ZERO; app.messages().len()];
-        for (&m, &t) in input.message_releases {
-            msg_release[m.index()] = t;
-        }
         let node_free = vec![Time::ZERO; input.system.architecture.nodes().len()];
         Ok(Scheduler {
             input,
             rounds,
             priorities,
-            proc_release,
-            msg_release,
             frame_usage: HashMap::new(),
             schedule,
             node_free,
         })
+    }
+
+    fn proc_release(&self, p: ProcessId) -> Time {
+        self.input
+            .process_releases
+            .get(p.index())
+            .copied()
+            .flatten()
+            .unwrap_or(Time::ZERO)
+    }
+
+    fn msg_release(&self, m: MessageId) -> Time {
+        self.input
+            .message_releases
+            .get(m.index())
+            .copied()
+            .flatten()
+            .unwrap_or(Time::ZERO)
     }
 
     fn run(mut self) -> Result<(), ScheduleError> {
@@ -212,7 +273,7 @@ impl<'a> Scheduler<'a> {
                 && system.route(message.id()) != MessageRoute::EtcToTtc
                 && system.architecture.is_et_cpu(sender_node)
             {
-                let release = self.msg_release[message.id().index()];
+                let release = self.msg_release(message.id());
                 self.place_frame(message.id(), sender_node, release)?;
             }
         }
@@ -274,7 +335,7 @@ impl<'a> Scheduler<'a> {
         let system = self.input.system;
         let app = &system.application;
         let node = app.process(p).node();
-        let mut ready = self.proc_release[p.index()];
+        let mut ready = self.proc_release(p);
         for e in app.predecessors(p) {
             if !self.counts_as_tt_pred(e.source) {
                 // ET-sent TTP frames (gateway-resident senders) are placed
@@ -321,7 +382,7 @@ impl<'a> Scheduler<'a> {
             if !system.route(m).uses_ttp() || system.route(m) == MessageRoute::EtcToTtc {
                 continue; // CAN-only, or FIFO-forwarded by the gateway
             }
-            let ready = finish.max(self.msg_release[m.index()]);
+            let ready = finish.max(self.msg_release(m));
             self.place_frame(m, process.node(), ready)?;
         }
         Ok(())

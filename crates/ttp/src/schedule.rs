@@ -139,6 +139,41 @@ impl TtcSchedule {
             .filter_map(|(i, f)| f.map(|f| (MessageId::new(i as u32), f)))
     }
 
+    /// Collects the placement differences from `prev` into `procs`/`msgs`
+    /// (cleared first): every process whose start and every message whose
+    /// frame placement is present in only one schedule or changed value.
+    ///
+    /// This is the incremental-rebuild report of the static scheduler: when
+    /// release bounds change, the schedule is rebuilt (the list scheduler is
+    /// a global greedy — placements can shift across CPUs and phase groups),
+    /// but the diff tells the analysis layer exactly which entities moved,
+    /// so it re-derives only the phase groups the rebuild actually touched.
+    pub fn diff_into(
+        &self,
+        prev: &TtcSchedule,
+        procs: &mut Vec<ProcessId>,
+        msgs: &mut Vec<MessageId>,
+    ) {
+        procs.clear();
+        msgs.clear();
+        let n = self.starts.len().max(prev.starts.len());
+        for i in 0..n {
+            let a = self.starts.get(i).copied().flatten();
+            let b = prev.starts.get(i).copied().flatten();
+            if a != b {
+                procs.push(ProcessId::new(i as u32));
+            }
+        }
+        let n = self.frames.len().max(prev.frames.len());
+        for i in 0..n {
+            let a = self.frames.get(i).copied().flatten();
+            let b = prev.frames.get(i).copied().flatten();
+            if a != b {
+                msgs.push(MessageId::new(i as u32));
+            }
+        }
+    }
+
     /// Renders the MEDL of one node: the chronologically ordered frame
     /// placements in that node's slot.
     pub fn medl_of_slot(&self, slot: SlotId) -> Vec<(MessageId, FramePlacement)> {
