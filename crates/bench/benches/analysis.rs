@@ -87,26 +87,60 @@ fn bench_evaluator_reuse(c: &mut Criterion) {
     mcs_bench::record_bench_section("evaluator_reuse", &body);
 }
 
-/// The delta-RTA bench of PR 2: full vs delta evaluation replaying one SA
-/// move trace (sampled moves with recorded accept/reject decisions) on the
-/// 160-process Fig-9c instance (10 inter-cluster messages). Both replays
-/// visit identical configurations and — by the delta contract — produce
-/// bit-identical results; only the kernel work differs. Emits the
-/// `delta_rta` section of `BENCH_core.json`.
+/// The delta-RTA bench: the frozen PR 1 evaluator vs the full and the delta
+/// seedings of the worklist engine, replaying one SA move trace (sampled
+/// moves with recorded accept/reject decisions) on a 160-process instance.
+/// All replays visit identical configurations and — by the delta contract —
+/// produce bit-identical results; only the kernel work differs. One bench
+/// group and one `BENCH_core.json` section per instance:
+///
+/// * `delta_rta` — the Fig-9c single-period instance (10 inter-cluster
+///   messages), the PR 2 baseline workload;
+/// * `delta_rta_multiperiod` — the same instance generated with the
+///   `{1, 2, 4}` period-multiplier set, where distinct phase groups give
+///   the value gating real structure to prune inside priority bands.
 fn bench_delta_rta(c: &mut Criterion) {
-    use mcs_opt::sa_start;
-
     let mut params = GeneratorParams::paper_sized(4, 1_000);
     params.inter_cluster_messages = Some(10);
+    bench_delta_rta_on(
+        c,
+        "delta_rta",
+        "fig9c paper_sized(4, 1000) + 10 inter-cluster — 160 processes",
+        params,
+    );
+}
+
+fn bench_delta_rta_multiperiod(c: &mut Criterion) {
+    let mut params = GeneratorParams::multi_rate(4, 1_000);
+    params.inter_cluster_messages = Some(10);
+    bench_delta_rta_on(
+        c,
+        "delta_rta_multiperiod",
+        "fig9c multi_rate(4, 1000) {1,2,4} + 10 inter-cluster — 160 processes",
+        params,
+    );
+}
+
+/// One delta-RTA trace-replay group: records the trace with a scout
+/// evaluator, times the three replays, spot-checks their bit-identity and
+/// emits the named section of `BENCH_core.json`.
+fn bench_delta_rta_on(
+    c: &mut Criterion,
+    section: &str,
+    instance_label: &str,
+    params: GeneratorParams,
+) {
+    use mcs_opt::sa_start;
+
     let system = generate(&params);
     let analysis = AnalysisParams::default();
     let start = sa_start(&system);
 
     // Record the trace once with a scout evaluator: the same sampled moves
-    // and accept decisions are then replayed through both paths.
+    // and accept decisions are then replayed through every path.
     let trace = record_sa_trace(&system, &start, &analysis, 300);
 
-    let mut group = c.benchmark_group("delta_rta");
+    let mut group = c.benchmark_group(section);
     group.sample_size(10);
     group.bench_function("pr1_reused_path", |b| {
         b.iter(|| replay_pr1(&system, &start, &analysis, &trace))
@@ -167,7 +201,7 @@ fn bench_delta_rta(c: &mut Criterion) {
         evaluator.delta_stats()
     };
     let body = format!(
-        "{{\"instance\": \"fig9c paper_sized(4, 1000) + 10 inter-cluster — 160 processes\", \
+        "{{\"instance\": \"{instance_label}\", \
          \"trace_moves\": {}, \
          \"pr1_reused_evaluations_per_sec\": {pr1_reused:.2}, \
          \"full_evaluations_per_sec\": {full:.2}, \
@@ -180,8 +214,8 @@ fn bench_delta_rta(c: &mut Criterion) {
         delta / pr1_reused.max(f64::MIN_POSITIVE),
         delta / full.max(f64::MIN_POSITIVE),
     );
-    mcs_bench::record_bench_section("delta_rta", &body);
-    println!("delta_rta: full {full:.0}/s -> delta {delta:.0}/s");
+    mcs_bench::record_bench_section(section, &body);
+    println!("{section}: full {full:.0}/s -> delta {delta:.0}/s");
 }
 
 type SaTrace = Vec<(mcs_opt::Move, bool)>;
@@ -372,6 +406,7 @@ criterion_group!(
     bench_multi_cluster_scheduling,
     bench_evaluator_reuse,
     bench_delta_rta,
+    bench_delta_rta_multiperiod,
     bench_fifo_bound_variants,
     bench_can_rta,
     bench_simulator

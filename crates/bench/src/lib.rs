@@ -9,16 +9,18 @@
 //! | `fig9a` | Fig 9a — δΓ deviation of SF and OS from the SAS reference |
 //! | `fig9b` | Fig 9b — average total buffer need of OS, OR, SAR |
 //! | `fig9c` | Fig 9c — buffer deviation from SAR vs inter-cluster traffic |
+//! | `fig9mp` | the Fig-9c sweep on multi-period (`{1, 2, 4}`) instances |
 //! | `cruise` | the §6 cruise-controller table |
 //!
 //! Criterion benches (`cargo bench -p mcs-bench`) measure the §6 run-time
 //! claims (heuristics vs simulated annealing), fresh-per-call vs
 //! context-reuse evaluation (`evaluator_reuse`), and full vs delta
-//! evaluation over an SA move trace (`delta_rta`, measured against both the
-//! current full path and the frozen [`pr1_baseline`] evaluator); both emit
-//! their evaluations/second into `BENCH_core.json` via
-//! [`record_bench_section`]. The ablations called out in DESIGN.md live in
-//! the `optimization` bench.
+//! evaluation over an SA move trace against both the current full path and
+//! the frozen [`pr1_baseline`] evaluator — on the single-period Fig-9c
+//! instance (`delta_rta`) and on its multi-period `{1, 2, 4}` counterpart
+//! (`delta_rta_multiperiod`); each emits its evaluations/second into
+//! `BENCH_core.json` via [`record_bench_section`]. The ablations called
+//! out in DESIGN.md live in the `optimization` bench.
 //!
 //! All binaries accept `--seeds N` (instances per point, default 5; the
 //! paper used 30) and `--sa-iters N` (SA budget per instance, default 200;

@@ -173,11 +173,32 @@ pub fn queuing_delays(flows: &[CanFlow], horizon: Time) -> Vec<Option<Time>> {
 }
 
 /// Allocation-free form of [`queuing_delays`]: clears and refills `delays`
-/// in flow order, reusing its capacity. This is the variant the reusable
-/// analysis context in `mcs-core` calls in the evaluation hot path.
+/// in flow order, reusing its capacity.
 pub fn queuing_delays_into(flows: &[CanFlow], horizon: Time, delays: &mut Vec<Option<Time>>) {
     delays.clear();
-    delays.extend((0..flows.len()).map(|m| queuing_delay(flows, m, horizon)));
+    queuing_delays_filtered(flows, horizon, |_| true, delays);
+}
+
+/// The one batch implementation behind every multi-flow entry point,
+/// parameterized by an entity filter: `delays` is resized to `flows.len()`
+/// (extending with `None`, truncating any stale tail), then the queuing
+/// delay of each flow `m` with `recompute(m)` is recomputed while the
+/// remaining in-range entries keep their previous values. Callers
+/// restricting the filter guarantee — e.g. via a dependency closure — that
+/// no input of a skipped flow changed, so its previous delay is still the
+/// least fixed point.
+pub fn queuing_delays_filtered(
+    flows: &[CanFlow],
+    horizon: Time,
+    mut recompute: impl FnMut(usize) -> bool,
+    delays: &mut Vec<Option<Time>>,
+) {
+    delays.resize(flows.len(), None);
+    for (m, delay) in delays.iter_mut().enumerate() {
+        if recompute(m) {
+            *delay = queuing_delay(flows, m, horizon);
+        }
+    }
 }
 
 /// Computes the worst-case queuing delay of `flows[m]`.
@@ -257,40 +278,6 @@ pub fn queuing_delay_sorted(
             return Some(w);
         }
         w = next;
-    }
-}
-
-/// Dirty-subset form of [`queuing_delay_sorted`] for incremental ("delta")
-/// re-analysis: recomputes the queuing delays of only the flows marked in
-/// `dirty` at position `from` or below, warm-starting each from its entry
-/// in `delays` (`None` counts as a cold start). All other entries are left
-/// untouched — the caller guarantees, via its dependency closure and
-/// change tracking, that no input of theirs changed (a flow's inputs are
-/// exactly the sorted prefix before it), so their previously converged
-/// delays are still the least fixed point.
-///
-/// `flows` must be pre-sorted by descending urgency with per-position
-/// `blocking` bounds, exactly as for [`queuing_delay_sorted`]; a recomputed
-/// entry becomes `None` when its fixed point exceeds `horizon` (diverged).
-///
-/// # Panics
-///
-/// Panics if the slice lengths disagree or a dirty flow has a zero period.
-pub fn queuing_delays_sorted_subset(
-    flows: &[CanFlow],
-    blocking: &[Time],
-    dirty: &[bool],
-    from: usize,
-    horizon: Time,
-    delays: &mut [Option<Time>],
-) {
-    assert_eq!(flows.len(), dirty.len());
-    assert_eq!(flows.len(), delays.len());
-    for m in from..flows.len() {
-        if dirty[m] {
-            let hint = delays[m].unwrap_or(Time::ZERO);
-            delays[m] = queuing_delay_sorted(flows, m, blocking[m], horizon, hint);
-        }
     }
 }
 
@@ -453,5 +440,23 @@ mod tests {
     #[test]
     fn queue_size_bound_empty_is_zero() {
         assert_eq!(queue_size_bound(&[], &[], Time::from_millis(1)), 0);
+    }
+
+    #[test]
+    fn filtered_delays_recompute_only_the_selected_flows() {
+        let flows = vec![flow(0, 100, 1), flow(1, 100, 2), flow(2, 100, 3)];
+        let horizon = Time::from_millis(1000);
+        let full = queuing_delays(&flows, horizon);
+        // A poisoned buffer: the filter must leave unselected entries
+        // untouched and resize missing ones with `None`.
+        let poison = Some(Time::from_millis(999));
+        let mut delays = vec![poison];
+        queuing_delays_filtered(&flows, horizon, |m| m != 0, &mut delays);
+        assert_eq!(delays[0], poison);
+        assert_eq!(delays[1], full[1]);
+        assert_eq!(delays[2], full[2]);
+        // Selecting everything reproduces the batch form.
+        queuing_delays_filtered(&flows, horizon, |_| true, &mut delays);
+        assert_eq!(delays, full);
     }
 }

@@ -65,7 +65,7 @@ use crate::delta::{close_dirty, DeltaSeeds, DirtySet};
 use crate::holistic::Holistic;
 use crate::multicluster::{AnalysisError, AnalysisParams};
 use crate::outcome::{AnalysisOutcome, EntityTiming, MessageTiming, QueueBounds};
-use crate::queues::{FifoDelay, TtpQueueParams};
+use crate::queues::TtpQueueParams;
 use crate::rta::TaskFlow;
 use crate::schedulability::SchedulabilityDegree;
 use crate::validate::validate_config;
@@ -77,6 +77,20 @@ pub(crate) struct EtNode {
     pub is_gateway: bool,
     /// Hosted processes in id order.
     pub procs: Vec<ProcessId>,
+}
+
+/// One entity of the worklist fixed-point engine (see [`crate::holistic`]):
+/// everything the holistic analysis derives a changing value for. TT
+/// processes and TTC→TTC messages are *not* entities — their timing is fixed
+/// by the schedule table and staged once per run.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum WlEntity {
+    /// An ET-hosted process, by process index.
+    Proc(u32),
+    /// The CAN leg of a message, by message index.
+    Can(u32),
+    /// The `Out_TTP` FIFO leg of an ETC→TTC message, by message index.
+    Fifo(u32),
 }
 
 /// System-invariant tables shared by every evaluation of one [`System`].
@@ -143,6 +157,23 @@ pub(crate) struct SystemContext {
     /// Whether the process sources an ET-sent TTP frame: its completion
     /// bounds the frame's release — an input of the static scheduler.
     pub proc_feeds_msg_release: Vec<bool>,
+    /// Source process index of each message.
+    pub msg_src: Vec<u32>,
+    /// Position of each ETC→TTC message in the FIFO flow array (by message
+    /// index; `usize::MAX` for non-FIFO messages).
+    pub fifo_pos: Vec<usize>,
+    // Static tables of the worklist fixed-point engine (see
+    // [`crate::holistic`]): every analyzed entity in dataflow order —
+    // graphs in id order, processes in topological order within each graph,
+    // each process followed by the message legs it sources.
+    /// The engine's entities, indexed by worklist key.
+    pub wl_entities: Vec<WlEntity>,
+    /// Worklist key of each ET process (`u32::MAX` for TT processes).
+    pub wl_key_proc: Vec<u32>,
+    /// Worklist key of each CAN leg (`u32::MAX` without a CAN leg).
+    pub wl_key_can: Vec<u32>,
+    /// Worklist key of each FIFO leg (`u32::MAX` for non-FIFO messages).
+    pub wl_key_fifo: Vec<u32>,
 }
 
 impl SystemContext {
@@ -305,6 +336,45 @@ impl SystemContext {
         for &mi in &et_ttp_senders {
             proc_feeds_msg_release[app.messages()[mi].source().index()] = true;
         }
+        let msg_src: Vec<u32> = app
+            .messages()
+            .iter()
+            .map(|m| m.source().index() as u32)
+            .collect();
+        let mut fifo_pos = vec![usize::MAX; route.len()];
+        for (k, &mi) in fifo_ids.iter().enumerate() {
+            fifo_pos[mi] = k;
+        }
+
+        // Worklist entity order: dataflow-first (topological within each
+        // graph, legs right after their source), so the engine's first
+        // visits resolve offsets before any dependent reads them and
+        // requeues are dominated by same-direction propagation.
+        let mut wl_entities = Vec::new();
+        let mut wl_key_proc = vec![u32::MAX; proc_is_tt.len()];
+        let mut wl_key_can = vec![u32::MAX; route.len()];
+        let mut wl_key_fifo = vec![u32::MAX; route.len()];
+        for graph in app.graphs() {
+            for &p in app.topological_order(graph.id()) {
+                let pi = p.index();
+                if !proc_is_tt[pi] {
+                    wl_key_proc[pi] = wl_entities.len() as u32;
+                    wl_entities.push(WlEntity::Proc(pi as u32));
+                }
+                for e in app.successors(p) {
+                    let Some(m) = e.message else { continue };
+                    let mi = m.index();
+                    if route[mi].uses_can() {
+                        wl_key_can[mi] = wl_entities.len() as u32;
+                        wl_entities.push(WlEntity::Can(mi as u32));
+                    }
+                    if matches!(route[mi], MessageRoute::EtcToTtc) {
+                        wl_key_fifo[mi] = wl_entities.len() as u32;
+                        wl_entities.push(WlEntity::Fifo(mi as u32));
+                    }
+                }
+            }
+        }
 
         SystemContext {
             route,
@@ -335,6 +405,12 @@ impl SystemContext {
             proc_direct_succ,
             proc_out_et_msgs,
             proc_feeds_msg_release,
+            msg_src,
+            fifo_pos,
+            wl_entities,
+            wl_key_proc,
+            wl_key_can,
+            wl_key_fifo,
         }
     }
 }
@@ -377,32 +453,26 @@ pub(crate) struct Scratch {
     /// index; `usize::MAX` for TT processes).
     pub node_pos: Vec<usize>,
     // Delta-evaluation state (see [`crate::delta`]).
-    /// The dirty cone of the current delta evaluation.
+    /// The dirty cone of the current evaluation (every entity on the full
+    /// path — the full and delta runs are two seedings of one engine).
     pub dirty: DirtySet,
-    /// Positional (sorted-order) dirty mask handed to the CAN kernel.
-    pub can_dirty_pos: Vec<bool>,
-    /// Positional in/out delay buffer of the CAN kernel's dirty subset.
-    pub can_delay_pos: Vec<Option<Time>>,
-    /// Positional dirty mask handed to the CPU kernel (one node at a time).
-    pub task_dirty_pos: Vec<bool>,
-    /// Positional in/out delay buffer of the CPU kernel's dirty subset.
-    pub task_delay_pos: Vec<Option<Time>>,
-    /// Positional (FIFO-index) dirty mask of the FIFO delta pass.
-    pub fifo_dirty_pos: Vec<bool>,
-    // Pass-level memo: the kernel inputs of the previous holistic
-    // iteration; when a pass rebuilds identical inputs its delays are
-    // unchanged and the kernel fixed points are skipped entirely.
-    pub prev_can_flows: Vec<mcs_can::CanFlow>,
-    pub prev_fifo_flows: Vec<crate::queues::FifoFlow>,
-    pub prev_task_flows: Vec<Vec<TaskFlow>>,
-    // Flow buffers handed to the analysis kernels.
+    // Worklist engine state (see [`crate::holistic`]): per-key pending
+    // flags and key lists of the current and the next wave.
+    pub wl_pending: Vec<bool>,
+    pub wl_next_pending: Vec<bool>,
+    pub wl_current: Vec<u32>,
+    pub wl_next: Vec<u32>,
+    // The live kernel input arrays, maintained incrementally by the
+    // worklist engine: an entity's entry is refreshed by its own
+    // recomputation, so a kernel always reads its peers' latest values.
     pub can_flows: Vec<mcs_can::CanFlow>,
     pub fifo_flows: Vec<crate::queues::FifoFlow>,
-    pub fifo_delays: Vec<Option<FifoDelay>>,
+    /// Per ET CPU: the rank-ordered task array (transfer process first on
+    /// the gateway).
+    pub task_arrays: Vec<Vec<TaskFlow>>,
     /// Warm-start hints for the closed-form FIFO bound (raw delays, before
     /// the grid-slack pessimism), indexed like `fifo_flows`.
     pub fifo_warm: Vec<Time>,
-    pub task_flows: Vec<TaskFlow>,
     pub bound_flows: Vec<mcs_can::CanFlow>,
     pub bound_delays: Vec<Option<Time>>,
     // Outer fixed point: release lower bounds of the static scheduler,
@@ -1014,8 +1084,8 @@ impl<'s> Evaluator<'s> {
     /// configuration of this evaluator's last *successful* evaluation
     /// (search loops accumulate seeds across rejected/reverted moves and
     /// clear them after every successful call). The seeds are closed over
-    /// the static dependency graph (see [`crate::delta`]) and the outer
-    /// schedule↔analysis loop replays the evaluation trajectory:
+    /// the static dependency graph (the crate-internal `delta` module) and
+    /// the outer schedule↔analysis loop replays the evaluation trajectory:
     ///
     /// * an outer iteration whose schedule inputs (TDMA round + release
     ///   bounds) hit the memo **and** whose analysis snapshot was stamped by
@@ -1421,6 +1491,31 @@ impl<'s> Evaluator<'s> {
             ttp,
             arrival: s.arrival[mi],
         }
+    }
+}
+
+#[cfg(test)]
+impl Evaluator<'_> {
+    /// Test hook for the delta closure: stages the configuration-derived
+    /// tables and closes `seed_sets` plus `moved` placements over the
+    /// dependency graph, leaving the flags in the scratch and returning the
+    /// cone summary.
+    pub(crate) fn close_for_test(
+        &mut self,
+        config: &SystemConfig,
+        seed_sets: &[&DeltaSeeds],
+        moved: &[(&[ProcessId], &[MessageId])],
+    ) -> crate::delta::DirtyCone {
+        self.prepare_config(config)
+            .expect("valid test configuration");
+        close_dirty(&self.ctx, &mut self.scratch, seed_sets, moved)
+    }
+
+    /// Test hook: the dirty flags left by [`close_for_test`].
+    ///
+    /// [`close_for_test`]: Evaluator::close_for_test
+    pub(crate) fn dirty_for_test(&self) -> &DirtySet {
+        &self.scratch.dirty
     }
 }
 

@@ -224,6 +224,26 @@ impl DirtySet {
             self.work.push(Key::Can(mi));
         }
     }
+
+    /// Marks every analyzed entity dirty — the seeding of the *full*
+    /// evaluation path, which drives the same worklist engine as the delta
+    /// path (see [`crate::holistic`]): CAN legs, FIFO legs, every process,
+    /// every frame-derived quantity, every graph and every ET CPU.
+    pub(crate) fn mark_all(&mut self, ctx: &SystemContext) {
+        self.reset(ctx);
+        self.probe_ok = false;
+        self.procs.iter_mut().for_each(|v| *v = true);
+        self.frame.iter_mut().for_each(|v| *v = true);
+        self.graphs.iter_mut().for_each(|v| *v = true);
+        self.nodes.iter_mut().for_each(|v| *v = true);
+        for &mi in &ctx.can_ids {
+            self.can[mi] = true;
+        }
+        for &mi in &ctx.fifo_ids {
+            self.ttp[mi] = true;
+        }
+        self.count = self.procs.len() + ctx.can_ids.len() + ctx.fifo_ids.len();
+    }
 }
 
 /// The result of closing a seed set over the dependency graph.
@@ -397,5 +417,144 @@ pub(crate) fn close_dirty(
     DirtyCone {
         entities: dirty.count,
         feeders,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Evaluator;
+    use crate::multicluster::AnalysisParams;
+    use mcs_gen::{figure4, figure4_ids as ids};
+    use mcs_model::Time;
+
+    fn fig() -> mcs_gen::Figure4 {
+        figure4(Time::from_millis(200))
+    }
+
+    #[test]
+    fn structural_seeds_survive_clear_merge_and_queries() {
+        let mut seeds = DeltaSeeds::structural();
+        assert!(seeds.is_structural());
+        assert!(!seeds.is_empty());
+        seeds.clear();
+        assert!(seeds.is_empty());
+        assert!(!seeds.is_structural());
+        // Merging a structural set into a plain one taints it.
+        seeds.push_process(ids::P2);
+        let mut other = DeltaSeeds::new();
+        other.mark_structural();
+        seeds.merge(&other);
+        assert!(seeds.is_structural());
+        assert_eq!(seeds.processes(), &[ids::P2]);
+    }
+
+    #[test]
+    fn merge_is_idempotent_under_closure() {
+        let fig = fig();
+        let mut seeds = DeltaSeeds::new();
+        seeds.push_process(ids::P3);
+        seeds.push_message(ids::M1);
+        let mut doubled = seeds.clone();
+        doubled.merge(&seeds);
+        assert_ne!(seeds.processes().len(), doubled.processes().len());
+
+        let mut a = Evaluator::new(&fig.system, AnalysisParams::default());
+        let cone_once = a.close_for_test(&fig.config_a, &[&seeds], &[]);
+        let dirty_once = a.dirty_for_test().clone();
+        let mut b = Evaluator::new(&fig.system, AnalysisParams::default());
+        let cone_twice = b.close_for_test(&fig.config_a, &[&doubled, &seeds], &[]);
+        let dirty_twice = b.dirty_for_test();
+        // Duplicated seeds close to the identical cone: each entity is
+        // marked (and counted) once.
+        assert_eq!(cone_once.entities, cone_twice.entities);
+        assert_eq!(cone_once.feeders, cone_twice.feeders);
+        assert_eq!(dirty_once.procs, dirty_twice.procs);
+        assert_eq!(dirty_once.can, dirty_twice.can);
+        assert_eq!(dirty_once.ttp, dirty_twice.ttp);
+    }
+
+    #[test]
+    fn empty_seeds_close_to_an_empty_cone() {
+        let fig = fig();
+        let mut ev = Evaluator::new(&fig.system, AnalysisParams::default());
+        let cone = ev.close_for_test(&fig.config_a, &[&DeltaSeeds::new()], &[]);
+        assert_eq!(cone.entities, 0);
+        assert!(!cone.feeders);
+        assert!(ev.dirty_for_test().probe_ok);
+    }
+
+    #[test]
+    fn gateway_release_coupling_marks_feeders_and_the_fifo_tail() {
+        let fig = fig();
+        // m3 (P2 → P4) is the ETC→TTC message: its FIFO arrival bounds
+        // P4's release — a coupling of the *outer* fixed point.
+        let mut seeds = DeltaSeeds::new();
+        seeds.push_message(ids::M3);
+        let mut ev = Evaluator::new(&fig.system, AnalysisParams::default());
+        let cone = ev.close_for_test(&fig.config_a, &[&seeds], &[]);
+        assert!(cone.feeders, "a dirty FIFO leg is a release input");
+        let dirty = ev.dirty_for_test();
+        assert!(dirty.can[ids::M3.index()]);
+        assert!(dirty.ttp[ids::M3.index()]);
+
+        // Seeding the highest-priority CAN message reaches m3 through the
+        // bus band (m2, m3 are lower priority), and through m3 the FIFO leg
+        // and the feeders flag.
+        let mut seeds = DeltaSeeds::new();
+        seeds.push_message(ids::M1);
+        let mut ev = Evaluator::new(&fig.system, AnalysisParams::default());
+        let cone = ev.close_for_test(&fig.config_a, &[&seeds], &[]);
+        assert!(cone.feeders);
+        let dirty = ev.dirty_for_test();
+        assert!(dirty.can[ids::M1.index()]);
+        assert!(dirty.can[ids::M2.index()]);
+        assert!(dirty.can[ids::M3.index()]);
+        assert!(dirty.ttp[ids::M3.index()]);
+    }
+
+    #[test]
+    fn priority_band_closure_marks_only_lower_priorities() {
+        let fig = fig();
+        // Configuration (a): priority(P3) = 0 > priority(P2) = 1 on N2.
+        // Seeding the *lower*-priority P2 must leave P3 clean (its hp set
+        // does not contain P2)…
+        let mut seeds = DeltaSeeds::new();
+        seeds.push_process(ids::P2);
+        let mut ev = Evaluator::new(&fig.system, AnalysisParams::default());
+        let cone = ev.close_for_test(&fig.config_a, &[&seeds], &[]);
+        let dirty = ev.dirty_for_test();
+        assert!(dirty.procs[ids::P2.index()]);
+        assert!(!dirty.procs[ids::P3.index()]);
+        // …but P2's response feeds the enqueue jitter of m3, so the cone
+        // still contains a release input.
+        assert!(dirty.can[ids::M3.index()]);
+        assert!(cone.feeders);
+
+        // Seeding the higher-priority P3 dirties the band below it.
+        let mut seeds = DeltaSeeds::new();
+        seeds.push_process(ids::P3);
+        let mut ev = Evaluator::new(&fig.system, AnalysisParams::default());
+        ev.close_for_test(&fig.config_a, &[&seeds], &[]);
+        let dirty = ev.dirty_for_test();
+        assert!(dirty.procs[ids::P3.index()]);
+        assert!(dirty.procs[ids::P2.index()]);
+    }
+
+    #[test]
+    fn moved_placements_disable_the_probe_and_seed_the_frame() {
+        let fig = fig();
+        let mut ev = Evaluator::new(&fig.system, AnalysisParams::default());
+        let moved_msgs = [ids::M1];
+        let cone = ev.close_for_test(&fig.config_a, &[&DeltaSeeds::new()], &[(&[], &moved_msgs)]);
+        let dirty = ev.dirty_for_test();
+        assert!(!dirty.probe_ok, "moved placements are real offset changes");
+        assert!(dirty.frame[ids::M1.index()]);
+        // A moved TTC→ETC frame shifts the CAN-leg offset: the flow and its
+        // band re-derive, down to the FIFO leg of m3.
+        assert!(dirty.can[ids::M1.index()]);
+        assert!(dirty.can[ids::M3.index()]);
+        assert!(dirty.ttp[ids::M3.index()]);
+        assert!(cone.entities > 0);
     }
 }

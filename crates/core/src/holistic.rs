@@ -1,29 +1,89 @@
 //! The holistic response-time analysis of the event-triggered side, given a
-//! fixed TTC schedule (the paper's `ResponseTimeAnalysis(Γ, φ, π)`).
+//! fixed TTC schedule (the paper's `ResponseTimeAnalysis(Γ, φ, π)`), solved
+//! by one **value-driven worklist engine** shared by the full and the delta
+//! (incremental) evaluation paths.
 //!
 //! For a fixed static schedule of the TTC (process start times and frame
-//! placements), this module iterates the coupled fixed points of
+//! placements), the analysis is a fixed point of the coupled equations of
 //!
 //! * offset/jitter propagation along the process graphs
 //!   (`J_D(m) = r_m`, `O_B = max` over predecessor availabilities),
 //! * CAN queuing delays of every message with a CAN leg (`mcs-can`),
 //! * `Out_TTP` FIFO delays of ETC→TTC messages ([`crate::queues`]), and
-//! * preemption delays of processes sharing each ET CPU ([`crate::rta`]),
+//! * preemption delays of processes sharing each ET CPU ([`crate::rta`]).
 //!
-//! until the response times stabilize. All quantities grow monotonically, so
-//! the iteration either converges or crosses the analysis horizon, in which
-//! case the affected delays are clamped to the horizon and the result is
-//! flagged as diverged (unschedulable).
+//! # The worklist engine
 //!
-//! The pass operates entirely on the reusable state of [`crate::context`]:
+//! Each analyzed **entity** — an ET process, a CAN leg, a FIFO leg — has a
+//! local recomputation: re-derive its jitter from its predecessors' current
+//! values, refresh its entry in the shared kernel input array, re-run its
+//! kernel fixed point, and compare the externally visible result (the flow
+//! entry plus the route-facing offset/response) against the previous one.
+//! Only when a value actually **changed** are the entity's dependents
+//! requeued:
+//!
+//! * the lower-priority entities on the same resource (their interference
+//!   prefix contains the changed flow),
+//! * the route successors (direct ET successors, the legs the process
+//!   sources, the CAN leg's destination or its FIFO continuation), and
+//! * for a FIFO leg, the legs drained after it.
+//!
+//! The worklist pops entities in a static dataflow order
+//! ([`SystemContext::wl_entities`]: graphs in order, topological within each
+//! graph, legs right after their source), so first visits resolve offsets
+//! before any dependent reads them and propagation mostly runs forward;
+//! cyclic couplings (bus ↔ CPU ↔ FIFO) simply requeue until quiescent.
+//!
+//! [`Holistic::run`] seeds the worklist with **every** entity from the
+//! bottom of the lattice; [`Holistic::run_delta`] seeds it with the closed
+//! dirty cone of [`crate::delta`], resetting only the cone to the bottom
+//! while clean entities keep their loaded baseline values. The two public
+//! evaluation paths are literally two seedings of the same loop.
+//!
+//! # Why the engine reaches the same least fixed point as chaotic iteration
+//!
+//! The state of the fixed point is the vector of jitters, queuing/busy
+//! delays and responses (offsets are **not** part of the lattice: they
+//! derive from the schedule and BCETs only, and the seeding pass resolves
+//! every dirty entity's offset in topological order before any kernel
+//! runs). Over that state every operator is **monotone**: interference
+//! terms grow with peer jitters and responses (a grown response can only
+//! *disable* an offset-phase reduction, never enable one), FIFO backlogs
+//! grow with enqueue jitters, and the horizon clamp of a diverged kernel is
+//! monotone too. Starting from the lattice bottom, every entity
+//! recomputation therefore moves the state **upward but never above** the
+//! least fixed point — which makes per-entity warm starts sound — and any
+//! order of recomputations that keeps going until no input of any entity
+//! has changed since its last visit converges to the **same least fixed
+//! point** as the pass-based chaotic iteration (Kleene iteration of a
+//! monotone map on a lattice of finite height). Value-gated requeueing is
+//! exactly that stopping rule: an entity is revisited precisely when one of
+//! its inputs changed, so an empty worklist certifies global stability.
+//!
+//! The occurrence-based FIFO bound is the one non-monotone operator (its
+//! blocking term shrinks as the enqueue jitter grows past a round
+//! boundary). It is therefore evaluated as a **stateless function** of its
+//! inputs on every visit — never warm-started — so a converged entry always
+//! equals the cold fixed point at its final inputs, independent of the
+//! visit order; the delta path inherits bit-identity for it the same way
+//! the pass-based implementation did.
+//!
+//! On the delta path, clean entities keep their previously converged values
+//! untouched: the dependency closure guarantees every input of a clean
+//! entity is clean, so the clean part of the old least fixed point solves
+//! the new equations and the dirty part re-climbs against it from the
+//! bottom — reaching the least fixed point of the *whole* new system (the
+//! standard restriction argument; see [`crate::delta`]).
+//!
+//! The engine operates entirely on the reusable state of [`crate::context`]:
 //! the immutable `SystemContext` tables and the `Scratch` vectors, which it
 //! clears (never reallocates) on entry.
 
 use mcs_can::CanFlow;
-use mcs_model::{GraphId, MessageId, MessageRoute, Priority, System, Time};
+use mcs_model::{GraphId, MessageId, MessageRoute, Priority, ProcessId, System, Time};
 use mcs_ttp::TtcSchedule;
 
-use crate::context::{Scratch, SystemContext};
+use crate::context::{Scratch, SystemContext, WlEntity};
 use crate::multicluster::FifoBound;
 use crate::queues::{fifo_delay_from, fifo_delay_occurrence, FifoFlow, TtpQueueParams};
 use crate::rta::TaskFlow;
@@ -33,20 +93,6 @@ fn app_rank(priority: Priority) -> u64 {
     1 << 32 | u64::from(priority.level())
 }
 const TRANSFER_RANK: u64 = 0;
-
-/// Which entities one propagation walk touches (see
-/// [`Holistic::walk_graph`]).
-#[derive(Clone, Copy)]
-enum WalkMode {
-    /// Every entity; `first` additionally resolves the offsets.
-    Full {
-        /// Whether this is the first pass of the holistic run.
-        first: bool,
-    },
-    /// Only dirty entities, offsets included (their baseline schedule may
-    /// have moved); clean entities keep their values untouched.
-    Delta,
-}
 
 /// One holistic analysis pass over a fixed TTC schedule, reading the shared
 /// [`SystemContext`] and mutating only the [`Scratch`].
@@ -66,32 +112,22 @@ pub(crate) struct Holistic<'a> {
 }
 
 impl Holistic<'_> {
-    /// Runs the fixed point to convergence (or the iteration cap), leaving
-    /// the converged timing state in the scratch; queue bounds are computed
-    /// separately by [`queue_bounds`](Holistic::queue_bounds) (the evaluator
-    /// needs them only for the final outer iteration). Returns whether the
-    /// passes reached stability (as opposed to exhausting the cap).
+    /// Runs the fixed point to convergence (or the recomputation budget),
+    /// leaving the converged timing state in the scratch; queue bounds are
+    /// computed separately by [`queue_bounds`](Holistic::queue_bounds) (the
+    /// evaluator needs them only for the final outer iteration). Returns
+    /// whether the engine reached quiescence (as opposed to exhausting the
+    /// budget).
     ///
-    /// Convergence is detected by the pass memos: an iteration in which
-    /// every kernel pass saw inputs identical to the previous iteration has
-    /// changed nothing (the flows embed every fingerprinted quantity — the
-    /// offsets, jitters and responses of both processes and message legs),
-    /// which is exactly the classic fixed-point termination test without
-    /// snapshotting the state vectors.
+    /// This is the **full** seeding of the worklist engine: every entity
+    /// restarts from the bottom of the lattice and joins the worklist; see
+    /// the module docs for the convergence argument.
     pub(crate) fn run(&mut self) -> bool {
         self.reset();
-        let mut first = true;
-        for _ in 0..self.max_iterations {
-            self.propagate_offsets_and_jitters(first);
-            first = false;
-            let can_stable = self.can_pass();
-            let fifo_stable = self.fifo_pass();
-            let cpu_stable = self.cpu_pass();
-            if can_stable && fifo_stable && cpu_stable {
-                return true;
-            }
-        }
-        false
+        self.s.dirty.mark_all(self.ctx);
+        self.seed_offsets_and_jitters();
+        self.stage_kernel_inputs();
+        self.solve()
     }
 
     /// Restricted fixed point over the dirty cone of `Scratch::dirty`
@@ -100,10 +136,13 @@ impl Holistic<'_> {
     /// the outer iteration's snapshot); clean entities keep those values,
     /// dirty entities restart from the bottom of the lattice and re-climb
     /// against the fixed clean inputs — reaching the same least fixed point
-    /// a full re-analysis would, in a fraction of the kernel work. Returns
-    /// whether stability was reached within the pass budget; on `false` the
-    /// caller must fall back to the full analysis (the scratch is
+    /// a full re-analysis would, in a fraction of the kernel work. This is
+    /// the **delta** seeding of the same worklist engine [`run`] drives.
+    /// Returns whether quiescence was reached within the budget; on `false`
+    /// the caller must fall back to the full analysis (the scratch is
     /// mid-climb).
+    ///
+    /// [`run`]: Holistic::run
     pub(crate) fn run_delta(&mut self) -> bool {
         let ctx = self.ctx;
         // No-op probe: for a pure priority permutation, only the seed
@@ -112,15 +151,17 @@ impl Holistic<'_> {
         // its snapshot value, nothing in the cone can move — the baseline
         // *is* this configuration's analysis.
         if self.s.dirty.probe_ok {
-            self.build_delta_inputs();
+            self.stage_kernel_inputs();
             if self.probe_unchanged() {
                 return true;
             }
         }
         {
             // Dirty entities restart from the bottom of the fixed-point
-            // lattice. Offsets are *kept*: they derive from the schedule and
-            // BCETs only, which are identical for this snapshot's schedule.
+            // lattice. Offsets are *kept* here and re-derived by the
+            // seeding pass below: they come from the schedule and BCETs
+            // only, but a schedule rebuild may have moved the placements
+            // under a dirty entity.
             let s = &mut *self.s;
             for pi in 0..s.dirty.procs.len() {
                 if s.dirty.procs[pi] {
@@ -131,62 +172,348 @@ impl Holistic<'_> {
             }
             for mi in 0..s.dirty.can.len() {
                 if s.dirty.can[mi] {
-                    // `can_j` is left in place: for ETC-sent legs the next
-                    // jitter pass recomputes it from the (reset) sender
-                    // state before any kernel reads it, and for TTC→ETC legs
-                    // it is the constant transfer-process response.
+                    // `can_j` is left in place: the seeding pass recomputes
+                    // it from the (reset) sender state before any kernel
+                    // reads it, and for TTC→ETC legs it is the constant
+                    // transfer-process response.
                     s.can_w[mi] = Time::ZERO;
                     s.can_r[mi] = Time::ZERO;
                 }
             }
-            // Positional dirty masks of the CAN and FIFO kernels (static
-            // across the delta passes).
-            let n = s.can_order.len();
-            s.can_dirty_pos.clear();
-            s.can_dirty_pos.resize(n, false);
-            for k in 0..n {
-                s.can_dirty_pos[k] = s.dirty.can[s.can_order[k]];
-            }
-            s.fifo_dirty_pos.clear();
-            s.fifo_dirty_pos.resize(ctx.fifo_ids.len(), false);
-            for (k, &mi) in ctx.fifo_ids.iter().enumerate() {
+            for &mi in &ctx.fifo_ids {
                 if s.dirty.ttp[mi] {
-                    s.fifo_dirty_pos[k] = true;
                     // The FIFO leg restarts from the bottom as well.
                     s.ttp_w[mi] = Time::ZERO;
                     s.ttp_r[mi] = Time::ZERO;
                     s.backlog[mi] = 0;
-                    s.fifo_warm[k] = Time::ZERO;
+                    s.fifo_warm[ctx.fifo_pos[mi]] = Time::ZERO;
                 }
             }
         }
-        // Build the kernel input arrays once; the delta passes update only
-        // their dirty entries in place (clean flows cannot change), so each
-        // pass costs O(dirty) instead of O(system). A failed probe already
-        // staged them — the reset only touched scratch values whose array
-        // entries the first delta pass refreshes itself. The full-pass
-        // memos are bypassed entirely — `run`'s reset rebuilds them.
-        if !self.s.dirty.probe_ok {
-            self.build_delta_inputs();
-        }
-        let mut first = true;
-        for _ in 0..self.max_iterations {
-            self.propagate_jitters_delta();
-            let can_stable = self.can_pass_delta(first);
-            let fifo_stable = self.fifo_pass_delta(first);
-            let cpu_stable = self.cpu_pass_delta(first);
-            first = false;
-            if can_stable && fifo_stable && cpu_stable {
-                return true;
+        self.seed_offsets_and_jitters();
+        // (Re)stage the kernel input arrays from the current scratch state:
+        // clean entries carry their baseline (= new least fixed point)
+        // values, dirty entries their freshly walked bottom-side values —
+        // everything at or below the new least fixed point, which is what
+        // licenses the per-entity warm starts. The probe path staged the
+        // arrays from the unreset baseline; after a failed probe the dirty
+        // entries must be re-staged from the reset state.
+        self.stage_kernel_inputs();
+        self.solve()
+    }
+
+    /// Seeds the offsets and the initial jitters of every dirty entity by
+    /// one topological walk over the graphs containing dirty entities.
+    ///
+    /// Offsets derive from the schedule and BCETs only, so after this pass
+    /// they are final for the whole run — resolving them *before* any
+    /// kernel runs is load-bearing: interference is not monotone in the
+    /// offsets (phase separations), so a kernel must never observe a stale
+    /// or unresolved peer offset.
+    fn seed_offsets_and_jitters(&mut self) {
+        for gi in 0..self.ctx.n_graphs {
+            if self.s.dirty.graphs[gi] {
+                self.walk_graph(GraphId::new(gi as u32));
             }
         }
-        false
+    }
+
+    /// The worklist loop: seed every dirty entity, then process **waves**
+    /// — each wave visits its pending entities in ascending key order
+    /// (Gauss–Seidel: a recomputation reads the latest values of everything
+    /// visited before it) and value changes requeue dependents. A dependent
+    /// still pending *later in the current wave* needs no requeue (it will
+    /// read the fresh arrays when its turn comes); one already visited is
+    /// deferred to the next wave, so the reactions to all of a wave's
+    /// changes are batched into one revisit instead of one revisit per
+    /// change. Quiescence — an empty next wave — certifies that no entity
+    /// has an input changed since its last visit. Returns `false` when the
+    /// wave budget (`max_iterations`, mirroring the pass-based cap) is
+    /// exhausted mid-climb.
+    fn solve(&mut self) -> bool {
+        let ctx = self.ctx;
+        let n = ctx.wl_entities.len();
+        {
+            let s = &mut *self.s;
+            s.wl_pending.clear();
+            s.wl_pending.resize(n, false);
+            s.wl_next_pending.clear();
+            s.wl_next_pending.resize(n, false);
+            s.wl_current.clear();
+            s.wl_next.clear();
+            for key in 0..n as u32 {
+                let dirty = match ctx.wl_entities[key as usize] {
+                    WlEntity::Proc(pi) => s.dirty.procs[pi as usize],
+                    WlEntity::Can(mi) => s.dirty.can[mi as usize],
+                    WlEntity::Fifo(mi) => s.dirty.ttp[mi as usize],
+                };
+                if dirty {
+                    s.wl_pending[key as usize] = true;
+                    s.wl_current.push(key);
+                }
+            }
+        }
+        for _ in 0..self.max_iterations {
+            if self.s.wl_current.is_empty() {
+                return true;
+            }
+            let mut i = 0;
+            while i < self.s.wl_current.len() {
+                let key = self.s.wl_current[i];
+                i += 1;
+                self.s.wl_pending[key as usize] = false;
+                match ctx.wl_entities[key as usize] {
+                    WlEntity::Proc(pi) => self.recompute_proc(pi as usize),
+                    WlEntity::Can(mi) => self.recompute_can(mi as usize),
+                    WlEntity::Fifo(mi) => self.recompute_fifo(mi as usize),
+                }
+            }
+            // Next wave: the deferred requeues, in key order.
+            let s = &mut *self.s;
+            s.wl_current.clear();
+            std::mem::swap(&mut s.wl_current, &mut s.wl_next);
+            s.wl_current.sort_unstable();
+            std::mem::swap(&mut s.wl_pending, &mut s.wl_next_pending);
+        }
+        self.s.wl_current.is_empty()
+    }
+
+    /// Recomputes one ET process: jitter from the predecessors' current
+    /// values, busy window against the CPU's rank prefix, then requeue the
+    /// dependents whose inputs the result actually changed.
+    fn recompute_proc(&mut self, pi: usize) {
+        let ctx = self.ctx;
+        let app = &self.system.application;
+        let schedule = self.schedule;
+        let p = ProcessId::new(pi as u32);
+        let ni = ctx.proc_et_node[pi].expect("worklist processes are ET-hosted") as usize;
+        let offset = usize::from(ctx.et_nodes[ni].is_gateway);
+        let idx = offset + self.s.node_pos[pi];
+
+        // Availability of the triggering data: earliest (offset) and worst
+        // case (jitter) over the predecessors. Recomputing the offset is
+        // idempotent — it reads only fixed quantities.
+        let (earliest, worst) = availability(ctx, self.s, app, schedule, p);
+        let s = &mut *self.s;
+        s.po[pi] = earliest;
+        s.pj[pi] = worst.saturating_sub(earliest);
+
+        // Busy window against the rank prefix; own jitter/offset must be
+        // staged before the kernel reads `tasks[idx]` as "me".
+        let old = s.task_arrays[ni][idx];
+        s.task_arrays[ni][idx].jitter = s.pj[pi];
+        s.task_arrays[ni][idx].offset = s.po[pi];
+        let delay =
+            crate::rta::interference_delay_sorted(&s.task_arrays[ni], idx, self.horizon, s.pw[pi]);
+        let w = match delay {
+            Some(w) => w,
+            None => {
+                s.diverged = true;
+                self.horizon
+            }
+        };
+        s.pw[pi] = w;
+        s.pr[pi] = s.pj[pi].saturating_add(w).saturating_add(ctx.proc_wcet[pi]);
+        let new = build_task_flow(ctx, s, pi);
+        s.task_arrays[ni][idx] = new;
+        if new == old {
+            return;
+        }
+        // The priority band below on this CPU sees the changed flow in its
+        // interference prefix.
+        let Scratch {
+            node_order,
+            node_pos,
+            dirty,
+            wl_pending,
+            wl_next_pending,
+            wl_next,
+            ..
+        } = s;
+        for q in &node_order[ni][node_pos[pi] + 1..] {
+            let qi = q.index();
+            if dirty.procs[qi] {
+                push(wl_pending, wl_next_pending, wl_next, ctx.wl_key_proc[qi]);
+            }
+        }
+        // Route successors read the offset (earliest availability) and the
+        // response (worst availability / enqueue jitter).
+        if new.response != old.response || new.offset != old.offset {
+            for &q in &ctx.proc_direct_succ[pi] {
+                if dirty.procs[q as usize] {
+                    push(
+                        wl_pending,
+                        wl_next_pending,
+                        wl_next,
+                        ctx.wl_key_proc[q as usize],
+                    );
+                }
+            }
+            for &mi in &ctx.proc_out_et_msgs[pi] {
+                if dirty.can[mi as usize] {
+                    push(
+                        wl_pending,
+                        wl_next_pending,
+                        wl_next,
+                        ctx.wl_key_can[mi as usize],
+                    );
+                }
+            }
+        }
+    }
+
+    /// Recomputes one CAN leg: enqueue offset/jitter from the sender's
+    /// current state, queuing delay against the bus priority prefix, then
+    /// requeue the dependents the result actually changed.
+    fn recompute_can(&mut self, mi: usize) {
+        let ctx = self.ctx;
+        let r_transfer = self.system.gateway.transfer_response();
+        let k = self.s.can_pos[mi];
+        stage_leg(
+            ctx,
+            self.s,
+            self.schedule,
+            r_transfer,
+            ctx.msg_src[mi] as usize,
+            mi,
+        );
+        let s = &mut *self.s;
+        let old = s.can_flows[k];
+        s.can_flows[k].jitter = s.can_j[mi];
+        s.can_flows[k].offset = s.can_o[mi];
+        let delay = mcs_can::queuing_delay_sorted(
+            &s.can_flows,
+            k,
+            s.can_blocking[k],
+            self.horizon,
+            s.can_w[mi],
+        );
+        let w = match delay {
+            Some(w) => w,
+            None => {
+                s.diverged = true;
+                self.horizon
+            }
+        };
+        s.can_w[mi] = w;
+        s.can_r[mi] = s.can_j[mi].saturating_add(w).saturating_add(ctx.can_c[mi]);
+        if !matches!(ctx.route[mi], MessageRoute::EtcToTtc) {
+            s.arrival[mi] = s.can_o[mi].saturating_add(s.can_r[mi]);
+        }
+        let new = build_can_flow(ctx, s, mi);
+        s.can_flows[k] = new;
+        if new == old {
+            return;
+        }
+        let Scratch {
+            can_order,
+            dirty,
+            wl_pending,
+            wl_next_pending,
+            wl_next,
+            ..
+        } = s;
+        // The bus band below sees the changed flow in its prefix.
+        for &mj in &can_order[k + 1..] {
+            if dirty.can[mj] {
+                push(wl_pending, wl_next_pending, wl_next, ctx.wl_key_can[mj]);
+            }
+        }
+        // Route successor: the destination's jitter, or the FIFO leg this
+        // CAN leg feeds.
+        if new.response != old.response || new.offset != old.offset {
+            match ctx.route[mi] {
+                MessageRoute::EtcToTtc => {
+                    if dirty.ttp[mi] {
+                        push(wl_pending, wl_next_pending, wl_next, ctx.wl_key_fifo[mi]);
+                    }
+                }
+                MessageRoute::EtcToEtc | MessageRoute::TtcToEtc => {
+                    let dest = ctx.msg_dest[mi] as usize;
+                    if !ctx.proc_is_tt[dest] && dirty.procs[dest] {
+                        push(wl_pending, wl_next_pending, wl_next, ctx.wl_key_proc[dest]);
+                    }
+                }
+                MessageRoute::TtcToTtc => unreachable!("no worklist entity"),
+            }
+        }
+    }
+
+    /// Recomputes one `Out_TTP` FIFO leg: enqueue jitter from the CAN leg's
+    /// current response, FIFO delay and backlog, then requeue the legs
+    /// drained after it if the result changed. (The leg's arrival bounds a
+    /// TT release — an input of the *outer* schedule↔analysis fixed point,
+    /// re-derived by the trajectory replay, not by this engine.)
+    fn recompute_fifo(&mut self, mi: usize) {
+        let ctx = self.ctx;
+        let r_transfer = self.system.gateway.transfer_response();
+        let k = ctx.fifo_pos[mi];
+        let s = &mut *self.s;
+        // Worst FIFO entry: after the CAN leg response plus the transfer
+        // process.
+        s.ttp_j[mi] = s.can_r[mi]
+            .saturating_sub(ctx.can_c[mi])
+            .saturating_add(r_transfer);
+        let old = s.fifo_flows[k];
+        s.fifo_flows[k].jitter = s.ttp_j[mi];
+        s.fifo_flows[k].offset = s.ttp_o[mi];
+        // The closed form warm-starts from the previous iterate (monotone
+        // operator); the occurrence bound is a stateless function of its
+        // inputs (its blocking term is not monotone in the enqueue jitter).
+        let delay = match self.fifo_bound {
+            FifoBound::PaperClosedForm => fifo_delay_from(
+                &s.fifo_flows,
+                k,
+                &self.ttp_queue,
+                self.horizon,
+                s.fifo_warm[k],
+            ),
+            FifoBound::SlotOccurrence => {
+                fifo_delay_occurrence(&s.fifo_flows, k, &self.ttp_queue, self.horizon)
+            }
+        };
+        let (w, backlog) = match delay {
+            Some(d) => {
+                s.fifo_warm[k] = d.delay;
+                (d.delay.saturating_add(self.grid_slack), d.backlog)
+            }
+            None => {
+                s.diverged = true;
+                (self.horizon, s.fifo_flows[k].size_bytes.into())
+            }
+        };
+        s.ttp_w[mi] = w;
+        s.backlog[mi] = backlog;
+        s.ttp_r[mi] = s.ttp_j[mi]
+            .saturating_add(w)
+            .saturating_add(self.ttp_queue.slot_duration);
+        s.arrival[mi] = s.ttp_o[mi].saturating_add(s.ttp_r[mi]);
+        let new = build_fifo_flow(ctx, s, mi);
+        s.fifo_flows[k] = new;
+        if new == old {
+            return;
+        }
+        // The FIFO drains in CAN-priority order: every leg drained after
+        // this one (higher rank) counts it among the bytes queued ahead.
+        let Scratch {
+            dirty,
+            wl_pending,
+            wl_next_pending,
+            wl_next,
+            fifo_flows,
+            ..
+        } = s;
+        for (j, &mj) in ctx.fifo_ids.iter().enumerate() {
+            if j != k && fifo_flows[j].rank > new.rank && dirty.ttp[mj] {
+                push(wl_pending, wl_next_pending, wl_next, ctx.wl_key_fifo[mj]);
+            }
+        }
     }
 
     /// Probes the equation-dirty spans against the loaded baseline: every
     /// affected fixed point is recomputed cold and compared to its snapshot
     /// value. `true` means the whole dirty cone is provably value-clean.
-    /// Requires [`build_delta_inputs`](Holistic::build_delta_inputs) to
+    /// Requires [`stage_kernel_inputs`](Holistic::stage_kernel_inputs) to
     /// have staged the kernel arrays from the (unmodified) baseline state.
     ///
     /// Soundness (why a passing probe implies the baseline is the *least*
@@ -249,7 +576,7 @@ impl Holistic<'_> {
             for idx in lo..=hi {
                 let pi = s.node_order[ni][idx].index();
                 let w = crate::rta::interference_delay_sorted(
-                    &s.prev_task_flows[ni],
+                    &s.task_arrays[ni],
                     offset + idx,
                     self.horizon,
                     Time::ZERO,
@@ -262,11 +589,13 @@ impl Holistic<'_> {
         true
     }
 
-    /// Seeds the kernel input arrays of a delta run from the loaded
-    /// baseline state: the sorted CAN flows, the FIFO flows, and — for each
-    /// CPU hosting a dirty process — the rank-ordered task array (staged in
-    /// `prev_task_flows`, whose memo role is unused on the delta path).
-    fn build_delta_inputs(&mut self) {
+    /// Stages the kernel input arrays from the current scratch state: the
+    /// sorted CAN flows, the FIFO flows, and — for each CPU hosting a dirty
+    /// process — the rank-ordered task array. Every entry is at or below
+    /// the least fixed point afterwards (clean entries *are* their LFP
+    /// values, dirty entries carry reset bottom-side values), which is the
+    /// invariant that keeps warm starts sound.
+    fn stage_kernel_inputs(&mut self) {
         let ctx = self.ctx;
         let system = self.system;
         let n = self.s.can_order.len();
@@ -281,22 +610,20 @@ impl Holistic<'_> {
             let flow = self.fifo_flow(mi);
             self.s.fifo_flows.push(flow);
         }
-        self.s
-            .prev_task_flows
-            .resize(ctx.et_nodes.len(), Vec::new());
+        self.s.task_arrays.resize(ctx.et_nodes.len(), Vec::new());
         for (ni, et) in ctx.et_nodes.iter().enumerate() {
             if !self.s.dirty.nodes[ni] {
                 continue;
             }
-            self.s.prev_task_flows[ni].clear();
+            self.s.task_arrays[ni].clear();
             if et.is_gateway {
                 let task = transfer_task(system);
-                self.s.prev_task_flows[ni].push(task);
+                self.s.task_arrays[ni].push(task);
             }
             for idx in 0..self.s.node_order[ni].len() {
                 let pi = self.s.node_order[ni][idx].index();
                 let task = self.task_flow(pi);
-                self.s.prev_task_flows[ni].push(task);
+                self.s.task_arrays[ni].push(task);
             }
         }
     }
@@ -330,174 +657,49 @@ impl Holistic<'_> {
         s.backlog.resize(n_m, 0);
         s.fifo_warm.clear();
         s.fifo_warm.resize(self.ctx.fifo_ids.len(), Time::ZERO);
-        s.prev_can_flows.clear();
-        s.prev_fifo_flows.clear();
-        s.prev_task_flows
-            .resize(self.ctx.et_nodes.len(), Vec::new());
-        for prev in &mut s.prev_task_flows {
-            prev.clear();
-        }
         s.diverged = false;
         s.pr.copy_from_slice(&self.ctx.proc_wcet);
     }
 
-    /// Topological pass updating `O` and `J` of ET processes and of every
-    /// message leg from the current response times.
-    ///
-    /// Offsets are propagated as *earliest availabilities*: an entity's
-    /// offset is the best-case instant its triggering data can exist
-    /// (predecessor offset + BCET + minimal transmission), and its jitter is
-    /// the gap to the worst-case availability. This matches the paper's
-    /// worked numbers (Figure 4a: `J_2 = 15`, `r_2 = 55`, `r_3 = 45`) and
-    /// spreads ET-chain offsets so that the queue analyses can phase flows
-    /// apart.
-    ///
-    /// Offsets are built from BCETs and the (fixed) schedule only, so they
-    /// are invariant across the iterations of one holistic run: after the
-    /// `first` pass resolves them in topological order, later passes update
-    /// only the jitter side.
-    fn propagate_offsets_and_jitters(&mut self, first: bool) {
-        for gi in 0..self.ctx.n_graphs {
-            self.walk_graph(GraphId::new(gi as u32), WalkMode::Full { first });
-        }
-    }
-
-    /// Delta form of the propagation pass: only the graphs (phase groups)
-    /// containing a dirty entity are walked, and inside them only dirty
-    /// entities are recomputed — offsets included, because a schedule
-    /// rebuild may have moved the placements under them; clean entities
-    /// provably kept every input, so their offsets and jitters stand.
-    fn propagate_jitters_delta(&mut self) {
-        for gi in 0..self.ctx.n_graphs {
-            if self.s.dirty.graphs[gi] {
-                self.walk_graph(GraphId::new(gi as u32), WalkMode::Delta);
-            }
-        }
-    }
-
-    /// One graph of the propagation pass (see
-    /// [`propagate_offsets_and_jitters`](Holistic::propagate_offsets_and_jitters)).
-    fn walk_graph(&mut self, graph: GraphId, mode: WalkMode) {
+    /// One topological walk of `graph`, (re)resolving the offsets and the
+    /// current-state jitters of its dirty entities. Clean entities provably
+    /// kept every input, so their offsets and jitters stand.
+    fn walk_graph(&mut self, graph: GraphId) {
         let system = self.system;
         let ctx = self.ctx;
         let app = &system.application;
         let schedule = self.schedule;
         let r_transfer = system.gateway.transfer_response();
-        let s = &mut *self.s;
-        {
-            for &p in app.topological_order(graph) {
-                let pi = p.index();
-                // Whether this entity's offset is (re)resolved this pass:
-                // the first pass of a full run, or a dirty entity of a delta
-                // run (whose baseline schedule may have moved).
-                let touch_proc = match mode {
-                    WalkMode::Full { .. } => true,
-                    WalkMode::Delta => s.dirty.procs[pi],
-                };
-                let set_offsets = match mode {
-                    WalkMode::Full { first } => first,
-                    WalkMode::Delta => true,
-                };
-                if ctx.proc_is_tt[pi] {
-                    if touch_proc && set_offsets {
-                        // Fixed by the schedule table for this whole run.
-                        s.po[pi] = schedule
-                            .start(p)
-                            .expect("TT process placed by the list scheduler");
-                        s.pj[pi] = Time::ZERO;
-                        s.pw[pi] = Time::ZERO;
-                        s.pr[pi] = ctx.proc_wcet[pi];
-                    }
-                } else if touch_proc {
-                    let mut earliest = Time::ZERO;
-                    let mut worst = Time::ZERO;
-                    for e in app.predecessors(p) {
-                        let (o, w) = match e.message {
-                            None => {
-                                let src = e.source.index();
-                                (
-                                    s.po[src].saturating_add(ctx.proc_bcet[src]),
-                                    s.po[src].saturating_add(s.pr[src]),
-                                )
-                            }
-                            Some(m) => {
-                                let mi = m.index();
-                                match ctx.route[mi] {
-                                    MessageRoute::TtcToTtc => {
-                                        let a = frame_arrival(schedule, m);
-                                        (a, a)
-                                    }
-                                    MessageRoute::EtcToEtc | MessageRoute::TtcToEtc => (
-                                        s.can_o[mi].saturating_add(ctx.can_c[mi]),
-                                        s.can_o[mi].saturating_add(s.can_r[mi]),
-                                    ),
-                                    MessageRoute::EtcToTtc => {
-                                        (s.ttp_o[mi], s.ttp_o[mi].saturating_add(s.ttp_r[mi]))
-                                    }
-                                }
-                            }
-                        };
-                        earliest = earliest.max(o);
-                        worst = worst.max(w);
-                    }
-                    if set_offsets {
-                        // Offsets derive from BCETs and the schedule only,
-                        // so recomputing them is idempotent across passes.
-                        s.po[pi] = earliest;
-                    }
-                    s.pj[pi] = worst.saturating_sub(s.po[pi]);
+        for &p in app.topological_order(graph) {
+            let pi = p.index();
+            let touch_proc = self.s.dirty.procs[pi];
+            if ctx.proc_is_tt[pi] {
+                if touch_proc {
+                    // Fixed by the schedule table for this whole run.
+                    let s = &mut *self.s;
+                    s.po[pi] = schedule
+                        .start(p)
+                        .expect("TT process placed by the list scheduler");
+                    s.pj[pi] = Time::ZERO;
+                    s.pw[pi] = Time::ZERO;
+                    s.pr[pi] = ctx.proc_wcet[pi];
                 }
-                // Outgoing message legs of p (checked per leg: a clean
-                // process can still feed a leg dirtied through its bus
-                // band or a moved frame).
-                for e in app.successors(p) {
-                    let Some(m) = e.message else { continue };
-                    let mi = m.index();
-                    let (touch_leg, leg_offsets) = match mode {
-                        WalkMode::Full { first } => (true, first),
-                        WalkMode::Delta => (s.dirty.can[mi] || s.dirty.frame[mi], true),
-                    };
-                    if !touch_leg {
-                        continue;
-                    }
-                    let enqueue_jitter = s.pr[pi].saturating_sub(ctx.proc_bcet[pi]);
-                    match ctx.route[mi] {
-                        MessageRoute::TtcToTtc => {
-                            if leg_offsets {
-                                s.arrival[mi] = frame_arrival(schedule, m);
-                            }
-                        }
-                        MessageRoute::TtcToEtc => {
-                            if leg_offsets {
-                                // MBI arrival is deterministic; the gateway
-                                // transfer process adds its response time as
-                                // jitter (paper: J_m1 = r_T).
-                                s.can_o[mi] = frame_arrival(schedule, m);
-                                s.can_j[mi] = r_transfer;
-                            }
-                        }
-                        MessageRoute::EtcToEtc => {
-                            if leg_offsets {
-                                s.can_o[mi] = s.po[pi].saturating_add(ctx.proc_bcet[pi]);
-                            }
-                            s.can_j[mi] = enqueue_jitter;
-                        }
-                        MessageRoute::EtcToTtc => {
-                            if leg_offsets {
-                                let enqueue_earliest = s.po[pi].saturating_add(ctx.proc_bcet[pi]);
-                                s.can_o[mi] = enqueue_earliest;
-                                // Earliest FIFO entry: after the CAN wire
-                                // time.
-                                s.ttp_o[mi] = enqueue_earliest.saturating_add(ctx.can_c[mi]);
-                            }
-                            s.can_j[mi] = enqueue_jitter;
-                            // Worst FIFO entry: after the CAN leg response
-                            // plus the transfer process.
-                            s.ttp_j[mi] = s.can_r[mi]
-                                .saturating_sub(ctx.can_c[mi])
-                                .saturating_add(r_transfer);
-                        }
-                    }
+            } else if touch_proc {
+                let (earliest, worst) = availability(ctx, self.s, app, schedule, p);
+                // Offsets derive from BCETs and the schedule only, so
+                // recomputing them is idempotent across visits.
+                let s = &mut *self.s;
+                s.po[pi] = earliest;
+                s.pj[pi] = worst.saturating_sub(earliest);
+            }
+            // Outgoing message legs of p (checked per leg: a clean
+            // process can still feed a leg dirtied through its bus
+            // band or a moved frame).
+            for e in app.successors(p) {
+                let Some(m) = e.message else { continue };
+                let mi = m.index();
+                if self.s.dirty.can[mi] || self.s.dirty.frame[mi] {
+                    stage_leg(ctx, self.s, schedule, r_transfer, pi, mi);
                 }
             }
         }
@@ -513,384 +715,6 @@ impl Holistic<'_> {
 
     fn task_flow(&self, pi: usize) -> TaskFlow {
         build_task_flow(self.ctx, self.s, pi)
-    }
-
-    /// CAN queuing delays over every message with a CAN leg (they all share
-    /// the one bus, including frames produced by the gateway).
-    ///
-    /// Each flow's fixed point warm-starts from its delay of the previous
-    /// holistic iteration: jitters only grow and offsets are constant, so
-    /// the previous converged value lies below the new least fixed point and
-    /// the climb resumes instead of restarting (identical result, fewer
-    /// iterations).
-    fn can_pass(&mut self) -> bool {
-        let ctx = self.ctx;
-        // Flows are built in bus-priority order (most urgent first), so
-        // each flow's higher-priority set is the prefix before it and its
-        // blocking bound is the precomputed suffix maximum.
-        let n = self.s.can_order.len();
-        self.s.can_flows.clear();
-        for k in 0..n {
-            let mi = self.s.can_order[k];
-            let flow = self.can_flow(mi);
-            self.s.can_flows.push(flow);
-        }
-        // Unchanged inputs ⇒ unchanged delays: skip the kernel entirely.
-        if self.s.can_flows == self.s.prev_can_flows {
-            return true;
-        }
-        for k in 0..n {
-            let mi = self.s.can_order[k];
-            let delay = mcs_can::queuing_delay_sorted(
-                &self.s.can_flows,
-                k,
-                self.s.can_blocking[k],
-                self.horizon,
-                self.s.can_w[mi],
-            );
-            let s = &mut *self.s;
-            let w = match delay {
-                Some(w) => w,
-                None => {
-                    s.diverged = true;
-                    self.horizon
-                }
-            };
-            s.can_w[mi] = w;
-            s.can_r[mi] = s.can_j[mi].saturating_add(w).saturating_add(ctx.can_c[mi]);
-            if !matches!(ctx.route[mi], MessageRoute::EtcToTtc) {
-                s.arrival[mi] = s.can_o[mi].saturating_add(s.can_r[mi]);
-            }
-        }
-        let s = &mut *self.s;
-        std::mem::swap(&mut s.prev_can_flows, &mut s.can_flows);
-        false
-    }
-
-    /// Delta form of [`can_pass`](Holistic::can_pass): only the dirty
-    /// entries of the (persistently maintained) sorted flow array are
-    /// refreshed and — when any of them changed, or unconditionally on the
-    /// first pass — only the dirty fixed points are re-run, through
-    /// [`mcs_can::queuing_delays_sorted_subset`]. Clean flows' delays are
-    /// already the least fixed point because no input of theirs changed.
-    fn can_pass_delta(&mut self, first: bool) -> bool {
-        let ctx = self.ctx;
-        let n = self.s.can_order.len();
-        // A flow's kernel inputs are exactly the sorted prefix before it
-        // (plus its own fields), so only dirty flows at or below the topmost
-        // changed position can produce a new delay this pass; everything
-        // above re-confirms trivially and is skipped.
-        let mut min_changed = if first { 0 } else { n };
-        {
-            let s = &mut *self.s;
-            for k in 0..n {
-                if !s.can_dirty_pos[k] {
-                    continue;
-                }
-                let mi = s.can_order[k];
-                let flow = build_can_flow(ctx, s, mi);
-                if s.can_flows[k] != flow {
-                    s.can_flows[k] = flow;
-                    min_changed = min_changed.min(k);
-                }
-            }
-        }
-        // Unchanged inputs ⇒ unchanged delays (the first pass always runs:
-        // the dirty delays were reset to the bottom behind the flows).
-        if min_changed == n {
-            return true;
-        }
-        {
-            // Warm hints: each dirty flow in the affected suffix resumes
-            // from its own previous iterate (zero on the first delta pass).
-            let s = &mut *self.s;
-            s.can_delay_pos.clear();
-            s.can_delay_pos.resize(n, None);
-            for k in min_changed..n {
-                if s.can_dirty_pos[k] {
-                    s.can_delay_pos[k] = Some(s.can_w[s.can_order[k]]);
-                }
-            }
-            mcs_can::queuing_delays_sorted_subset(
-                &s.can_flows,
-                &s.can_blocking,
-                &s.can_dirty_pos,
-                min_changed,
-                self.horizon,
-                &mut s.can_delay_pos,
-            );
-        }
-        let s = &mut *self.s;
-        for k in min_changed..n {
-            if !s.can_dirty_pos[k] {
-                continue;
-            }
-            let mi = s.can_order[k];
-            let w = match s.can_delay_pos[k] {
-                Some(w) => w,
-                None => {
-                    s.diverged = true;
-                    self.horizon
-                }
-            };
-            s.can_w[mi] = w;
-            s.can_r[mi] = s.can_j[mi].saturating_add(w).saturating_add(ctx.can_c[mi]);
-            if !matches!(ctx.route[mi], MessageRoute::EtcToTtc) {
-                s.arrival[mi] = s.can_o[mi].saturating_add(s.can_r[mi]);
-            }
-        }
-        false
-    }
-
-    /// `Out_TTP` FIFO delays of ETC→TTC messages.
-    fn fifo_pass(&mut self) -> bool {
-        let ctx = self.ctx;
-        self.s.fifo_flows.clear();
-        for &mi in &ctx.fifo_ids {
-            let flow = self.fifo_flow(mi);
-            self.s.fifo_flows.push(flow);
-        }
-        // Unchanged inputs ⇒ unchanged delays: skip the kernel entirely.
-        if self.s.fifo_flows == self.s.prev_fifo_flows {
-            return true;
-        }
-        self.s.fifo_delays.clear();
-        for k in 0..ctx.fifo_ids.len() {
-            // The closed form warm-starts from the previous iteration's raw
-            // delay (monotone operator); the occurrence bound cannot (its
-            // departure is not monotone in the enqueue jitter).
-            let delay = match self.fifo_bound {
-                FifoBound::PaperClosedForm => fifo_delay_from(
-                    &self.s.fifo_flows,
-                    k,
-                    &self.ttp_queue,
-                    self.horizon,
-                    self.s.fifo_warm[k],
-                ),
-                FifoBound::SlotOccurrence => {
-                    fifo_delay_occurrence(&self.s.fifo_flows, k, &self.ttp_queue, self.horizon)
-                }
-            };
-            if let Some(d) = delay {
-                self.s.fifo_warm[k] = d.delay;
-            }
-            self.s.fifo_delays.push(delay);
-        }
-        let s = &mut *self.s;
-        for (k, &mi) in ctx.fifo_ids.iter().enumerate() {
-            let (w, backlog) = match s.fifo_delays[k] {
-                Some(d) => (d.delay.saturating_add(self.grid_slack), d.backlog),
-                None => {
-                    s.diverged = true;
-                    (self.horizon, s.fifo_flows[k].size_bytes.into())
-                }
-            };
-            s.ttp_w[mi] = w;
-            s.backlog[mi] = backlog;
-            s.ttp_r[mi] = s.ttp_j[mi]
-                .saturating_add(w)
-                .saturating_add(self.ttp_queue.slot_duration);
-            s.arrival[mi] = s.ttp_o[mi].saturating_add(s.ttp_r[mi]);
-        }
-        std::mem::swap(&mut s.prev_fifo_flows, &mut s.fifo_flows);
-        false
-    }
-
-    /// Delta form of [`fifo_pass`](Holistic::fifo_pass): only the dirty
-    /// entries of the flow array are refreshed, and only their FIFO fixed
-    /// points re-run. The FIFO drains in CAN-priority order, so the closure
-    /// marked the dirty leg and everything drained after it; a clean leg's
-    /// backlog interference comes exclusively from clean (lower-rank) flows.
-    fn fifo_pass_delta(&mut self, first: bool) -> bool {
-        let ctx = self.ctx;
-        // A FIFO leg's kernel inputs are the flows drained before it (lower
-        // rank) plus its own fields, so only dirty legs at or above the
-        // lowest changed rank can produce a new delay this pass.
-        let mut min_changed_rank = if first { 0 } else { u64::MAX };
-        {
-            let s = &mut *self.s;
-            for (k, &mi) in ctx.fifo_ids.iter().enumerate() {
-                if !s.fifo_dirty_pos[k] {
-                    continue;
-                }
-                let flow = build_fifo_flow(ctx, s, mi);
-                if s.fifo_flows[k] != flow {
-                    min_changed_rank = min_changed_rank.min(flow.rank);
-                    s.fifo_flows[k] = flow;
-                }
-            }
-        }
-        // Unchanged inputs ⇒ unchanged delays (the first pass always runs).
-        if min_changed_rank == u64::MAX {
-            return true;
-        }
-        for k in 0..ctx.fifo_ids.len() {
-            if !self.s.fifo_dirty_pos[k] || self.s.fifo_flows[k].rank < min_changed_rank {
-                continue;
-            }
-            let delay = match self.fifo_bound {
-                FifoBound::PaperClosedForm => fifo_delay_from(
-                    &self.s.fifo_flows,
-                    k,
-                    &self.ttp_queue,
-                    self.horizon,
-                    self.s.fifo_warm[k],
-                ),
-                FifoBound::SlotOccurrence => {
-                    fifo_delay_occurrence(&self.s.fifo_flows, k, &self.ttp_queue, self.horizon)
-                }
-            };
-            let s = &mut *self.s;
-            let mi = ctx.fifo_ids[k];
-            let (w, backlog) = match delay {
-                Some(d) => {
-                    s.fifo_warm[k] = d.delay;
-                    (d.delay.saturating_add(self.grid_slack), d.backlog)
-                }
-                None => {
-                    s.diverged = true;
-                    (self.horizon, s.fifo_flows[k].size_bytes.into())
-                }
-            };
-            s.ttp_w[mi] = w;
-            s.backlog[mi] = backlog;
-            s.ttp_r[mi] = s.ttp_j[mi]
-                .saturating_add(w)
-                .saturating_add(self.ttp_queue.slot_duration);
-            s.arrival[mi] = s.ttp_o[mi].saturating_add(s.ttp_r[mi]);
-        }
-        false
-    }
-
-    /// Preemption delays of processes sharing each ET CPU; the gateway CPU
-    /// additionally hosts the transfer process `T` at the highest rank.
-    fn cpu_pass(&mut self) -> bool {
-        let ctx = self.ctx;
-        let system = self.system;
-        let mut stable = true;
-        for (ni, et) in ctx.et_nodes.iter().enumerate() {
-            // Tasks are assembled in rank order (transfer process first on
-            // the gateway), so each task's higher-priority set is the
-            // prefix before it.
-            self.s.task_flows.clear();
-            if et.is_gateway {
-                let task = transfer_task(system);
-                self.s.task_flows.push(task);
-            }
-            let offset = usize::from(et.is_gateway);
-            for idx in 0..self.s.node_order[ni].len() {
-                let pi = self.s.node_order[ni][idx].index();
-                let task = self.task_flow(pi);
-                self.s.task_flows.push(task);
-            }
-            // Unchanged inputs ⇒ unchanged delays: skip this CPU's kernel.
-            if self.s.task_flows == self.s.prev_task_flows[ni] {
-                continue;
-            }
-            stable = false;
-            // Each process's busy window warm-starts from its previous
-            // delay (see `can_pass`); the leading transfer task needs no
-            // delay of its own (it has the highest rank).
-            for idx in 0..self.s.node_order[ni].len() {
-                let pi = self.s.node_order[ni][idx].index();
-                let delay = crate::rta::interference_delay_sorted(
-                    &self.s.task_flows,
-                    offset + idx,
-                    self.horizon,
-                    self.s.pw[pi],
-                );
-                let s = &mut *self.s;
-                let w = match delay {
-                    Some(w) => w,
-                    None => {
-                        s.diverged = true;
-                        self.horizon
-                    }
-                };
-                s.pw[pi] = w;
-                s.pr[pi] = s.pj[pi].saturating_add(w).saturating_add(ctx.proc_wcet[pi]);
-            }
-            let s = &mut *self.s;
-            std::mem::swap(&mut s.prev_task_flows[ni], &mut s.task_flows);
-        }
-        stable
-    }
-
-    /// Delta form of [`cpu_pass`](Holistic::cpu_pass): only CPUs hosting a
-    /// dirty process are visited; only the dirty entries of each visited
-    /// CPU's (persistently staged) task array are refreshed, and only their
-    /// busy windows re-run, through
-    /// [`crate::rta::interference_delays_sorted_subset`].
-    fn cpu_pass_delta(&mut self, first: bool) -> bool {
-        let ctx = self.ctx;
-        let mut stable = true;
-        for (ni, et) in ctx.et_nodes.iter().enumerate() {
-            if !self.s.dirty.nodes[ni] {
-                continue;
-            }
-            let offset = usize::from(et.is_gateway);
-            let len = offset + self.s.node_order[ni].len();
-            // Same prefix argument as the CAN pass: a task's inputs are the
-            // rank-sorted prefix before it.
-            let mut min_changed = if first { 0 } else { len };
-            {
-                let s = &mut *self.s;
-                for idx in 0..s.node_order[ni].len() {
-                    let pi = s.node_order[ni][idx].index();
-                    if !s.dirty.procs[pi] {
-                        continue;
-                    }
-                    let task = build_task_flow(ctx, s, pi);
-                    if s.prev_task_flows[ni][offset + idx] != task {
-                        s.prev_task_flows[ni][offset + idx] = task;
-                        min_changed = min_changed.min(offset + idx);
-                    }
-                }
-            }
-            // Unchanged inputs ⇒ unchanged delays (first pass always runs).
-            if min_changed == len {
-                continue;
-            }
-            stable = false;
-            {
-                let s = &mut *self.s;
-                s.task_dirty_pos.clear();
-                s.task_dirty_pos.resize(len, false);
-                s.task_delay_pos.clear();
-                s.task_delay_pos.resize(len, None);
-                for idx in 0..s.node_order[ni].len() {
-                    let pi = s.node_order[ni][idx].index();
-                    if s.dirty.procs[pi] && offset + idx >= min_changed {
-                        s.task_dirty_pos[offset + idx] = true;
-                        s.task_delay_pos[offset + idx] = Some(s.pw[pi]);
-                    }
-                }
-                crate::rta::interference_delays_sorted_subset(
-                    &s.prev_task_flows[ni],
-                    &s.task_dirty_pos,
-                    min_changed,
-                    self.horizon,
-                    &mut s.task_delay_pos,
-                );
-            }
-            let s = &mut *self.s;
-            for idx in 0..s.node_order[ni].len() {
-                let pi = s.node_order[ni][idx].index();
-                if !s.task_dirty_pos[offset + idx] {
-                    continue;
-                }
-                let w = match s.task_delay_pos[offset + idx] {
-                    Some(w) => w,
-                    None => {
-                        s.diverged = true;
-                        self.horizon
-                    }
-                };
-                s.pw[pi] = w;
-                s.pr[pi] = s.pj[pi].saturating_add(w).saturating_add(ctx.proc_wcet[pi]);
-            }
-        }
-        stable
     }
 
     /// Delta form of [`queue_bounds`](Holistic::queue_bounds): queues with
@@ -963,13 +787,119 @@ impl Holistic<'_> {
     }
 }
 
+/// Requeues the dependent `key` after one of its inputs changed: a no-op
+/// when it is still pending later in the current wave (it will read the
+/// fresh arrays when visited), otherwise enqueued for the next wave, once.
+fn push(pending: &[bool], next_pending: &mut [bool], next: &mut Vec<u32>, key: u32) {
+    debug_assert_ne!(key, u32::MAX, "dependent without a worklist entity");
+    if !pending[key as usize] && !next_pending[key as usize] {
+        next_pending[key as usize] = true;
+        next.push(key);
+    }
+}
+
 fn frame_arrival(schedule: &TtcSchedule, m: MessageId) -> Time {
     schedule.frame(m).map(|f| f.arrival).unwrap_or(Time::ZERO)
 }
 
-// Flow constructors as free functions over (context, scratch), so the delta
-// passes can rebuild single entries while holding split borrows of the
-// scratch; each kernel's input shape is assembled in exactly one place.
+/// Availability of `p`'s triggering data from the current state: the
+/// earliest instant it can exist (predecessor offset + BCET + minimal
+/// transmission — `p`'s offset) and the worst-case instant (whose gap to
+/// the offset is `p`'s jitter). The one formula behind the seeding walk
+/// and the per-entity recomputation — both must read predecessors
+/// identically or the engine's bit-identity contract breaks.
+fn availability(
+    ctx: &SystemContext,
+    s: &Scratch,
+    app: &mcs_model::Application,
+    schedule: &TtcSchedule,
+    p: ProcessId,
+) -> (Time, Time) {
+    let mut earliest = Time::ZERO;
+    let mut worst = Time::ZERO;
+    for e in app.predecessors(p) {
+        let (o, w) = match e.message {
+            None => {
+                let src = e.source.index();
+                (
+                    s.po[src].saturating_add(ctx.proc_bcet[src]),
+                    s.po[src].saturating_add(s.pr[src]),
+                )
+            }
+            Some(m) => {
+                let mi = m.index();
+                match ctx.route[mi] {
+                    MessageRoute::TtcToTtc => {
+                        let a = frame_arrival(schedule, m);
+                        (a, a)
+                    }
+                    MessageRoute::EtcToEtc | MessageRoute::TtcToEtc => (
+                        s.can_o[mi].saturating_add(ctx.can_c[mi]),
+                        s.can_o[mi].saturating_add(s.can_r[mi]),
+                    ),
+                    MessageRoute::EtcToTtc => {
+                        (s.ttp_o[mi], s.ttp_o[mi].saturating_add(s.ttp_r[mi]))
+                    }
+                }
+            }
+        };
+        earliest = earliest.max(o);
+        worst = worst.max(w);
+    }
+    (earliest, worst)
+}
+
+/// Stages the sender-derived inputs of message `mi`'s legs from the current
+/// state of its source process `src_pi` (route-shaped): frame-derived
+/// arrivals and offsets, CAN enqueue offset/jitter, FIFO entry offset and
+/// enqueue jitter. Shared by the seeding walk and the CAN-leg
+/// recomputation — the staged quantities must be derived identically on
+/// both paths.
+fn stage_leg(
+    ctx: &SystemContext,
+    s: &mut Scratch,
+    schedule: &TtcSchedule,
+    r_transfer: Time,
+    src_pi: usize,
+    mi: usize,
+) {
+    let m = MessageId::new(mi as u32);
+    let enqueue_jitter = s.pr[src_pi].saturating_sub(ctx.proc_bcet[src_pi]);
+    match ctx.route[mi] {
+        MessageRoute::TtcToTtc => {
+            s.arrival[mi] = frame_arrival(schedule, m);
+        }
+        MessageRoute::TtcToEtc => {
+            // MBI arrival is deterministic; the gateway transfer process
+            // adds its response time as jitter (paper: J_m1 = r_T).
+            s.can_o[mi] = frame_arrival(schedule, m);
+            s.can_j[mi] = r_transfer;
+        }
+        MessageRoute::EtcToEtc => {
+            s.can_o[mi] = s.po[src_pi].saturating_add(ctx.proc_bcet[src_pi]);
+            s.can_j[mi] = enqueue_jitter;
+        }
+        MessageRoute::EtcToTtc => {
+            let enqueue_earliest = s.po[src_pi].saturating_add(ctx.proc_bcet[src_pi]);
+            s.can_o[mi] = enqueue_earliest;
+            // Earliest FIFO entry: after the CAN wire time.
+            s.ttp_o[mi] = enqueue_earliest.saturating_add(ctx.can_c[mi]);
+            s.can_j[mi] = enqueue_jitter;
+            // Worst FIFO entry: after the CAN leg response plus the
+            // transfer process. (The FIFO recomputation re-derives this
+            // from the post-kernel CAN response; staging it here from the
+            // pre-kernel response is value-identical — the FIFO leg is
+            // requeued whenever the CAN response changes.)
+            s.ttp_j[mi] = s.can_r[mi]
+                .saturating_sub(ctx.can_c[mi])
+                .saturating_add(r_transfer);
+        }
+    }
+}
+
+// Flow constructors as free functions over (context, scratch), so the
+// recomputations can rebuild single entries while holding split borrows of
+// the scratch; each kernel's input shape is assembled in exactly one place.
 
 fn build_can_flow(ctx: &SystemContext, s: &Scratch, mi: usize) -> CanFlow {
     CanFlow {

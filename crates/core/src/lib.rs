@@ -108,7 +108,7 @@ pub use queues::{
 pub use report::render_report;
 pub use rta::{
     interference_delay, interference_delay_from, interference_delay_sorted, interference_delays,
-    interference_delays_into, interference_delays_sorted_subset, relative_phase, TaskFlow,
+    interference_delays_filtered, interference_delays_into, relative_phase, TaskFlow,
 };
 pub use schedulability::{degree_of_schedulability, is_schedulable, SchedulabilityDegree};
 pub use validate::validate_config;

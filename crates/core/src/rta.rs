@@ -98,10 +98,32 @@ pub fn interference_delays(tasks: &[TaskFlow], horizon: Time) -> Vec<Option<Time
 }
 
 /// Allocation-free form of [`interference_delays`]: clears and refills
-/// `delays` in task order, reusing its capacity (the evaluation hot path).
+/// `delays` in task order, reusing its capacity.
 pub fn interference_delays_into(tasks: &[TaskFlow], horizon: Time, delays: &mut Vec<Option<Time>>) {
     delays.clear();
-    delays.extend((0..tasks.len()).map(|i| interference_delay(tasks, i, horizon)));
+    interference_delays_filtered(tasks, horizon, |_| true, delays);
+}
+
+/// The one batch implementation behind every multi-task entry point,
+/// parameterized by an entity filter: `delays` is resized to `tasks.len()`
+/// (extending with `None`, truncating any stale tail), then the busy
+/// window of each task `i` with `recompute(i)` is recomputed while the
+/// remaining in-range entries keep their previous values. Callers
+/// restricting the filter guarantee — e.g. via a dependency closure — that
+/// no input of a skipped task changed, so its previous delay is still the
+/// least fixed point.
+pub fn interference_delays_filtered(
+    tasks: &[TaskFlow],
+    horizon: Time,
+    mut recompute: impl FnMut(usize) -> bool,
+    delays: &mut Vec<Option<Time>>,
+) {
+    delays.resize(tasks.len(), None);
+    for (i, delay) in delays.iter_mut().enumerate() {
+        if recompute(i) {
+            *delay = interference_delay(tasks, i, horizon);
+        }
+    }
 }
 
 /// Computes the interference delay `w_i` of `tasks[i]`.
@@ -192,39 +214,6 @@ pub fn interference_delay_sorted(
             return Some(q - me.wcet);
         }
         q = next;
-    }
-}
-
-/// Dirty-subset form of [`interference_delay_sorted`] for incremental
-/// ("delta") re-analysis: recomputes the busy windows of only the tasks
-/// marked in `dirty` at position `from` or below, warm-starting each from
-/// its entry in `delays` (`None` counts as a cold start). All other entries
-/// are left untouched — the caller guarantees, via its dependency closure
-/// and change tracking, that no input of theirs changed (a task's inputs
-/// are exactly the rank-sorted prefix before it), so their previously
-/// converged delays are still the least fixed point.
-///
-/// `tasks` must be pre-sorted by ascending rank, exactly as for
-/// [`interference_delay_sorted`]; a recomputed entry becomes `None` when its
-/// busy window exceeds `horizon` (diverged).
-///
-/// # Panics
-///
-/// Panics if the slice lengths disagree or a dirty task has a zero period.
-pub fn interference_delays_sorted_subset(
-    tasks: &[TaskFlow],
-    dirty: &[bool],
-    from: usize,
-    horizon: Time,
-    delays: &mut [Option<Time>],
-) {
-    assert_eq!(tasks.len(), dirty.len());
-    assert_eq!(tasks.len(), delays.len());
-    for i in from..tasks.len() {
-        if dirty[i] {
-            let hint = delays[i].unwrap_or(Time::ZERO);
-            delays[i] = interference_delay_sorted(tasks, i, horizon, hint);
-        }
     }
 }
 
@@ -334,5 +323,23 @@ mod tests {
         let tasks = vec![task(0, 10, 6), task(1, 10, 6), task(2, 10, 6)];
         let w = interference_delays(&tasks, Time::from_millis(1000));
         assert_eq!(w[2], None);
+    }
+
+    #[test]
+    fn filtered_delays_recompute_only_the_selected_tasks() {
+        let tasks = vec![task(0, 4, 1), task(1, 10, 2), task(2, 20, 3)];
+        let horizon = Time::from_millis(1000);
+        let full = interference_delays(&tasks, horizon);
+        // A poisoned buffer: the filter must leave unselected entries
+        // untouched and resize missing ones with `None`.
+        let poison = Some(Time::from_millis(999));
+        let mut delays = vec![poison];
+        interference_delays_filtered(&tasks, horizon, |i| i != 0, &mut delays);
+        assert_eq!(delays[0], poison);
+        assert_eq!(delays[1], full[1]);
+        assert_eq!(delays[2], full[2]);
+        // Selecting everything reproduces the batch form.
+        interference_delays_filtered(&tasks, horizon, |_| true, &mut delays);
+        assert_eq!(delays, full);
     }
 }

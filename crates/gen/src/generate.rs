@@ -45,8 +45,9 @@ pub fn generate(params: &GeneratorParams) -> System {
     let arch = ab.build().expect("generator architecture is valid");
 
     let total = params.total_processes();
-    let deadline = scale_permille(params.period, params.deadline_permille);
-    // Mean WCET so that each node lands near the target utilization.
+    // Mean WCET so that each node lands near the target utilization (scaled
+    // per graph by its period multiplier, keeping utilization on target for
+    // multi-rate sets).
     let mean_wcet_ticks = (params.period.ticks() as f64 * f64::from(params.utilization_permille)
         / 1_000.0
         / params.processes_per_node as f64)
@@ -66,7 +67,15 @@ pub fn generate(params: &GeneratorParams) -> System {
         if n == 0 {
             continue;
         }
-        let graph = app.add_graph(format!("G{gi}"), params.period, deadline);
+        // Multi-rate assignment (paper §2.1): the graph's period is the
+        // base period scaled by its multiplier; deadlines and WCETs scale
+        // with it, so per-graph laxity and per-node utilization match the
+        // single-period setup.
+        let mult = params.period_multipliers.for_graph(gi);
+        let period = Time::from_ticks(params.period.ticks().saturating_mul(mult));
+        let deadline = scale_permille(period, params.deadline_permille);
+        let graph_mean_wcet = mean_wcet_ticks * mult as f64;
+        let graph = app.add_graph(format!("G{gi}"), period, deadline);
         let cross = cross_quota.pop().unwrap_or(0).min(n.saturating_sub(1));
         let core = n - cross;
 
@@ -76,7 +85,7 @@ pub fn generate(params: &GeneratorParams) -> System {
         let mut procs = Vec::with_capacity(n);
         for pi in 0..core {
             let node = pick(&mut rng, if home_is_tt { &tt } else { &et });
-            let wcet = draw_wcet(&mut rng, mean_wcet_ticks, params.wcet_distribution);
+            let wcet = draw_wcet(&mut rng, graph_mean_wcet, params.wcet_distribution);
             let p = app.add_process(graph, format!("G{gi}P{pi}"), node, wcet);
             if pi > 0 {
                 let pred = procs[rng.gen_range(0..procs.len())];
@@ -93,7 +102,7 @@ pub fn generate(params: &GeneratorParams) -> System {
         // message.
         for pi in 0..cross {
             let node = pick(&mut rng, if home_is_tt { &et } else { &tt });
-            let wcet = draw_wcet(&mut rng, mean_wcet_ticks, params.wcet_distribution);
+            let wcet = draw_wcet(&mut rng, graph_mean_wcet, params.wcet_distribution);
             let p = app.add_process(graph, format!("G{gi}X{pi}"), node, wcet);
             let pred = procs[rng.gen_range(0..procs.len())];
             app.link(pred, p, draw_size(&mut rng, params.message_size));
@@ -228,6 +237,63 @@ mod tests {
         assert_eq!(system.application.processes().len(), 80);
         for p in system.application.processes() {
             assert!(!p.wcet().is_zero());
+        }
+    }
+
+    #[test]
+    fn multi_rate_generation_spreads_periods_and_keeps_utilization() {
+        let params = GeneratorParams::multi_rate(4, 11);
+        let system = generate(&params);
+        let app = &system.application;
+        // Three distinct periods, hyper-period 4× the base.
+        let mut periods: Vec<_> = app.graphs().iter().map(|g| g.period()).collect();
+        periods.sort();
+        periods.dedup();
+        assert_eq!(
+            periods,
+            vec![
+                params.period,
+                Time::from_ticks(params.period.ticks() * 2),
+                Time::from_ticks(params.period.ticks() * 4),
+            ]
+        );
+        assert_eq!(
+            app.hyperperiod(),
+            Time::from_ticks(params.period.ticks() * 4)
+        );
+        // Deadlines scale with the graph period.
+        for g in app.graphs() {
+            assert_eq!(
+                g.deadline(),
+                scale_permille(g.period(), params.deadline_permille)
+            );
+        }
+        // WCET scaling keeps per-node utilization in the single-period band.
+        for node in system.architecture.nodes() {
+            if node.role() == NodeRole::Gateway {
+                continue;
+            }
+            let u = system.application.node_utilization(node.id());
+            assert!(u > 0.1 && u < 0.7, "node {} utilization {u}", node.id());
+        }
+    }
+
+    #[test]
+    fn single_period_multipliers_reproduce_the_default_stream() {
+        // The default `{1}` set must leave the generated instance untouched
+        // (same RNG draw sequence, same WCETs, same mapping).
+        let baseline = generate(&GeneratorParams::paper_sized(2, 42));
+        let mut params = GeneratorParams::paper_sized(2, 42);
+        params.period_multipliers = crate::PeriodMultipliers::new(&[1, 1, 1]);
+        let explicit = generate(&params);
+        for (x, y) in baseline
+            .application
+            .processes()
+            .iter()
+            .zip(explicit.application.processes())
+        {
+            assert_eq!(x.wcet(), y.wcet());
+            assert_eq!(x.node(), y.node());
         }
     }
 

@@ -4,9 +4,12 @@
 //!
 //! * [`generate`] — seeded random systems following the paper's §6 setup
 //!   (2–10 nodes split between the clusters, 40 processes per node, message
-//!   sizes 8–32 bytes, uniform or exponential WCETs, and an exact
-//!   inter-cluster-traffic knob for Figure 9c);
+//!   sizes 8–32 bytes, uniform or exponential WCETs, an exact
+//!   inter-cluster-traffic knob for Figure 9c, and a per-graph
+//!   [`PeriodMultipliers`] set for multi-rate instances);
 //! * [`figure4`] — the hand-built worked example of Figure 4;
+//! * [`figure4_multirate`] — the same example with a second, half-rate
+//!   graph (the smallest multi-rate scenario);
 //! * [`cruise_controller`] — the reconstructed vehicle cruise controller
 //!   real-life example.
 //!
@@ -29,5 +32,5 @@ mod scenario;
 
 pub use cruise::{cruise_controller, CruiseController, CruiseNodes};
 pub use generate::generate;
-pub use params::{Distribution, GeneratorParams};
-pub use scenario::{figure4, figure4_ids, Figure4};
+pub use params::{Distribution, GeneratorParams, PeriodMultipliers};
+pub use scenario::{figure4, figure4_ids, figure4_multirate, Figure4};

@@ -15,6 +15,78 @@ pub enum Distribution {
     Exponential,
 }
 
+/// The per-graph period-multiplier set of the multi-rate application model
+/// (paper §2.1): graph `g` runs at `base period × multipliers[g mod len]`.
+///
+/// The default singleton `{1}` reproduces the single-period setup of the
+/// paper's §6 experiments bit-for-bit. A set like `{1, 2, 4}` generates
+/// genuinely multi-rate instances: graphs fall into distinct phase groups
+/// (one per period), the hyper-period becomes the LCM, and the delta-RTA
+/// dirty cones gain real structure to prune (offsets only phase flows of
+/// the *same* transaction, so cross-period interference stays
+/// critical-instant shaped while same-period bands stay tight).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeriodMultipliers {
+    values: [u64; Self::MAX],
+    len: u8,
+}
+
+impl PeriodMultipliers {
+    /// Maximum number of multipliers in a set.
+    pub const MAX: usize = 8;
+
+    /// The single-period default: every graph keeps the base period.
+    pub const SINGLE: PeriodMultipliers = PeriodMultipliers {
+        values: [1; Self::MAX],
+        len: 1,
+    };
+
+    /// Builds a set from a slice of non-zero multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty, longer than [`Self::MAX`], or contains
+    /// a zero multiplier.
+    pub fn new(multipliers: &[u64]) -> Self {
+        assert!(
+            !multipliers.is_empty() && multipliers.len() <= Self::MAX,
+            "between 1 and {} period multipliers",
+            Self::MAX
+        );
+        assert!(
+            multipliers.iter().all(|&m| m > 0),
+            "period multipliers must be non-zero"
+        );
+        let mut values = [1; Self::MAX];
+        values[..multipliers.len()].copy_from_slice(multipliers);
+        PeriodMultipliers {
+            values,
+            len: multipliers.len() as u8,
+        }
+    }
+
+    /// The multipliers as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.values[..usize::from(self.len)]
+    }
+
+    /// The multiplier assigned to graph `graph_index` (round-robin).
+    pub fn for_graph(&self, graph_index: usize) -> u64 {
+        self.values[graph_index % usize::from(self.len)]
+    }
+
+    /// `true` when every graph keeps the base period.
+    pub fn is_single(&self) -> bool {
+        self.as_slice().iter().all(|&m| m == 1)
+    }
+}
+
+impl Default for PeriodMultipliers {
+    fn default() -> Self {
+        Self::SINGLE
+    }
+}
+
 /// Generator parameters.
 ///
 /// The defaults reproduce the paper's setup: `n` nodes half on the TTC and
@@ -30,8 +102,13 @@ pub struct GeneratorParams {
     pub processes_per_node: usize,
     /// Number of process graphs the processes are partitioned into.
     pub graphs: usize,
-    /// Common graph period (the hyper-graph assumption: one period).
+    /// Base graph period; each graph's actual period is this scaled by its
+    /// entry of [`GeneratorParams::period_multipliers`].
     pub period: Time,
+    /// Per-graph period multipliers (default: the single-period `{1}` of
+    /// the paper's experiments). WCETs scale with the multiplier so each
+    /// node keeps the target utilization.
+    pub period_multipliers: PeriodMultipliers,
     /// Deadline as a per-mille fraction of the period (1000 = deadline
     /// equals period).
     pub deadline_permille: u32,
@@ -72,6 +149,7 @@ impl GeneratorParams {
             processes_per_node: 40,
             graphs: 10 * nodes,
             period: Time::from_millis(1_000),
+            period_multipliers: PeriodMultipliers::SINGLE,
             deadline_permille: 1_000,
             utilization_permille: 250,
             wcet_distribution: Distribution::Uniform,
@@ -79,6 +157,20 @@ impl GeneratorParams {
             extra_edge_permille: 200,
             inter_cluster_messages: None,
             seed,
+        }
+    }
+
+    /// The paper-sized configuration with the `{1, 2, 4}` multi-rate
+    /// period set: graphs cycle through the base period, twice and four
+    /// times it, giving three phase groups and a 4× hyper-period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or odd.
+    pub fn multi_rate(nodes: usize, seed: u64) -> Self {
+        GeneratorParams {
+            period_multipliers: PeriodMultipliers::new(&[1, 2, 4]),
+            ..GeneratorParams::paper_sized(nodes, seed)
         }
     }
 
@@ -113,5 +205,25 @@ mod tests {
     #[should_panic(expected = "even node counts")]
     fn odd_node_counts_are_rejected() {
         GeneratorParams::paper_sized(3, 0);
+    }
+
+    #[test]
+    fn period_multipliers_cycle_over_graphs() {
+        let set = PeriodMultipliers::new(&[1, 2, 4]);
+        assert_eq!(set.as_slice(), &[1, 2, 4]);
+        assert_eq!(set.for_graph(0), 1);
+        assert_eq!(set.for_graph(1), 2);
+        assert_eq!(set.for_graph(2), 4);
+        assert_eq!(set.for_graph(3), 1);
+        assert!(!set.is_single());
+        assert!(PeriodMultipliers::SINGLE.is_single());
+        assert!(PeriodMultipliers::new(&[1, 1]).is_single());
+        assert_eq!(GeneratorParams::multi_rate(2, 0).period_multipliers, set);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_multipliers_are_rejected() {
+        PeriodMultipliers::new(&[1, 0]);
     }
 }

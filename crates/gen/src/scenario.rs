@@ -84,6 +84,87 @@ pub fn figure4(deadline: Time) -> Figure4 {
     }
 }
 
+/// The Figure 4 example extended with a second, half-rate process graph —
+/// the smallest hand-built *multi-rate* scenario (paper §2.1: an
+/// application model with graphs of different periods).
+///
+/// G2 runs at 480 ms (2 × G1's 240 ms): P5 on the TT node feeds P6 on the
+/// ET node through a fourth gateway-crossing message, so the instance has
+/// two phase groups, a hyper-period of 480 ms, and cross-rate interference
+/// on both the CAN bus and the ET CPU — exactly the structure the
+/// value-driven worklist prunes inside priority bands.
+///
+/// # Examples
+///
+/// ```
+/// use mcs_gen::figure4_multirate;
+///
+/// let fig = figure4_multirate(mcs_model::Time::from_millis(200));
+/// assert_eq!(fig.system.application.graphs().len(), 2);
+/// assert_eq!(
+///     fig.system.application.hyperperiod(),
+///     mcs_model::Time::from_millis(480)
+/// );
+/// ```
+pub fn figure4_multirate(deadline: Time) -> Figure4 {
+    let ms = Time::from_millis;
+    let mut b = Architecture::builder();
+    let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+    let n2 = b.add_node("N2", NodeRole::EventTriggered);
+    let ng = b.add_node("NG", NodeRole::Gateway);
+    b.ttp_params(TtpBusParams::new(Time::from_micros(2_500), Time::ZERO));
+    b.can_params(CanBusParams::with_fixed_frame_time(ms(10)));
+    let arch = b.build().expect("multirate architecture is valid");
+
+    let mut ab = Application::builder();
+    let g1 = ab.add_graph("G1", ms(240), deadline);
+    let p1 = ab.add_process(g1, "P1", n1, ms(30));
+    let p2 = ab.add_process(g1, "P2", n2, ms(20));
+    let p3 = ab.add_process(g1, "P3", n2, ms(20));
+    let p4 = ab.add_process(g1, "P4", n1, ms(30));
+    ab.link(p1, p2, 4); // m1
+    ab.link(p1, p3, 4); // m2
+    ab.link(p2, p4, 4); // m3
+    let g2 = ab.add_graph("G2", ms(480), deadline.saturating_mul(2));
+    let p5 = ab.add_process(g2, "P5", n1, ms(30));
+    let p6 = ab.add_process(g2, "P6", n2, ms(20));
+    ab.link(p5, p6, 4); // m4 (TTC→ETC, half rate)
+    let app = ab.build(&arch).expect("multirate application is valid");
+    let system = System::with_gateway(app, arch, GatewayParams::new(ms(5), ms(40)));
+
+    let priorities = |p2_first: bool| {
+        let mut pri = PriorityAssignment::new();
+        if p2_first {
+            pri.set_process(p2, Priority::new(0));
+            pri.set_process(p3, Priority::new(1));
+        } else {
+            pri.set_process(p3, Priority::new(0));
+            pri.set_process(p2, Priority::new(1));
+        }
+        pri.set_process(p6, Priority::new(2));
+        pri.set_message(MessageId::new(0), Priority::new(0));
+        pri.set_message(MessageId::new(1), Priority::new(1));
+        pri.set_message(MessageId::new(2), Priority::new(2));
+        pri.set_message(MessageId::new(3), Priority::new(3));
+        pri
+    };
+    let slot = |node| TdmaSlot {
+        node,
+        capacity_bytes: 8,
+    };
+
+    let config_a = SystemConfig::new(TdmaConfig::new(vec![slot(ng), slot(n1)]), priorities(false));
+    let config_b = SystemConfig::new(TdmaConfig::new(vec![slot(n1), slot(ng)]), priorities(false));
+    let config_c = SystemConfig::new(TdmaConfig::new(vec![slot(ng), slot(n1)]), priorities(true));
+
+    Figure4 {
+        system,
+        config_a,
+        config_b,
+        config_c,
+    }
+}
+
 /// Convenience handles to the entities of the Figure 4 example.
 pub mod figure4_ids {
     use super::*;
@@ -115,6 +196,19 @@ mod tests {
         assert_eq!(fig.system.route(figure4_ids::M1), MessageRoute::TtcToEtc);
         assert_eq!(fig.system.route(figure4_ids::M2), MessageRoute::TtcToEtc);
         assert_eq!(fig.system.route(figure4_ids::M3), MessageRoute::EtcToTtc);
+    }
+
+    #[test]
+    fn multirate_scenario_has_two_phase_groups() {
+        let fig = figure4_multirate(Time::from_millis(200));
+        let app = &fig.system.application;
+        assert_eq!(app.graphs().len(), 2);
+        assert_eq!(app.graphs()[0].period(), Time::from_millis(240));
+        assert_eq!(app.graphs()[1].period(), Time::from_millis(480));
+        assert_eq!(app.hyperperiod(), Time::from_millis(480));
+        // The half-rate graph crosses the gateway too.
+        assert_eq!(fig.system.route(MessageId::new(3)), MessageRoute::TtcToEtc);
+        assert_eq!(fig.system.inter_cluster_message_count(), 4);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Worklist-seeding properties of the unified fixed-point engine: the full
+//! and the delta evaluation paths are two seedings of one value-driven
+//! worklist (see `mcs_core::holistic`), so they must agree bit-for-bit on
+//! **multi-period** instances too — the workload class whose phase-group
+//! structure the value gating actually prunes inside priority bands (the
+//! single-period walks live in `delta_rta_equivalence.rs`, which this suite
+//! deliberately leaves untouched).
+
+use proptest::prelude::*;
+
+use mcs_core::{AnalysisParams, DeltaSeeds, Evaluator};
+use mcs_gen::{figure4_multirate, generate, GeneratorParams, PeriodMultipliers};
+use mcs_opt::{evaluate, hopa_priorities, neighborhood, straightforward_config};
+
+fn small_multirate_system(seed: u64) -> mcs_model::System {
+    let mut p = GeneratorParams::paper_sized(2, seed);
+    p.processes_per_node = 8;
+    p.graphs = 6;
+    p.inter_cluster_messages = Some(3);
+    p.period_multipliers = PeriodMultipliers::new(&[1, 2, 4]);
+    generate(&p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random move walks with random accept/reject decisions over
+    /// multi-period instances: the delta seeding must reproduce the full
+    /// seeding — summary, timings, queues, schedules — after every move.
+    #[test]
+    fn multiperiod_delta_walk_matches_fresh_evaluation(
+        seed in 0u64..300,
+        picks in proptest::collection::vec((0usize..1_000, any::<bool>()), 1..7),
+    ) {
+        let system = small_multirate_system(seed);
+        let analysis = AnalysisParams::default();
+        let mut config = straightforward_config(&system);
+        config.priorities = hopa_priorities(&system, &config.tdma);
+
+        let mut delta = Evaluator::new(&system, analysis);
+        let mut seeds = DeltaSeeds::new();
+        let mut current = evaluate(&system, config.clone(), &analysis).expect("analyzable");
+        delta.evaluate(&config).expect("analyzable");
+        for &(pick, accept) in &picks {
+            let moves = neighborhood(&system, &current);
+            prop_assume!(!moves.is_empty());
+            let mv = moves[pick % moves.len()];
+            let undo = mv.apply_undoable_seeded(&mut config, &mut seeds);
+
+            let fresh = evaluate(&system, config.clone(), &analysis);
+            let warm = delta.evaluate_delta(&config, &seeds);
+            match (fresh, warm) {
+                (Ok(fresh), Ok(summary)) => {
+                    seeds.clear();
+                    prop_assert_eq!(summary.degree, fresh.degree);
+                    prop_assert_eq!(summary.total_buffers, fresh.total_buffers);
+                    prop_assert_eq!(summary.converged, fresh.outcome.converged);
+                    prop_assert_eq!(summary.iterations, fresh.outcome.iterations);
+                    let outcome = delta.outcome();
+                    prop_assert_eq!(&outcome.schedule, &fresh.outcome.schedule);
+                    prop_assert_eq!(&outcome.process_timing, &fresh.outcome.process_timing);
+                    prop_assert_eq!(&outcome.message_timing, &fresh.outcome.message_timing);
+                    prop_assert_eq!(&outcome.queues, &fresh.outcome.queues);
+                    prop_assert_eq!(&outcome.graph_response, &fresh.outcome.graph_response);
+                    if accept {
+                        current = fresh;
+                        continue;
+                    }
+                }
+                (Err(fresh), Err(warm)) => prop_assert_eq!(fresh, warm),
+                (fresh, warm) => prop_assert!(
+                    false,
+                    "feasibility disagreement on {:?}: fresh {:?} vs delta {:?}", mv, fresh, warm
+                ),
+            }
+            undo.record_seeds(&mut seeds);
+            undo.revert(&mut config);
+        }
+    }
+
+    /// Re-running the engine on an unchanged configuration is a fixed point
+    /// for both seedings: the full path reproduces itself and the delta
+    /// path (empty seeds) reproduces the full path, on multi-period
+    /// instances.
+    #[test]
+    fn multiperiod_reevaluation_is_stable(seed in 0u64..150) {
+        let system = small_multirate_system(seed);
+        let analysis = AnalysisParams::default();
+        let mut config = straightforward_config(&system);
+        config.priorities = hopa_priorities(&system, &config.tdma);
+        let mut evaluator = Evaluator::new(&system, analysis);
+        let first = evaluator.evaluate(&config).expect("analyzable");
+        prop_assert_eq!(evaluator.evaluate(&config).expect("analyzable"), first);
+        let seeds = DeltaSeeds::new();
+        for _ in 0..3 {
+            prop_assert_eq!(evaluator.evaluate_delta(&config, &seeds).expect("analyzable"), first);
+        }
+    }
+}
+
+/// Deterministic priority-swap walk on a multi-period instance, asserting
+/// bit-identity *and* that the delta seeding actually takes the worklist
+/// fast path (rather than falling back to the full seeding every move).
+#[test]
+fn multiperiod_priority_swaps_hit_the_delta_seeding() {
+    let system = small_multirate_system(42);
+    let analysis = AnalysisParams::default();
+    let mut config = straightforward_config(&system);
+    config.priorities = hopa_priorities(&system, &config.tdma);
+
+    let mut delta = Evaluator::new(&system, analysis);
+    let mut seeds = DeltaSeeds::new();
+    delta.evaluate(&config).expect("analyzable");
+    let mut current = evaluate(&system, config.clone(), &analysis).expect("analyzable");
+
+    for round in 0..30 {
+        let moves: Vec<_> = neighborhood(&system, &current)
+            .into_iter()
+            .filter(|m| {
+                matches!(
+                    m,
+                    mcs_opt::Move::SwapProcessPriorities(_, _)
+                        | mcs_opt::Move::SwapMessagePriorities(_, _)
+                )
+            })
+            .collect();
+        assert!(!moves.is_empty(), "priority neighborhood must be nonempty");
+        let mv = moves[(round * 7 + 3) % moves.len()];
+        let undo = mv.apply_undoable_seeded(&mut config, &mut seeds);
+        let fresh = evaluate(&system, config.clone(), &analysis).expect("analyzable");
+        let warm = delta.evaluate_delta(&config, &seeds).expect("analyzable");
+        seeds.clear();
+        assert_eq!(warm.degree, fresh.degree, "δΓ drifted at round {round}");
+        assert_eq!(warm.total_buffers, fresh.total_buffers);
+        assert_eq!(warm.iterations, fresh.outcome.iterations);
+        assert_eq!(delta.outcome().process_timing, fresh.outcome.process_timing);
+        assert_eq!(delta.outcome().message_timing, fresh.outcome.message_timing);
+        if round % 3 == 0 {
+            current = fresh;
+        } else {
+            undo.record_seeds(&mut seeds);
+            undo.revert(&mut config);
+        }
+    }
+    let (delta_hits, full) = delta.delta_stats();
+    assert!(
+        delta_hits > 0,
+        "the delta seeding was never taken ({delta_hits} delta vs {full} full)"
+    );
+}
+
+/// The hand-built multi-rate Figure 4 scenario: the worklist engine agrees
+/// with the one-shot analysis on every configuration, and a priority-swap
+/// delta between them stays bit-identical.
+#[test]
+fn figure4_multirate_full_and_delta_agree() {
+    let fig = figure4_multirate(mcs_model::Time::from_millis(200));
+    let analysis = AnalysisParams::default();
+    let mut evaluator = Evaluator::new(&fig.system, analysis);
+    for config in [&fig.config_a, &fig.config_b, &fig.config_c] {
+        let summary = evaluator.evaluate(config).expect("analyzable");
+        let oneshot =
+            mcs_core::multi_cluster_scheduling(&fig.system, config, &analysis).expect("analyzable");
+        assert_eq!(summary.converged, oneshot.converged);
+        assert_eq!(evaluator.outcome().process_timing, oneshot.process_timing);
+        assert_eq!(evaluator.outcome().message_timing, oneshot.message_timing);
+        assert_eq!(evaluator.outcome().queues, oneshot.queues);
+    }
+    // (a) → (c) is the worked P2/P3 priority swap: drive it as a delta.
+    evaluator.evaluate(&fig.config_a).expect("analyzable");
+    let mut seeds = DeltaSeeds::new();
+    seeds.push_process(mcs_gen::figure4_ids::P2);
+    seeds.push_process(mcs_gen::figure4_ids::P3);
+    let warm = evaluator
+        .evaluate_delta(&fig.config_c, &seeds)
+        .expect("analyzable");
+    let fresh = evaluate(&fig.system, fig.config_c.clone(), &analysis).expect("analyzable");
+    assert_eq!(warm.degree, fresh.degree);
+    assert_eq!(warm.total_buffers, fresh.total_buffers);
+    assert_eq!(
+        evaluator.outcome().process_timing,
+        fresh.outcome.process_timing
+    );
+    assert_eq!(
+        evaluator.outcome().message_timing,
+        fresh.outcome.message_timing
+    );
+}

@@ -13,7 +13,7 @@ pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, size }
 }
 
-/// The [`vec`] strategy.
+/// The [`vec()`] strategy.
 pub struct VecStrategy<S> {
     element: S,
     size: Range<usize>,
