@@ -392,7 +392,11 @@ fn bench_simulator(c: &mut Criterion) {
     group.sample_size(10);
     let cc = cruise_controller();
     let analysis = AnalysisParams::default();
-    let os = mcs_opt::optimize_schedule(&cc.system, &analysis, &mcs_opt::OsParams::default());
+    let os = mcs_opt::Synthesis::builder(&cc.system)
+        .analysis(analysis)
+        .strategy(mcs_opt::Os::new(mcs_opt::OsParams::default()))
+        .run()
+        .expect("analyzable");
     let outcome =
         multi_cluster_scheduling(&cc.system, &os.best.config, &analysis).expect("analyzable");
     group.bench_function("cruise_4_activations", |b| {

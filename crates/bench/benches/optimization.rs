@@ -1,37 +1,37 @@
 //! Run-time benchmarks of the synthesis heuristics, backing the paper's §6
 //! claim that the greedy heuristics run "more than two orders of magnitude"
 //! faster than the simulated-annealing references ("a couple of minutes"
-//! versus "up to three hours" at paper scale).
+//! versus "up to three hours" at paper scale). All runs go through the
+//! `Synthesis` front door.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mcs_core::AnalysisParams;
 use mcs_gen::{generate, GeneratorParams};
-use mcs_opt::{
-    hopa_priorities, optimize_resources, optimize_schedule, sa_schedule, OrParams, OsParams,
-    SaParams,
-};
+use mcs_opt::{hopa_priorities, Or, OrParams, Os, OsParams, Sa, SaParams, Synthesis};
 
 fn bench_os_vs_sas(c: &mut Criterion) {
     let mut group = c.benchmark_group("os_vs_sas");
     group.sample_size(10);
     let system = generate(&GeneratorParams::paper_sized(2, 7));
-    let analysis = AnalysisParams::default();
     group.bench_function("os_80_processes", |b| {
-        b.iter(|| optimize_schedule(&system, &analysis, &OsParams::default()))
+        b.iter(|| {
+            Synthesis::builder(&system)
+                .strategy(Os::new(OsParams::default()))
+                .run()
+                .expect("analyzable")
+        })
     });
     // Even a *short* 100-iteration anneal costs an order of magnitude more
     // than the greedy heuristic; the paper's reference runs used far more.
     group.bench_function("sas_100_iterations", |b| {
         b.iter(|| {
-            sa_schedule(
-                &system,
-                &analysis,
-                &SaParams {
+            Synthesis::builder(&system)
+                .strategy(Sa::schedule(SaParams {
                     iterations: 100,
                     ..SaParams::default()
-                },
-            )
+                }))
+                .run()
+                .expect("analyzable")
         })
     });
     group.finish();
@@ -41,9 +41,13 @@ fn bench_or(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimize_resources");
     group.sample_size(10);
     let system = generate(&GeneratorParams::paper_sized(2, 7));
-    let analysis = AnalysisParams::default();
     group.bench_function("or_80_processes", |b| {
-        b.iter(|| optimize_resources(&system, &analysis, &OrParams::default()))
+        b.iter(|| {
+            Synthesis::builder(&system)
+                .strategy(Or::new(OrParams::default()))
+                .run()
+                .expect("analyzable")
+        })
     });
     group.finish();
 }

@@ -6,15 +6,21 @@
 //! 3. OR seeded from the full OS seed pool vs. from the single best-δΓ
 //!    configuration.
 //!
-//! Each ablation's seed sweep runs in parallel (`RAYON_NUM_THREADS` caps
-//! the workers); rows are printed after collection, in seed order.
+//! Ablations 1 and 3 run as [`mcs_opt::ExperimentRunner`] batches; the
+//! ablation-2 seed sweep fans out with `rayon` (`RAYON_NUM_THREADS` caps
+//! the workers). Rows are printed after collection, in seed order.
+
+use std::sync::Arc;
 
 use rayon::prelude::*;
 
 use mcs_bench::{cell, mean, ExperimentOptions};
 use mcs_core::{multi_cluster_scheduling, AnalysisParams, FifoBound};
 use mcs_gen::{generate, GeneratorParams};
-use mcs_opt::{evaluate, hopa_priorities, optimize_resources, straightforward_config, OrParams};
+use mcs_opt::{
+    hopa_priorities, straightforward_config, ExperimentJob, ExperimentRunner, Hopa, Or, OrParams,
+    OsParams, Sf,
+};
 
 fn main() {
     let options = ExperimentOptions::from_args();
@@ -22,19 +28,22 @@ fn main() {
 
     println!("Ablation 1 — priority assignment (δΓ cost; lower is better)");
     println!("{:>6} {:>12} {:>12}", "seed", "index-order", "HOPA");
-    let rows: Vec<(i128, i128)> = (0..options.seeds)
-        .into_par_iter()
-        .map(|seed| {
-            let system = generate(&GeneratorParams::paper_sized(4, seed));
-            let sf = straightforward_config(&system);
-            let mut hopa = sf.clone();
-            hopa.priorities = hopa_priorities(&system, &hopa.tdma);
-            let a = evaluate(&system, sf, &analysis).expect("analyzable");
-            let b = evaluate(&system, hopa, &analysis).expect("analyzable");
-            (a.schedule_cost(), b.schedule_cost())
-        })
-        .collect();
-    for (seed, (index_order, hopa)) in rows.into_iter().enumerate() {
+    let mut runner = ExperimentRunner::new();
+    for seed in 0..options.seeds {
+        let system = Arc::new(generate(&GeneratorParams::paper_sized(4, seed)));
+        let instance = format!("seed={seed}");
+        runner.push(ExperimentJob::new(
+            instance.clone(),
+            Arc::clone(&system),
+            analysis,
+            Sf,
+        ));
+        runner.push(ExperimentJob::new(instance, system, analysis, Hopa));
+    }
+    let records = runner.run();
+    for (seed, pair) in records.chunks_exact(2).enumerate() {
+        let index_order = pair[0].expect("SF analyzable").best.schedule_cost();
+        let hopa = pair[1].expect("HOPA analyzable").best.schedule_cost();
         println!("{seed:>6} {index_order:>12} {hopa:>12}");
     }
     println!();
@@ -77,27 +86,40 @@ fn main() {
 
     println!("Ablation 3 — OR seeding (s_total in bytes; lower is better)");
     println!("{:>6} {:>12} {:>12}", "seed", "best-only", "seed-pool");
-    let rows: Vec<(u64, u64)> = (0..options.seeds)
-        .into_par_iter()
-        .map(|seed| {
-            let system = generate(&GeneratorParams::paper_sized(2, seed));
-            let pool = optimize_resources(&system, &analysis, &OrParams::default());
-            let best_only = optimize_resources(
-                &system,
-                &analysis,
-                &OrParams {
-                    os: mcs_opt::OsParams {
+    let mut runner = ExperimentRunner::new();
+    for seed in 0..options.seeds {
+        let system = Arc::new(generate(&GeneratorParams::paper_sized(2, seed)));
+        let instance = format!("seed={seed}");
+        runner.push(
+            ExperimentJob::new(
+                instance.clone(),
+                Arc::clone(&system),
+                analysis,
+                Or::new(OrParams::default()),
+            )
+            .labelled("OR/seed-pool"),
+        );
+        runner.push(
+            ExperimentJob::new(
+                instance,
+                system,
+                analysis,
+                Or::new(OrParams {
+                    os: OsParams {
                         seed_limit: 1,
-                        ..mcs_opt::OsParams::default()
+                        ..OsParams::default()
                     },
                     ..OrParams::default()
-                },
-            );
-            (pool.best.total_buffers, best_only.best.total_buffers)
-        })
-        .collect();
+                }),
+            )
+            .labelled("OR/best-only"),
+        );
+    }
+    let records = runner.run();
     let mut pool_wins = Vec::new();
-    for (seed, (pool, best_only)) in rows.into_iter().enumerate() {
+    for (seed, pair) in records.chunks_exact(2).enumerate() {
+        let pool = pair[0].expect("OR analyzable").best.total_buffers;
+        let best_only = pair[1].expect("OR analyzable").best.total_buffers;
         println!("{seed:>6} {best_only:>12} {pool:>12}");
         pool_wins.push(best_only as f64 - pool as f64);
     }

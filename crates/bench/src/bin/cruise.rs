@@ -5,19 +5,16 @@
 //! OS and SAS produced schedulable systems at 185 ms; OS needed 1020 bytes
 //! of buffers, OR reduced that by 24 %, landing within 6 % of SAR.
 //!
-//! The four independent synthesis runs (SF+OR on one side, SAS and SAR on
-//! the other) execute in parallel via `rayon::join`; the reported
-//! per-algorithm times are each branch's own wall clock.
+//! The five synthesis runs (SF, OS, OR, SAS, SAR) are one
+//! [`mcs_opt::ExperimentRunner`] batch fanned out across cores; each
+//! record carries its own wall-clock time.
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use mcs_bench::ExperimentOptions;
 use mcs_core::AnalysisParams;
 use mcs_gen::cruise_controller;
-use mcs_opt::{
-    evaluate, optimize_resources, sa_resources, sa_schedule, straightforward_config, OrParams,
-    SaParams,
-};
+use mcs_opt::{ExperimentJob, ExperimentRunner, Or, OrParams, Os, OsParams, Sa, SaParams, Sf};
 
 fn main() {
     let options = ExperimentOptions::from_args();
@@ -33,26 +30,44 @@ fn main() {
         seed: 1,
         ..SaParams::default()
     };
-    let ((sf, sf_time, or, heuristics_time), ((sas, sar), sa_time)) = rayon::join(
-        || {
-            let t = Instant::now();
-            let sf = evaluate(&cc.system, straightforward_config(&cc.system), &analysis)
-                .expect("SF analyzable");
-            let sf_time = t.elapsed();
-            let t = Instant::now();
-            let or = optimize_resources(&cc.system, &analysis, &OrParams::default());
-            (sf, sf_time, or, t.elapsed())
-        },
-        || {
-            let t = Instant::now();
-            let runs = rayon::join(
-                || sa_schedule(&cc.system, &analysis, &sa),
-                || sa_resources(&cc.system, &analysis, &sa),
-            );
-            (runs, t.elapsed())
-        },
-    );
-    let os = &or.os.best;
+    let system = Arc::new(cc.system);
+    let mut runner = ExperimentRunner::new();
+    runner.push(ExperimentJob::new(
+        "cruise",
+        Arc::clone(&system),
+        analysis,
+        Sf,
+    ));
+    runner.push(ExperimentJob::new(
+        "cruise",
+        Arc::clone(&system),
+        analysis,
+        Os::new(OsParams::default()),
+    ));
+    runner.push(ExperimentJob::new(
+        "cruise",
+        Arc::clone(&system),
+        analysis,
+        Or::new(OrParams::default()),
+    ));
+    runner.push(ExperimentJob::new(
+        "cruise",
+        Arc::clone(&system),
+        analysis,
+        Sa::schedule(sa),
+    ));
+    runner.push(ExperimentJob::new(
+        "cruise",
+        Arc::clone(&system),
+        analysis,
+        Sa::resources(sa),
+    ));
+    let records = runner.run();
+    let [sf, os, or, sas, sar]: &[mcs_opt::ExperimentRecord; 5] =
+        records[..].try_into().expect("five jobs");
+    let sf = &sf.expect("SF analyzable").best;
+    let os = &os.expect("OS analyzable").best;
+    let sas = &sas.expect("SAS analyzable").best;
 
     let verdict = |ok: bool| if ok { "meets" } else { "MISSES" };
     println!("end-to-end worst-case response (paper: SF 320 ms, OS/SAS 185 ms):");
@@ -73,24 +88,32 @@ fn main() {
     );
     println!();
     println!("total buffer need (paper: OS 1020 B, OR -24 %, OR within 6 % of SAR):");
+    let or_best = &or.expect("OR analyzable").best;
+    let sar_best = &sar.expect("SAR analyzable").best;
     let os_b = os.total_buffers as f64;
-    let or_b = or.best.total_buffers as f64;
-    let sar_b = sar.total_buffers as f64;
+    let or_b = or_best.total_buffers as f64;
+    let sar_b = sar_best.total_buffers as f64;
     println!("  OS  : {:>6} B", os.total_buffers);
     println!(
         "  OR  : {:>6} B  ({:+.0} % vs OS)",
-        or.best.total_buffers,
+        or_best.total_buffers,
         (or_b - os_b) / os_b * 100.0
     );
     println!(
         "  SAR : {:>6} B  (OR is {:+.0} % vs SAR)",
-        sar.total_buffers,
+        sar_best.total_buffers,
         (or_b - sar_b) / sar_b.max(1.0) * 100.0
     );
     println!();
+    let ms = |micros: u64| micros as f64 / 1_000.0;
     println!(
-        "run times: SF {sf_time:?}, OS+OR {heuristics_time:?}, SA {sa_time:?} \
-         ({} iterations each)",
+        "run times: SF {:.1} ms, OS {:.1} ms, OR {:.1} ms, SAS {:.1} ms, SAR {:.1} ms \
+         ({} SA iterations each)",
+        ms(records[0].elapsed_micros),
+        ms(records[1].elapsed_micros),
+        ms(records[2].elapsed_micros),
+        ms(records[3].elapsed_micros),
+        ms(records[4].elapsed_micros),
         options.sa_iters
     );
 }

@@ -6,30 +6,56 @@
 //! schedulable system enter the averages; the count of SF failures is
 //! reported separately (the paper saw 26 of 150).
 //!
-//! Seeds are independent synthesis runs and are evaluated in parallel
-//! (`RAYON_NUM_THREADS` caps the workers); the aggregated output is
-//! identical to the sequential sweep.
+//! Every (instance × strategy) run is one [`ExperimentRunner`] job, fanned
+//! out across cores (`RAYON_NUM_THREADS` caps the workers); records come
+//! back in submission order, so the aggregated output is identical to a
+//! sequential sweep. Each record is also emitted as a JSON line (see
+//! `--jsonl`).
 
-use rayon::prelude::*;
+use std::sync::Arc;
 
-use mcs_bench::{cell, mean, percent_deviation, ExperimentOptions};
+use mcs_bench::{cell, mean, percent_deviation, write_jsonl, ExperimentOptions};
 use mcs_core::AnalysisParams;
 use mcs_gen::{generate, GeneratorParams};
-use mcs_opt::{
-    evaluate, optimize_schedule, sa_schedule, straightforward_config, OsParams, SaParams,
-};
+use mcs_opt::{ExperimentJob, ExperimentRecord, ExperimentRunner, Os, OsParams, Sa, SaParams, Sf};
 
-struct SeedResult {
-    sf_cost: i128,
-    os_cost: i128,
-    sas_cost: i128,
-    sf_schedulable: bool,
-    all_schedulable: bool,
-}
+const NODE_COUNTS: [usize; 5] = [2, 4, 6, 8, 10];
 
 fn main() {
     let options = ExperimentOptions::from_args();
     let analysis = AnalysisParams::default();
+    let mut runner = ExperimentRunner::new();
+    for nodes in NODE_COUNTS {
+        for seed in 0..options.seeds {
+            let system = Arc::new(generate(&GeneratorParams::paper_sized(nodes, seed)));
+            let instance = format!("nodes={nodes},seed={seed}");
+            runner.push(ExperimentJob::new(
+                instance.clone(),
+                Arc::clone(&system),
+                analysis,
+                Sf,
+            ));
+            runner.push(ExperimentJob::new(
+                instance.clone(),
+                Arc::clone(&system),
+                analysis,
+                Os::new(OsParams::default()),
+            ));
+            runner.push(ExperimentJob::new(
+                instance,
+                Arc::clone(&system),
+                analysis,
+                Sa::schedule(SaParams {
+                    iterations: options.sa_iters,
+                    seed,
+                    ..SaParams::default()
+                }),
+            ));
+        }
+    }
+    let records = runner.run();
+    write_jsonl(&options.jsonl_path("fig9a"), &records);
+
     println!("Figure 9a — avg % deviation of δΓ from SAS (lower is better)");
     println!(
         "{:>6} {:>6} {:>10} {:>10} {:>8} {:>9}",
@@ -37,48 +63,29 @@ fn main() {
     );
     let mut sf_failures = 0;
     let mut total = 0;
-    for nodes in [2usize, 4, 6, 8, 10] {
-        let results: Vec<SeedResult> = (0..options.seeds)
-            .into_par_iter()
-            .map(|seed| {
-                let system = generate(&GeneratorParams::paper_sized(nodes, seed));
-                let sf = evaluate(&system, straightforward_config(&system), &analysis)
-                    .expect("SF configuration is analyzable");
-                let os = optimize_schedule(&system, &analysis, &OsParams::default());
-                let sas = sa_schedule(
-                    &system,
-                    &analysis,
-                    &SaParams {
-                        iterations: options.sa_iters,
-                        seed,
-                        ..SaParams::default()
-                    },
-                );
-                SeedResult {
-                    sf_cost: sf.schedule_cost(),
-                    os_cost: os.best.schedule_cost(),
-                    sas_cost: sas.schedule_cost(),
-                    sf_schedulable: sf.is_schedulable(),
-                    all_schedulable: sf.is_schedulable()
-                        && os.best.is_schedulable()
-                        && sas.is_schedulable(),
-                }
-            })
-            .collect();
-
+    let mut per_point = records.chunks_exact(3);
+    for nodes in NODE_COUNTS {
         let mut sf_dev = Vec::new();
         let mut os_dev = Vec::new();
         let mut sf_failed_here = 0;
-        for r in &results {
+        for _ in 0..options.seeds {
+            let [sf, os, sas]: &[ExperimentRecord; 3] = per_point
+                .next()
+                .expect("three records per (nodes, seed) point")
+                .try_into()
+                .expect("chunks_exact");
+            let sf = &sf.expect("SF configuration is analyzable").best;
+            let os = &os.expect("OS run succeeds").best;
+            let sas = &sas.expect("SAS run succeeds").best;
             total += 1;
-            if !r.sf_schedulable {
+            if !sf.is_schedulable() {
                 sf_failed_here += 1;
                 sf_failures += 1;
             }
-            if r.all_schedulable {
-                let reference = r.sas_cost as f64;
-                sf_dev.push(percent_deviation(r.sf_cost as f64, reference));
-                os_dev.push(percent_deviation(r.os_cost as f64, reference));
+            if sf.is_schedulable() && os.is_schedulable() && sas.is_schedulable() {
+                let reference = sas.schedule_cost() as f64;
+                sf_dev.push(percent_deviation(sf.schedule_cost() as f64, reference));
+                os_dev.push(percent_deviation(os.schedule_cost() as f64, reference));
             }
         }
         println!(

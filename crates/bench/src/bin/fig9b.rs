@@ -4,55 +4,81 @@
 //! processes. The paper's headline: OR halves the buffer need of OS and
 //! tracks SAR closely.
 //!
-//! Seeds run in parallel (`RAYON_NUM_THREADS` caps the workers); the
-//! aggregated output is identical to the sequential sweep.
+//! Every (instance × strategy) run is one [`ExperimentRunner`] job fanned
+//! out across cores (`RAYON_NUM_THREADS` caps the workers); records come
+//! back in submission order, so the aggregated output is identical to a
+//! sequential sweep. Each record is also emitted as a JSON line (see
+//! `--jsonl`). OS and OR are independent jobs — both are deterministic, so
+//! the OS column equals the step-1 result inside OR.
 
-use rayon::prelude::*;
+use std::sync::Arc;
 
-use mcs_bench::{cell, mean, ExperimentOptions};
+use mcs_bench::{cell, mean, write_jsonl, ExperimentOptions};
 use mcs_core::AnalysisParams;
 use mcs_gen::{generate, GeneratorParams};
-use mcs_opt::{optimize_resources, sa_resources, OrParams, SaParams};
+use mcs_opt::{ExperimentJob, ExperimentRecord, ExperimentRunner, Or, OrParams, Os, Sa, SaParams};
+
+const NODE_COUNTS: [usize; 5] = [2, 4, 6, 8, 10];
 
 fn main() {
     let options = ExperimentOptions::from_args();
     let analysis = AnalysisParams::default();
+    let mut runner = ExperimentRunner::new();
+    for nodes in NODE_COUNTS {
+        for seed in 0..options.seeds {
+            let system = Arc::new(generate(&GeneratorParams::paper_sized(nodes, seed)));
+            let instance = format!("nodes={nodes},seed={seed}");
+            runner.push(ExperimentJob::new(
+                instance.clone(),
+                Arc::clone(&system),
+                analysis,
+                Os::new(OrParams::default().os),
+            ));
+            runner.push(ExperimentJob::new(
+                instance.clone(),
+                Arc::clone(&system),
+                analysis,
+                Or::new(OrParams::default()),
+            ));
+            runner.push(ExperimentJob::new(
+                instance,
+                Arc::clone(&system),
+                analysis,
+                Sa::resources(SaParams {
+                    iterations: options.sa_iters,
+                    seed,
+                    ..SaParams::default()
+                }),
+            ));
+        }
+    }
+    let records = runner.run();
+    write_jsonl(&options.jsonl_path("fig9b"), &records);
+
     println!("Figure 9b — avg total buffer need s_total [bytes] (lower is better)");
     println!(
         "{:>6} {:>6} {:>10} {:>10} {:>10} {:>8}",
         "nodes", "procs", "OS", "OR", "SAR", "used"
     );
-    for nodes in [2usize, 4, 6, 8, 10] {
-        let results: Vec<Option<(f64, f64, f64)>> = (0..options.seeds)
-            .into_par_iter()
-            .map(|seed| {
-                let system = generate(&GeneratorParams::paper_sized(nodes, seed));
-                let or = optimize_resources(&system, &analysis, &OrParams::default());
-                let sar = sa_resources(
-                    &system,
-                    &analysis,
-                    &SaParams {
-                        iterations: options.sa_iters,
-                        seed,
-                        ..SaParams::default()
-                    },
-                );
-                (or.os.best.is_schedulable() && or.best.is_schedulable() && sar.is_schedulable())
-                    .then_some((
-                        or.os.best.total_buffers as f64,
-                        or.best.total_buffers as f64,
-                        sar.total_buffers as f64,
-                    ))
-            })
-            .collect();
-
+    let mut per_point = records.chunks_exact(3);
+    for nodes in NODE_COUNTS {
         let mut os_bytes = Vec::new();
         let mut or_bytes = Vec::new();
         let mut sar_bytes = Vec::new();
-        for (os_b, or_b, sar_b) in results.into_iter().flatten() {
-            os_bytes.push(os_b);
-            or_bytes.push(or_b);
-            sar_bytes.push(sar_b);
+        for _ in 0..options.seeds {
+            let [os, or, sar]: &[ExperimentRecord; 3] = per_point
+                .next()
+                .expect("three records per (nodes, seed) point")
+                .try_into()
+                .expect("chunks_exact");
+            let os = &os.expect("OS run succeeds").best;
+            let or = &or.expect("OR run succeeds").best;
+            let sar = &sar.expect("SAR run succeeds").best;
+            if os.is_schedulable() && or.is_schedulable() && sar.is_schedulable() {
+                os_bytes.push(os.total_buffers as f64);
+                or_bytes.push(or.total_buffers as f64);
+                sar_bytes.push(sar.total_buffers as f64);
+            }
         }
         println!(
             "{:>6} {:>6} {} {} {} {:>8}",

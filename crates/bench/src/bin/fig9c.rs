@@ -3,61 +3,31 @@
 //! inter-cluster messages. The paper's headline: OS degrades quickly as the
 //! gateway traffic intensifies, while OR stays close to SAR.
 //!
-//! Seeds run in parallel (`RAYON_NUM_THREADS` caps the workers); the
-//! aggregated output is identical to the sequential sweep.
+//! Every (instance × strategy) run is one [`mcs_opt::ExperimentRunner`]
+//! job fanned out across cores (`RAYON_NUM_THREADS` caps the workers);
+//! records come back in submission order, so the output is identical to a
+//! sequential sweep. Each record is also emitted as a JSON line (see
+//! `--jsonl`).
 
-use rayon::prelude::*;
-
-use mcs_bench::{cell, mean, percent_deviation, ExperimentOptions};
-use mcs_core::AnalysisParams;
-use mcs_gen::{generate, GeneratorParams};
-use mcs_opt::{optimize_resources, sa_resources, OrParams, SaParams};
+use mcs_bench::{run_deviation_sweep, write_jsonl, ExperimentOptions, SweepRow};
+use mcs_gen::GeneratorParams;
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    let analysis = AnalysisParams::default();
     println!("Figure 9c — avg % deviation of s_total from SAR, 160 processes");
-    println!("{:>9} {:>10} {:>10} {:>8}", "messages", "OS", "OR", "used");
-    for inter_cluster in [10usize, 20, 30, 40, 50] {
-        let results: Vec<Option<(f64, f64)>> = (0..options.seeds)
-            .into_par_iter()
-            .map(|seed| {
-                let mut params = GeneratorParams::paper_sized(4, 1_000 + seed);
-                params.inter_cluster_messages = Some(inter_cluster);
-                let system = generate(&params);
-                let or = optimize_resources(&system, &analysis, &OrParams::default());
-                let sar = sa_resources(
-                    &system,
-                    &analysis,
-                    &SaParams {
-                        iterations: options.sa_iters,
-                        seed,
-                        ..SaParams::default()
-                    },
-                );
-                (or.os.best.is_schedulable() && or.best.is_schedulable() && sar.is_schedulable())
-                    .then(|| {
-                        let reference = sar.total_buffers as f64;
-                        (
-                            percent_deviation(or.os.best.total_buffers as f64, reference),
-                            percent_deviation(or.best.total_buffers as f64, reference),
-                        )
-                    })
-            })
-            .collect();
-
-        let mut os_dev = Vec::new();
-        let mut or_dev = Vec::new();
-        for (os_d, or_d) in results.into_iter().flatten() {
-            os_dev.push(os_d);
-            or_dev.push(or_d);
-        }
-        println!(
-            "{:>9} {} {} {:>8}",
-            inter_cluster,
-            cell(mean(&os_dev)),
-            cell(mean(&or_dev)),
-            os_dev.len()
-        );
-    }
+    let rows: Vec<SweepRow> = [10usize, 20, 30, 40, 50]
+        .into_iter()
+        .map(|inter_cluster| SweepRow {
+            key: inter_cluster,
+            instances: (0..options.seeds)
+                .map(|seed| {
+                    let mut params = GeneratorParams::paper_sized(4, 1_000 + seed);
+                    params.inter_cluster_messages = Some(inter_cluster);
+                    (format!("msgs={inter_cluster},seed={seed}"), params)
+                })
+                .collect(),
+        })
+        .collect();
+    let records = run_deviation_sweep(options.sa_iters, &rows);
+    write_jsonl(&options.jsonl_path("fig9c"), &records);
 }

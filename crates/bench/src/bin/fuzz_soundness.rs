@@ -11,7 +11,7 @@ use mcs_core::{AnalysisParams, FifoBound};
 use mcs_gen::{generate, Distribution, GeneratorParams};
 use mcs_model::{System, SystemConfig};
 use mcs_opt::{
-    evaluate, hopa_priorities, neighborhood, optimize_schedule, straightforward_config, OsParams,
+    evaluate, hopa_priorities, neighborhood, straightforward_config, Os, OsParams, Synthesis,
 };
 use mcs_sim::{simulate, ExecutionModel, SimParams};
 
@@ -75,7 +75,11 @@ fn main() {
         checked += u64::from(check(&system, &hopa, &analysis, &format!("hopa/{seed}")));
 
         // Style 2: OS-optimized.
-        let os = optimize_schedule(&system, &analysis, &OsParams::default());
+        let os = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Os::new(OsParams::default()))
+            .run()
+            .expect("the straightforward configuration must be analyzable");
         checked += u64::from(check(
             &system,
             &os.best.config,

@@ -25,11 +25,16 @@
 //! All binaries accept `--seeds N` (instances per point, default 5; the
 //! paper used 30) and `--sa-iters N` (SA budget per instance, default 200;
 //! the paper ran hours-long anneals). `--paper-scale` selects 30 seeds and
-//! 2000 SA iterations.
+//! 2000 SA iterations. The `fig9*` sweeps additionally write one
+//! machine-readable JSON line per (instance × strategy) run — to
+//! `BENCH_<figure>.jsonl` in the repository root, or the `--jsonl PATH`
+//! override — alongside their text tables.
 //!
-//! Seed sweeps are embarrassingly parallel and fan out across cores with
-//! rayon; set `RAYON_NUM_THREADS` to cap the workers. Results are collected
-//! in seed order, so parallel output is identical to a sequential run.
+//! The sweeps are (instance × strategy) job queues served by
+//! [`mcs_opt::ExperimentRunner`]: embarrassingly parallel, dynamically
+//! load-balanced across cores (set `RAYON_NUM_THREADS` to cap the
+//! workers), with records collected in submission order — so parallel
+//! output is identical to a sequential run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,12 +43,15 @@ pub mod pr1_baseline;
 pub mod seed_baseline;
 
 /// Command-line options shared by the experiment binaries.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ExperimentOptions {
     /// Instances per data point.
     pub seeds: u64,
     /// Simulated-annealing iterations per instance.
     pub sa_iters: u32,
+    /// Override for the JSON-lines record path (`--jsonl PATH`); `None`
+    /// selects the default `BENCH_<figure>.jsonl` next to the text tables.
+    pub jsonl: Option<String>,
 }
 
 impl Default for ExperimentOptions {
@@ -51,6 +59,7 @@ impl Default for ExperimentOptions {
         ExperimentOptions {
             seeds: 5,
             sa_iters: 200,
+            jsonl: None,
         }
     }
 }
@@ -82,12 +91,54 @@ impl ExperimentOptions {
                         .and_then(|v| v.parse().ok())
                         .expect("--sa-iters takes a positive integer");
                 }
+                "--jsonl" => {
+                    options.jsonl = Some(args.next().expect("--jsonl takes a path"));
+                }
                 other => panic!(
-                    "unknown flag {other}; supported: --seeds N, --sa-iters N, --paper-scale"
+                    "unknown flag {other}; supported: --seeds N, --sa-iters N, \
+                     --paper-scale, --jsonl PATH"
                 ),
             }
         }
         options
+    }
+
+    /// The JSON-lines record path for `figure`: the `--jsonl` override, or
+    /// `BENCH_<figure>.jsonl` in the repository root (next to the text
+    /// tables and `BENCH_core.json`).
+    pub fn jsonl_path(&self, figure: &str) -> std::path::PathBuf {
+        match &self.jsonl {
+            Some(path) => path.into(),
+            None => {
+                let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+                std::path::Path::new(root).join(format!("BENCH_{figure}.jsonl"))
+            }
+        }
+    }
+}
+
+/// Writes one [`mcs_opt::ExperimentRecord`] JSON line per record to `path`
+/// (overwriting) and reports where they went. Errors are printed, not
+/// propagated — machine-readable records must never fail a sweep.
+pub fn write_jsonl(path: &std::path::Path, records: &[mcs_opt::ExperimentRecord]) {
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("could not create {}: {e}", path.display());
+            return;
+        }
+    };
+    let mut writer = mcs_core::JsonLinesWriter::new(std::io::BufWriter::new(file));
+    for record in records {
+        if let Err(e) = writer.write_line(&record.json_line()) {
+            eprintln!("could not write {}: {e}", path.display());
+            return;
+        }
+    }
+    let n = writer.records();
+    match writer.finish() {
+        Ok(_) => println!("recorded {n} experiment records in {}", path.display()),
+        Err(e) => eprintln!("could not flush {}: {e}", path.display()),
     }
 }
 
@@ -137,6 +188,87 @@ pub fn record_bench_section(name: &str, body: &str) {
     } else {
         println!("recorded bench section {name:?} in {path}");
     }
+}
+
+/// One row of a Fig-9c-style buffer-deviation sweep: a display key (the
+/// inter-cluster message count) and the per-seed generator parameters of
+/// its instances.
+pub struct SweepRow {
+    /// The row key printed in the first column.
+    pub key: usize,
+    /// `(instance label, generator parameters)` per seed.
+    pub instances: Vec<(String, mcs_gen::GeneratorParams)>,
+}
+
+/// Runs OS, OR and SAR on every instance of every row through one
+/// [`mcs_opt::ExperimentRunner`] queue and prints the average %-deviation
+/// table of OS and OR from the SAR reference (the Fig-9c shape). Returns
+/// every record, row-major with OS/OR/SAR per instance, for JSON-lines
+/// emission.
+///
+/// OS and OR are independent jobs — both are deterministic, so the OS
+/// column equals the step-1 result inside OR. (The standalone OS pass is
+/// re-run inside OR, but it is a few percent of an OR+SAR job; the
+/// one-strategy-per-job model keeps records uniform.)
+pub fn run_deviation_sweep(sa_iters: u32, rows: &[SweepRow]) -> Vec<mcs_opt::ExperimentRecord> {
+    use mcs_opt::{ExperimentJob, Or, OrParams, Os, Sa, SaParams};
+
+    let analysis = mcs_core::AnalysisParams::default();
+    let mut runner = mcs_opt::ExperimentRunner::new();
+    for row in rows {
+        for (seed_index, (instance, params)) in row.instances.iter().enumerate() {
+            let system = std::sync::Arc::new(mcs_gen::generate(params));
+            runner.push(ExperimentJob::new(
+                instance.clone(),
+                std::sync::Arc::clone(&system),
+                analysis,
+                Os::new(OrParams::default().os),
+            ));
+            runner.push(ExperimentJob::new(
+                instance.clone(),
+                std::sync::Arc::clone(&system),
+                analysis,
+                Or::new(OrParams::default()),
+            ));
+            runner.push(ExperimentJob::new(
+                instance.clone(),
+                std::sync::Arc::clone(&system),
+                analysis,
+                Sa::resources(SaParams {
+                    iterations: sa_iters,
+                    seed: seed_index as u64,
+                    ..SaParams::default()
+                }),
+            ));
+        }
+    }
+    let records = runner.run();
+
+    println!("{:>9} {:>10} {:>10} {:>8}", "messages", "OS", "OR", "used");
+    let mut per_point = records.chunks_exact(3);
+    for row in rows {
+        let mut os_dev = Vec::new();
+        let mut or_dev = Vec::new();
+        for _ in 0..row.instances.len() {
+            let point = per_point.next().expect("three records per instance");
+            let os = &point[0].expect("OS run succeeds").best;
+            let or = &point[1].expect("OR run succeeds").best;
+            let sar = &point[2].expect("SAR run succeeds").best;
+            if os.is_schedulable() && or.is_schedulable() && sar.is_schedulable() {
+                let reference = sar.total_buffers as f64;
+                os_dev.push(percent_deviation(os.total_buffers as f64, reference));
+                or_dev.push(percent_deviation(or.total_buffers as f64, reference));
+            }
+        }
+        println!(
+            "{:>9} {} {} {:>8}",
+            row.key,
+            cell(mean(&os_dev)),
+            cell(mean(&or_dev)),
+            os_dev.len()
+        );
+    }
+    records
 }
 
 /// Mean of a sample, `None` when empty.

@@ -41,6 +41,16 @@ impl PeriodMultipliers {
         len: 1,
     };
 
+    /// The deep-rate `{1, 8}` preset: half the graphs at the base period,
+    /// half at eight times it. Two phase groups only, but an 8× hyper-period
+    /// — the opposite stressor to [`PeriodMultipliers::SINGLE`]: long
+    /// horizons with sparse activations of the slow group, exercising the
+    /// analysis across a much wider rate ratio than the `{1, 2, 4}` set.
+    pub const DEEP: PeriodMultipliers = PeriodMultipliers {
+        values: [1, 8, 1, 1, 1, 1, 1, 1],
+        len: 2,
+    };
+
     /// Builds a set from a slice of non-zero multipliers.
     ///
     /// # Panics
@@ -174,6 +184,21 @@ impl GeneratorParams {
         }
     }
 
+    /// The paper-sized configuration with the deep-rate
+    /// [`PeriodMultipliers::DEEP`] `{1, 8}` set: graphs alternate between
+    /// the base period and eight times it (8× hyper-period, two phase
+    /// groups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or odd.
+    pub fn deep_rate(nodes: usize, seed: u64) -> Self {
+        GeneratorParams {
+            period_multipliers: PeriodMultipliers::DEEP,
+            ..GeneratorParams::paper_sized(nodes, seed)
+        }
+    }
+
     /// Total number of application processes.
     pub fn total_processes(&self) -> usize {
         (self.tt_nodes + self.et_nodes) * self.processes_per_node
@@ -225,5 +250,19 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_multipliers_are_rejected() {
         PeriodMultipliers::new(&[1, 0]);
+    }
+
+    #[test]
+    fn deep_rate_preset_alternates_one_and_eight() {
+        assert_eq!(PeriodMultipliers::DEEP, PeriodMultipliers::new(&[1, 8]));
+        assert_eq!(PeriodMultipliers::DEEP.as_slice(), &[1, 8]);
+        assert_eq!(PeriodMultipliers::DEEP.for_graph(0), 1);
+        assert_eq!(PeriodMultipliers::DEEP.for_graph(1), 8);
+        assert_eq!(PeriodMultipliers::DEEP.for_graph(2), 1);
+        assert!(!PeriodMultipliers::DEEP.is_single());
+        assert_eq!(
+            GeneratorParams::deep_rate(2, 0).period_multipliers,
+            PeriodMultipliers::DEEP
+        );
     }
 }

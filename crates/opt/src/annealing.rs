@@ -3,22 +3,25 @@
 //! explore the same move families as the heuristics; with long runs they
 //! provide the near-optimal reference values of Figure 9.
 //!
-//! The inner loop is built for throughput: one reused
-//! [`Evaluator`] (allocation-free analysis state), one lazily sampled move
-//! per iteration ([`crate::MoveSampler`], no materialized neighborhood) and
+//! [`Sa`] is the [`Strategy`] packaging of the annealer for
+//! [`Synthesis`](crate::Synthesis). The inner loop is built for throughput:
+//! the context's shared [`Evaluator`](mcs_core::Evaluator)
+//! (allocation-free analysis state, delta-RTA), one lazily sampled move per
+//! iteration ([`crate::MoveSampler`], no materialized neighborhood) and
 //! apply/undo move semantics (no `SystemConfig` clone per iteration — the
-//! configuration is only cloned when a new best is recorded).
+//! configuration is only cloned when a new incumbent is recorded).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
+use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary};
 use mcs_model::{System, SystemConfig};
 
-use crate::cost::{materialize, resource_cost, Evaluation};
+use crate::cost::Evaluation;
 use crate::hopa::hopa_priorities;
 use crate::sampler::MoveSampler;
 use crate::sf::straightforward_config;
+use crate::synthesis::{Objective, SearchCtx, SearchEvent, Strategy, Synthesis, SynthesisError};
 
 /// Simulated-annealing parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -47,74 +50,147 @@ impl Default for SaParams {
     }
 }
 
-/// Generic simulated annealing over configuration moves.
-///
-/// `cost` maps an evaluation summary to the scalar being minimized. Returns
-/// the best evaluation ever visited (not the final state).
-///
-/// # Panics
-///
-/// Panics if `start` is not analyzable.
-pub fn anneal(
-    system: &System,
-    start: SystemConfig,
-    analysis: &AnalysisParams,
-    cost: impl Fn(&EvalSummary) -> f64,
-    params: &SaParams,
-) -> Evaluation {
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut evaluator = Evaluator::new(system, *analysis);
-    let mut sampler = MoveSampler::new(system);
-    let mut config = start;
-    let mut current = evaluator
-        .evaluate(&config)
-        .expect("the SA start configuration must be analyzable");
-    let mut best = current;
-    let mut best_config = config.clone();
-    let mut temperature = params.initial_temperature;
+/// What an [`Sa`] run minimizes. `'c` is the borrow of a custom cost
+/// closure (`'static` for the built-in objectives).
+enum SaCost<'c> {
+    Objective(Objective),
+    Custom(Box<dyn Fn(&EvalSummary) -> f64 + Send + 'c>),
+}
 
-    // Delta-RTA seed accumulation: `seeds` always over-approximates the
-    // difference between `config` and the evaluator's last completed
-    // analysis — cleared after every successful evaluation, re-fed with the
-    // undo's entities whenever a candidate is reverted.
-    let mut seeds = DeltaSeeds::new();
-    for _ in 0..params.iterations {
-        let Some(mv) = sampler.sample(system, &config, &evaluator, &current, &mut rng) else {
-            break;
-        };
-        let undo = mv.apply_undoable_seeded(&mut config, &mut seeds);
-        temperature *= params.cooling;
-        let Ok(candidate) = evaluator.evaluate_delta(&config, &seeds) else {
-            // Infeasible neighbor: the evaluator's state is unchanged, so
-            // the seeds keep accumulating across the revert.
-            undo.record_seeds(&mut seeds);
-            undo.revert(&mut config);
-            continue;
-        };
-        seeds.clear();
-        let delta = cost(&candidate) - cost(&current);
-        let accept = delta <= 0.0 || {
-            let t = temperature.max(f64::MIN_POSITIVE);
-            rng.gen::<f64>() < (-delta / t).exp()
-        };
-        if accept {
-            if cost(&candidate) < cost(&best) {
-                best = candidate;
-                best_config.clone_from(&config);
-            }
-            current = candidate;
-        } else {
-            undo.record_seeds(&mut seeds);
-            undo.revert(&mut config);
+impl SaCost<'_> {
+    fn of(&self, summary: &EvalSummary) -> f64 {
+        match self {
+            SaCost::Objective(objective) => objective.cost(summary) as f64,
+            SaCost::Custom(f) => f(summary),
         }
     }
-    // Materialize the best visited configuration (one extra analysis, so
-    // the hot loop never builds outcome maps).
-    let summary = evaluator
-        .evaluate(&best_config)
-        .expect("the best configuration was analyzable when visited");
-    debug_assert_eq!(summary, best);
-    materialize(&evaluator, best_config, summary)
+}
+
+/// Simulated annealing as a [`Strategy`]: [`Sa::schedule`] (SAS) anneals on
+/// δΓ, [`Sa::resources`] (SAR) on `s_total`, [`Sa::custom`] on any summary
+/// cost (whose closure borrow is the `'c` parameter — `'static` for the
+/// built-in objectives). Starts from [`sa_start`] unless overridden with
+/// [`Sa::with_start`].
+///
+/// A seeded run is fully deterministic (see the
+/// [module docs](crate::synthesis) for the determinism contract); the
+/// budget truncates the iteration loop cooperatively. Re-running the same
+/// instance repeats the identical search (the start override is kept, not
+/// consumed).
+pub struct Sa<'c> {
+    params: SaParams,
+    cost: SaCost<'c>,
+    start: Option<SystemConfig>,
+    name: &'static str,
+}
+
+impl<'c> Sa<'c> {
+    /// SA Schedule (SAS): anneals on δΓ.
+    pub fn schedule(params: SaParams) -> Sa<'static> {
+        Sa {
+            params,
+            cost: SaCost::Objective(Objective::Schedule),
+            start: None,
+            name: "SAS",
+        }
+    }
+
+    /// SA Resources (SAR): anneals on `s_total`, ranking unschedulable
+    /// configurations after every schedulable one.
+    pub fn resources(params: SaParams) -> Sa<'static> {
+        Sa {
+            params,
+            cost: SaCost::Objective(Objective::Resources),
+            start: None,
+            name: "SAR",
+        }
+    }
+
+    /// Anneals on an arbitrary summary cost.
+    pub fn custom(params: SaParams, cost: impl Fn(&EvalSummary) -> f64 + Send + 'c) -> Sa<'c> {
+        Sa {
+            params,
+            cost: SaCost::Custom(Box::new(cost)),
+            start: None,
+            name: "SA",
+        }
+    }
+
+    /// Overrides the start configuration (default: [`sa_start`]).
+    pub fn with_start(mut self, start: SystemConfig) -> Self {
+        self.start = Some(start);
+        self
+    }
+}
+
+impl Strategy for Sa<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        let system = ctx.system();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut sampler = MoveSampler::new(system);
+        let mut config = self.start.clone().unwrap_or_else(|| sa_start(system));
+        let mut current = ctx.evaluate(&config)?;
+        let mut best = current;
+        ctx.record_incumbent(current, &config);
+        let mut temperature = self.params.initial_temperature;
+
+        // Delta-RTA seed accumulation: `seeds` always over-approximates the
+        // difference between `config` and the evaluator's last completed
+        // analysis — cleared after every successful evaluation, re-fed with
+        // the undo's entities whenever a candidate is reverted.
+        let mut seeds = DeltaSeeds::new();
+        for _ in 0..self.params.iterations {
+            if ctx.exhausted() {
+                break;
+            }
+            let Some(mv) = sampler.sample(system, &config, ctx.evaluator(), &current, &mut rng)
+            else {
+                break;
+            };
+            let undo = mv.apply_undoable_seeded(&mut config, &mut seeds);
+            temperature *= self.params.cooling;
+            ctx.emit(SearchEvent::TemperatureEpoch {
+                evaluations: ctx.evaluations(),
+                temperature,
+            });
+            let Ok(candidate) = ctx.evaluate_delta(&config, &seeds) else {
+                // Infeasible neighbor: the evaluator's state is unchanged,
+                // so the seeds keep accumulating across the revert.
+                ctx.emit(SearchEvent::Infeasible {
+                    evaluations: ctx.evaluations(),
+                });
+                undo.record_seeds(&mut seeds);
+                undo.revert(&mut config);
+                continue;
+            };
+            seeds.clear();
+            let delta = self.cost.of(&candidate) - self.cost.of(&current);
+            let accept = delta <= 0.0 || {
+                let t = temperature.max(f64::MIN_POSITIVE);
+                rng.gen::<f64>() < (-delta / t).exp()
+            };
+            ctx.emit(SearchEvent::Evaluated {
+                evaluations: ctx.evaluations(),
+                summary: candidate,
+                accepted: accept,
+            });
+            if accept {
+                if self.cost.of(&candidate) < self.cost.of(&best) {
+                    best = candidate;
+                    ctx.record_incumbent(candidate, &config);
+                }
+                current = candidate;
+            } else {
+                undo.record_seeds(&mut seeds);
+                undo.revert(&mut config);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The starting point both SA baselines use: straightforward slot order
@@ -125,27 +201,66 @@ pub fn sa_start(system: &System) -> SystemConfig {
     config
 }
 
-/// SA Schedule (SAS): anneals on δΓ.
+/// Generic simulated annealing over configuration moves: the legacy entry
+/// point, now a thin delegation to [`Synthesis`] with [`Sa::custom`].
+///
+/// # Panics
+///
+/// Panics if `start` is not analyzable.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Synthesis::builder(..).strategy(Sa::custom(..).with_start(..)).run()"
+)]
+pub fn anneal(
+    system: &System,
+    start: SystemConfig,
+    analysis: &AnalysisParams,
+    cost: impl Fn(&EvalSummary) -> f64 + Send,
+    params: &SaParams,
+) -> Evaluation {
+    Synthesis::builder(system)
+        .analysis(*analysis)
+        .strategy(Sa::custom(*params, cost).with_start(start))
+        .run()
+        .expect("the SA start configuration must be analyzable")
+        .best
+}
+
+/// SA Schedule (SAS): anneals on δΓ. Legacy entry point.
+///
+/// # Panics
+///
+/// Panics if the [`sa_start`] configuration is not analyzable.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Synthesis::builder(..).strategy(Sa::schedule(params)).run()"
+)]
 pub fn sa_schedule(system: &System, analysis: &AnalysisParams, params: &SaParams) -> Evaluation {
-    anneal(
-        system,
-        sa_start(system),
-        analysis,
-        |e| e.schedule_cost() as f64,
-        params,
-    )
+    Synthesis::builder(system)
+        .analysis(*analysis)
+        .strategy(Sa::schedule(*params))
+        .run()
+        .expect("the SA start configuration must be analyzable")
+        .best
 }
 
 /// SA Resources (SAR): anneals on `s_total`, ranking unschedulable
-/// configurations after every schedulable one.
+/// configurations after every schedulable one. Legacy entry point.
+///
+/// # Panics
+///
+/// Panics if the [`sa_start`] configuration is not analyzable.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Synthesis::builder(..).strategy(Sa::resources(params)).run()"
+)]
 pub fn sa_resources(system: &System, analysis: &AnalysisParams, params: &SaParams) -> Evaluation {
-    anneal(
-        system,
-        sa_start(system),
-        analysis,
-        |e| resource_cost(e) as f64,
-        params,
-    )
+    Synthesis::builder(system)
+        .analysis(*analysis)
+        .strategy(Sa::resources(*params))
+        .run()
+        .expect("the SA start configuration must be analyzable")
+        .best
 }
 
 #[cfg(test)]
@@ -163,20 +278,31 @@ mod tests {
         }
     }
 
+    fn run_sas(system: &System, params: SaParams) -> Evaluation {
+        Synthesis::builder(system)
+            .strategy(Sa::schedule(params))
+            .run()
+            .expect("analyzable")
+            .best
+    }
+
     #[test]
     fn sas_improves_on_its_start() {
         let fig = figure4(Time::from_millis(240));
         let analysis = AnalysisParams::default();
         let start = evaluate(&fig.system, sa_start(&fig.system), &analysis).expect("valid");
-        let sas = sa_schedule(&fig.system, &analysis, &quick());
+        let sas = run_sas(&fig.system, quick());
         assert!(sas.schedule_cost() <= start.schedule_cost());
     }
 
     #[test]
     fn sar_returns_a_schedulable_solution_when_one_is_reachable() {
         let fig = figure4(Time::from_millis(240));
-        let analysis = AnalysisParams::default();
-        let sar = sa_resources(&fig.system, &analysis, &quick());
+        let sar = Synthesis::builder(&fig.system)
+            .strategy(Sa::resources(quick()))
+            .run()
+            .expect("analyzable")
+            .best;
         assert!(sar.is_schedulable());
         assert!(sar.total_buffers > 0);
     }
@@ -184,9 +310,8 @@ mod tests {
     #[test]
     fn annealing_is_deterministic_in_the_seed() {
         let fig = figure4(Time::from_millis(240));
-        let analysis = AnalysisParams::default();
-        let a = sa_schedule(&fig.system, &analysis, &quick());
-        let b = sa_schedule(&fig.system, &analysis, &quick());
+        let a = run_sas(&fig.system, quick());
+        let b = run_sas(&fig.system, quick());
         assert_eq!(a.schedule_cost(), b.schedule_cost());
         assert_eq!(a.total_buffers, b.total_buffers);
     }
@@ -196,12 +321,10 @@ mod tests {
         // The returned evaluation is the best ever visited: running more
         // iterations with the same seed can only improve (or match) it.
         let fig = figure4(Time::from_millis(240));
-        let analysis = AnalysisParams::default();
-        let short = sa_schedule(&fig.system, &analysis, &quick());
-        let long = sa_schedule(
+        let short = run_sas(&fig.system, quick());
+        let long = run_sas(
             &fig.system,
-            &analysis,
-            &SaParams {
+            SaParams {
                 iterations: 120,
                 ..quick()
             },

@@ -20,6 +20,8 @@ use mcs_model::{
     MessageId, NodeId, Priority, PriorityAssignment, ProcessId, System, TdmaConfig, Time,
 };
 
+use crate::synthesis::{SearchCtx, SearchEvent, Strategy, SynthesisError};
+
 /// Computes a HOPA priority assignment for all ET processes and all
 /// CAN-travelling messages under the given TDMA configuration (whose round
 /// length serves as the TTP communication estimate).
@@ -116,6 +118,33 @@ pub fn hopa_priorities(system: &System, tdma: &TdmaConfig) -> PriorityAssignment
         assignment.set_message(m, Priority::new(level as u32));
     }
     assignment
+}
+
+/// HOPA seeding as a [`Strategy`]: the straightforward slot order with
+/// deadline-distributed [`hopa_priorities`], evaluated once. This is the
+/// start configuration the SA baselines anneal from, exposed as a
+/// standalone baseline (e.g. for the priority-assignment ablation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hopa;
+
+impl Strategy for Hopa {
+    fn name(&self) -> &'static str {
+        "HOPA"
+    }
+
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        let system = ctx.system();
+        let mut config = crate::sf::straightforward_config(system);
+        config.priorities = hopa_priorities(system, &config.tdma);
+        let summary = ctx.evaluate(&config)?;
+        ctx.emit(SearchEvent::Evaluated {
+            evaluations: ctx.evaluations(),
+            summary,
+            accepted: true,
+        });
+        ctx.record_incumbent(summary, &config);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

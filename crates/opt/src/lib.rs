@@ -1,24 +1,38 @@
 //! # mcs-opt
 //!
-//! Synthesis heuristics for multi-cluster systems (paper §5–6):
+//! Synthesis heuristics for multi-cluster systems (paper §5–6), served
+//! through **one front door**: the strategy-driven [`Synthesis`] driver
+//! (see the [`synthesis`] module for the full tour). The paper's family of
+//! heuristics are [`Strategy`] impls:
 //!
-//! * [`hopa_priorities`] — HOPA-style deadline-distribution priority
-//!   assignment for ET processes and CAN messages;
-//! * [`optimize_schedule`] (OS) — greedy TDMA slot-sequence/slot-length
-//!   synthesis maximizing the degree of schedulability δΓ;
-//! * [`optimize_resources`] (OR) — hill climbing from OS seed solutions,
-//!   minimizing the total buffer need `s_total` under schedulability;
-//! * [`straightforward_config`] (SF), [`sa_schedule`] (SAS) and
-//!   [`sa_resources`] (SAR) — the evaluation baselines.
+//! * [`Hopa`] — HOPA-style deadline-distribution priority assignment for
+//!   ET processes and CAN messages ([`hopa_priorities`] is the underlying
+//!   assignment function);
+//! * [`Os`] (OS) — greedy TDMA slot-sequence/slot-length synthesis
+//!   maximizing the degree of schedulability δΓ;
+//! * [`Or`] (OR) — hill climbing from OS seed solutions, minimizing the
+//!   total buffer need `s_total` under schedulability;
+//! * [`Sf`] (SF), [`Sa::schedule`] (SAS) and [`Sa::resources`] (SAR) — the
+//!   evaluation baselines.
+//!
+//! On top of single runs, [`Portfolio`] races strategies on one instance
+//! across rayon workers and [`ExperimentRunner`] serves whole batches of
+//! (instance × strategy) jobs — the layer the paper-reproduction sweeps
+//! and any future traffic sit on.
+//!
+//! The free functions of the pre-`Synthesis` API ([`optimize_schedule`],
+//! [`optimize_resources`], [`sa_schedule`], [`sa_resources`], [`anneal`])
+//! remain as `#[deprecated]` one-line shims for one release.
 //!
 //! # Search-loop machinery
 //!
-//! Every search evaluates configurations through one reused
-//! [`mcs_core::Evaluator`] (the reusable analysis context: system-invariant
-//! tables built once, fixed-point scratch cleared between runs) and reads
-//! only the cheap [`mcs_core::EvalSummary`] per candidate; full
-//! [`Evaluation`]s (with the outcome maps) are materialized only for
-//! accepted and final configurations.
+//! Every strategy evaluates configurations through the **shared**
+//! [`mcs_core::Evaluator`] its [`SearchCtx`] borrows (the reusable
+//! analysis context: system-invariant tables built once, fixed-point
+//! scratch cleared between runs) and reads only the cheap
+//! [`mcs_core::EvalSummary`] per candidate; full [`Evaluation`]s (with the
+//! outcome maps) are materialized only for accepted and final
+//! configurations.
 //!
 //! **The apply/undo move contract.** [`Move::apply_undoable`] applies a
 //! design transformation and returns a [`MoveUndo`] whose
@@ -29,11 +43,11 @@
 //! restores the previous pin value, or removes the pin if there was none).
 //! Search loops therefore keep **one** working [`SystemConfig`] per climb
 //! and explore every neighbor in place; the simulated-annealing baselines
-//! clone a configuration only when recording a new best. Undo tokens must
-//! be reverted in LIFO order when stacked.
+//! clone a configuration only when recording a new incumbent. Undo tokens
+//! must be reverted in LIFO order when stacked.
 //!
 //! **The delta-evaluation workflow.** Every search loop evaluates through
-//! [`mcs_core::Evaluator::evaluate_delta`], handing it an accumulated
+//! [`SearchCtx::evaluate_delta`], handing it an accumulated
 //! [`mcs_core::DeltaSeeds`] set that over-approximates the difference
 //! between the configuration being evaluated and the evaluator's last
 //! completed analysis: [`Move::apply_undoable_seeded`] records a move's
@@ -57,14 +71,20 @@
 //! ```no_run
 //! use mcs_core::AnalysisParams;
 //! use mcs_gen::{generate, GeneratorParams};
-//! use mcs_opt::{optimize_schedule, OsParams};
+//! use mcs_opt::{Budget, Os, OsParams, Synthesis};
 //!
 //! let system = generate(&GeneratorParams::paper_sized(2, 1));
-//! let os = optimize_schedule(&system, &AnalysisParams::default(), &OsParams::default());
+//! let report = Synthesis::builder(&system)
+//!     .analysis(AnalysisParams::default())
+//!     .strategy(Os::new(OsParams::default()))
+//!     .budget(Budget::evals(10_000))
+//!     .run()
+//!     .expect("the straightforward start is analyzable");
 //! println!(
-//!     "schedulable: {}, buffers: {} B",
-//!     os.best.is_schedulable(),
-//!     os.best.total_buffers
+//!     "schedulable: {}, buffers: {} B, {} evaluations",
+//!     report.best.is_schedulable(),
+//!     report.best.total_buffers,
+//!     report.evaluations
 //! );
 //! ```
 
@@ -80,13 +100,25 @@ mod os;
 mod sampler;
 mod sensitivity;
 mod sf;
+pub mod synthesis;
 
-pub use annealing::{anneal, sa_resources, sa_schedule, sa_start, SaParams};
+#[allow(deprecated)]
+pub use annealing::{anneal, sa_resources, sa_schedule};
+pub use annealing::{sa_start, Sa, SaParams};
 pub use cost::{evaluate, resource_cost, Evaluation};
-pub use hopa::hopa_priorities;
+pub use hopa::{hopa_priorities, Hopa};
 pub use moves::{neighborhood, Move, MoveUndo};
-pub use or::{optimize_resources, OrParams, OrResult};
-pub use os::{optimize_schedule, recommended_lengths, OsParams, OsResult};
+#[allow(deprecated)]
+pub use or::optimize_resources;
+pub use or::{Or, OrDetails, OrParams, OrResult};
+#[allow(deprecated)]
+pub use os::optimize_schedule;
+pub use os::{recommended_lengths, Os, OsParams, OsResult};
 pub use sampler::MoveSampler;
 pub use sensitivity::{criticality_ranking, wcet_slack, WcetSlack};
-pub use sf::{minimal_slot_capacities, straightforward_config};
+pub use sf::{minimal_slot_capacities, straightforward_config, Sf};
+pub use synthesis::{
+    Budget, CancelToken, EventCounter, ExperimentJob, ExperimentRecord, ExperimentRunner,
+    Objective, Observer, Portfolio, PortfolioReport, SearchCtx, SearchEvent, Selection, Strategy,
+    Synthesis, SynthesisError, SynthesisReport, TrajectoryPoint,
+};

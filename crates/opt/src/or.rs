@@ -1,24 +1,25 @@
 //! `OptimizeResources` (OR) — the buffer-minimization hill climber of paper
 //! Figure 7.
 //!
-//! Step 1 runs [`optimize_schedule`](crate::optimize_schedule) to obtain a
-//! schedulable system and a pool of seed solutions. Step 2 hill-climbs from
-//! every seed over the move set of [`crate::neighborhood`], at each
-//! iteration performing the move that minimizes `s_total` without making
-//! the system unschedulable, until no improvement remains or the iteration
-//! limit is hit.
+//! Step 1 runs the [`Os`] strategy to obtain a schedulable system and a
+//! pool of seed solutions. Step 2 hill-climbs from every seed over the move
+//! set of [`crate::neighborhood`], at each iteration performing the move
+//! that minimizes `s_total` without making the system unschedulable, until
+//! no improvement remains or the iteration limit is hit.
 //!
-//! Neighbors are explored with apply/undo semantics against one working
-//! configuration and evaluated through a reused
-//! [`Evaluator`] — no `SystemConfig` clone and no outcome materialization
-//! per candidate.
+//! [`Or`] is the [`Strategy`] packaging of the pipeline for
+//! [`Synthesis`](crate::Synthesis): both steps share the context's
+//! [`Evaluator`](mcs_core::Evaluator), neighbors are explored with
+//! apply/undo semantics against one working configuration, and no
+//! `SystemConfig` clone or outcome materialization happens per candidate.
 
-use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
+use mcs_core::{DeltaSeeds, EvalSummary};
 use mcs_model::{System, SystemConfig};
 
 use crate::cost::{materialize, Evaluation};
 use crate::moves::neighborhood;
-use crate::os::{optimize_schedule, OsParams, OsResult};
+use crate::os::{Os, OsParams, OsResult};
+use crate::synthesis::{SearchCtx, SearchEvent, Strategy, Synthesis, SynthesisError};
 
 /// Tuning of the OR hill climber.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,7 +43,7 @@ impl Default for OrParams {
     }
 }
 
-/// The result of `OptimizeResources`.
+/// The result of the legacy `OptimizeResources` entry point.
 #[derive(Clone, Debug)]
 pub struct OrResult {
     /// The best (schedulable, minimal `s_total`) configuration found.
@@ -53,82 +54,201 @@ pub struct OrResult {
     pub evaluations: u32,
 }
 
-/// Runs `OptimizeResources`.
+/// What the OR pipeline learned along the way, available through
+/// [`Or::details`] after a run.
+#[derive(Clone, Debug)]
+pub struct OrDetails {
+    /// The step-1 (OS) incumbent, fully materialized.
+    pub os_best: Evaluation,
+    /// The seed pool handed to the hill climber.
+    pub os_seeds: Vec<SystemConfig>,
+    /// Evaluations spent in step 1.
+    pub os_evaluations: u64,
+    /// Neighbor evaluations spent in step 2 (the count the legacy
+    /// `OrResult::evaluations` reported).
+    pub climb_evaluations: u64,
+}
+
+/// The OR pipeline as a [`Strategy`].
 ///
 /// If step 1 fails to find any schedulable configuration (the paper would
 /// go back and modify the mapping/architecture, which is outside ψ), the
-/// OS result is returned unchanged — callers can detect this through
-/// [`Evaluation::is_schedulable`].
-pub fn optimize_resources(
-    system: &System,
-    analysis: &AnalysisParams,
-    params: &OrParams,
-) -> OrResult {
-    let os = optimize_schedule(system, analysis, &params.os);
-    let mut evaluations = 0;
-    if !os.best.is_schedulable() {
-        return OrResult {
-            best: os.best.clone(),
-            os,
-            evaluations,
-        };
+/// OS incumbent is returned unchanged — callers can detect this through
+/// [`Evaluation::is_schedulable`] on the report.
+#[derive(Debug, Default)]
+pub struct Or {
+    params: OrParams,
+    details: Option<OrDetails>,
+}
+
+impl Or {
+    /// Creates the strategy.
+    pub fn new(params: OrParams) -> Self {
+        Or {
+            params,
+            details: None,
+        }
     }
 
-    let mut evaluator = Evaluator::new(system, *analysis);
-    let mut global_best = os.best.clone();
-    for seed in &os.seeds {
-        let Ok(summary) = evaluator.evaluate(seed) else {
-            continue;
+    /// Step-level details of the last run (`None` before any run).
+    pub fn details(&self) -> Option<&OrDetails> {
+        self.details.as_ref()
+    }
+
+    /// Takes the details of the last run.
+    pub fn take_details(&mut self) -> Option<OrDetails> {
+        self.details.take()
+    }
+}
+
+impl Strategy for Or {
+    fn name(&self) -> &'static str {
+        "OR"
+    }
+
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        let system = ctx.system();
+        ctx.emit(SearchEvent::Phase {
+            name: "optimize-schedule",
+        });
+        let mut os = Os::new(self.params.os);
+        os.run(ctx)?;
+        let os_evaluations = ctx.evaluations();
+        let os_seeds = os.take_seeds();
+        let (os_summary, os_config) = {
+            let (summary, config) = ctx
+                .incumbent()
+                .expect("the OS strategy always records an incumbent");
+            (*summary, config.clone())
         };
-        let mut current = materialize(&evaluator, seed.clone(), summary);
-        // Delta-RTA seed accumulation across the in-place neighbor scan
-        // (cleared after every successful evaluation, re-fed on revert).
-        let mut seeds = DeltaSeeds::new();
-        for _ in 0..params.max_iterations {
-            let moves = neighborhood(system, &current);
-            let stride = (moves.len() / params.neighbor_sample.max(1)).max(1);
-            let mut work = current.config.clone();
-            let mut best_neighbor: Option<(EvalSummary, SystemConfig)> = None;
-            for mv in moves.into_iter().step_by(stride) {
-                let undo = mv.apply_undoable_seeded(&mut work, &mut seeds);
-                evaluations += 1;
-                if let Ok(summary) = evaluator.evaluate_delta(&work, &seeds) {
-                    seeds.clear();
-                    if summary.is_schedulable() {
-                        let better = match &best_neighbor {
-                            None => true,
-                            Some((b, _)) => summary.total_buffers < b.total_buffers,
-                        };
-                        if better {
-                            best_neighbor = Some((summary, work.clone()));
+        // Materialize the step-1 incumbent (one extra analysis) so the
+        // details carry its full outcome, as the legacy pipeline did.
+        let check = ctx.evaluate(&os_config)?;
+        debug_assert_eq!(check, os_summary);
+        let os_best = materialize(ctx.evaluator(), os_config, check);
+
+        let mut climb_evaluations = 0u64;
+        if os_summary.is_schedulable() {
+            ctx.emit(SearchEvent::Phase { name: "hill-climb" });
+            let mut global_best = os_summary;
+            for seed in &os_seeds {
+                if ctx.exhausted() {
+                    break;
+                }
+                let Ok(summary) = ctx.evaluate(seed) else {
+                    continue;
+                };
+                let mut current_summary = summary;
+                let mut current = materialize(ctx.evaluator(), seed.clone(), summary);
+                // Delta-RTA seed accumulation across the in-place neighbor
+                // scan (cleared after every successful evaluation, re-fed
+                // on revert).
+                let mut seeds = DeltaSeeds::new();
+                for _ in 0..self.params.max_iterations {
+                    if ctx.exhausted() {
+                        break;
+                    }
+                    let moves = neighborhood(system, &current);
+                    let stride = (moves.len() / self.params.neighbor_sample.max(1)).max(1);
+                    let mut work = current.config.clone();
+                    let mut best_neighbor: Option<(EvalSummary, SystemConfig)> = None;
+                    for mv in moves.into_iter().step_by(stride) {
+                        if ctx.exhausted() {
+                            break;
                         }
+                        let undo = mv.apply_undoable_seeded(&mut work, &mut seeds);
+                        climb_evaluations += 1;
+                        match ctx.evaluate_delta(&work, &seeds) {
+                            Ok(summary) => {
+                                seeds.clear();
+                                let mut better = false;
+                                if summary.is_schedulable() {
+                                    better = match &best_neighbor {
+                                        None => true,
+                                        Some((b, _)) => summary.total_buffers < b.total_buffers,
+                                    };
+                                    if better {
+                                        best_neighbor = Some((summary, work.clone()));
+                                    }
+                                }
+                                ctx.emit(SearchEvent::Evaluated {
+                                    evaluations: ctx.evaluations(),
+                                    summary,
+                                    accepted: better,
+                                });
+                            }
+                            Err(_) => ctx.emit(SearchEvent::Infeasible {
+                                evaluations: ctx.evaluations(),
+                            }),
+                        }
+                        undo.record_seeds(&mut seeds);
+                        undo.revert(&mut work);
+                    }
+                    match best_neighbor {
+                        Some((summary, config))
+                            if summary.total_buffers < current.total_buffers =>
+                        {
+                            // Accepted: materialize the outcome for the
+                            // next neighborhood instantiation. The full
+                            // evaluation resets the delta base to the
+                            // accepted configuration.
+                            let summary = ctx
+                                .evaluate(&config)
+                                .expect("accepted neighbor was analyzable");
+                            seeds.clear();
+                            current_summary = summary;
+                            current = materialize(ctx.evaluator(), config, summary);
+                        }
+                        _ => break,
                     }
                 }
-                undo.record_seeds(&mut seeds);
-                undo.revert(&mut work);
-            }
-            match best_neighbor {
-                Some((summary, config)) if summary.total_buffers < current.total_buffers => {
-                    // Accepted: materialize the outcome for the next
-                    // neighborhood instantiation. The full evaluation resets
-                    // the delta base to the accepted configuration.
-                    let summary = evaluator
-                        .evaluate(&config)
-                        .expect("accepted neighbor was analyzable");
-                    seeds.clear();
-                    current = materialize(&evaluator, config, summary);
+                if current.is_schedulable() && current.total_buffers < global_best.total_buffers {
+                    global_best = current_summary;
+                    ctx.record_incumbent(current_summary, &current.config);
                 }
-                _ => break,
             }
         }
-        if current.is_schedulable() && current.total_buffers < global_best.total_buffers {
-            global_best = current;
-        }
+        self.details = Some(OrDetails {
+            os_best,
+            os_seeds,
+            os_evaluations,
+            climb_evaluations,
+        });
+        Ok(())
     }
+}
+
+/// Runs `OptimizeResources`. Legacy entry point.
+///
+/// # Panics
+///
+/// Panics if not even the straightforward configuration is analyzable.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Synthesis::builder(..).strategy(Or::new(params)).run()"
+)]
+pub fn optimize_resources(
+    system: &System,
+    analysis: &mcs_core::AnalysisParams,
+    params: &OrParams,
+) -> OrResult {
+    let mut strategy = Or::new(*params);
+    let report = Synthesis::builder(system)
+        .analysis(*analysis)
+        .strategy(&mut strategy)
+        .run()
+        .expect("the straightforward configuration must be analyzable");
+    let details = strategy
+        .take_details()
+        .expect("a completed OR run records its details");
     OrResult {
-        best: global_best,
-        os,
-        evaluations,
+        best: report.best,
+        os: OsResult {
+            best: details.os_best,
+            seeds: details.os_seeds,
+            evaluations: details.os_evaluations as u32,
+        },
+        evaluations: details.climb_evaluations as u32,
     }
 }
 
@@ -138,33 +258,41 @@ mod tests {
     use mcs_gen::{figure4, generate, GeneratorParams};
     use mcs_model::Time;
 
+    fn run_or(system: &System, params: OrParams) -> (Evaluation, OrDetails) {
+        let mut strategy = Or::new(params);
+        let report = Synthesis::builder(system)
+            .strategy(&mut strategy)
+            .run()
+            .expect("analyzable");
+        let details = strategy.take_details().expect("details recorded");
+        (report.best, details)
+    }
+
     #[test]
     fn or_never_worsens_the_buffer_need() {
         let fig = figure4(Time::from_millis(240));
-        let analysis = AnalysisParams::default();
-        let or = optimize_resources(&fig.system, &analysis, &OrParams::default());
-        assert!(or.best.is_schedulable());
+        let (best, details) = run_or(&fig.system, OrParams::default());
+        assert!(best.is_schedulable());
         assert!(
-            or.best.total_buffers <= or.os.best.total_buffers,
+            best.total_buffers <= details.os_best.total_buffers,
             "OR {} must not exceed OS {}",
-            or.best.total_buffers,
-            or.os.best.total_buffers
+            best.total_buffers,
+            details.os_best.total_buffers
         );
     }
 
     #[test]
     fn or_keeps_the_system_schedulable_on_random_workloads() {
         let system = generate(&GeneratorParams::paper_sized(2, 29));
-        let analysis = AnalysisParams::default();
         let params = OrParams {
             max_iterations: 3,
             neighbor_sample: 16,
             ..OrParams::default()
         };
-        let or = optimize_resources(&system, &analysis, &params);
-        if or.os.best.is_schedulable() {
-            assert!(or.best.is_schedulable());
-            assert!(or.best.total_buffers <= or.os.best.total_buffers);
+        let (best, details) = run_or(&system, params);
+        if details.os_best.is_schedulable() {
+            assert!(best.is_schedulable());
+            assert!(best.total_buffers <= details.os_best.total_buffers);
         }
     }
 }

@@ -9,16 +9,19 @@
 //! way it records the best configurations seen — by δΓ and by `s_total` —
 //! as *seed solutions* for the resource optimizer.
 //!
-//! All candidate evaluations run through one reused
-//! [`Evaluator`], and only summaries are compared in the search; the full
-//! outcome is materialized once for the winning configuration.
+//! [`Os`] is the [`Strategy`] packaging of the heuristic for
+//! [`Synthesis`](crate::Synthesis): all candidate evaluations run through
+//! the context's shared [`Evaluator`](mcs_core::Evaluator), and only
+//! summaries are compared in the search; the driver materializes the full
+//! outcome once for the winning configuration.
 
-use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
+use mcs_core::{DeltaSeeds, EvalSummary};
 use mcs_model::{MessageRoute, NodeId, System, SystemConfig, TdmaConfig, TdmaSlot};
 
-use crate::cost::{materialize, Evaluation};
+use crate::cost::Evaluation;
 use crate::hopa::hopa_priorities;
 use crate::sf::minimal_slot_capacities;
+use crate::synthesis::{SearchCtx, SearchEvent, Strategy, Synthesis, SynthesisError};
 
 /// Tuning of the OS heuristic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,7 +41,7 @@ impl Default for OsParams {
     }
 }
 
-/// The result of `OptimizeSchedule`.
+/// The result of the legacy `OptimizeSchedule` entry point.
 #[derive(Clone, Debug)]
 pub struct OsResult {
     /// The best configuration found (by δΓ, ties broken by `s_total`).
@@ -85,106 +88,169 @@ pub fn recommended_lengths(system: &System, node: NodeId) -> Vec<u32> {
     lengths
 }
 
-/// Runs the OS heuristic.
+/// The OS heuristic as a [`Strategy`].
+///
+/// After a run, the seed pool for `OptimizeResources` is available through
+/// [`Os::seed_configs`] (the incumbent first, then the best-by-δΓ and
+/// smallest-`s_total` schedulable configurations seen).
 ///
 /// Infeasible intermediate configurations (a candidate length below the
 /// node's largest frame can never occur by construction, but e.g. a
 /// degenerate architecture could fail scheduling) are skipped rather than
 /// propagated; the straightforward configuration guarantees at least one
 /// feasible evaluation.
-pub fn optimize_schedule(
-    system: &System,
-    analysis: &AnalysisParams,
-    params: &OsParams,
-) -> OsResult {
-    let mut evaluator = Evaluator::new(system, *analysis);
-    let caps = minimal_slot_capacities(system);
-    let order: Vec<NodeId> = system.architecture.ttp_nodes().map(|n| n.id()).collect();
-    let mut slots: Vec<TdmaSlot> = order
-        .iter()
-        .map(|&node| TdmaSlot {
-            node,
-            capacity_bytes: caps[&node],
-        })
-        .collect();
+#[derive(Debug, Default)]
+pub struct Os {
+    params: OsParams,
+    seeds: Vec<SystemConfig>,
+}
 
-    let mut evaluations = 0;
-    let mut best: Option<(EvalSummary, SystemConfig)> = None;
-    let mut seeds = SeedPool::new(params.seed_limit);
-    // Every OS candidate changes the TDMA round (slot order or length), so
-    // the delta path degenerates to the full fixed point by design; the
-    // structural seed set documents that through the uniform entry point.
-    let structural = DeltaSeeds::structural();
-
-    for position in 0..slots.len() {
-        let mut best_here: Option<(EvalSummary, SystemConfig, usize, u32)> = None;
-        for j in position..slots.len() {
-            slots.swap(position, j);
-            let node = slots[position].node;
-            let lengths = recommended_lengths(system, node);
-            for &len in lengths.iter().take(params.max_slot_candidates.max(1)) {
-                let saved = slots[position].capacity_bytes;
-                slots[position].capacity_bytes = len.max(caps[&node]);
-                let tdma = TdmaConfig::new(slots.clone());
-                let priorities = hopa_priorities(system, &tdma);
-                let config = SystemConfig::new(tdma, priorities);
-                evaluations += 1;
-                if let Ok(summary) = evaluator.evaluate_delta(&config, &structural) {
-                    seeds.offer(&summary, &config);
-                    let better = match &best_here {
-                        None => true,
-                        Some((cur, _, _, _)) => {
-                            (summary.schedule_cost(), summary.total_buffers)
-                                < (cur.schedule_cost(), cur.total_buffers)
-                        }
-                    };
-                    if better {
-                        best_here = Some((summary, config, j, slots[position].capacity_bytes));
-                    }
-                }
-                slots[position].capacity_bytes = saved;
-            }
-            slots.swap(position, j);
-        }
-        // Commit the best node/length for this position.
-        if let Some((summary, config, j, len)) = best_here {
-            slots.swap(position, j);
-            slots[position].capacity_bytes = len;
-            let better = match &best {
-                None => true,
-                Some((cur, _)) => {
-                    (summary.schedule_cost(), summary.total_buffers)
-                        < (cur.schedule_cost(), cur.total_buffers)
-                }
-            };
-            if better {
-                best = Some((summary, config));
-            }
+impl Os {
+    /// Creates the strategy.
+    pub fn new(params: OsParams) -> Self {
+        Os {
+            params,
+            seeds: Vec::new(),
         }
     }
 
-    let best = match best {
-        Some((_, config)) => {
-            // Materialize the winner's outcome (one extra analysis; the
-            // search itself only compared summaries).
-            let summary = evaluator
-                .evaluate(&config)
-                .expect("the best configuration was analyzable when visited");
-            materialize(&evaluator, config, summary)
+    /// The seed pool of the last run (empty before any run).
+    pub fn seed_configs(&self) -> &[SystemConfig] {
+        &self.seeds
+    }
+
+    /// Takes the seed pool of the last run.
+    pub fn take_seeds(&mut self) -> Vec<SystemConfig> {
+        std::mem::take(&mut self.seeds)
+    }
+}
+
+impl Strategy for Os {
+    fn name(&self) -> &'static str {
+        "OS"
+    }
+
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        let system = ctx.system();
+        let caps = minimal_slot_capacities(system);
+        let order: Vec<NodeId> = system.architecture.ttp_nodes().map(|n| n.id()).collect();
+        let mut slots: Vec<TdmaSlot> = order
+            .iter()
+            .map(|&node| TdmaSlot {
+                node,
+                capacity_bytes: caps[&node],
+            })
+            .collect();
+
+        let mut best: Option<(EvalSummary, SystemConfig)> = None;
+        let mut pool = SeedPool::new(self.params.seed_limit);
+        // Every OS candidate changes the TDMA round (slot order or length),
+        // so the delta path degenerates to the full fixed point by design;
+        // the structural seed set documents that through the uniform entry
+        // point.
+        let structural = DeltaSeeds::structural();
+
+        'positions: for position in 0..slots.len() {
+            let mut best_here: Option<(EvalSummary, SystemConfig, usize, u32)> = None;
+            for j in position..slots.len() {
+                if ctx.exhausted() {
+                    // Between candidates the slot vector is consistent;
+                    // keep whatever the committed prefix achieved.
+                    break 'positions;
+                }
+                slots.swap(position, j);
+                let node = slots[position].node;
+                let lengths = recommended_lengths(system, node);
+                for &len in lengths.iter().take(self.params.max_slot_candidates.max(1)) {
+                    let saved = slots[position].capacity_bytes;
+                    slots[position].capacity_bytes = len.max(caps[&node]);
+                    let tdma = TdmaConfig::new(slots.clone());
+                    let priorities = hopa_priorities(system, &tdma);
+                    let config = SystemConfig::new(tdma, priorities);
+                    if let Ok(summary) = ctx.evaluate_delta(&config, &structural) {
+                        pool.offer(&summary, &config);
+                        let better = match &best_here {
+                            None => true,
+                            Some((cur, _, _, _)) => {
+                                (summary.schedule_cost(), summary.total_buffers)
+                                    < (cur.schedule_cost(), cur.total_buffers)
+                            }
+                        };
+                        ctx.emit(SearchEvent::Evaluated {
+                            evaluations: ctx.evaluations(),
+                            summary,
+                            accepted: better,
+                        });
+                        if better {
+                            best_here = Some((summary, config, j, slots[position].capacity_bytes));
+                        }
+                    } else {
+                        ctx.emit(SearchEvent::Infeasible {
+                            evaluations: ctx.evaluations(),
+                        });
+                    }
+                    slots[position].capacity_bytes = saved;
+                }
+                slots.swap(position, j);
+            }
+            // Commit the best node/length for this position.
+            if let Some((summary, config, j, len)) = best_here {
+                slots.swap(position, j);
+                slots[position].capacity_bytes = len;
+                let better = match &best {
+                    None => true,
+                    Some((cur, _)) => {
+                        (summary.schedule_cost(), summary.total_buffers)
+                            < (cur.schedule_cost(), cur.total_buffers)
+                    }
+                };
+                if better {
+                    ctx.record_incumbent(summary, &config);
+                    best = Some((summary, config));
+                }
+            }
         }
-        None => {
-            // Degenerate fallback: evaluate the straightforward configuration.
-            let config = crate::sf::straightforward_config(system);
-            let summary = evaluator
-                .evaluate(&config)
-                .expect("the straightforward configuration must be analyzable");
-            materialize(&evaluator, config, summary)
-        }
-    };
+
+        let best_config = match best {
+            Some((_, config)) => config,
+            None => {
+                // Degenerate fallback: evaluate the straightforward
+                // configuration.
+                let config = crate::sf::straightforward_config(system);
+                let summary = ctx.evaluate(&config)?;
+                ctx.record_incumbent(summary, &config);
+                config
+            }
+        };
+        self.seeds = pool.into_configs(&best_config);
+        Ok(())
+    }
+}
+
+/// Runs the OS heuristic. Legacy entry point.
+///
+/// # Panics
+///
+/// Panics if not even the straightforward configuration is analyzable.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Synthesis::builder(..).strategy(Os::new(params)).run()"
+)]
+pub fn optimize_schedule(
+    system: &System,
+    analysis: &mcs_core::AnalysisParams,
+    params: &OsParams,
+) -> OsResult {
+    let mut strategy = Os::new(*params);
+    let report = Synthesis::builder(system)
+        .analysis(*analysis)
+        .strategy(&mut strategy)
+        .run()
+        .expect("the straightforward configuration must be analyzable");
     OsResult {
-        seeds: seeds.into_configs(&best),
-        best,
-        evaluations,
+        best: report.best,
+        seeds: strategy.take_seeds(),
+        evaluations: report.evaluations as u32,
     }
 }
 
@@ -224,8 +290,8 @@ impl SeedPool {
         }
     }
 
-    fn into_configs(self, best: &Evaluation) -> Vec<SystemConfig> {
-        let mut configs = vec![best.config.clone()];
+    fn into_configs(self, best: &SystemConfig) -> Vec<SystemConfig> {
+        let mut configs = vec![best.clone()];
         for (_, _, c) in self
             .by_degree
             .into_iter()
@@ -244,8 +310,18 @@ impl SeedPool {
 mod tests {
     use super::*;
     use crate::cost::evaluate;
+    use mcs_core::AnalysisParams;
     use mcs_gen::{figure4, generate, GeneratorParams};
     use mcs_model::Time;
+
+    fn run_os(system: &System) -> (Evaluation, Vec<SystemConfig>, u64) {
+        let mut strategy = Os::new(OsParams::default());
+        let report = Synthesis::builder(system)
+            .strategy(&mut strategy)
+            .run()
+            .expect("analyzable");
+        (report.best, strategy.take_seeds(), report.evaluations)
+    }
 
     #[test]
     fn os_beats_or_matches_the_straightforward_baseline() {
@@ -257,15 +333,15 @@ mod tests {
             &analysis,
         )
         .expect("SF analyzable");
-        let os = optimize_schedule(&system, &analysis, &OsParams::default());
+        let (best, seeds, evaluations) = run_os(&system);
         assert!(
-            os.best.schedule_cost() <= sf.schedule_cost(),
+            best.schedule_cost() <= sf.schedule_cost(),
             "OS {} must not lose to SF {}",
-            os.best.schedule_cost(),
+            best.schedule_cost(),
             sf.schedule_cost()
         );
-        assert!(os.evaluations > 0);
-        assert!(!os.seeds.is_empty());
+        assert!(evaluations > 0);
+        assert!(!seeds.is_empty());
     }
 
     #[test]
@@ -273,12 +349,8 @@ mod tests {
         // With D = 240 ms, configurations (b) and (c) are schedulable; the
         // greedy search must find one at least as good.
         let fig = figure4(Time::from_millis(240));
-        let os = optimize_schedule(
-            &fig.system,
-            &AnalysisParams::default(),
-            &OsParams::default(),
-        );
-        assert!(os.best.is_schedulable());
+        let (best, _, _) = run_os(&fig.system);
+        assert!(best.is_schedulable());
     }
 
     #[test]

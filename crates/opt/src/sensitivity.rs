@@ -6,7 +6,12 @@
 //! configuration, the per-process WCET slack tells the designer which
 //! functions sit on the critical path (slack ≈ 0) and which have headroom
 //! for future features. Computed by binary search over re-analysis with
-//! [`Application::with_wcet`](mcs_model::Application::with_wcet).
+//! [`Application::with_wcet`](mcs_model::Application::with_wcet); the
+//! per-process searches are independent and [`criticality_ranking`] fans
+//! them out across rayon workers (`RAYON_NUM_THREADS` caps them), with
+//! results collected in process order so the ranking is deterministic.
+
+use rayon::prelude::*;
 
 use mcs_core::AnalysisParams;
 use mcs_model::{ProcessId, System, SystemConfig, Time};
@@ -102,11 +107,18 @@ pub fn criticality_ranking(
     scale_limit: u64,
     resolution: Time,
 ) -> Vec<WcetSlack> {
-    let mut slacks: Vec<WcetSlack> = system
+    let ids: Vec<ProcessId> = system
         .application
         .processes()
         .iter()
-        .filter_map(|p| wcet_slack(system, config, analysis, p.id(), scale_limit, resolution))
+        .map(|p| p.id())
+        .collect();
+    let mut slacks: Vec<WcetSlack> = ids
+        .into_par_iter()
+        .map(|p| wcet_slack(system, config, analysis, p, scale_limit, resolution))
+        .collect::<Vec<Option<WcetSlack>>>()
+        .into_iter()
+        .flatten()
         .collect();
     slacks.sort_by_key(|s| (s.headroom_permille(), s.process));
     slacks

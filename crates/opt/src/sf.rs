@@ -1,12 +1,18 @@
 //! The straightforward (SF) baseline of paper §6: nodes allocated to TDMA
 //! slots in ascending order, slot lengths just accommodating each node's
 //! largest message, and unoptimized (index-order) ET priorities.
+//!
+//! [`Sf`] is the [`Strategy`] packaging of the baseline for
+//! [`Synthesis`](crate::Synthesis); [`straightforward_config`] remains the
+//! underlying configuration constructor the other heuristics start from.
 
 use std::collections::HashMap;
 
 use mcs_model::{
     MessageRoute, NodeId, Priority, PriorityAssignment, System, SystemConfig, TdmaConfig, TdmaSlot,
 };
+
+use crate::synthesis::{SearchCtx, SearchEvent, Strategy, SynthesisError};
 
 /// The minimal capacity of each TTP node's slot: the largest single frame
 /// the node must emit (at least one byte so the slot exists on the wire).
@@ -65,6 +71,29 @@ pub fn straightforward_config(system: &System) -> SystemConfig {
         }
     }
     SystemConfig::new(TdmaConfig::new(slots), priorities)
+}
+
+/// The straightforward baseline as a [`Strategy`]: one evaluation of
+/// [`straightforward_config`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sf;
+
+impl Strategy for Sf {
+    fn name(&self) -> &'static str {
+        "SF"
+    }
+
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        let config = straightforward_config(ctx.system());
+        let summary = ctx.evaluate(&config)?;
+        ctx.emit(SearchEvent::Evaluated {
+            evaluations: ctx.evaluations(),
+            summary,
+            accepted: true,
+        });
+        ctx.record_incumbent(summary, &config);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

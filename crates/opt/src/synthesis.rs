@@ -1,0 +1,1121 @@
+//! The synthesis front door: one strategy-driven driver for every search
+//! heuristic of the paper, plus portfolio execution and batch experiment
+//! serving.
+//!
+//! Historically each heuristic (SF, SAS/SAR annealing, OS, OR, HOPA
+//! seeding) was a free function hand-wiring its own [`Evaluator`], loop and
+//! result struct, and every experiment binary re-implemented the same
+//! driver glue. This module replaces that with three composable layers:
+//!
+//! 1. **[`Synthesis`]** — a builder-style driver running *one*
+//!    [`Strategy`] against *one* system:
+//!
+//!    ```no_run
+//!    use mcs_core::AnalysisParams;
+//!    use mcs_gen::{generate, GeneratorParams};
+//!    use mcs_opt::{Budget, Sa, SaParams, Synthesis};
+//!
+//!    let system = generate(&GeneratorParams::paper_sized(2, 1));
+//!    let report = Synthesis::builder(&system)
+//!        .analysis(AnalysisParams::default())
+//!        .strategy(Sa::resources(SaParams::default()))
+//!        .budget(Budget::evals(200_000))
+//!        .run()
+//!        .expect("the SA start configuration is analyzable");
+//!    println!("schedulable: {}", report.best.is_schedulable());
+//!    ```
+//!
+//! 2. **[`Portfolio`]** — N strategies (or N seeds of one strategy) racing
+//!    on the same instance across rayon workers, with deterministic winner
+//!    selection ([`Selection::FirstSchedulable`] or
+//!    [`Selection::BestCost`]).
+//!
+//! 3. **[`ExperimentRunner`]** — a batch queue of (instance × strategy)
+//!    jobs fanned out across cores; the serving layer the `fig9` sweeps
+//!    sit on. Every job produces an [`ExperimentRecord`] with a stable
+//!    JSON-lines rendering (via [`mcs_core::json_line`]).
+//!
+//! # The `Strategy` contract
+//!
+//! A [`Strategy`] drives the search through a [`SearchCtx`], which *borrows*
+//! one shared [`Evaluator`] — the reusable analysis context with its
+//! delta-RTA machinery — instead of constructing its own:
+//!
+//! * every candidate analysis goes through [`SearchCtx::evaluate`] or
+//!   [`SearchCtx::evaluate_delta`] (both count against the [`Budget`]);
+//! * the strategy reports improvements with [`SearchCtx::record_incumbent`]
+//!   — the driver owns the incumbent, its δΓ trajectory, and the final
+//!   materialization of the winning configuration;
+//! * long-running loops poll [`SearchCtx::exhausted`] and return early when
+//!   the budget is spent or the run is cancelled (**cooperative**
+//!   cancellation: an exhausted context still honors evaluation calls, so a
+//!   strategy may finish the candidate it is on);
+//! * because the delta path is bit-identical to the full fixed point,
+//!   a strategy's results do not depend on what the shared evaluator
+//!   analyzed before it ran.
+//!
+//! # Events and observers
+//!
+//! Strategies narrate the search as structured [`SearchEvent`]s —
+//! accepted/rejected moves, new incumbents, temperature epochs, phase
+//! changes — delivered synchronously to every [`Observer`] attached to the
+//! driver. Observers must not assume any event other than `Started` (first)
+//! and `Finished` (last, emitted even on an error or an exhausted budget
+//! once an incumbent exists); which events appear in between is up to the
+//! strategy.
+//!
+//! # Determinism
+//!
+//! Every strategy shipped here is a pure function of (system, analysis
+//! params, strategy params, budget): a seeded run reproduces its **entire
+//! event stream** — same events, same order, same payloads — and therefore
+//! its report, bit for bit. [`Portfolio::run`] and [`ExperimentRunner::run`]
+//! preserve that: results are collected in submission order regardless of
+//! worker interleaving, and winner selection is a deterministic function of
+//! the collected reports (ties break toward the lowest entry index). The
+//! only escape hatch is [`Portfolio::race`], which trades reproducibility
+//! of the *losing* reports for wall-clock time.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use mcs_core::{AnalysisError, AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
+use mcs_model::{System, SystemConfig};
+
+use crate::cost::{materialize, resource_cost, Evaluation};
+
+// ---------------------------------------------------------------------------
+// Budget & cancellation
+// ---------------------------------------------------------------------------
+
+/// An evaluation budget for one synthesis run.
+///
+/// The budget is **cooperative**: strategies poll
+/// [`SearchCtx::exhausted`] between candidates and wind down; a strategy
+/// mid-candidate may finish it, so a run can end a few evaluations past the
+/// limit. [`Budget::UNLIMITED`] (the default) never exhausts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    max_evaluations: u64,
+}
+
+impl Budget {
+    /// No limit: the strategy runs to its natural completion.
+    pub const UNLIMITED: Budget = Budget {
+        max_evaluations: u64::MAX,
+    };
+
+    /// At most `n` schedulability evaluations.
+    pub fn evals(n: u64) -> Self {
+        Budget { max_evaluations: n }
+    }
+
+    /// The evaluation limit, `None` when unlimited.
+    pub fn max_evaluations(&self) -> Option<u64> {
+        (self.max_evaluations != u64::MAX).then_some(self.max_evaluations)
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::UNLIMITED
+    }
+}
+
+/// A shareable cooperative cancellation flag.
+///
+/// Cloning shares the flag; [`CancelToken::cancel`] makes every
+/// [`SearchCtx`] carrying a clone report [`exhausted`](SearchCtx::exhausted)
+/// from then on. Used by [`Portfolio::race`] to stop the losers once a
+/// winner emerges.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once any clone of this token was cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events & observers
+// ---------------------------------------------------------------------------
+
+/// One structured step of a synthesis run, in emission order.
+#[derive(Clone, Copy, Debug)]
+pub enum SearchEvent {
+    /// The driver handed control to the strategy.
+    Started {
+        /// [`Strategy::name`] of the running strategy.
+        strategy: &'static str,
+    },
+    /// A candidate was analyzed and kept or discarded.
+    Evaluated {
+        /// Evaluations performed so far (including this one).
+        evaluations: u64,
+        /// The candidate's summary.
+        summary: EvalSummary,
+        /// Whether the strategy kept the candidate (an annealer accepting a
+        /// move, a greedy search adopting a new local best).
+        accepted: bool,
+    },
+    /// A candidate was structurally infeasible (analysis error); nothing
+    /// was learned about its cost.
+    Infeasible {
+        /// Evaluations performed so far (including this attempt).
+        evaluations: u64,
+    },
+    /// The driver recorded a new global incumbent.
+    NewIncumbent {
+        /// Evaluations performed when the incumbent was found.
+        evaluations: u64,
+        /// The incumbent's summary.
+        summary: EvalSummary,
+    },
+    /// An annealing strategy cooled into a new temperature.
+    TemperatureEpoch {
+        /// Evaluations performed so far.
+        evaluations: u64,
+        /// The temperature after cooling.
+        temperature: f64,
+    },
+    /// A composite strategy moved to its next phase (e.g. OR finishing
+    /// schedule optimization and starting a hill climb).
+    Phase {
+        /// A stable, strategy-defined phase name.
+        name: &'static str,
+    },
+    /// The run ended; always the final event.
+    Finished {
+        /// Total evaluations performed.
+        evaluations: u64,
+        /// Whether the budget was exhausted (or the run cancelled) before
+        /// the strategy finished naturally.
+        exhausted: bool,
+    },
+}
+
+/// A pluggable listener for [`SearchEvent`]s.
+///
+/// Observers run synchronously inside the search loop; keep `on_event`
+/// cheap. `&mut O` also implements `Observer`, so an observer can be
+/// borrowed into a run and inspected afterwards.
+pub trait Observer {
+    /// Called for every event, in emission order.
+    fn on_event(&mut self, event: &SearchEvent);
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_event(&mut self, event: &SearchEvent) {
+        (**self).on_event(event)
+    }
+}
+
+/// An [`Observer`] counting events per kind — a cheap smoke signal for
+/// tests and progress reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounter {
+    /// `Evaluated` events seen.
+    pub evaluated: u64,
+    /// `Evaluated` events with `accepted == true`.
+    pub accepted: u64,
+    /// `Infeasible` events seen.
+    pub infeasible: u64,
+    /// `NewIncumbent` events seen.
+    pub incumbents: u64,
+    /// `TemperatureEpoch` events seen.
+    pub epochs: u64,
+    /// `Phase` events seen.
+    pub phases: u64,
+}
+
+impl Observer for EventCounter {
+    fn on_event(&mut self, event: &SearchEvent) {
+        match event {
+            SearchEvent::Evaluated { accepted, .. } => {
+                self.evaluated += 1;
+                if *accepted {
+                    self.accepted += 1;
+                }
+            }
+            SearchEvent::Infeasible { .. } => self.infeasible += 1,
+            SearchEvent::NewIncumbent { .. } => self.incumbents += 1,
+            SearchEvent::TemperatureEpoch { .. } => self.epochs += 1,
+            SearchEvent::Phase { .. } => self.phases += 1,
+            SearchEvent::Started { .. } | SearchEvent::Finished { .. } => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Objectives & errors
+// ---------------------------------------------------------------------------
+
+/// The two cost axes of the paper, as a selectable objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize the degree of schedulability δΓ.
+    Schedule,
+    /// Minimize the total buffer need `s_total`, ranking unschedulable
+    /// configurations after every schedulable one.
+    Resources,
+}
+
+impl Objective {
+    /// The scalar this objective minimizes for a summary.
+    pub fn cost(&self, summary: &EvalSummary) -> i128 {
+        match self {
+            Objective::Schedule => summary.schedule_cost(),
+            Objective::Resources => resource_cost(summary),
+        }
+    }
+
+    /// The scalar this objective minimizes for a full evaluation.
+    pub fn evaluation_cost(&self, evaluation: &Evaluation) -> i128 {
+        match self {
+            Objective::Schedule => evaluation.schedule_cost(),
+            Objective::Resources => evaluation.resource_cost(),
+        }
+    }
+}
+
+/// Why a synthesis run failed to produce a report.
+#[derive(Debug)]
+pub enum SynthesisError {
+    /// The strategy hit a structurally invalid configuration it could not
+    /// recover from (e.g. an unanalyzable start configuration).
+    Analysis(AnalysisError),
+    /// The strategy finished without recording any incumbent (budget spent
+    /// or cancelled before the first feasible candidate).
+    NoIncumbent,
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::Analysis(e) => write!(f, "synthesis failed to analyze: {e}"),
+            SynthesisError::NoIncumbent => {
+                write!(f, "the strategy finished without recording an incumbent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<AnalysisError> for SynthesisError {
+    fn from(e: AnalysisError) -> Self {
+        SynthesisError::Analysis(e)
+    }
+}
+
+/// One point of the degree-of-schedulability trajectory: the incumbent
+/// summary after `evaluations` analyses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrajectoryPoint {
+    /// Evaluations performed when this incumbent was recorded.
+    pub evaluations: u64,
+    /// The incumbent's summary at that point.
+    pub summary: EvalSummary,
+}
+
+// ---------------------------------------------------------------------------
+// The search context
+// ---------------------------------------------------------------------------
+
+/// What the driver hands a [`Strategy`]: the shared [`Evaluator`], the
+/// budget/cancellation state, incumbent tracking and the observer fan-out.
+pub struct SearchCtx<'s, 'a, 'run> {
+    evaluator: &'run mut Evaluator<'s>,
+    observers: &'run mut [Box<dyn Observer + 'a>],
+    budget: Budget,
+    cancel: Option<CancelToken>,
+    evaluations: u64,
+    incumbent: Option<(EvalSummary, SystemConfig)>,
+    trajectory: Vec<TrajectoryPoint>,
+}
+
+impl<'s, 'a, 'run> SearchCtx<'s, 'a, 'run> {
+    /// The system under synthesis.
+    pub fn system(&self) -> &'s System {
+        self.evaluator.system()
+    }
+
+    /// The analysis parameters of the run.
+    pub fn params(&self) -> &AnalysisParams {
+        self.evaluator.params()
+    }
+
+    /// Shared read access to the evaluator (e.g. for
+    /// [`MoveSampler::sample`](crate::MoveSampler::sample) anchoring or
+    /// outcome materialization).
+    pub fn evaluator(&self) -> &Evaluator<'s> {
+        self.evaluator
+    }
+
+    /// Escape hatch: direct mutable access to the evaluator. Analyses run
+    /// through it are **not** counted against the budget; prefer
+    /// [`evaluate`](Self::evaluate) / [`evaluate_delta`](Self::evaluate_delta).
+    pub fn evaluator_mut(&mut self) -> &mut Evaluator<'s> {
+        self.evaluator
+    }
+
+    /// Evaluations performed so far (full and delta alike).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// `true` once the budget is spent or the run was cancelled. Strategies
+    /// poll this between candidates and wind down.
+    pub fn exhausted(&self) -> bool {
+        self.evaluations >= self.budget.max_evaluations
+            || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Runs the full analysis of `config`, counting against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalysisError`] for structurally invalid
+    /// configurations; searches treat such candidates as infeasible.
+    pub fn evaluate(&mut self, config: &SystemConfig) -> Result<EvalSummary, AnalysisError> {
+        self.evaluations += 1;
+        self.evaluator.evaluate(config)
+    }
+
+    /// Runs the incremental (delta-RTA) analysis of `config`, counting
+    /// against the budget. Bit-identical to [`evaluate`](Self::evaluate);
+    /// `seeds` must over-approximate the difference to the evaluator's last
+    /// completed analysis (see [`Evaluator::evaluate_delta`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalysisError`] exactly like a full evaluation; the
+    /// evaluator's state is unchanged on error, so accumulated seeds stay
+    /// valid across a revert.
+    pub fn evaluate_delta(
+        &mut self,
+        config: &SystemConfig,
+        seeds: &DeltaSeeds,
+    ) -> Result<EvalSummary, AnalysisError> {
+        self.evaluations += 1;
+        self.evaluator.evaluate_delta(config, seeds)
+    }
+
+    /// The current incumbent, if any was recorded yet.
+    pub fn incumbent(&self) -> Option<(&EvalSummary, &SystemConfig)> {
+        self.incumbent.as_ref().map(|(s, c)| (s, c))
+    }
+
+    /// Records `config` as the new incumbent: the driver keeps a clone,
+    /// extends the δΓ trajectory and emits [`SearchEvent::NewIncumbent`].
+    ///
+    /// The strategy owns the *decision* (each heuristic compares costs its
+    /// own way); the driver owns the bookkeeping.
+    pub fn record_incumbent(&mut self, summary: EvalSummary, config: &SystemConfig) {
+        match &mut self.incumbent {
+            Some((s, c)) => {
+                *s = summary;
+                c.clone_from(config);
+            }
+            None => self.incumbent = Some((summary, config.clone())),
+        }
+        self.trajectory.push(TrajectoryPoint {
+            evaluations: self.evaluations,
+            summary,
+        });
+        self.emit(SearchEvent::NewIncumbent {
+            evaluations: self.evaluations,
+            summary,
+        });
+    }
+
+    /// Delivers `event` to every attached observer, in attachment order.
+    pub fn emit(&mut self, event: SearchEvent) {
+        for observer in self.observers.iter_mut() {
+            observer.on_event(&event);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy & the driver
+// ---------------------------------------------------------------------------
+
+/// A synthesis heuristic pluggable into [`Synthesis`].
+///
+/// Implementations drive the search loop through the [`SearchCtx`] (see the
+/// [module docs](self) for the full contract): evaluate through the
+/// context, record incumbents, poll [`SearchCtx::exhausted`], emit events.
+/// `Send` is required so strategies can fan out across [`Portfolio`] and
+/// [`ExperimentRunner`] workers.
+pub trait Strategy: Send {
+    /// A stable, human-readable strategy name (`"SF"`, `"SAS"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search to completion (or budget exhaustion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::Analysis`] only for failures the strategy
+    /// cannot search around (e.g. an unanalyzable start configuration);
+    /// infeasible *candidates* are skipped, not propagated.
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError>;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &mut S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        (**self).run(ctx)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        (**self).run(ctx)
+    }
+}
+
+/// The unified result of one synthesis run.
+#[derive(Clone, Debug)]
+pub struct SynthesisReport {
+    /// [`Strategy::name`] of the strategy that produced this report.
+    pub strategy: &'static str,
+    /// The incumbent: configuration, costs and the full analysis outcome.
+    pub best: Evaluation,
+    /// Schedulability analyses performed (full and delta alike, including
+    /// infeasible attempts; excluding the driver's final materialization).
+    pub evaluations: u64,
+    /// The degree-of-schedulability trajectory: every incumbent in
+    /// discovery order, stamped with its evaluation count.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Whether the budget ran out (or the run was cancelled) before the
+    /// strategy finished naturally.
+    pub exhausted: bool,
+}
+
+impl SynthesisReport {
+    /// The incumbent's cheap summary (the last trajectory point).
+    pub fn summary(&self) -> EvalSummary {
+        self.trajectory
+            .last()
+            .expect("a report always has at least one trajectory point")
+            .summary
+    }
+}
+
+/// Builder-style driver for one synthesis run; the front door of this
+/// crate. See the [module docs](self) for the layer map and an example.
+pub struct Synthesis<'s, 'a> {
+    system: &'s System,
+    analysis: AnalysisParams,
+    strategy: Option<Box<dyn Strategy + 'a>>,
+    budget: Budget,
+    cancel: Option<CancelToken>,
+    observers: Vec<Box<dyn Observer + 'a>>,
+}
+
+impl<'s, 'a> Synthesis<'s, 'a> {
+    /// Starts configuring a run against `system` with default analysis
+    /// parameters and an unlimited budget.
+    pub fn builder(system: &'s System) -> Self {
+        Synthesis {
+            system,
+            analysis: AnalysisParams::default(),
+            strategy: None,
+            budget: Budget::UNLIMITED,
+            cancel: None,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Sets the analysis parameters.
+    pub fn analysis(mut self, params: AnalysisParams) -> Self {
+        self.analysis = params;
+        self
+    }
+
+    /// Sets the strategy (required).
+    pub fn strategy(mut self, strategy: impl Strategy + 'a) -> Self {
+        self.strategy = Some(Box::new(strategy));
+        self
+    }
+
+    /// Sets the evaluation budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches an observer (repeatable; delivery in attachment order).
+    /// Pass `&mut observer` to keep access to it after the run.
+    pub fn observer(mut self, observer: impl Observer + 'a) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Runs the strategy and returns the unified report.
+    ///
+    /// The incumbent is re-analyzed once at the end so the report carries
+    /// its full [`AnalysisOutcome`](mcs_core::AnalysisOutcome) without the
+    /// search loop ever materializing outcome maps.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthesisError::Analysis`] if the strategy aborted on an
+    /// unrecoverable analysis failure, [`SynthesisError::NoIncumbent`] if
+    /// it finished (or was cancelled) before recording any incumbent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no strategy was set.
+    pub fn run(mut self) -> Result<SynthesisReport, SynthesisError> {
+        let mut strategy = self
+            .strategy
+            .take()
+            .expect("Synthesis::run requires a strategy; call .strategy(...) first");
+        let mut evaluator = Evaluator::new(self.system, self.analysis);
+        let mut ctx = SearchCtx {
+            evaluator: &mut evaluator,
+            observers: &mut self.observers,
+            budget: self.budget,
+            cancel: self.cancel.clone(),
+            evaluations: 0,
+            incumbent: None,
+            trajectory: Vec::new(),
+        };
+        ctx.emit(SearchEvent::Started {
+            strategy: strategy.name(),
+        });
+        let outcome = strategy.run(&mut ctx);
+        let evaluations = ctx.evaluations;
+        let exhausted = ctx.exhausted();
+        ctx.emit(SearchEvent::Finished {
+            evaluations,
+            exhausted,
+        });
+        let incumbent = ctx.incumbent.take();
+        let trajectory = std::mem::take(&mut ctx.trajectory);
+        outcome?;
+        let (summary, config) = incumbent.ok_or(SynthesisError::NoIncumbent)?;
+        // Materialize the incumbent's outcome with one extra analysis (the
+        // search loop only ever compared summaries).
+        let check = evaluator.evaluate(&config)?;
+        debug_assert_eq!(
+            check, summary,
+            "re-analyzing the incumbent must reproduce its summary"
+        );
+        Ok(SynthesisReport {
+            strategy: strategy.name(),
+            best: materialize(&evaluator, config, check),
+            evaluations,
+            trajectory,
+            exhausted,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio
+// ---------------------------------------------------------------------------
+
+/// How a [`Portfolio`] picks its winner among the collected reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Selection {
+    /// The first entry (in insertion order) whose incumbent is
+    /// schedulable; falls back to `BestCost(Objective::Schedule)` when none
+    /// is.
+    FirstSchedulable,
+    /// The entry minimizing the objective; ties break toward the lowest
+    /// entry index.
+    BestCost(Objective),
+}
+
+/// The result of a [`Portfolio`] run.
+#[derive(Debug)]
+pub struct PortfolioReport {
+    /// Index of the winning entry, `None` when every entry failed.
+    pub winner: Option<usize>,
+    /// Every entry's labelled report, in insertion order.
+    pub reports: Vec<(String, Result<SynthesisReport, SynthesisError>)>,
+}
+
+impl PortfolioReport {
+    /// The winning entry's label and report.
+    pub fn winner_report(&self) -> Option<(&str, &SynthesisReport)> {
+        let index = self.winner?;
+        let (label, report) = &self.reports[index];
+        Some((label.as_str(), report.as_ref().expect("winner is Ok")))
+    }
+}
+
+/// Runs N strategies (or N seeds) against one system in parallel and picks
+/// a winner deterministically. See the [module docs](self).
+pub struct Portfolio<'s, 'a> {
+    system: &'s System,
+    analysis: AnalysisParams,
+    entries: Vec<(String, Box<dyn Strategy + 'a>)>,
+    budget: Budget,
+    selection: Selection,
+    race: bool,
+}
+
+impl<'s, 'a> Portfolio<'s, 'a> {
+    /// Starts a portfolio against `system` with default analysis
+    /// parameters, unlimited per-entry budget and
+    /// [`Selection::FirstSchedulable`].
+    pub fn builder(system: &'s System) -> Self {
+        Portfolio {
+            system,
+            analysis: AnalysisParams::default(),
+            entries: Vec::new(),
+            budget: Budget::UNLIMITED,
+            selection: Selection::FirstSchedulable,
+            race: false,
+        }
+    }
+
+    /// Sets the analysis parameters shared by every entry.
+    pub fn analysis(mut self, params: AnalysisParams) -> Self {
+        self.analysis = params;
+        self
+    }
+
+    /// Adds a labelled strategy entry.
+    pub fn add(mut self, label: impl Into<String>, strategy: impl Strategy + 'a) -> Self {
+        self.entries.push((label.into(), Box::new(strategy)));
+        self
+    }
+
+    /// Sets the per-entry evaluation budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the winner-selection rule.
+    pub fn selection(mut self, selection: Selection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Enables racing: as soon as any entry records a schedulable
+    /// incumbent, every other entry is cooperatively cancelled. The winner
+    /// under [`Selection::FirstSchedulable`] may then depend on worker
+    /// timing — racing trades determinism for wall-clock time; leave it off
+    /// (the default) for reproducible sweeps.
+    pub fn race(mut self, race: bool) -> Self {
+        self.race = race;
+        self
+    }
+
+    /// Number of entries added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries were added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Runs every entry (in parallel across rayon workers) and selects the
+    /// winner. Reports come back in insertion order.
+    pub fn run(self) -> PortfolioReport {
+        let Portfolio {
+            system,
+            analysis,
+            entries,
+            budget,
+            selection,
+            race,
+        } = self;
+        let token = CancelToken::new();
+        let reports: Vec<(String, Result<SynthesisReport, SynthesisError>)> = entries
+            .into_par_iter()
+            .map(|(label, strategy)| {
+                let mut builder = Synthesis::builder(system)
+                    .analysis(analysis)
+                    .budget(budget)
+                    .cancel(token.clone());
+                if race {
+                    builder = builder.observer(CancelOnSchedulable(token.clone()));
+                }
+                let report = builder.strategy(strategy).run();
+                if race && report.as_ref().is_ok_and(|r| r.best.is_schedulable()) {
+                    token.cancel();
+                }
+                (label, report)
+            })
+            .collect();
+        let winner = select_winner(&reports, selection);
+        PortfolioReport { winner, reports }
+    }
+}
+
+/// Race observer: cancels the shared token on the first schedulable
+/// incumbent.
+struct CancelOnSchedulable(CancelToken);
+
+impl Observer for CancelOnSchedulable {
+    fn on_event(&mut self, event: &SearchEvent) {
+        if let SearchEvent::NewIncumbent { summary, .. } = event {
+            if summary.is_schedulable() {
+                self.0.cancel();
+            }
+        }
+    }
+}
+
+fn select_winner(
+    reports: &[(String, Result<SynthesisReport, SynthesisError>)],
+    selection: Selection,
+) -> Option<usize> {
+    let ok = |i: &usize| reports[*i].1.as_ref().ok();
+    let indices: Vec<usize> = (0..reports.len()).filter(|i| ok(i).is_some()).collect();
+    if indices.is_empty() {
+        return None;
+    }
+    match selection {
+        Selection::FirstSchedulable => indices
+            .iter()
+            .copied()
+            .find(|i| ok(i).is_some_and(|r| r.best.is_schedulable()))
+            .or_else(|| select_winner(reports, Selection::BestCost(Objective::Schedule))),
+        Selection::BestCost(objective) => indices.into_iter().min_by_key(|i| {
+            let report = reports[*i].1.as_ref().expect("filtered to Ok");
+            (objective.evaluation_cost(&report.best), *i)
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch experiment serving
+// ---------------------------------------------------------------------------
+
+/// One (instance × strategy) unit of batch work for [`ExperimentRunner`].
+pub struct ExperimentJob {
+    /// Instance label, e.g. `"nodes=4,seed=17"`.
+    pub instance: String,
+    /// Strategy label, e.g. `"OS"`. Defaults to [`Strategy::name`] but may
+    /// carry run-specific detail (`"SAS/iters=2000"`).
+    pub strategy_label: String,
+    system: Arc<System>,
+    analysis: AnalysisParams,
+    strategy: Box<dyn Strategy>,
+    budget: Budget,
+}
+
+impl ExperimentJob {
+    /// Creates a job with the strategy's own name as its label.
+    pub fn new(
+        instance: impl Into<String>,
+        system: Arc<System>,
+        analysis: AnalysisParams,
+        strategy: impl Strategy + 'static,
+    ) -> Self {
+        ExperimentJob {
+            instance: instance.into(),
+            strategy_label: strategy.name().to_string(),
+            system,
+            analysis,
+            strategy: Box::new(strategy),
+            budget: Budget::UNLIMITED,
+        }
+    }
+
+    /// Overrides the strategy label.
+    pub fn labelled(mut self, label: impl Into<String>) -> Self {
+        self.strategy_label = label.into();
+        self
+    }
+
+    /// Sets the job's evaluation budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    fn execute(self) -> ExperimentRecord {
+        let start = Instant::now();
+        let report = Synthesis::builder(&self.system)
+            .analysis(self.analysis)
+            .budget(self.budget)
+            .strategy(self.strategy)
+            .run();
+        ExperimentRecord {
+            instance: self.instance,
+            strategy: self.strategy_label,
+            elapsed_micros: start.elapsed().as_micros() as u64,
+            report,
+        }
+    }
+}
+
+/// The outcome of one [`ExperimentJob`], with a stable machine-readable
+/// rendering.
+#[derive(Debug)]
+pub struct ExperimentRecord {
+    /// The job's instance label.
+    pub instance: String,
+    /// The job's strategy label.
+    pub strategy: String,
+    /// Wall-clock time of the run in microseconds.
+    pub elapsed_micros: u64,
+    /// The synthesis report (or why the run failed).
+    pub report: Result<SynthesisReport, SynthesisError>,
+}
+
+impl ExperimentRecord {
+    /// The report of a job that must not fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `context` if the job failed.
+    pub fn expect(&self, context: &str) -> &SynthesisReport {
+        match &self.report {
+            Ok(report) => report,
+            Err(e) => panic!("{context}: {e}"),
+        }
+    }
+
+    /// Renders the record as one stable JSON line (see
+    /// [`mcs_core::json_line`]): `instance`, `strategy`, `ok`,
+    /// `schedulable`, `schedule_cost`, `total_buffers`, `evaluations`,
+    /// `exhausted`, `elapsed_micros`. Failed runs carry `ok: false` and
+    /// omit the result fields.
+    pub fn json_line(&self) -> String {
+        use mcs_core::JsonField as F;
+        match &self.report {
+            Ok(r) => mcs_core::json_line(&[
+                ("instance", F::Str(&self.instance)),
+                ("strategy", F::Str(&self.strategy)),
+                ("ok", F::Bool(true)),
+                ("schedulable", F::Bool(r.best.is_schedulable())),
+                ("schedule_cost", F::Int(r.best.schedule_cost())),
+                ("total_buffers", F::UInt(r.best.total_buffers)),
+                ("evaluations", F::UInt(r.evaluations)),
+                ("exhausted", F::Bool(r.exhausted)),
+                ("elapsed_micros", F::UInt(self.elapsed_micros)),
+            ]),
+            Err(e) => mcs_core::json_line(&[
+                ("instance", F::Str(&self.instance)),
+                ("strategy", F::Str(&self.strategy)),
+                ("ok", F::Bool(false)),
+                ("error", F::Str(&e.to_string())),
+                ("elapsed_micros", F::UInt(self.elapsed_micros)),
+            ]),
+        }
+    }
+}
+
+/// Batch experiment serving: a queue of [`ExperimentJob`]s fanned out
+/// across rayon workers, records collected in submission order.
+///
+/// This is the layer the `fig9` sweep binaries sit on — and the shape any
+/// future high-traffic serving loop takes: enqueue generated instances ×
+/// strategies, drain records.
+#[derive(Default)]
+pub struct ExperimentRunner {
+    jobs: Vec<ExperimentJob>,
+}
+
+impl ExperimentRunner {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues one job.
+    pub fn push(&mut self, job: ExperimentJob) -> &mut Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Jobs enqueued so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every job (parallel, dynamically load-balanced across cores;
+    /// `RAYON_NUM_THREADS` caps the workers) and returns the records in
+    /// submission order.
+    pub fn run(self) -> Vec<ExperimentRecord> {
+        self.jobs
+            .into_par_iter()
+            .map(ExperimentJob::execute)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Os, OsParams, Sa, SaParams, Sf};
+    use mcs_gen::{figure4, generate, GeneratorParams};
+    use mcs_model::Time;
+
+    fn quick_sa(seed: u64) -> Sa<'static> {
+        Sa::schedule(SaParams {
+            iterations: 40,
+            seed,
+            ..SaParams::default()
+        })
+    }
+
+    #[test]
+    fn budget_truncates_the_run_and_is_reported() {
+        let fig = figure4(Time::from_millis(240));
+        let full = Synthesis::builder(&fig.system)
+            .strategy(quick_sa(3))
+            .run()
+            .expect("analyzable");
+        assert!(!full.exhausted);
+        let capped = Synthesis::builder(&fig.system)
+            .strategy(quick_sa(3))
+            .budget(Budget::evals(5))
+            .run()
+            .expect("analyzable");
+        assert!(capped.exhausted);
+        assert!(capped.evaluations <= 6, "cooperative overshoot is small");
+        assert!(capped.evaluations < full.evaluations);
+    }
+
+    #[test]
+    fn events_stream_deterministically_and_trajectory_matches() {
+        let fig = figure4(Time::from_millis(240));
+        let run = |_: u32| {
+            let mut counter = EventCounter::default();
+            let report = Synthesis::builder(&fig.system)
+                .strategy(quick_sa(9))
+                .observer(&mut counter)
+                .run()
+                .expect("analyzable");
+            (counter, report)
+        };
+        let (c1, r1) = run(0);
+        let (c2, r2) = run(1);
+        assert_eq!(c1, c2, "seeded runs reproduce the event stream");
+        assert_eq!(r1.trajectory, r2.trajectory);
+        assert_eq!(c1.incumbents as usize, r1.trajectory.len());
+        assert_eq!(r1.summary(), r2.summary());
+        assert!(c1.epochs > 0, "SA narrates temperature epochs");
+    }
+
+    #[test]
+    fn cancellation_stops_a_run_early() {
+        let fig = figure4(Time::from_millis(240));
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Synthesis::builder(&fig.system)
+            .strategy(quick_sa(1))
+            .cancel(token)
+            .run()
+            .expect("the start configuration still lands an incumbent");
+        // The start evaluation records an incumbent; the loop then winds
+        // down immediately.
+        assert!(report.exhausted);
+        assert!(report.evaluations <= 2);
+    }
+
+    #[test]
+    fn portfolio_winner_is_deterministic_across_runs() {
+        let system = generate(&GeneratorParams::paper_sized(2, 23));
+        let run = || {
+            Portfolio::builder(&system)
+                .selection(Selection::BestCost(Objective::Schedule))
+                .add("sf", Sf)
+                .add("sas-0", quick_sa(0))
+                .add("sas-1", quick_sa(1))
+                .add("os", Os::new(OsParams::default()))
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.reports.len(), 4);
+        assert_eq!(a.winner, b.winner);
+        let (label_a, report_a) = a.winner_report().expect("one entry succeeds");
+        let (label_b, report_b) = b.winner_report().expect("one entry succeeds");
+        assert_eq!(label_a, label_b);
+        assert_eq!(report_a.summary(), report_b.summary());
+    }
+
+    #[test]
+    fn portfolio_first_schedulable_prefers_insertion_order() {
+        let fig = figure4(Time::from_millis(240));
+        let report = Portfolio::builder(&fig.system)
+            .add("os", Os::new(OsParams::default()))
+            .add("sas", quick_sa(2))
+            .run();
+        // Both find schedulable solutions on figure 4 at 240 ms; the first
+        // entry wins.
+        assert_eq!(report.winner, Some(0));
+    }
+
+    #[test]
+    fn experiment_runner_preserves_submission_order() {
+        let fig = figure4(Time::from_millis(240));
+        let system = Arc::new(fig.system);
+        let mut runner = ExperimentRunner::new();
+        for seed in 0..4 {
+            runner.push(
+                ExperimentJob::new(
+                    format!("fig4#{seed}"),
+                    Arc::clone(&system),
+                    AnalysisParams::default(),
+                    quick_sa(seed),
+                )
+                .labelled(format!("SAS#{seed}")),
+            );
+        }
+        let records = runner.run();
+        assert_eq!(records.len(), 4);
+        for (seed, record) in records.iter().enumerate() {
+            assert_eq!(record.instance, format!("fig4#{seed}"));
+            assert_eq!(record.strategy, format!("SAS#{seed}"));
+            let line = record.json_line();
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"ok\": true"));
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn missing_strategy_panics_with_a_clear_message() {
+        let fig = figure4(Time::from_millis(240));
+        let result = std::panic::catch_unwind(|| {
+            let _ = Synthesis::builder(&fig.system).run();
+        });
+        assert!(result.is_err());
+    }
+}

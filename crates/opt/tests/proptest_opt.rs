@@ -7,8 +7,23 @@ use proptest::prelude::*;
 use mcs_core::{validate_config, AnalysisParams};
 use mcs_gen::{generate, GeneratorParams};
 use mcs_opt::{
-    evaluate, hopa_priorities, neighborhood, optimize_schedule, straightforward_config, OsParams,
+    evaluate, hopa_priorities, neighborhood, straightforward_config, Os, OsParams, Synthesis,
 };
+
+/// Runs the OS strategy through the synthesis front door and returns
+/// (best evaluation, seed count, evaluations).
+fn run_os(system: &mcs_model::System) -> (mcs_opt::Evaluation, usize, u64) {
+    let mut strategy = Os::new(OsParams::default());
+    let report = Synthesis::builder(system)
+        .strategy(&mut strategy)
+        .run()
+        .expect("analyzable");
+    (
+        report.best,
+        strategy.seed_configs().len(),
+        report.evaluations,
+    )
+}
 
 fn small_system(seed: u64) -> mcs_model::System {
     let mut p = GeneratorParams::paper_sized(2, seed);
@@ -57,13 +72,12 @@ proptest! {
     #[test]
     fn optimize_schedule_is_deterministic(seed in 0u64..100) {
         let system = small_system(seed);
-        let analysis = AnalysisParams::default();
-        let a = optimize_schedule(&system, &analysis, &OsParams::default());
-        let b = optimize_schedule(&system, &analysis, &OsParams::default());
-        prop_assert_eq!(a.best.schedule_cost(), b.best.schedule_cost());
-        prop_assert_eq!(a.best.total_buffers, b.best.total_buffers);
-        prop_assert_eq!(a.evaluations, b.evaluations);
-        prop_assert_eq!(a.seeds.len(), b.seeds.len());
+        let (a, a_seeds, a_evals) = run_os(&system);
+        let (b, b_seeds, b_evals) = run_os(&system);
+        prop_assert_eq!(a.schedule_cost(), b.schedule_cost());
+        prop_assert_eq!(a.total_buffers, b.total_buffers);
+        prop_assert_eq!(a_evals, b_evals);
+        prop_assert_eq!(a_seeds, b_seeds);
     }
 
     /// OS never returns a configuration worse than its own starting point —
@@ -79,9 +93,9 @@ proptest! {
         let mut start = straightforward_config(&system);
         start.priorities = hopa_priorities(&system, &start.tdma);
         let start = evaluate(&system, start, &analysis).expect("analyzable");
-        let os = optimize_schedule(&system, &analysis, &OsParams::default());
+        let (os, _, _) = run_os(&system);
         prop_assert!(
-            (os.best.schedule_cost(), os.best.total_buffers)
+            (os.schedule_cost(), os.total_buffers)
                 <= (start.schedule_cost(), start.total_buffers)
         );
     }

@@ -1,0 +1,567 @@
+//! API-equivalence suite for the `Synthesis`/`Strategy` front door: every
+//! strategy run through `Synthesis::run()` must be **bit-identical** (same
+//! seed, same budget) to the legacy free-function drivers it replaced.
+//!
+//! The reference implementations below are *frozen verbatim copies* of the
+//! pre-`Synthesis` loops (`sa_schedule`/`sa_resources`/`optimize_schedule`/
+//! `optimize_resources`/SF-via-`evaluate`), kept here as the comparison
+//! baseline — the public shims themselves now delegate to the new API, so
+//! the frozen copies are what actually pins the search trajectories. A
+//! final set of tests pins the deprecated shims to the new API results.
+
+use proptest::prelude::*;
+
+use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
+use mcs_gen::{figure4, generate, GeneratorParams};
+use mcs_model::{NodeId, System, SystemConfig, TdmaConfig, TdmaSlot, Time};
+use mcs_opt::{
+    evaluate, hopa_priorities, minimal_slot_capacities, neighborhood, recommended_lengths,
+    sa_start, straightforward_config, Evaluation, MoveSampler, Or, OrParams, Os, OsParams, Sa,
+    SaParams, Sf, Synthesis,
+};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_system(seed: u64) -> System {
+    let mut p = GeneratorParams::paper_sized(2, seed);
+    p.processes_per_node = 8;
+    p.graphs = 4;
+    p.inter_cluster_messages = Some(3);
+    generate(&p)
+}
+
+fn small_multirate(seed: u64) -> System {
+    let mut p = GeneratorParams::multi_rate(2, seed);
+    p.processes_per_node = 8;
+    p.graphs = 4;
+    p.inter_cluster_messages = Some(3);
+    generate(&p)
+}
+
+fn quick_sa(seed: u64) -> SaParams {
+    SaParams {
+        iterations: 60,
+        seed,
+        ..SaParams::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frozen legacy drivers (pre-Synthesis, copied verbatim modulo return type)
+// ---------------------------------------------------------------------------
+
+/// The legacy generic annealer: one fresh `Evaluator`, `MoveSampler`
+/// neighbor draws, apply/undo with delta-seed accumulation. Returns the
+/// best (summary, configuration) ever visited.
+fn legacy_anneal(
+    system: &System,
+    start: SystemConfig,
+    analysis: &AnalysisParams,
+    cost: impl Fn(&EvalSummary) -> f64,
+    params: &SaParams,
+) -> (EvalSummary, SystemConfig) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut evaluator = Evaluator::new(system, *analysis);
+    let mut sampler = MoveSampler::new(system);
+    let mut config = start;
+    let mut current = evaluator
+        .evaluate(&config)
+        .expect("the SA start configuration must be analyzable");
+    let mut best = current;
+    let mut best_config = config.clone();
+    let mut temperature = params.initial_temperature;
+
+    let mut seeds = DeltaSeeds::new();
+    for _ in 0..params.iterations {
+        let Some(mv) = sampler.sample(system, &config, &evaluator, &current, &mut rng) else {
+            break;
+        };
+        let undo = mv.apply_undoable_seeded(&mut config, &mut seeds);
+        temperature *= params.cooling;
+        let Ok(candidate) = evaluator.evaluate_delta(&config, &seeds) else {
+            undo.record_seeds(&mut seeds);
+            undo.revert(&mut config);
+            continue;
+        };
+        seeds.clear();
+        let delta = cost(&candidate) - cost(&current);
+        let accept = delta <= 0.0 || {
+            let t = temperature.max(f64::MIN_POSITIVE);
+            rng.gen::<f64>() < (-delta / t).exp()
+        };
+        if accept {
+            if cost(&candidate) < cost(&best) {
+                best = candidate;
+                best_config.clone_from(&config);
+            }
+            current = candidate;
+        } else {
+            undo.record_seeds(&mut seeds);
+            undo.revert(&mut config);
+        }
+    }
+    (best, best_config)
+}
+
+/// The legacy resource-optimization cost (same ordering as
+/// `Evaluation::resource_cost`).
+fn legacy_resource_cost(summary: &EvalSummary) -> i128 {
+    if summary.is_schedulable() {
+        i128::from(summary.total_buffers)
+    } else {
+        i128::MAX / 4 + summary.schedule_cost().min(i128::MAX / 8)
+    }
+}
+
+struct LegacySeedPool {
+    limit: usize,
+    by_degree: Vec<(i128, u64, SystemConfig)>,
+    by_buffers: Vec<(u64, i128, SystemConfig)>,
+}
+
+impl LegacySeedPool {
+    fn new(limit: usize) -> Self {
+        LegacySeedPool {
+            limit: limit.max(2),
+            by_degree: Vec::new(),
+            by_buffers: Vec::new(),
+        }
+    }
+
+    fn offer(&mut self, summary: &EvalSummary, config: &SystemConfig) {
+        let half = self.limit.div_ceil(2);
+        self.by_degree.push((
+            summary.schedule_cost(),
+            summary.total_buffers,
+            config.clone(),
+        ));
+        self.by_degree.sort_by_key(|a| (a.0, a.1));
+        self.by_degree.truncate(half);
+        if summary.is_schedulable() {
+            self.by_buffers.push((
+                summary.total_buffers,
+                summary.schedule_cost(),
+                config.clone(),
+            ));
+            self.by_buffers.sort_by_key(|a| (a.0, a.1));
+            self.by_buffers.truncate(half);
+        }
+    }
+
+    fn into_configs(self, best: &SystemConfig) -> Vec<SystemConfig> {
+        let mut configs = vec![best.clone()];
+        for (_, _, c) in self
+            .by_degree
+            .into_iter()
+            .chain(self.by_buffers.into_iter().map(|(a, b, c)| (b, a, c)))
+        {
+            if !configs.contains(&c) {
+                configs.push(c);
+            }
+        }
+        configs.truncate(self.limit);
+        configs
+    }
+}
+
+struct LegacyOs {
+    best: (EvalSummary, SystemConfig),
+    seeds: Vec<SystemConfig>,
+    evaluations: u32,
+}
+
+/// The legacy greedy OS loop: fix the TDMA round slot by slot, trying every
+/// unassigned node and every recommended length, HOPA priorities per
+/// candidate, structural delta seeds.
+fn legacy_optimize_schedule(
+    system: &System,
+    analysis: &AnalysisParams,
+    params: &OsParams,
+) -> LegacyOs {
+    let mut evaluator = Evaluator::new(system, *analysis);
+    let caps = minimal_slot_capacities(system);
+    let order: Vec<NodeId> = system.architecture.ttp_nodes().map(|n| n.id()).collect();
+    let mut slots: Vec<TdmaSlot> = order
+        .iter()
+        .map(|&node| TdmaSlot {
+            node,
+            capacity_bytes: caps[&node],
+        })
+        .collect();
+
+    let mut evaluations = 0;
+    let mut best: Option<(EvalSummary, SystemConfig)> = None;
+    let mut seeds = LegacySeedPool::new(params.seed_limit);
+    let structural = DeltaSeeds::structural();
+
+    for position in 0..slots.len() {
+        let mut best_here: Option<(EvalSummary, SystemConfig, usize, u32)> = None;
+        for j in position..slots.len() {
+            slots.swap(position, j);
+            let node = slots[position].node;
+            let lengths = recommended_lengths(system, node);
+            for &len in lengths.iter().take(params.max_slot_candidates.max(1)) {
+                let saved = slots[position].capacity_bytes;
+                slots[position].capacity_bytes = len.max(caps[&node]);
+                let tdma = TdmaConfig::new(slots.clone());
+                let priorities = hopa_priorities(system, &tdma);
+                let config = SystemConfig::new(tdma, priorities);
+                evaluations += 1;
+                if let Ok(summary) = evaluator.evaluate_delta(&config, &structural) {
+                    seeds.offer(&summary, &config);
+                    let better = match &best_here {
+                        None => true,
+                        Some((cur, _, _, _)) => {
+                            (summary.schedule_cost(), summary.total_buffers)
+                                < (cur.schedule_cost(), cur.total_buffers)
+                        }
+                    };
+                    if better {
+                        best_here = Some((summary, config, j, slots[position].capacity_bytes));
+                    }
+                }
+                slots[position].capacity_bytes = saved;
+            }
+            slots.swap(position, j);
+        }
+        if let Some((summary, config, j, len)) = best_here {
+            slots.swap(position, j);
+            slots[position].capacity_bytes = len;
+            let better = match &best {
+                None => true,
+                Some((cur, _)) => {
+                    (summary.schedule_cost(), summary.total_buffers)
+                        < (cur.schedule_cost(), cur.total_buffers)
+                }
+            };
+            if better {
+                best = Some((summary, config));
+            }
+        }
+    }
+
+    let best = best.unwrap_or_else(|| {
+        let config = straightforward_config(system);
+        let summary = evaluator
+            .evaluate(&config)
+            .expect("the straightforward configuration must be analyzable");
+        (summary, config)
+    });
+    LegacyOs {
+        seeds: seeds.into_configs(&best.1),
+        best,
+        evaluations,
+    }
+}
+
+/// Materializes an `Evaluation` from the evaluator's last run (the test
+/// crate's stand-in for the crate-private `materialize`).
+fn materialize_last(
+    evaluator: &Evaluator<'_>,
+    config: SystemConfig,
+    summary: EvalSummary,
+) -> Evaluation {
+    Evaluation {
+        config,
+        degree: summary.degree,
+        total_buffers: summary.total_buffers,
+        outcome: evaluator.outcome(),
+    }
+}
+
+struct LegacyOr {
+    best: (EvalSummary, SystemConfig),
+    os: LegacyOs,
+    evaluations: u32,
+}
+
+/// The legacy OR pipeline: legacy OS for seeds, then a hill climb from
+/// every seed with a second evaluator, apply/undo neighbor scans and
+/// delta-seed accumulation.
+fn legacy_optimize_resources(
+    system: &System,
+    analysis: &AnalysisParams,
+    params: &OrParams,
+) -> LegacyOr {
+    let os = legacy_optimize_schedule(system, analysis, &params.os);
+    let mut evaluations = 0;
+    if !os.best.0.is_schedulable() {
+        return LegacyOr {
+            best: os.best.clone(),
+            os,
+            evaluations,
+        };
+    }
+
+    let mut evaluator = Evaluator::new(system, *analysis);
+    let mut global_best = os.best.clone();
+    for seed in &os.seeds {
+        let Ok(summary) = evaluator.evaluate(seed) else {
+            continue;
+        };
+        let mut current_summary = summary;
+        let mut current = materialize_last(&evaluator, seed.clone(), summary);
+        let mut seeds = DeltaSeeds::new();
+        for _ in 0..params.max_iterations {
+            let moves = neighborhood(system, &current);
+            let stride = (moves.len() / params.neighbor_sample.max(1)).max(1);
+            let mut work = current.config.clone();
+            let mut best_neighbor: Option<(EvalSummary, SystemConfig)> = None;
+            for mv in moves.into_iter().step_by(stride) {
+                let undo = mv.apply_undoable_seeded(&mut work, &mut seeds);
+                evaluations += 1;
+                if let Ok(summary) = evaluator.evaluate_delta(&work, &seeds) {
+                    seeds.clear();
+                    if summary.is_schedulable() {
+                        let better = match &best_neighbor {
+                            None => true,
+                            Some((b, _)) => summary.total_buffers < b.total_buffers,
+                        };
+                        if better {
+                            best_neighbor = Some((summary, work.clone()));
+                        }
+                    }
+                }
+                undo.record_seeds(&mut seeds);
+                undo.revert(&mut work);
+            }
+            match best_neighbor {
+                Some((summary, config)) if summary.total_buffers < current.total_buffers => {
+                    let summary = evaluator
+                        .evaluate(&config)
+                        .expect("accepted neighbor was analyzable");
+                    seeds.clear();
+                    current_summary = summary;
+                    current = materialize_last(&evaluator, config, summary);
+                }
+                _ => break,
+            }
+        }
+        if current.is_schedulable() && current.total_buffers < global_best.0.total_buffers {
+            global_best = (current_summary, current.config);
+        }
+    }
+    LegacyOr {
+        best: global_best,
+        os,
+        evaluations,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence properties: new API vs frozen legacy drivers
+// ---------------------------------------------------------------------------
+
+fn assert_same_incumbent(context: &str, new: &Evaluation, legacy: &(EvalSummary, SystemConfig)) {
+    assert_eq!(
+        new.config, legacy.1,
+        "{context}: incumbent configurations diverged"
+    );
+    assert_eq!(
+        new.degree, legacy.0.degree,
+        "{context}: incumbent δΓ diverged"
+    );
+    assert_eq!(
+        new.total_buffers, legacy.0.total_buffers,
+        "{context}: incumbent s_total diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `Sf` through `Synthesis::run()` is bit-identical to the legacy
+    /// SF-via-`evaluate` baseline.
+    #[test]
+    fn sf_matches_legacy(seed in 0u64..200) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let legacy = evaluate(&system, straightforward_config(&system), &analysis)
+            .expect("SF analyzable");
+        let new = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sf)
+            .run()
+            .expect("SF analyzable")
+            .best;
+        prop_assert_eq!(new.config, legacy.config);
+        prop_assert_eq!(new.degree, legacy.degree);
+        prop_assert_eq!(new.total_buffers, legacy.total_buffers);
+    }
+
+    /// `Sa::schedule` (SAS) through `Synthesis::run()` is bit-identical to
+    /// the legacy `sa_schedule` loop on the same seed.
+    #[test]
+    fn sas_matches_legacy(seed in 0u64..100, sa_seed in 0u64..16) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let params = quick_sa(sa_seed);
+        let legacy = legacy_anneal(
+            &system,
+            sa_start(&system),
+            &analysis,
+            |e| e.schedule_cost() as f64,
+            &params,
+        );
+        let new = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .run()
+            .expect("analyzable")
+            .best;
+        assert_same_incumbent("SAS", &new, &legacy);
+    }
+
+    /// `Sa::resources` (SAR) through `Synthesis::run()` is bit-identical to
+    /// the legacy `sa_resources` loop on the same seed.
+    #[test]
+    fn sar_matches_legacy(seed in 0u64..100, sa_seed in 0u64..16) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let params = quick_sa(sa_seed);
+        let legacy = legacy_anneal(
+            &system,
+            sa_start(&system),
+            &analysis,
+            |e| legacy_resource_cost(e) as f64,
+            &params,
+        );
+        let new = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::resources(params))
+            .run()
+            .expect("analyzable")
+            .best;
+        assert_same_incumbent("SAR", &new, &legacy);
+    }
+
+    /// `Os` through `Synthesis::run()` is bit-identical to the legacy
+    /// `optimize_schedule` loop: same incumbent, same seed pool, same
+    /// evaluation count.
+    #[test]
+    fn os_matches_legacy(seed in 0u64..100) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let legacy = legacy_optimize_schedule(&system, &analysis, &OsParams::default());
+        let mut strategy = Os::new(OsParams::default());
+        let report = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(&mut strategy)
+            .run()
+            .expect("analyzable");
+        assert_same_incumbent("OS", &report.best, &legacy.best);
+        prop_assert_eq!(strategy.seed_configs(), &legacy.seeds[..]);
+        prop_assert_eq!(report.evaluations, u64::from(legacy.evaluations));
+    }
+
+    /// `Or` through `Synthesis::run()` is bit-identical to the legacy
+    /// `optimize_resources` pipeline: same incumbent, same step-1 result,
+    /// same climb evaluation count.
+    #[test]
+    fn or_matches_legacy(seed in 0u64..60) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let params = OrParams {
+            max_iterations: 3,
+            neighbor_sample: 16,
+            ..OrParams::default()
+        };
+        let legacy = legacy_optimize_resources(&system, &analysis, &params);
+        let mut strategy = Or::new(params);
+        let report = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(&mut strategy)
+            .run()
+            .expect("analyzable");
+        assert_same_incumbent("OR", &report.best, &legacy.best);
+        let details = strategy.take_details().expect("details recorded");
+        assert_same_incumbent("OR/os-step", &details.os_best, &legacy.os.best);
+        prop_assert_eq!(&details.os_seeds[..], &legacy.os.seeds[..]);
+        prop_assert_eq!(details.os_evaluations, u64::from(legacy.os.evaluations));
+        prop_assert_eq!(details.climb_evaluations, u64::from(legacy.evaluations));
+    }
+
+    /// The equivalences hold on multi-rate ({1, 2, 4}) instances too.
+    #[test]
+    fn sas_and_os_match_legacy_on_multirate(seed in 0u64..40) {
+        let system = small_multirate(seed);
+        let analysis = AnalysisParams::default();
+        let params = quick_sa(seed);
+        let legacy_sa = legacy_anneal(
+            &system,
+            sa_start(&system),
+            &analysis,
+            |e| e.schedule_cost() as f64,
+            &params,
+        );
+        let new_sa = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .run()
+            .expect("analyzable")
+            .best;
+        assert_same_incumbent("SAS/multirate", &new_sa, &legacy_sa);
+
+        let legacy_os = legacy_optimize_schedule(&system, &analysis, &OsParams::default());
+        let new_os = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Os::new(OsParams::default()))
+            .run()
+            .expect("analyzable")
+            .best;
+        assert_same_incumbent("OS/multirate", &new_os, &legacy_os.best);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shim pinning: the deprecated free functions delegate to the new API
+// ---------------------------------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_delegate_to_the_new_api() {
+    let fig = figure4(Time::from_millis(240));
+    let analysis = AnalysisParams::default();
+    let params = quick_sa(5);
+
+    let shim = mcs_opt::sa_schedule(&fig.system, &analysis, &params);
+    let new = Synthesis::builder(&fig.system)
+        .analysis(analysis)
+        .strategy(Sa::schedule(params))
+        .run()
+        .expect("analyzable")
+        .best;
+    assert_eq!(shim.config, new.config);
+    assert_eq!(shim.schedule_cost(), new.schedule_cost());
+
+    let shim = mcs_opt::sa_resources(&fig.system, &analysis, &params);
+    let new = Synthesis::builder(&fig.system)
+        .analysis(analysis)
+        .strategy(Sa::resources(params))
+        .run()
+        .expect("analyzable")
+        .best;
+    assert_eq!(shim.config, new.config);
+    assert_eq!(shim.total_buffers, new.total_buffers);
+
+    let shim = mcs_opt::optimize_schedule(&fig.system, &analysis, &OsParams::default());
+    let mut os = Os::new(OsParams::default());
+    let new = Synthesis::builder(&fig.system)
+        .analysis(analysis)
+        .strategy(&mut os)
+        .run()
+        .expect("analyzable");
+    assert_eq!(shim.best.config, new.best.config);
+    assert_eq!(shim.seeds, os.seed_configs());
+    assert_eq!(u64::from(shim.evaluations), new.evaluations);
+
+    let shim = mcs_opt::optimize_resources(&fig.system, &analysis, &OrParams::default());
+    let new = Synthesis::builder(&fig.system)
+        .analysis(analysis)
+        .strategy(Or::new(OrParams::default()))
+        .run()
+        .expect("analyzable");
+    assert_eq!(shim.best.config, new.best.config);
+    assert_eq!(shim.best.total_buffers, new.best.total_buffers);
+}

@@ -6,7 +6,14 @@
 use mcs_core::{multi_cluster_scheduling, AnalysisParams};
 use mcs_gen::{cruise_controller, figure4, generate, GeneratorParams};
 use mcs_model::{System, SystemConfig, Time};
-use mcs_opt::{optimize_schedule, OsParams};
+use mcs_opt::{Os, OsParams, Synthesis};
+
+fn synthesize(system: &System) -> mcs_opt::SynthesisReport {
+    Synthesis::builder(system)
+        .strategy(Os::new(OsParams::default()))
+        .run()
+        .expect("the straightforward configuration is analyzable")
+}
 use mcs_sim::{simulate, ExecutionModel, SimParams};
 
 fn assert_sound(system: &System, config: &SystemConfig, label: &str) {
@@ -75,7 +82,7 @@ fn observed_figure4_response_is_close_to_but_below_the_bound() {
 fn optimized_random_systems_are_soundly_bounded() {
     for seed in 0..3 {
         let system = generate(&GeneratorParams::paper_sized(2, seed));
-        let os = optimize_schedule(&system, &AnalysisParams::default(), &OsParams::default());
+        let os = synthesize(&system);
         if !os.best.is_schedulable() {
             continue;
         }
@@ -86,7 +93,7 @@ fn optimized_random_systems_are_soundly_bounded() {
 #[test]
 fn cruise_controller_is_soundly_bounded() {
     let cc = cruise_controller();
-    let os = optimize_schedule(&cc.system, &AnalysisParams::default(), &OsParams::default());
+    let os = synthesize(&cc.system);
     assert_sound(&cc.system, &os.best.config, "cruise controller");
 }
 

@@ -1,12 +1,11 @@
-//! Buffer minimization: run the full `OptimizeResources` pipeline on a
-//! generated system and show how the hill climber shrinks the gateway and
-//! node queues while keeping the system schedulable.
+//! Buffer minimization: run the full `OptimizeResources` pipeline through
+//! the synthesis front door on a generated system and show how the hill
+//! climber shrinks the gateway and node queues while keeping the system
+//! schedulable.
 //!
 //! Run with `cargo run --release --example buffer_optimization`.
 
-use mcs::core::AnalysisParams;
-use mcs::gen::{generate, GeneratorParams};
-use mcs::opt::{optimize_resources, OrParams};
+use mcs::prelude::*;
 
 fn main() {
     let system = generate(&GeneratorParams::paper_sized(4, 7));
@@ -19,32 +18,44 @@ fn main() {
         system.inter_cluster_message_count()
     );
 
-    let analysis = AnalysisParams::default();
-    let or = optimize_resources(&system, &analysis, &OrParams::default());
+    let mut strategy = Or::new(OrParams::default());
+    let report = Synthesis::builder(&system)
+        .analysis(AnalysisParams::default())
+        .strategy(&mut strategy)
+        .run()
+        .expect("the straightforward start is analyzable");
+    let details = strategy.take_details().expect("OR records its details");
 
-    let os = &or.os.best;
+    let os = &details.os_best;
     println!();
     println!(
         "step 1 (OptimizeSchedule): schedulable = {}",
         os.is_schedulable()
     );
     println!("  total buffers: {} B", os.total_buffers);
-    println!("  seeds handed to the hill climber: {}", or.os.seeds.len());
+    println!(
+        "  seeds handed to the hill climber: {}",
+        details.os_seeds.len()
+    );
 
     println!();
-    println!("step 2 (OptimizeResources): {} evaluations", or.evaluations);
+    println!(
+        "step 2 (OptimizeResources): {} neighbor evaluations",
+        details.climb_evaluations
+    );
     println!(
         "  total buffers: {} B ({:+.1} % vs OS)",
-        or.best.total_buffers,
-        (or.best.total_buffers as f64 - os.total_buffers as f64) / os.total_buffers as f64 * 100.0
+        report.best.total_buffers,
+        (report.best.total_buffers as f64 - os.total_buffers as f64) / os.total_buffers as f64
+            * 100.0
     );
-    println!("  still schedulable: {}", or.best.is_schedulable());
+    println!("  still schedulable: {}", report.best.is_schedulable());
 
     println!();
     println!("per-queue bounds after optimization:");
-    println!("  Out_CAN: {:>6} B", or.best.outcome.queues.out_can);
-    println!("  Out_TTP: {:>6} B", or.best.outcome.queues.out_ttp);
-    let mut nodes: Vec<_> = or.best.outcome.queues.out_node.iter().collect();
+    println!("  Out_CAN: {:>6} B", report.best.outcome.queues.out_can);
+    println!("  Out_TTP: {:>6} B", report.best.outcome.queues.out_ttp);
+    let mut nodes: Vec<_> = report.best.outcome.queues.out_node.iter().collect();
     nodes.sort();
     for (node, bytes) in nodes {
         println!(

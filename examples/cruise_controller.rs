@@ -1,18 +1,15 @@
 //! The paper's real-life example: synthesize the vehicle cruise controller
-//! (40 processes, deadline 250 ms) with the straightforward baseline and
-//! with the OS heuristic, and compare.
+//! (40 processes, deadline 250 ms) with a portfolio of the straightforward
+//! baseline and the OS heuristic, and compare.
 //!
 //! Run with `cargo run --release --example cruise_controller`.
 
-use mcs::core::AnalysisParams;
-use mcs::gen::cruise_controller;
-use mcs::opt::{evaluate, optimize_schedule, straightforward_config, OsParams};
+use mcs::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cc = cruise_controller();
     let graph = cc.system.application.graphs()[0].id();
     let deadline = cc.system.application.graphs()[0].deadline();
-    let analysis = AnalysisParams::default();
 
     println!(
         "cruise controller: {} processes, {} messages ({} crossing the gateway), deadline {}",
@@ -22,35 +19,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         deadline
     );
 
-    // Straightforward configuration: ascending slots, minimal lengths,
-    // unoptimized priorities.
-    let sf = evaluate(&cc.system, straightforward_config(&cc.system), &analysis)?;
-    println!(
-        "SF: response {:>8}  -> {}",
-        sf.outcome.graph_response(graph).to_string(),
-        if sf.is_schedulable() {
-            "meets the deadline"
-        } else {
-            "MISSES the deadline"
-        }
-    );
+    // Both strategies run in parallel; the winner is the best δΓ.
+    let portfolio = Portfolio::builder(&cc.system)
+        .analysis(AnalysisParams::default())
+        .selection(Selection::BestCost(Objective::Schedule))
+        .add("SF", Sf)
+        .add("OS", Os::new(OsParams::default()))
+        .run();
 
-    // OptimizeSchedule: greedy slot sequence + slot lengths + HOPA
-    // priorities.
-    let os = optimize_schedule(&cc.system, &analysis, &OsParams::default());
-    println!(
-        "OS: response {:>8}  -> {}",
-        os.best.outcome.graph_response(graph).to_string(),
-        if os.best.is_schedulable() {
-            "meets the deadline"
-        } else {
-            "MISSES the deadline"
-        }
-    );
+    for (label, report) in &portfolio.reports {
+        let report = report.as_ref().expect("cruise controller is analyzable");
+        println!(
+            "{label}: response {:>8}  -> {}",
+            report.best.outcome.graph_response(graph).to_string(),
+            if report.best.is_schedulable() {
+                "meets the deadline"
+            } else {
+                "MISSES the deadline"
+            }
+        );
+    }
 
+    let (winner, best) = portfolio.winner_report().expect("both entries succeed");
     println!();
-    println!("synthesized TDMA round (OS):");
-    for (i, slot) in os.best.config.tdma.slots().iter().enumerate() {
+    println!("synthesized TDMA round ({winner}):");
+    for (i, slot) in best.best.config.tdma.slots().iter().enumerate() {
         println!(
             "  slot {} -> {} ({} bytes)",
             i,
@@ -60,10 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!(
-        "buffer bounds (OS): Out_CAN {} B, Out_TTP {} B, total {} B",
-        os.best.outcome.queues.out_can,
-        os.best.outcome.queues.out_ttp,
-        os.best.outcome.queues.total()
+        "buffer bounds ({winner}): Out_CAN {} B, Out_TTP {} B, total {} B",
+        best.best.outcome.queues.out_can,
+        best.best.outcome.queues.out_ttp,
+        best.best.outcome.queues.total()
     );
     Ok(())
 }

@@ -1,13 +1,9 @@
-//! Quickstart: model a tiny two-cluster system by hand, analyze it, and
-//! print the synthesized schedule tables and worst-case timing.
+//! Quickstart: model a tiny two-cluster system by hand, analyze it, then
+//! let the synthesis front door find a better configuration.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use mcs::core::{degree_of_schedulability, multi_cluster_scheduling, AnalysisParams};
-use mcs::model::{
-    Application, Architecture, MessageId, NodeRole, Priority, PriorityAssignment, System,
-    SystemConfig, TdmaConfig, TdmaSlot, Time,
-};
+use mcs::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Architecture: one TT node, one ET node, the gateway.
@@ -28,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = app.build(&arch)?;
     let system = System::new(app, arch);
 
-    // Configuration ψ: gateway slot first, then N1; priorities by hand.
+    // Configuration ψ by hand: gateway slot first, then N1.
     let tdma = TdmaConfig::new(vec![
         TdmaSlot {
             node: ng,
@@ -47,9 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Analyze: MultiClusterScheduling resolves the TTC <-> ETC fixed point.
     let outcome = multi_cluster_scheduling(&system, &config, &AnalysisParams::default())?;
-    let degree = degree_of_schedulability(&system, &outcome);
 
-    println!("schedulable: {}", degree.is_schedulable());
+    println!("hand-built configuration:");
     println!("graph response: {}", outcome.graph_response(g));
     println!();
     println!("schedule table of N1:");
@@ -84,5 +79,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.queues.out_ttp,
         outcome.queues.total()
     );
+
+    // Synthesis front door: let the OS heuristic search slot orders,
+    // lengths and priorities instead.
+    let report = Synthesis::builder(&system)
+        .analysis(AnalysisParams::default())
+        .strategy(Os::new(OsParams::default()))
+        .budget(Budget::evals(1_000))
+        .run()?;
+    println!();
+    println!(
+        "synthesized by {} in {} evaluations: schedulable = {}, response {}",
+        report.strategy,
+        report.evaluations,
+        report.best.is_schedulable(),
+        report.best.outcome.graph_response(g)
+    );
+    for (i, slot) in report.best.config.tdma.slots().iter().enumerate() {
+        println!(
+            "  slot {} -> {} ({} bytes)",
+            i,
+            system.architecture.node(slot.node).name(),
+            slot.capacity_bytes
+        );
+    }
     Ok(())
 }

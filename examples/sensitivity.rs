@@ -1,26 +1,29 @@
 //! WCET sensitivity analysis: after synthesizing a schedulable cruise
-//! controller, rank its processes by how much their execution times could
-//! still grow — exposing the end-to-end critical path.
+//! controller through the front door, rank its processes by how much their
+//! execution times could still grow — exposing the end-to-end critical
+//! path.
 //!
 //! Run with `cargo run --release --example sensitivity`.
 
-use mcs::core::AnalysisParams;
-use mcs::gen::cruise_controller;
-use mcs::model::Time;
-use mcs::opt::{criticality_ranking, optimize_schedule, OsParams};
+use mcs::opt::criticality_ranking;
+use mcs::prelude::*;
 
 fn main() {
     let cc = cruise_controller();
     let analysis = AnalysisParams::default();
-    let os = optimize_schedule(&cc.system, &analysis, &OsParams::default());
-    assert!(os.best.is_schedulable());
+    let report = Synthesis::builder(&cc.system)
+        .analysis(analysis)
+        .strategy(Os::new(OsParams::default()))
+        .run()
+        .expect("cruise controller is analyzable");
+    assert!(report.best.is_schedulable());
 
     println!("WCET headroom under the synthesized configuration");
     println!("(least headroom first — the controller's critical path):");
     println!();
     let ranking = criticality_ranking(
         &cc.system,
-        &os.best.config,
+        &report.best.config,
         &analysis,
         8,
         Time::from_millis(1),

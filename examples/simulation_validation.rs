@@ -1,20 +1,24 @@
 //! Validate the worst-case analysis against the discrete-event simulator:
-//! synthesize a configuration, execute it with randomized execution times,
-//! and compare every observation against its analytic bound.
+//! synthesize a configuration through the front door, execute it with
+//! randomized execution times, and compare every observation against its
+//! analytic bound.
 //!
 //! Run with `cargo run --release --example simulation_validation`.
 
-use mcs::core::{multi_cluster_scheduling, AnalysisParams};
-use mcs::gen::{generate, GeneratorParams};
-use mcs::opt::{optimize_schedule, OsParams};
+use mcs::prelude::*;
 use mcs::sim::{simulate, ExecutionModel, SimParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = generate(&GeneratorParams::paper_sized(2, 11));
-    let analysis = AnalysisParams::default();
-    let os = optimize_schedule(&system, &analysis, &OsParams::default());
-    assert!(os.best.is_schedulable(), "OS finds a schedulable config");
-    let outcome = multi_cluster_scheduling(&system, &os.best.config, &analysis)?;
+    let report = Synthesis::builder(&system)
+        .analysis(AnalysisParams::default())
+        .strategy(Os::new(OsParams::default()))
+        .run()?;
+    assert!(
+        report.best.is_schedulable(),
+        "OS finds a schedulable config"
+    );
+    let outcome = &report.best.outcome;
 
     println!("simulating 5 activations under three execution-time models...");
     for (label, execution, seed) in [
@@ -22,22 +26,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("random #1", ExecutionModel::RandomUniform, 1),
         ("random #2", ExecutionModel::RandomUniform, 2),
     ] {
-        let report = simulate(
+        let sim = simulate(
             &system,
-            &os.best.config,
-            &outcome,
+            &report.best.config,
+            outcome,
             &SimParams {
                 activations: 5,
                 execution,
                 seed,
             },
         );
-        let violations = report.soundness_violations(&system, &outcome);
+        let violations = sim.soundness_violations(&system, outcome);
         // Tightness: how close does the worst simulated graph response come
         // to its analytic bound?
         let mut worst_ratio = 0.0f64;
         for graph in system.application.graphs() {
-            if let Some(&observed) = report.graph_response.get(&graph.id()) {
+            if let Some(&observed) = sim.graph_response.get(&graph.id()) {
                 let bound = outcome.graph_response(graph.id());
                 worst_ratio =
                     worst_ratio.max(observed.ticks() as f64 / bound.ticks().max(1) as f64);
@@ -47,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {label:<11} violations: {:<3} peak Out_CAN {:>4} B (bound {:>4} B), \
              tightest graph at {:.0} % of its bound",
             violations.len(),
-            report.max_out_can,
+            sim.max_out_can,
             outcome.queues.out_can,
             worst_ratio * 100.0
         );

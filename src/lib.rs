@@ -15,31 +15,42 @@
 //! * [`can`] — CAN frame timing, arbitration, queuing-delay analysis;
 //! * [`core`] — the multi-cluster schedulability analysis (the paper's
 //!   contribution): [`core::multi_cluster_scheduling`];
-//! * [`opt`] — HOPA priorities, the OS/OR heuristics and the SF/SAS/SAR
-//!   baselines;
+//! * [`opt`] — the synthesis strategies (HOPA, OS/OR, SF/SAS/SAR) behind
+//!   the [`synth`] front door;
 //! * [`sim`] — a discrete-event simulator validating the analysis bounds;
 //! * [`gen`] — workload generation (paper §6 setup, Figure 4 example,
 //!   cruise controller).
 //!
+//! [`synth`] is the synthesis front door: a [`Strategy`](synth::Strategy)-
+//! driven [`Synthesis`](synth::Synthesis) driver plus
+//! [`Portfolio`](synth::Portfolio) racing and batch
+//! [`ExperimentRunner`](synth::ExperimentRunner) serving. The [`prelude`]
+//! pulls in the handful of types almost every program needs.
+//!
 //! # Examples
 //!
-//! Synthesize a schedulable configuration for a generated system and verify
-//! it in simulation:
+//! Synthesize a schedulable configuration for a generated system through
+//! the front door and verify it in simulation:
 //!
 //! ```
-//! use mcs::core::{multi_cluster_scheduling, AnalysisParams};
-//! use mcs::gen::{generate, GeneratorParams};
-//! use mcs::opt::{optimize_schedule, OsParams};
+//! use mcs::prelude::*;
 //! use mcs::sim::{simulate, SimParams};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let system = generate(&GeneratorParams::paper_sized(2, 42));
-//! let os = optimize_schedule(&system, &AnalysisParams::default(), &OsParams::default());
-//! if os.best.is_schedulable() {
-//!     let outcome =
-//!         multi_cluster_scheduling(&system, &os.best.config, &AnalysisParams::default())?;
-//!     let report = simulate(&system, &os.best.config, &outcome, &SimParams::default());
-//!     assert!(report.soundness_violations(&system, &outcome).is_empty());
+//! let report = Synthesis::builder(&system)
+//!     .analysis(AnalysisParams::default())
+//!     .strategy(Os::new(OsParams::default()))
+//!     .budget(Budget::evals(10_000))
+//!     .run()?;
+//! if report.best.is_schedulable() {
+//!     let sim = simulate(
+//!         &system,
+//!         &report.best.config,
+//!         &report.best.outcome,
+//!         &SimParams::default(),
+//!     );
+//!     assert!(sim.soundness_violations(&system, &report.best.outcome).is_empty());
 //! }
 //! # Ok(())
 //! # }
@@ -53,5 +64,34 @@ pub use mcs_core as core;
 pub use mcs_gen as gen;
 pub use mcs_model as model;
 pub use mcs_opt as opt;
+pub use mcs_opt::synthesis as synth;
 pub use mcs_sim as sim;
 pub use mcs_ttp as ttp;
+
+pub mod prelude {
+    //! The types almost every `mcs` program needs: the system model, the
+    //! analysis entry points, workload generation and the synthesis front
+    //! door.
+    //!
+    //! ```
+    //! use mcs::prelude::*;
+    //!
+    //! let system = generate(&GeneratorParams::paper_sized(2, 7));
+    //! let report = Synthesis::builder(&system).strategy(Sf).run().unwrap();
+    //! assert!(report.best.total_buffers > 0);
+    //! ```
+
+    pub use mcs_core::{
+        multi_cluster_scheduling, AnalysisOutcome, AnalysisParams, EvalSummary, Evaluator,
+    };
+    pub use mcs_gen::{cruise_controller, figure4, generate, GeneratorParams, PeriodMultipliers};
+    pub use mcs_model::{
+        Application, Architecture, MessageId, NodeRole, Priority, PriorityAssignment, ProcessId,
+        System, SystemConfig, TdmaConfig, TdmaSlot, Time,
+    };
+    pub use mcs_opt::{
+        Budget, Evaluation, ExperimentJob, ExperimentRecord, ExperimentRunner, Hopa, Objective,
+        Observer, Or, OrParams, Os, OsParams, Portfolio, Sa, SaParams, SearchEvent, Selection, Sf,
+        Strategy, Synthesis, SynthesisReport,
+    };
+}

@@ -1,67 +1,78 @@
 //! End-to-end integration: generate → synthesize → analyze → simulate,
-//! across the full crate stack.
+//! across the full crate stack, driven through the `mcs::prelude` and the
+//! `Synthesis` front door.
 
-use mcs::core::{degree_of_schedulability, multi_cluster_scheduling, AnalysisParams};
-use mcs::gen::{cruise_controller, figure4, generate, GeneratorParams};
-use mcs::model::Time;
-use mcs::opt::{
-    evaluate, optimize_resources, optimize_schedule, sa_resources, straightforward_config,
-    OrParams, OsParams, SaParams,
-};
+use mcs::core::degree_of_schedulability;
+use mcs::prelude::*;
 use mcs::sim::{simulate, SimParams};
+
+fn run<S: Strategy>(system: &System, strategy: S) -> SynthesisReport {
+    Synthesis::builder(system)
+        .analysis(AnalysisParams::default())
+        .strategy(strategy)
+        .run()
+        .expect("the start configuration is analyzable")
+}
 
 #[test]
 fn full_pipeline_on_a_generated_system() {
     let system = generate(&GeneratorParams::paper_sized(2, 3));
-    let analysis = AnalysisParams::default();
 
     // SF baseline and OS heuristic.
-    let sf = evaluate(&system, straightforward_config(&system), &analysis).expect("SF analyzable");
-    let os = optimize_schedule(&system, &analysis, &OsParams::default());
-    assert!(os.best.schedule_cost() <= sf.schedule_cost());
+    let sf = run(&system, Sf);
+    let os = run(&system, Os::new(OsParams::default()));
+    assert!(os.best.schedule_cost() <= sf.best.schedule_cost());
 
     // OR never loses schedulability nor worsens the buffers.
-    let or = optimize_resources(&system, &analysis, &OrParams::default());
+    let or = run(&system, Or::new(OrParams::default()));
     if os.best.is_schedulable() {
         assert!(or.best.is_schedulable());
         assert!(or.best.total_buffers <= os.best.total_buffers);
 
-        // The synthesized configuration survives simulation.
-        let outcome =
-            multi_cluster_scheduling(&system, &or.best.config, &analysis).expect("analyzable");
-        let report = simulate(&system, &or.best.config, &outcome, &SimParams::default());
-        assert!(report.soundness_violations(&system, &outcome).is_empty());
+        // The synthesized configuration survives simulation (the report
+        // already carries the materialized analysis outcome).
+        let report = simulate(
+            &system,
+            &or.best.config,
+            &or.best.outcome,
+            &SimParams::default(),
+        );
+        assert!(report
+            .soundness_violations(&system, &or.best.outcome)
+            .is_empty());
     }
 }
 
 #[test]
 fn cruise_controller_reproduces_the_paper_shape() {
     let cc = cruise_controller();
-    let analysis = AnalysisParams::default();
     let graph = cc.system.application.graphs()[0].id();
 
     // Paper: SF misses the 250 ms deadline, OS meets it.
-    let sf =
-        evaluate(&cc.system, straightforward_config(&cc.system), &analysis).expect("SF analyzable");
-    assert!(!sf.is_schedulable(), "SF must miss (paper: 320 ms)");
-    let or = optimize_resources(&cc.system, &analysis, &OrParams::default());
-    assert!(or.os.best.is_schedulable(), "OS must meet (paper: 185 ms)");
-    assert!(or.os.best.outcome.graph_response(graph) < sf.outcome.graph_response(graph));
+    let sf = run(&cc.system, Sf);
+    assert!(!sf.best.is_schedulable(), "SF must miss (paper: 320 ms)");
+    let mut or_strategy = Or::new(OrParams::default());
+    let or = run(&cc.system, &mut or_strategy);
+    let details = or_strategy.take_details().expect("details recorded");
+    assert!(
+        details.os_best.is_schedulable(),
+        "OS must meet (paper: 185 ms)"
+    );
+    assert!(details.os_best.outcome.graph_response(graph) < sf.best.outcome.graph_response(graph));
     // Paper: OR reduces the buffer need (24 % there) and stays close to SAR.
-    assert!(or.best.total_buffers < or.os.best.total_buffers);
-    let sar = sa_resources(
+    assert!(or.best.total_buffers < details.os_best.total_buffers);
+    let sar = run(
         &cc.system,
-        &analysis,
-        &SaParams {
+        Sa::resources(SaParams {
             iterations: 300,
             seed: 1,
             ..SaParams::default()
-        },
+        }),
     );
-    assert!(sar.is_schedulable());
+    assert!(sar.best.is_schedulable());
     // OR within 25 % of the SAR reference (paper: 6 %).
     let or_b = or.best.total_buffers as f64;
-    let sar_b = sar.total_buffers as f64;
+    let sar_b = sar.best.total_buffers as f64;
     assert!(or_b <= sar_b * 1.25, "OR {or_b} too far from SAR {sar_b}");
 }
 
@@ -69,31 +80,56 @@ fn cruise_controller_reproduces_the_paper_shape() {
 fn figure4_shape_holds_end_to_end() {
     let fig = figure4(Time::from_millis(240));
     let analysis = AnalysisParams::default();
-    let a = evaluate(&fig.system, fig.config_a.clone(), &analysis).expect("analyzable");
-    let b = evaluate(&fig.system, fig.config_b.clone(), &analysis).expect("analyzable");
-    let c = evaluate(&fig.system, fig.config_c.clone(), &analysis).expect("analyzable");
+    let eval = |config: &SystemConfig| {
+        mcs::opt::evaluate(&fig.system, config.clone(), &analysis).expect("analyzable")
+    };
+    let a = eval(&fig.config_a);
+    let b = eval(&fig.config_b);
+    let c = eval(&fig.config_c);
     assert!(!a.is_schedulable());
     assert!(b.is_schedulable());
     assert!(c.is_schedulable());
     // OS must do at least as well as the best hand configuration.
-    let os = optimize_schedule(&fig.system, &analysis, &OsParams::default());
+    let os = run(&fig.system, Os::new(OsParams::default()));
     assert!(os.best.is_schedulable());
     assert!(os.best.schedule_cost() <= c.schedule_cost().max(b.schedule_cost()));
 }
 
 #[test]
 fn deterministic_pipeline_results_across_runs() {
-    let analysis = AnalysisParams::default();
-    let run = || {
+    let once = || {
         let system = generate(&GeneratorParams::paper_sized(2, 9));
-        let os = optimize_schedule(&system, &analysis, &OsParams::default());
+        let os = run(&system, Os::new(OsParams::default()));
         (
             os.best.schedule_cost(),
             os.best.total_buffers,
             os.evaluations,
         )
     };
-    assert_eq!(run(), run());
+    assert_eq!(once(), once());
+}
+
+#[test]
+fn portfolio_serves_the_whole_heuristic_family() {
+    // The front door runs the paper's strategy family on one instance; the
+    // resource-best entry must be schedulable, and OR dominates OS on the
+    // buffer axis by construction.
+    let system = generate(&GeneratorParams::paper_sized(2, 3));
+    let portfolio = Portfolio::builder(&system)
+        .analysis(AnalysisParams::default())
+        .selection(Selection::BestCost(Objective::Resources))
+        .add("SF", Sf)
+        .add("HOPA", Hopa)
+        .add("OS", Os::new(OsParams::default()))
+        .add("OR", Or::new(OrParams::default()))
+        .run();
+    assert_eq!(portfolio.reports.len(), 4);
+    let (_, winner) = portfolio.winner_report().expect("all entries succeed");
+    assert!(winner.best.is_schedulable());
+    // OR dominates OS by construction, so the winner's buffer need equals
+    // the OR entry's (OS wins outright ties by insertion order).
+    let or_report = portfolio.reports[3].1.as_ref().expect("OR succeeds");
+    assert_eq!(winner.best.total_buffers, or_report.best.total_buffers);
 }
 
 #[test]
