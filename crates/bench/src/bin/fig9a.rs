@@ -63,6 +63,7 @@ fn main() {
     );
     let mut sf_failures = 0;
     let mut total = 0;
+    let mut skipped = 0;
     let mut per_point = records.chunks_exact(3);
     for nodes in NODE_COUNTS {
         let mut sf_dev = Vec::new();
@@ -74,10 +75,19 @@ fn main() {
                 .expect("three records per (nodes, seed) point")
                 .try_into()
                 .expect("chunks_exact");
-            let sf = &sf.expect("SF configuration is analyzable").best;
-            let os = &os.expect("OS run succeeds").best;
-            let sas = &sas.expect("SAS run succeeds").best;
             total += 1;
+            // A failed run (unanalyzable instance, panic) skips its
+            // instance in the aggregate instead of aborting the sweep.
+            let (Ok(sf), Ok(os), Ok(sas)) = (&sf.report, &os.report, &sas.report) else {
+                for record in [sf, os, sas] {
+                    if let Err(e) = &record.report {
+                        eprintln!("skipping {} ({}): {e}", record.instance, record.strategy);
+                    }
+                }
+                skipped += 1;
+                continue;
+            };
+            let (sf, os, sas) = (&sf.best, &os.best, &sas.best);
             if !sf.is_schedulable() {
                 sf_failed_here += 1;
                 sf_failures += 1;
@@ -97,6 +107,9 @@ fn main() {
             sf_dev.len(),
             sf_failed_here
         );
+    }
+    if skipped > 0 {
+        eprintln!("{skipped} instance(s) skipped because a run failed");
     }
     println!("SF failed to find a schedulable system in {sf_failures} of {total} applications");
     println!("(paper: 26 of 150; δΓ here is the slack sum f2, so deviations are");

@@ -61,6 +61,7 @@ fn main() {
         "nodes", "procs", "OS", "OR", "SAR", "used"
     );
     let mut per_point = records.chunks_exact(3);
+    let mut skipped = 0;
     for nodes in NODE_COUNTS {
         let mut os_bytes = Vec::new();
         let mut or_bytes = Vec::new();
@@ -71,9 +72,18 @@ fn main() {
                 .expect("three records per (nodes, seed) point")
                 .try_into()
                 .expect("chunks_exact");
-            let os = &os.expect("OS run succeeds").best;
-            let or = &or.expect("OR run succeeds").best;
-            let sar = &sar.expect("SAR run succeeds").best;
+            // A failed run (unanalyzable instance, panic) skips its
+            // instance in the aggregate instead of aborting the sweep.
+            let (Ok(os), Ok(or), Ok(sar)) = (&os.report, &or.report, &sar.report) else {
+                for record in [os, or, sar] {
+                    if let Err(e) = &record.report {
+                        eprintln!("skipping {} ({}): {e}", record.instance, record.strategy);
+                    }
+                }
+                skipped += 1;
+                continue;
+            };
+            let (os, or, sar) = (&os.best, &or.best, &sar.best);
             if os.is_schedulable() && or.is_schedulable() && sar.is_schedulable() {
                 os_bytes.push(os.total_buffers as f64);
                 or_bytes.push(or.total_buffers as f64);
@@ -89,5 +99,8 @@ fn main() {
             cell(mean(&sar_bytes)),
             os_bytes.len()
         );
+    }
+    if skipped > 0 {
+        eprintln!("{skipped} instance(s) skipped because a run failed");
     }
 }

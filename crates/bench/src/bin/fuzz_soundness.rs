@@ -4,16 +4,32 @@
 //! moves), simulate under randomized execution times and fail loudly on any
 //! observation exceeding its analytic bound.
 //!
+//! The OS synthesis runs — the expensive part of the campaign — are served
+//! by a [`SynthesisService`]: fanned out across the worker pool, each under
+//! a per-job wall-clock deadline so one pathological instance cannot wedge
+//! the whole campaign, with panic isolation so a crashing search costs one
+//! record instead of the run. Timed-out or failed syntheses are skipped
+//! (and counted); soundness *violations* still abort loudly — they are the
+//! bug this campaign exists to catch.
+//!
 //! Usage: `cargo run --release -p mcs-bench --bin fuzz_soundness [-- --seeds N]`
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use mcs_bench::ExperimentOptions;
 use mcs_core::{AnalysisParams, FifoBound};
 use mcs_gen::{generate, Distribution, GeneratorParams};
 use mcs_model::{System, SystemConfig};
 use mcs_opt::{
-    evaluate, hopa_priorities, neighborhood, straightforward_config, Os, OsParams, Synthesis,
+    evaluate, hopa_priorities, neighborhood, straightforward_config, JobSpec, Os, OsParams,
+    ServiceConfig, SynthesisService,
 };
 use mcs_sim::{simulate, ExecutionModel, SimParams};
+
+/// Wall-clock cap per OS synthesis job; generously above the typical run
+/// so it only fires on pathological instances.
+const OS_DEADLINE: Duration = Duration::from_secs(60);
 
 fn check(system: &System, config: &SystemConfig, analysis: &AnalysisParams, label: &str) -> bool {
     let Ok(eval) = evaluate(system, config.clone(), analysis) else {
@@ -49,7 +65,13 @@ fn check(system: &System, config: &SystemConfig, analysis: &AnalysisParams, labe
 fn main() {
     let options = ExperimentOptions::from_args();
     let campaigns = options.seeds.max(5) * 40;
-    let mut checked = 0u64;
+
+    // Generate every instance and queue its OS synthesis on the service.
+    let mut instances = Vec::with_capacity(campaigns as usize);
+    let service = SynthesisService::start(ServiceConfig {
+        queue_capacity: campaigns as usize,
+        ..ServiceConfig::default()
+    });
     for seed in 0..campaigns {
         let mut params = GeneratorParams::paper_sized(2, seed);
         params.processes_per_node = 6 + (seed % 10) as usize;
@@ -59,7 +81,7 @@ fn main() {
         if seed % 3 == 0 {
             params.wcet_distribution = Distribution::Exponential;
         }
-        let system = generate(&params);
+        let system = Arc::new(generate(&params));
         let analysis = AnalysisParams {
             fifo_bound: if seed % 2 == 0 {
                 FifoBound::SlotOccurrence
@@ -68,18 +90,41 @@ fn main() {
             },
             ..AnalysisParams::default()
         };
+        service
+            .try_submit(
+                JobSpec::new(
+                    format!("os/{seed}"),
+                    Arc::clone(&system),
+                    analysis,
+                    Os::new(OsParams::default()),
+                )
+                .deadline(OS_DEADLINE),
+            )
+            .expect("queue sized to the campaign");
+        instances.push((seed, system, analysis));
+    }
+    let mut os_records = service.shutdown();
+    os_records.sort_by_key(|record| record.id);
+    assert_eq!(os_records.len(), instances.len(), "one record per instance");
 
+    let mut checked = 0u64;
+    let mut skipped = 0u64;
+    for ((seed, system, analysis), os_record) in instances.into_iter().zip(os_records) {
         // Style 1: straightforward slots + HOPA.
         let mut hopa = straightforward_config(&system);
         hopa.priorities = hopa_priorities(&system, &hopa.tdma);
         checked += u64::from(check(&system, &hopa, &analysis, &format!("hopa/{seed}")));
 
-        // Style 2: OS-optimized.
-        let os = Synthesis::builder(&system)
-            .analysis(analysis)
-            .strategy(Os::new(OsParams::default()))
-            .run()
-            .expect("the straightforward configuration must be analyzable");
+        // Style 2: OS-optimized, synthesized by the service above.
+        let outcome_kind = os_record.outcome.kind();
+        let os = match os_record.outcome.into_report() {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("skipping os/{seed} ({outcome_kind}): {e}");
+                skipped += 1;
+                continue;
+            }
+        };
         checked += u64::from(check(
             &system,
             &os.best.config,
@@ -104,6 +149,9 @@ fn main() {
                 seed + 1
             );
         }
+    }
+    if skipped > 0 {
+        eprintln!("{skipped} OS synthesis run(s) skipped (timed out or failed)");
     }
     println!(
         "soundness campaign passed: {checked} schedulable configurations, \

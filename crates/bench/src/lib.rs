@@ -206,6 +206,10 @@ pub struct SweepRow {
 /// every record, row-major with OS/OR/SAR per instance, for JSON-lines
 /// emission.
 ///
+/// A failed run no longer aborts the sweep: its instance is skipped in the
+/// aggregate (and reported on stderr), the other instances still count —
+/// the per-record `Result` is the unit of failure, not the batch.
+///
 /// OS and OR are independent jobs — both are deterministic, so the OS
 /// column equals the step-1 result inside OR. (The standalone OS pass is
 /// re-run inside OR, but it is a few percent of an OR+SAR job; the
@@ -246,14 +250,26 @@ pub fn run_deviation_sweep(sa_iters: u32, rows: &[SweepRow]) -> Vec<mcs_opt::Exp
 
     println!("{:>9} {:>10} {:>10} {:>8}", "messages", "OS", "OR", "used");
     let mut per_point = records.chunks_exact(3);
+    let mut failed = 0usize;
     for row in rows {
         let mut os_dev = Vec::new();
         let mut or_dev = Vec::new();
         for _ in 0..row.instances.len() {
             let point = per_point.next().expect("three records per instance");
-            let os = &point[0].expect("OS run succeeds").best;
-            let or = &point[1].expect("OR run succeeds").best;
-            let sar = &point[2].expect("SAR run succeeds").best;
+            let reports: Vec<_> = point
+                .iter()
+                .filter_map(|record| match &record.report {
+                    Ok(report) => Some(&report.best),
+                    Err(e) => {
+                        eprintln!("skipping {} ({}): {e}", record.instance, record.strategy);
+                        None
+                    }
+                })
+                .collect();
+            let [os, or, sar] = reports[..] else {
+                failed += 1;
+                continue;
+            };
             if os.is_schedulable() && or.is_schedulable() && sar.is_schedulable() {
                 let reference = sar.total_buffers as f64;
                 os_dev.push(percent_deviation(os.total_buffers as f64, reference));
@@ -267,6 +283,9 @@ pub fn run_deviation_sweep(sa_iters: u32, rows: &[SweepRow]) -> Vec<mcs_opt::Exp
             cell(mean(&or_dev)),
             os_dev.len()
         );
+    }
+    if failed > 0 {
+        eprintln!("{failed} instance(s) skipped because a run failed");
     }
     records
 }

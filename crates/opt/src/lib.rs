@@ -99,6 +99,7 @@ mod or;
 mod os;
 mod sampler;
 mod sensitivity;
+pub mod serve;
 mod sf;
 pub mod synthesis;
 
@@ -116,9 +117,13 @@ pub use os::optimize_schedule;
 pub use os::{recommended_lengths, Os, OsParams, OsResult};
 pub use sampler::MoveSampler;
 pub use sensitivity::{criticality_ranking, wcet_slack, WcetSlack};
+pub use serve::{
+    CancelCause, JobId, JobOutcome, JobRecord, JobSpec, RetryPolicy, ServiceConfig, SubmitError,
+    SynthesisService,
+};
 pub use sf::{minimal_slot_capacities, straightforward_config, Sf};
 pub use synthesis::{
-    Budget, CancelToken, EventCounter, ExperimentJob, ExperimentRecord, ExperimentRunner,
-    Objective, Observer, Portfolio, PortfolioReport, SearchCtx, SearchEvent, Selection, Strategy,
-    Synthesis, SynthesisError, SynthesisReport, TrajectoryPoint,
+    Budget, BudgetAxis, CancelToken, EventCounter, ExperimentJob, ExperimentRecord,
+    ExperimentRunner, Objective, Observer, Portfolio, PortfolioReport, SearchCtx, SearchEvent,
+    Selection, Strategy, Synthesis, SynthesisError, SynthesisReport, TrajectoryPoint,
 };

@@ -76,9 +76,10 @@
 //! only escape hatch is [`Portfolio::race`], which trades reproducibility
 //! of the *losing* reports for wall-clock time.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
@@ -91,37 +92,112 @@ use crate::cost::{materialize, resource_cost, Evaluation};
 // Budget & cancellation
 // ---------------------------------------------------------------------------
 
-/// An evaluation budget for one synthesis run.
+/// A budget for one synthesis run, with two independent axes: a
+/// **evaluation-count** axis ([`Budget::evals`]) and a **wall-clock** axis
+/// ([`Budget::wall_clock`]); [`Budget::evals_and_time`] combines both. The
+/// run exhausts as soon as *either* axis does, and the report records which
+/// one fired first ([`SynthesisReport::exhausted_by`]).
 ///
 /// The budget is **cooperative**: strategies poll
 /// [`SearchCtx::exhausted`] between candidates and wind down; a strategy
-/// mid-candidate may finish it, so a run can end a few evaluations past the
-/// limit. [`Budget::UNLIMITED`] (the default) never exhausts.
+/// mid-candidate may finish it, so a run can end a few evaluations (or
+/// milliseconds) past the limit. [`Budget::UNLIMITED`] (the default) never
+/// exhausts.
+///
+/// The wall-clock axis makes a run *nondeterministic in where it stops*
+/// (machine-load dependent) but never in what it computes up to that point;
+/// a time-truncated run can be continued bit-identically through
+/// [`Synthesis::resume_from`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Budget {
     max_evaluations: u64,
+    max_duration: Option<Duration>,
 }
 
 impl Budget {
     /// No limit: the strategy runs to its natural completion.
     pub const UNLIMITED: Budget = Budget {
         max_evaluations: u64::MAX,
+        max_duration: None,
     };
 
     /// At most `n` schedulability evaluations.
     pub fn evals(n: u64) -> Self {
-        Budget { max_evaluations: n }
+        Budget {
+            max_evaluations: n,
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// At most `limit` of wall-clock time (measured from
+    /// [`Synthesis::run`] entry).
+    pub fn wall_clock(limit: Duration) -> Self {
+        Budget {
+            max_duration: Some(limit),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// Both axes: at most `n` evaluations *and* at most `limit` wall-clock
+    /// time, whichever exhausts first.
+    pub fn evals_and_time(n: u64, limit: Duration) -> Self {
+        Budget {
+            max_evaluations: n,
+            max_duration: Some(limit),
+        }
+    }
+
+    /// Tightens (or sets) the wall-clock axis to at most `limit`, keeping
+    /// the evaluation axis. Used by the serving layer to overlay a per-job
+    /// deadline onto whatever budget the job already carries.
+    #[must_use]
+    pub fn with_wall_clock(self, limit: Duration) -> Self {
+        Budget {
+            max_duration: Some(self.max_duration.map_or(limit, |d| d.min(limit))),
+            ..self
+        }
     }
 
     /// The evaluation limit, `None` when unlimited.
     pub fn max_evaluations(&self) -> Option<u64> {
         (self.max_evaluations != u64::MAX).then_some(self.max_evaluations)
     }
+
+    /// The wall-clock limit, `None` when unlimited.
+    pub fn max_duration(&self) -> Option<Duration> {
+        self.max_duration
+    }
 }
 
 impl Default for Budget {
     fn default() -> Self {
         Budget::UNLIMITED
+    }
+}
+
+/// Which budget axis ended a run (see [`SearchCtx::exhausted`]).
+///
+/// When several axes are exhausted at the same poll, the first in
+/// (evaluations, wall clock, cancellation) order is recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BudgetAxis {
+    /// The evaluation-count limit was reached.
+    Evaluations,
+    /// The wall-clock limit (deadline) passed.
+    WallClock,
+    /// The run's [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl BudgetAxis {
+    /// A stable lower-case name (`"evaluations"`, `"wall_clock"`,
+    /// `"cancelled"`) for machine-readable records.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BudgetAxis::Evaluations => "evaluations",
+            BudgetAxis::WallClock => "wall_clock",
+            BudgetAxis::Cancelled => "cancelled",
+        }
     }
 }
 
@@ -302,6 +378,18 @@ pub enum SynthesisError {
     /// The strategy finished without recording any incumbent (budget spent
     /// or cancelled before the first feasible candidate).
     NoIncumbent,
+    /// The run panicked and was isolated by the serving layer (see
+    /// [`crate::serve`]); the payload is the panic message.
+    Panicked(String),
+    /// A [`Synthesis::resume_from`] continuation failed to reproduce the
+    /// checkpoint trajectory — the strategy, its parameters, the analysis
+    /// parameters or the system differ from the interrupted run.
+    ResumeDivergence {
+        /// Checkpoint trajectory points reproduced before the divergence.
+        matched: usize,
+        /// Total points the checkpoint carried.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for SynthesisError {
@@ -311,6 +399,13 @@ impl std::fmt::Display for SynthesisError {
             SynthesisError::NoIncumbent => {
                 write!(f, "the strategy finished without recording an incumbent")
             }
+            SynthesisError::Panicked(message) => write!(f, "the strategy panicked: {message}"),
+            SynthesisError::ResumeDivergence { matched, expected } => write!(
+                f,
+                "resume divergence: the continuation reproduced {matched} of {expected} \
+                 checkpoint incumbents; strategy, parameters and system must match the \
+                 interrupted run exactly"
+            ),
         }
     }
 }
@@ -343,10 +438,30 @@ pub struct SearchCtx<'s, 'a, 'run> {
     evaluator: &'run mut Evaluator<'s>,
     observers: &'run mut [Box<dyn Observer + 'a>],
     budget: Budget,
+    /// Wall-clock cut-off derived from the budget at `run()` entry.
+    deadline: Option<Instant>,
     cancel: Option<CancelToken>,
     evaluations: u64,
+    /// The first budget axis observed exhausted; sticky (every axis is
+    /// monotone, so once a poll reports exhausted the run stays exhausted).
+    exhausted_axis: Cell<Option<BudgetAxis>>,
     incumbent: Option<(EvalSummary, SystemConfig)>,
     trajectory: Vec<TrajectoryPoint>,
+    replay: Option<ReplayState>,
+}
+
+/// Bookkeeping of a [`Synthesis::resume_from`] continuation: events up to
+/// the checkpoint are replayed silently and every replayed incumbent is
+/// verified against the checkpoint trajectory.
+struct ReplayState {
+    /// Evaluation count of the interrupted run (the checkpoint cut).
+    until: u64,
+    /// The checkpoint's trajectory, to be reproduced point by point.
+    expected: Vec<TrajectoryPoint>,
+    /// Checkpoint trajectory points matched so far.
+    matched: usize,
+    /// A replayed incumbent disagreed with the checkpoint.
+    diverged: bool,
 }
 
 impl<'s, 'a, 'run> SearchCtx<'s, 'a, 'run> {
@@ -379,11 +494,33 @@ impl<'s, 'a, 'run> SearchCtx<'s, 'a, 'run> {
         self.evaluations
     }
 
-    /// `true` once the budget is spent or the run was cancelled. Strategies
-    /// poll this between candidates and wind down.
+    /// `true` once the budget is spent (either axis) or the run was
+    /// cancelled. Strategies poll this between candidates and wind down.
+    ///
+    /// The verdict is sticky: the first exhausted poll pins the reported
+    /// axis ([`exhausted_by`](Self::exhausted_by)) and every later poll
+    /// reports exhausted without re-examining the clock.
     pub fn exhausted(&self) -> bool {
-        self.evaluations >= self.budget.max_evaluations
-            || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+        if self.exhausted_axis.get().is_some() {
+            return true;
+        }
+        let axis = if self.evaluations >= self.budget.max_evaluations {
+            Some(BudgetAxis::Evaluations)
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(BudgetAxis::WallClock)
+        } else if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            Some(BudgetAxis::Cancelled)
+        } else {
+            None
+        };
+        self.exhausted_axis.set(axis);
+        axis.is_some()
+    }
+
+    /// The budget axis that ended the run, `None` while no poll has
+    /// reported exhausted yet.
+    pub fn exhausted_by(&self) -> Option<BudgetAxis> {
+        self.exhausted_axis.get()
     }
 
     /// Runs the full analysis of `config`, counting against the budget.
@@ -426,7 +563,30 @@ impl<'s, 'a, 'run> SearchCtx<'s, 'a, 'run> {
     ///
     /// The strategy owns the *decision* (each heuristic compares costs its
     /// own way); the driver owns the bookkeeping.
+    ///
+    /// In a [`Synthesis::resume_from`] continuation, incumbents recorded
+    /// inside the replayed prefix are verified against the checkpoint
+    /// trajectory; any disagreement fails the run with
+    /// [`SynthesisError::ResumeDivergence`].
     pub fn record_incumbent(&mut self, summary: EvalSummary, config: &SystemConfig) {
+        if let Some(replay) = &mut self.replay {
+            let point = TrajectoryPoint {
+                evaluations: self.evaluations,
+                summary,
+            };
+            if replay.matched < replay.expected.len() {
+                if point == replay.expected[replay.matched] {
+                    replay.matched += 1;
+                } else {
+                    replay.diverged = true;
+                }
+            } else if self.evaluations <= replay.until {
+                // An incumbent inside the replayed prefix the checkpoint
+                // never saw: the continuation is not re-running the same
+                // search.
+                replay.diverged = true;
+            }
+        }
         match &mut self.incumbent {
             Some((s, c)) => {
                 *s = summary;
@@ -445,7 +605,32 @@ impl<'s, 'a, 'run> SearchCtx<'s, 'a, 'run> {
     }
 
     /// Delivers `event` to every attached observer, in attachment order.
+    ///
+    /// In a [`Synthesis::resume_from`] continuation, events that the
+    /// interrupted run already delivered (those inside the replayed prefix)
+    /// are suppressed, so a streaming consumer sees each event exactly once
+    /// across the interrupted run and its continuations. `Started` and
+    /// `Finished` are always delivered — they frame *this* run.
     pub fn emit(&mut self, event: SearchEvent) {
+        if let Some(replay) = &self.replay {
+            let replayed = match event {
+                SearchEvent::Started { .. } | SearchEvent::Finished { .. } => false,
+                SearchEvent::Evaluated { evaluations, .. }
+                | SearchEvent::Infeasible { evaluations }
+                | SearchEvent::NewIncumbent { evaluations, .. } => evaluations <= replay.until,
+                // A temperature epoch is emitted *before* its iteration's
+                // evaluation, so the epoch stamped exactly at the cut
+                // belongs to the first non-replayed iteration: suppress
+                // strictly below the cut.
+                SearchEvent::TemperatureEpoch { evaluations, .. } => evaluations < replay.until,
+                // Count-less events: best effort — a `Phase` emitted exactly
+                // at the checkpoint boundary may be delivered again.
+                SearchEvent::Phase { .. } => self.evaluations < replay.until,
+            };
+            if replayed {
+                return;
+            }
+        }
         for observer in self.observers.iter_mut() {
             observer.on_event(&event);
         }
@@ -511,6 +696,10 @@ pub struct SynthesisReport {
     /// Whether the budget ran out (or the run was cancelled) before the
     /// strategy finished naturally.
     pub exhausted: bool,
+    /// Which budget axis ended the run: `None` for a natural finish,
+    /// otherwise the first axis a [`SearchCtx::exhausted`] poll observed
+    /// (evaluations before wall clock before cancellation).
+    pub exhausted_by: Option<BudgetAxis>,
 }
 
 impl SynthesisReport {
@@ -532,6 +721,7 @@ pub struct Synthesis<'s, 'a> {
     budget: Budget,
     cancel: Option<CancelToken>,
     observers: Vec<Box<dyn Observer + 'a>>,
+    resume: Option<(u64, Vec<TrajectoryPoint>)>,
 }
 
 impl<'s, 'a> Synthesis<'s, 'a> {
@@ -545,6 +735,7 @@ impl<'s, 'a> Synthesis<'s, 'a> {
             budget: Budget::UNLIMITED,
             cancel: None,
             observers: Vec::new(),
+            resume: None,
         }
     }
 
@@ -579,6 +770,41 @@ impl<'s, 'a> Synthesis<'s, 'a> {
         self
     }
 
+    /// Continues an interrupted run from `checkpoint` — the partial
+    /// [`SynthesisReport`] of a run that was preempted, timed out or
+    /// cancelled.
+    ///
+    /// **Contract.** The continuation must be configured with the *same*
+    /// system, analysis parameters and strategy (same parameters, same
+    /// seed) as the interrupted run, and a budget covering the total work
+    /// (e.g. the original evaluation limit, or [`Budget::UNLIMITED`]; a
+    /// wall-clock axis restarts from the continuation's `run()` entry).
+    /// Because every strategy is a pure function of its inputs, the
+    /// continuation deterministically replays the interrupted prefix —
+    /// re-deriving the search state the checkpoint cannot carry (RNG
+    /// stream, working configuration, evaluator caches) — and then runs on,
+    /// producing a report **bit-identical** to a never-interrupted run.
+    /// This holds for *any* cut point, including nondeterministic
+    /// wall-clock preemptions.
+    ///
+    /// Two guarantees distinguish this from simply re-running:
+    ///
+    /// * **Exactly-once event streaming** — events the interrupted run
+    ///   already delivered are suppressed during the replay, so an observer
+    ///   attached to both runs sees each event once (`Started`/`Finished`
+    ///   frame each run; a count-less `Phase` event exactly at the boundary
+    ///   may repeat).
+    /// * **Replay verification** — every incumbent re-recorded inside the
+    ///   replayed prefix is checked against the checkpoint trajectory;
+    ///   divergence (a mismatched strategy, seed, system or analysis
+    ///   configuration) fails the run with
+    ///   [`SynthesisError::ResumeDivergence`] instead of silently
+    ///   producing a report from a different search.
+    pub fn resume_from(mut self, checkpoint: &SynthesisReport) -> Self {
+        self.resume = Some((checkpoint.evaluations, checkpoint.trajectory.clone()));
+        self
+    }
+
     /// Runs the strategy and returns the unified report.
     ///
     /// The incumbent is re-analyzed once at the end so the report carries
@@ -604,10 +830,18 @@ impl<'s, 'a> Synthesis<'s, 'a> {
             evaluator: &mut evaluator,
             observers: &mut self.observers,
             budget: self.budget,
+            deadline: self.budget.max_duration().map(|d| Instant::now() + d),
             cancel: self.cancel.clone(),
             evaluations: 0,
+            exhausted_axis: Cell::new(None),
             incumbent: None,
             trajectory: Vec::new(),
+            replay: self.resume.take().map(|(until, expected)| ReplayState {
+                until,
+                expected,
+                matched: 0,
+                diverged: false,
+            }),
         };
         ctx.emit(SearchEvent::Started {
             strategy: strategy.name(),
@@ -615,13 +849,27 @@ impl<'s, 'a> Synthesis<'s, 'a> {
         let outcome = strategy.run(&mut ctx);
         let evaluations = ctx.evaluations;
         let exhausted = ctx.exhausted();
+        let exhausted_by = ctx.exhausted_by();
         ctx.emit(SearchEvent::Finished {
             evaluations,
             exhausted,
         });
         let incumbent = ctx.incumbent.take();
         let trajectory = std::mem::take(&mut ctx.trajectory);
+        let replay = ctx.replay.take();
         outcome?;
+        if let Some(replay) = replay {
+            // Once the continuation has run past the checkpoint, every
+            // checkpoint incumbent must have been reproduced in order.
+            if replay.diverged
+                || (evaluations >= replay.until && replay.matched < replay.expected.len())
+            {
+                return Err(SynthesisError::ResumeDivergence {
+                    matched: replay.matched,
+                    expected: replay.expected.len(),
+                });
+            }
+        }
         let (summary, config) = incumbent.ok_or(SynthesisError::NoIncumbent)?;
         // Materialize the incumbent's outcome with one extra analysis (the
         // search loop only ever compared summaries).
@@ -636,6 +884,7 @@ impl<'s, 'a> Synthesis<'s, 'a> {
             evaluations,
             trajectory,
             exhausted,
+            exhausted_by,
         })
     }
 }
@@ -829,6 +1078,7 @@ pub struct ExperimentJob {
     analysis: AnalysisParams,
     strategy: Box<dyn Strategy>,
     budget: Budget,
+    deadline: Option<Duration>,
 }
 
 impl ExperimentJob {
@@ -846,6 +1096,7 @@ impl ExperimentJob {
             analysis,
             strategy: Box::new(strategy),
             budget: Budget::UNLIMITED,
+            deadline: None,
         }
     }
 
@@ -861,19 +1112,24 @@ impl ExperimentJob {
         self
     }
 
-    fn execute(self) -> ExperimentRecord {
-        let start = Instant::now();
-        let report = Synthesis::builder(&self.system)
-            .analysis(self.analysis)
-            .budget(self.budget)
-            .strategy(self.strategy)
-            .run();
-        ExperimentRecord {
-            instance: self.instance,
-            strategy: self.strategy_label,
-            elapsed_micros: start.elapsed().as_micros() as u64,
-            report,
+    /// Caps the job's wall-clock time: a run past `deadline` is wound down
+    /// cooperatively and its record reports the partial result (with
+    /// [`BudgetAxis::WallClock`] as the exhausted axis) instead of holding
+    /// the whole batch hostage.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    fn into_spec(self) -> crate::serve::JobSpec {
+        let mut spec =
+            crate::serve::JobSpec::new(self.instance, self.system, self.analysis, self.strategy)
+                .labelled(self.strategy_label)
+                .budget(self.budget);
+        if let Some(deadline) = self.deadline {
+            spec = spec.deadline(deadline);
         }
+        spec
     }
 }
 
@@ -907,22 +1163,29 @@ impl ExperimentRecord {
     /// Renders the record as one stable JSON line (see
     /// [`mcs_core::json_line`]): `instance`, `strategy`, `ok`,
     /// `schedulable`, `schedule_cost`, `total_buffers`, `evaluations`,
-    /// `exhausted`, `elapsed_micros`. Failed runs carry `ok: false` and
-    /// omit the result fields.
+    /// `exhausted` (plus `exhausted_by` for truncated runs),
+    /// `elapsed_micros`. Failed runs carry `ok: false` and omit the result
+    /// fields.
     pub fn json_line(&self) -> String {
         use mcs_core::JsonField as F;
         match &self.report {
-            Ok(r) => mcs_core::json_line(&[
-                ("instance", F::Str(&self.instance)),
-                ("strategy", F::Str(&self.strategy)),
-                ("ok", F::Bool(true)),
-                ("schedulable", F::Bool(r.best.is_schedulable())),
-                ("schedule_cost", F::Int(r.best.schedule_cost())),
-                ("total_buffers", F::UInt(r.best.total_buffers)),
-                ("evaluations", F::UInt(r.evaluations)),
-                ("exhausted", F::Bool(r.exhausted)),
-                ("elapsed_micros", F::UInt(self.elapsed_micros)),
-            ]),
+            Ok(r) => {
+                let mut fields = vec![
+                    ("instance", F::Str(&self.instance)),
+                    ("strategy", F::Str(&self.strategy)),
+                    ("ok", F::Bool(true)),
+                    ("schedulable", F::Bool(r.best.is_schedulable())),
+                    ("schedule_cost", F::Int(r.best.schedule_cost())),
+                    ("total_buffers", F::UInt(r.best.total_buffers)),
+                    ("evaluations", F::UInt(r.evaluations)),
+                    ("exhausted", F::Bool(r.exhausted)),
+                ];
+                if let Some(axis) = r.exhausted_by {
+                    fields.push(("exhausted_by", F::Str(axis.as_str())));
+                }
+                fields.push(("elapsed_micros", F::UInt(self.elapsed_micros)));
+                mcs_core::json_line(&fields)
+            }
             Err(e) => mcs_core::json_line(&[
                 ("instance", F::Str(&self.instance)),
                 ("strategy", F::Str(&self.strategy)),
@@ -935,11 +1198,17 @@ impl ExperimentRecord {
 }
 
 /// Batch experiment serving: a queue of [`ExperimentJob`]s fanned out
-/// across rayon workers, records collected in submission order.
+/// across a [`crate::serve::SynthesisService`] worker pool, records
+/// collected in submission order.
 ///
-/// This is the layer the `fig9` sweep binaries sit on — and the shape any
-/// future high-traffic serving loop takes: enqueue generated instances ×
-/// strategies, drain records.
+/// This is the layer the `fig9` sweep binaries sit on. Since it runs on
+/// the service, each job is **panic-isolated**: a job whose strategy
+/// panics produces a structured failed record
+/// ([`SynthesisError::Panicked`]) while every other job completes — one
+/// poisoned instance can no longer abort a whole sweep. Jobs may also
+/// carry wall-clock deadlines ([`ExperimentJob::deadline`]); a timed-out
+/// job reports its partial result with
+/// [`BudgetAxis::WallClock`] in [`SynthesisReport::exhausted_by`].
 #[derive(Default)]
 pub struct ExperimentRunner {
     jobs: Vec<ExperimentJob>,
@@ -967,13 +1236,38 @@ impl ExperimentRunner {
         self.jobs.is_empty()
     }
 
-    /// Runs every job (parallel, dynamically load-balanced across cores;
-    /// `RAYON_NUM_THREADS` caps the workers) and returns the records in
-    /// submission order.
+    /// Runs every job (parallel, dynamically load-balanced across a
+    /// [`crate::serve::SynthesisService`] worker pool; `RAYON_NUM_THREADS`
+    /// caps the workers) and returns the records in submission order —
+    /// parallel output is byte-identical to a sequential run.
     pub fn run(self) -> Vec<ExperimentRecord> {
-        self.jobs
-            .into_par_iter()
-            .map(ExperimentJob::execute)
+        use crate::serve::{ServiceConfig, SynthesisService};
+
+        if self.jobs.is_empty() {
+            return Vec::new();
+        }
+        let service = SynthesisService::start(ServiceConfig {
+            workers: ServiceConfig::default().workers.min(self.jobs.len()),
+            // The whole batch is known up front: size the queue to it so
+            // submission never blocks.
+            queue_capacity: self.jobs.len(),
+            ..ServiceConfig::default()
+        });
+        for job in self.jobs {
+            service
+                .try_submit(job.into_spec())
+                .expect("queue sized to the batch");
+        }
+        let mut records = service.shutdown();
+        records.sort_by_key(|record| record.id);
+        records
+            .into_iter()
+            .map(|record| ExperimentRecord {
+                instance: record.name,
+                strategy: record.strategy,
+                elapsed_micros: record.elapsed_micros,
+                report: record.outcome.into_report(),
+            })
             .collect()
     }
 }

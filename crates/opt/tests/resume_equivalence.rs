@@ -1,0 +1,274 @@
+//! Resume-equivalence suite for `Synthesis::resume_from`: a run cut at an
+//! *arbitrary* evaluation count (or by a wall-clock deadline) and resumed
+//! from its partial report must be **bit-identical** to the uninterrupted
+//! run — same incumbent, same evaluation count, same trajectory, same
+//! exhaustion verdict. The continuation must also stream each event
+//! exactly once across the cut, and reject checkpoints it cannot reproduce
+//! with `SynthesisError::ResumeDivergence`.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use mcs_core::AnalysisParams;
+use mcs_gen::{generate, GeneratorParams};
+use mcs_model::System;
+use mcs_opt::{
+    Budget, BudgetAxis, EventCounter, Os, OsParams, Sa, SaParams, Synthesis, SynthesisError,
+    SynthesisReport,
+};
+
+fn small_system(seed: u64) -> System {
+    let mut p = GeneratorParams::paper_sized(2, seed);
+    p.processes_per_node = 8;
+    p.graphs = 4;
+    p.inter_cluster_messages = Some(3);
+    generate(&p)
+}
+
+fn quick_sa(seed: u64) -> SaParams {
+    SaParams {
+        iterations: 60,
+        seed,
+        ..SaParams::default()
+    }
+}
+
+fn assert_bit_identical(context: &str, resumed: &SynthesisReport, full: &SynthesisReport) {
+    assert_eq!(resumed.strategy, full.strategy, "{context}: strategy label");
+    assert_eq!(
+        resumed.best.config, full.best.config,
+        "{context}: incumbent configuration"
+    );
+    assert_eq!(resumed.best.degree, full.best.degree, "{context}: δΓ");
+    assert_eq!(
+        resumed.best.total_buffers, full.best.total_buffers,
+        "{context}: s_total"
+    );
+    assert_eq!(
+        resumed.evaluations, full.evaluations,
+        "{context}: evaluation count"
+    );
+    assert_eq!(
+        resumed.trajectory, full.trajectory,
+        "{context}: incumbent trajectory"
+    );
+    assert_eq!(resumed.exhausted, full.exhausted, "{context}: exhausted");
+    assert_eq!(
+        resumed.exhausted_by, full.exhausted_by,
+        "{context}: exhausted_by"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// SAS preempted at an arbitrary evaluation count and resumed is
+    /// bit-identical to the uninterrupted run.
+    #[test]
+    fn sas_resume_is_bit_identical(seed in 0u64..60, sa_seed in 0u64..8, cut in 1u64..60) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let params = quick_sa(sa_seed);
+
+        let partial = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .budget(Budget::evals(cut))
+            .run()
+            .expect("a cut SAS run still records its start incumbent");
+        let full = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .run()
+            .expect("analyzable");
+        let resumed = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .resume_from(&partial)
+            .run()
+            .expect("the continuation reproduces the checkpoint");
+        assert_bit_identical("SAS", &resumed, &full);
+    }
+
+    /// The greedy OS synthesis preempted mid-sweep and resumed is
+    /// bit-identical to the uninterrupted run.
+    #[test]
+    fn os_resume_is_bit_identical(seed in 0u64..40, cut in 1u64..40) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+
+        let partial = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Os::new(OsParams::default()))
+            .budget(Budget::evals(cut))
+            .run();
+        // A tiny cut can end OS before its first feasible candidate; only
+        // checkpoints with an incumbent are resumable.
+        let Ok(partial) = partial else {
+            return Ok(());
+        };
+        let full = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Os::new(OsParams::default()))
+            .run()
+            .expect("analyzable");
+        let resumed = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Os::new(OsParams::default()))
+            .resume_from(&partial)
+            .run()
+            .expect("the continuation reproduces the checkpoint");
+        assert_bit_identical("OS", &resumed, &full);
+    }
+
+    /// Across the cut, the interrupted run and its continuation together
+    /// deliver every count-bearing event exactly once: the per-kind event
+    /// counts of (partial + continuation) equal the uninterrupted run's.
+    #[test]
+    fn events_stream_exactly_once_across_the_cut(
+        seed in 0u64..40, sa_seed in 0u64..8, cut in 1u64..60,
+    ) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let params = quick_sa(sa_seed);
+
+        let mut before = EventCounter::default();
+        let partial = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .budget(Budget::evals(cut))
+            .observer(&mut before)
+            .run()
+            .expect("a cut SAS run still records its start incumbent");
+        let mut after = EventCounter::default();
+        Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .resume_from(&partial)
+            .observer(&mut after)
+            .run()
+            .expect("the continuation reproduces the checkpoint");
+        let mut uninterrupted = EventCounter::default();
+        Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .observer(&mut uninterrupted)
+            .run()
+            .expect("analyzable");
+
+        prop_assert_eq!(before.evaluated + after.evaluated, uninterrupted.evaluated);
+        prop_assert_eq!(before.accepted + after.accepted, uninterrupted.accepted);
+        prop_assert_eq!(before.infeasible + after.infeasible, uninterrupted.infeasible);
+        prop_assert_eq!(before.incumbents + after.incumbents, uninterrupted.incumbents);
+        prop_assert_eq!(before.epochs + after.epochs, uninterrupted.epochs);
+    }
+
+    /// A checkpoint the continuation cannot reproduce — here a tampered
+    /// trajectory standing in for a mismatched seed/strategy/system — fails
+    /// with `ResumeDivergence` instead of silently producing a report from
+    /// a different search.
+    #[test]
+    fn divergent_checkpoint_is_rejected(seed in 0u64..40, sa_seed in 0u64..8) {
+        let system = small_system(seed);
+        let analysis = AnalysisParams::default();
+        let params = quick_sa(sa_seed);
+
+        let mut checkpoint = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .budget(Budget::evals(10))
+            .run()
+            .expect("a cut SAS run still records its start incumbent");
+        let last = checkpoint
+            .trajectory
+            .last_mut()
+            .expect("a report always has a trajectory point");
+        last.summary.total_buffers += 1;
+
+        let outcome = Synthesis::builder(&system)
+            .analysis(analysis)
+            .strategy(Sa::schedule(params))
+            .resume_from(&checkpoint)
+            .run();
+        prop_assert!(
+            matches!(outcome, Err(SynthesisError::ResumeDivergence { .. })),
+            "expected ResumeDivergence, got {:?}",
+            outcome.map(|r| r.evaluations)
+        );
+    }
+}
+
+/// A wall-clock-cut run (the nondeterministic preemption the serving layer
+/// produces) reports the wall-clock axis and resumes bit-identically.
+#[test]
+fn wall_clock_cut_resumes_bit_identically() {
+    let system = small_system(7);
+    let analysis = AnalysisParams::default();
+    let params = quick_sa(3);
+
+    // A zero deadline exhausts at the first poll — after the start
+    // incumbent, so the partial report is resumable.
+    let partial = Synthesis::builder(&system)
+        .analysis(analysis)
+        .strategy(Sa::schedule(params))
+        .budget(Budget::wall_clock(Duration::ZERO))
+        .run()
+        .expect("the start incumbent is recorded before the first poll");
+    assert!(partial.exhausted);
+    assert_eq!(partial.exhausted_by, Some(BudgetAxis::WallClock));
+
+    let full = Synthesis::builder(&system)
+        .analysis(analysis)
+        .strategy(Sa::schedule(params))
+        .run()
+        .expect("analyzable");
+    let resumed = Synthesis::builder(&system)
+        .analysis(analysis)
+        .strategy(Sa::schedule(params))
+        .resume_from(&partial)
+        .run()
+        .expect("the continuation reproduces the checkpoint");
+    assert_bit_identical("SAS/wall-clock", &resumed, &full);
+}
+
+/// The two budget axes report distinctly, and `evals_and_time` exhausts on
+/// whichever fires first.
+#[test]
+fn exhausted_axis_is_reported() {
+    let system = small_system(11);
+    let analysis = AnalysisParams::default();
+
+    let by_evals = Synthesis::builder(&system)
+        .analysis(analysis)
+        .strategy(Sa::schedule(quick_sa(0)))
+        .budget(Budget::evals(5))
+        .run()
+        .expect("analyzable");
+    assert!(by_evals.exhausted);
+    assert_eq!(by_evals.exhausted_by, Some(BudgetAxis::Evaluations));
+
+    let by_time = Synthesis::builder(&system)
+        .analysis(analysis)
+        .strategy(Sa::schedule(quick_sa(0)))
+        .budget(Budget::evals_and_time(1_000_000, Duration::ZERO))
+        .run()
+        .expect("analyzable");
+    assert!(by_time.exhausted);
+    assert_eq!(by_time.exhausted_by, Some(BudgetAxis::WallClock));
+
+    let natural = Synthesis::builder(&system)
+        .analysis(analysis)
+        .strategy(Sa::schedule(quick_sa(0)))
+        .run()
+        .expect("analyzable");
+    assert!(!natural.exhausted);
+    assert_eq!(natural.exhausted_by, None);
+
+    // Tightening keeps the minimum of stacked wall-clock limits.
+    let budget = Budget::evals(10)
+        .with_wall_clock(Duration::from_secs(60))
+        .with_wall_clock(Duration::from_secs(30));
+    assert_eq!(budget.max_evaluations(), Some(10));
+    assert_eq!(budget.max_duration(), Some(Duration::from_secs(30)));
+}

