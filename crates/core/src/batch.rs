@@ -1,0 +1,122 @@
+//! Batch candidate evaluation — N sibling configurations analyzed in one
+//! data-parallel pass ([`Evaluator::evaluate_batch`]).
+//!
+//! # The shared-prefix / divergent-tail model
+//!
+//! Search loops fan out *sibling* candidates: N configurations that each
+//! differ from one common base by a single move. Their delta cones share
+//! almost everything — the base's converged fixed point — and diverge only
+//! in the per-candidate dirty tail. The batch evaluator exploits exactly
+//! that split:
+//!
+//! 1. **Shared prefix, once.** The base configuration's converged analysis
+//!    state (the primary evaluator's snapshots, schedule memos and release
+//!    maps) is the prefix every candidate's replay starts from. It is
+//!    computed once — by whatever evaluation anchored the primary — and
+//!    distributed to the lanes by an allocation-reusing state copy, never
+//!    re-derived per candidate.
+//! 2. **Divergent tails, in lockstep.** Each candidate's dirty-cone replay
+//!    (the restricted RTA passes of [`crate::delta`]) runs in its own
+//!    *lane*: a private fixed-point state over the dense structure-of-array
+//!    entity tables. Lanes are independent, so the tails run data-parallel
+//!    with rayon (`par_iter_mut` across lanes), each lane working on its
+//!    own slice of SoA vectors.
+//!
+//! [`BatchScratch`] holds the lanes. Like the evaluator's own `Scratch`,
+//! lanes are **cleared, not reallocated** between batches: the first batch
+//! pays the allocation, every later batch of any width reuses the same
+//! fixed-point vectors.
+//!
+//! # Determinism: bit-identical to sequential delta evaluation
+//!
+//! The contract — CI-enforced by the `batch_equivalence` suite like every
+//! prior layer — is that `evaluate_batch` returns **bit-identical** results
+//! to N sequential [`Evaluator::evaluate_delta`] calls made from the same
+//! base state: same summaries (δΓ, `s_total`, convergence metadata), same
+//! infeasibility verdicts, and — after [`Evaluator::adopt_lane`] — the same
+//! outcome maps. This holds because each lane evaluates its candidate
+//! against the same base fixed point a sequential call would extend, and
+//! the delta path itself is bit-identical to the full fixed point by the
+//! PR 2 contract. Results are returned in request order, independent of
+//! worker scheduling.
+//!
+//! # When batching degrades to sequential work
+//!
+//! A candidate whose seeds are structural (TDMA changes), whose priorities
+//! are not a per-resource permutation of the base's, or that arrives while
+//! the primary has no successful analysis to diff against, takes the full
+//! evaluation path inside its lane — correct by the same argument, just
+//! without prefix reuse. A batch of such candidates (e.g. OS's slot scans)
+//! is still evaluated in parallel across lanes, but each lane performs the
+//! full fixed point: the win is then core-level parallelism, not shared
+//! work. With one lane (width 1, or `RAYON_NUM_THREADS=1`) the batch is
+//! exactly the sequential loop, results included.
+
+use mcs_model::SystemConfig;
+
+use crate::context::{EvalSummary, Evaluator};
+use crate::delta::DeltaSeeds;
+use crate::multicluster::AnalysisError;
+
+/// One candidate of a batch evaluation: the configuration to analyze and a
+/// seed set over-approximating its difference to the batch base (the
+/// primary evaluator's last successful analysis), exactly as
+/// [`Evaluator::evaluate_delta`] expects.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRequest {
+    /// The candidate configuration ψ.
+    pub config: SystemConfig,
+    /// Delta seeds relative to the primary evaluator's last completed
+    /// analysis. [`DeltaSeeds::structural`] forces the full path for this
+    /// candidate (the right call for TDMA moves).
+    pub seeds: DeltaSeeds,
+}
+
+/// The reusable lane state of [`Evaluator::evaluate_batch`]: N lanes of
+/// fixed-point vectors, one per in-flight candidate, cleared — not
+/// reallocated — between batches (see the module docs above).
+///
+/// A `BatchScratch` is bound to whatever system the evaluator that uses it
+/// analyzes; passing it to an evaluator of a different system transparently
+/// rebuilds the lanes.
+#[derive(Default)]
+pub struct BatchScratch<'s> {
+    pub(crate) lanes: Vec<Lane<'s>>,
+    /// Lanes holding results of the most recent batch (a prefix of
+    /// `lanes`); only these may be adopted.
+    pub(crate) live: usize,
+}
+
+/// One candidate lane: a private evaluator (its own scratch, schedule
+/// memos and snapshots) plus the result of its last batch evaluation.
+pub(crate) struct Lane<'s> {
+    pub(crate) eval: Evaluator<'s>,
+    pub(crate) result: Option<Result<EvalSummary, AnalysisError>>,
+    /// `(delta, full)` holistic-pass increments of the last batch, folded
+    /// into the primary's [`Evaluator::delta_stats`] aggregate.
+    pub(crate) stats_gain: (u64, u64),
+}
+
+impl<'s> BatchScratch<'s> {
+    /// Creates an empty scratch; lanes are built lazily on first use.
+    pub fn new() -> Self {
+        BatchScratch {
+            lanes: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of lanes currently allocated (the high-water batch width).
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Result of candidate `index` from the most recent batch, if any.
+    pub fn result(&self, index: usize) -> Option<&Result<EvalSummary, AnalysisError>> {
+        if index < self.live {
+            self.lanes[index].result.as_ref()
+        } else {
+            None
+        }
+    }
+}

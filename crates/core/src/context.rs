@@ -61,6 +61,9 @@ use mcs_ttp::{
     critical_path_priorities_into, list_schedule_dense_into, DenseSchedulerInput, TtcSchedule,
 };
 
+use rayon::prelude::*;
+
+use crate::batch::{BatchRequest, BatchScratch, Lane};
 use crate::delta::{close_dirty, DeltaSeeds, DirtySet};
 use crate::holistic::Holistic;
 use crate::multicluster::{AnalysisError, AnalysisParams};
@@ -488,6 +491,56 @@ pub(crate) struct Scratch {
     pub graph_response: Vec<Time>,
 }
 
+impl Scratch {
+    /// Allocation-reusing assignment: after the call `self` equals `src`,
+    /// but every vector landed in `self`'s existing buffers. Batch lanes
+    /// use this to mirror the primary evaluator's converged state before
+    /// re-climbing their candidate's divergent tail.
+    pub(crate) fn sync_from(&mut self, src: &Scratch) {
+        self.po.clone_from(&src.po);
+        self.pj.clone_from(&src.pj);
+        self.pw.clone_from(&src.pw);
+        self.pr.clone_from(&src.pr);
+        self.can_o.clone_from(&src.can_o);
+        self.can_j.clone_from(&src.can_j);
+        self.can_w.clone_from(&src.can_w);
+        self.can_r.clone_from(&src.can_r);
+        self.ttp_o.clone_from(&src.ttp_o);
+        self.ttp_j.clone_from(&src.ttp_j);
+        self.ttp_w.clone_from(&src.ttp_w);
+        self.ttp_r.clone_from(&src.ttp_r);
+        self.arrival.clone_from(&src.arrival);
+        self.backlog.clone_from(&src.backlog);
+        self.diverged = src.diverged;
+        self.msg_priority.clone_from(&src.msg_priority);
+        self.proc_priority.clone_from(&src.proc_priority);
+        self.can_order.clone_from(&src.can_order);
+        self.can_pos.clone_from(&src.can_pos);
+        self.can_blocking.clone_from(&src.can_blocking);
+        self.node_order.clone_from(&src.node_order);
+        self.node_pos.clone_from(&src.node_pos);
+        self.dirty.sync_from(&src.dirty);
+        self.wl_pending.clone_from(&src.wl_pending);
+        self.wl_next_pending.clone_from(&src.wl_next_pending);
+        self.wl_current.clone_from(&src.wl_current);
+        self.wl_next.clone_from(&src.wl_next);
+        self.can_flows.clone_from(&src.can_flows);
+        self.fifo_flows.clone_from(&src.fifo_flows);
+        self.task_arrays.clone_from(&src.task_arrays);
+        self.fifo_warm.clone_from(&src.fifo_warm);
+        self.bound_flows.clone_from(&src.bound_flows);
+        self.bound_delays.clone_from(&src.bound_delays);
+        self.proc_release.clone_from(&src.proc_release);
+        self.msg_release.clone_from(&src.msg_release);
+        self.next_proc_release.clone_from(&src.next_proc_release);
+        self.next_msg_release.clone_from(&src.next_msg_release);
+        self.queues.out_can = src.queues.out_can;
+        self.queues.out_ttp = src.queues.out_ttp;
+        self.queues.out_node.clone_from(&src.queues.out_node);
+        self.graph_response.clone_from(&src.graph_response);
+    }
+}
+
 /// The cheap result of one [`Evaluator::evaluate`] call: the two cost
 /// functions of the paper plus convergence metadata. The full
 /// [`AnalysisOutcome`] is materialized separately by [`Evaluator::outcome`].
@@ -646,6 +699,22 @@ struct SchedCacheEntry {
     pending_moved_msgs: Vec<MessageId>,
 }
 
+impl SchedCacheEntry {
+    /// Allocation-reusing assignment (see [`Scratch::sync_from`]).
+    fn sync_from(&mut self, src: &SchedCacheEntry) {
+        self.valid = src.valid;
+        self.tdma.clone_from(&src.tdma);
+        self.proc_release.clone_from(&src.proc_release);
+        self.msg_release.clone_from(&src.msg_release);
+        self.schedule.clone_from(&src.schedule);
+        self.analysis.sync_from(&src.analysis);
+        self.pending_seeds.clone_from(&src.pending_seeds);
+        self.pending_moved_procs
+            .clone_from(&src.pending_moved_procs);
+        self.pending_moved_msgs.clone_from(&src.pending_moved_msgs);
+    }
+}
+
 /// The timing state of one holistic analysis, as left in [`Scratch`] after
 /// analyzing one outer iteration's schedule. `run` ties the snapshot to the
 /// evaluation that produced it: the delta path only extends snapshots
@@ -679,6 +748,28 @@ struct AnalysisSnapshot {
 }
 
 impl AnalysisSnapshot {
+    /// Allocation-reusing assignment (see [`Scratch::sync_from`]).
+    fn sync_from(&mut self, src: &AnalysisSnapshot) {
+        self.run = src.run;
+        self.stable = src.stable;
+        self.diverged = src.diverged;
+        self.po.clone_from(&src.po);
+        self.pj.clone_from(&src.pj);
+        self.pw.clone_from(&src.pw);
+        self.pr.clone_from(&src.pr);
+        self.can_o.clone_from(&src.can_o);
+        self.can_j.clone_from(&src.can_j);
+        self.can_w.clone_from(&src.can_w);
+        self.can_r.clone_from(&src.can_r);
+        self.ttp_o.clone_from(&src.ttp_o);
+        self.ttp_j.clone_from(&src.ttp_j);
+        self.ttp_w.clone_from(&src.ttp_w);
+        self.ttp_r.clone_from(&src.ttp_r);
+        self.arrival.clone_from(&src.arrival);
+        self.backlog.clone_from(&src.backlog);
+        self.fifo_warm.clone_from(&src.fifo_warm);
+    }
+
     /// Stamps the snapshot from the scratch state (allocation-reusing).
     fn save(&mut self, s: &Scratch, run: u64, stable: bool) {
         self.run = run;
@@ -1133,6 +1224,174 @@ impl<'s> Evaluator<'s> {
     /// analysis vs a full re-analysis, since construction.
     pub fn delta_stats(&self) -> (u64, u64) {
         (self.delta_evals, self.full_evals)
+    }
+
+    /// Mirrors every piece of mutable evaluation state from `src`, reusing
+    /// `self`'s allocations. Afterwards `self` behaves exactly like `src`:
+    /// the next evaluation extends the same snapshots and returns the same
+    /// bits the call would return on `src`. (The scheduling staging buffers
+    /// `sched_tmp`/`diff_procs`/`diff_msgs` are skipped — they are
+    /// overwritten before every read.)
+    fn clone_state_from(&mut self, src: &Evaluator<'s>) {
+        debug_assert!(std::ptr::eq(self.system, src.system));
+        while self.sched_cache.len() < src.sched_cache.len() {
+            self.sched_cache.push(SchedCacheEntry::default());
+        }
+        self.sched_cache.truncate(src.sched_cache.len());
+        for (dst, entry) in self.sched_cache.iter_mut().zip(&src.sched_cache) {
+            dst.sync_from(entry);
+        }
+        self.sched_priorities.clone_from(&src.sched_priorities);
+        self.sched_round = src.sched_round;
+        match (&mut self.last_validated, &src.last_validated) {
+            (Some(dst), Some(src_cfg)) => dst.clone_from(src_cfg),
+            (dst, src_cfg) => *dst = src_cfg.clone(),
+        }
+        self.last_validated_ok = src.last_validated_ok;
+        self.scratch.sync_from(&src.scratch);
+        self.has_run = src.has_run;
+        self.last_converged = src.last_converged;
+        self.last_iterations = src.last_iterations;
+        self.last_settled = src.last_settled;
+        self.last_sched_slot = src.last_sched_slot;
+        self.last_holistic_stable = src.last_holistic_stable;
+        self.run_counter = src.run_counter;
+        self.last_success_run = src.last_success_run;
+        match (&mut self.success_config, &src.success_config) {
+            (Some(dst), Some(src_cfg)) => dst.clone_from(src_cfg),
+            (dst, src_cfg) => *dst = src_cfg.clone(),
+        }
+        self.swap_only_change = src.swap_only_change;
+        self.delta_live = src.delta_live;
+        self.delta_evals = src.delta_evals;
+        self.full_evals = src.full_evals;
+    }
+
+    /// Evaluates a whole batch of sibling candidates against this
+    /// evaluator's state, data-parallel across the lanes of `scratch`.
+    ///
+    /// Each request is evaluated exactly as
+    /// [`evaluate_delta`](Self::evaluate_delta)`(&req.config, &req.seeds)`
+    /// would evaluate it from this evaluator's *current* state (the shared
+    /// base): a lane whose candidate passes the delta preconditions mirrors
+    /// the base's converged state (the shared prefix, distributed by
+    /// allocation-reusing copy) and re-climbs only its own dirty cone (the
+    /// divergent tail); any other candidate takes the full fixed point in
+    /// its lane. Results come back in request order and are **bit-identical**
+    /// to N sequential `evaluate_delta` calls from this base state — see
+    /// the [`BatchScratch`] docs for the contract and when batching
+    /// degrades to sequential work.
+    ///
+    /// The primary state is left untouched (only the aggregate
+    /// [`delta_stats`](Self::delta_stats) absorb the lanes' holistic-pass
+    /// counts), so the accumulated-seed discipline of a search loop carries
+    /// over unchanged: every request's seeds are relative to the same base.
+    /// Use [`adopt_lane`](Self::adopt_lane) to step onto an accepted
+    /// candidate.
+    ///
+    /// Infeasible candidates are not an error of the batch: their lane
+    /// reports its [`AnalysisError`] in the returned vector, exactly as the
+    /// sequential call would.
+    pub fn evaluate_batch(
+        &mut self,
+        scratch: &mut BatchScratch<'s>,
+        requests: &[BatchRequest],
+    ) -> Vec<Result<EvalSummary, AnalysisError>> {
+        scratch.live = 0;
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // A scratch carried over from another system: rebuild the lanes.
+        if scratch
+            .lanes
+            .first()
+            .is_some_and(|lane| !std::ptr::eq(lane.eval.system, self.system))
+        {
+            scratch.lanes.clear();
+        }
+        while scratch.lanes.len() < requests.len() {
+            scratch.lanes.push(Lane {
+                eval: Evaluator::new(self.system, self.params),
+                result: None,
+                stats_gain: (0, 0),
+            });
+        }
+        // Mirror `evaluate_delta`'s latch on the primary: once a search
+        // issues non-structural delta work, every primary evaluation keeps
+        // stamping snapshot baselines for the next delta call.
+        if requests.iter().any(|r| !r.seeds.is_structural()) {
+            self.delta_live = true;
+        }
+        // Plan on the shared base *before* the lanes run: applicability is
+        // a property of (base state, candidate), identical for every lane.
+        let plans: Vec<bool> = requests
+            .iter()
+            .map(|r| self.delta_applicable(&r.config, &r.seeds))
+            .collect();
+        let primary: &Evaluator<'s> = self;
+        scratch.lanes[..requests.len()]
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, lane)| {
+                let req = &requests[i];
+                if plans[i] {
+                    // The sync overwrites the lane's pass counters with the
+                    // primary aggregate, so the baseline is read after it.
+                    lane.eval.clone_state_from(primary);
+                } else if !req.seeds.is_structural() {
+                    // Full path: no base state needed — but keep the
+                    // delta-live latch consistent with the sequential call.
+                    lane.eval.delta_live = true;
+                }
+                let (d0, f0) = lane.eval.delta_stats();
+                let result = if plans[i] {
+                    lane.eval.evaluate_delta(&req.config, &req.seeds)
+                } else {
+                    lane.eval.evaluate(&req.config)
+                };
+                let (d1, f1) = lane.eval.delta_stats();
+                lane.stats_gain = (d1 - d0, f1 - f0);
+                lane.result = Some(result);
+            });
+        scratch.live = requests.len();
+        let mut results = Vec::with_capacity(requests.len());
+        for lane in &scratch.lanes[..requests.len()] {
+            self.delta_evals += lane.stats_gain.0;
+            self.full_evals += lane.stats_gain.1;
+            results.push(lane.result.clone().expect("every live lane evaluated"));
+        }
+        results
+    }
+
+    /// Makes lane `index` of the last [`evaluate_batch`](Self::evaluate_batch)
+    /// the primary state: after the call this evaluator holds exactly the
+    /// state a sequential [`evaluate_delta`](Self::evaluate_delta) of that
+    /// candidate would have left behind — its snapshots are the delta
+    /// baseline of the next call, its configuration is the accumulated
+    /// seeds' new base, and [`outcome`](Self::outcome) materializes the
+    /// candidate's result maps. O(1): the two states are swapped, not
+    /// copied (the lane inherits the old primary state and is re-synced by
+    /// the next batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the last batch or the lane's evaluation
+    /// failed (an invalid candidate leaves no state worth adopting).
+    pub fn adopt_lane(&mut self, scratch: &mut BatchScratch<'s>, index: usize) {
+        assert!(
+            index < scratch.live,
+            "adopt_lane: lane {index} is not part of the last batch"
+        );
+        let lane = &mut scratch.lanes[index];
+        assert!(
+            matches!(lane.result, Some(Ok(_))),
+            "adopt_lane: lane {index} holds no successful evaluation"
+        );
+        std::mem::swap(self, &mut lane.eval);
+        // The batch already folded every lane's holistic-pass gains into
+        // the primary aggregate; keep that aggregate on the primary.
+        std::mem::swap(&mut self.delta_evals, &mut lane.eval.delta_evals);
+        std::mem::swap(&mut self.full_evals, &mut lane.eval.full_evals);
     }
 
     /// Whether the delta preconditions hold for `config`: non-structural

@@ -186,6 +186,23 @@ fn span_extend<T: Copy + Ord>(span: &mut Option<(T, T)>, v: T) {
 }
 
 impl DirtySet {
+    /// Allocation-reusing assignment from another dirty set (batch lanes
+    /// mirror the primary evaluator's state before re-climbing their tails).
+    pub(crate) fn sync_from(&mut self, src: &DirtySet) {
+        self.procs.clone_from(&src.procs);
+        self.can.clone_from(&src.can);
+        self.ttp.clone_from(&src.ttp);
+        self.frame.clone_from(&src.frame);
+        self.graphs.clone_from(&src.graphs);
+        self.nodes.clone_from(&src.nodes);
+        self.count = src.count;
+        self.probe_ok = src.probe_ok;
+        self.eq_node_span.clone_from(&src.eq_node_span);
+        self.eq_can_span = src.eq_can_span;
+        self.eq_fifo_span = src.eq_fifo_span;
+        self.work.clone_from(&src.work);
+    }
+
     fn reset(&mut self, ctx: &SystemContext) {
         let n_p = ctx.proc_is_tt.len();
         let n_m = ctx.route.len();

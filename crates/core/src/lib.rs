@@ -43,6 +43,13 @@
 //! snapshots — bit-identical to a full evaluation, at a fraction of the
 //! kernel work.
 //!
+//! [`Evaluator::evaluate_batch`] lifts the same contract to whole candidate
+//! *neighborhoods*: N sibling configurations share the base's converged
+//! state once and re-climb their divergent tails data-parallel across
+//! reusable [`BatchScratch`] lanes — bit-identical to N sequential
+//! [`Evaluator::evaluate_delta`] calls from the same base state (see the
+//! [`batch`](self) module docs on `BatchRequest`/`BatchScratch`).
+//!
 //! # Examples
 //!
 //! ```
@@ -86,6 +93,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod context;
 mod delta;
 mod holistic;
@@ -97,6 +105,7 @@ mod rta;
 mod schedulability;
 mod validate;
 
+pub use batch::{BatchRequest, BatchScratch};
 pub use context::{EvalSummary, Evaluator};
 pub use delta::DeltaSeeds;
 pub use multicluster::{multi_cluster_scheduling, AnalysisError, AnalysisParams, FifoBound};

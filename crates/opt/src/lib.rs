@@ -108,7 +108,7 @@ pub use annealing::{anneal, sa_resources, sa_schedule};
 pub use annealing::{sa_start, Sa, SaParams};
 pub use cost::{evaluate, resource_cost, Evaluation};
 pub use hopa::{hopa_priorities, Hopa};
-pub use moves::{neighborhood, Move, MoveUndo};
+pub use moves::{neighborhood, neighborhood_into, Move, MoveUndo};
 #[allow(deprecated)]
 pub use or::optimize_resources;
 pub use or::{Or, OrDetails, OrParams, OrResult};

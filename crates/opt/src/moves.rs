@@ -207,6 +207,16 @@ impl MoveUndo {
 /// outcome (offsets, slacks, priority orders).
 pub fn neighborhood(system: &System, eval: &Evaluation) -> Vec<Move> {
     let mut moves = Vec::new();
+    neighborhood_into(system, eval, &mut moves);
+    moves
+}
+
+/// [`neighborhood`], writing into a caller-owned buffer: `moves` is cleared
+/// and refilled, so scan loops that regenerate the neighborhood every
+/// iteration reuse one allocation instead of building a fresh `Vec` per
+/// step.
+pub fn neighborhood_into(system: &System, eval: &Evaluation, moves: &mut Vec<Move>) {
+    moves.clear();
     let config = &eval.config;
     let app = &system.application;
     let arch = &system.architecture;
@@ -294,7 +304,6 @@ pub fn neighborhood(system: &System, eval: &Evaluation) -> Vec<Move> {
             moves.push(Move::PinMessage(m.id(), arrival + round));
         }
     }
-    moves
 }
 
 #[cfg(test)]

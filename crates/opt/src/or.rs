@@ -17,7 +17,7 @@ use mcs_core::{DeltaSeeds, EvalSummary};
 use mcs_model::{System, SystemConfig};
 
 use crate::cost::{materialize, Evaluation};
-use crate::moves::neighborhood;
+use crate::moves::{neighborhood_into, Move};
 use crate::os::{Os, OsParams, OsResult};
 use crate::synthesis::{SearchCtx, SearchEvent, Strategy, Synthesis, SynthesisError};
 
@@ -131,6 +131,10 @@ impl Strategy for Or {
         if os_summary.is_schedulable() {
             ctx.emit(SearchEvent::Phase { name: "hill-climb" });
             let mut global_best = os_summary;
+            // Neighborhood and sample buffers, reused across iterations and
+            // seeds (no per-step allocation).
+            let mut moves: Vec<Move> = Vec::new();
+            let mut sampled: Vec<Move> = Vec::new();
             for seed in &os_seeds {
                 if ctx.exhausted() {
                     break;
@@ -140,25 +144,30 @@ impl Strategy for Or {
                 };
                 let mut current_summary = summary;
                 let mut current = materialize(ctx.evaluator(), seed.clone(), summary);
-                // Delta-RTA seed accumulation across the in-place neighbor
-                // scan (cleared after every successful evaluation, re-fed
-                // on revert).
+                // Delta-RTA seeds carried since the last completed
+                // evaluation (always relative to `current`: every accepted
+                // step re-anchors with a full evaluation).
                 let mut seeds = DeltaSeeds::new();
                 for _ in 0..self.params.max_iterations {
                     if ctx.exhausted() {
                         break;
                     }
-                    let moves = neighborhood(system, &current);
+                    neighborhood_into(system, &current, &mut moves);
                     let stride = (moves.len() / self.params.neighbor_sample.max(1)).max(1);
-                    let mut work = current.config.clone();
+                    sampled.clear();
+                    sampled.extend(moves.iter().copied().step_by(stride));
+                    // Fan the sampled neighborhood out as one batch, then
+                    // consume in scan order: per-candidate results, budget
+                    // accounting and the event stream are exactly the
+                    // sequential loop's.
+                    ctx.evaluate_candidates(&current.config, &seeds, &sampled);
                     let mut best_neighbor: Option<(EvalSummary, SystemConfig)> = None;
-                    for mv in moves.into_iter().step_by(stride) {
+                    for index in 0..sampled.len() {
                         if ctx.exhausted() {
                             break;
                         }
-                        let undo = mv.apply_undoable_seeded(&mut work, &mut seeds);
                         climb_evaluations += 1;
-                        match ctx.evaluate_delta(&work, &seeds) {
+                        match ctx.consume_candidate(index) {
                             Ok(summary) => {
                                 seeds.clear();
                                 let mut better = false;
@@ -168,7 +177,8 @@ impl Strategy for Or {
                                         Some((b, _)) => summary.total_buffers < b.total_buffers,
                                     };
                                     if better {
-                                        best_neighbor = Some((summary, work.clone()));
+                                        best_neighbor =
+                                            Some((summary, ctx.candidate_config(index).clone()));
                                     }
                                 }
                                 ctx.emit(SearchEvent::Evaluated {
@@ -181,8 +191,6 @@ impl Strategy for Or {
                                 evaluations: ctx.evaluations(),
                             }),
                         }
-                        undo.record_seeds(&mut seeds);
-                        undo.revert(&mut work);
                     }
                     match best_neighbor {
                         Some((summary, config))

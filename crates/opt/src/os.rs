@@ -147,28 +147,53 @@ impl Strategy for Os {
         // Every OS candidate changes the TDMA round (slot order or length),
         // so the delta path degenerates to the full fixed point by design;
         // the structural seed set documents that through the uniform entry
-        // point.
+        // point — the batch still wins core-level parallelism across lanes.
         let structural = DeltaSeeds::structural();
+        // Candidate counts per tried `j`, reused across positions.
+        let mut groups: Vec<(usize, usize)> = Vec::new();
 
         'positions: for position in 0..slots.len() {
-            let mut best_here: Option<(EvalSummary, SystemConfig, usize, u32)> = None;
+            if ctx.exhausted() {
+                // Between candidates the slot vector is consistent;
+                // keep whatever the committed prefix achieved.
+                break 'positions;
+            }
+            // Fan out the whole position scan as one batch: every remaining
+            // node at this position × every recommended length for it.
+            ctx.begin_candidates();
+            groups.clear();
             for j in position..slots.len() {
-                if ctx.exhausted() {
-                    // Between candidates the slot vector is consistent;
-                    // keep whatever the committed prefix achieved.
-                    break 'positions;
-                }
                 slots.swap(position, j);
                 let node = slots[position].node;
                 let lengths = recommended_lengths(system, node);
+                let saved = slots[position].capacity_bytes;
+                let mut count = 0;
                 for &len in lengths.iter().take(self.params.max_slot_candidates.max(1)) {
-                    let saved = slots[position].capacity_bytes;
                     slots[position].capacity_bytes = len.max(caps[&node]);
                     let tdma = TdmaConfig::new(slots.clone());
                     let priorities = hopa_priorities(system, &tdma);
                     let config = SystemConfig::new(tdma, priorities);
-                    if let Ok(summary) = ctx.evaluate_delta(&config, &structural) {
-                        pool.offer(&summary, &config);
+                    ctx.push_candidate(&config, &structural);
+                    count += 1;
+                }
+                slots[position].capacity_bytes = saved;
+                slots.swap(position, j);
+                groups.push((j, count));
+            }
+            ctx.evaluate_candidates_queued();
+
+            // Consume in scan order: results, budget accounting and the
+            // event stream are exactly the sequential loop's — speculative
+            // candidates past an exhausted budget are never consumed.
+            let mut best_here: Option<(EvalSummary, SystemConfig, usize, u32)> = None;
+            let mut index = 0;
+            for (group, &(j, count)) in groups.iter().enumerate() {
+                if group > 0 && ctx.exhausted() {
+                    break 'positions;
+                }
+                for _ in 0..count {
+                    if let Ok(summary) = ctx.consume_candidate(index) {
+                        pool.offer(&summary, ctx.candidate_config(index));
                         let better = match &best_here {
                             None => true,
                             Some((cur, _, _, _)) => {
@@ -182,16 +207,17 @@ impl Strategy for Os {
                             accepted: better,
                         });
                         if better {
-                            best_here = Some((summary, config, j, slots[position].capacity_bytes));
+                            let config = ctx.candidate_config(index).clone();
+                            let capacity = config.tdma.slots()[position].capacity_bytes;
+                            best_here = Some((summary, config, j, capacity));
                         }
                     } else {
                         ctx.emit(SearchEvent::Infeasible {
                             evaluations: ctx.evaluations(),
                         });
                     }
-                    slots[position].capacity_bytes = saved;
+                    index += 1;
                 }
-                slots.swap(position, j);
             }
             // Commit the best node/length for this position.
             if let Some((summary, config, j, len)) = best_here {

@@ -83,10 +83,13 @@ use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
-use mcs_core::{AnalysisError, AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
+use mcs_core::{
+    AnalysisError, AnalysisParams, BatchRequest, BatchScratch, DeltaSeeds, EvalSummary, Evaluator,
+};
 use mcs_model::{System, SystemConfig};
 
 use crate::cost::{materialize, resource_cost, Evaluation};
+use crate::moves::Move;
 
 // ---------------------------------------------------------------------------
 // Budget & cancellation
@@ -232,7 +235,7 @@ impl CancelToken {
 // ---------------------------------------------------------------------------
 
 /// One structured step of a synthesis run, in emission order.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SearchEvent {
     /// The driver handed control to the strategy.
     Started {
@@ -448,6 +451,14 @@ pub struct SearchCtx<'s, 'a, 'run> {
     incumbent: Option<(EvalSummary, SystemConfig)>,
     trajectory: Vec<TrajectoryPoint>,
     replay: Option<ReplayState>,
+    /// Candidate fan-out state of the batch API
+    /// ([`evaluate_candidates`](SearchCtx::evaluate_candidates)): the
+    /// evaluator lanes, the request slots (allocation-reused across
+    /// batches) and the results of the last batch.
+    batch: BatchScratch<'s>,
+    batch_requests: Vec<BatchRequest>,
+    batch_len: usize,
+    batch_results: Vec<Result<EvalSummary, AnalysisError>>,
 }
 
 /// Bookkeeping of a [`Synthesis::resume_from`] continuation: events up to
@@ -551,6 +562,131 @@ impl<'s, 'a, 'run> SearchCtx<'s, 'a, 'run> {
     ) -> Result<EvalSummary, AnalysisError> {
         self.evaluations += 1;
         self.evaluator.evaluate_delta(config, seeds)
+    }
+
+    // -- Candidate batches ---------------------------------------------------
+    //
+    // A strategy that fans out sibling candidates (OS's per-position slot
+    // scans, OR's neighborhood scan, SA's speculative proposal window)
+    // submits them all at once and then *consumes* the pre-computed results
+    // in its original sequential order:
+    //
+    //   ctx.begin_candidates();
+    //   for c in candidates { ctx.push_candidate(&config_c, &seeds_c); }
+    //   ctx.evaluate_candidates_queued();
+    //   for i in 0..n { ... ctx.consume_candidate(i) ... }
+    //
+    // Evaluating the batch does NOT count against the budget; each
+    // `consume_candidate` counts exactly one evaluation, at the moment the
+    // sequential loop would have performed it. Results are bit-identical to
+    // sequential `evaluate_delta` calls from the same base state
+    // ([`Evaluator::evaluate_batch`]), so the strategy's decisions — and
+    // with them the whole event stream — are unchanged; speculative
+    // candidates that are never consumed (budget exhausted mid-scan, an SA
+    // window broken by an accept) simply never existed as far as the budget
+    // and the observers are concerned.
+
+    /// Starts a fresh candidate batch, clearing any previous one (request
+    /// slots and lanes keep their allocations).
+    pub fn begin_candidates(&mut self) {
+        self.batch_len = 0;
+        self.batch_results.clear();
+    }
+
+    /// Appends one candidate — a full configuration plus delta seeds
+    /// relative to the evaluator's last completed analysis, exactly as
+    /// [`evaluate_delta`](Self::evaluate_delta) would take them — and
+    /// returns its index in the batch.
+    pub fn push_candidate(&mut self, config: &SystemConfig, seeds: &DeltaSeeds) -> usize {
+        let index = self.batch_len;
+        if self.batch_requests.len() <= index {
+            self.batch_requests.push(BatchRequest::default());
+        }
+        let slot = &mut self.batch_requests[index];
+        slot.config.clone_from(config);
+        slot.seeds.clear();
+        slot.seeds.merge(seeds);
+        self.batch_len = index + 1;
+        index
+    }
+
+    /// Evaluates every pushed candidate data-parallel across the batch
+    /// lanes ([`Evaluator::evaluate_batch`]). Does **not** count against
+    /// the budget — consumption does.
+    pub fn evaluate_candidates_queued(&mut self) {
+        self.batch_results = self
+            .evaluator
+            .evaluate_batch(&mut self.batch, &self.batch_requests[..self.batch_len]);
+    }
+
+    /// Convenience fan-out for move-generated neighborhoods: builds one
+    /// candidate per move — `base` with the move applied, seeding
+    /// `carried` (the seeds accumulated since the last completed
+    /// evaluation) plus the move's own seeds — and evaluates the whole
+    /// batch. Returns the batch width.
+    pub fn evaluate_candidates(
+        &mut self,
+        base: &SystemConfig,
+        carried: &DeltaSeeds,
+        moves: &[Move],
+    ) -> usize {
+        self.begin_candidates();
+        for (index, mv) in moves.iter().enumerate() {
+            if self.batch_requests.len() <= index {
+                self.batch_requests.push(BatchRequest::default());
+            }
+            let slot = &mut self.batch_requests[index];
+            slot.config.clone_from(base);
+            slot.seeds.clear();
+            slot.seeds.merge(carried);
+            let _undo = mv.apply_undoable_seeded(&mut slot.config, &mut slot.seeds);
+            self.batch_len = index + 1;
+        }
+        self.evaluate_candidates_queued();
+        self.batch_len
+    }
+
+    /// Width of the current batch.
+    pub fn batch_len(&self) -> usize {
+        self.batch_len
+    }
+
+    /// The configuration of candidate `index` of the current batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the batch.
+    pub fn candidate_config(&self, index: usize) -> &SystemConfig {
+        assert!(
+            index < self.batch_len,
+            "candidate {index} outside the batch"
+        );
+        &self.batch_requests[index].config
+    }
+
+    /// Consumes the pre-computed result of candidate `index`: counts one
+    /// evaluation against the budget — exactly as the sequential
+    /// [`evaluate_delta`](Self::evaluate_delta) call it replaces would —
+    /// and returns the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was not evaluated or `index` is out of range.
+    pub fn consume_candidate(&mut self, index: usize) -> Result<EvalSummary, AnalysisError> {
+        assert!(
+            index < self.batch_results.len(),
+            "candidate {index} outside the evaluated batch"
+        );
+        self.evaluations += 1;
+        self.batch_results[index].clone()
+    }
+
+    /// Adopts candidate `index`'s lane as the evaluator's primary state
+    /// ([`Evaluator::adopt_lane`]): afterwards the evaluator holds exactly
+    /// what a sequential `evaluate_delta` of that candidate would have left,
+    /// so subsequent delta evaluations may seed against it.
+    pub fn adopt_candidate(&mut self, index: usize) {
+        self.evaluator.adopt_lane(&mut self.batch, index);
     }
 
     /// The current incumbent, if any was recorded yet.
@@ -842,6 +978,10 @@ impl<'s, 'a> Synthesis<'s, 'a> {
                 matched: 0,
                 diverged: false,
             }),
+            batch: BatchScratch::new(),
+            batch_requests: Vec::new(),
+            batch_len: 0,
+            batch_results: Vec::new(),
         };
         ctx.emit(SearchEvent::Started {
             strategy: strategy.name(),

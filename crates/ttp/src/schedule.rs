@@ -28,13 +28,36 @@ pub struct FramePlacement {
 /// analysis fixed point reads `start`/`frame` with a bounds-checked index
 /// instead of a hash lookup (these are the hottest lookups of the holistic
 /// pass).
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct TtcSchedule {
     starts: Vec<Option<Time>>,
     frames: Vec<Option<FramePlacement>>,
     start_count: usize,
     frame_count: usize,
     makespan: Time,
+}
+
+impl Clone for TtcSchedule {
+    fn clone(&self) -> Self {
+        TtcSchedule {
+            starts: self.starts.clone(),
+            frames: self.frames.clone(),
+            start_count: self.start_count,
+            frame_count: self.frame_count,
+            makespan: self.makespan,
+        }
+    }
+
+    /// Allocation-reusing: `source`'s entries land in `self`'s buffers (the
+    /// reusable analysis context and the batch lanes re-assign schedules
+    /// many times per synthesis run).
+    fn clone_from(&mut self, source: &Self) {
+        self.starts.clone_from(&source.starts);
+        self.frames.clone_from(&source.frames);
+        self.start_count = source.start_count;
+        self.frame_count = source.frame_count;
+        self.makespan = source.makespan;
+    }
 }
 
 impl PartialEq for TtcSchedule {

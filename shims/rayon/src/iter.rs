@@ -18,6 +18,28 @@ pub trait IntoParallelRefIterator<'a> {
     fn par_iter(&'a self) -> ParIter<Self::Item>;
 }
 
+/// Conversion into a parallel iterator over mutably borrowed items
+/// (rayon's `IntoParallelRefMutIterator`): the indexed lockstep primitive
+/// the batch evaluator drives its per-candidate lanes with.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The mutably borrowed element type.
+    type Item: Send + 'a;
+    /// Starts the parallel pipeline over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+/// Parallel operations over mutable slices (rayon's `ParallelSliceMut`
+/// subset): disjoint chunks processed across workers.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
 impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
     fn into_par_iter(self) -> ParIter<T> {
@@ -56,6 +78,33 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
 /// A materialized parallel iterator.
 pub struct ParIter<T> {
     items: Vec<T>,
@@ -72,6 +121,24 @@ impl<T: Send> ParIter<T> {
             items: self.items,
             f,
         }
+    }
+
+    /// Pairs every item with its position in the original sequence
+    /// (rayon's indexed `enumerate`). Indices are assigned before any
+    /// parallel dispatch, so they are deterministic regardless of worker
+    /// scheduling.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Consumes every item with `f` in parallel, for side effects.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        crate::parallel_map(self.items, &|item| f(item));
     }
 }
 

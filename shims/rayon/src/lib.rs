@@ -16,7 +16,10 @@ use std::sync::Mutex;
 
 pub mod prelude {
     //! The usual rayon imports.
-    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSliceMut,
+    };
 }
 
 pub mod iter;
@@ -38,6 +41,13 @@ where
         let rb = handle.join().expect("rayon shim: joined task panicked");
         (ra, rb)
     })
+}
+
+/// The number of worker threads parallel iterators will use —
+/// `RAYON_NUM_THREADS` if set, else the machine's available parallelism.
+/// Mirrors `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    num_threads()
 }
 
 pub(crate) fn num_threads() -> usize {
@@ -106,5 +116,54 @@ mod tests {
         let (a, b) = crate::join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut items: Vec<u64> = (0..257).collect();
+        items.par_iter_mut().for_each(|x| *x *= 3);
+        assert_eq!(items, (0..257).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_indices_match_positions() {
+        let mut items = vec![0usize; 100];
+        items
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = i * i);
+        assert_eq!(items, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_map_collect_preserves_order() {
+        let mut items: Vec<u32> = (0..64).collect();
+        let seen: Vec<u32> = items
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert_eq!(seen, (1..=64).collect::<Vec<_>>());
+        assert_eq!(items, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_disjoint_chunk() {
+        let mut items = vec![1u64; 10];
+        items.par_chunks_mut(3).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = ci as u64;
+            }
+        });
+        assert_eq!(items, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be non-zero")]
+    fn par_chunks_mut_rejects_zero() {
+        let mut items = [1u8; 4];
+        items.par_chunks_mut(0).for_each(|_| {});
     }
 }
