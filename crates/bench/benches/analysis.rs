@@ -400,7 +400,10 @@ fn bench_simulator(c: &mut Criterion) {
     let outcome =
         multi_cluster_scheduling(&cc.system, &os.best.config, &analysis).expect("analyzable");
     group.bench_function("cruise_4_activations", |b| {
-        b.iter(|| simulate(&cc.system, &os.best.config, &outcome, &SimParams::default()))
+        b.iter(|| {
+            simulate(&cc.system, &os.best.config, &outcome, &SimParams::default())
+                .expect("simulable")
+        })
     });
     group.finish();
 }

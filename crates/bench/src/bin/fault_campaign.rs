@@ -1,0 +1,161 @@
+//! Seeded fault-injection soundness campaign driver.
+//!
+//! Fans a grid of `(instance × configuration style × fault scenario ×
+//! seeds)` cells through analysis, nominal simulation and fault-injecting
+//! simulation (see [`mcs_bench::campaign`]), writing one JSON line per cell
+//! to `BENCH_campaign.jsonl` and a one-line summary object to
+//! `BENCH_campaign.json`. The run fails (exit 1, offending lines printed)
+//! on any **hard** finding: a nominal soundness violation or a CAN
+//! frame-conservation breach. Fault-induced degradation is counted, not
+//! fatal.
+//!
+//! Every cell is a pure function of `(--seed, index)`: to replay a cell
+//! from a previous run's record, pass the same `--seed` (and `--activations`
+//! / `--os-one-in` if overridden) plus `--cell K` — the cell's JSON line is
+//! reproduced byte for byte on stdout.
+//!
+//! Usage:
+//! `cargo run --release -p mcs-bench --bin fault_campaign [-- FLAGS]`
+//!
+//! | flag | effect |
+//! |---|---|
+//! | `--cells N` | grid size (default 64) |
+//! | `--seed S` | campaign base seed (default 0xC0FFEE00) |
+//! | `--activations N` | simulated activations per graph (default 2) |
+//! | `--os-one-in N` | 1-in-N cells use OS synthesis; 0 disables (default 4) |
+//! | `--cell K` | replay exactly cell K, print its line, write nothing |
+//! | `--smoke` | the CI profile: 256 cells, fixed seed, bounded deadline |
+//! | `--jsonl PATH` | per-cell record path override |
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mcs_bench::campaign::{run_campaign, run_cells, CampaignSpec};
+
+struct Args {
+    spec: CampaignSpec,
+    replay: Option<u64>,
+    jsonl: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec: CampaignSpec::default(),
+        replay: None,
+        jsonl: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let next_u64 = |flag: &str, it: &mut dyn Iterator<Item = String>| -> u64 {
+        it.next()
+            .and_then(|v| {
+                let v = v.trim();
+                match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => v.parse().ok(),
+                }
+            })
+            .unwrap_or_else(|| panic!("{flag} takes an unsigned integer"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cells" => args.spec.cells = next_u64("--cells", &mut it),
+            "--seed" => args.spec.seed = next_u64("--seed", &mut it),
+            "--activations" => args.spec.activations = next_u64("--activations", &mut it),
+            "--os-one-in" => args.spec.os_one_in = next_u64("--os-one-in", &mut it),
+            "--cell" => args.replay = Some(next_u64("--cell", &mut it)),
+            "--smoke" => {
+                args.spec.cells = 256;
+                args.spec.seed = 0xC0_FFEE;
+                args.spec.activations = 2;
+                args.spec.os_one_in = 8;
+                args.spec.deadline = Duration::from_secs(30);
+            }
+            "--jsonl" => args.jsonl = Some(it.next().expect("--jsonl takes a path")),
+            other => panic!(
+                "unknown flag {other}; supported: --cells N, --seed S, \
+                 --activations N, --os-one-in N, --cell K, --smoke, --jsonl PATH"
+            ),
+        }
+    }
+    args
+}
+
+fn repo_root_path(name: &str) -> std::path::PathBuf {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    std::path::Path::new(root).join(name)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Replay path: run the one cell, print its record, touch no files.
+    if let Some(index) = args.replay {
+        let records = run_cells(&args.spec, &[index]);
+        let record = &records[0];
+        println!("{}", record.json_line());
+        return if record.is_hard_failure() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let (records, summary) = run_campaign(&args.spec);
+
+    let jsonl_path = args
+        .jsonl
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| repo_root_path("BENCH_campaign.jsonl"));
+    match std::fs::File::create(&jsonl_path) {
+        Ok(file) => {
+            let mut writer = mcs_core::JsonLinesWriter::new(std::io::BufWriter::new(file));
+            let mut ok = true;
+            for record in &records {
+                if let Err(e) = writer.write_line(&record.json_line()) {
+                    eprintln!("could not write {}: {e}", jsonl_path.display());
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let n = writer.records();
+                match writer.finish() {
+                    Ok(_) => println!("recorded {n} cells in {}", jsonl_path.display()),
+                    Err(e) => eprintln!("could not flush {}: {e}", jsonl_path.display()),
+                }
+            }
+        }
+        Err(e) => eprintln!("could not create {}: {e}", jsonl_path.display()),
+    }
+
+    let summary_path = repo_root_path("BENCH_campaign.json");
+    match std::fs::write(&summary_path, format!("{}\n", summary.json())) {
+        Ok(_) => println!("recorded campaign summary in {}", summary_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", summary_path.display()),
+    }
+
+    println!("{}", summary.json());
+    if summary.sound() {
+        println!(
+            "fault campaign passed: {} cells ({} verified, {} unschedulable, \
+             {} synthesis failures, {} sim failures), zero nominal violations",
+            summary.cells,
+            summary.verified,
+            summary.unschedulable,
+            summary.synthesis_failed,
+            summary.sim_failed
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("UNSOUND: hard findings detected; offending cells:");
+        for record in records.iter().filter(|r| r.is_hard_failure()) {
+            eprintln!("{}", record.json_line());
+        }
+        eprintln!(
+            "replay any cell with: fault_campaign --seed {:#x} --activations {} \
+             --os-one-in {} --cell K",
+            args.spec.seed, args.spec.activations, args.spec.os_one_in
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -25,7 +25,7 @@ use mcs_opt::{
     evaluate, hopa_priorities, neighborhood, straightforward_config, JobSpec, Os, OsParams,
     ServiceConfig, SynthesisService,
 };
-use mcs_sim::{simulate, ExecutionModel, SimParams};
+use mcs_sim::{simulate, simulate_with_faults, ExecutionModel, FaultParams, FaultPlan, SimParams};
 
 /// Wall-clock cap per OS synthesis job; generously above the typical run
 /// so it only fires on pathological instances.
@@ -52,11 +52,41 @@ fn check(system: &System, config: &SystemConfig, analysis: &AnalysisParams, labe
                 },
                 seed: sim_seed,
             },
-        );
+        )
+        .expect("generated systems are simulable");
         let violations = report.soundness_violations(system, &eval.outcome);
         assert!(
             violations.is_empty(),
             "UNSOUND ({label}, sim seed {sim_seed}): {violations:?}"
+        );
+    }
+    // Fault leg: a harsh perturbed run must conserve every corrupted frame
+    // and can never produce a *nominal* finding (an unperturbed run that
+    // escaped its bounds would classify as one and is a hard bug).
+    let plan = FaultPlan::new(FaultParams::HARSH, 0xF001);
+    let report = simulate_with_faults(
+        system,
+        config,
+        &eval.outcome,
+        &SimParams {
+            activations: 3,
+            execution: ExecutionModel::RandomUniform,
+            seed: 7,
+        },
+        Some(&plan),
+    )
+    .expect("generated systems are simulable");
+    let faults = &report.faults;
+    assert_eq!(
+        faults.can_injected,
+        faults.can_retransmitted + faults.can_dropped,
+        "frame conservation violated ({label})"
+    );
+    for finding in report.classify_findings(system, &eval.outcome) {
+        assert!(
+            !finding.is_hard(),
+            "UNSOUND ({label}, fault leg): {}",
+            finding.detail()
         );
     }
     true

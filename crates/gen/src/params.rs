@@ -2,6 +2,7 @@
 //! experimental setup of paper §6.
 
 use mcs_model::Time;
+use mcs_sim::FaultParams;
 
 /// Distribution used for worst-case execution times and message sizes
 /// (paper §6: "assigned randomly using both uniform and exponential
@@ -203,6 +204,35 @@ impl GeneratorParams {
     pub fn total_processes(&self) -> usize {
         (self.tt_nodes + self.et_nodes) * self.processes_per_node
     }
+
+    /// Named fault-injection scenarios matched to this workload, for
+    /// campaign cells (see `mcs_sim::fault`).
+    ///
+    /// The overload factor scales inversely with the target utilization:
+    /// a lightly loaded instance must be hit harder before overload is
+    /// observable, while a heavily loaded one degrades with a mild factor.
+    pub fn fault_presets(&self) -> Vec<(&'static str, FaultParams)> {
+        let overload_factor = (90_000 / self.utilization_permille.max(1)).clamp(110, 300);
+        vec![
+            ("nominal", FaultParams::NOMINAL),
+            ("lossy_can", FaultParams::LOSSY_CAN),
+            ("drifting_clocks", FaultParams::DRIFTING_CLOCKS),
+            (
+                "overload_bursts",
+                FaultParams {
+                    overload_factor_percent: overload_factor,
+                    ..FaultParams::OVERLOAD_BURSTS
+                },
+            ),
+            (
+                "harsh",
+                FaultParams {
+                    overload_factor_percent: overload_factor,
+                    ..FaultParams::HARSH
+                },
+            ),
+        ]
+    }
 }
 
 impl Default for GeneratorParams {
@@ -215,6 +245,30 @@ impl Default for GeneratorParams {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_presets_scale_overload_with_utilization() {
+        let light = GeneratorParams {
+            utilization_permille: 120,
+            ..GeneratorParams::default()
+        };
+        let heavy = GeneratorParams {
+            utilization_permille: 900,
+            ..GeneratorParams::default()
+        };
+        let factor = |p: &GeneratorParams| {
+            p.fault_presets()
+                .into_iter()
+                .find(|(name, _)| *name == "harsh")
+                .map(|(_, f)| f.overload_factor_percent)
+                .unwrap()
+        };
+        assert!(factor(&light) > factor(&heavy));
+        assert!(light
+            .fault_presets()
+            .iter()
+            .any(|(name, f)| *name == "nominal" && f.is_nominal()));
+    }
 
     #[test]
     fn paper_sizes_match_section6() {

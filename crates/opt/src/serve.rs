@@ -208,6 +208,7 @@ pub struct JobSpec {
     priority: u8,
     resume: Option<SynthesisReport>,
     retry: Option<RetryPolicy>,
+    tag: u64,
 }
 
 impl JobSpec {
@@ -230,6 +231,7 @@ impl JobSpec {
             priority: 0,
             resume: None,
             retry: None,
+            tag: 0,
         }
     }
 
@@ -272,6 +274,14 @@ impl JobSpec {
     /// Overrides the service-wide [`RetryPolicy`] for this job.
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
+        self
+    }
+
+    /// Attaches an opaque correlation tag, carried verbatim into the
+    /// [`JobRecord`] (and its JSON line when non-zero). Campaign drivers
+    /// use it to pair records with their cells without parsing names.
+    pub fn tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
         self
     }
 
@@ -398,6 +408,8 @@ pub struct JobRecord {
     /// Wall-clock from first execution start to the final outcome, in
     /// microseconds (0 for a job cancelled while queued).
     pub elapsed_micros: u64,
+    /// The correlation tag from [`JobSpec::tag`] (0 when unset).
+    pub tag: u64,
     /// How the job ended.
     pub outcome: JobOutcome,
 }
@@ -444,6 +456,9 @@ impl JobRecord {
         }
         if let Some(error) = &error {
             fields.push(("error", F::Str(error)));
+        }
+        if self.tag != 0 {
+            fields.push(("tag", F::UInt(self.tag)));
         }
         fields.push(("elapsed_micros", F::UInt(self.elapsed_micros)));
         mcs_core::json_line(&fields)
@@ -820,6 +835,7 @@ impl SynthesisService {
                     priority: queued.spec.priority,
                     attempts: 0,
                     elapsed_micros: 0,
+                    tag: queued.spec.tag,
                     outcome: JobOutcome::Cancelled {
                         partial: None,
                         cause: CancelCause::Shutdown,
@@ -885,6 +901,7 @@ fn worker_loop(shared: &Shared, tx: &Sender<JobRecord>, slot: usize) {
                 priority: queued.spec.priority,
                 attempts: 0,
                 elapsed_micros: 0,
+                tag: queued.spec.tag,
                 outcome: JobOutcome::Cancelled {
                     partial: None,
                     cause,
@@ -985,6 +1002,7 @@ fn execute_job(shared: &Shared, slot: usize, queued: QueuedJob) -> JobRecord {
         priority: spec.priority,
         attempts,
         elapsed_micros: started.elapsed().as_micros() as u64,
+        tag: spec.tag,
         outcome,
     }
 }

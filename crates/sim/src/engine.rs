@@ -10,6 +10,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,8 +23,13 @@ use mcs_model::{
 };
 use mcs_ttp::RoundSchedule;
 
+use crate::fault::{CanLoss, CanVerdict, FaultPlan, FaultState, OverloadEffect};
 use crate::report::SimReport;
 use crate::trace::TraceEvent;
+
+/// Duration of a CAN error frame plus interframe space, in bit times
+/// (flag + delimiter + intermission, rounded up to the protocol maximum).
+const ERROR_FRAME_BITS: u64 = 31;
 
 /// How process execution times are drawn.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -56,6 +62,53 @@ impl Default for SimParams {
     }
 }
 
+/// A degenerate input the simulator rejects up front instead of panicking
+/// mid-run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The application has no process graphs (or only empty ones).
+    EmptyApplication,
+    /// [`SimParams::activations`] is zero — nothing to observe.
+    ZeroHorizon,
+    /// The TDMA round has zero duration (no slots, or all zero-capacity).
+    EmptyTdmaRound,
+    /// The TDMA configuration has no slot owned by the gateway node.
+    MissingGatewaySlot,
+    /// A TT process has no entry in the schedule table of the outcome.
+    UnscheduledTtProcess(ProcessId),
+    /// A CAN-routed message has no priority in the configuration.
+    UnprioritizedMessage(MessageId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyApplication => {
+                write!(f, "the application has no process graphs to simulate")
+            }
+            SimError::ZeroHorizon => {
+                write!(f, "SimParams::activations is zero — nothing to observe")
+            }
+            SimError::EmptyTdmaRound => write!(f, "the TDMA round has zero duration"),
+            SimError::MissingGatewaySlot => {
+                write!(f, "the TDMA configuration has no slot for the gateway node")
+            }
+            SimError::UnscheduledTtProcess(p) => {
+                write!(f, "TT process {p} has no entry in the schedule table")
+            }
+            SimError::UnprioritizedMessage(m) => {
+                write!(
+                    f,
+                    "CAN-routed message {m} has no priority in the configuration"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// A process-graph activation instance.
 type Instance = (ProcessId, u64);
 type MsgInstance = (MessageId, u64);
@@ -79,6 +132,9 @@ enum Event {
     IntoOutTtp(MsgInstance),
     /// A CAN transmission completes.
     CanFinish(MsgInstance),
+    /// A CAN error frame has been signalled; the bus becomes idle again
+    /// (fault injection only — never scheduled on the nominal path).
+    CanBusIdle,
     /// The gateway slot occurrence at this round drains `Out_TTP`.
     SgDrain(u64),
     /// An `Out_TTP` frame lands at its TT destination's input buffer.
@@ -100,7 +156,7 @@ struct EtNode {
     generation: u64,
 }
 
-/// Runs the simulation.
+/// Runs the simulation on the fault-free nominal path.
 ///
 /// The TT schedule tables and frame placements are taken from `outcome`
 /// (the analysis is the system synthesis; the simulator is the "hardware").
@@ -109,18 +165,40 @@ struct EtNode {
 /// completion — which is exactly the rule the static scheduler encoded in
 /// the MEDL for activation 0 and generalizes it to every activation.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `config` is invalid for `system` (run
-/// [`mcs_core::validate_config`] first) or `outcome` does not belong to
-/// this system/config pair.
+/// Returns a [`SimError`] when the inputs are degenerate: an empty
+/// application, a zero-activation horizon, an empty TDMA round, a missing
+/// gateway slot, an unscheduled TT process, or an unprioritized CAN
+/// message.
 pub fn simulate(
     system: &System,
     config: &SystemConfig,
     outcome: &AnalysisOutcome,
     params: &SimParams,
-) -> SimReport {
-    Simulator::new(system, config, outcome, params).run()
+) -> Result<SimReport, SimError> {
+    simulate_with_faults(system, config, outcome, params, None)
+}
+
+/// Runs the simulation, optionally injecting faults from a seeded plan.
+///
+/// With `faults: None` (or a plan whose parameters are
+/// [`crate::FaultParams::NOMINAL`]) this is bit-identical to [`simulate`]:
+/// the fault layer draws from its own RNG stream, so the execution-time
+/// stream is untouched. See [`crate::fault`] for the fault model and its
+/// determinism contract.
+///
+/// # Errors
+///
+/// Same input validation as [`simulate`].
+pub fn simulate_with_faults(
+    system: &System,
+    config: &SystemConfig,
+    outcome: &AnalysisOutcome,
+    params: &SimParams,
+    faults: Option<&FaultPlan>,
+) -> Result<SimReport, SimError> {
+    Ok(Simulator::try_new(system, config, outcome, params, faults)?.run())
 }
 
 struct Simulator<'a> {
@@ -129,10 +207,15 @@ struct Simulator<'a> {
     outcome: &'a AnalysisOutcome,
     params: &'a SimParams,
     rng: StdRng,
+    faults: Option<FaultState>,
 
     rounds: RoundSchedule<'a>,
     gw_slot: SlotId,
     gw_capacity: u32,
+    /// TDMA round duration — the clock-drift resynchronization period.
+    resync: Time,
+    /// Bus occupation of one CAN error frame.
+    error_frame: Time,
 
     queue: BinaryHeap<Reverse<(Time, u8, EventKey)>>,
     events: HashMap<u64, Event>,
@@ -162,26 +245,55 @@ struct Simulator<'a> {
 type EventKey = u64;
 
 impl<'a> Simulator<'a> {
-    fn new(
+    fn try_new(
         system: &'a System,
         config: &'a SystemConfig,
         outcome: &'a AnalysisOutcome,
         params: &'a SimParams,
-    ) -> Self {
+        faults: Option<&FaultPlan>,
+    ) -> Result<Self, SimError> {
+        let app = &system.application;
+        if app.graphs().iter().all(|g| g.is_empty()) {
+            return Err(SimError::EmptyApplication);
+        }
+        if params.activations == 0 {
+            return Err(SimError::ZeroHorizon);
+        }
         let rounds = RoundSchedule::new(&config.tdma, system.architecture.ttp_params());
+        if rounds.round_duration().is_zero() {
+            return Err(SimError::EmptyTdmaRound);
+        }
         let gw_slot = rounds
             .slot_of_node(system.architecture.gateway())
-            .expect("validated configuration has a gateway slot");
+            .ok_or(SimError::MissingGatewaySlot)?;
+        for proc in app.processes() {
+            if system.architecture.is_tt_cpu(proc.node())
+                && outcome.schedule.start(proc.id()).is_none()
+            {
+                return Err(SimError::UnscheduledTtProcess(proc.id()));
+            }
+        }
+        for message in app.messages() {
+            if system.route(message.id()) != MessageRoute::TtcToTtc
+                && config.priorities.message(message.id()).is_none()
+            {
+                return Err(SimError::UnprioritizedMessage(message.id()));
+            }
+        }
         let gw_capacity = rounds.slot_capacity(gw_slot);
+        let can_params = system.architecture.can_params();
         let mut sim = Simulator {
             system,
             config,
             outcome,
             params,
             rng: StdRng::seed_from_u64(params.seed),
+            faults: faults.map(FaultState::new),
             rounds,
             gw_slot,
             gw_capacity,
+            resync: rounds.round_duration(),
+            error_frame: can_params.bit_time.saturating_mul(ERROR_FRAME_BITS),
             queue: BinaryHeap::new(),
             events: HashMap::new(),
             seq: 0,
@@ -204,7 +316,24 @@ impl<'a> Simulator<'a> {
             now: Time::ZERO,
         };
         sim.seed_events();
-        sim
+        Ok(sim)
+    }
+
+    /// Maps a nominal TTC-table instant onto the (possibly drifted) global
+    /// timeline. Identity on the nominal path; with drift enabled the
+    /// result is clamped to never fall before the current instant.
+    fn ttc_time(&mut self, t: Time) -> Time {
+        let Some(faults) = &self.faults else {
+            return t;
+        };
+        if faults.params().ttc_drift_ppm == 0 {
+            return t;
+        }
+        let (drifted, offset) = faults.drift(t, self.resync);
+        if offset > self.report.faults.max_drift {
+            self.report.faults.max_drift = offset;
+        }
+        drifted.max(self.now)
     }
 
     fn schedule(&mut self, at: Time, event: Event) {
@@ -249,6 +378,7 @@ impl<'a> Simulator<'a> {
             Event::IntoOutCan(mi) => self.copy_into_out_can(mi),
             Event::IntoOutTtp(mi) => self.append_to_out_ttp(mi),
             Event::CanFinish(mi) => self.can_finish(mi),
+            Event::CanBusIdle => self.can_bus_idle(),
             Event::SgDrain(round) => self.sg_drain(round),
             Event::TtpDeliver(inst) => self.satisfy(inst),
         }
@@ -269,31 +399,48 @@ impl<'a> Simulator<'a> {
         for p in procs {
             let preds = app.predecessors(p).len();
             self.pending.insert((p, k), preds);
-            let exec = self.draw_exec(p);
+            let exec = self.draw_exec(p, k);
             self.exec_remaining.insert((p, k), exec);
             if self.system.architecture.is_tt_cpu(app.process(p).node()) {
                 let start = self
                     .outcome
                     .schedule
                     .start(p)
-                    .expect("TT process scheduled");
-                self.schedule(start + self.activation_time(p, k), Event::TtStart(p, k));
+                    .expect("validated: TT process scheduled");
+                let at = self.ttc_time(start + self.activation_time(p, k));
+                self.schedule(at, Event::TtStart(p, k));
             } else if preds == 0 {
                 self.make_ready((p, k));
             }
         }
     }
 
-    fn draw_exec(&mut self, p: ProcessId) -> Time {
+    fn draw_exec(&mut self, p: ProcessId, k: u64) -> Time {
         let proc = self.system.application.process(p);
-        match self.params.execution {
+        let base = match self.params.execution {
             ExecutionModel::WorstCase => proc.wcet(),
             ExecutionModel::RandomUniform => {
                 let lo = proc.bcet().ticks();
                 let hi = proc.wcet().ticks();
                 Time::from_ticks(self.rng.gen_range(lo..=hi))
             }
+        };
+        let Some(faults) = &mut self.faults else {
+            return base;
+        };
+        let (exec, effect) = faults.inflate(p, k, base);
+        match effect {
+            OverloadEffect::Untouched => {}
+            OverloadEffect::Started => {
+                self.report.faults.overload_episodes += 1;
+                self.report.faults.overload_inflated += 1;
+                self.report
+                    .trace
+                    .push(TraceEvent::OverloadBurst(p, k, self.now));
+            }
+            OverloadEffect::Continued => self.report.faults.overload_inflated += 1,
         }
+        exec
     }
 
     fn satisfy(&mut self, inst: Instance) {
@@ -478,8 +625,10 @@ impl<'a> Simulator<'a> {
         // the sender finished past its slot (unschedulable tables).
         if let Some(placement) = self.outcome.schedule.frame(mi.0) {
             let shift = self.activation_time(message.source(), mi.1);
-            if self.now <= placement.slot_start + shift {
-                self.schedule(placement.arrival + shift, Event::TtpArrival(mi));
+            let depart = self.ttc_time(placement.slot_start + shift);
+            if self.now <= depart {
+                let arrival = self.ttc_time(placement.arrival + shift);
+                self.schedule(arrival, Event::TtpArrival(mi));
                 return;
             }
         }
@@ -495,7 +644,8 @@ impl<'a> Simulator<'a> {
             let used = self.frame_usage.entry((slot.raw(), occ.round)).or_insert(0);
             if *used + size <= capacity {
                 *used += size;
-                self.schedule(occ.end, Event::TtpArrival(mi));
+                let at = self.ttc_time(occ.end);
+                self.schedule(at, Event::TtpArrival(mi));
                 return;
             }
             occ = self.rounds.advance(occ, 1);
@@ -581,6 +731,52 @@ impl<'a> Simulator<'a> {
     }
 
     fn can_finish(&mut self, mi: MsgInstance) {
+        let verdict = match &mut self.faults {
+            Some(faults) => faults.judge_can(mi),
+            None => CanVerdict::Deliver,
+        };
+        match verdict {
+            CanVerdict::Deliver => {}
+            CanVerdict::Retransmit { retry } => {
+                // The receivers flag the corruption with an error frame; the
+                // bus stays busy while it is signalled, then the sender
+                // automatically re-enters arbitration.
+                self.report.faults.can_injected += 1;
+                self.report.faults.can_retransmitted += 1;
+                self.report.faults.loss_log.push(CanLoss {
+                    message: mi.0,
+                    activation: mi.1,
+                    at: self.now,
+                    retry,
+                    dropped: false,
+                });
+                self.report
+                    .trace
+                    .push(TraceEvent::CanCorrupted(mi.0, mi.1, self.now));
+                self.can.enqueue(self.message_priority(mi.0), mi);
+                self.schedule(self.now + self.error_frame, Event::CanBusIdle);
+                return;
+            }
+            CanVerdict::Drop { retry } => {
+                // Retry budget exhausted: the frame is lost for good. Its
+                // destination never fires — a degradation the report
+                // accounts for rather than a soundness finding.
+                self.report.faults.can_injected += 1;
+                self.report.faults.can_dropped += 1;
+                self.report.faults.loss_log.push(CanLoss {
+                    message: mi.0,
+                    activation: mi.1,
+                    at: self.now,
+                    retry,
+                    dropped: true,
+                });
+                self.report
+                    .trace
+                    .push(TraceEvent::CanDropped(mi.0, mi.1, self.now));
+                self.schedule(self.now + self.error_frame, Event::CanBusIdle);
+                return;
+            }
+        }
         self.can_busy = false;
         let (m, k) = mi;
         self.report
@@ -603,6 +799,13 @@ impl<'a> Simulator<'a> {
         self.try_start_can();
     }
 
+    /// The error frame after a corrupted transmission has been signalled;
+    /// arbitration restarts (retransmissions compete with fresh frames).
+    fn can_bus_idle(&mut self) {
+        self.can_busy = false;
+        self.try_start_can();
+    }
+
     // ----- gateway Out_TTP FIFO ----------------------------------------------
 
     fn append_to_out_ttp(&mut self, mi: MsgInstance) {
@@ -619,13 +822,17 @@ impl<'a> Simulator<'a> {
     fn schedule_sg_drain(&mut self) {
         let occ = self.rounds.next_occurrence(self.gw_slot, self.now);
         if self.sg_scheduled.insert(occ.round, ()).is_none() {
-            self.schedule(occ.start, Event::SgDrain(occ.round));
+            let at = self.ttc_time(occ.start);
+            self.schedule(at, Event::SgDrain(occ.round));
         }
     }
 
-    fn sg_drain(&mut self, _round: u64) {
-        let occ = self.rounds.next_occurrence(self.gw_slot, self.now);
-        debug_assert_eq!(occ.start, self.now, "drain fires at the slot start");
+    fn sg_drain(&mut self, round: u64) {
+        let occ = self.rounds.occurrence(self.gw_slot, round);
+        debug_assert!(
+            self.faults.is_some() || occ.start == self.now,
+            "drain fires at the slot start"
+        );
         let mut used = 0u32;
         let mut drained = Vec::new();
         while let Some(&mi) = self.out_ttp.front() {
@@ -638,12 +845,12 @@ impl<'a> Simulator<'a> {
             self.out_ttp_bytes -= u64::from(size);
             drained.push(mi);
         }
+        let arrive = self.ttc_time(occ.end);
         for mi in drained {
             self.report
                 .trace
-                .push(TraceEvent::FifoDelivered(mi.0, mi.1, occ.end));
+                .push(TraceEvent::FifoDelivered(mi.0, mi.1, arrive));
             let dest = self.system.application.message(mi.0).dest();
-            let arrive = occ.end;
             let inst = (dest, mi.1);
             // Deliver at the slot end.
             self.schedule(arrive, Event::TtpDeliver(inst));
@@ -651,7 +858,8 @@ impl<'a> Simulator<'a> {
         if !self.out_ttp.is_empty() {
             let next = self.rounds.advance(occ, 1);
             if self.sg_scheduled.insert(next.round, ()).is_none() {
-                self.schedule(next.start, Event::SgDrain(next.round));
+                let at = self.ttc_time(next.start);
+                self.schedule(at, Event::SgDrain(next.round));
             }
         }
     }

@@ -1,0 +1,446 @@
+//! Deterministic fault injection for the discrete-event simulator.
+//!
+//! The analysis of `mcs-core` bounds the *fault-free* behaviour of the
+//! two-cluster system; this module perturbs the simulated hardware so that
+//! soundness can be probed under realistic degradation. A [`FaultPlan`] is a
+//! pure value — [`FaultParams`] plus an explicit seed — that the engine
+//! consults at three dispatch points:
+//!
+//! - **CAN frame corruption/loss.** When a transmission completes, a seeded
+//!   coin decides whether the frame was corrupted on the wire. The model is
+//!   protocol-faithful: the receivers signal an error frame (the bus stays
+//!   busy for ~31 bit times), the sender automatically re-enters arbitration,
+//!   and after a bounded number of retries the frame is dropped and logged.
+//!   Every corrupted frame is accounted — retransmitted or dropped, never
+//!   silently vanished (see the `frame_conservation` proptest).
+//! - **Per-cluster clock drift.** The TTC's time base (schedule tables, MEDL
+//!   slots, the gateway's `S_G` drain) skews by a bounded ppm factor against
+//!   the simulator's global (ETC-local) clock. Clocks resynchronize at each
+//!   TDMA round boundary — the gateway's sync point — so the drift offset is
+//!   bounded by `round_duration × ppm / 10⁶` and never accumulates.
+//! - **Sporadic overload bursts.** A seeded coin starts an episode during
+//!   which a process's drawn execution times are inflated by a configurable
+//!   factor; episode lengths follow a bounded geometric distribution around
+//!   a configurable mean.
+//!
+//! # Determinism
+//!
+//! The fault layer draws from its **own** RNG stream (seeded from
+//! [`FaultPlan::seed`]), never from the execution-time stream, so:
+//!
+//! - `simulate_with_faults(.., None)` is bit-identical to
+//!   [`crate::simulate`], and so is a plan whose parameters are
+//!   [`FaultParams::NOMINAL`];
+//! - identical `(FaultParams, seed)` pairs reproduce byte-identical
+//!   [`crate::SimReport`]s (same trace, same counters, same JSON line) —
+//!   any campaign finding replays exactly from its recorded cell.
+
+use std::collections::HashMap;
+
+use rand::distributions::{Bernoulli, Distribution, Geometric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mcs_model::{MessageId, ProcessId, Time};
+
+/// Upper bound on a single overload episode, in activations. Keeps a
+/// pathological geometric sample from pinning a process in overload for the
+/// entire campaign cell.
+const MAX_BURST: u64 = 10_000;
+
+/// Fault-injection parameters (all rates are deterministic once paired with
+/// a seed in a [`FaultPlan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultParams {
+    /// Per-transmission CAN corruption probability, in permille (0–1000).
+    pub can_loss_permille: u32,
+    /// Automatic retransmissions before a corrupted frame is dropped.
+    pub can_max_retries: u32,
+    /// Signed TTC clock skew against the ETC clock, in parts per million.
+    pub ttc_drift_ppm: i32,
+    /// Per-activation probability that a process enters an overload
+    /// episode, in permille (0–1000).
+    pub overload_permille: u32,
+    /// Execution-time inflation during an overload episode, in percent
+    /// (100 = no inflation, 200 = doubled).
+    pub overload_factor_percent: u32,
+    /// Mean length of an overload episode, in activations (≥ 1).
+    pub overload_mean_burst: u32,
+}
+
+impl FaultParams {
+    /// No faults at all; `Some(&FaultPlan::new(NOMINAL, s))` is
+    /// bit-identical to the `None` path.
+    pub const NOMINAL: FaultParams = FaultParams {
+        can_loss_permille: 0,
+        can_max_retries: 0,
+        ttc_drift_ppm: 0,
+        overload_permille: 0,
+        overload_factor_percent: 100,
+        overload_mean_burst: 1,
+    };
+
+    /// A noisy CAN bus: 5% frame corruption, 3 automatic retries.
+    pub const LOSSY_CAN: FaultParams = FaultParams {
+        can_loss_permille: 50,
+        can_max_retries: 3,
+        ..FaultParams::NOMINAL
+    };
+
+    /// Drifting TTC oscillator: +250 ppm against the ETC clock.
+    pub const DRIFTING_CLOCKS: FaultParams = FaultParams {
+        ttc_drift_ppm: 250,
+        ..FaultParams::NOMINAL
+    };
+
+    /// Sporadic CPU overload: 4% of activations start an episode that
+    /// doubles execution times for ~3 activations.
+    pub const OVERLOAD_BURSTS: FaultParams = FaultParams {
+        overload_permille: 40,
+        overload_factor_percent: 200,
+        overload_mean_burst: 3,
+        ..FaultParams::NOMINAL
+    };
+
+    /// Everything at once: lossy bus, drifting clocks, overload bursts.
+    pub const HARSH: FaultParams = FaultParams {
+        can_loss_permille: 50,
+        can_max_retries: 3,
+        ttc_drift_ppm: 250,
+        overload_permille: 40,
+        overload_factor_percent: 200,
+        overload_mean_burst: 3,
+    };
+
+    /// Whether this parameter set can perturb a run at all.
+    pub fn is_nominal(&self) -> bool {
+        self.can_loss_permille == 0
+            && self.ttc_drift_ppm == 0
+            && (self.overload_permille == 0 || self.overload_factor_percent <= 100)
+    }
+}
+
+impl Default for FaultParams {
+    fn default() -> Self {
+        FaultParams::NOMINAL
+    }
+}
+
+/// A seeded, immutable fault-injection specification.
+///
+/// The plan itself carries no mutable state: the engine derives its own
+/// internal fault state (RNG stream, retry counters, burst deadlines) from
+/// it at the start of a run, so one plan can drive any number of
+/// (identical) simulations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    params: FaultParams,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from parameters and an explicit seed.
+    pub fn new(params: FaultParams, seed: u64) -> Self {
+        FaultPlan { params, seed }
+    }
+
+    /// The fault parameters.
+    pub fn params(&self) -> &FaultParams {
+        &self.params
+    }
+
+    /// The seed of the fault RNG stream.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Verdict on a CAN transmission that just completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CanVerdict {
+    /// The frame arrived intact.
+    Deliver,
+    /// The frame was corrupted; the sender retransmits (attempt `retry`).
+    Retransmit {
+        /// 1-based corruption count for this frame instance.
+        retry: u32,
+    },
+    /// The frame was corrupted past the retry budget and is dropped.
+    Drop {
+        /// Total corruption count for this frame instance.
+        retry: u32,
+    },
+}
+
+/// Effect of the overload model on one drawn execution time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OverloadEffect {
+    /// The draw was left untouched.
+    Untouched,
+    /// A new overload episode started with this draw.
+    Started,
+    /// The draw fell inside an already-running episode.
+    Continued,
+}
+
+/// Mutable per-run fault state derived from a [`FaultPlan`].
+pub(crate) struct FaultState {
+    params: FaultParams,
+    rng: StdRng,
+    loss: Option<Bernoulli>,
+    overload: Option<Bernoulli>,
+    burst: Option<Geometric>,
+    retries: HashMap<(MessageId, u64), u32>,
+    overload_until: HashMap<ProcessId, u64>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: &FaultPlan) -> Self {
+        let params = *plan.params();
+        let ratio = |permille: u32| {
+            (permille > 0)
+                .then(|| Bernoulli::from_ratio(permille.min(1000), 1000).expect("ratio <= 1"))
+        };
+        let burst = (params.overload_mean_burst > 1).then(|| {
+            Geometric::new(1.0 / f64::from(params.overload_mean_burst)).expect("p in (0,1]")
+        });
+        FaultState {
+            params,
+            rng: StdRng::seed_from_u64(plan.seed()),
+            loss: ratio(params.can_loss_permille),
+            overload: ratio(params.overload_permille),
+            burst,
+            retries: HashMap::new(),
+            overload_until: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn params(&self) -> &FaultParams {
+        &self.params
+    }
+
+    /// Judges a completed CAN transmission of frame instance `frame`.
+    pub(crate) fn judge_can(&mut self, frame: (MessageId, u64)) -> CanVerdict {
+        let Some(loss) = &self.loss else {
+            return CanVerdict::Deliver;
+        };
+        if !loss.sample(&mut self.rng) {
+            self.retries.remove(&frame);
+            return CanVerdict::Deliver;
+        }
+        let count = self.retries.entry(frame).or_insert(0);
+        *count += 1;
+        let count = *count;
+        if count <= self.params.can_max_retries {
+            CanVerdict::Retransmit { retry: count }
+        } else {
+            self.retries.remove(&frame);
+            CanVerdict::Drop { retry: count }
+        }
+    }
+
+    /// Applies the overload model to one drawn execution time of
+    /// `(process, activation)`.
+    pub(crate) fn inflate(
+        &mut self,
+        process: ProcessId,
+        activation: u64,
+        exec: Time,
+    ) -> (Time, OverloadEffect) {
+        let Some(overload) = &self.overload else {
+            return (exec, OverloadEffect::Untouched);
+        };
+        let factor = u128::from(self.params.overload_factor_percent.max(100));
+        let apply = |t: Time| {
+            let inflated = (u128::from(t.ticks()) * factor / 100).min(u128::from(u64::MAX));
+            Time::from_ticks(inflated as u64)
+        };
+        if activation < self.overload_until.get(&process).copied().unwrap_or(0) {
+            return (apply(exec), OverloadEffect::Continued);
+        }
+        if overload.sample(&mut self.rng) {
+            let extra = self
+                .burst
+                .as_ref()
+                .map(|g| g.sample(&mut self.rng))
+                .unwrap_or(0)
+                .min(MAX_BURST);
+            self.overload_until
+                .insert(process, activation.saturating_add(1 + extra));
+            (apply(exec), OverloadEffect::Started)
+        } else {
+            (exec, OverloadEffect::Untouched)
+        }
+    }
+
+    /// Maps a nominal TTC-table instant onto the drifted global timeline.
+    ///
+    /// Returns the drifted instant and the absolute drift offset applied.
+    /// The skew resets at every TDMA round boundary (`resync`), modelling
+    /// the gateway's clock-synchronization point, so the offset is bounded
+    /// by `resync × |ppm| / 10⁶`.
+    pub(crate) fn drift(&self, t: Time, resync: Time) -> (Time, Time) {
+        let ppm = self.params.ttc_drift_ppm;
+        if ppm == 0 || resync.is_zero() {
+            return (t, Time::ZERO);
+        }
+        let phase = i128::from(t.ticks() % resync.ticks());
+        let delta = phase * i128::from(ppm) / 1_000_000;
+        let drifted = (i128::from(t.ticks()) + delta).max(0);
+        (
+            Time::from_ticks(drifted.min(i128::from(u64::MAX)) as u64),
+            Time::from_ticks(delta.unsigned_abs().min(u128::from(u64::MAX)) as u64),
+        )
+    }
+}
+
+/// One dropped-or-retransmitted CAN frame, for the per-frame loss log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CanLoss {
+    /// The corrupted message.
+    pub message: MessageId,
+    /// Its activation index.
+    pub activation: u64,
+    /// When the corrupted transmission completed.
+    pub at: Time,
+    /// 1-based corruption count for this frame instance.
+    pub retry: u32,
+    /// `true` when the frame was dropped (retry budget exhausted) rather
+    /// than retransmitted.
+    pub dropped: bool,
+}
+
+/// Fault accounting of one simulation run — all zero on the nominal path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// CAN transmissions judged corrupted.
+    pub can_injected: u64,
+    /// Corrupted frames that re-entered arbitration.
+    pub can_retransmitted: u64,
+    /// Corrupted frames dropped after exhausting the retry budget.
+    pub can_dropped: u64,
+    /// Overload episodes started.
+    pub overload_episodes: u64,
+    /// Execution-time draws inflated by an overload episode.
+    pub overload_inflated: u64,
+    /// Largest clock-drift offset applied to a TTC event.
+    pub max_drift: Time,
+    /// Per-frame log of every corruption (retransmissions and drops).
+    pub loss_log: Vec<CanLoss>,
+}
+
+impl FaultStats {
+    /// Total faults injected (CAN corruptions + overload episodes).
+    pub fn injected_total(&self) -> u64 {
+        self.can_injected + self.overload_episodes
+    }
+
+    /// Whether the run was perturbed at all (faults injected or clocks
+    /// drifted). An unperturbed run must satisfy the analytic bounds
+    /// exactly like the nominal path.
+    pub fn perturbed(&self) -> bool {
+        self.injected_total() > 0 || !self.max_drift.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_classify_as_expected() {
+        assert!(FaultParams::NOMINAL.is_nominal());
+        assert!(FaultParams::default().is_nominal());
+        for preset in [
+            FaultParams::LOSSY_CAN,
+            FaultParams::DRIFTING_CLOCKS,
+            FaultParams::OVERLOAD_BURSTS,
+            FaultParams::HARSH,
+        ] {
+            assert!(!preset.is_nominal(), "{preset:?}");
+        }
+    }
+
+    #[test]
+    fn nominal_state_never_draws() {
+        let plan = FaultPlan::new(FaultParams::NOMINAL, 99);
+        let mut state = FaultState::new(&plan);
+        let m = (MessageId::new(0), 0);
+        assert_eq!(state.judge_can(m), CanVerdict::Deliver);
+        let t = Time::from_millis(5);
+        assert_eq!(
+            state.inflate(ProcessId::new(0), 0, t),
+            (t, OverloadEffect::Untouched)
+        );
+        assert_eq!(state.drift(t, Time::from_millis(40)), (t, Time::ZERO));
+    }
+
+    #[test]
+    fn full_loss_retransmits_then_drops() {
+        let params = FaultParams {
+            can_loss_permille: 1000,
+            can_max_retries: 2,
+            ..FaultParams::NOMINAL
+        };
+        let mut state = FaultState::new(&FaultPlan::new(params, 0));
+        let m = (MessageId::new(3), 1);
+        assert_eq!(state.judge_can(m), CanVerdict::Retransmit { retry: 1 });
+        assert_eq!(state.judge_can(m), CanVerdict::Retransmit { retry: 2 });
+        assert_eq!(state.judge_can(m), CanVerdict::Drop { retry: 3 });
+        // The retry counter resets after a drop.
+        assert_eq!(state.judge_can(m), CanVerdict::Retransmit { retry: 1 });
+    }
+
+    #[test]
+    fn drift_is_bounded_and_resyncs() {
+        let params = FaultParams {
+            ttc_drift_ppm: 500,
+            ..FaultParams::NOMINAL
+        };
+        let state = FaultState::new(&FaultPlan::new(params, 0));
+        let resync = Time::from_millis(40);
+        let bound = Time::from_ticks(resync.ticks() * 500 / 1_000_000);
+        for t in (0..500).map(|i| Time::from_micros(i * 317)) {
+            let (_, offset) = state.drift(t, resync);
+            assert!(offset <= bound, "offset {offset} past bound {bound} at {t}");
+        }
+        // At a round boundary the clocks are back in sync.
+        assert_eq!(state.drift(resync, resync), (resync, Time::ZERO));
+        // Negative drift pulls events earlier.
+        let neg = FaultState::new(&FaultPlan::new(
+            FaultParams {
+                ttc_drift_ppm: -500,
+                ..FaultParams::NOMINAL
+            },
+            0,
+        ));
+        let t = Time::from_millis(20);
+        let (drifted, offset) = neg.drift(t, resync);
+        assert!(drifted < t);
+        assert_eq!(t, drifted + offset);
+    }
+
+    #[test]
+    fn overload_episode_spans_consecutive_activations() {
+        let params = FaultParams {
+            overload_permille: 1000,
+            overload_factor_percent: 300,
+            overload_mean_burst: 4,
+            ..FaultParams::NOMINAL
+        };
+        let mut state = FaultState::new(&FaultPlan::new(params, 7));
+        let p = ProcessId::new(0);
+        let t = Time::from_millis(10);
+        let (inflated, effect) = state.inflate(p, 0, t);
+        assert_eq!(effect, OverloadEffect::Started);
+        assert_eq!(inflated, Time::from_millis(30));
+        // The next activation continues the episode (minimum length 1 means
+        // at least the starting activation is covered; with permille 1000 a
+        // non-covered activation immediately starts a fresh episode).
+        let (_, effect) = state.inflate(p, 1, t);
+        assert!(matches!(
+            effect,
+            OverloadEffect::Started | OverloadEffect::Continued
+        ));
+    }
+}

@@ -10,6 +10,14 @@
 //! analysis of `mcs-core` over-approximates every observable response time
 //! and queue occupancy.
 //!
+//! Beyond the fault-free nominal path, [`simulate_with_faults`] perturbs
+//! the simulated hardware with a seeded, fully deterministic [`FaultPlan`]
+//! — CAN frame corruption with protocol-faithful retransmission, bounded
+//! per-cluster clock drift, and sporadic overload bursts — and
+//! [`SimReport::classify_findings`] separates hard analysis bugs
+//! ([`SoundnessFinding::NominalViolation`]) from expected degradation under
+//! fault. See [`fault`] for the model and its determinism contract.
+//!
 //! # Examples
 //!
 //! ```
@@ -20,7 +28,7 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let fig = figure4(mcs_model::Time::from_millis(240));
 //! let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())?;
-//! let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
+//! let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default())?;
 //! assert!(report.soundness_violations(&fig.system, &outcome).is_empty());
 //! # Ok(())
 //! # }
@@ -30,9 +38,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
 mod report;
 mod trace;
 
-pub use engine::{simulate, ExecutionModel, SimParams};
-pub use report::SimReport;
+pub use engine::{simulate, simulate_with_faults, ExecutionModel, SimError, SimParams};
+pub use fault::{CanLoss, FaultParams, FaultPlan, FaultStats};
+pub use report::{SimReport, SoundnessFinding};
 pub use trace::{render_trace, TraceEvent};

@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 
-use mcs_core::AnalysisOutcome;
+use mcs_core::{json_line, AnalysisOutcome, JsonField};
 use mcs_model::{GraphId, NodeId, ProcessId, System, Time};
 
+use crate::fault::FaultStats;
 use crate::trace::TraceEvent;
 
 /// Observations from one simulation run.
@@ -29,6 +30,54 @@ pub struct SimReport {
     /// Chronological event trace (completions, frames, CAN transmissions,
     /// gateway queue operations); render with [`crate::render_trace`].
     pub trace: Vec<TraceEvent>,
+    /// Fault-injection accounting — all zero on the nominal path.
+    pub faults: FaultStats,
+}
+
+/// A classified outcome of comparing one run against the analytic bounds.
+///
+/// Produced by [`SimReport::classify_findings`]. Only a
+/// [`SoundnessFinding::NominalViolation`] indicts the analysis: it means an
+/// *unperturbed* run escaped its worst-case bounds. Findings on perturbed
+/// runs are degradation metrics — the analysis never claimed to cover
+/// faulty hardware.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SoundnessFinding {
+    /// An unperturbed run exceeded an analytic bound — a hard finding
+    /// (reproducible analysis bug), never acceptable.
+    NominalViolation(String),
+    /// A perturbed run exceeded an analytic bound; expected under faults,
+    /// reported so campaigns can quantify degradation.
+    FaultMaskedViolation(String),
+    /// A perturbed run pushed a graph past its *deadline* (not merely past
+    /// the analytic bound) — the user-visible degradation metric.
+    DegradedDeadlineMiss(String),
+}
+
+impl SoundnessFinding {
+    /// Stable machine-readable tag of the finding class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SoundnessFinding::NominalViolation(_) => "nominal_violation",
+            SoundnessFinding::FaultMaskedViolation(_) => "fault_masked_violation",
+            SoundnessFinding::DegradedDeadlineMiss(_) => "degraded_deadline_miss",
+        }
+    }
+
+    /// Human-readable description of the finding.
+    pub fn detail(&self) -> &str {
+        match self {
+            SoundnessFinding::NominalViolation(d)
+            | SoundnessFinding::FaultMaskedViolation(d)
+            | SoundnessFinding::DegradedDeadlineMiss(d) => d,
+        }
+    }
+
+    /// Whether this finding indicts the analysis (only nominal violations
+    /// do).
+    pub fn is_hard(&self) -> bool {
+        matches!(self, SoundnessFinding::NominalViolation(_))
+    }
 }
 
 impl SimReport {
@@ -36,10 +85,11 @@ impl SimReport {
     ///
     /// Returns the list of violations (empty when the analysis soundly
     /// over-approximates the simulated behaviour, as it must for a
-    /// schedulable system).
+    /// schedulable system). The order is deterministic: processes, graphs,
+    /// gateway queues, node queues, table violations, each sorted by id.
     pub fn soundness_violations(&self, system: &System, outcome: &AnalysisOutcome) -> Vec<String> {
         let mut violations = Vec::new();
-        for (&p, &observed) in &self.process_completion {
+        for (p, observed) in sorted(&self.process_completion) {
             let bound = outcome.process_timing(p).worst_completion();
             if observed > bound {
                 violations.push(format!(
@@ -48,7 +98,7 @@ impl SimReport {
                 ));
             }
         }
-        for (&g, &observed) in &self.graph_response {
+        for (g, observed) in sorted(&self.graph_response) {
             let bound = outcome.graph_response(g);
             if observed > bound {
                 violations.push(format!(
@@ -69,7 +119,7 @@ impl SimReport {
                 self.max_out_ttp, outcome.queues.out_ttp
             ));
         }
-        for (&node, &observed) in &self.max_out_node {
+        for (node, observed) in sorted(&self.max_out_node) {
             let bound = outcome.queues.out_node.get(&node).copied().unwrap_or(0);
             if observed > bound {
                 violations.push(format!(
@@ -86,6 +136,180 @@ impl SimReport {
         }
         violations
     }
+
+    /// Classifies this run's deviations from the analytic bounds.
+    ///
+    /// On an unperturbed run (no faults injected, no drift applied — see
+    /// [`FaultStats::perturbed`]) every bound violation is a
+    /// [`SoundnessFinding::NominalViolation`]: a hard, reproducible
+    /// analysis bug. On a perturbed run, bound violations become
+    /// [`SoundnessFinding::FaultMaskedViolation`]s and graphs pushed past
+    /// their deadline are additionally reported as
+    /// [`SoundnessFinding::DegradedDeadlineMiss`]es.
+    pub fn classify_findings(
+        &self,
+        system: &System,
+        outcome: &AnalysisOutcome,
+    ) -> Vec<SoundnessFinding> {
+        let perturbed = self.faults.perturbed();
+        let mut findings: Vec<SoundnessFinding> = self
+            .soundness_violations(system, outcome)
+            .into_iter()
+            .map(|detail| {
+                if perturbed {
+                    SoundnessFinding::FaultMaskedViolation(detail)
+                } else {
+                    SoundnessFinding::NominalViolation(detail)
+                }
+            })
+            .collect();
+        if perturbed {
+            for (g, observed) in sorted(&self.graph_response) {
+                let deadline = system.application.graph(g).deadline();
+                if observed > deadline {
+                    findings.push(SoundnessFinding::DegradedDeadlineMiss(format!(
+                        "graph {} responded in {observed} past its deadline {deadline}",
+                        system.application.graph(g).name()
+                    )));
+                }
+            }
+        }
+        findings
+    }
+
+    /// Signed margin `bound − observed` (in ticks) of every process, sorted
+    /// by id. Negative means the observation exceeded its analytic bound.
+    pub fn process_margins(&self, outcome: &AnalysisOutcome) -> Vec<(ProcessId, i128)> {
+        sorted(&self.process_completion)
+            .into_iter()
+            .map(|(p, observed)| {
+                let bound = outcome.process_timing(p).worst_completion();
+                (p, i128::from(bound.ticks()) - i128::from(observed.ticks()))
+            })
+            .collect()
+    }
+
+    /// A 64-bit FNV-1a digest over every observation of the run — worst
+    /// completions and responses (sorted by id), queue peaks, the full
+    /// chronological trace, and the fault accounting. Two runs with equal
+    /// digests made byte-identical observations.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(self.activations);
+        h.word(self.table_violations);
+        h.word(self.max_out_can);
+        h.word(self.max_out_ttp);
+        for (p, t) in sorted(&self.process_completion) {
+            h.word(u64::from(p.raw()));
+            h.word(t.ticks());
+        }
+        for (g, t) in sorted(&self.graph_response) {
+            h.word(u64::from(g.raw()));
+            h.word(t.ticks());
+        }
+        for (n, b) in sorted(&self.max_out_node) {
+            h.word(u64::from(n.raw()));
+            h.word(b);
+        }
+        for event in &self.trace {
+            let (tag, id, k, t) = event.digest_parts();
+            h.word(u64::from(tag));
+            h.word(id);
+            h.word(k);
+            h.word(t.ticks());
+        }
+        h.word(self.faults.can_injected);
+        h.word(self.faults.can_retransmitted);
+        h.word(self.faults.can_dropped);
+        h.word(self.faults.overload_episodes);
+        h.word(self.faults.overload_inflated);
+        h.word(self.faults.max_drift.ticks());
+        for loss in &self.faults.loss_log {
+            h.word(u64::from(loss.message.raw()));
+            h.word(loss.activation);
+            h.word(loss.at.ticks());
+            h.word(u64::from(loss.retry));
+            h.word(u64::from(loss.dropped));
+        }
+        h.finish()
+    }
+
+    /// Renders the run as one flat JSON line: summary observations, fault
+    /// accounting and the [`Self::digest`]. Deterministic — equal runs
+    /// produce byte-identical lines.
+    pub fn json_line(&self) -> String {
+        let worst_completion = self
+            .process_completion
+            .values()
+            .max()
+            .copied()
+            .unwrap_or(Time::ZERO);
+        let worst_response = self
+            .graph_response
+            .values()
+            .max()
+            .copied()
+            .unwrap_or(Time::ZERO);
+        let digest = format!("{:016x}", self.digest());
+        json_line(&[
+            ("activations", JsonField::UInt(self.activations)),
+            (
+                "processes",
+                JsonField::UInt(self.process_completion.len() as u64),
+            ),
+            (
+                "worst_completion",
+                JsonField::UInt(worst_completion.ticks()),
+            ),
+            ("worst_response", JsonField::UInt(worst_response.ticks())),
+            ("max_out_can", JsonField::UInt(self.max_out_can)),
+            ("max_out_ttp", JsonField::UInt(self.max_out_ttp)),
+            ("table_violations", JsonField::UInt(self.table_violations)),
+            ("trace_events", JsonField::UInt(self.trace.len() as u64)),
+            ("can_injected", JsonField::UInt(self.faults.can_injected)),
+            (
+                "can_retransmitted",
+                JsonField::UInt(self.faults.can_retransmitted),
+            ),
+            ("can_dropped", JsonField::UInt(self.faults.can_dropped)),
+            (
+                "overload_episodes",
+                JsonField::UInt(self.faults.overload_episodes),
+            ),
+            (
+                "max_drift_ticks",
+                JsonField::UInt(self.faults.max_drift.ticks()),
+            ),
+            ("digest", JsonField::Str(&digest)),
+        ])
+    }
+}
+
+/// Key-sorted snapshot of a map — the determinism primitive of this module.
+fn sorted<K: Copy + Ord, V: Copy>(map: &HashMap<K, V>) -> Vec<(K, V)> {
+    let mut entries: Vec<(K, V)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    entries
+}
+
+/// Minimal FNV-1a over 64-bit words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +322,35 @@ mod tests {
         assert_eq!(r.max_out_can, 0);
         assert!(r.process_completion.is_empty());
         assert_eq!(r.table_violations, 0);
+        assert!(!r.faults.perturbed());
+    }
+
+    #[test]
+    fn digest_and_json_line_are_stable() {
+        let mut r = SimReport {
+            activations: 2,
+            ..SimReport::default()
+        };
+        r.process_completion
+            .insert(ProcessId::new(1), Time::from_millis(3));
+        r.process_completion
+            .insert(ProcessId::new(0), Time::from_millis(7));
+        let a = r.json_line();
+        let b = r.clone().json_line();
+        assert_eq!(a, b);
+        assert!(a.contains("\"digest\""));
+        r.table_violations = 1;
+        assert_ne!(r.json_line(), a, "digest must react to observations");
+    }
+
+    #[test]
+    fn findings_expose_kind_and_hardness() {
+        let hard = SoundnessFinding::NominalViolation("x".into());
+        assert!(hard.is_hard());
+        assert_eq!(hard.kind(), "nominal_violation");
+        assert_eq!(hard.detail(), "x");
+        let soft = SoundnessFinding::DegradedDeadlineMiss("y".into());
+        assert!(!soft.is_hard());
+        assert_eq!(soft.kind(), "degraded_deadline_miss");
     }
 }

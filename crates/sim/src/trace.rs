@@ -19,6 +19,15 @@ pub enum TraceEvent {
     FifoEnqueued(MessageId, u64, Time),
     /// `(message, activation)` was delivered out of the gateway slot.
     FifoDelivered(MessageId, u64, Time),
+    /// A transmission of `(message, activation)` was corrupted on the wire
+    /// and re-enters arbitration (fault injection).
+    CanCorrupted(MessageId, u64, Time),
+    /// `(message, activation)` was dropped after exhausting its CAN retry
+    /// budget (fault injection).
+    CanDropped(MessageId, u64, Time),
+    /// `(process, activation)` entered an overload episode (fault
+    /// injection).
+    OverloadBurst(ProcessId, u64, Time),
 }
 
 impl TraceEvent {
@@ -29,7 +38,25 @@ impl TraceEvent {
             | TraceEvent::FrameArrived(_, _, t)
             | TraceEvent::CanTransmitted(_, _, t)
             | TraceEvent::FifoEnqueued(_, _, t)
-            | TraceEvent::FifoDelivered(_, _, t) => t,
+            | TraceEvent::FifoDelivered(_, _, t)
+            | TraceEvent::CanCorrupted(_, _, t)
+            | TraceEvent::CanDropped(_, _, t)
+            | TraceEvent::OverloadBurst(_, _, t) => t,
+        }
+    }
+
+    /// Flattens the event to `(variant tag, entity id, activation, time)`
+    /// for digesting.
+    pub(crate) fn digest_parts(&self) -> (u8, u64, u64, Time) {
+        match *self {
+            TraceEvent::Completed(p, k, t) => (0, u64::from(p.raw()), k, t),
+            TraceEvent::FrameArrived(m, k, t) => (1, u64::from(m.raw()), k, t),
+            TraceEvent::CanTransmitted(m, k, t) => (2, u64::from(m.raw()), k, t),
+            TraceEvent::FifoEnqueued(m, k, t) => (3, u64::from(m.raw()), k, t),
+            TraceEvent::FifoDelivered(m, k, t) => (4, u64::from(m.raw()), k, t),
+            TraceEvent::CanCorrupted(m, k, t) => (5, u64::from(m.raw()), k, t),
+            TraceEvent::CanDropped(m, k, t) => (6, u64::from(m.raw()), k, t),
+            TraceEvent::OverloadBurst(p, k, t) => (7, u64::from(p.raw()), k, t),
         }
     }
 }
@@ -71,6 +98,24 @@ pub fn render_trace(system: &System, events: &[TraceEvent]) -> String {
                 "{:>10}  gateway  {}#{k} delivered via S_G",
                 t.to_string(),
                 app.message(m).name()
+            ),
+            TraceEvent::CanCorrupted(m, k, t) => writeln!(
+                out,
+                "{:>10}  fault    {}#{k} corrupted on CAN, retransmitting",
+                t.to_string(),
+                app.message(m).name()
+            ),
+            TraceEvent::CanDropped(m, k, t) => writeln!(
+                out,
+                "{:>10}  fault    {}#{k} dropped after CAN retry budget",
+                t.to_string(),
+                app.message(m).name()
+            ),
+            TraceEvent::OverloadBurst(p, k, t) => writeln!(
+                out,
+                "{:>10}  fault    {}#{k} entered overload burst",
+                t.to_string(),
+                app.process(p).name()
             ),
         };
     }

@@ -23,6 +23,7 @@ fn simulation_is_deterministic() {
                 seed,
             },
         )
+        .expect("simulable")
     };
     let a = run(7);
     let b = run(7);
@@ -44,7 +45,8 @@ fn worst_case_execution_reaches_the_figure4_trace() {
     let fig = figure4(Time::from_millis(240));
     let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
         .expect("analyzable");
-    let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
+    let report =
+        simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default()).expect("simulable");
     let g = mcs_model::GraphId::new(0);
     let observed = report.graph_response[&g];
     // The analysis bound is 230 ms; the actual trace completes earlier but
@@ -59,7 +61,8 @@ fn queue_occupancy_tracks_gateway_traffic() {
     let fig = figure4(Time::from_millis(240));
     let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
         .expect("analyzable");
-    let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
+    let report =
+        simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default()).expect("simulable");
     // m1 and m2 (4 B each) transit Out_CAN; m3 transits Out_TTP.
     assert!(report.max_out_can >= 4);
     assert!(report.max_out_can <= 8);
@@ -88,7 +91,8 @@ fn longer_runs_do_not_grow_observed_responses_unboundedly() {
             activations: 2,
             ..SimParams::default()
         },
-    );
+    )
+    .expect("simulable");
     let long = simulate(
         &system,
         &config,
@@ -97,7 +101,8 @@ fn longer_runs_do_not_grow_observed_responses_unboundedly() {
             activations: 8,
             ..SimParams::default()
         },
-    );
+    )
+    .expect("simulable");
     for (g, &r_long) in &long.graph_response {
         let r_short = short.graph_response[g];
         assert_eq!(
@@ -120,7 +125,8 @@ fn trace_captures_the_gateway_path_in_order() {
             activations: 1,
             ..SimParams::default()
         },
-    );
+    )
+    .expect("simulable");
     use mcs_sim::TraceEvent;
     let m3 = mcs_model::MessageId::new(2);
     let find = |pred: &dyn Fn(&TraceEvent) -> bool| {

@@ -1,0 +1,142 @@
+//! Regression tests for degenerate simulator inputs: each must surface as a
+//! structured [`SimError`] instead of a panic mid-run.
+
+use mcs_core::{multi_cluster_scheduling, AnalysisParams};
+use mcs_gen::figure4;
+use mcs_model::{
+    Application, Architecture, CanBusParams, GatewayParams, NodeRole, PriorityAssignment, System,
+    SystemConfig, TdmaConfig, TdmaSlot, Time, TtpBusParams,
+};
+use mcs_sim::{simulate, SimError, SimParams};
+
+fn figure4_ready() -> (mcs_gen::Figure4, mcs_core::AnalysisOutcome) {
+    let fig = figure4(Time::from_millis(240));
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+        .expect("analyzable");
+    (fig, outcome)
+}
+
+#[test]
+fn zero_activation_horizon_is_rejected() {
+    let (fig, outcome) = figure4_ready();
+    let params = SimParams {
+        activations: 0,
+        ..SimParams::default()
+    };
+    assert_eq!(
+        simulate(&fig.system, &fig.config_b, &outcome, &params).unwrap_err(),
+        SimError::ZeroHorizon
+    );
+}
+
+#[test]
+fn empty_application_is_rejected() {
+    // An application with no process graphs at all (the builder already
+    // rejects graphs without processes, so zero graphs is the only way to
+    // reach the simulator with nothing to activate).
+    let mut b = Architecture::builder();
+    let n1 = b.add_node("N1", NodeRole::TimeTriggered);
+    let ng = b.add_node("NG", NodeRole::Gateway);
+    b.ttp_params(TtpBusParams::new(Time::from_micros(2_500), Time::ZERO));
+    b.can_params(CanBusParams::with_fixed_frame_time(Time::from_millis(10)));
+    let arch = b.build().expect("valid architecture");
+    let app = Application::builder()
+        .build(&arch)
+        .expect("zero graphs is a valid model");
+    let system = System::with_gateway(
+        app,
+        arch,
+        GatewayParams::new(Time::from_millis(5), Time::from_millis(40)),
+    );
+    let config = SystemConfig::new(
+        TdmaConfig::new(vec![
+            TdmaSlot {
+                node: ng,
+                capacity_bytes: 8,
+            },
+            TdmaSlot {
+                node: n1,
+                capacity_bytes: 8,
+            },
+        ]),
+        PriorityAssignment::new(),
+    );
+    let outcome = multi_cluster_scheduling(&system, &config, &AnalysisParams::default())
+        .expect("trivially analyzable");
+    assert_eq!(
+        simulate(&system, &config, &outcome, &SimParams::default()).unwrap_err(),
+        SimError::EmptyApplication
+    );
+}
+
+#[test]
+fn missing_gateway_slot_is_rejected() {
+    let (fig, outcome) = figure4_ready();
+    // A TDMA round that never grants the gateway a slot.
+    let n1 = fig.system.architecture.nodes()[0].id();
+    let config = SystemConfig::new(
+        TdmaConfig::new(vec![TdmaSlot {
+            node: n1,
+            capacity_bytes: 8,
+        }]),
+        fig.config_b.priorities.clone(),
+    );
+    assert_eq!(
+        simulate(&fig.system, &config, &outcome, &SimParams::default()).unwrap_err(),
+        SimError::MissingGatewaySlot
+    );
+}
+
+#[test]
+fn empty_tdma_round_is_rejected() {
+    let (fig, outcome) = figure4_ready();
+    let config = SystemConfig::new(TdmaConfig::new(Vec::new()), fig.config_b.priorities.clone());
+    assert_eq!(
+        simulate(&fig.system, &config, &outcome, &SimParams::default()).unwrap_err(),
+        SimError::EmptyTdmaRound
+    );
+}
+
+#[test]
+fn unprioritized_can_messages_are_rejected() {
+    let (fig, outcome) = figure4_ready();
+    // Clear every priority: the first CAN-routed message must be flagged
+    // (a config "referencing no ET processes" degenerates the same way).
+    let config = SystemConfig::new(fig.config_b.tdma.clone(), PriorityAssignment::new());
+    let err = simulate(&fig.system, &config, &outcome, &SimParams::default()).unwrap_err();
+    assert!(
+        matches!(err, SimError::UnprioritizedMessage(_)),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn unscheduled_tt_process_is_rejected() {
+    let (fig, _) = figure4_ready();
+    // An outcome whose schedule table lost its entries (e.g. built against
+    // a different system revision).
+    let mut outcome =
+        multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+            .expect("analyzable");
+    outcome.schedule.clear();
+    let err = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default()).unwrap_err();
+    assert!(
+        matches!(err, SimError::UnscheduledTtProcess(_)),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn errors_render_actionable_messages() {
+    let messages = [
+        SimError::EmptyApplication.to_string(),
+        SimError::ZeroHorizon.to_string(),
+        SimError::EmptyTdmaRound.to_string(),
+        SimError::MissingGatewaySlot.to_string(),
+    ];
+    for m in &messages {
+        assert!(!m.is_empty());
+    }
+    let err: Box<dyn std::error::Error> = Box::new(SimError::ZeroHorizon);
+    assert!(err.to_string().contains("activations"));
+}

@@ -1,0 +1,240 @@
+//! Properties of the fault-injection layer: the `None` path is
+//! bit-identical to the plain simulator, identical `(FaultParams, seed)`
+//! pairs reproduce byte-identical reports, and every corrupted CAN frame is
+//! conserved — retransmitted or accounted dropped, never silently vanished.
+
+use proptest::prelude::*;
+
+use mcs_core::{multi_cluster_scheduling, AnalysisOutcome, AnalysisParams};
+use mcs_gen::{figure4, generate, GeneratorParams};
+use mcs_model::{System, SystemConfig, Time};
+use mcs_opt::{hopa_priorities, straightforward_config};
+use mcs_sim::{
+    simulate, simulate_with_faults, ExecutionModel, FaultParams, FaultPlan, SimParams, SimReport,
+    TraceEvent,
+};
+
+fn instance(seed: u64) -> (System, SystemConfig, AnalysisOutcome) {
+    let mut p = GeneratorParams::paper_sized(2, seed);
+    p.processes_per_node = 5 + (seed % 4) as usize;
+    p.graphs = 2 + (seed % 3) as usize;
+    p.inter_cluster_messages = Some(1 + (seed % 4) as usize);
+    let system = generate(&p);
+    let mut config = straightforward_config(&system);
+    config.priorities = hopa_priorities(&system, &config.tdma);
+    let outcome =
+        multi_cluster_scheduling(&system, &config, &AnalysisParams::default()).expect("analyzable");
+    (system, config, outcome)
+}
+
+fn sim_params(sim_seed: u64) -> SimParams {
+    SimParams {
+        activations: 3,
+        execution: ExecutionModel::RandomUniform,
+        seed: sim_seed,
+    }
+}
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport) {
+    assert_eq!(a.process_completion, b.process_completion);
+    assert_eq!(a.graph_response, b.graph_response);
+    assert_eq!(a.max_out_can, b.max_out_can);
+    assert_eq!(a.max_out_ttp, b.max_out_ttp);
+    assert_eq!(a.max_out_node, b.max_out_node);
+    assert_eq!(a.table_violations, b.table_violations);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.json_line(), b.json_line());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `simulate_with_faults(.., None)` is bit-identical to `simulate`.
+    #[test]
+    fn none_path_is_bit_identical(seed in 0u64..200, sim_seed in 0u64..8) {
+        let (system, config, outcome) = instance(seed);
+        let params = sim_params(sim_seed);
+        let plain = simulate(&system, &config, &outcome, &params).expect("simulable");
+        let none = simulate_with_faults(&system, &config, &outcome, &params, None)
+            .expect("simulable");
+        assert_reports_identical(&plain, &none);
+    }
+
+    /// A plan with `FaultParams::NOMINAL` never perturbs: still
+    /// bit-identical to the plain path, regardless of the fault seed.
+    #[test]
+    fn nominal_plan_is_bit_identical(seed in 0u64..200, fault_seed in 0u64..1_000_000) {
+        let (system, config, outcome) = instance(seed);
+        let params = sim_params(1);
+        let plain = simulate(&system, &config, &outcome, &params).expect("simulable");
+        let plan = FaultPlan::new(FaultParams::NOMINAL, fault_seed);
+        let faulty = simulate_with_faults(&system, &config, &outcome, &params, Some(&plan))
+            .expect("simulable");
+        assert_reports_identical(&plain, &faulty);
+        assert!(!faulty.faults.perturbed());
+    }
+
+    /// Identical `(FaultParams, seed)` reproduce byte-identical reports.
+    #[test]
+    fn identical_plan_reproduces_byte_identical_report(
+        seed in 0u64..200, sim_seed in 0u64..4, fault_seed in 0u64..1_000_000
+    ) {
+        let (system, config, outcome) = instance(seed);
+        let params = sim_params(sim_seed);
+        let plan = FaultPlan::new(FaultParams::HARSH, fault_seed);
+        let a = simulate_with_faults(&system, &config, &outcome, &params, Some(&plan))
+            .expect("simulable");
+        let b = simulate_with_faults(&system, &config, &outcome, &params, Some(&plan))
+            .expect("simulable");
+        assert_reports_identical(&a, &b);
+    }
+
+    /// Frame conservation: every injected CAN corruption is either
+    /// retransmitted or accounted as dropped, and the loss log carries one
+    /// entry per corruption.
+    #[test]
+    fn frame_conservation(seed in 0u64..200, fault_seed in 0u64..1_000_000) {
+        let (system, config, outcome) = instance(seed);
+        let plan = FaultPlan::new(
+            FaultParams {
+                can_loss_permille: 300,
+                can_max_retries: 2,
+                ..FaultParams::NOMINAL
+            },
+            fault_seed,
+        );
+        let report = simulate_with_faults(&system, &config, &outcome, &sim_params(2), Some(&plan))
+            .expect("simulable");
+        let f = &report.faults;
+        prop_assert_eq!(f.can_injected, f.can_retransmitted + f.can_dropped);
+        prop_assert_eq!(f.loss_log.len() as u64, f.can_injected);
+        let dropped = f.loss_log.iter().filter(|l| l.dropped).count() as u64;
+        prop_assert_eq!(dropped, f.can_dropped);
+        // The trace mirrors the log.
+        let corrupted = report.trace.iter()
+            .filter(|e| matches!(e, TraceEvent::CanCorrupted(..)))
+            .count() as u64;
+        let trace_dropped = report.trace.iter()
+            .filter(|e| matches!(e, TraceEvent::CanDropped(..)))
+            .count() as u64;
+        prop_assert_eq!(corrupted, f.can_retransmitted);
+        prop_assert_eq!(trace_dropped, f.can_dropped);
+    }
+}
+
+#[test]
+fn drift_envelope_is_bounded_by_the_round() {
+    let fig = figure4(Time::from_millis(240));
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+        .expect("analyzable");
+    let ppm = 500u64;
+    let plan = FaultPlan::new(
+        FaultParams {
+            ttc_drift_ppm: ppm as i32,
+            ..FaultParams::NOMINAL
+        },
+        0,
+    );
+    let report = simulate_with_faults(
+        &fig.system,
+        &fig.config_b,
+        &outcome,
+        &SimParams::default(),
+        Some(&plan),
+    )
+    .expect("simulable");
+    // Figure 4's TDMA round is 40 ms; the drift resyncs every round.
+    let bound = Time::from_ticks(Time::from_millis(40).ticks() * ppm / 1_000_000);
+    assert!(!report.faults.max_drift.is_zero(), "drift must be observed");
+    assert!(
+        report.faults.max_drift <= bound,
+        "drift {} past the resync bound {}",
+        report.faults.max_drift,
+        bound
+    );
+    // Drift alone marks the run perturbed: bound violations (if any) must
+    // not be classified as nominal findings.
+    assert!(report.faults.perturbed());
+    for finding in report.classify_findings(&fig.system, &outcome) {
+        assert!(!finding.is_hard(), "{}", finding.detail());
+    }
+}
+
+#[test]
+fn overload_bursts_inflate_execution_and_slow_responses() {
+    let fig = figure4(Time::from_millis(240));
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+        .expect("analyzable");
+    let params = SimParams::default();
+    let nominal = simulate(&fig.system, &fig.config_b, &outcome, &params).expect("simulable");
+    let plan = FaultPlan::new(
+        FaultParams {
+            overload_permille: 1000,
+            overload_factor_percent: 200,
+            overload_mean_burst: 2,
+            ..FaultParams::NOMINAL
+        },
+        3,
+    );
+    let overloaded =
+        simulate_with_faults(&fig.system, &fig.config_b, &outcome, &params, Some(&plan))
+            .expect("simulable");
+    assert!(overloaded.faults.overload_episodes > 0);
+    assert!(overloaded.faults.overload_inflated >= overloaded.faults.overload_episodes);
+    let g = mcs_model::GraphId::new(0);
+    assert!(
+        overloaded.graph_response[&g] > nominal.graph_response[&g],
+        "doubling every execution time must slow the end-to-end response"
+    );
+    assert!(overloaded
+        .trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::OverloadBurst(..))));
+}
+
+#[test]
+fn total_loss_drops_frames_and_starves_destinations() {
+    let fig = figure4(Time::from_millis(240));
+    let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
+        .expect("analyzable");
+    let plan = FaultPlan::new(
+        FaultParams {
+            can_loss_permille: 1000,
+            can_max_retries: 2,
+            ..FaultParams::NOMINAL
+        },
+        0,
+    );
+    let report = simulate_with_faults(
+        &fig.system,
+        &fig.config_b,
+        &outcome,
+        &SimParams {
+            activations: 1,
+            ..SimParams::default()
+        },
+        Some(&plan),
+    )
+    .expect("simulable");
+    let f = &report.faults;
+    // Every transmission is corrupted: each frame retries twice, then drops.
+    assert!(f.can_dropped > 0);
+    assert_eq!(f.can_injected, f.can_retransmitted + f.can_dropped);
+    assert_eq!(f.can_retransmitted, 2 * f.can_dropped);
+    // No CAN frame ever got through: P2/P3 (ET, fed via the CAN leg) never
+    // ran, and P4's table start fired without its inputs — a table
+    // violation on this perturbed run.
+    assert!(!report
+        .trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::CanTransmitted(..))));
+    let p2 = mcs_model::ProcessId::new(1);
+    assert!(!report.process_completion.contains_key(&p2));
+    assert!(report.table_violations > 0);
+    // Perturbed run: whatever deviates is degradation, not a hard finding.
+    for finding in report.classify_findings(&fig.system, &outcome) {
+        assert!(!finding.is_hard(), "{}", finding.detail());
+    }
+}

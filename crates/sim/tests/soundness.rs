@@ -33,7 +33,8 @@ fn assert_sound(system: &System, config: &SystemConfig, label: &str) {
                 execution,
                 seed,
             },
-        );
+        )
+        .expect("simulable");
         let violations = report.soundness_violations(system, &outcome);
         assert!(
             violations.is_empty(),
@@ -56,7 +57,8 @@ fn figure4_unschedulable_configuration_collides_across_activations() {
     let fig = figure4(Time::from_millis(240));
     let outcome = multi_cluster_scheduling(&fig.system, &fig.config_a, &AnalysisParams::default())
         .expect("analyzable");
-    let report = simulate(&fig.system, &fig.config_a, &outcome, &SimParams::default());
+    let report =
+        simulate(&fig.system, &fig.config_a, &outcome, &SimParams::default()).expect("simulable");
     assert!(report.table_violations > 0);
 }
 
@@ -65,7 +67,8 @@ fn observed_figure4_response_is_close_to_but_below_the_bound() {
     let fig = figure4(Time::from_millis(240));
     let outcome = multi_cluster_scheduling(&fig.system, &fig.config_b, &AnalysisParams::default())
         .expect("analyzable");
-    let report = simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default());
+    let report =
+        simulate(&fig.system, &fig.config_b, &outcome, &SimParams::default()).expect("simulable");
     let g = mcs_model::GraphId::new(0);
     let observed = report.graph_response[&g];
     let bound = outcome.graph_response(g);
@@ -102,7 +105,8 @@ fn random_execution_never_beats_worst_case_bounds_but_may_beat_wcet_runs() {
     let fig = figure4(Time::from_millis(240));
     let outcome = multi_cluster_scheduling(&fig.system, &fig.config_c, &AnalysisParams::default())
         .expect("analyzable");
-    let worst = simulate(&fig.system, &fig.config_c, &outcome, &SimParams::default());
+    let worst =
+        simulate(&fig.system, &fig.config_c, &outcome, &SimParams::default()).expect("simulable");
     let g = mcs_model::GraphId::new(0);
     let mut saw_not_worse = false;
     for seed in 0..5 {
@@ -115,7 +119,8 @@ fn random_execution_never_beats_worst_case_bounds_but_may_beat_wcet_runs() {
                 execution: ExecutionModel::RandomUniform,
                 seed,
             },
-        );
+        )
+        .expect("simulable");
         assert!(random.graph_response[&g] <= outcome.graph_response(g));
         if random.graph_response[&g] <= worst.graph_response[&g] {
             saw_not_worse = true;

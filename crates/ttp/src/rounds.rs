@@ -88,6 +88,25 @@ impl<'a> RoundSchedule<'a> {
         }
     }
 
+    /// The occurrence of `slot` in round number `round` (0-based).
+    ///
+    /// This is the nominal (drift-free) wire timing; [`Self::next_occurrence`]
+    /// at the returned `start` yields the same occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn occurrence(&self, slot: SlotId, round: u64) -> SlotOccurrence {
+        let round_len = self.round_duration();
+        let start = round_len.saturating_mul(round) + self.slot_offset(slot);
+        SlotOccurrence {
+            slot,
+            round,
+            start,
+            end: start + self.slot_duration(slot),
+        }
+    }
+
     /// The `n`-th occurrence after a given occurrence (same slot).
     pub fn advance(&self, occ: SlotOccurrence, n: u64) -> SlotOccurrence {
         let round_len = self.round_duration();
@@ -153,6 +172,18 @@ mod tests {
         assert_eq!(occ.round, 1);
         assert_eq!(occ.start, Time::from_millis(60));
         assert_eq!(occ.end, Time::from_millis(80));
+    }
+
+    #[test]
+    fn occurrence_by_round_matches_next_occurrence() {
+        let (config, params) = fixture();
+        let rs = RoundSchedule::new(&config, params);
+        for slot in [SlotId::new(0), SlotId::new(1)] {
+            for round in 0..10 {
+                let occ = rs.occurrence(slot, round);
+                assert_eq!(occ, rs.next_occurrence(slot, occ.start));
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 execution,
                 seed,
             },
-        );
+        )
+        .expect("simulable");
         let violations = sim.soundness_violations(&system, outcome);
         // Tightness: how close does the worst simulated graph response come
         // to its analytic bound?

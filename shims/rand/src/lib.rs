@@ -137,6 +137,180 @@ impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
     }
 }
 
+/// Distribution types, mirroring the `rand::distributions` / `rand_distr`
+/// naming (the subset the workspace uses).
+///
+/// All samplers are **bounded**: a draw consumes exactly one `next_u64` call
+/// ([`Bernoulli`](distributions::Bernoulli)) or one uniform float
+/// ([`Exp`](distributions::Exp), [`Geometric`](distributions::Geometric) —
+/// inversion sampling, no rejection loops), so fault plans built on them stay
+/// strictly deterministic in the number of RNG words consumed.
+pub mod distributions {
+    use super::{RngCore, Standard};
+
+    /// Types that can be sampled from a distribution.
+    pub trait Distribution<T> {
+        /// Draws one sample using `rng` as the randomness source.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error constructing a [`Bernoulli`] distribution.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum BernoulliError {
+        /// The probability was outside `[0, 1]` (or the ratio exceeded 1).
+        InvalidProbability,
+    }
+
+    impl std::fmt::Display for BernoulliError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Bernoulli probability must lie in [0, 1]")
+        }
+    }
+
+    impl std::error::Error for BernoulliError {}
+
+    /// A coin flip with success probability `p`.
+    ///
+    /// One sample consumes exactly one `next_u64` word, compared against a
+    /// fixed-point threshold — no floating point is involved at sampling
+    /// time, so the stream is bit-stable across platforms.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Bernoulli {
+        threshold: u64,
+        always: bool,
+    }
+
+    impl Bernoulli {
+        /// A Bernoulli distribution with success probability `p ∈ [0, 1]`.
+        pub fn new(p: f64) -> Result<Self, BernoulliError> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(BernoulliError::InvalidProbability);
+            }
+            if p >= 1.0 {
+                return Ok(Bernoulli {
+                    threshold: 0,
+                    always: true,
+                });
+            }
+            // p * 2^64 as a saturating fixed-point threshold.
+            let threshold = (p * (u64::MAX as f64 + 1.0)) as u64;
+            Ok(Bernoulli {
+                threshold,
+                always: false,
+            })
+        }
+
+        /// A Bernoulli distribution with success probability
+        /// `numerator / denominator`.
+        pub fn from_ratio(numerator: u32, denominator: u32) -> Result<Self, BernoulliError> {
+            if denominator == 0 || numerator > denominator {
+                return Err(BernoulliError::InvalidProbability);
+            }
+            if numerator == denominator {
+                return Ok(Bernoulli {
+                    threshold: 0,
+                    always: true,
+                });
+            }
+            let threshold = ((u128::from(numerator) << 64) / u128::from(denominator)) as u64;
+            Ok(Bernoulli {
+                threshold,
+                always: false,
+            })
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> bool {
+            // Always draw, even for the constant cases, so the number of RNG
+            // words consumed does not depend on the parameter value.
+            let word = rng.next_u64();
+            self.always || word < self.threshold
+        }
+    }
+
+    /// Error constructing an [`Exp`] or [`Geometric`] distribution.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum ExpError {
+        /// The rate/probability parameter was not strictly positive.
+        LambdaTooSmall,
+    }
+
+    impl std::fmt::Display for ExpError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("distribution parameter must be strictly positive")
+        }
+    }
+
+    impl std::error::Error for ExpError {}
+
+    /// The exponential distribution `Exp(λ)`, sampled by inversion:
+    /// `-ln(1 - U) / λ` for `U` uniform in `[0, 1)`. Exactly one uniform
+    /// draw per sample.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// An exponential distribution with rate `lambda > 0`.
+        pub fn new(lambda: f64) -> Result<Self, ExpError> {
+            if lambda > 0.0 && lambda.is_finite() {
+                Ok(Exp { lambda })
+            } else {
+                Err(ExpError::LambdaTooSmall)
+            }
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            let u = f64::standard(rng);
+            -(1.0 - u).ln() / self.lambda
+        }
+    }
+
+    /// The geometric distribution: the number of failures before the first
+    /// success of a `p`-coin (support `0, 1, 2, …`, mean `(1 - p) / p`).
+    ///
+    /// Sampled by bounded inversion — `floor(ln(1 - U) / ln(1 - p))` from a
+    /// single uniform draw, clamped into `u64` — so a sample never loops.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Geometric {
+        p: f64,
+    }
+
+    impl Geometric {
+        /// A geometric distribution with success probability `p ∈ (0, 1]`.
+        pub fn new(p: f64) -> Result<Self, ExpError> {
+            if p > 0.0 && p <= 1.0 {
+                Ok(Geometric { p })
+            } else {
+                Err(ExpError::LambdaTooSmall)
+            }
+        }
+    }
+
+    impl Distribution<u64> for Geometric {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+            let u = f64::standard(rng);
+            if self.p >= 1.0 {
+                return 0;
+            }
+            let v = ((1.0 - u).ln() / (1.0 - self.p).ln()).floor();
+            if v.is_finite() && v >= 0.0 {
+                if v >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    v as u64
+                }
+            } else {
+                0
+            }
+        }
+    }
+}
+
 /// Named generators, mirroring `rand::rngs`.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -223,6 +397,93 @@ mod tests {
             assert!(v < 3);
             let s = rng.gen_range(-5i64..5);
             assert!((-5..5).contains(&s));
+        }
+    }
+
+    mod distributions {
+        use crate::distributions::{Bernoulli, BernoulliError, Distribution, Exp, Geometric};
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn bernoulli_edge_probabilities() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let never = Bernoulli::new(0.0).unwrap();
+            let always = Bernoulli::new(1.0).unwrap();
+            for _ in 0..1_000 {
+                assert!(!never.sample(&mut rng));
+                assert!(always.sample(&mut rng));
+            }
+            assert_eq!(
+                Bernoulli::new(1.5).unwrap_err(),
+                BernoulliError::InvalidProbability
+            );
+            assert_eq!(
+                Bernoulli::new(-0.1).unwrap_err(),
+                BernoulliError::InvalidProbability
+            );
+            assert_eq!(
+                Bernoulli::from_ratio(3, 2).unwrap_err(),
+                BernoulliError::InvalidProbability
+            );
+            assert_eq!(
+                Bernoulli::from_ratio(1, 0).unwrap_err(),
+                BernoulliError::InvalidProbability
+            );
+        }
+
+        #[test]
+        fn bernoulli_hit_rate_tracks_p() {
+            let mut rng = StdRng::seed_from_u64(11);
+            let coin = Bernoulli::from_ratio(50, 1000).unwrap();
+            let hits = (0..100_000).filter(|_| coin.sample(&mut rng)).count();
+            // 5% ± 0.5% over 100k draws.
+            assert!((4_500..=5_500).contains(&hits), "hit rate off: {hits}");
+        }
+
+        #[test]
+        fn bernoulli_is_deterministic_in_the_seed() {
+            let coin = Bernoulli::new(0.3).unwrap();
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            for _ in 0..1_000 {
+                assert_eq!(coin.sample(&mut a), coin.sample(&mut b));
+            }
+        }
+
+        #[test]
+        fn exponential_mean_and_positivity() {
+            let mut rng = StdRng::seed_from_u64(5);
+            let exp = Exp::new(0.25).unwrap();
+            let n = 50_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let v = exp.sample(&mut rng);
+                assert!(v >= 0.0 && v.is_finite());
+                sum += v;
+            }
+            let mean = sum / n as f64;
+            // True mean 1/λ = 4; allow 5% sampling slack.
+            assert!((3.8..=4.2).contains(&mean), "mean off: {mean}");
+            assert!(Exp::new(0.0).is_err());
+            assert!(Exp::new(-1.0).is_err());
+        }
+
+        #[test]
+        fn geometric_mean_and_bounds() {
+            let mut rng = StdRng::seed_from_u64(13);
+            let geo = Geometric::new(0.5).unwrap();
+            let n = 50_000u64;
+            let sum: u64 = (0..n).map(|_| geo.sample(&mut rng)).sum();
+            let mean = sum as f64 / n as f64;
+            // True mean (1 - p)/p = 1; allow sampling slack.
+            assert!((0.9..=1.1).contains(&mean), "mean off: {mean}");
+            let sure = Geometric::new(1.0).unwrap();
+            for _ in 0..100 {
+                assert_eq!(sure.sample(&mut rng), 0);
+            }
+            assert!(Geometric::new(0.0).is_err());
+            assert!(Geometric::new(1.5).is_err());
         }
     }
 }

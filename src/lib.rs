@@ -52,7 +52,7 @@
 //!         &report.best.config,
 //!         &report.best.outcome,
 //!         &SimParams::default(),
-//!     );
+//!     )?;
 //!     assert!(sim.soundness_violations(&system, &report.best.outcome).is_empty());
 //! }
 //! # Ok(())

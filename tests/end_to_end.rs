@@ -36,7 +36,8 @@ fn full_pipeline_on_a_generated_system() {
             &or.best.config,
             &or.best.outcome,
             &SimParams::default(),
-        );
+        )
+        .expect("simulable");
         assert!(report
             .soundness_violations(&system, &or.best.outcome)
             .is_empty());

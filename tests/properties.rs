@@ -88,7 +88,7 @@ proptest! {
             activations: 2,
             execution: ExecutionModel::RandomUniform,
             seed: sim_seed,
-        });
+        }).expect("simulable");
         let violations = report.soundness_violations(&system, &eval.outcome);
         prop_assert!(violations.is_empty(), "{violations:?}");
     }
