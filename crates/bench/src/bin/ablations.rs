@@ -71,6 +71,7 @@ fn main() {
                     .graphs()
                     .iter()
                     .map(|g| outcome.graph_response(g.id()).ticks() / 1_000)
+                    // mcs-lint: allow(float-reduction) -- sequential u64 sum inside the per-seed closure; integer addition is order-independent
                     .sum::<u64>()
             };
             (

@@ -194,6 +194,7 @@ pub fn record_bench_section(name: &str, body: &str) {
 /// One row of a Fig-9c-style buffer-deviation sweep: a display key (the
 /// inter-cluster message count) and the per-seed generator parameters of
 /// its instances.
+#[derive(Debug)]
 pub struct SweepRow {
     /// The row key printed in the first column.
     pub key: usize,

@@ -387,6 +387,12 @@ pub struct Pr1Evaluator<'s> {
     last_sched_slot: usize,
 }
 
+impl<'s> std::fmt::Debug for Pr1Evaluator<'s> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pr1Evaluator").finish_non_exhaustive()
+    }
+}
+
 /// One memoized scheduling pass: the inputs it was computed from and the
 /// resulting schedule (reused in place on recompute).
 #[derive(Default)]

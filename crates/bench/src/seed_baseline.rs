@@ -239,6 +239,12 @@ pub struct Holistic<'a> {
     diverged: bool,
 }
 
+impl<'a> std::fmt::Debug for Holistic<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Holistic").finish_non_exhaustive()
+    }
+}
+
 impl<'a> Holistic<'a> {
     pub fn new(
         system: &'a System,

@@ -87,6 +87,12 @@ pub struct BatchScratch<'s> {
     pub(crate) live: usize,
 }
 
+impl<'s> std::fmt::Debug for BatchScratch<'s> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScratch").finish_non_exhaustive()
+    }
+}
+
 /// One candidate lane: a private evaluator (its own scratch, schedule
 /// memos and snapshots) plus the result of its last batch evaluation.
 pub(crate) struct Lane<'s> {

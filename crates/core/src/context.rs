@@ -676,6 +676,12 @@ pub struct Evaluator<'s> {
     full_evals: u64,
 }
 
+impl<'s> std::fmt::Debug for Evaluator<'s> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator").finish_non_exhaustive()
+    }
+}
+
 /// One memoized scheduling pass: the inputs it was computed from, the
 /// resulting schedule (reused in place on recompute), and a snapshot of the
 /// holistic analysis state the schedule converged to — the baseline the
@@ -1009,6 +1015,7 @@ impl<'s> Evaluator<'s> {
                         &self.ctx,
                         &mut self.scratch,
                         &[
+                            // mcs-lint: allow(panic-policy) -- `baseline` is only true when delta_seeds.is_some() (checked where it is computed)
                             delta_seeds.expect("baseline implies delta seeds"),
                             &entry.pending_seeds,
                         ],
@@ -1047,6 +1054,7 @@ impl<'s> Evaluator<'s> {
                             let will_settle = s.next_proc_release == s.proc_release
                                 && s.next_msg_release == s.msg_release;
                             if !will_settle {
+                                // mcs-lint: allow(panic-policy) -- `baseline` is only true when delta_seeds.is_some() (checked where it is computed)
                                 let seeds = delta_seeds.expect("baseline implies delta seeds");
                                 let entry = &mut self.sched_cache[slot];
                                 entry.pending_seeds.merge(seeds);
@@ -1358,6 +1366,7 @@ impl<'s> Evaluator<'s> {
         for lane in &scratch.lanes[..requests.len()] {
             self.delta_evals += lane.stats_gain.0;
             self.full_evals += lane.stats_gain.1;
+            // mcs-lint: allow(panic-policy) -- the par loop above stored a result into every lane of ..requests.len()
             results.push(lane.result.clone().expect("every live lane evaluated"));
         }
         results
@@ -1484,6 +1493,7 @@ impl<'s> Evaluator<'s> {
         s.can_order.clear();
         s.can_order.extend(self.ctx.can_ids.iter().copied());
         s.can_order.sort_by_key(|&mi| {
+            // mcs-lint: allow(panic-policy) -- validate_config at the top of this refresh guarantees CAN priorities
             s.msg_priority[mi].expect("validated configuration assigns CAN priorities")
         });
         s.can_pos.clear();
@@ -1506,6 +1516,7 @@ impl<'s> Evaluator<'s> {
             order.clear();
             order.extend(et.procs.iter().copied());
             order.sort_by_key(|p| {
+                // mcs-lint: allow(panic-policy) -- validate_config at the top of this refresh guarantees ET priorities
                 s.proc_priority[p.index()].expect("validated configuration assigns ET priorities")
             });
             for (idx, p) in order.iter().enumerate() {
@@ -1572,6 +1583,7 @@ impl<'s> Evaluator<'s> {
         let (gw_slot, gw_cfg) = config
             .tdma
             .slot_of_node(gateway)
+            // mcs-lint: allow(panic-policy) -- tdma.validate (run by validate_config before analysis) requires a slot per TTP node
             .expect("validated configuration has a gateway slot");
         let ttp_params = arch.ttp_params();
         let ttp_queue = TtpQueueParams {

@@ -328,6 +328,7 @@ pub(crate) fn close_dirty(
                 // across the drained-ahead sets of the legs in between.
                 let rank = u64::from(
                     msg_priority[mi]
+                        // mcs-lint: allow(panic-policy) -- the delta closure only runs on configurations evaluate() has validated
                         .expect("validated configuration assigns CAN priorities")
                         .level(),
                 );
@@ -405,11 +406,13 @@ pub(crate) fn close_dirty(
                         // of the outer loop re-derives and re-checks.
                         feeders = true;
                         let level = msg_priority[mi]
+                            // mcs-lint: allow(panic-policy) -- the delta closure only runs on configurations evaluate() has validated
                             .expect("validated configuration assigns CAN priorities")
                             .level();
                         for &mj in &ctx.fifo_ids {
                             let dirtied = mj == mi
                                 || msg_priority[mj]
+                                    // mcs-lint: allow(panic-policy) -- the delta closure only runs on configurations evaluate() has validated
                                     .expect("validated configuration assigns CAN priorities")
                                     .level()
                                     >= level;

@@ -286,6 +286,7 @@ impl Holistic<'_> {
         let app = &self.system.application;
         let schedule = self.schedule;
         let p = ProcessId::new(pi as u32);
+        // mcs-lint: allow(panic-policy) -- wl_entities only lists ET-hosted processes as process entities
         let ni = ctx.proc_et_node[pi].expect("worklist processes are ET-hosted") as usize;
         let offset = usize::from(ctx.et_nodes[ni].is_gateway);
         let idx = offset + self.s.node_pos[pi];
@@ -434,6 +435,7 @@ impl Holistic<'_> {
                         push(wl_pending, wl_next_pending, wl_next, ctx.wl_key_proc[dest]);
                     }
                 }
+                // mcs-lint: allow(panic-policy) -- TTC-to-TTC legs never become worklist entities (wl_entities skips them)
                 MessageRoute::TtcToTtc => unreachable!("no worklist entity"),
             }
         }
@@ -679,6 +681,7 @@ impl Holistic<'_> {
                     let s = &mut *self.s;
                     s.po[pi] = schedule
                         .start(p)
+                        // mcs-lint: allow(panic-policy) -- a schedule is only adopted after the list scheduler placed every TT process
                         .expect("TT process placed by the list scheduler");
                     s.pj[pi] = Time::ZERO;
                     s.pw[pi] = Time::ZERO;
@@ -903,6 +906,7 @@ fn stage_leg(
 
 fn build_can_flow(ctx: &SystemContext, s: &Scratch, mi: usize) -> CanFlow {
     CanFlow {
+        // mcs-lint: allow(panic-policy) -- kernels run only after validate_config accepted the configuration
         priority: s.msg_priority[mi].expect("validated configuration assigns CAN priorities"),
         period: ctx.msg_period[mi],
         jitter: s.can_j[mi],
@@ -918,6 +922,7 @@ fn build_fifo_flow(ctx: &SystemContext, s: &Scratch, mi: usize) -> FifoFlow {
     FifoFlow {
         rank: s.msg_priority[mi]
             .map(|p| u64::from(p.level()))
+            // mcs-lint: allow(panic-policy) -- kernels run only after validate_config accepted the configuration
             .expect("validated configuration assigns CAN priorities"),
         period: ctx.msg_period[mi],
         jitter: s.ttp_j[mi],
@@ -944,6 +949,7 @@ fn transfer_task(system: &System) -> TaskFlow {
 
 fn build_task_flow(ctx: &SystemContext, s: &Scratch, pi: usize) -> TaskFlow {
     TaskFlow {
+        // mcs-lint: allow(panic-policy) -- kernels run only after validate_config accepted the configuration
         rank: app_rank(s.proc_priority[pi].expect("validated configuration assigns ET priorities")),
         period: ctx.proc_period[pi],
         jitter: s.pj[pi],

@@ -83,6 +83,7 @@ pub fn render_report(system: &System, outcome: &AnalysisOutcome) -> String {
             let direction = match route {
                 MessageRoute::TtcToEtc => "TTC->ETC",
                 MessageRoute::EtcToTtc => "ETC->TTC",
+                // mcs-lint: allow(panic-policy) -- the iterator above filters to gateway-crossing routes
                 _ => unreachable!("filtered to gateway-crossing routes"),
             };
             let _ = writeln!(

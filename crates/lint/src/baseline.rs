@@ -1,0 +1,155 @@
+//! The checked-in exemption baseline (`lint.toml`).
+//!
+//! A baseline entry grandfathers exactly one `(file, line, rule)`
+//! violation. The file is hand-parsed (the build environment has no
+//! registry access, so no `toml` crate) against the narrow grammar this
+//! crate itself writes:
+//!
+//! ```toml
+//! [[allow]]
+//! file = "crates/foo/src/bar.rs"
+//! line = 42
+//! rule = "hash-order"
+//! reason = "why this exemption was reviewed in"
+//! ```
+//!
+//! Entries are auditable (the mandatory `reason`) and *checked for
+//! staleness*: an entry whose site no longer violates fails
+//! `mcs-lint --stale-check`, so the baseline can only shrink unless a
+//! human deliberately re-adds to it.
+
+use crate::engine::Violation;
+
+/// One reviewed exemption.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line of the grandfathered violation.
+    pub line: u32,
+    /// Rule name.
+    pub rule: String,
+    /// Why the exemption was accepted.
+    pub reason: String,
+}
+
+/// A parsed baseline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// All entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parses the `lint.toml` grammar. Unknown keys, entries missing a
+    /// field, and anything outside an `[[allow]]` table are errors — a
+    /// baseline that cannot be fully understood must not suppress
+    /// anything.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        let mut current: Option<Entry> = None;
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    entries.push(Self::complete(e)?);
+                }
+                current = Some(Entry {
+                    file: String::new(),
+                    line: 0,
+                    rule: String::new(),
+                    reason: String::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{}: expected `key = value`", n + 1));
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(format!("lint.toml:{}: key outside [[allow]] table", n + 1));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "file" => entry.file = unquote(value, n)?,
+                "rule" => entry.rule = unquote(value, n)?,
+                "reason" => entry.reason = unquote(value, n)?,
+                "line" => {
+                    entry.line = value
+                        .parse()
+                        .map_err(|_| format!("lint.toml:{}: bad line number", n + 1))?;
+                }
+                other => return Err(format!("lint.toml:{}: unknown key `{other}`", n + 1)),
+            }
+        }
+        if let Some(e) = current.take() {
+            entries.push(Self::complete(e)?);
+        }
+        Ok(Baseline { entries })
+    }
+
+    fn complete(e: Entry) -> Result<Entry, String> {
+        if e.file.is_empty() || e.rule.is_empty() || e.line == 0 {
+            return Err(format!(
+                "incomplete [[allow]] entry (file={:?} line={} rule={:?})",
+                e.file, e.line, e.rule
+            ));
+        }
+        if e.reason.is_empty() {
+            return Err(format!(
+                "baseline entry {}:{} [{}] has no reason",
+                e.file, e.line, e.rule
+            ));
+        }
+        Ok(e)
+    }
+
+    /// Renders back to the grammar [`Baseline::parse`] accepts
+    /// (round-trip stable).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# mcs-lint baseline — reviewed exemptions from the workspace invariants.\n\
+             # Regenerate with `cargo run -p mcs-lint -- --write-baseline` (then fill\n\
+             # in reasons); `mcs-lint --stale-check` fails on entries that no longer\n\
+             # match a violation.\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "\n[[allow]]\nfile = \"{}\"\nline = {}\nrule = \"{}\"\nreason = \"{}\"\n",
+                e.file, e.line, e.rule, e.reason
+            ));
+        }
+        out
+    }
+
+    /// True when `v` is grandfathered by an entry.
+    pub fn covers(&self, v: &Violation) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.file == v.file && e.line == v.line && e.rule == v.rule)
+    }
+
+    /// Entries that match none of `violations` — stale, and grounds for
+    /// failing the build.
+    pub fn stale<'b>(&'b self, violations: &[Violation]) -> Vec<&'b Entry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !violations
+                    .iter()
+                    .any(|v| v.file == e.file && v.line == e.line && v.rule == e.rule)
+            })
+            .collect()
+    }
+}
+
+fn unquote(value: &str, n: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("lint.toml:{}: expected a double-quoted string", n + 1))
+}

@@ -1,0 +1,311 @@
+//! A minimal, lossless-enough Rust lexer for rule matching.
+//!
+//! The rules in this crate are token-level: they must never fire on text
+//! inside comments, string literals (including raw/byte/C strings with any
+//! number of `#` guards), or char literals, and they must see identifiers
+//! as whole words (`unwrap_or` is not `unwrap`). That is exactly the
+//! contract this lexer provides — it is *not* a full Rust lexer (no
+//! keyword table, multi-char operators arrive as single [`Punct`] tokens)
+//! but it is precise about the four things that matter here:
+//!
+//! 1. comments (line, nested block) are recognized and diverted into a
+//!    side channel so allow-markers can be parsed from them;
+//! 2. every string-literal form is skipped atomically;
+//! 3. lifetimes (`'a`) are distinguished from char literals (`'a'`);
+//! 4. identifiers and numbers are single tokens with line numbers.
+//!
+//! [`Punct`]: TokenKind::Punct
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `for`, `HashMap`, …).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// A numeric literal (integer or float, any base).
+    Number,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, `'x'`.
+    Str,
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification of `text`.
+    pub kind: TokenKind,
+    /// The token's source text (for [`TokenKind::Str`], the opening
+    /// delimiter only — rules never inspect literal contents).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A comment diverted out of the token stream, for marker parsing.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment body (delimiters stripped for line comments; block
+    /// comments keep interior text).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The output of [`lex`]: code tokens plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment, non-whitespace tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Never fails: unrecognized bytes become punctuation,
+/// unterminated literals run to end-of-file — for a lint that is the
+/// right degradation (rustc itself will reject such a file).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Advances `i` over `n` bytes, counting newlines into `line`.
+    macro_rules! advance {
+        ($n:expr) => {{
+            let n: usize = $n;
+            for k in 0..n {
+                if bytes[i + k] == b'\n' {
+                    line += 1;
+                }
+            }
+            i += n;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start_line = line;
+
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+
+        // Line comment (also covers doc `///` and `//!`).
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
+            out.comments.push(Comment {
+                text: src[i + 2..end].to_string(),
+                line: start_line,
+            });
+            advance!(end - i);
+            continue;
+        }
+
+        // Block comment, nested.
+        if c == '/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: src[i + 2..j.saturating_sub(2).max(i + 2)].to_string(),
+                line: start_line,
+            });
+            advance!(j - i);
+            continue;
+        }
+
+        // Raw / byte / C string prefixes: r", r#", br", rb is invalid,
+        // b", br#", c", cr#". Longest match on [bcr]+ then quote/hash.
+        if matches!(c, 'r' | 'b' | 'c') {
+            if let Some(len) = raw_or_prefixed_string_len(&src[i..]) {
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: src[i..i + len.min(2)].to_string(),
+                    line: start_line,
+                });
+                advance!(len);
+                continue;
+            }
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let len = quoted_len(&src[i..], '"');
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: "\"".to_string(),
+                line: start_line,
+            });
+            advance!(len);
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            let rest = &src[i + 1..];
+            let mut chars = rest.chars();
+            let first = chars.next().unwrap_or('\0');
+            let second = chars.next().unwrap_or('\0');
+            let is_lifetime =
+                (first.is_alphabetic() || first == '_') && second != '\'' && first != '\\';
+            if is_lifetime {
+                let len = 1 + rest
+                    .find(|ch: char| !ch.is_alphanumeric() && ch != '_')
+                    .unwrap_or(rest.len());
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: src[i..i + len].to_string(),
+                    line: start_line,
+                });
+                advance!(len);
+            } else {
+                let len = quoted_len(&src[i..], '\'');
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: "'".to_string(),
+                    line: start_line,
+                });
+                advance!(len);
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let len = src[i..]
+                .find(|ch: char| !ch.is_alphanumeric() && ch != '_')
+                .unwrap_or(src.len() - i);
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: src[i..i + len].to_string(),
+                line: start_line,
+            });
+            advance!(len);
+            continue;
+        }
+
+        // Number (we never inspect the value; greedy alnum/_/. suffices,
+        // with `.` consumed only when followed by a digit so method calls
+        // on literals — `1.max(2)` — stay separate tokens).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let b = bytes[j] as char;
+                let float_dot = b == '.'
+                    && bytes
+                        .get(j + 1)
+                        .is_some_and(|n| (*n as char).is_ascii_digit());
+                if b.is_alphanumeric() || b == '_' || float_dot {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: src[i..j].to_string(),
+                line: start_line,
+            });
+            advance!(j - i);
+            continue;
+        }
+
+        // Anything else: one punctuation character.
+        let len = c.len_utf8();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: src[i..i + len].to_string(),
+            line: start_line,
+        });
+        advance!(len);
+    }
+
+    out
+}
+
+/// Byte length of a `"…"`/`'…'` literal starting at `src[0]`, handling
+/// backslash escapes. Unterminated literals run to end-of-input.
+fn quoted_len(src: &str, quote: char) -> usize {
+    let bytes = src.as_bytes();
+    let mut j = 1usize;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b if b == quote as u8 => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// If `src` starts with a raw / byte / C string literal (any `r`/`b`/`c`
+/// prefix combination), returns its byte length; `None` when the prefix
+/// letters are just an identifier (e.g. `raw_value`).
+fn raw_or_prefixed_string_len(src: &str) -> Option<usize> {
+    let bytes = src.as_bytes();
+    let mut j = 0usize;
+    let mut raw = false;
+    while j < bytes.len() && j < 2 {
+        match bytes[j] {
+            b'r' => {
+                raw = true;
+                j += 1;
+            }
+            b'b' | b'c' => j += 1,
+            _ => break,
+        }
+    }
+    if j == 0 || j >= bytes.len() {
+        return None;
+    }
+    if raw {
+        // r, br, cr: optional `#` guards then `"`.
+        let mut hashes = 0usize;
+        while bytes.get(j + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        if bytes.get(j + hashes) != Some(&b'"') {
+            return None;
+        }
+        let body_start = j + hashes + 1;
+        let terminator: String = std::iter::once('"')
+            .chain(std::iter::repeat_n('#', hashes))
+            .collect();
+        let end = src[body_start..]
+            .find(&terminator)
+            .map_or(src.len(), |n| body_start + n + terminator.len());
+        Some(end)
+    } else {
+        // b" or c": escaped like a plain string.
+        if bytes.get(j) != Some(&b'"') {
+            return None;
+        }
+        Some(j + quoted_len(&src[j..], '"'))
+    }
+}

@@ -1,0 +1,134 @@
+//! The `mcs-lint` binary. See the library docs (`mcs_lint`) for the
+//! rules and the suppression model.
+//!
+//! ```text
+//! mcs-lint [--root PATH] [--baseline PATH] [--deny] [--stale-check] [--write-baseline]
+//! ```
+//!
+//! * default: report unsuppressed violations and stale baseline entries,
+//!   exit 0 (informational).
+//! * `--deny`: exit 1 when any unsuppressed violation exists (the CI
+//!   gate).
+//! * `--stale-check`: exit 1 when the baseline holds entries whose site
+//!   no longer violates (the CI freshness gate).
+//! * `--write-baseline`: grandfather every current unsuppressed
+//!   violation into the baseline file (reasons left as TODO for review).
+
+use mcs_lint::{Baseline, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut stale_check = false;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--deny" => deny = true,
+            "--stale-check" => stale_check = true,
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint.toml"));
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "mcs-lint: invalid baseline {}: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Baseline::default(),
+    };
+
+    let config = Config::workspace_default();
+    let violations = match mcs_lint::check_workspace(&config, &root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("mcs-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let fresh: Vec<_> = violations.iter().filter(|v| !baseline.covers(v)).collect();
+    let stale = baseline.stale(&violations);
+
+    if write_baseline {
+        let mut b = baseline.clone();
+        for v in &fresh {
+            b.entries.push(mcs_lint::baseline::Entry {
+                file: v.file.clone(),
+                line: v.line,
+                rule: v.rule.to_string(),
+                reason: "TODO: justify or fix".to_string(),
+            });
+        }
+        if let Err(e) = std::fs::write(&baseline_path, b.render()) {
+            eprintln!("mcs-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "mcs-lint: wrote {} entries to {}",
+            b.entries.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for v in &fresh {
+        println!("{v}");
+    }
+    for e in &stale {
+        println!(
+            "{}:{}: [stale-baseline] entry for `{}` no longer matches a violation — remove it",
+            e.file, e.line, e.rule
+        );
+    }
+    let grandfathered = violations.len() - fresh.len();
+    println!(
+        "mcs-lint: {} violation(s), {} grandfathered by baseline, {} stale baseline entr(ies)",
+        fresh.len(),
+        grandfathered,
+        stale.len()
+    );
+
+    if deny && !fresh.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    if stale_check && !stale.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("mcs-lint: {err}");
+    }
+    eprintln!(
+        "usage: mcs-lint [--root PATH] [--baseline PATH] [--deny] [--stale-check] [--write-baseline]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

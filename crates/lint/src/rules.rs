@@ -1,0 +1,360 @@
+//! The five rules. Each is a pure function over a [`FileCtx`] that
+//! appends [`Violation`]s; scoping decisions (which files a rule guards)
+//! live in [`crate::engine::Config`], matching decisions live here.
+//!
+//! All rules are token-level: they see the comment-free, string-free
+//! token stream from [`crate::lexer`], so nothing inside a comment or
+//! literal can ever fire, and `unwrap_or` can never match `unwrap`.
+//! They are deliberately syntactic — no type information — so each has a
+//! documented over-approximation, discharged case-by-case with an
+//! `// mcs-lint: allow(<rule>) -- <reason>` marker.
+
+use crate::engine::{matching_close, FileCtx, Violation};
+use crate::lexer::{Token, TokenKind};
+
+/// `wall-clock`: reading the host clock (`Instant::now`, any
+/// `SystemTime`, `.elapsed()`) is confined to the explicit allowlist —
+/// everywhere else it is nondeterministic input and breaks seeded
+/// bit-identity. Test regions are exempt (they assert on, not feed,
+/// results).
+pub fn wall_clock(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let t = &ctx.tokens;
+    for i in 0..t.len() {
+        let (line, what) = if t[i].is_ident("Instant")
+            && path_sep(t, i + 1)
+            && t.get(i + 3).is_some_and(|x| x.is_ident("now"))
+        {
+            (t[i].line, "`Instant::now()` reads the host clock")
+        } else if t[i].is_ident("SystemTime") {
+            (t[i].line, "`SystemTime` is wall-clock state")
+        } else if t[i].is_punct('.') && t.get(i + 1).is_some_and(|x| x.is_ident("elapsed")) {
+            (t[i].line, "`.elapsed()` reads the host clock")
+        } else {
+            continue;
+        };
+        if ctx.in_test(line) || ctx.allowed(line, "wall-clock") {
+            continue;
+        }
+        push(ctx, out, line, "wall-clock", format!(
+            "{what}; wall-clock input is confined to the serve/bench allowlist — thread a deterministic quantity (evaluation counts, virtual time) instead"
+        ));
+    }
+}
+
+/// `rng-discipline`: every RNG must be constructed from an explicit
+/// seed. Entropy-source constructors are banned outright, and inside a
+/// rayon parallel region a seed expression made only of literals is
+/// banned too — every lane would draw the identical stream, so the seed
+/// must be derived from per-lane data.
+pub fn rng_discipline(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    const ENTROPY: [&str; 5] = [
+        "from_entropy",
+        "thread_rng",
+        "from_os_rng",
+        "OsRng",
+        "ThreadRng",
+    ];
+    let t = &ctx.tokens;
+    for i in 0..t.len() {
+        if ENTROPY.iter().any(|e| t[i].is_ident(e)) {
+            let line = t[i].line;
+            if !ctx.allowed(line, "rng-discipline") {
+                push(ctx, out, line, "rng-discipline", format!(
+                    "`{}` draws from an entropy source; every RNG must take an explicit seed so runs are replayable",
+                    t[i].text
+                ));
+            }
+        }
+        if t[i].is_ident("random") && path_sep_before(t, i) {
+            let line = t[i].line;
+            if !ctx.allowed(line, "rng-discipline") {
+                push(
+                    ctx,
+                    out,
+                    line,
+                    "rng-discipline",
+                    "`::random()` hides an entropy-seeded RNG; seed explicitly".to_string(),
+                );
+            }
+        }
+    }
+    // Constant seeds inside parallel regions: every lane would replay the
+    // same stream.
+    for (start, end) in par_spans(t) {
+        let mut i = start;
+        while i < end {
+            if (t[i].is_ident("seed_from_u64") || t[i].is_ident("from_seed"))
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+            {
+                let close = matching_close(t, i + 1).min(end);
+                let has_ident = t[i + 2..close]
+                    .iter()
+                    .any(|x| matches!(x.kind, TokenKind::Ident | TokenKind::Lifetime));
+                let line = t[i].line;
+                if !has_ident && !ctx.allowed(line, "rng-discipline") {
+                    push(ctx, out, line, "rng-discipline", format!(
+                        "`{}` with a literal-only seed inside a parallel region gives every lane the same stream; derive the seed from per-lane data",
+                        t[i].text
+                    ));
+                }
+                i = close;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Map/set iteration methods whose yield order is the hasher's.
+const HASH_ITER: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// `hash-order`: in a module that feeds reports, `json_line` output,
+/// event streams or digests, iterating a `HashMap`/`HashSet` leaks
+/// hasher order into the output. The rule tracks identifiers declared
+/// with a `HashMap`/`HashSet` type (or bound from a constructor) within
+/// the file and flags iteration over them unless a sort follows within
+/// three lines (the collect-then-sort idiom) or a marker justifies an
+/// order-independent consumer (`.values().max()` and friends).
+///
+/// Over-approximation: identifier tracking is per-file and name-based —
+/// an unrelated local sharing a hash-typed name is also flagged.
+pub fn hash_order(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    // Scope: only modules that produce externally visible, order-
+    // sensitive artifacts.
+    let feeds_output = ["json_line", "JsonLinesWriter", "digest", "SearchEvent"]
+        .iter()
+        .any(|m| ctx.mentions(m))
+        || ctx.path.ends_with("/report.rs");
+    if !feeds_output {
+        return;
+    }
+    let t = &ctx.tokens;
+    let hashed = hash_typed_idents(t);
+    if hashed.is_empty() {
+        return;
+    }
+    let flag = |ctx: &FileCtx, out: &mut Vec<Violation>, line: u32, name: &str, how: &str| {
+        if ctx.in_test(line) || ctx.allowed(line, "hash-order") || sort_nearby(t, line) {
+            return;
+        }
+        push(ctx, out, line, "hash-order", format!(
+            "{how} `{name}` (hash-typed in this file) leaks hasher order into report/digest output; sort first (see `sorted()` in mcs-sim's report module), switch to BTreeMap, or justify an order-independent fold with a marker"
+        ));
+    };
+    for i in 0..t.len() {
+        // receiver.method(… where receiver is hash-typed.
+        if t[i].is_punct('.')
+            && i > 0
+            && t[i - 1].kind == TokenKind::Ident
+            && hashed.contains(&t[i - 1].text)
+            && t.get(i + 1)
+                .is_some_and(|x| HASH_ITER.iter().any(|m| x.is_ident(m)))
+        {
+            flag(ctx, out, t[i].line, &t[i - 1].text, "iterating");
+        }
+        // for pat in [&mut] chain.ending.in.a.hash-typed.ident {
+        if t[i].is_ident("in") {
+            let mut j = i + 1;
+            let mut last_ident: Option<usize> = None;
+            while j < t.len() {
+                match t[j].kind {
+                    TokenKind::Ident if !t[j].is_ident("mut") => {
+                        last_ident = Some(j);
+                        j += 1;
+                    }
+                    TokenKind::Ident => j += 1,
+                    TokenKind::Punct if matches!(t[j].text.as_str(), "&" | ".") => j += 1,
+                    _ => break,
+                }
+            }
+            if let Some(k) = last_ident {
+                if t.get(j).is_some_and(|x| x.is_punct('{')) && hashed.contains(&t[k].text) {
+                    flag(ctx, out, t[k].line, &t[k].text, "for-looping over");
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers declared (field/param/let-annotation) or `let`-bound with
+/// a `HashMap`/`HashSet` type in this file.
+fn hash_typed_idents(t: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..t.len() {
+        if !(t[i].is_ident("HashMap") || t[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over path prefix / reference sigils to the declaring
+        // `:` or binding `=`.
+        let mut j = i;
+        while j > 0 {
+            let p = &t[j - 1];
+            let skip = p.is_punct(':') && j >= 2 && t[j - 2].is_punct(':') // `::`
+                || p.is_ident("std")
+                || p.is_ident("collections")
+                || p.is_punct('&')
+                || p.is_ident("mut")
+                || p.kind == TokenKind::Lifetime;
+            if p.is_punct(':') && j >= 2 && t[j - 2].is_punct(':') {
+                j -= 2;
+                continue;
+            }
+            if skip {
+                j -= 1;
+                continue;
+            }
+            break;
+        }
+        if j == 0 {
+            continue;
+        }
+        let anchor = &t[j - 1];
+        let named = if anchor.is_punct(':') || anchor.is_punct('=') {
+            (j >= 2 && t[j - 2].kind == TokenKind::Ident).then(|| t[j - 2].text.clone())
+        } else {
+            None
+        };
+        if let Some(name) = named {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names
+}
+
+/// True when a `sort*` call or a BTree re-collection appears within the
+/// three lines following `line` — the collect-then-sort idiom.
+fn sort_nearby(t: &[Token], line: u32) -> bool {
+    t.iter().any(|x| {
+        x.line >= line
+            && x.line <= line + 3
+            && x.kind == TokenKind::Ident
+            && (x.text.starts_with("sort") || x.text == "BTreeMap" || x.text == "BTreeSet")
+    })
+}
+
+/// `panic-policy`: non-test library code of the guarded crates must not
+/// contain `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` — degenerate inputs return structured errors
+/// (`AnalysisError`/`SimError`), and genuinely infallible invariants
+/// carry a marker stating why.
+pub fn panic_policy(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    let t = &ctx.tokens;
+    for i in 0..t.len() {
+        let (line, what) = if t[i].is_punct('.')
+            && t.get(i + 1)
+                .is_some_and(|x| x.is_ident("unwrap") || x.is_ident("expect"))
+            && t.get(i + 2).is_some_and(|x| x.is_punct('('))
+        {
+            (t[i + 1].line, format!("`.{}()`", t[i + 1].text))
+        } else if MACROS.iter().any(|m| t[i].is_ident(m))
+            && t.get(i + 1).is_some_and(|x| x.is_punct('!'))
+        {
+            (t[i].line, format!("`{}!`", t[i].text))
+        } else {
+            continue;
+        };
+        if ctx.in_test(line) || ctx.allowed(line, "panic-policy") {
+            continue;
+        }
+        push(ctx, out, line, "panic-policy", format!(
+            "{what} in guarded library code; return a structured error (AnalysisError/SimError) or justify the invariant with a marker"
+        ));
+    }
+}
+
+/// `float-reduction`: `.sum()`/`.product()` inside a rayon parallel
+/// region reduces in nondeterministic order — for floats that breaks
+/// bit-identity. Integer reductions are justified with a marker.
+pub fn float_reduction(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let t = &ctx.tokens;
+    for (start, end) in par_spans(t) {
+        for i in start..end {
+            if t[i].is_punct('.')
+                && t.get(i + 1)
+                    .is_some_and(|x| x.is_ident("sum") || x.is_ident("product"))
+            {
+                let line = t[i + 1].line;
+                if !ctx.allowed(line, "float-reduction") {
+                    push(ctx, out, line, "float-reduction", format!(
+                        "`.{}()` inside a parallel region reduces in nondeterministic order; reduce sequentially over collected lanes, or mark the reduction as integer/order-independent",
+                        t[i + 1].text
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Token spans `[start, end)` of statements containing a rayon parallel
+/// combinator: from the `par_*` token to the end of the enclosing
+/// statement (`;` at the combinator's depth, or the close of the
+/// enclosing group), so trailing closure arguments are covered.
+fn par_spans(t: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for i in 0..t.len() {
+        if t[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let is_par = t[i].text.starts_with("par_")
+            || t[i].text == "into_par_iter"
+            || t[i].text == "par_bridge";
+        if !is_par {
+            continue;
+        }
+        if spans.last().is_some_and(|&(_, e)| i < e) {
+            continue; // already inside a recorded span
+        }
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < t.len() {
+            let x = &t[j];
+            if x.kind == TokenKind::Punct {
+                match x.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth < 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        spans.push((i, j));
+    }
+    spans
+}
+
+/// True when tokens `i-2..i` are `::`.
+fn path_sep_before(t: &[Token], i: usize) -> bool {
+    i >= 2 && t[i - 1].is_punct(':') && t[i - 2].is_punct(':')
+}
+
+/// True when tokens `i..i+2` are `::`.
+fn path_sep(t: &[Token], i: usize) -> bool {
+    t.get(i).is_some_and(|x| x.is_punct(':')) && t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+}
+
+fn push(ctx: &FileCtx, out: &mut Vec<Violation>, line: u32, rule: &'static str, message: String) {
+    out.push(Violation {
+        file: ctx.path.clone(),
+        line,
+        rule,
+        message,
+    });
+}

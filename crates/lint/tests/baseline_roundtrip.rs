@@ -1,0 +1,106 @@
+//! Baseline (`lint.toml`) behavior: render/parse round-trip stability,
+//! coverage matching, staleness detection, and strict rejection of
+//! baselines the parser does not fully understand.
+
+use mcs_lint::baseline::Entry;
+use mcs_lint::{Baseline, Violation};
+
+fn entry(file: &str, line: u32, rule: &str) -> Entry {
+    Entry {
+        file: file.to_string(),
+        line,
+        rule: rule.to_string(),
+        reason: "reviewed: pre-existing site".to_string(),
+    }
+}
+
+fn violation(file: &str, line: u32, rule: &'static str) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line,
+        rule,
+        message: String::new(),
+    }
+}
+
+#[test]
+fn render_parse_round_trip_is_stable() {
+    let b = Baseline {
+        entries: vec![
+            entry("crates/core/src/holistic.rs", 10, "panic-policy"),
+            entry("crates/sim/src/report.rs", 42, "hash-order"),
+        ],
+    };
+    let text = b.render();
+    let reparsed = Baseline::parse(&text).expect("rendered baseline must parse");
+    assert_eq!(reparsed, b);
+    // A second render of the reparse is byte-identical — the file never
+    // churns under --write-baseline with no new violations.
+    assert_eq!(reparsed.render(), text);
+}
+
+#[test]
+fn empty_baseline_round_trips() {
+    let b = Baseline::default();
+    let reparsed = Baseline::parse(&b.render()).expect("header-only file parses");
+    assert_eq!(reparsed, b);
+}
+
+#[test]
+fn covers_matches_on_file_line_and_rule() {
+    let b = Baseline {
+        entries: vec![entry("crates/core/src/holistic.rs", 10, "panic-policy")],
+    };
+    assert!(b.covers(&violation(
+        "crates/core/src/holistic.rs",
+        10,
+        "panic-policy"
+    )));
+    assert!(!b.covers(&violation(
+        "crates/core/src/holistic.rs",
+        11,
+        "panic-policy"
+    )));
+    assert!(!b.covers(&violation("crates/core/src/holistic.rs", 10, "hash-order")));
+    assert!(!b.covers(&violation("crates/core/src/delta.rs", 10, "panic-policy")));
+}
+
+#[test]
+fn stale_lists_entries_with_no_matching_violation() {
+    let b = Baseline {
+        entries: vec![
+            entry("crates/core/src/holistic.rs", 10, "panic-policy"),
+            entry("crates/sim/src/report.rs", 42, "hash-order"),
+        ],
+    };
+    let live = [violation("crates/core/src/holistic.rs", 10, "panic-policy")];
+    let stale = b.stale(&live);
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].file, "crates/sim/src/report.rs");
+}
+
+#[test]
+fn parse_rejects_unknown_keys() {
+    let text = "[[allow]]\nfile = \"a.rs\"\nline = 1\nrule = \"hash-order\"\nreason = \"x\"\nseverity = \"low\"\n";
+    let err = Baseline::parse(text).unwrap_err();
+    assert!(err.contains("unknown key"), "{err}");
+}
+
+#[test]
+fn parse_rejects_missing_reason() {
+    let text = "[[allow]]\nfile = \"a.rs\"\nline = 1\nrule = \"hash-order\"\n";
+    let err = Baseline::parse(text).unwrap_err();
+    assert!(err.contains("no reason"), "{err}");
+}
+
+#[test]
+fn parse_rejects_incomplete_entries_and_stray_keys() {
+    let err = Baseline::parse("[[allow]]\nfile = \"a.rs\"\nreason = \"x\"\n").unwrap_err();
+    assert!(err.contains("incomplete"), "{err}");
+    let err = Baseline::parse("file = \"a.rs\"\n").unwrap_err();
+    assert!(err.contains("outside"), "{err}");
+    let err =
+        Baseline::parse("[[allow]]\nfile = unquoted\nline = 1\nrule = \"r\"\nreason = \"x\"\n")
+            .unwrap_err();
+    assert!(err.contains("double-quoted"), "{err}");
+}

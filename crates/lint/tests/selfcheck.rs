@@ -1,0 +1,57 @@
+//! The self-check: the workspace itself must be lint-clean at `--deny`
+//! strictness, and the checked-in baseline must hold no stale entries.
+//! This is the same predicate CI enforces via the binary, run in-process
+//! so a plain `cargo test` catches violations before a push does.
+
+use mcs_lint::{check_workspace, Baseline, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_and_baseline_is_fresh() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => Baseline::parse(&text).expect("lint.toml must parse"),
+        Err(_) => Baseline::default(),
+    };
+    let violations =
+        check_workspace(&Config::workspace_default(), &root).expect("workspace walk succeeds");
+
+    let fresh: Vec<_> = violations.iter().filter(|v| !baseline.covers(v)).collect();
+    assert!(
+        fresh.is_empty(),
+        "unsuppressed lint violations (fix, add a `// mcs-lint: allow(..) -- ..` marker, \
+         or baseline them):\n{}",
+        fresh
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let stale = baseline.stale(&violations);
+    assert!(
+        stale.is_empty(),
+        "stale lint.toml entries (their sites no longer violate — remove them):\n{}",
+        stale
+            .iter()
+            .map(|e| format!("  {}:{} [{}]", e.file, e.line, e.rule))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_is_exercised_by_the_fixture_suite() {
+    // Guards against adding a rule to RULES without fixture coverage:
+    // the fixture file must mention each rule name at least once.
+    let fixtures = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/rule_fixtures.rs"),
+    )
+    .expect("fixture suite exists");
+    for rule in mcs_lint::RULES {
+        assert!(
+            fixtures.contains(rule),
+            "rule `{rule}` has no fixture coverage in tests/rule_fixtures.rs"
+        );
+    }
+}

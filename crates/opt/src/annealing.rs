@@ -14,15 +14,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary};
+use mcs_core::{DeltaSeeds, EvalSummary};
 use mcs_model::{System, SystemConfig};
 
-use crate::cost::Evaluation;
 use crate::hopa::hopa_priorities;
 use crate::moves::Move;
 use crate::sampler::MoveSampler;
 use crate::sf::straightforward_config;
-use crate::synthesis::{Objective, SearchCtx, SearchEvent, Strategy, Synthesis, SynthesisError};
+use crate::synthesis::{Objective, SearchCtx, SearchEvent, Strategy, SynthesisError};
 
 /// Simulated-annealing parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -84,6 +83,12 @@ pub struct Sa<'c> {
     start: Option<SystemConfig>,
     width: usize,
     name: &'static str,
+}
+
+impl<'c> std::fmt::Debug for Sa<'c> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sa").finish_non_exhaustive()
+    }
 }
 
 impl<'c> Sa<'c> {
@@ -308,72 +313,13 @@ pub fn sa_start(system: &System) -> SystemConfig {
     config
 }
 
-/// Generic simulated annealing over configuration moves: the legacy entry
-/// point, now a thin delegation to [`Synthesis`] with [`Sa::custom`].
-///
-/// # Panics
-///
-/// Panics if `start` is not analyzable.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Synthesis::builder(..).strategy(Sa::custom(..).with_start(..)).run()"
-)]
-pub fn anneal(
-    system: &System,
-    start: SystemConfig,
-    analysis: &AnalysisParams,
-    cost: impl Fn(&EvalSummary) -> f64 + Send,
-    params: &SaParams,
-) -> Evaluation {
-    Synthesis::builder(system)
-        .analysis(*analysis)
-        .strategy(Sa::custom(*params, cost).with_start(start))
-        .run()
-        .expect("the SA start configuration must be analyzable")
-        .best
-}
-
-/// SA Schedule (SAS): anneals on δΓ. Legacy entry point.
-///
-/// # Panics
-///
-/// Panics if the [`sa_start`] configuration is not analyzable.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Synthesis::builder(..).strategy(Sa::schedule(params)).run()"
-)]
-pub fn sa_schedule(system: &System, analysis: &AnalysisParams, params: &SaParams) -> Evaluation {
-    Synthesis::builder(system)
-        .analysis(*analysis)
-        .strategy(Sa::schedule(*params))
-        .run()
-        .expect("the SA start configuration must be analyzable")
-        .best
-}
-
-/// SA Resources (SAR): anneals on `s_total`, ranking unschedulable
-/// configurations after every schedulable one. Legacy entry point.
-///
-/// # Panics
-///
-/// Panics if the [`sa_start`] configuration is not analyzable.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Synthesis::builder(..).strategy(Sa::resources(params)).run()"
-)]
-pub fn sa_resources(system: &System, analysis: &AnalysisParams, params: &SaParams) -> Evaluation {
-    Synthesis::builder(system)
-        .analysis(*analysis)
-        .strategy(Sa::resources(*params))
-        .run()
-        .expect("the SA start configuration must be analyzable")
-        .best
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::evaluate;
+    use crate::cost::Evaluation;
+    use crate::synthesis::Synthesis;
+    use mcs_core::AnalysisParams;
     use mcs_gen::figure4;
     use mcs_model::Time;
 

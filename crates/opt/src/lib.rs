@@ -20,9 +20,10 @@
 //! (instance × strategy) jobs — the layer the paper-reproduction sweeps
 //! and any future traffic sit on.
 //!
-//! The free functions of the pre-`Synthesis` API ([`optimize_schedule`],
-//! [`optimize_resources`], [`sa_schedule`], [`sa_resources`], [`anneal`])
-//! remain as `#[deprecated]` one-line shims for one release.
+//! The free functions of the pre-`Synthesis` API (`optimize_schedule`,
+//! `optimize_resources`, `sa_schedule`, `sa_resources`, `anneal`) have
+//! been removed; the strategy-equivalence suite pins today's strategies
+//! against frozen copies of those originals instead.
 //!
 //! # Search-loop machinery
 //!
@@ -103,17 +104,11 @@ pub mod serve;
 mod sf;
 pub mod synthesis;
 
-#[allow(deprecated)]
-pub use annealing::{anneal, sa_resources, sa_schedule};
 pub use annealing::{sa_start, Sa, SaParams};
 pub use cost::{evaluate, resource_cost, Evaluation};
 pub use hopa::{hopa_priorities, Hopa};
 pub use moves::{neighborhood, neighborhood_into, Move, MoveUndo};
-#[allow(deprecated)]
-pub use or::optimize_resources;
 pub use or::{Or, OrDetails, OrParams, OrResult};
-#[allow(deprecated)]
-pub use os::optimize_schedule;
 pub use os::{recommended_lengths, Os, OsParams, OsResult};
 pub use sampler::MoveSampler;
 pub use sensitivity::{criticality_ranking, wcet_slack, WcetSlack};

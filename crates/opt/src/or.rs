@@ -14,12 +14,12 @@
 //! `SystemConfig` clone or outcome materialization happens per candidate.
 
 use mcs_core::{DeltaSeeds, EvalSummary};
-use mcs_model::{System, SystemConfig};
+use mcs_model::SystemConfig;
 
 use crate::cost::{materialize, Evaluation};
 use crate::moves::{neighborhood_into, Move};
 use crate::os::{Os, OsParams, OsResult};
-use crate::synthesis::{SearchCtx, SearchEvent, Strategy, Synthesis, SynthesisError};
+use crate::synthesis::{SearchCtx, SearchEvent, Strategy, SynthesisError};
 
 /// Tuning of the OR hill climber.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -226,44 +226,12 @@ impl Strategy for Or {
     }
 }
 
-/// Runs `OptimizeResources`. Legacy entry point.
-///
-/// # Panics
-///
-/// Panics if not even the straightforward configuration is analyzable.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Synthesis::builder(..).strategy(Or::new(params)).run()"
-)]
-pub fn optimize_resources(
-    system: &System,
-    analysis: &mcs_core::AnalysisParams,
-    params: &OrParams,
-) -> OrResult {
-    let mut strategy = Or::new(*params);
-    let report = Synthesis::builder(system)
-        .analysis(*analysis)
-        .strategy(&mut strategy)
-        .run()
-        .expect("the straightforward configuration must be analyzable");
-    let details = strategy
-        .take_details()
-        .expect("a completed OR run records its details");
-    OrResult {
-        best: report.best,
-        os: OsResult {
-            best: details.os_best,
-            seeds: details.os_seeds,
-            evaluations: details.os_evaluations as u32,
-        },
-        evaluations: details.climb_evaluations as u32,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::synthesis::Synthesis;
     use mcs_gen::{figure4, generate, GeneratorParams};
+    use mcs_model::System;
     use mcs_model::Time;
 
     fn run_or(system: &System, params: OrParams) -> (Evaluation, OrDetails) {

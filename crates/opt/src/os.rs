@@ -21,7 +21,7 @@ use mcs_model::{MessageRoute, NodeId, System, SystemConfig, TdmaConfig, TdmaSlot
 use crate::cost::Evaluation;
 use crate::hopa::hopa_priorities;
 use crate::sf::minimal_slot_capacities;
-use crate::synthesis::{SearchCtx, SearchEvent, Strategy, Synthesis, SynthesisError};
+use crate::synthesis::{SearchCtx, SearchEvent, Strategy, SynthesisError};
 
 /// Tuning of the OS heuristic.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -253,33 +253,6 @@ impl Strategy for Os {
     }
 }
 
-/// Runs the OS heuristic. Legacy entry point.
-///
-/// # Panics
-///
-/// Panics if not even the straightforward configuration is analyzable.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Synthesis::builder(..).strategy(Os::new(params)).run()"
-)]
-pub fn optimize_schedule(
-    system: &System,
-    analysis: &mcs_core::AnalysisParams,
-    params: &OsParams,
-) -> OsResult {
-    let mut strategy = Os::new(*params);
-    let report = Synthesis::builder(system)
-        .analysis(*analysis)
-        .strategy(&mut strategy)
-        .run()
-        .expect("the straightforward configuration must be analyzable");
-    OsResult {
-        best: report.best,
-        seeds: strategy.take_seeds(),
-        evaluations: report.evaluations as u32,
-    }
-}
-
 /// Keeps the best seen configurations along two axes: δΓ and `s_total`.
 struct SeedPool {
     limit: usize,
@@ -336,6 +309,7 @@ impl SeedPool {
 mod tests {
     use super::*;
     use crate::cost::evaluate;
+    use crate::synthesis::Synthesis;
     use mcs_core::AnalysisParams;
     use mcs_gen::{figure4, generate, GeneratorParams};
     use mcs_model::Time;

@@ -30,6 +30,7 @@ use crate::moves::Move;
 /// re-analyzing the current configuration per draw would cost a full
 /// evaluation. When the evaluator holds no successful analysis at all, the
 /// pin families are simply excluded from the draw.
+#[derive(Debug)]
 pub struct MoveSampler {
     /// ET CPUs and their processes, in node order.
     nodes: Vec<Vec<ProcessId>>,

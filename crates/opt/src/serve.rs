@@ -211,6 +211,12 @@ pub struct JobSpec {
     tag: u64,
 }
 
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec").finish_non_exhaustive()
+    }
+}
+
 impl JobSpec {
     /// Creates a job with default envelope: unlimited budget, no deadline,
     /// priority 0, service retry policy, fresh (non-resumed) search.
@@ -602,6 +608,12 @@ pub struct SynthesisService {
     /// while queued); dropped on shutdown to disconnect the stream.
     tx: Option<Sender<JobRecord>>,
     workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SynthesisService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthesisService").finish_non_exhaustive()
+    }
 }
 
 impl SynthesisService {

@@ -461,6 +461,12 @@ pub struct SearchCtx<'s, 'a, 'run> {
     batch_results: Vec<Result<EvalSummary, AnalysisError>>,
 }
 
+impl<'s, 'a, 'run> std::fmt::Debug for SearchCtx<'s, 'a, 'run> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchCtx").finish_non_exhaustive()
+    }
+}
+
 /// Bookkeeping of a [`Synthesis::resume_from`] continuation: events up to
 /// the checkpoint are replayed silently and every replayed incumbent is
 /// verified against the checkpoint trajectory.
@@ -860,6 +866,12 @@ pub struct Synthesis<'s, 'a> {
     resume: Option<(u64, Vec<TrajectoryPoint>)>,
 }
 
+impl<'s, 'a> std::fmt::Debug for Synthesis<'s, 'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Synthesis").finish_non_exhaustive()
+    }
+}
+
 impl<'s, 'a> Synthesis<'s, 'a> {
     /// Starts configuring a run against `system` with default analysis
     /// parameters and an unlimited budget.
@@ -1074,6 +1086,12 @@ pub struct Portfolio<'s, 'a> {
     race: bool,
 }
 
+impl<'s, 'a> std::fmt::Debug for Portfolio<'s, 'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Portfolio").finish_non_exhaustive()
+    }
+}
+
 impl<'s, 'a> Portfolio<'s, 'a> {
     /// Starts a portfolio against `system` with default analysis
     /// parameters, unlimited per-entry budget and
@@ -1221,6 +1239,12 @@ pub struct ExperimentJob {
     deadline: Option<Duration>,
 }
 
+impl std::fmt::Debug for ExperimentJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentJob").finish_non_exhaustive()
+    }
+}
+
 impl ExperimentJob {
     /// Creates a job with the strategy's own name as its label.
     pub fn new(
@@ -1349,7 +1373,7 @@ impl ExperimentRecord {
 /// carry wall-clock deadlines ([`ExperimentJob::deadline`]); a timed-out
 /// job reports its partial result with
 /// [`BudgetAxis::WallClock`] in [`SynthesisReport::exhausted_by`].
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct ExperimentRunner {
     jobs: Vec<ExperimentJob>,
 }

@@ -5,15 +5,14 @@
 //! The reference implementations below are *frozen verbatim copies* of the
 //! pre-`Synthesis` loops (`sa_schedule`/`sa_resources`/`optimize_schedule`/
 //! `optimize_resources`/SF-via-`evaluate`), kept here as the comparison
-//! baseline — the public shims themselves now delegate to the new API, so
-//! the frozen copies are what actually pins the search trajectories. A
-//! final set of tests pins the deprecated shims to the new API results.
+//! baseline. The deprecated public shims have been removed; these frozen
+//! copies are what pins the search trajectories across refactors.
 
 use proptest::prelude::*;
 
 use mcs_core::{AnalysisParams, DeltaSeeds, EvalSummary, Evaluator};
-use mcs_gen::{figure4, generate, GeneratorParams};
-use mcs_model::{NodeId, System, SystemConfig, TdmaConfig, TdmaSlot, Time};
+use mcs_gen::{generate, GeneratorParams};
+use mcs_model::{NodeId, System, SystemConfig, TdmaConfig, TdmaSlot};
 use mcs_opt::{
     evaluate, hopa_priorities, minimal_slot_capacities, neighborhood, recommended_lengths,
     sa_start, straightforward_config, Evaluation, MoveSampler, Or, OrParams, Os, OsParams, Sa,
@@ -512,56 +511,4 @@ proptest! {
             .best;
         assert_same_incumbent("OS/multirate", &new_os, &legacy_os.best);
     }
-}
-
-// ---------------------------------------------------------------------------
-// Shim pinning: the deprecated free functions delegate to the new API
-// ---------------------------------------------------------------------------
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_shims_delegate_to_the_new_api() {
-    let fig = figure4(Time::from_millis(240));
-    let analysis = AnalysisParams::default();
-    let params = quick_sa(5);
-
-    let shim = mcs_opt::sa_schedule(&fig.system, &analysis, &params);
-    let new = Synthesis::builder(&fig.system)
-        .analysis(analysis)
-        .strategy(Sa::schedule(params))
-        .run()
-        .expect("analyzable")
-        .best;
-    assert_eq!(shim.config, new.config);
-    assert_eq!(shim.schedule_cost(), new.schedule_cost());
-
-    let shim = mcs_opt::sa_resources(&fig.system, &analysis, &params);
-    let new = Synthesis::builder(&fig.system)
-        .analysis(analysis)
-        .strategy(Sa::resources(params))
-        .run()
-        .expect("analyzable")
-        .best;
-    assert_eq!(shim.config, new.config);
-    assert_eq!(shim.total_buffers, new.total_buffers);
-
-    let shim = mcs_opt::optimize_schedule(&fig.system, &analysis, &OsParams::default());
-    let mut os = Os::new(OsParams::default());
-    let new = Synthesis::builder(&fig.system)
-        .analysis(analysis)
-        .strategy(&mut os)
-        .run()
-        .expect("analyzable");
-    assert_eq!(shim.best.config, new.best.config);
-    assert_eq!(shim.seeds, os.seed_configs());
-    assert_eq!(u64::from(shim.evaluations), new.evaluations);
-
-    let shim = mcs_opt::optimize_resources(&fig.system, &analysis, &OrParams::default());
-    let new = Synthesis::builder(&fig.system)
-        .analysis(analysis)
-        .strategy(Or::new(OrParams::default()))
-        .run()
-        .expect("analyzable");
-    assert_eq!(shim.best.config, new.best.config);
-    assert_eq!(shim.best.total_buffers, new.best.total_buffers);
 }

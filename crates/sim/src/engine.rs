@@ -79,6 +79,9 @@ pub enum SimError {
     UnscheduledTtProcess(ProcessId),
     /// A CAN-routed message has no priority in the configuration.
     UnprioritizedMessage(MessageId),
+    /// A TTC-sourced message's sender node owns no TDMA slot, so its
+    /// frame could never depart.
+    MissingSenderSlot(NodeId),
 }
 
 impl fmt::Display for SimError {
@@ -102,6 +105,9 @@ impl fmt::Display for SimError {
                     f,
                     "CAN-routed message {m} has no priority in the configuration"
                 )
+            }
+            SimError::MissingSenderSlot(n) => {
+                write!(f, "TTP sender node {n} owns no TDMA slot")
             }
         }
     }
@@ -279,6 +285,19 @@ impl<'a> Simulator<'a> {
             {
                 return Err(SimError::UnprioritizedMessage(message.id()));
             }
+            // TTC-sourced frames depart in their sender's own TDMA slot
+            // (the EtcToTtc direction rides the gateway slot, checked
+            // above) — reject a slotless sender here instead of panicking
+            // at its first departure.
+            if matches!(
+                system.route(message.id()),
+                MessageRoute::TtcToTtc | MessageRoute::TtcToEtc
+            ) {
+                let node = app.process(message.source()).node();
+                if rounds.slot_of_node(node).is_none() {
+                    return Err(SimError::MissingSenderSlot(node));
+                }
+            }
         }
         let gw_capacity = rounds.slot_capacity(gw_slot);
         let can_params = system.architecture.can_params();
@@ -363,6 +382,7 @@ impl<'a> Simulator<'a> {
     fn run(mut self) -> SimReport {
         while let Some(Reverse((at, _, key))) = self.queue.pop() {
             self.now = at;
+            // mcs-lint: allow(panic-policy) -- queue keys are pushed in lockstep with the event map; a miss is heap corruption, not input
             let event = self.events.remove(&key).expect("event registered");
             self.dispatch_event(event);
         }
@@ -406,6 +426,7 @@ impl<'a> Simulator<'a> {
                     .outcome
                     .schedule
                     .start(p)
+                    // mcs-lint: allow(panic-policy) -- the constructor rejects UnscheduledTtProcess before the run starts
                     .expect("validated: TT process scheduled");
                 let at = self.ttc_time(start + self.activation_time(p, k));
                 self.schedule(at, Event::TtStart(p, k));
@@ -447,6 +468,7 @@ impl<'a> Simulator<'a> {
         let count = self
             .pending
             .get_mut(&inst)
+            // mcs-lint: allow(panic-policy) -- Activate(g, k) registers every instance before any of its data can be scheduled
             .expect("instance activated before data arrives");
         *count = count.saturating_sub(1);
         if *count == 0 {
@@ -499,6 +521,7 @@ impl<'a> Simulator<'a> {
         if !preempt {
             return;
         }
+        // mcs-lint: allow(panic-policy) -- guarded by the non-empty ready check directly above
         let (rank, inst) = state.ready.remove(best.expect("checked"));
         // Suspend the current process, keeping its remaining time.
         if let Some(run) = state.running.take() {
@@ -524,6 +547,7 @@ impl<'a> Simulator<'a> {
         if state.generation != generation {
             return; // preempted; stale completion
         }
+        // mcs-lint: allow(panic-policy) -- Finish events carry the generation of the runner that scheduled them
         let run = state.running.take().expect("generation matches a runner");
         let inst = run.instance;
         self.complete(inst);
@@ -636,6 +660,7 @@ impl<'a> Simulator<'a> {
         let slot = self
             .rounds
             .slot_of_node(node)
+            // mcs-lint: allow(panic-policy) -- the constructor rejects MissingSenderSlot before the run starts
             .expect("validated: TTP sender has a slot");
         let capacity = self.rounds.slot_capacity(slot);
         let size = message.size_bytes();
@@ -669,6 +694,7 @@ impl<'a> Simulator<'a> {
                 // Out_CAN within its response time.
                 self.schedule(self.now + r_t, Event::IntoOutCan(mi));
             }
+            // mcs-lint: allow(panic-policy) -- TtpArrival events are scheduled only for TTC-sourced routes
             _ => unreachable!("only TTC-sent frames arrive via the MEDL"),
         }
     }
@@ -679,6 +705,7 @@ impl<'a> Simulator<'a> {
         self.config
             .priorities
             .message(m)
+            // mcs-lint: allow(panic-policy) -- the constructor rejects UnprioritizedMessage before the run starts
             .expect("validated: CAN messages have priorities")
     }
 
@@ -794,6 +821,7 @@ impl<'a> Simulator<'a> {
             MessageRoute::EtcToTtc => {
                 self.schedule(self.now + r_t, Event::IntoOutTtp(mi));
             }
+            // mcs-lint: allow(panic-policy) -- CAN enqueue sites are reached only by CAN-legged routes
             MessageRoute::TtcToTtc => unreachable!("TTC→TTC frames never touch CAN"),
         }
         self.try_start_can();

@@ -199,9 +199,11 @@ impl FaultState {
         let params = *plan.params();
         let ratio = |permille: u32| {
             (permille > 0)
+                // mcs-lint: allow(panic-policy) -- the numerator is clamped to the denominator, so the ratio is always valid
                 .then(|| Bernoulli::from_ratio(permille.min(1000), 1000).expect("ratio <= 1"))
         };
         let burst = (params.overload_mean_burst > 1).then(|| {
+            // mcs-lint: allow(panic-policy) -- gated on overload_mean_burst > 1, so p is always in (0, 0.5]
             Geometric::new(1.0 / f64::from(params.overload_mean_burst)).expect("p in (0,1]")
         });
         FaultState {

@@ -240,12 +240,14 @@ impl SimReport {
     pub fn json_line(&self) -> String {
         let worst_completion = self
             .process_completion
+            // mcs-lint: allow(hash-order) -- max() is an order-independent fold
             .values()
             .max()
             .copied()
             .unwrap_or(Time::ZERO);
         let worst_response = self
             .graph_response
+            // mcs-lint: allow(hash-order) -- max() is an order-independent fold
             .values()
             .max()
             .copied()

@@ -69,6 +69,12 @@ pub struct BenchmarkGroup<'c> {
     sample_size: usize,
 }
 
+impl<'c> std::fmt::Debug for BenchmarkGroup<'c> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkGroup").finish_non_exhaustive()
+    }
+}
+
 impl BenchmarkGroup<'_> {
     /// Sets the number of measured samples per benchmark.
     pub fn sample_size(&mut self, samples: usize) -> &mut Self {
@@ -105,6 +111,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// A benchmark identifier (`from_parameter` renders the parameter value).
+#[derive(Debug)]
 pub struct BenchmarkId {
     id: String,
 }
@@ -132,12 +139,14 @@ impl Display for BenchmarkId {
 }
 
 /// Passed to the benchmark closure; [`Bencher::iter`] runs the payload.
+#[derive(Debug)]
 pub struct Bencher {
     mode: Mode,
     /// (total elapsed, iterations) accumulated by `iter` in measure mode.
     measured: Option<(Duration, u64)>,
 }
 
+#[derive(Debug)]
 enum Mode {
     /// Run the payload until ~100 ms elapse; used to estimate batch size.
     Warmup,

@@ -19,6 +19,12 @@ pub struct VecStrategy<S> {
     size: Range<usize>,
 }
 
+impl<S> std::fmt::Debug for VecStrategy<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VecStrategy").finish_non_exhaustive()
+    }
+}
+
 impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
 

@@ -29,6 +29,12 @@ pub struct Map<S, F> {
     f: F,
 }
 
+impl<S, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
 impl<S, F, O> Strategy for Map<S, F>
 where
     S: Strategy,
@@ -83,6 +89,7 @@ impl_tuple_strategy!(A, B, C, D, E, F, G);
 impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 
 /// Strategy behind `any::<u64>()`: the full 64-bit range.
+#[derive(Debug)]
 pub struct AnyU64;
 
 impl Strategy for AnyU64 {
@@ -93,6 +100,7 @@ impl Strategy for AnyU64 {
 }
 
 /// Strategy behind `any::<bool>()`: a fair coin.
+#[derive(Debug)]
 pub struct AnyBool;
 
 impl Strategy for AnyBool {
@@ -104,6 +112,12 @@ impl Strategy for AnyBool {
 
 /// Strategy producing always the same (cloned) value.
 pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> std::fmt::Debug for Just<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Just").finish_non_exhaustive()
+    }
+}
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;

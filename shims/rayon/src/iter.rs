@@ -110,6 +110,12 @@ pub struct ParIter<T> {
     items: Vec<T>,
 }
 
+impl<T> std::fmt::Debug for ParIter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParIter").finish_non_exhaustive()
+    }
+}
+
 impl<T: Send> ParIter<T> {
     /// Maps every item through `f` in parallel.
     pub fn map<O, F>(self, f: F) -> ParMap<T, F>
@@ -146,6 +152,12 @@ impl<T: Send> ParIter<T> {
 pub struct ParMap<T, F> {
     items: Vec<T>,
     f: F,
+}
+
+impl<T, F> std::fmt::Debug for ParMap<T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParMap").finish_non_exhaustive()
+    }
 }
 
 impl<T, O, F> ParMap<T, F>
